@@ -1,0 +1,78 @@
+// Ablation: three confidence-band constructions compared on every recession
+// for the competing-risks model:
+//   1. the paper's Eq. 13 normal-theory constant band,
+//   2. the delta-method band (time-varying width from parameter covariance),
+//   3. the residual-bootstrap prediction band (no distributional assumption).
+// Reports average half-width and empirical coverage. The paper's band
+// assumes Gaussian residuals with pooled variance; the alternatives relax
+// the constant-width and the normality assumptions respectively.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/covariance.hpp"
+#include "stats/bootstrap.hpp"
+
+int main() {
+  using namespace prm;
+  using report::Table;
+
+  std::cout << "=== Ablation: Eq. 13 vs delta-method vs residual-bootstrap bands ===\n\n";
+
+  Table table({"U.S. Recession", "Eq.13 width", "Delta width", "Bootstrap width",
+               "Eq.13 EC", "Delta EC", "Bootstrap EC"});
+
+  for (const auto& ds : data::recession_catalog()) {
+    const auto r = core::analyze("competing-risks", ds);
+    const auto& fit = r.fit;
+
+    const auto fit_window = fit.fit_window();
+    const std::vector<double> predicted_all = fit.predictions();
+    const std::vector<double> predicted_fit = fit.fit_predictions();
+    const std::vector<double> observed_fit(fit_window.values().begin(),
+                                           fit_window.values().end());
+
+    const auto refit = [&](const std::vector<double>& window) -> std::vector<double> {
+      data::PerformanceSeries s("boot",
+                                std::vector<double>(fit_window.times().begin(),
+                                                    fit_window.times().end()),
+                                window);
+      core::FitOptions quick;
+      quick.multistart.sampled_starts = 0;
+      quick.multistart.jitter_per_start = 0;
+      quick.multistart.polish_with_nelder_mead = false;
+      const core::FitResult rf = core::fit_model(fit.model(), s, 0, quick);
+      if (!rf.success()) return {};
+      std::vector<double> out;
+      out.reserve(fit.series().size());
+      for (std::size_t i = 0; i < fit.series().size(); ++i) {
+        out.push_back(rf.evaluate(fit.series().time(i)));
+      }
+      return out;
+    };
+
+    stats::BootstrapOptions opts;
+    opts.replicates = 150;
+    const stats::BootstrapResult boot = stats::bootstrap_confidence_band(
+        observed_fit, predicted_fit, predicted_all, refit, opts);
+
+    const double boot_ec = stats::empirical_coverage(fit.series().values(), boot.band);
+    const auto delta = core::delta_method_band(fit);
+    const double delta_width = delta ? delta->half_width : 0.0;
+    const double delta_ec =
+        delta ? stats::empirical_coverage(fit.series().values(), *delta) : 0.0;
+    table.add_row({std::string(ds.series.name()),
+                   Table::fixed(r.validation.band.half_width, 6),
+                   delta ? Table::fixed(delta_width, 6) : "singular",
+                   Table::fixed(boot.band.half_width, 6),
+                   Table::percent(r.validation.ec),
+                   delta ? Table::percent(delta_ec) : "-",
+                   Table::percent(boot_ec)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading: where residuals are near-Gaussian (the V/U recessions) all\n"
+               "three bands agree; the delta-method band additionally widens over the\n"
+               "extrapolated holdout (Eq. 13 cannot); on the misfit W/L datasets the\n"
+               "bootstrap band adapts to fat-tailed residuals.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Ablation: the optimizer stack behind Eq. 8. Compares (a) single-start
+// Levenberg-Marquardt from the model's first initial guess, (b) Nelder-Mead
+// only, and (c) the full multistart LM + NM polish pipeline, on the hardest
+// nonlinear family (Wei-Wei mixture) across all seven recessions.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/mixture.hpp"
+#include "optimize/levenberg_marquardt.hpp"
+#include "optimize/nelder_mead.hpp"
+#include "optimize/transforms.hpp"
+
+namespace {
+
+struct StackResult {
+  double sse = 0.0;
+  int evals = 0;
+};
+
+// Build the internal-space residual problem exactly as core/fitting does.
+prm::opt::ResidualProblem make_problem(const prm::core::ResilienceModel& model,
+                                       const prm::data::PerformanceSeries& fit_window,
+                                       const prm::opt::ParameterTransform& transform) {
+  prm::opt::ResidualProblem problem;
+  problem.num_parameters = model.num_parameters();
+  problem.num_residuals = fit_window.size();
+  problem.residuals = [&model, fit_window, &transform](const prm::num::Vector& u) {
+    const prm::num::Vector p = transform.to_external(u);
+    prm::num::Vector r(fit_window.size());
+    for (std::size_t i = 0; i < fit_window.size(); ++i) {
+      r[i] = fit_window.value(i) - model.evaluate(fit_window.time(i), p);
+    }
+    return r;
+  };
+  return problem;
+}
+
+}  // namespace
+
+int main() {
+  using namespace prm;
+  using report::Table;
+
+  std::cout << "=== Ablation: optimizer stack on the Wei-Wei mixture fit ===\n\n";
+
+  const core::MixtureModel model(
+      {core::Family::kWeibull, core::Family::kWeibull, core::RecoveryTrend::kLogarithmic});
+  const opt::ParameterTransform transform(model.parameter_bounds());
+
+  Table table({"U.S. Recession", "LM single (SSE)", "NM single (SSE)",
+               "Multistart (SSE)", "LM evals", "NM evals", "Multistart evals"});
+  for (const auto& ds : data::recession_catalog()) {
+    const auto fit_window = ds.series.head(ds.series.size() - ds.holdout);
+    const auto problem = make_problem(model, fit_window, transform);
+    const num::Vector start =
+        transform.to_internal(model.initial_guesses(fit_window).front());
+
+    const opt::OptimizeResult lm = opt::levenberg_marquardt(problem, start);
+    const opt::OptimizeResult nm = opt::nelder_mead_least_squares(problem.residuals, start);
+    const core::FitResult full = core::fit_model(model, ds.series, ds.holdout);
+
+    table.add_row({std::string(ds.series.name()),
+                   Table::fixed(2.0 * lm.cost, 6), Table::fixed(2.0 * nm.cost, 6),
+                   Table::fixed(full.sse, 6), std::to_string(lm.function_evaluations),
+                   std::to_string(nm.function_evaluations),
+                   std::to_string(full.function_evaluations)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading: multistart never loses to a single start (it includes it) and\n"
+               "buys its robustness with more function evaluations; single-start LM is\n"
+               "competitive when the initial guess is good, NM alone converges slowly.\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Shared helpers for the table/figure reproduction binaries.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "report/ascii_plot.hpp"
+#include "report/table.hpp"
+
+namespace prm::bench {
+
+inline const std::vector<std::string> kBathtubModels{"quadratic", "competing-risks"};
+
+inline const std::vector<std::string> kMixtureModels{
+    "mix-exp-exp-log", "mix-wei-exp-log", "mix-exp-wei-log", "mix-wei-wei-log"};
+
+/// Print a figure: observed data, fitted curve, CI band, fit/predict marker.
+inline void print_figure(const std::string& title, const core::ModelDatasetResult& r) {
+  const auto& series = r.fit.series();
+  report::AsciiPlot plot(90, 24);
+  plot.set_title(title);
+
+  report::PlotBand band;
+  const auto times = series.times();
+  band.times.assign(times.begin(), times.end());
+  band.lower = r.validation.band.lower;
+  band.upper = r.validation.band.upper;
+  band.glyph = '.';
+  band.label = "95% confidence interval";
+  plot.add_band(band);
+
+  data::PerformanceSeries model_curve(
+      r.model_label + " fit", band.times, r.validation.predictions);
+  plot.add_series(series, 'o', series.name() + " U.S. recession data");
+  plot.add_series(model_curve, '*', r.model_label + " model fit");
+  plot.add_vertical_marker(series.time(r.fit.fit_count() - 1), "last month used for fitting");
+  plot.print(std::cout);
+
+  std::cout << "  SSE=" << report::Table::scientific(r.validation.sse, 4)
+            << "  PMSE=" << report::Table::scientific(r.validation.pmse, 4)
+            << "  r2_adj=" << report::Table::fixed(r.validation.r2_adj, 6)
+            << "  EC=" << report::Table::percent(r.validation.ec) << "\n\n";
+}
+
+}  // namespace prm::bench

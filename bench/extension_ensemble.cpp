@@ -1,0 +1,66 @@
+// Extension experiment: Akaike-weighted model averaging vs single-model
+// selection. The paper leaves model choice to the analyst; this bench
+// quantifies what the ensemble buys (and costs) on each dataset against the
+// oracle best and worst single models -- judged on the holdout, which none
+// of the AIC weights ever saw.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/ensemble.hpp"
+
+int main() {
+  using namespace prm;
+  using report::Table;
+
+  std::cout << "=== Extension: AIC-weighted ensemble vs single models ===\n\n";
+
+  const std::vector<std::string> models{"quadratic", "competing-risks",
+                                        "mix-wei-exp-log", "mix-exp-wei-log",
+                                        "mix-wei-wei-log"};
+
+  Table table({"U.S. Recession", "Ensemble PMSE", "Best single PMSE", "Worst single PMSE",
+               "AIC-pick PMSE", "Top weight"});
+  int ensemble_beats_aic_pick = 0;
+  for (const auto& ds : data::recession_catalog()) {
+    const core::EnsembleFit e = core::fit_ensemble(models, ds.series, ds.holdout);
+    const auto v = e.validate();
+
+    double best = std::numeric_limits<double>::infinity();
+    double worst = 0.0;
+    double aic_pick = 0.0;
+    double best_aic = std::numeric_limits<double>::infinity();
+    double top_weight = 0.0;
+    std::string top_name;
+    for (const core::EnsembleMember& m : e.members()) {
+      best = std::min(best, m.validation.pmse);
+      worst = std::max(worst, m.validation.pmse);
+      if (m.validation.aic < best_aic) {
+        best_aic = m.validation.aic;
+        aic_pick = m.validation.pmse;
+      }
+      if (m.weight > top_weight) {
+        top_weight = m.weight;
+        top_name = m.fit.model().name();
+      }
+    }
+    if (v.pmse <= aic_pick) ++ensemble_beats_aic_pick;
+    table.add_row({std::string(ds.series.name()), Table::scientific(v.pmse, 3),
+                   Table::scientific(best, 3), Table::scientific(worst, 3),
+                   Table::scientific(aic_pick, 3),
+                   core::display_label(top_name) + " (" +
+                       Table::percent(100.0 * top_weight, 0) + ")"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading: the ensemble matches or beats the single model AIC would have\n"
+            << "picked on " << ensemble_beats_aic_pick
+            << " of 7 datasets. The caveat is visible in the weights: Wei-Wei's\n"
+               "in-sample SSE advantage is so large that the Akaike weights saturate\n"
+               "to ~100%, so the 'ensemble' mostly IS the AIC pick -- including on\n"
+               "1980, where that pick is the worst holdout performer. Model averaging\n"
+               "hedges between near-ties; it cannot rescue an in-sample criterion that\n"
+               "confidently prefers an overfit member. (The kInversePmse weighting\n"
+               "spreads weight by holdout skill instead, at the cost of consuming the\n"
+               "holdout for weighting rather than evaluation.)\n";
+  return 0;
+}

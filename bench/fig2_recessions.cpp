@@ -1,0 +1,39 @@
+// Figure 2: "Payroll change in U.S. recessions from peak employment."
+// Prints the seven reconstructed recession series (the evaluation substrate)
+// as one shared ASCII plot plus a summary table of each episode's anatomy.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "data/shape.hpp"
+
+int main() {
+  using namespace prm;
+
+  std::cout << "=== Figure 2: payroll employment index for seven U.S. recessions ===\n"
+            << "(reconstructed series; see DESIGN.md for the data substitution note)\n\n";
+
+  report::AsciiPlot plot(100, 28);
+  plot.set_title("Normalized payroll employment vs months after employment peak");
+  const char glyphs[] = {'1', '2', '3', '4', '5', '6', '7'};
+  std::size_t i = 0;
+  for (const auto& d : data::recession_catalog()) {
+    plot.add_series(d.series, glyphs[i], d.series.name());
+    ++i;
+  }
+  plot.print(std::cout);
+  std::cout << '\n';
+
+  report::Table table({"Recession", "n", "Documented shape", "Classifier", "Trough month",
+                       "Trough index", "Final index"});
+  for (const auto& d : data::recession_catalog()) {
+    table.add_row({std::string(d.series.name()),
+                   std::to_string(d.series.size()),
+                   std::string(data::to_string(d.documented_shape)),
+                   std::string(data::to_string(data::classify_shape(d.series))),
+                   report::Table::fixed(d.series.trough_time(), 0),
+                   report::Table::fixed(d.series.trough_value(), 4),
+                   report::Table::fixed(d.series.values().back(), 4)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Figure 3: "Quadratic model fit to 2001-05 U.S recession data" with the
+// 95% confidence interval and the dashed fit/predict boundary.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace prm;
+  const auto r = core::analyze("quadratic", data::recession("2001-05"));
+  std::cout << "=== Figure 3: quadratic model fit to the 2001-05 U.S. recession ===\n\n";
+  bench::print_figure("2001-05 payroll index, quadratic bathtub fit, 95% CI", r);
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Figure 4: "Competing risks model fit to 1990-93 U.S recession data set"
+// with the 95% confidence interval.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace prm;
+  const auto r = core::analyze("competing-risks", data::recession("1990-93"));
+  std::cout << "=== Figure 4: competing risks model fit to the 1990-93 U.S. recession ===\n\n";
+  bench::print_figure("1990-93 payroll index, competing risks fit, 95% CI", r);
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Figure 5: "Fit of Weibull-Exponential model fit to 1990-93 U.S recession
+// data set" with the 95% confidence interval.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace prm;
+  const auto r = core::analyze("mix-wei-exp-log", data::recession("1990-93"));
+  std::cout << "=== Figure 5: Weibull-Exponential mixture fit to the 1990-93 recession ===\n\n";
+  bench::print_figure("1990-93 payroll index, Wei-Exp mixture fit, 95% CI", r);
+  return 0;
+}

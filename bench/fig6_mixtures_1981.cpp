@@ -1,0 +1,48 @@
+// Figure 6: "Fit of Exponential-Weibull and Weibull-Weibull models fit to
+// 1981-83 U.S recession data set" -- both fits and both 95% confidence
+// intervals on one canvas.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace prm;
+  const auto& ds = data::recession("1981-83");
+  const auto ew = core::analyze("mix-exp-wei-log", ds);
+  const auto ww = core::analyze("mix-wei-wei-log", ds);
+
+  std::cout << "=== Figure 6: Exp-Wei and Wei-Wei mixture fits to the 1981-83 recession ===\n\n";
+
+  report::AsciiPlot plot(90, 26);
+  plot.set_title("1981-83 payroll index, two mixture fits, 95% CIs");
+  const auto times_span = ds.series.times();
+  const std::vector<double> times(times_span.begin(), times_span.end());
+
+  for (const auto* r : {&ew, &ww}) {
+    report::PlotBand band;
+    band.times = times;
+    band.lower = r->validation.band.lower;
+    band.upper = r->validation.band.upper;
+    band.glyph = (r == &ew) ? '.' : ',';
+    band.label = r->model_label + " 95% CI";
+    plot.add_band(band);
+  }
+  plot.add_series(ds.series, 'o', "1981-83 U.S. recession data");
+  plot.add_series(data::PerformanceSeries("ew", times, ew.validation.predictions), '*',
+                  "Exp-Wei model fit");
+  plot.add_series(data::PerformanceSeries("ww", times, ww.validation.predictions), '+',
+                  "Wei-Wei model fit");
+  plot.add_vertical_marker(ds.series.time(ew.fit.fit_count() - 1),
+                           "last month used for fitting");
+  plot.print(std::cout);
+
+  std::cout << "\n  Exp-Wei: SSE=" << report::Table::scientific(ew.validation.sse, 4)
+            << " PMSE=" << report::Table::scientific(ew.validation.pmse, 4)
+            << " r2_adj=" << report::Table::fixed(ew.validation.r2_adj, 6)
+            << " EC=" << report::Table::percent(ew.validation.ec) << '\n';
+  std::cout << "  Wei-Wei: SSE=" << report::Table::scientific(ww.validation.sse, 4)
+            << " PMSE=" << report::Table::scientific(ww.validation.pmse, 4)
+            << " r2_adj=" << report::Table::fixed(ww.validation.r2_adj, 6)
+            << " EC=" << report::Table::percent(ww.validation.ec) << '\n';
+  return 0;
+}

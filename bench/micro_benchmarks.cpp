@@ -1,0 +1,125 @@
+// Google-benchmark micro benchmarks: throughput of the hot paths (model
+// evaluation, full fits, metric computation, quadrature, special functions)
+// so regressions in the numeric substrate are visible.
+#include <benchmark/benchmark.h>
+
+#include "core/analysis.hpp"
+#include "core/bathtub.hpp"
+#include "core/metrics.hpp"
+#include "core/mixture.hpp"
+#include "numerics/integrate.hpp"
+#include "numerics/special_functions.hpp"
+#include "optimize/levenberg_marquardt.hpp"
+
+namespace {
+
+using namespace prm;
+
+void BM_QuadraticEvaluate(benchmark::State& state) {
+  const core::QuadraticBathtubModel m;
+  const num::Vector p{1.0, -0.04, 0.0008};
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.evaluate(t, p));
+    t += 0.001;
+  }
+}
+BENCHMARK(BM_QuadraticEvaluate);
+
+void BM_CompetingRisksEvaluate(benchmark::State& state) {
+  const core::CompetingRisksModel m;
+  const num::Vector p{1.0, 0.25, 0.0008};
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.evaluate(t, p));
+    t += 0.001;
+  }
+}
+BENCHMARK(BM_CompetingRisksEvaluate);
+
+void BM_MixtureEvaluate(benchmark::State& state) {
+  const core::MixtureModel m(
+      {core::Family::kWeibull, core::Family::kWeibull, core::RecoveryTrend::kLogarithmic});
+  const num::Vector p{14.0, 2.2, 30.0, 2.5, 0.28};
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.evaluate(t, p));
+    t += 0.001;
+  }
+}
+BENCHMARK(BM_MixtureEvaluate);
+
+void BM_FitQuadratic(benchmark::State& state) {
+  const auto& ds = data::recession("1990-93");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::fit_model("quadratic", ds.series, ds.holdout));
+  }
+}
+BENCHMARK(BM_FitQuadratic)->Unit(benchmark::kMillisecond);
+
+void BM_FitCompetingRisks(benchmark::State& state) {
+  const auto& ds = data::recession("1990-93");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::fit_model("competing-risks", ds.series, ds.holdout));
+  }
+}
+BENCHMARK(BM_FitCompetingRisks)->Unit(benchmark::kMillisecond);
+
+void BM_FitWeiWeiMixture(benchmark::State& state) {
+  const auto& ds = data::recession("1990-93");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::fit_model("mix-wei-wei-log", ds.series, ds.holdout));
+  }
+}
+BENCHMARK(BM_FitWeiWeiMixture)->Unit(benchmark::kMillisecond);
+
+void BM_PredictiveMetrics(benchmark::State& state) {
+  const auto& ds = data::recession("1990-93");
+  const auto fit = core::fit_model("competing-risks", ds.series, ds.holdout);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::predictive_metrics(fit));
+  }
+}
+BENCHMARK(BM_PredictiveMetrics);
+
+void BM_AdaptiveSimpson(benchmark::State& state) {
+  const core::MixtureModel m(
+      {core::Family::kWeibull, core::Family::kExponential, core::RecoveryTrend::kLogarithmic});
+  const num::Vector p{14.0, 2.2, 0.05, 0.28};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(num::adaptive_simpson(
+        [&m, &p](double t) { return m.evaluate(t, p); }, 0.0, 47.0, 1e-10));
+  }
+}
+BENCHMARK(BM_AdaptiveSimpson);
+
+void BM_NormalQuantile(benchmark::State& state) {
+  double p = 0.0001;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(num::normal_quantile(p));
+    p += 1e-7;
+    if (p >= 1.0) p = 0.0001;
+  }
+}
+BENCHMARK(BM_NormalQuantile);
+
+void BM_GammaPInv(benchmark::State& state) {
+  double p = 0.01;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(num::gamma_p_inv(2.5, p));
+    p += 1e-4;
+    if (p >= 0.999) p = 0.01;
+  }
+}
+BENCHMARK(BM_GammaPInv);
+
+void BM_FullTableOneColumn(benchmark::State& state) {
+  // One complete Table I cell block: fit + validate on one dataset.
+  const auto& ds = data::recession("2001-05");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::analyze("competing-risks", ds));
+  }
+}
+BENCHMARK(BM_FullTableOneColumn)->Unit(benchmark::kMillisecond);
+
+}  // namespace

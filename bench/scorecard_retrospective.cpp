@@ -1,0 +1,48 @@
+// Extension experiment: the Section-IV metrics in their ORIGINAL
+// retrospective role. Ranks the seven recessions by resilience over their
+// full windows -- the assessment a resilience office would publish after
+// each event, and the baseline the paper's predictive mode is judged
+// against.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/scorecard.hpp"
+
+int main() {
+  using namespace prm;
+  using report::Table;
+
+  std::cout << "=== Retrospective resilience scorecard: seven U.S. recessions ===\n"
+            << "(all Section-IV metrics over each FULL event window; ranked by\n"
+            << " normalized average performance preserved, Eq. 15)\n\n";
+
+  const auto entries = core::recession_scorecard();
+
+  Table table({"Rank", "Recession", "Shape", "Depth", "Months to trough",
+               "Months to recover", "Score (Eq.15)", "Avg preserved (Eq.19)",
+               "Weighted avg (Eq.21)"});
+  int rank = 1;
+  for (const core::ScorecardEntry& e : entries) {
+    const auto metric = [&e](core::MetricKind kind) {
+      for (const core::MetricValue& m : e.metrics) {
+        if (m.kind == kind) return m.actual;
+      }
+      return 0.0;
+    };
+    table.add_row({std::to_string(rank++), e.name,
+                   std::string(data::to_string(e.shape)),
+                   Table::percent(100.0 * e.depth, 1),
+                   std::to_string(e.months_to_trough),
+                   e.months_to_recovery ? std::to_string(*e.months_to_recovery) : "never",
+                   Table::fixed(e.resilience_score, 4),
+                   Table::fixed(metric(core::MetricKind::kAvgPreserved), 4),
+                   Table::fixed(metric(core::MetricKind::kWeightedAvgPreserved), 4)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading: the scale-free Eq. 15 score separates the shallow 1990s/2000s\n"
+               "episodes from the deep 2007-09 and 2020-21 shocks; 'never' recoveries\n"
+               "(within the observed window) mark the L-shaped and still-recovering\n"
+               "events the predictive models also struggle with.\n";
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Table II: "Interval-based resilience metrics using bathtub shaped
+// functions and 1990-93 U.S. recessions data" -- actual vs predicted values
+// of the eight metrics (Eqs. 14-21), with relative error (Eq. 22),
+// alpha = 0.5 for the weighted average.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/metrics.hpp"
+
+int main() {
+  using namespace prm;
+  using report::Table;
+
+  std::cout << "=== Table II: interval-based resilience metrics, bathtub models, 1990-93 ===\n\n";
+
+  const auto quad = core::analyze("quadratic", data::recession("1990-93"));
+  const auto cr = core::analyze("competing-risks", data::recession("1990-93"));
+  const auto mq = core::predictive_metrics(quad.fit);
+  const auto mc = core::predictive_metrics(cr.fit);
+
+  Table table({"Metric", "Data", "Quadratic", "Competing Risks"});
+  for (std::size_t i = 0; i < mq.size(); ++i) {
+    const std::string name{core::to_string(mq[i].kind)};
+    table.add_row({name, "Actual", Table::fixed(mq[i].actual, 6),
+                   Table::fixed(mc[i].actual, 6)});
+    table.add_row({"", "Predicted", Table::fixed(mq[i].predicted, 6),
+                   Table::fixed(mc[i].predicted, 6)});
+    table.add_row({"", "delta", Table::fixed(mq[i].relative_error, 6),
+                   Table::fixed(mc[i].relative_error, 6)});
+    table.add_separator();
+  }
+  table.print(std::cout);
+
+  std::cout << "\nExpected qualitative outcome (paper): both models err < ~1% on most\n"
+               "metrics; the normalized average performance lost is amplified by its\n"
+               "near-zero denominator; negative 'lost' values mean the system\n"
+               "recovered above the level at which the predictive window opened.\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Table III: "Validation of prediction using mixture distributions on data
+// from seven U.S. recessions" -- SSE/PMSE/r2_adj/EC for the four
+// Exponential/Weibull mixture pairings with the beta*ln(t) recovery trend.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace prm;
+  using report::Table;
+
+  std::cout << "=== Table III: mixture-distribution validation on seven U.S. recessions ===\n"
+            << "(a2(t) = beta ln t recovery trend, as in the paper's evaluation)\n\n";
+
+  Table table({"U.S. Recession", "Measure", "Exp-Exp", "Wei-Exp", "Exp-Wei", "Wei-Wei"});
+  for (const auto& ds : data::recession_catalog()) {
+    std::vector<core::ModelDatasetResult> fits;
+    fits.reserve(prm::bench::kMixtureModels.size());
+    for (const auto& m : prm::bench::kMixtureModels) fits.push_back(core::analyze(m, ds));
+
+    const auto row = [&](const std::string& measure, auto getter, int decimals) {
+      std::vector<std::string> cells{std::string(ds.series.name()), measure};
+      if (measure != "SSE") cells[0] = "";
+      for (const auto& f : fits) cells.push_back(Table::fixed(getter(f), decimals));
+      table.add_row(std::move(cells));
+    };
+    row("SSE", [](const auto& f) { return f.validation.sse; }, 6);
+    row("PMSE", [](const auto& f) { return f.validation.pmse; }, 6);
+    row("r2_adj", [](const auto& f) { return f.validation.r2_adj; }, 6);
+    {
+      std::vector<std::string> cells{"", "EC"};
+      for (const auto& f : fits) cells.push_back(Table::percent(f.validation.ec));
+      table.add_row(std::move(cells));
+    }
+    table.add_separator();
+  }
+  table.print(std::cout);
+
+  std::cout << "\nExpected qualitative outcome (paper): Exp-Exp is the weakest family;\n"
+               "at least one Weibull-containing mixture reaches r2_adj > 0.9 on every\n"
+               "dataset except the W-shaped 1980 and L-shaped 2020-21 recessions.\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Table IV: "Interval-based resilience metrics using mixture distributions
+// and 1990-93 U.S. recessions data" -- the eight metrics for all four
+// mixture pairings, actual vs predicted with relative error (alpha = 0.5).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/metrics.hpp"
+
+int main() {
+  using namespace prm;
+  using report::Table;
+
+  std::cout << "=== Table IV: interval-based resilience metrics, mixtures, 1990-93 ===\n\n";
+
+  const auto& ds = data::recession("1990-93");
+  std::vector<std::vector<core::MetricValue>> metrics;
+  for (const auto& m : prm::bench::kMixtureModels) {
+    metrics.push_back(core::predictive_metrics(core::analyze(m, ds).fit));
+  }
+
+  Table table({"Metric", "Data", "Exp-Exp", "Wei-Exp", "Exp-Wei", "Wei-Wei"});
+  for (std::size_t i = 0; i < metrics.front().size(); ++i) {
+    const std::string name{core::to_string(metrics.front()[i].kind)};
+    const auto row = [&](const std::string& label, auto getter) {
+      std::vector<std::string> cells{label == "Actual" ? name : "", label};
+      for (const auto& ms : metrics) cells.push_back(Table::fixed(getter(ms[i]), 8));
+      table.add_row(std::move(cells));
+    };
+    row("Actual", [](const core::MetricValue& v) { return v.actual; });
+    row("Predicted", [](const core::MetricValue& v) { return v.predicted; });
+    row("delta", [](const core::MetricValue& v) { return v.relative_error; });
+    table.add_separator();
+  }
+  table.print(std::cout);
+
+  std::cout << "\nExpected qualitative outcome (paper): the Weibull-containing mixtures\n"
+               "predict the metrics accurately; Exp-Exp is noticeably worse, especially\n"
+               "on the trough-sensitive 'preserved from minimum' metric.\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Custom model: how a downstream user extends prm with their own resilience
+// model. Implements the paper's "future research" direction of domain-
+// specific curves: a Gaussian-dip / logistic-recovery model
+//
+//   P(t) = 1 - d * exp(-((t - c)/s)^2) + g / (1 + exp(-(t - m) / w))
+//
+// (a dip of depth d centered at time c plus a logistic climb to a new steady
+// state), registers it alongside the built-ins, and benchmarks it against
+// the paper's models on all seven recessions.
+#include <cmath>
+#include <iostream>
+
+#include "core/analysis.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace prm;
+
+class LogisticRecoveryModel final : public core::ResilienceModel {
+ public:
+  std::string name() const override { return "logistic-recovery"; }
+  std::string description() const override {
+    return "Gaussian dip + logistic recovery "
+           "P(t) = 1 - d e^{-((t-c)/s)^2} + g logistic((t-m)/w)";
+  }
+  std::size_t num_parameters() const override { return 6; }
+  std::vector<std::string> parameter_names() const override {
+    return {"depth", "dip_center", "dip_scale", "gain", "midpoint", "width"};
+  }
+  std::vector<opt::Bound> parameter_bounds() const override {
+    return {opt::Bound::positive(), opt::Bound::positive(), opt::Bound::positive(),
+            opt::Bound::positive(), opt::Bound::positive(), opt::Bound::positive()};
+  }
+
+  double evaluate(double t, const num::Vector& p) const override {
+    const double z = (t - p[1]) / p[2];
+    const double dip = p[0] * std::exp(-z * z);
+    const double climb = p[3] / (1.0 + std::exp(-(t - p[4]) / p[5]));
+    return 1.0 - dip + climb;
+  }
+
+  std::vector<num::Vector> initial_guesses(
+      const data::PerformanceSeries& fit) const override {
+    const double td = std::max(fit.trough_time(), 1.0);
+    const double depth = std::max(1.0 - fit.trough_value(), 1e-3);
+    const double tn = fit.times().back();
+    const double gain = std::max(fit.values().back() - fit.trough_value(), 1e-3);
+    return {{depth, td, 0.7 * td, gain, 0.5 * (td + tn), 0.15 * tn},
+            {depth, td, 1.5 * td, gain, 0.7 * tn, 0.25 * tn}};
+  }
+
+  std::pair<num::Vector, num::Vector> search_box(
+      const data::PerformanceSeries& fit) const override {
+    const double tn = std::max(fit.times().back(), 2.0);
+    return {{1e-3, 1.0, 1.0, 1e-3, 1.0, 0.5}, {0.5, tn, tn, 0.5, 2.0 * tn, tn}};
+  }
+
+  std::unique_ptr<ResilienceModel> clone() const override {
+    return std::make_unique<LogisticRecoveryModel>(*this);
+  }
+};
+
+}  // namespace
+
+int main() {
+  using report::Table;
+
+  // One-line registration makes the model available everywhere models are
+  // looked up by name (fitting, analysis, benches).
+  core::ModelRegistry::instance().register_model(
+      "logistic-recovery", [] { return core::ModelPtr(new LogisticRecoveryModel()); });
+
+  std::cout << "=== Custom model: logistic-recovery vs the paper's models ===\n\n";
+
+  Table table({"U.S. Recession", "Quadratic r2", "Competing Risks r2", "Wei-Wei r2",
+               "Logistic-Recovery r2"});
+  int wins = 0;
+  for (const auto& ds : data::recession_catalog()) {
+    const auto quad = core::analyze("quadratic", ds);
+    const auto cr = core::analyze("competing-risks", ds);
+    const auto ww = core::analyze("mix-wei-wei-log", ds);
+    const auto custom = core::analyze("logistic-recovery", ds);
+    if (custom.validation.r2_adj >=
+        std::max({quad.validation.r2_adj, cr.validation.r2_adj, ww.validation.r2_adj})) {
+      ++wins;
+    }
+    table.add_row({std::string(ds.series.name()),
+                   Table::fixed(quad.validation.r2_adj, 4),
+                   Table::fixed(cr.validation.r2_adj, 4),
+                   Table::fixed(ww.validation.r2_adj, 4),
+                   Table::fixed(custom.validation.r2_adj, 4)});
+  }
+  table.print(std::cout);
+  std::cout << "\nThe custom 6-parameter model has the best (or tied) r2_adj on " << wins
+            << " of 7 datasets.\nDomain-specific curves are exactly the extension the "
+               "paper's conclusion calls for;\nregistering one takes a single "
+               "ModelRegistry::register_model call.\n";
+  return 0;
+}

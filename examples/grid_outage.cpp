@@ -1,0 +1,168 @@
+// Grid outage: an end-to-end infrastructure scenario covering the parts of
+// the pipeline the other examples do not -- hazard-onset detection on raw
+// telemetry and Monte Carlo uncertainty on the restoration forecast.
+//
+// Story: a regional grid reports hourly served-load telemetry. A storm
+// knocks out feeders mid-stream. The operator's pipeline must
+//   1. detect the onset (no one hands it "t = 0 is the peak"),
+//   2. align and normalize the post-onset curve,
+//   3. fit resilience models to the partially-observed event,
+//   4. forecast restoration with confidence intervals, not point guesses.
+// Physical systems recover to nominal or degraded levels (paper Sec. II),
+// which the simulated restoration respects.
+#include <cmath>
+#include <iostream>
+#include <random>
+
+#include "core/analysis.hpp"
+#include "core/predictor.hpp"
+#include "core/uncertainty.hpp"
+#include "core/whatif.hpp"
+#include "data/changepoint.hpp"
+#include "report/ascii_plot.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace prm;
+
+// Hourly served load: nominal regime with daily ripple, storm hit at hour 72,
+// staged feeder restoration afterwards (fast first wave, slow tail), settling
+// slightly BELOW nominal (storm-damaged feeders written off).
+data::PerformanceSeries simulate_grid_telemetry(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> noise(0.0, 0.0015);
+  std::vector<double> load;
+  constexpr int kOnset = 72;
+  constexpr int kTotal = 240;
+  for (int h = 0; h < kTotal; ++h) {
+    double value;
+    if (h < kOnset) {
+      value = 1.0 + 0.004 * std::sin(2.0 * M_PI * h / 24.0);
+    } else {
+      const double s = static_cast<double>(h - kOnset);
+      // Storm drop to 62% over ~6 hours, then staged recovery:
+      // exponential first wave + slow tail to a degraded 98% steady state.
+      const double drop = 0.38 * (1.0 - std::exp(-s / 2.5));
+      const double wave1 = 0.30 * (1.0 - std::exp(-std::pow(s / 30.0, 1.6)));
+      const double tail = 0.06 * (1.0 - std::exp(-s / 90.0));
+      value = 1.0 - drop + wave1 + tail;
+      value = std::min(value, 0.985);  // written-off feeders: degraded steady state
+    }
+    load.push_back(value * (1.0 + noise(rng)));
+  }
+  return data::PerformanceSeries("grid-load", std::move(load));
+}
+
+}  // namespace
+
+int main() {
+  using report::Table;
+
+  std::cout << "=== Grid outage: onset detection -> fit -> probabilistic restoration ===\n\n";
+  const data::PerformanceSeries telemetry = simulate_grid_telemetry(7);
+
+  // 1-2. Find the hazard onset in the raw stream and align.
+  data::CusumOptions cusum;
+  cusum.baseline = 48;
+  const auto onset = data::find_hazard_onset(telemetry, cusum);
+  if (!onset) {
+    std::cout << "no outage detected in telemetry\n";
+    return 0;
+  }
+  std::cout << "Onset detection: load peak at hour " << onset->peak_index
+            << ", decline alarm at hour " << onset->alarm_index << " (truth: storm at 72)\n";
+
+  // 3. The operator is mid-event: use the first 60% of the aligned curve.
+  const std::size_t observed_n = onset->aligned.size() * 60 / 100;
+  const data::PerformanceSeries observed = onset->aligned.head(observed_n);
+  std::cout << "Observed so far: " << observed.size() << " of " << onset->aligned.size()
+            << " post-onset hours\n\n";
+
+  Table ranking({"Model", "SSE", "PMSE", "r2_adj"});
+  std::optional<core::FitResult> best;
+  double best_pmse = std::numeric_limits<double>::infinity();
+  for (const char* name : {"quadratic", "competing-risks", "mix-wei-exp-log",
+                           "mix-wei-wei-log"}) {
+    core::FitResult fit = core::fit_model(name, observed, 6);
+    const auto v = core::validate(fit);
+    ranking.add_row({core::display_label(name), Table::scientific(v.sse, 3),
+                     Table::scientific(v.pmse, 3), Table::fixed(v.r2_adj, 4)});
+    if (fit.success() && v.pmse < best_pmse) {
+      best_pmse = v.pmse;
+      best = std::move(fit);
+    }
+  }
+  ranking.print(std::cout);
+  std::cout << "\nSelected: " << core::display_label(best->model().name()) << "\n\n";
+
+  // 4. Probabilistic restoration forecast: when is 95% of load back?
+  core::UncertaintyOptions unc;
+  unc.replicates = 120;
+  unc.alpha = 0.10;
+  unc.recovery_level = 0.95;
+  unc.fit.multistart.sampled_starts = 2;
+  unc.fit.multistart.jitter_per_start = 0;
+  const core::UncertaintyResult u = core::prediction_uncertainty(*best, unc);
+
+  std::cout << "Restoration forecast (90% intervals, " << u.replicates_used
+            << " bootstrap refits):\n";
+  Table forecast({"Quantity", "Point", "Lower", "Upper"});
+  forecast.add_row({"hours to 95% load", Table::fixed(u.recovery_time.point, 1),
+                    Table::fixed(u.recovery_time.lower, 1),
+                    Table::fixed(u.recovery_time.upper, 1)});
+  forecast.add_row({"worst-hour load", Table::percent(100.0 * u.trough_value.point, 1),
+                    Table::percent(100.0 * u.trough_value.lower, 1),
+                    Table::percent(100.0 * u.trough_value.upper, 1)});
+  forecast.print(std::cout);
+  if (u.no_recovery_rate > 0.0) {
+    std::cout << "  (" << Table::percent(u.no_recovery_rate, 1)
+              << " of replicates never reach 95% -- restoration risk)\n";
+  }
+
+  // What-if: regulators demand 95% load within 48 post-onset hours. How much
+  // faster must the fitted restoration process run?
+  if (const auto kappa = core::required_acceleration(*best, 0.95, 48.0)) {
+    std::cout << "\nWhat-if: hitting 95% load by post-onset hour 48 requires the\n"
+              << "restoration process to run " << Table::fixed(*kappa, 2)
+              << "x the fitted pace";
+    if (const auto t = core::accelerated_recovery_time(*best, *kappa, 0.95)) {
+      std::cout << " (check: accelerated recovery at hour " << Table::fixed(*t, 1) << ")";
+    }
+    std::cout << ".\n";
+  }
+
+  // Compare against what the full telemetry actually did.
+  std::size_t actual_recovery = onset->aligned.size();
+  const std::size_t trough = onset->aligned.trough_index();
+  for (std::size_t i = trough; i < onset->aligned.size(); ++i) {
+    if (onset->aligned.value(i) >= 0.95) {
+      actual_recovery = i;
+      break;
+    }
+  }
+  std::cout << "\nGround truth: 95% load regained at post-onset hour " << actual_recovery
+            << "; worst hour served " << Table::percent(100.0 * onset->aligned.trough_value(), 1)
+            << "\n\nNote: the bootstrap interval quantifies noise-induced fit variance ONLY.\n"
+               "Model-form error is not in it -- the mixture's recovery trend keeps\n"
+               "growing past the grid's degraded ~98% plateau, so the restoration\n"
+               "forecast runs optimistic. This is the paper's Sec. II caveat in action:\n"
+               "physical systems recover to nominal or degraded levels, and curve\n"
+               "families with unbounded recovery overshoot them.\n\n";
+
+  report::AsciiPlot plot(90, 20);
+  plot.set_title("Aligned outage curve: observed (o), unseen future (x), model (*)");
+  std::vector<double> times;
+  std::vector<double> fitted;
+  for (std::size_t i = 0; i < onset->aligned.size(); ++i) {
+    times.push_back(onset->aligned.time(i));
+    fitted.push_back(best->evaluate(onset->aligned.time(i)));
+  }
+  plot.add_series(observed, 'o', "observed");
+  plot.add_series(onset->aligned.tail(onset->aligned.size() - observed_n), 'x',
+                  "unseen future");
+  plot.add_series(data::PerformanceSeries("fit", times, fitted), '*', "model");
+  plot.add_vertical_marker(static_cast<double>(observed_n - 1), "now");
+  plot.print(std::cout);
+  return 0;
+}

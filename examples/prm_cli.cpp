@@ -1,0 +1,273 @@
+// prm_cli: command-line front end to the whole pipeline, for users who have
+// a CSV and no desire to write C++.
+//
+//   prm_cli fit       --csv data.csv [--model NAME] [--holdout N]
+//                     [--loss squared|huber|cauchy] [--level L] [--save FILE]
+//   prm_cli predict   --fit FILE [--level L]    # reuse a saved fit
+//   prm_cli uncertainty --fit FILE [--level L] [--replicates N]
+//   prm_cli detect    --csv data.csv            # hazard-onset detection
+//   prm_cli models                              # list registered models
+//   prm_cli demo                                # run on a bundled dataset
+//
+// CSV format: "t,value" with a header line; t strictly increasing.
+// With --model omitted, every registered model is fit and the best holdout
+// PMSE wins. Exit code 0 on success, 1 on CLI errors, 2 on data errors.
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <optional>
+
+#include "core/analysis.hpp"
+#include "core/metrics.hpp"
+#include "core/predictor.hpp"
+#include "core/serialize.hpp"
+#include "core/uncertainty.hpp"
+#include "data/changepoint.hpp"
+#include "data/csv.hpp"
+#include "report/ascii_plot.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace prm;
+
+struct CliArgs {
+  std::string command;
+  std::map<std::string, std::string> options;
+};
+
+std::optional<CliArgs> parse(int argc, char** argv) {
+  if (argc < 2) return std::nullopt;
+  CliArgs args;
+  args.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) return std::nullopt;
+    args.options[argv[i] + 2] = argv[i + 1];
+  }
+  return args;
+}
+
+void usage() {
+  std::cerr << "usage:\n"
+            << "  prm_cli fit     --csv FILE [--model NAME] [--holdout N]\n"
+            << "                  [--loss squared|huber|cauchy] [--level L] [--save FILE]\n"
+            << "  prm_cli predict --fit FILE [--level L]\n"
+            << "  prm_cli uncertainty --fit FILE [--level L] [--replicates N]\n"
+            << "  prm_cli detect  --csv FILE\n"
+            << "  prm_cli models\n"
+            << "  prm_cli demo\n";
+}
+
+void print_predictions(const core::FitResult& fit, double level) {
+  using report::Table;
+  std::cout << "\nPredictions:\n";
+  std::cout << "  trough: t = " << core::predict_trough_time(fit) << " at "
+            << core::predict_trough_value(fit) << '\n';
+  if (const auto tr = core::predict_recovery_time(fit, level)) {
+    std::cout << "  recovery to " << level << ": t = " << *tr << '\n';
+  } else {
+    std::cout << "  recovery to " << level << ": not reached within the search horizon\n";
+  }
+  std::cout << "\nInterval-based resilience metrics (paper Eqs. 14-21):\n";
+  Table metrics({"Metric", "Actual", "Predicted", "Rel. error"});
+  for (const core::MetricValue& m : core::predictive_metrics(fit)) {
+    metrics.add_row({std::string(core::to_string(m.kind)), Table::fixed(m.actual, 6),
+                     Table::fixed(m.predicted, 6), Table::fixed(m.relative_error, 6)});
+  }
+  metrics.print(std::cout);
+}
+
+int run_fit(const data::PerformanceSeries& series, const CliArgs& args) {
+  using report::Table;
+  const std::size_t holdout =
+      args.options.count("holdout")
+          ? static_cast<std::size_t>(std::stoul(args.options.at("holdout")))
+          : std::max<std::size_t>(series.size() / 10, 1);
+
+  core::FitOptions fit_opts;
+  if (args.options.count("loss")) {
+    const std::string& loss = args.options.at("loss");
+    if (loss == "huber") {
+      fit_opts.loss = opt::LossKind::kHuber;
+    } else if (loss == "cauchy") {
+      fit_opts.loss = opt::LossKind::kCauchy;
+    } else if (loss != "squared") {
+      std::cerr << "unknown loss: " << loss << '\n';
+      return 1;
+    }
+  }
+
+  // Candidate models: the requested one, or all registered.
+  std::vector<std::string> names;
+  if (args.options.count("model")) {
+    names.push_back(args.options.at("model"));
+  } else {
+    names = core::ModelRegistry::instance().names();
+  }
+
+  Table ranking({"Model", "SSE", "PMSE", "r2_adj", "EC", "Theil U"});
+  std::optional<core::FitResult> best;
+  std::optional<core::ValidationReport> best_val;
+  double best_pmse = std::numeric_limits<double>::infinity();
+  for (const std::string& name : names) {
+    core::FitResult fit = core::fit_model(name, series, holdout, fit_opts);
+    const core::ValidationReport v = core::validate(fit);
+    ranking.add_row({core::display_label(name), Table::scientific(v.sse, 3),
+                     Table::scientific(v.pmse, 3), Table::fixed(v.r2_adj, 4),
+                     Table::percent(v.ec), Table::fixed(v.theil_u, 3)});
+    if (fit.success() && v.pmse < best_pmse) {
+      best_pmse = v.pmse;
+      best = std::move(fit);
+      best_val = v;
+    }
+  }
+  ranking.print(std::cout);
+  if (!best) {
+    std::cerr << "no model produced a usable fit\n";
+    return 2;
+  }
+
+  std::cout << "\nBest model by holdout PMSE: " << core::display_label(best->model().name())
+            << "\n\nFitted parameters:\n";
+  const auto pnames = best->model().parameter_names();
+  for (std::size_t i = 0; i < pnames.size(); ++i) {
+    std::cout << "  " << pnames[i] << " = " << best->parameters()[i] << '\n';
+  }
+
+  const double level =
+      args.options.count("level") ? std::stod(args.options.at("level")) : series.value(0);
+  print_predictions(*best, level);
+
+  if (args.options.count("save")) {
+    core::save_fit_file(args.options.at("save"), *best);
+    std::cout << "\nfit saved to " << args.options.at("save") << '\n';
+  }
+
+  report::AsciiPlot plot(90, 20);
+  plot.set_title(series.name() + ": data (o), fit (*), 95% CI (.)");
+  report::PlotBand band;
+  band.times.assign(series.times().begin(), series.times().end());
+  band.lower = best_val->band.lower;
+  band.upper = best_val->band.upper;
+  band.label = "95% CI";
+  plot.add_band(band);
+  plot.add_series(series, 'o', "data");
+  plot.add_series(data::PerformanceSeries("fit", band.times, best_val->predictions), '*',
+                  "model");
+  plot.add_vertical_marker(series.time(series.size() - holdout - 1), "fit boundary");
+  plot.print(std::cout);
+  return 0;
+}
+
+int run_detect(const data::PerformanceSeries& series) {
+  const auto onset = data::find_hazard_onset(series);
+  if (!onset) {
+    std::cout << "no hazard onset detected\n";
+    return 0;
+  }
+  std::cout << "hazard onset detected:\n"
+            << "  performance peak at sample " << onset->peak_index << " (t = "
+            << series.time(onset->peak_index) << ")\n"
+            << "  decline alarm at sample " << onset->alarm_index << '\n'
+            << "  aligned series: " << onset->aligned.size()
+            << " samples, trough depth "
+            << 1.0 - onset->aligned.trough_value() << '\n';
+  std::cout << "re-run `prm_cli fit` on the aligned series to model the event\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = parse(argc, argv);
+  if (!args) {
+    usage();
+    return 1;
+  }
+
+  try {
+    if (args->command == "models") {
+      for (const std::string& name : core::ModelRegistry::instance().names()) {
+        const core::ModelPtr m = core::ModelRegistry::instance().create(name);
+        std::cout << name << "  (" << m->num_parameters() << " params)  "
+                  << m->description() << '\n';
+      }
+      return 0;
+    }
+    if (args->command == "demo") {
+      CliArgs demo = *args;
+      std::cout << "running on the bundled 1990-93 recession dataset\n\n";
+      return run_fit(data::recession("1990-93").series, demo);
+    }
+    if (args->command == "predict") {
+      if (!args->options.count("fit")) {
+        usage();
+        return 1;
+      }
+      const core::FitResult fit = core::load_fit_file(args->options.at("fit"));
+      std::cout << "loaded " << core::display_label(fit.model().name()) << " fit on '"
+                << fit.series().name() << "' (" << fit.series().size() << " samples)\n";
+      const double level = args->options.count("level")
+                               ? std::stod(args->options.at("level"))
+                               : fit.series().value(0);
+      print_predictions(fit, level);
+      return 0;
+    }
+    if (args->command == "uncertainty") {
+      if (!args->options.count("fit")) {
+        usage();
+        return 1;
+      }
+      const core::FitResult fit = core::load_fit_file(args->options.at("fit"));
+      core::UncertaintyOptions opts;
+      if (args->options.count("replicates")) {
+        opts.replicates = std::stoi(args->options.at("replicates"));
+      }
+      if (args->options.count("level")) {
+        opts.recovery_level = std::stod(args->options.at("level"));
+      } else {
+        opts.recovery_level = fit.series().value(0);
+      }
+      const core::UncertaintyResult u = core::prediction_uncertainty(fit, opts);
+      using report::Table;
+      std::cout << "Monte Carlo prediction intervals ("
+                << Table::percent(100.0 * (1.0 - opts.alpha), 0) << " central, "
+                << u.replicates_used << " bootstrap refits):\n";
+      Table t({"Quantity", "Point", "Lower", "Upper"});
+      t.add_row({"recovery time to " + std::to_string(opts.recovery_level),
+                 Table::fixed(u.recovery_time.point, 2),
+                 Table::fixed(u.recovery_time.lower, 2),
+                 Table::fixed(u.recovery_time.upper, 2)});
+      t.add_row({"trough time", Table::fixed(u.trough_time.point, 2),
+                 Table::fixed(u.trough_time.lower, 2),
+                 Table::fixed(u.trough_time.upper, 2)});
+      t.add_row({"trough value", Table::fixed(u.trough_value.point, 4),
+                 Table::fixed(u.trough_value.lower, 4),
+                 Table::fixed(u.trough_value.upper, 4)});
+      for (const auto& [kind, est] : u.metrics) {
+        t.add_row({std::string(core::to_string(kind)), Table::fixed(est.point, 4),
+                   Table::fixed(est.lower, 4), Table::fixed(est.upper, 4)});
+      }
+      t.print(std::cout);
+      if (u.no_recovery_rate > 0.0) {
+        std::cout << report::Table::percent(u.no_recovery_rate, 1)
+                  << " of replicates never reach the recovery level\n";
+      }
+      return 0;
+    }
+    if (args->command == "fit" || args->command == "detect") {
+      if (!args->options.count("csv")) {
+        usage();
+        return 1;
+      }
+      const data::PerformanceSeries series =
+          data::read_csv_file(args->options.at("csv"), args->options.at("csv"));
+      return args->command == "fit" ? run_fit(series, *args) : run_detect(series);
+    }
+    usage();
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  }
+}

@@ -1,0 +1,55 @@
+// Quickstart: the 60-second tour of the prm public API.
+//
+//   1. load a resilience curve (here: a bundled U.S. recession),
+//   2. fit a predictive model to its observed prefix,
+//   3. validate the fit (SSE / PMSE / adjusted R^2 / empirical coverage),
+//   4. predict recovery time and the eight interval-based resilience
+//      metrics over the unobserved horizon.
+#include <iostream>
+
+#include "core/analysis.hpp"
+#include "core/metrics.hpp"
+#include "core/predictor.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace prm;
+
+  // 1. A performance series: normalized payroll employment, month 0 = peak.
+  const data::RecessionDataset& dataset = data::recession("1990-93");
+  std::cout << "Dataset: " << dataset.series.name() << " (" << dataset.series.size()
+            << " monthly samples, holdout " << dataset.holdout << ")\n";
+
+  // 2-3. Fit the competing-risks bathtub model to the first 90% of samples
+  //      and validate it in one call.
+  const core::ModelDatasetResult result = core::analyze("competing-risks", dataset);
+  std::cout << "Model:   " << result.fit.model().description() << '\n';
+  std::cout << "Fit:     SSE = " << result.validation.sse
+            << ", PMSE = " << result.validation.pmse
+            << ", r2_adj = " << result.validation.r2_adj
+            << ", EC = " << result.validation.ec << "%\n";
+
+  // Fitted parameters by name.
+  const auto names = result.fit.model().parameter_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    std::cout << "         " << names[i] << " = " << result.fit.parameters()[i] << '\n';
+  }
+
+  // 4a. When does the fitted curve return to the pre-recession level?
+  if (const auto t = core::predict_full_recovery_time(result.fit)) {
+    std::cout << "Predicted full recovery: month " << *t << '\n';
+  }
+  std::cout << "Predicted trough: month " << core::predict_trough_time(result.fit)
+            << " at index " << core::predict_trough_value(result.fit) << '\n';
+
+  // 4b. The paper's eight interval-based resilience metrics (Eqs. 14-21).
+  report::Table table({"Metric", "Actual", "Predicted", "Relative error"});
+  for (const core::MetricValue& m : core::predictive_metrics(result.fit)) {
+    table.add_row({std::string(core::to_string(m.kind)),
+                   report::Table::fixed(m.actual, 6),
+                   report::Table::fixed(m.predicted, 6),
+                   report::Table::fixed(m.relative_error, 6)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,50 @@
+#include "core/analysis.hpp"
+
+#include "core/mixture.hpp"
+
+namespace prm::core {
+
+std::string display_label(const std::string& model_name) {
+  if (model_name == "quadratic") return "Quadratic";
+  if (model_name == "competing-risks") return "Competing Risks";
+  if (ModelRegistry::instance().contains(model_name)) {
+    const ModelPtr m = ModelRegistry::instance().create(model_name);
+    if (const auto* mix = dynamic_cast<const MixtureModel*>(m.get())) {
+      return mix->paper_label();
+    }
+    return m->name();
+  }
+  return model_name;
+}
+
+ModelDatasetResult analyze(const std::string& model_name,
+                           const data::RecessionDataset& dataset,
+                           const AnalysisOptions& options) {
+  ModelDatasetResult out;
+  out.dataset = dataset.series.name();
+  out.model_name = model_name;
+  out.model_label = display_label(model_name);
+  out.fit = fit_model(model_name, dataset.series, dataset.holdout, options.fit);
+  out.validation = validate(out.fit, options.validation);
+  return out;
+}
+
+std::vector<ModelDatasetResult> analyze_grid(
+    const std::vector<std::string>& model_names,
+    const std::vector<data::RecessionDataset>& datasets, const AnalysisOptions& options) {
+  std::vector<ModelDatasetResult> out;
+  out.reserve(model_names.size() * datasets.size());
+  for (const data::RecessionDataset& d : datasets) {
+    for (const std::string& m : model_names) {
+      out.push_back(analyze(m, d, options));
+    }
+  }
+  return out;
+}
+
+std::vector<MetricValue> metric_table(const ModelDatasetResult& result,
+                                      const AnalysisOptions& options) {
+  return predictive_metrics(result.fit, options.metrics);
+}
+
+}  // namespace prm::core

@@ -1,0 +1,49 @@
+// End-to-end analysis driver: fit a set of models to a set of datasets and
+// collect everything the paper's tables and figures report. This is the
+// layer the benches and examples call; it contains no table formatting
+// (see report/) and no policy beyond the paper's protocol.
+#pragma once
+
+#include "core/fitting.hpp"
+#include "core/metrics.hpp"
+#include "core/validation.hpp"
+#include "data/recessions.hpp"
+
+namespace prm::core {
+
+/// Result of fitting one model to one dataset.
+struct ModelDatasetResult {
+  std::string dataset;
+  std::string model_name;   ///< Registry name.
+  std::string model_label;  ///< Display label (paper style).
+  FitResult fit;
+  ValidationReport validation;
+};
+
+struct AnalysisOptions {
+  FitOptions fit;
+  ValidationOptions validation;
+  MetricOptions metrics;
+};
+
+/// Fit one model (by registry name) to one dataset, using the dataset's own
+/// holdout size.
+ModelDatasetResult analyze(const std::string& model_name, const data::RecessionDataset& dataset,
+                           const AnalysisOptions& options = {});
+
+/// Fit each model to each dataset (the cross product), in the given order.
+/// Row-major: result[d * models.size() + m].
+std::vector<ModelDatasetResult> analyze_grid(const std::vector<std::string>& model_names,
+                                             const std::vector<data::RecessionDataset>& datasets,
+                                             const AnalysisOptions& options = {});
+
+/// The paper's Table II/IV computation for an already-fitted model.
+std::vector<MetricValue> metric_table(const ModelDatasetResult& result,
+                                      const AnalysisOptions& options = {});
+
+/// Display label for a registry model name: the paper's labels where they
+/// exist ("Quadratic", "Competing Risks", "Exp-Exp", ...), the registry name
+/// otherwise.
+std::string display_label(const std::string& model_name);
+
+}  // namespace prm::core

@@ -1,0 +1,213 @@
+#include "core/bathtub.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/linalg.hpp"
+#include "numerics/polynomial.hpp"
+
+namespace prm::core {
+
+namespace {
+void require_params(const num::Vector& p, std::size_t n, const char* model) {
+  if (p.size() != n) {
+    throw std::invalid_argument(std::string(model) + ": expected " + std::to_string(n) +
+                                " parameters, got " + std::to_string(p.size()));
+  }
+}
+}  // namespace
+
+// --- QuadraticBathtubModel ----------------------------------------------
+
+std::vector<opt::Bound> QuadraticBathtubModel::parameter_bounds() const {
+  // alpha > 0 (performance at t = 0), beta < 0 (initial decline),
+  // gamma > 0 (eventual recovery) -- the sign pattern of a bathtub.
+  return {opt::Bound::positive(), opt::Bound::negative(), opt::Bound::positive()};
+}
+
+double QuadraticBathtubModel::evaluate(double t, const num::Vector& p) const {
+  require_params(p, 3, "quadratic");
+  return p[0] + p[1] * t + p[2] * t * t;
+}
+
+num::Vector QuadraticBathtubModel::gradient(double t, const num::Vector& p) const {
+  require_params(p, 3, "quadratic");
+  return {1.0, t, t * t};
+}
+
+num::Vector QuadraticBathtubModel::linear_ls_fit(const data::PerformanceSeries& fit) {
+  if (fit.size() < 3) {
+    throw std::invalid_argument("quadratic::linear_ls_fit: need at least 3 samples");
+  }
+  num::Matrix a(fit.size(), 3);
+  num::Vector b(fit.size());
+  for (std::size_t i = 0; i < fit.size(); ++i) {
+    const double t = fit.time(i);
+    a(i, 0) = 1.0;
+    a(i, 1) = t;
+    a(i, 2) = t * t;
+    b[i] = fit.value(i);
+  }
+  const auto x = num::qr_solve(a, b);
+  if (!x) throw std::runtime_error("quadratic::linear_ls_fit: rank-deficient design");
+  return *x;
+}
+
+std::vector<num::Vector> QuadraticBathtubModel::initial_guesses(
+    const data::PerformanceSeries& fit) const {
+  std::vector<num::Vector> guesses;
+
+  // Exact unconstrained LS solution, projected into the sign constraints.
+  num::Vector ls = linear_ls_fit(fit);
+  ls[0] = std::max(ls[0], 1e-6);
+  ls[1] = std::min(ls[1], -1e-9);
+  ls[2] = std::max(ls[2], 1e-12);
+  guesses.push_back(ls);
+
+  // Geometry-driven guess: vertex at the observed trough.
+  const double td = std::max(fit.trough_time(), 1.0);
+  const double vmin = fit.trough_value();
+  const double v0 = fit.value(0);
+  // P(t) = vmin + g (t - td)^2 => alpha = vmin + g td^2, beta = -2 g td.
+  const double g = std::max((v0 - vmin) / (td * td), 1e-10);
+  guesses.push_back({vmin + g * td * td, -2.0 * g * td, g});
+  return guesses;
+}
+
+std::pair<num::Vector, num::Vector> QuadraticBathtubModel::search_box(
+    const data::PerformanceSeries& fit) const {
+  const double tn = std::max(fit.times().back(), 1.0);
+  const double scale = std::max(fit.value(0), 0.1);
+  // alpha near the initial performance; beta/gamma scaled by the horizon.
+  num::Vector lo = {0.5 * scale, -2.0 * scale / tn, 1e-8};
+  num::Vector hi = {1.5 * scale, -1e-8, 2.0 * scale / (tn * tn)};
+  return {lo, hi};
+}
+
+std::optional<double> QuadraticBathtubModel::area_closed_form(const num::Vector& p, double t0,
+                                                              double t1) const {
+  require_params(p, 3, "quadratic");
+  const auto antiderivative = [&p](double t) {
+    return p[0] * t + p[1] * t * t / 2.0 + p[2] * t * t * t / 3.0;  // Eq. (3)
+  };
+  return antiderivative(t1) - antiderivative(t0);
+}
+
+std::optional<double> QuadraticBathtubModel::recovery_time_closed_form(const num::Vector& p,
+                                                                       double level,
+                                                                       double after) const {
+  require_params(p, 3, "quadratic");
+  // gamma t^2 + beta t + (alpha - level) = 0 (Eq. 2).
+  const auto roots = num::quadratic_roots(p[2], p[1], p[0] - level);
+  double t = 0.0;
+  if (num::first_root_after(roots, after, &t)) return t;
+  return std::nullopt;
+}
+
+std::optional<double> QuadraticBathtubModel::trough_closed_form(const num::Vector& p) const {
+  require_params(p, 3, "quadratic");
+  if (p[2] <= 0.0) return std::nullopt;
+  const double t = -p[1] / (2.0 * p[2]);
+  if (t < 0.0) return 0.0;
+  return t;
+}
+
+bool QuadraticBathtubModel::is_bathtub(const num::Vector& p) {
+  if (p.size() != 3) return false;
+  if (!(p[0] > 0.0) || !(p[2] > 0.0)) return false;
+  return p[1] < 0.0 && p[1] > -2.0 * std::sqrt(p[0] * p[2]);
+}
+
+// --- CompetingRisksModel --------------------------------------------------
+
+std::vector<opt::Bound> CompetingRisksModel::parameter_bounds() const {
+  return {opt::Bound::positive(), opt::Bound::positive(), opt::Bound::positive()};
+}
+
+double CompetingRisksModel::evaluate(double t, const num::Vector& p) const {
+  require_params(p, 3, "competing-risks");
+  return p[0] / (1.0 + p[1] * t) + 2.0 * p[2] * t;
+}
+
+num::Vector CompetingRisksModel::gradient(double t, const num::Vector& p) const {
+  require_params(p, 3, "competing-risks");
+  const double u = 1.0 + p[1] * t;
+  return {1.0 / u, -p[0] * t / (u * u), 2.0 * t};
+}
+
+std::vector<num::Vector> CompetingRisksModel::initial_guesses(
+    const data::PerformanceSeries& fit) const {
+  std::vector<num::Vector> guesses;
+  const double v0 = std::max(fit.value(0), 1e-6);
+  const double td = std::max(fit.trough_time(), 1.0);
+  const double vmin = fit.trough_value();
+  const double tn = std::max(fit.times().back(), 2.0);
+  const double vn = fit.values().back();
+
+  // Late slope approximates 2*gamma once the decreasing term has decayed.
+  const double late_slope = (vn - vmin) / std::max(tn - td, 1.0);
+  const double gamma0 = std::max(0.5 * late_slope, 1e-8);
+
+  // Trough condition: (1 + beta td)^2 = alpha beta / (2 gamma). With
+  // alpha ~ v0, solve the resulting quadratic for beta numerically via a
+  // coarse scan; fall back to 2/td (the trough near td for moderate decay).
+  double beta0 = 2.0 / td;
+  double best = std::numeric_limits<double>::infinity();
+  for (int k = 1; k <= 400; ++k) {
+    const double b = 0.005 * k;  // scan (0, 2]
+    const double u = 1.0 + b * td;
+    const double mismatch = std::fabs(u * u - v0 * b / (2.0 * gamma0));
+    if (mismatch < best) {
+      best = mismatch;
+      beta0 = b;
+    }
+  }
+  guesses.push_back({v0, beta0, gamma0});
+
+  // A softer-decay alternative: trough value match, alpha/(1+beta td) ~ vmin.
+  const double beta1 = std::max((v0 / std::max(vmin, 1e-6) - 1.0) / td, 1e-6);
+  guesses.push_back({v0, beta1, gamma0});
+  return guesses;
+}
+
+std::pair<num::Vector, num::Vector> CompetingRisksModel::search_box(
+    const data::PerformanceSeries& fit) const {
+  const double tn = std::max(fit.times().back(), 1.0);
+  const double scale = std::max(fit.value(0), 0.1);
+  num::Vector lo = {0.5 * scale, 1e-4, 1e-8};
+  num::Vector hi = {1.5 * scale, 4.0 / std::max(fit.trough_time(), 1.0), scale / tn};
+  return {lo, hi};
+}
+
+std::optional<double> CompetingRisksModel::area_closed_form(const num::Vector& p, double t0,
+                                                            double t1) const {
+  require_params(p, 3, "competing-risks");
+  const auto antiderivative = [&p](double t) {
+    return p[0] / p[1] * std::log1p(p[1] * t) + p[2] * t * t;  // Eq. (6)
+  };
+  return antiderivative(t1) - antiderivative(t0);
+}
+
+std::optional<double> CompetingRisksModel::recovery_time_closed_form(const num::Vector& p,
+                                                                     double level,
+                                                                     double after) const {
+  require_params(p, 3, "competing-risks");
+  // alpha/(1+beta t) + 2 gamma t = L, cleared of the denominator:
+  // 2 beta gamma t^2 + (2 gamma - L beta) t + (alpha - L) = 0  (Eq. 5).
+  const auto roots =
+      num::quadratic_roots(2.0 * p[1] * p[2], 2.0 * p[2] - level * p[1], p[0] - level);
+  double t = 0.0;
+  if (num::first_root_after(roots, after, &t)) return t;
+  return std::nullopt;
+}
+
+std::optional<double> CompetingRisksModel::trough_closed_form(const num::Vector& p) const {
+  require_params(p, 3, "competing-risks");
+  // P'(t) = -alpha beta/(1+beta t)^2 + 2 gamma = 0
+  // => (1 + beta t)^2 = alpha beta / (2 gamma).
+  const double rhs = p[0] * p[1] / (2.0 * p[2]);
+  if (rhs <= 1.0) return 0.0;  // monotone increasing from t = 0
+  return (std::sqrt(rhs) - 1.0) / p[1];
+}
+
+}  // namespace prm::core

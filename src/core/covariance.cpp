@@ -1,0 +1,88 @@
+#include "core/covariance.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/linalg.hpp"
+#include "stats/normal.hpp"
+
+namespace prm::core {
+
+std::optional<ParameterInference> parameter_inference(const FitResult& fit) {
+  const std::size_t k = fit.model().num_parameters();
+  const data::PerformanceSeries window = fit.fit_window();
+  const std::size_t n = window.size();
+  if (n <= k) {
+    throw std::invalid_argument("parameter_inference: need more samples than parameters");
+  }
+
+  // External-space Jacobian of the model at the optimum.
+  num::Matrix j(n, k);
+  for (std::size_t i = 0; i < n; ++i) {
+    const num::Vector g = fit.model().gradient(window.time(i), fit.parameters());
+    for (std::size_t c = 0; c < k; ++c) j(i, c) = g[c];
+  }
+
+  const num::Matrix jtj = num::gram(j);
+  const auto inv = num::inverse(jtj);
+  if (!inv) return std::nullopt;
+
+  ParameterInference out;
+  out.sigma2 = fit.sse / static_cast<double>(n - k);
+  out.condition = num::condition_1norm(jtj);
+  out.covariance = *inv;
+  out.covariance *= out.sigma2;
+
+  out.standard_errors.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const double v = out.covariance(i, i);
+    if (!(v >= 0.0) || !std::isfinite(v)) return std::nullopt;
+    out.standard_errors[i] = std::sqrt(v);
+  }
+  out.correlation = num::Matrix(k, k, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t c = 0; c < k; ++c) {
+      const double denom = out.standard_errors[i] * out.standard_errors[c];
+      out.correlation(i, c) = denom > 0.0 ? out.covariance(i, c) / denom : (i == c);
+    }
+  }
+  return out;
+}
+
+std::optional<stats::ConfidenceBand> delta_method_band(const FitResult& fit, double alpha,
+                                                       bool include_observation_noise) {
+  const auto inference = parameter_inference(fit);
+  if (!inference) return std::nullopt;
+
+  const double z = stats::normal_critical_value(alpha);
+  const auto times = fit.series().times();
+
+  stats::ConfidenceBand band;
+  band.sigma2 = inference->sigma2;
+  band.center = fit.predictions();
+  band.lower.resize(band.center.size());
+  band.upper.resize(band.center.size());
+
+  double width_acc = 0.0;
+  for (std::size_t i = 0; i < band.center.size(); ++i) {
+    const num::Vector g = fit.model().gradient(times[i], fit.parameters());
+    // g^T Cov g
+    double var_curve = 0.0;
+    for (std::size_t r = 0; r < g.size(); ++r) {
+      for (std::size_t c = 0; c < g.size(); ++c) {
+        var_curve += g[r] * inference->covariance(r, c) * g[c];
+      }
+    }
+    var_curve = std::max(var_curve, 0.0);
+    const double var_total =
+        var_curve + (include_observation_noise ? inference->sigma2 : 0.0);
+    const double half = z * std::sqrt(var_total);
+    band.lower[i] = band.center[i] - half;
+    band.upper[i] = band.center[i] + half;
+    width_acc += half;
+  }
+  band.half_width = width_acc / static_cast<double>(band.center.size());
+  return band;
+}
+
+}  // namespace prm::core

@@ -1,0 +1,47 @@
+// Parameter covariance and delta-method prediction bands.
+//
+// Standard nonlinear-least-squares inference at the fitted optimum:
+//
+//   Cov(theta) = sigma^2 (J^T J)^{-1},   sigma^2 = SSE / (n - k)
+//
+// with J the external-space Jacobian of the model over the fit window. From
+// it: per-parameter standard errors, the parameter correlation matrix, and a
+// TIME-VARYING confidence band
+//
+//   P_hat(t) +/- z * sqrt( g(t)^T Cov g(t) [+ sigma^2] )
+//
+// (g = dP/dtheta). Unlike the paper's Eq. 13 constant band, this band widens
+// where the curve is poorly constrained -- in particular beyond the fitting
+// window, which is exactly where the paper extrapolates.
+#pragma once
+
+#include <optional>
+
+#include "core/fitting.hpp"
+#include "stats/confidence.hpp"
+
+namespace prm::core {
+
+struct ParameterInference {
+  num::Matrix covariance;             ///< k x k, external space.
+  num::Vector standard_errors;        ///< sqrt of the diagonal.
+  num::Matrix correlation;            ///< cov_ij / (se_i se_j).
+  double sigma2 = 0.0;                ///< Residual variance SSE/(n-k).
+  double condition = 0.0;             ///< 1-norm condition of J^T J.
+};
+
+/// Compute parameter inference at the fitted optimum. Returns nullopt when
+/// J^T J is numerically singular (unidentifiable parameters -- common for
+/// mixtures fit to data that never exercises one of the CDFs).
+std::optional<ParameterInference> parameter_inference(const FitResult& fit);
+
+/// Delta-method band over the full sample grid.
+///  * include_observation_noise = true  -> prediction band (covers future
+///    observations; comparable to Eq. 13's usage),
+///  * false -> confidence band on the mean curve only.
+/// Returns nullopt when parameter_inference does.
+std::optional<stats::ConfidenceBand> delta_method_band(const FitResult& fit,
+                                                       double alpha = 0.05,
+                                                       bool include_observation_noise = true);
+
+}  // namespace prm::core

@@ -1,0 +1,79 @@
+// Model-averaged (ensemble) resilience forecasting.
+//
+// The paper fits each candidate model separately and leaves selection to the
+// reader ("model selection is ultimately a subjective choice"). Akaike-weight
+// model averaging removes that cliff: fit every candidate, weight each by
+// w_i proportional to exp(-(AIC_i - AIC_min)/2) (or BIC, or inverse PMSE),
+// and forecast with the weighted curve. Near-ties share influence; clear
+// losers get ~zero weight automatically.
+#pragma once
+
+#include "core/fitting.hpp"
+#include "core/validation.hpp"
+
+namespace prm::core {
+
+enum class EnsembleWeighting {
+  kAic,          ///< Akaike weights from in-sample fit (default).
+  kBic,          ///< Same form with the BIC penalty.
+  kInversePmse,  ///< Weights proportional to 1/PMSE on the holdout.
+};
+
+const char* to_string(EnsembleWeighting weighting);
+
+struct EnsembleOptions {
+  EnsembleWeighting weighting = EnsembleWeighting::kAic;
+  FitOptions fit;
+  ValidationOptions validation;
+};
+
+/// One ensemble member with its weight.
+struct EnsembleMember {
+  FitResult fit;
+  ValidationReport validation;
+  double weight = 0.0;
+};
+
+class EnsembleFit {
+ public:
+  /// Members must be non-empty and share the same series/holdout; weights
+  /// must be non-negative (they are normalized internally). Throws
+  /// std::invalid_argument otherwise.
+  explicit EnsembleFit(std::vector<EnsembleMember> members);
+
+  const std::vector<EnsembleMember>& members() const noexcept { return members_; }
+  const data::PerformanceSeries& series() const { return members_.front().fit.series(); }
+  std::size_t holdout() const { return members_.front().fit.holdout(); }
+
+  /// Weighted curve value at t.
+  double evaluate(double t) const;
+
+  /// Weighted curve on the full sample grid.
+  std::vector<double> predictions() const;
+
+  /// Validation of the WEIGHTED curve (same measures as a single fit).
+  ValidationReport validate(const ValidationOptions& options = {}) const;
+
+  /// First time after `after` the weighted curve reaches `level`; nullopt if
+  /// never within `horizon_factor` times the observed horizon.
+  std::optional<double> recovery_time(double level, double after = 0.0,
+                                      double horizon_factor = 4.0) const;
+
+  /// Trough of the weighted curve over the observed horizon.
+  double trough_time() const;
+
+ private:
+  std::vector<EnsembleMember> members_;
+};
+
+/// Fit all `model_names` and combine. Models whose fit fails get weight 0;
+/// throws std::runtime_error if every member fails.
+EnsembleFit fit_ensemble(const std::vector<std::string>& model_names,
+                         const data::PerformanceSeries& series, std::size_t holdout,
+                         const EnsembleOptions& options = {});
+
+/// The Akaike-weight formula, exposed for tests: w_i = exp(-(c_i - min)/2),
+/// normalized. Non-finite criteria get weight 0.
+std::vector<double> information_weights(const std::vector<double>& criteria);
+
+}  // namespace prm::core

@@ -1,0 +1,186 @@
+#include "core/fitting.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace prm::core {
+
+FitResult::FitResult(std::shared_ptr<const ResilienceModel> model, num::Vector parameters,
+                     data::PerformanceSeries series, std::size_t holdout)
+    : model_(std::move(model)),
+      parameters_(std::move(parameters)),
+      series_(std::move(series)),
+      holdout_(holdout) {
+  if (!model_) throw std::invalid_argument("FitResult: null model");
+  if (parameters_.size() != model_->num_parameters()) {
+    throw std::invalid_argument("FitResult: parameter count mismatch");
+  }
+  if (holdout_ >= series_.size()) {
+    throw std::invalid_argument("FitResult: holdout must be < series size");
+  }
+}
+
+std::vector<double> FitResult::predictions() const {
+  std::vector<double> out(series_.size());
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    out[i] = evaluate(series_.time(i));
+  }
+  return out;
+}
+
+std::vector<double> FitResult::fit_predictions() const {
+  std::vector<double> out(fit_count());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = evaluate(series_.time(i));
+  return out;
+}
+
+std::vector<double> FitResult::holdout_predictions() const {
+  std::vector<double> out(holdout_);
+  const std::size_t first = fit_count();
+  for (std::size_t i = 0; i < holdout_; ++i) out[i] = evaluate(series_.time(first + i));
+  return out;
+}
+
+bool FitResult::success() const {
+  if (!std::isfinite(sse)) return false;
+  for (double p : parameters_) {
+    if (!std::isfinite(p)) return false;
+  }
+  return stop_reason != opt::StopReason::kNumericalFailure;
+}
+
+FitResult fit_model(const ResilienceModel& model, const data::PerformanceSeries& series,
+                    std::size_t holdout, const FitOptions& options) {
+  if (holdout >= series.size()) {
+    throw std::invalid_argument("fit_model: holdout must be < series size");
+  }
+  const data::PerformanceSeries fit_window = series.head(series.size() - holdout);
+  if (fit_window.size() < model.num_parameters() + 1) {
+    throw std::invalid_argument("fit_model: fitting window smaller than parameter count + 1");
+  }
+
+  const opt::ParameterTransform transform(model.parameter_bounds());
+
+  // Per-sample weights: sqrt applied once so that ||r||^2 = sum w_i e_i^2.
+  std::vector<double> sqrt_w;
+  if (!options.weights.empty()) {
+    if (options.weights.size() != fit_window.size()) {
+      throw std::invalid_argument("fit_model: weights must match the fit-window length");
+    }
+    sqrt_w.resize(options.weights.size());
+    for (std::size_t i = 0; i < options.weights.size(); ++i) {
+      if (!(options.weights[i] >= 0.0) || !std::isfinite(options.weights[i])) {
+        throw std::invalid_argument("fit_model: weights must be finite and non-negative");
+      }
+      sqrt_w[i] = std::sqrt(options.weights[i]);
+    }
+  }
+
+  // Residuals in internal (unconstrained) coordinates.
+  const auto residuals = [&model, &fit_window, &transform, sqrt_w](const num::Vector& u) {
+    const num::Vector p = transform.to_external(u);
+    num::Vector r(fit_window.size());
+    for (std::size_t i = 0; i < fit_window.size(); ++i) {
+      r[i] = fit_window.value(i) - model.evaluate(fit_window.time(i), p);
+      if (!sqrt_w.empty()) r[i] *= sqrt_w[i];
+    }
+    return r;
+  };
+
+  // Jacobian via the model's (possibly analytic) external-space gradient and
+  // the transform chain rule: dr_i/du_j = -dP/dp_j * dp_j/du_j.
+  const auto jacobian = [&model, &fit_window, &transform, sqrt_w](const num::Vector& u) {
+    const num::Vector p = transform.to_external(u);
+    const num::Vector chain = transform.dexternal_dinternal(u);
+    num::Matrix j(fit_window.size(), u.size());
+    for (std::size_t i = 0; i < fit_window.size(); ++i) {
+      const num::Vector g = model.gradient(fit_window.time(i), p);
+      const double w = sqrt_w.empty() ? 1.0 : sqrt_w[i];
+      for (std::size_t c = 0; c < u.size(); ++c) {
+        j(i, c) = -g[c] * chain[c] * w;
+      }
+    }
+    return j;
+  };
+
+  opt::ResidualProblem problem;
+  problem.residuals = opt::make_robust(residuals, options.loss, options.loss_scale);
+  if (options.loss == opt::LossKind::kSquared) {
+    problem.jacobian = jacobian;  // the analytic Jacobian matches plain residuals only
+  }
+  problem.num_parameters = model.num_parameters();
+  problem.num_residuals = fit_window.size();
+
+  // Starting points: model guesses mapped to internal space. Guesses that
+  // violate the bounds are clipped into them by a tiny margin rather than
+  // dropped.
+  std::vector<num::Vector> starts;
+  for (const num::Vector& g : model.initial_guesses(fit_window)) {
+    num::Vector clipped = g;
+    const auto& bounds = transform.bounds();
+    for (std::size_t i = 0; i < clipped.size(); ++i) {
+      switch (bounds[i].kind) {
+        case opt::BoundKind::kPositive:
+          clipped[i] = std::max(clipped[i], 1e-12);
+          break;
+        case opt::BoundKind::kNegative:
+          clipped[i] = std::min(clipped[i], -1e-12);
+          break;
+        case opt::BoundKind::kInterval: {
+          const double pad = 1e-9 * (bounds[i].hi - bounds[i].lo);
+          clipped[i] = std::clamp(clipped[i], bounds[i].lo + pad, bounds[i].hi - pad);
+          break;
+        }
+        case opt::BoundKind::kFree:
+          break;
+      }
+    }
+    starts.push_back(transform.to_internal(clipped));
+  }
+
+  // Search box corners mapped to internal space (the transforms are
+  // monotone per coordinate, so the box maps to a box).
+  const auto [box_lo, box_hi] = model.search_box(fit_window);
+  num::Vector lo_int = transform.to_internal(box_lo);
+  num::Vector hi_int = transform.to_internal(box_hi);
+  // The negative-bound transform is order-reversing; normalize the box.
+  for (std::size_t i = 0; i < lo_int.size(); ++i) {
+    if (lo_int[i] > hi_int[i]) std::swap(lo_int[i], hi_int[i]);
+  }
+
+  const opt::MultistartResult ms =
+      opt::multistart_least_squares(problem, starts, lo_int, hi_int, options.multistart);
+
+  num::Vector best_params;
+  if (ms.best.parameters.size() == model.num_parameters()) {
+    best_params = transform.to_external(ms.best.parameters);
+  } else {
+    best_params = model.initial_guesses(fit_window).front();
+  }
+
+  FitResult result(std::shared_ptr<const ResilienceModel>(model.clone()),
+                   std::move(best_params), series, holdout);
+  // Report the PLAIN sum of squared errors regardless of the training loss,
+  // so SSE stays comparable across loss choices (and matches Eq. 9).
+  double plain_sse = 0.0;
+  for (std::size_t i = 0; i < fit_window.size(); ++i) {
+    const double e =
+        fit_window.value(i) - model.evaluate(fit_window.time(i), result.parameters());
+    plain_sse += e * e;
+  }
+  result.sse = std::isfinite(ms.best.cost) ? plain_sse
+                                           : std::numeric_limits<double>::infinity();
+  result.stop_reason = ms.best.stop_reason;
+  result.starts_tried = ms.starts_tried;
+  result.iterations = ms.best.iterations;
+  result.function_evaluations = ms.best.function_evaluations;
+  return result;
+}
+
+FitResult fit_model(const std::string& model_name, const data::PerformanceSeries& series,
+                    std::size_t holdout, const FitOptions& options) {
+  const ModelPtr model = ModelRegistry::instance().create(model_name);
+  return fit_model(*model, series, holdout, options);
+}
+
+}  // namespace prm::core

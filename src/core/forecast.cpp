@@ -1,0 +1,63 @@
+#include "core/forecast.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/confidence.hpp"
+#include "stats/normal.hpp"
+
+namespace prm::core {
+
+ForecastResult forecast_horizon(const FitResult& fit, std::size_t steps, double dt,
+                                double alpha) {
+  if (steps == 0) throw std::invalid_argument("forecast_horizon: steps must be > 0");
+  if (dt < 0.0) throw std::invalid_argument("forecast_horizon: dt must be non-negative");
+  const data::PerformanceSeries& series = fit.series();
+  if (dt == 0.0) {
+    dt = series.size() > 1
+             ? (series.times().back() - series.times().front()) /
+                   static_cast<double>(series.size() - 1)
+             : 1.0;
+  }
+
+  const double z = stats::normal_critical_value(alpha);
+  const auto inference = parameter_inference(fit);
+
+  ForecastResult out;
+  out.used_delta_method = inference.has_value();
+
+  // Fallback width: the paper's constant band from the fit-window residuals.
+  double fallback_sigma2 = 0.0;
+  if (!inference) {
+    const auto observed = fit.fit_window().values();
+    const std::vector<double> predicted = fit.fit_predictions();
+    fallback_sigma2 = stats::residual_variance(observed, predicted);
+  }
+  out.sigma2 = inference ? inference->sigma2 : fallback_sigma2;
+
+  const double t0 = series.times().back();
+  out.points.reserve(steps);
+  for (std::size_t i = 1; i <= steps; ++i) {
+    ForecastPoint pt;
+    pt.t = t0 + dt * static_cast<double>(i);
+    pt.value = fit.evaluate(pt.t);
+    double var_total = out.sigma2;
+    if (inference) {
+      const num::Vector g = fit.model().gradient(pt.t, fit.parameters());
+      double var_curve = 0.0;
+      for (std::size_t r = 0; r < g.size(); ++r) {
+        for (std::size_t c = 0; c < g.size(); ++c) {
+          var_curve += g[r] * inference->covariance(r, c) * g[c];
+        }
+      }
+      var_total += std::max(var_curve, 0.0);
+    }
+    const double half = z * std::sqrt(var_total);
+    pt.lower = pt.value - half;
+    pt.upper = pt.value + half;
+    out.points.push_back(pt);
+  }
+  return out;
+}
+
+}  // namespace prm::core

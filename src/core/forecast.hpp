@@ -1,0 +1,37 @@
+// Horizon forecasting: the fitted curve extended BEYOND the observed data
+// with honest, time-varying uncertainty.
+//
+// The paper's figures stop at the last observed month. An operator wants the
+// next ones: forecast_horizon() evaluates the fitted curve at future steps
+// and attaches delta-method prediction intervals (parameter covariance
+// propagated through the model gradient, plus residual noise), which widen
+// with extrapolation distance. When the covariance is singular the width
+// falls back to the paper's constant Eq. 13 band so a forecast is always
+// produced; `used_delta_method` records which one you got.
+#pragma once
+
+#include "core/covariance.hpp"
+#include "core/fitting.hpp"
+
+namespace prm::core {
+
+struct ForecastPoint {
+  double t = 0.0;
+  double value = 0.0;
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+struct ForecastResult {
+  std::vector<ForecastPoint> points;
+  bool used_delta_method = false;  ///< false -> constant Eq. 13 width fallback.
+  double sigma2 = 0.0;
+};
+
+/// Forecast `steps` future points after the last observed sample, spaced by
+/// `dt` (0 = infer the series' mean spacing). `alpha` sets the interval
+/// level. Throws std::invalid_argument for steps == 0 or negative dt.
+ForecastResult forecast_horizon(const FitResult& fit, std::size_t steps, double dt = 0.0,
+                                double alpha = 0.05);
+
+}  // namespace prm::core

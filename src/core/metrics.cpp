@@ -1,0 +1,216 @@
+#include "core/metrics.hpp"
+
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+#include "core/predictor.hpp"
+
+namespace prm::core {
+
+std::string_view to_string(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kPerformancePreserved: return "performance preserved";
+    case MetricKind::kPerformanceLost: return "performance lost";
+    case MetricKind::kNormalizedAvgPreserved: return "normalized avg preserved";
+    case MetricKind::kNormalizedAvgLost: return "normalized avg lost";
+    case MetricKind::kPreservedFromMinimum: return "preserved from minimum";
+    case MetricKind::kAvgPreserved: return "avg preserved";
+    case MetricKind::kAvgLost: return "avg lost";
+    case MetricKind::kWeightedAvgPreserved: return "weighted avg preserved";
+  }
+  return "?";
+}
+
+namespace {
+
+using Curve = std::function<double(std::size_t)>;  // sample index -> value
+
+// Discrete integral sum_{i=i0}^{i1} v(i) * dt with dt the mean spacing of
+// the window (the paper's Table II arithmetic; see header).
+double window_sum(std::span<const double> times, const Curve& v, std::size_t i0,
+                  std::size_t i1) {
+  if (i0 > i1) throw std::invalid_argument("metrics: empty window");
+  double dt = 1.0;
+  if (i1 > i0) dt = (times[i1] - times[i0]) / static_cast<double>(i1 - i0);
+  double acc = 0.0;
+  for (std::size_t i = i0; i <= i1; ++i) acc += v(i);
+  return acc * dt;
+}
+
+struct MetricContext {
+  std::span<const double> times;
+  Curve value;
+  std::size_t w0 = 0;        ///< Predictive window start (t_h).
+  std::size_t w1 = 0;        ///< Predictive window end (t_r = t_n).
+  std::size_t trough = 0;    ///< Sample index of the trough t_d.
+  double nominal = 1.0;      ///< Level at t_h for this curve.
+  double alpha_weight = 0.5;
+};
+
+double compute_metric(const MetricContext& ctx, MetricKind kind) {
+  const double duration = ctx.times[ctx.w1] - ctx.times[ctx.w0];
+  switch (kind) {
+    case MetricKind::kPerformancePreserved:  // Eq. 14
+      return window_sum(ctx.times, ctx.value, ctx.w0, ctx.w1);
+    case MetricKind::kPerformanceLost:  // Eq. 16
+      return ctx.nominal * duration - window_sum(ctx.times, ctx.value, ctx.w0, ctx.w1);
+    case MetricKind::kNormalizedAvgPreserved:  // Eq. 15
+      return window_sum(ctx.times, ctx.value, ctx.w0, ctx.w1) / (ctx.nominal * duration);
+    case MetricKind::kNormalizedAvgLost:  // Eq. 17
+      return (ctx.nominal * duration - window_sum(ctx.times, ctx.value, ctx.w0, ctx.w1)) /
+             (ctx.nominal * duration);
+    case MetricKind::kPreservedFromMinimum: {  // Eq. 18 (Zobel)
+      const std::size_t last = ctx.times.size() - 1;
+      const double span_d = ctx.times[last] - ctx.times[ctx.trough];
+      return window_sum(ctx.times, ctx.value, ctx.trough, last) -
+             ctx.value(ctx.trough) * span_d;
+    }
+    case MetricKind::kAvgPreserved:  // Eq. 19
+      return window_sum(ctx.times, ctx.value, ctx.w0, ctx.w1) / duration;
+    case MetricKind::kAvgLost:  // Eq. 20
+      return (ctx.nominal * duration - window_sum(ctx.times, ctx.value, ctx.w0, ctx.w1)) /
+             duration;
+    case MetricKind::kWeightedAvgPreserved: {  // Eq. 21 (Cimellaro)
+      const std::size_t last = ctx.times.size() - 1;
+      if (ctx.trough == 0 || ctx.trough >= last) {
+        // Degenerate trough: fall back to the plain average over the series.
+        return window_sum(ctx.times, ctx.value, 0, last) /
+               (ctx.times[last] - ctx.times[0]);
+      }
+      const double before = window_sum(ctx.times, ctx.value, 0, ctx.trough) /
+                            (ctx.times[ctx.trough] - ctx.times[0]);
+      const double after = window_sum(ctx.times, ctx.value, ctx.trough, last) /
+                           (ctx.times[last] - ctx.times[ctx.trough]);
+      return ctx.alpha_weight * before + (1.0 - ctx.alpha_weight) * after;
+    }
+  }
+  throw std::logic_error("compute_metric: unknown metric");
+}
+
+// Trough sample index per the paper: the observed minimum when it falls
+// strictly inside the fitting window, else the sample nearest the
+// model-predicted trough time.
+std::size_t resolve_trough_index(const FitResult& fit) {
+  const data::PerformanceSeries fit_window = fit.fit_window();
+  const std::size_t observed = fit_window.trough_index();
+  if (observed + 1 < fit_window.size()) return observed;
+
+  const double t_model = predict_trough_time(fit);
+  const auto times = fit.series().times();
+  std::size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    const double d = std::fabs(times[i] - t_model);
+    if (d < best_dist) {
+      best_dist = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+double relative_error(double actual, double predicted) {
+  if (std::fabs(actual) < 1e-12) return std::fabs(actual - predicted);
+  return std::fabs((actual - predicted) / actual);  // Eq. 22, magnitude
+}
+
+}  // namespace
+
+MetricValue predictive_metric(const FitResult& fit, MetricKind kind,
+                              const MetricOptions& options) {
+  if (fit.holdout() < 1) {
+    throw std::invalid_argument("predictive_metric: fit has no holdout window");
+  }
+  const data::PerformanceSeries& series = fit.series();
+  const std::size_t w0 = fit.fit_count();  // first held-out sample (t_h)
+  const std::size_t w1 = series.size() - 1;
+  const std::size_t trough = resolve_trough_index(fit);
+
+  MetricContext actual_ctx;
+  actual_ctx.times = series.times();
+  actual_ctx.value = [&series](std::size_t i) { return series.value(i); };
+  actual_ctx.w0 = w0;
+  actual_ctx.w1 = w1;
+  actual_ctx.trough = trough;
+  actual_ctx.nominal = series.value(w0);
+  actual_ctx.alpha_weight = options.alpha_weight;
+
+  const std::vector<double> predicted_curve = fit.predictions();
+  MetricContext model_ctx = actual_ctx;
+  model_ctx.value = [&predicted_curve](std::size_t i) { return predicted_curve[i]; };
+  model_ctx.nominal = predicted_curve[w0];
+
+  MetricValue out;
+  out.kind = kind;
+  out.actual = compute_metric(actual_ctx, kind);
+  out.predicted = compute_metric(model_ctx, kind);
+  out.relative_error = relative_error(out.actual, out.predicted);
+  return out;
+}
+
+std::vector<MetricValue> predictive_metrics(const FitResult& fit,
+                                            const MetricOptions& options) {
+  std::vector<MetricValue> out;
+  out.reserve(kAllMetrics.size());
+  for (MetricKind kind : kAllMetrics) {
+    out.push_back(predictive_metric(fit, kind, options));
+  }
+  return out;
+}
+
+double continuous_metric(const ResilienceModel& model, const num::Vector& params,
+                         MetricKind kind, double t_h, double t_r, double t_d,
+                         double t_end, const MetricOptions& options) {
+  if (!(t_r > t_h)) {
+    throw std::invalid_argument("continuous_metric: requires t_r > t_h");
+  }
+  const double duration = t_r - t_h;
+  const double nominal = model.evaluate(t_h, params);
+  const auto area = [&model, &params](double a, double b) {
+    return curve_area(model, params, a, b);
+  };
+  switch (kind) {
+    case MetricKind::kPerformancePreserved:  // Eq. 14
+      return area(t_h, t_r);
+    case MetricKind::kPerformanceLost:  // Eq. 16
+      return nominal * duration - area(t_h, t_r);
+    case MetricKind::kNormalizedAvgPreserved:  // Eq. 15
+      return area(t_h, t_r) / (nominal * duration);
+    case MetricKind::kNormalizedAvgLost:  // Eq. 17
+      return (nominal * duration - area(t_h, t_r)) / (nominal * duration);
+    case MetricKind::kPreservedFromMinimum:  // Eq. 18
+      return area(t_d, t_end) - model.evaluate(t_d, params) * (t_end - t_d);
+    case MetricKind::kAvgPreserved:  // Eq. 19
+      return area(t_h, t_r) / duration;
+    case MetricKind::kAvgLost:  // Eq. 20
+      return (nominal * duration - area(t_h, t_r)) / duration;
+    case MetricKind::kWeightedAvgPreserved: {  // Eq. 21
+      if (!(t_d > t_h) || !(t_end > t_d)) {
+        return area(t_h, t_end) / std::max(t_end - t_h, 1e-12);
+      }
+      const double before = area(t_h, t_d) / (t_d - t_h);
+      const double after = area(t_d, t_end) / (t_end - t_d);
+      return options.alpha_weight * before + (1.0 - options.alpha_weight) * after;
+    }
+  }
+  throw std::logic_error("continuous_metric: unknown metric");
+}
+
+double retrospective_metric(const data::PerformanceSeries& series, MetricKind kind,
+                            std::size_t i0, std::size_t i1, const MetricOptions& options) {
+  if (i1 >= series.size() || i0 > i1) {
+    throw std::invalid_argument("retrospective_metric: bad index window");
+  }
+  MetricContext ctx;
+  ctx.times = series.times();
+  ctx.value = [&series](std::size_t i) { return series.value(i); };
+  ctx.w0 = i0;
+  ctx.w1 = i1;
+  ctx.trough = series.trough_index();
+  ctx.nominal = series.value(i0);
+  ctx.alpha_weight = options.alpha_weight;
+  return compute_metric(ctx, kind);
+}
+
+}  // namespace prm::core

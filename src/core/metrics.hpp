@@ -1,0 +1,84 @@
+// Interval-based resilience metrics (paper Section IV, Eqs. 14-21) in both
+// retrospective ("actual", computed from the observed samples) and
+// predictive ("predicted", computed from the fitted model) modes, plus the
+// relative error between them (Eq. 22).
+//
+// Conventions (back-solved from the paper's Table II; see DESIGN.md):
+//  * The predictive window runs from t_h := t_{n-l+1} (first held-out
+//    sample) to t_r := t_n (last sample).
+//  * Integrals over sampled windows are discrete sums sum_i P(t_i) * dt
+//    (dt = sample spacing), matching the paper's arithmetic
+//    (e.g. actual preserved 5.168 = sum of 5 monthly samples).
+//  * The nominal level is the value at t_h: R(t_h) for actual,
+//    P_hat(t_h) for predicted.
+//  * Eq. 18 (preserved from minimum) and Eq. 21 (weighted average) use the
+//    trough t_d: the observed trough when it lies inside the fitting window,
+//    otherwise the model-predicted trough. Eq. 21 spans the entire series
+//    with t_r = t_n and weight alpha (default 0.5).
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "core/fitting.hpp"
+
+namespace prm::core {
+
+enum class MetricKind {
+  kPerformancePreserved,        ///< Eq. 14: area under the curve.
+  kPerformanceLost,             ///< Eq. 16: area above the curve.
+  kNormalizedAvgPreserved,      ///< Eq. 15: preserved / (nominal * duration).
+  kNormalizedAvgLost,           ///< Eq. 17: lost / (nominal * duration).
+  kPreservedFromMinimum,        ///< Eq. 18 (Zobel).
+  kAvgPreserved,                ///< Eq. 19 (Reed et al.).
+  kAvgLost,                     ///< Eq. 20 (Reed et al.).
+  kWeightedAvgPreserved,        ///< Eq. 21 (Cimellaro et al.).
+};
+
+inline constexpr std::array<MetricKind, 8> kAllMetrics = {
+    MetricKind::kPerformancePreserved,   MetricKind::kPerformanceLost,
+    MetricKind::kNormalizedAvgPreserved, MetricKind::kNormalizedAvgLost,
+    MetricKind::kPreservedFromMinimum,   MetricKind::kAvgPreserved,
+    MetricKind::kAvgLost,                MetricKind::kWeightedAvgPreserved,
+};
+
+std::string_view to_string(MetricKind kind);
+
+struct MetricOptions {
+  double alpha_weight = 0.5;  ///< Eq. 21 weight (paper uses 0.5).
+};
+
+/// One row of the paper's Table II/IV.
+struct MetricValue {
+  MetricKind kind{};
+  double actual = 0.0;     ///< From the observed samples.
+  double predicted = 0.0;  ///< From the fitted model.
+  double relative_error = 0.0;  ///< Eq. 22: (actual - predicted) / actual.
+};
+
+/// All eight metrics for a fit. Requires holdout() >= 1.
+std::vector<MetricValue> predictive_metrics(const FitResult& fit,
+                                            const MetricOptions& options = {});
+
+/// A single metric in predictive mode.
+MetricValue predictive_metric(const FitResult& fit, MetricKind kind,
+                              const MetricOptions& options = {});
+
+/// Retrospective metric on raw samples over index window [i0, i1] with
+/// nominal level taken at i0 and trough at the observed minimum of the whole
+/// series. Provided for resilience assessment independent of any model.
+double retrospective_metric(const data::PerformanceSeries& series, MetricKind kind,
+                            std::size_t i0, std::size_t i1,
+                            const MetricOptions& options = {});
+
+/// Continuous-time metric on a model curve over [t_h, t_r]: the integrals of
+/// Eqs. 14-21 evaluated with the model's closed-form area (Eqs. 3/6) when it
+/// has one, adaptive quadrature otherwise -- no sampling grid involved.
+/// `t_end` is the series end used by Eq. 18/21 (pass t_r for a pure-interval
+/// reading); `t_d` is the trough time (Eq. 18/21). Throws
+/// std::invalid_argument for a degenerate window (t_r <= t_h).
+double continuous_metric(const ResilienceModel& model, const num::Vector& params,
+                         MetricKind kind, double t_h, double t_r, double t_d,
+                         double t_end, const MetricOptions& options = {});
+
+}  // namespace prm::core

@@ -1,0 +1,505 @@
+#include "core/mixture.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/special_functions.hpp"
+
+namespace prm::core {
+
+std::string_view to_string(Family family) {
+  switch (family) {
+    case Family::kExponential: return "exp";
+    case Family::kWeibull: return "wei";
+    case Family::kLogNormal: return "lognorm";
+    case Family::kGamma: return "gamma";
+    case Family::kLogLogistic: return "loglogis";
+    case Family::kGompertz: return "gompertz";
+  }
+  return "?";
+}
+
+std::string_view to_string(RecoveryTrend trend) {
+  switch (trend) {
+    case RecoveryTrend::kConstant: return "const";
+    case RecoveryTrend::kLinear: return "linear";
+    case RecoveryTrend::kExponential: return "exp";
+    case RecoveryTrend::kLogarithmic: return "log";
+  }
+  return "?";
+}
+
+std::string_view to_string(DegradationTrend trend) {
+  switch (trend) {
+    case DegradationTrend::kConstant: return "a1-const";
+    case DegradationTrend::kExpDecay: return "a1-expdecay";
+  }
+  return "?";
+}
+
+std::size_t family_num_parameters(Family family) {
+  switch (family) {
+    case Family::kExponential: return 1;
+    case Family::kWeibull:
+    case Family::kLogNormal:
+    case Family::kGamma:
+    case Family::kLogLogistic:
+    case Family::kGompertz: return 2;
+  }
+  throw std::logic_error("family_num_parameters: unknown family");
+}
+
+double family_cdf(Family family, std::span<const double> p, double t) {
+  if (p.size() != family_num_parameters(family)) {
+    throw std::invalid_argument("family_cdf: wrong parameter count");
+  }
+  if (t <= 0.0) return 0.0;
+  switch (family) {
+    case Family::kExponential:
+      return -std::expm1(-p[0] * t);
+    case Family::kWeibull:
+      return -std::expm1(-std::pow(t / p[0], p[1]));
+    case Family::kLogNormal:
+      return num::normal_cdf((std::log(t) - p[0]) / p[1]);
+    case Family::kGamma:
+      return num::gamma_p(p[0], t / p[1]);
+    case Family::kLogLogistic: {
+      const double z = std::pow(t / p[0], p[1]);
+      return z / (1.0 + z);
+    }
+    case Family::kGompertz:
+      return -std::expm1(-(p[0] / p[1]) * std::expm1(p[1] * t));
+  }
+  throw std::logic_error("family_cdf: unknown family");
+}
+
+double family_cdf_grad(Family family, std::span<const double> p, double t,
+                       std::span<double> grad) {
+  if (p.size() != family_num_parameters(family) || grad.size() != p.size()) {
+    throw std::invalid_argument("family_cdf_grad: wrong parameter/gradient count");
+  }
+  if (t <= 0.0) {
+    for (double& g : grad) g = 0.0;
+    return 0.0;
+  }
+  switch (family) {
+    case Family::kExponential: {
+      const double e = std::exp(-p[0] * t);
+      grad[0] = t * e;
+      return 1.0 - e;
+    }
+    case Family::kWeibull: {
+      // F = 1 - e^{-z}, z = (t/a)^k.
+      const double a = p[0];
+      const double k = p[1];
+      const double lr = std::log(t / a);
+      const double z = std::exp(k * lr);
+      const double e = std::exp(-z);
+      grad[0] = -e * z * k / a;  // dz/da = -k z / a
+      grad[1] = e * z * lr;      // dz/dk = z ln(t/a)
+      return -std::expm1(-z);
+    }
+    case Family::kLogNormal: {
+      const double u = (std::log(t) - p[0]) / p[1];
+      constexpr double kInvSqrt2Pi = 0.3989422804014326779;
+      const double phi = kInvSqrt2Pi * std::exp(-0.5 * u * u);
+      grad[0] = -phi / p[1];
+      grad[1] = -phi * u / p[1];
+      return num::normal_cdf(u);
+    }
+    case Family::kGamma: {
+      // F = P(k, t/theta). d/dtheta is analytic; d/dk by central difference.
+      const double k = p[0];
+      const double theta = p[1];
+      const double x = t / theta;
+      const double dens =
+          std::exp((k - 1.0) * std::log(x) - x - std::lgamma(k));  // dP/dx
+      grad[1] = -dens * x / theta;
+      const double h = 1e-6 * std::max(1.0, k);
+      grad[0] = (num::gamma_p(k + h, x) - num::gamma_p(k - h, x)) / (2.0 * h);
+      return num::gamma_p(k, x);
+    }
+    case Family::kLogLogistic: {
+      // F = z/(1+z), z = (t/a)^k; dF/dz = 1/(1+z)^2.
+      const double a = p[0];
+      const double k = p[1];
+      const double lr = std::log(t / a);
+      const double z = std::exp(k * lr);
+      const double dFdz = 1.0 / ((1.0 + z) * (1.0 + z));
+      grad[0] = dFdz * (-k * z / a);
+      grad[1] = dFdz * z * lr;
+      return z / (1.0 + z);
+    }
+    case Family::kGompertz: {
+      // F = 1 - e^{-u}, u = (b/c)(e^{ct} - 1).
+      const double b = p[0];
+      const double c = p[1];
+      const double em1 = std::expm1(c * t);
+      const double u = (b / c) * em1;
+      const double e = std::exp(-u);
+      const double du_db = em1 / c;
+      const double du_dc = b * (t * std::exp(c * t) / c - em1 / (c * c));
+      grad[0] = e * du_db;
+      grad[1] = e * du_dc;
+      return -std::expm1(-u);
+    }
+  }
+  throw std::logic_error("family_cdf_grad: unknown family");
+}
+
+namespace {
+
+std::string family_paper_label(Family f) {
+  switch (f) {
+    case Family::kExponential: return "Exp";
+    case Family::kWeibull: return "Wei";
+    case Family::kLogNormal: return "LogN";
+    case Family::kGamma: return "Gam";
+    case Family::kLogLogistic: return "LogL";
+    case Family::kGompertz: return "Gom";
+  }
+  return "?";
+}
+
+// Heuristic parameters for a degradation CDF whose mass sits around the
+// observed trough time.
+void degradation_guess(Family f, double trough_time, std::vector<double>* out) {
+  const double td = std::max(trough_time, 1.0);
+  switch (f) {
+    case Family::kExponential:
+      out->push_back(1.0 / (2.0 * td));  // gentle decay
+      break;
+    case Family::kWeibull:
+      out->push_back(1.5 * td);  // scale
+      out->push_back(2.0);       // shape: S-shaped decline
+      break;
+    case Family::kLogNormal:
+      out->push_back(std::log(td));
+      out->push_back(0.75);
+      break;
+    case Family::kGamma:
+      out->push_back(2.0);
+      out->push_back(td / 2.0);
+      break;
+    case Family::kLogLogistic:
+      out->push_back(1.5 * td);  // scale (median)
+      out->push_back(2.5);       // shape
+      break;
+    case Family::kGompertz:
+      // Median ~ td: ln(1 + c ln2 / b)/c with c fixed at a gentle 0.1.
+      out->push_back(std::log(2.0) * 0.1 / std::expm1(0.1 * td));
+      out->push_back(0.1);
+      break;
+  }
+}
+
+// Heuristic parameters for a recovery CDF that turns on after the trough.
+void recovery_guess(Family f, double trough_time, double horizon, std::vector<double>* out) {
+  const double mid = std::max(0.5 * (trough_time + horizon), 2.0);
+  switch (f) {
+    case Family::kExponential:
+      out->push_back(1.0 / mid);
+      break;
+    case Family::kWeibull:
+      out->push_back(mid);
+      out->push_back(2.0);
+      break;
+    case Family::kLogNormal:
+      out->push_back(std::log(mid));
+      out->push_back(0.75);
+      break;
+    case Family::kGamma:
+      out->push_back(2.0);
+      out->push_back(mid / 2.0);
+      break;
+    case Family::kLogLogistic:
+      out->push_back(mid);
+      out->push_back(2.5);
+      break;
+    case Family::kGompertz:
+      out->push_back(std::log(2.0) * 0.1 / std::expm1(0.1 * mid));
+      out->push_back(0.1);
+      break;
+  }
+}
+
+void family_box(Family f, double horizon, std::vector<double>* lo, std::vector<double>* hi) {
+  switch (f) {
+    case Family::kExponential:
+      lo->push_back(1e-4);
+      hi->push_back(1.0);
+      break;
+    case Family::kWeibull:
+      lo->push_back(1.0);
+      hi->push_back(3.0 * horizon);
+      lo->push_back(0.5);
+      hi->push_back(8.0);
+      break;
+    case Family::kLogNormal:
+      lo->push_back(0.0);
+      hi->push_back(std::log(3.0 * horizon));
+      lo->push_back(0.2);
+      hi->push_back(2.5);
+      break;
+    case Family::kGamma:
+      lo->push_back(0.5);
+      hi->push_back(8.0);
+      lo->push_back(0.5);
+      hi->push_back(horizon);
+      break;
+    case Family::kLogLogistic:
+      lo->push_back(1.0);
+      hi->push_back(3.0 * horizon);
+      lo->push_back(0.5);
+      hi->push_back(8.0);
+      break;
+    case Family::kGompertz:
+      lo->push_back(1e-5);
+      hi->push_back(0.5);
+      lo->push_back(1e-3);
+      hi->push_back(0.5);
+      break;
+  }
+}
+
+}  // namespace
+
+MixtureModel::MixtureModel(MixtureSpec spec)
+    : spec_(spec),
+      n1_(family_num_parameters(spec.degradation)),
+      n2_(family_num_parameters(spec.recovery)) {}
+
+std::string MixtureModel::paper_label() const {
+  return family_paper_label(spec_.degradation) + "-" + family_paper_label(spec_.recovery);
+}
+
+std::string MixtureModel::name() const {
+  std::string n = std::string("mix-") + std::string(to_string(spec_.degradation)) + "-" +
+                  std::string(to_string(spec_.recovery)) + "-" +
+                  std::string(to_string(spec_.trend));
+  if (has_theta()) n += "-a1decay";
+  return n;
+}
+
+std::string MixtureModel::description() const {
+  return "Mixture P(t) = (1 - F1(t)) + a2(t) F2(t) with F1 = " +
+         std::string(to_string(spec_.degradation)) +
+         ", F2 = " + std::string(to_string(spec_.recovery)) +
+         ", a2 trend = " + std::string(to_string(spec_.trend));
+}
+
+std::size_t MixtureModel::num_parameters() const {
+  return n1_ + n2_ + 1 + (has_theta() ? 1 : 0);
+}
+
+std::vector<std::string> MixtureModel::parameter_names() const {
+  std::vector<std::string> names;
+  const auto add = [&names](Family f, const std::string& prefix) {
+    switch (f) {
+      case Family::kExponential:
+        names.push_back(prefix + ".rate");
+        break;
+      case Family::kWeibull:
+        names.push_back(prefix + ".scale");
+        names.push_back(prefix + ".shape");
+        break;
+      case Family::kLogNormal:
+        names.push_back(prefix + ".mu");
+        names.push_back(prefix + ".sigma");
+        break;
+      case Family::kGamma:
+        names.push_back(prefix + ".shape");
+        names.push_back(prefix + ".scale");
+        break;
+      case Family::kLogLogistic:
+        names.push_back(prefix + ".scale");
+        names.push_back(prefix + ".shape");
+        break;
+      case Family::kGompertz:
+        names.push_back(prefix + ".rate");
+        names.push_back(prefix + ".shape");
+        break;
+    }
+  };
+  add(spec_.degradation, "F1");
+  add(spec_.recovery, "F2");
+  names.push_back("beta");
+  if (has_theta()) names.push_back("theta");
+  return names;
+}
+
+std::vector<opt::Bound> MixtureModel::parameter_bounds() const {
+  std::vector<opt::Bound> bounds;
+  const auto add = [&bounds](Family f) {
+    switch (f) {
+      case Family::kExponential:
+        bounds.push_back(opt::Bound::positive());
+        break;
+      case Family::kWeibull:
+      case Family::kGamma:
+      case Family::kLogLogistic:
+      case Family::kGompertz:
+        bounds.push_back(opt::Bound::positive());
+        bounds.push_back(opt::Bound::positive());
+        break;
+      case Family::kLogNormal:
+        bounds.push_back(opt::Bound::free());      // mu
+        bounds.push_back(opt::Bound::positive());  // sigma
+        break;
+    }
+  };
+  add(spec_.degradation);
+  add(spec_.recovery);
+  // beta > 0: all four trends are increasing recovery trends (paper
+  // Section V-A: "each of which corresponds to an increasing trend").
+  bounds.push_back(opt::Bound::positive());
+  if (has_theta()) bounds.push_back(opt::Bound::positive());
+  return bounds;
+}
+
+std::span<const double> MixtureModel::f1_params(const num::Vector& p) const {
+  return std::span<const double>(p).subspan(0, n1_);
+}
+
+std::span<const double> MixtureModel::f2_params(const num::Vector& p) const {
+  return std::span<const double>(p).subspan(n1_, n2_);
+}
+
+double MixtureModel::beta(const num::Vector& p) const { return p[n1_ + n2_]; }
+
+double MixtureModel::theta(const num::Vector& p) const {
+  if (!has_theta()) throw std::logic_error("MixtureModel::theta: a1 is constant");
+  return p[n1_ + n2_ + 1];
+}
+
+double MixtureModel::trend_basis(RecoveryTrend trend, double t) {
+  switch (trend) {
+    case RecoveryTrend::kConstant: return 1.0;
+    case RecoveryTrend::kLinear: return t;
+    case RecoveryTrend::kLogarithmic: return t > 0.0 ? std::log(t) : 0.0;
+    case RecoveryTrend::kExponential:
+      throw std::logic_error("trend_basis: exponential trend is not linear in beta");
+  }
+  throw std::logic_error("trend_basis: unknown trend");
+}
+
+double MixtureModel::recovery_term(double t, const num::Vector& p) const {
+  const double f2 = family_cdf(spec_.recovery, f2_params(p), t);
+  if (f2 == 0.0) return 0.0;
+  const double b = beta(p);
+  if (spec_.trend == RecoveryTrend::kExponential) {
+    return std::exp(b * t) * f2;
+  }
+  return b * trend_basis(spec_.trend, t) * f2;
+}
+
+double MixtureModel::evaluate(double t, const num::Vector& p) const {
+  if (p.size() != num_parameters()) {
+    throw std::invalid_argument("MixtureModel::evaluate: wrong parameter count");
+  }
+  double s1 = 1.0 - family_cdf(spec_.degradation, f1_params(p), t);
+  if (has_theta() && t > 0.0) s1 *= std::exp(-theta(p) * t);
+  return s1 + recovery_term(t, p);
+}
+
+num::Vector MixtureModel::gradient(double t, const num::Vector& p) const {
+  if (p.size() != num_parameters()) {
+    throw std::invalid_argument("MixtureModel::gradient: wrong parameter count");
+  }
+  num::Vector g(p.size(), 0.0);
+  // Degradation block: dP/dF1_j = -a1(t) dF1/dF1_j.
+  std::vector<double> g1(n1_);
+  const double f1 = family_cdf_grad(spec_.degradation, f1_params(p), t, g1);
+  const double a1 = (has_theta() && t > 0.0) ? std::exp(-theta(p) * t) : 1.0;
+  for (std::size_t j = 0; j < n1_; ++j) g[j] = -a1 * g1[j];
+
+  // Recovery block: dP/dF2_j = a2(t) * dF2/dF2_j; dP/dbeta from the trend.
+  std::vector<double> g2(n2_);
+  const double f2 = family_cdf_grad(spec_.recovery, f2_params(p), t, g2);
+  const double b = beta(p);
+  double a2 = 0.0;      // a2(t)
+  double da2_db = 0.0;  // d a2 / d beta
+  if (spec_.trend == RecoveryTrend::kExponential) {
+    a2 = std::exp(b * t);
+    da2_db = t * a2;
+  } else {
+    const double basis = trend_basis(spec_.trend, t);
+    a2 = b * basis;
+    da2_db = basis;
+  }
+  for (std::size_t j = 0; j < n2_; ++j) g[n1_ + j] = a2 * g2[j];
+  g[n1_ + n2_] = da2_db * f2;
+  if (has_theta()) {
+    // dP/dtheta = -t a1(t) S1(t).
+    g[n1_ + n2_ + 1] = (t > 0.0) ? -t * a1 * (1.0 - f1) : 0.0;
+  }
+  return g;
+}
+
+std::vector<num::Vector> MixtureModel::initial_guesses(
+    const data::PerformanceSeries& fit) const {
+  const double td = fit.trough_time();
+  const double tn = std::max(fit.times().back(), 2.0);
+  const double vn = fit.values().back();
+
+  const auto build = [&](double degradation_stretch) {
+    std::vector<double> p;
+    degradation_guess(spec_.degradation, td * degradation_stretch, &p);
+    recovery_guess(spec_.recovery, td, tn, &p);
+    // Solve beta from the terminal condition
+    //   vn = S1(tn) + a2(tn) F2(tn).
+    const double s1 = 1.0 - family_cdf(spec_.degradation,
+                                       std::span<const double>(p).subspan(0, n1_), tn);
+    const double f2 = family_cdf(spec_.recovery,
+                                 std::span<const double>(p).subspan(n1_, n2_), tn);
+    const double target = std::max(vn - s1, 1e-3);
+    double b = 0.1;
+    if (spec_.trend == RecoveryTrend::kExponential) {
+      b = std::log(std::max(target / std::max(f2, 1e-6), 1e-3)) / tn;
+      b = std::max(b, 1e-6);
+    } else {
+      const double basis = trend_basis(spec_.trend, tn);
+      if (basis * f2 > 1e-9) b = target / (basis * f2);
+      b = std::max(b, 1e-6);
+    }
+    p.push_back(b);
+    if (has_theta()) p.push_back(1e-3);  // near-constant a1 to start
+    return num::Vector(p.begin(), p.end());
+  };
+
+  return {build(1.0), build(2.5)};
+}
+
+std::pair<num::Vector, num::Vector> MixtureModel::search_box(
+    const data::PerformanceSeries& fit) const {
+  const double tn = std::max(fit.times().back(), 2.0);
+  std::vector<double> lo;
+  std::vector<double> hi;
+  family_box(spec_.degradation, tn, &lo, &hi);
+  family_box(spec_.recovery, tn, &lo, &hi);
+  switch (spec_.trend) {
+    case RecoveryTrend::kConstant:
+      lo.push_back(0.05);
+      hi.push_back(2.0);
+      break;
+    case RecoveryTrend::kLinear:
+      lo.push_back(1e-4);
+      hi.push_back(2.0 / tn);
+      break;
+    case RecoveryTrend::kLogarithmic:
+      lo.push_back(0.01);
+      hi.push_back(2.0);
+      break;
+    case RecoveryTrend::kExponential:
+      lo.push_back(1e-6);
+      hi.push_back(2.0 / tn);
+      break;
+  }
+  if (has_theta()) {
+    lo.push_back(1e-5);
+    hi.push_back(0.5);
+  }
+  return {num::Vector(lo.begin(), lo.end()), num::Vector(hi.begin(), hi.end())};
+}
+
+}  // namespace prm::core

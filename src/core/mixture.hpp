@@ -1,0 +1,119 @@
+// Mixture-distribution resilience models (paper Section II-B, Eq. 7):
+//
+//   P(t) = a1(t) * (1 - F1(t)) + a2(t) * F2(t)
+//
+// F1 models degradation (performance decays as F1 accumulates), F2 models
+// recovery. The recovery trend a2(t) is one of {beta, beta t, e^{beta t},
+// beta ln t}. F1/F2 may be any of the supported families; the paper
+// evaluates the four Exponential/Weibull pairings (Exp-Exp, Wei-Exp,
+// Exp-Wei, Wei-Wei) with a2(t) = beta ln t.
+//
+// The degradation transition a1(t): Eq. 7 requires lim_{t->0} a1 = 1 and
+// lim_{t->inf} a1 = 0, but the paper's evaluation "held [it] constant at
+// a1(t) = 1 for simplicity", violating the second limit. Both options are
+// provided: kConstant reproduces the paper; kExpDecay (a1 = e^{-theta t},
+// one extra parameter) satisfies Eq. 7's stated limits.
+//
+// Parameter layout: [F1 params..., F2 params..., beta, (theta)].
+//   Exponential: {rate}
+//   Weibull:     {scale, shape}
+//   LogNormal:   {mu, sigma}       (extension beyond the paper)
+//   Gamma:       {shape, scale}    (extension beyond the paper)
+//   LogLogistic: {scale, shape}    (extension beyond the paper)
+//   Gompertz:    {rate, shape}     (extension beyond the paper)
+#pragma once
+
+#include <span>
+
+#include "core/model.hpp"
+
+namespace prm::core {
+
+enum class Family {
+  kExponential,
+  kWeibull,
+  kLogNormal,
+  kGamma,
+  kLogLogistic,
+  kGompertz,
+};
+enum class RecoveryTrend { kConstant, kLinear, kExponential, kLogarithmic };
+
+/// The degradation transition a1(t) of Eq. 7 (see the header comment).
+enum class DegradationTrend {
+  kConstant,  ///< a1(t) = 1 (the paper's simplification).
+  kExpDecay,  ///< a1(t) = e^{-theta t}, theta > 0 (Eq. 7's stated limits).
+};
+
+std::string_view to_string(Family family);
+std::string_view to_string(RecoveryTrend trend);
+std::string_view to_string(DegradationTrend trend);
+
+/// Number of parameters of a family's CDF.
+std::size_t family_num_parameters(Family family);
+
+/// CDF of `family` at t with the given parameter slice.
+/// Throws std::invalid_argument on wrong parameter count.
+double family_cdf(Family family, std::span<const double> params, double t);
+
+/// CDF value plus the gradient dF/dparams (same length as `params`).
+/// Analytic for every family except the Gamma shape parameter, which uses a
+/// central difference (the digamma-series derivative is not worth the code).
+double family_cdf_grad(Family family, std::span<const double> params, double t,
+                       std::span<double> grad);
+
+struct MixtureSpec {
+  Family degradation = Family::kWeibull;     ///< F1
+  Family recovery = Family::kExponential;    ///< F2
+  RecoveryTrend trend = RecoveryTrend::kLogarithmic;  ///< a2(t) shape
+  DegradationTrend a1 = DegradationTrend::kConstant;  ///< a1(t) shape
+};
+
+class MixtureModel final : public ResilienceModel {
+ public:
+  explicit MixtureModel(MixtureSpec spec);
+
+  const MixtureSpec& spec() const noexcept { return spec_; }
+
+  /// Paper-style label, e.g. "Wei-Exp".
+  std::string paper_label() const;
+
+  std::string name() const override;
+  std::string description() const override;
+  std::size_t num_parameters() const override;
+  std::vector<std::string> parameter_names() const override;
+  std::vector<opt::Bound> parameter_bounds() const override;
+
+  double evaluate(double t, const num::Vector& params) const override;
+
+  /// Analytic dP/dparams (see family_cdf_grad for the one FD exception).
+  num::Vector gradient(double t, const num::Vector& params) const override;
+
+  std::vector<num::Vector> initial_guesses(
+      const data::PerformanceSeries& fit_window) const override;
+  std::pair<num::Vector, num::Vector> search_box(
+      const data::PerformanceSeries& fit_window) const override;
+
+  std::unique_ptr<ResilienceModel> clone() const override {
+    return std::make_unique<MixtureModel>(*this);
+  }
+
+  /// The recovery-trend basis g(t) with a2(t) = beta * g(t) for the linear-
+  /// in-beta trends; returns e^{beta t} handling inside evaluate() for the
+  /// exponential trend. Exposed for tests.
+  static double trend_basis(RecoveryTrend trend, double t);
+
+ private:
+  std::span<const double> f1_params(const num::Vector& p) const;
+  std::span<const double> f2_params(const num::Vector& p) const;
+  double beta(const num::Vector& p) const;
+  bool has_theta() const { return spec_.a1 == DegradationTrend::kExpDecay; }
+  double theta(const num::Vector& p) const;
+  double recovery_term(double t, const num::Vector& p) const;
+
+  MixtureSpec spec_;
+  std::size_t n1_;  ///< F1 parameter count
+  std::size_t n2_;  ///< F2 parameter count
+};
+
+}  // namespace prm::core

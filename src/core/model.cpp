@@ -1,0 +1,97 @@
+#include "core/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/bathtub.hpp"
+#include "core/mixture.hpp"
+#include "core/segmented.hpp"
+
+namespace prm::core {
+
+num::Vector ResilienceModel::gradient(double t, const num::Vector& params) const {
+  num::Vector g(params.size());
+  num::Vector p = params;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const double h =
+        std::cbrt(std::numeric_limits<double>::epsilon()) * std::max(1.0, std::fabs(p[i]));
+    const double orig = p[i];
+    p[i] = orig + h;
+    const double fp = evaluate(t, p);
+    p[i] = orig - h;
+    const double fm = evaluate(t, p);
+    p[i] = orig;
+    g[i] = (fp - fm) / (2.0 * h);
+  }
+  return g;
+}
+
+std::optional<double> ResilienceModel::area_closed_form(const num::Vector&, double,
+                                                        double) const {
+  return std::nullopt;
+}
+
+std::optional<double> ResilienceModel::recovery_time_closed_form(const num::Vector&, double,
+                                                                 double) const {
+  return std::nullopt;
+}
+
+std::optional<double> ResilienceModel::trough_closed_form(const num::Vector&) const {
+  return std::nullopt;
+}
+
+ModelRegistry& ModelRegistry::instance() {
+  static ModelRegistry registry = [] {
+    ModelRegistry r;
+    r.register_model("quadratic", [] { return ModelPtr(new QuadraticBathtubModel()); });
+    r.register_model("competing-risks", [] { return ModelPtr(new CompetingRisksModel()); });
+    r.register_model("segmented-quadratic",
+                     [] { return ModelPtr(new SegmentedQuadraticModel()); });
+    // The four mixture families the paper evaluates (Table III), with the
+    // beta*ln(t) recovery trend the paper reports results for.
+    const auto add_mix = [&r](Family f1, Family f2) {
+      MixtureSpec spec{f1, f2, RecoveryTrend::kLogarithmic};
+      r.register_model(MixtureModel(spec).name(),
+                       [spec] { return ModelPtr(new MixtureModel(spec)); });
+    };
+    add_mix(Family::kExponential, Family::kExponential);
+    add_mix(Family::kWeibull, Family::kExponential);
+    add_mix(Family::kExponential, Family::kWeibull);
+    add_mix(Family::kWeibull, Family::kWeibull);
+    return r;
+  }();
+  return registry;
+}
+
+void ModelRegistry::register_model(const std::string& name, Factory factory) {
+  if (!factory) throw std::invalid_argument("ModelRegistry: null factory");
+  for (auto& [n, f] : factories_) {
+    if (n == name) {
+      f = std::move(factory);
+      return;
+    }
+  }
+  factories_.emplace_back(name, std::move(factory));
+}
+
+ModelPtr ModelRegistry::create(const std::string& name) const {
+  for (const auto& [n, f] : factories_) {
+    if (n == name) return f();
+  }
+  throw std::out_of_range("ModelRegistry: unknown model: " + name);
+}
+
+bool ModelRegistry::contains(const std::string& name) const {
+  return std::any_of(factories_.begin(), factories_.end(),
+                     [&](const auto& p) { return p.first == name; });
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [n, f] : factories_) out.push_back(n);
+  return out;
+}
+
+}  // namespace prm::core

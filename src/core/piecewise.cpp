@@ -1,0 +1,56 @@
+#include "core/piecewise.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace prm::core {
+
+PiecewiseResilienceCurve::PiecewiseResilienceCurve(
+    std::shared_ptr<const ResilienceModel> model, num::Vector params, double t_hazard,
+    double t_recovery, double nominal)
+    : model_(std::move(model)),
+      params_(std::move(params)),
+      t_hazard_(t_hazard),
+      t_recovery_(t_recovery),
+      nominal_(nominal),
+      c_(1.0) {
+  if (!model_) throw std::invalid_argument("PiecewiseResilienceCurve: null model");
+  if (!(t_recovery_ > t_hazard_)) {
+    throw std::invalid_argument("PiecewiseResilienceCurve: requires t_recovery > t_hazard");
+  }
+  if (!(nominal_ > 0.0)) {
+    throw std::invalid_argument("PiecewiseResilienceCurve: nominal must be positive");
+  }
+  const double at_zero = model_->evaluate(0.0, params_);
+  if (!(std::fabs(at_zero) > 1e-300)) {
+    throw std::domain_error("PiecewiseResilienceCurve: model value at t=0 is zero");
+  }
+  c_ = nominal_ / at_zero;
+}
+
+double PiecewiseResilienceCurve::steady_state() const {
+  return c_ * model_->evaluate(t_recovery_ - t_hazard_, params_);
+}
+
+double PiecewiseResilienceCurve::evaluate(double t) const {
+  if (t < t_hazard_) return nominal_;
+  if (t >= t_recovery_) return steady_state();
+  return c_ * model_->evaluate(t - t_hazard_, params_);
+}
+
+data::PerformanceSeries PiecewiseResilienceCurve::sample(double t0, double t1,
+                                                         std::size_t count,
+                                                         std::string name) const {
+  if (count < 2) throw std::invalid_argument("PiecewiseResilienceCurve::sample: count < 2");
+  if (!(t1 > t0)) throw std::invalid_argument("PiecewiseResilienceCurve::sample: t1 <= t0");
+  std::vector<double> times(count);
+  std::vector<double> values(count);
+  const double h = (t1 - t0) / static_cast<double>(count - 1);
+  for (std::size_t i = 0; i < count; ++i) {
+    times[i] = t0 + static_cast<double>(i) * h;
+    values[i] = evaluate(times[i]);
+  }
+  return data::PerformanceSeries(std::move(name), std::move(times), std::move(values));
+}
+
+}  // namespace prm::core

@@ -1,0 +1,53 @@
+// Piecewise resilience curve (paper Section II-A, the unnumbered piecewise
+// definition and conceptual Figure 1):
+//
+//          | P(t_h)                    t <  t_h   (nominal, pre-hazard)
+//   P(t) = | c * lambda(t - t_h)       t_h <= t < t_r  (bathtub transient)
+//          | P(t_r)                    t >= t_r   (new steady state)
+//
+// The continuity constant c scales the inner model so the curve is
+// continuous at t_h. The steady-state level after t_r is whatever the inner
+// model predicts at t_r, so recovery may end degraded, nominal, or improved
+// -- the three outcomes of Figure 1.
+#pragma once
+
+#include "core/model.hpp"
+
+namespace prm::core {
+
+class PiecewiseResilienceCurve {
+ public:
+  /// `model` + `params` describe the transient between hazard time t_h and
+  /// recovery time t_r (both in absolute time, t_r > t_h). `nominal` is the
+  /// pre-hazard performance level P(t_h).
+  PiecewiseResilienceCurve(std::shared_ptr<const ResilienceModel> model,
+                           num::Vector params, double t_hazard, double t_recovery,
+                           double nominal);
+
+  double t_hazard() const noexcept { return t_hazard_; }
+  double t_recovery() const noexcept { return t_recovery_; }
+  double nominal() const noexcept { return nominal_; }
+
+  /// Continuity constant c = nominal / model(0).
+  double continuity_constant() const noexcept { return c_; }
+
+  /// Steady-state level after recovery, c * model(t_r - t_h).
+  double steady_state() const;
+
+  /// The piecewise curve value at absolute time t.
+  double evaluate(double t) const;
+
+  /// Sampled curve on [t0, t1] with `count` uniform points (for plotting).
+  data::PerformanceSeries sample(double t0, double t1, std::size_t count,
+                                 std::string name = "piecewise") const;
+
+ private:
+  std::shared_ptr<const ResilienceModel> model_;
+  num::Vector params_;
+  double t_hazard_;
+  double t_recovery_;
+  double nominal_;
+  double c_;
+};
+
+}  // namespace prm::core

@@ -1,0 +1,78 @@
+#include "core/rolling.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace prm::core {
+
+std::size_t RollingResult::stable_origin(double threshold) const {
+  std::size_t candidate = std::numeric_limits<std::size_t>::max();
+  for (const RollingPoint& p : points) {
+    if (!p.fit_succeeded || p.pmse > threshold) {
+      candidate = std::numeric_limits<std::size_t>::max();
+    } else if (candidate == std::numeric_limits<std::size_t>::max()) {
+      candidate = p.origin;
+    }
+  }
+  return candidate;
+}
+
+RollingResult rolling_origin(const std::string& model_name,
+                             const data::PerformanceSeries& series,
+                             const RollingOptions& options) {
+  const ModelPtr model = ModelRegistry::instance().create(model_name);
+  std::size_t first = options.min_origin;
+  if (first == 0) first = model->num_parameters() + 2;
+  if (options.horizon == 0 || options.stride == 0) {
+    throw std::invalid_argument("rolling_origin: horizon and stride must be positive");
+  }
+  if (first + 1 >= series.size()) {
+    throw std::invalid_argument("rolling_origin: series too short for any origin");
+  }
+
+  RollingResult result;
+  result.error_by_horizon.assign(options.horizon, 0.0);
+  std::vector<std::size_t> horizon_counts(options.horizon, 0);
+
+  for (std::size_t origin = first; origin < series.size(); origin += options.stride) {
+    const std::size_t available = series.size() - origin;
+    const std::size_t h = std::min(options.horizon, available);
+    if (h == 0) break;
+
+    RollingPoint point;
+    point.origin = origin;
+
+    // Fit on the first `origin` samples only (holdout = 0 within that
+    // prefix); forecast the h samples beyond it.
+    const data::PerformanceSeries prefix = series.head(origin);
+    FitResult fit = fit_model(*model, prefix, 0, options.fit);
+    point.fit_succeeded = fit.success();
+    if (point.fit_succeeded) {
+      double se = 0.0;
+      double ape = 0.0;
+      for (std::size_t j = 0; j < h; ++j) {
+        const std::size_t idx = origin + j;
+        const double err = series.value(idx) - fit.evaluate(series.time(idx));
+        se += err * err;
+        if (series.value(idx) != 0.0) {
+          ape += std::fabs(err / series.value(idx));
+        }
+        point.abs_errors.push_back(std::fabs(err));
+        result.error_by_horizon[j] += std::fabs(err);
+        ++horizon_counts[j];
+      }
+      point.pmse = se / static_cast<double>(h);
+      point.mape = 100.0 * ape / static_cast<double>(h);
+    }
+    result.points.push_back(std::move(point));
+  }
+
+  for (std::size_t j = 0; j < options.horizon; ++j) {
+    if (horizon_counts[j] > 0) {
+      result.error_by_horizon[j] /= static_cast<double>(horizon_counts[j]);
+    }
+  }
+  return result;
+}
+
+}  // namespace prm::core

@@ -1,0 +1,48 @@
+// Rolling-origin (expanding window) forecast evaluation.
+//
+// The paper fits once at the 90% mark and scores the last 10%. An emergency
+// manager's real question is earlier: "how many months into a disruption can
+// I start trusting the model?" Rolling-origin evaluation answers it: for
+// each origin k, fit on the first k samples, forecast the next h, score, and
+// slide. Produces the PMSE-vs-origin curve and per-horizon error profiles.
+#pragma once
+
+#include "core/fitting.hpp"
+
+namespace prm::core {
+
+struct RollingOptions {
+  std::size_t min_origin = 0;   ///< First origin (0 -> num_parameters + 2).
+  std::size_t horizon = 5;      ///< Forecast length at each origin.
+  std::size_t stride = 1;       ///< Origin step.
+  FitOptions fit;
+};
+
+/// One origin's outcome.
+struct RollingPoint {
+  std::size_t origin = 0;       ///< Samples used for fitting.
+  double pmse = 0.0;            ///< Mean squared error over the horizon.
+  double mape = 0.0;            ///< Mean absolute percentage error (%).
+  bool fit_succeeded = false;
+  std::vector<double> abs_errors;  ///< |error| per horizon step (size <= horizon).
+};
+
+struct RollingResult {
+  std::vector<RollingPoint> points;
+
+  /// Mean |error| at each forecast step h = 1..horizon, averaged over all
+  /// origins that reached that step.
+  std::vector<double> error_by_horizon;
+
+  /// Earliest origin whose pmse drops below `threshold` and STAYS below it
+  /// for every later origin; std::numeric_limits<std::size_t>::max() if none.
+  std::size_t stable_origin(double threshold) const;
+};
+
+/// Evaluate `model_name` on `series` over expanding origins. Throws
+/// std::invalid_argument if the series is too short for a single origin.
+RollingResult rolling_origin(const std::string& model_name,
+                             const data::PerformanceSeries& series,
+                             const RollingOptions& options = {});
+
+}  // namespace prm::core

@@ -1,0 +1,66 @@
+#include "core/scorecard.hpp"
+
+#include <algorithm>
+
+#include "data/shape.hpp"
+
+namespace prm::core {
+
+ScorecardEntry assess_event(const data::PerformanceSeries& series,
+                            const ScorecardOptions& options) {
+  if (series.size() < 4) {
+    throw std::invalid_argument("assess_event: need at least 4 samples");
+  }
+  ScorecardEntry entry;
+  entry.name = series.name();
+  entry.shape = data::classify_shape(series);
+  entry.duration = series.size();
+
+  const std::size_t trough = series.trough_index();
+  entry.depth = 1.0 - series.trough_value() / series.value(0);
+  entry.months_to_trough = trough;
+  for (std::size_t i = trough; i < series.size(); ++i) {
+    if (series.value(i) >= series.value(0)) {
+      entry.months_to_recovery = i - trough;
+      break;
+    }
+  }
+
+  entry.metrics.reserve(kAllMetrics.size());
+  for (MetricKind kind : kAllMetrics) {
+    MetricValue v;
+    v.kind = kind;
+    v.actual = retrospective_metric(series, kind, 0, series.size() - 1, options.metrics);
+    v.predicted = v.actual;  // retrospective mode: the data IS the answer
+    v.relative_error = 0.0;
+    entry.metrics.push_back(v);
+    if (kind == MetricKind::kNormalizedAvgPreserved) {
+      entry.resilience_score = v.actual;
+    }
+  }
+  return entry;
+}
+
+std::vector<ScorecardEntry> scorecard(const std::vector<data::PerformanceSeries>& events,
+                                      const ScorecardOptions& options) {
+  std::vector<ScorecardEntry> out;
+  out.reserve(events.size());
+  for (const data::PerformanceSeries& s : events) out.push_back(assess_event(s, options));
+  std::sort(out.begin(), out.end(), [](const ScorecardEntry& a, const ScorecardEntry& b) {
+    if (a.resilience_score != b.resilience_score) {
+      return a.resilience_score > b.resilience_score;
+    }
+    return a.depth < b.depth;
+  });
+  return out;
+}
+
+std::vector<ScorecardEntry> recession_scorecard(const ScorecardOptions& options) {
+  std::vector<data::PerformanceSeries> events;
+  for (const data::RecessionDataset& d : data::recession_catalog()) {
+    events.push_back(d.series);
+  }
+  return scorecard(events, options);
+}
+
+}  // namespace prm::core

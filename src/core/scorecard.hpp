@@ -1,0 +1,49 @@
+// Retrospective resilience scorecard.
+//
+// The metrics of Section IV were designed for retrospective assessment
+// ("how resilient WAS the system through this event?") before the paper
+// turned them predictive. This module applies them that way: given a set of
+// completed events, compute all eight metrics over each full event window
+// and rank the events. This is what a resilience office publishes after the
+// fact, and the natural companion to the predictive pipeline.
+#pragma once
+
+#include "core/metrics.hpp"
+#include "data/recessions.hpp"
+
+namespace prm::core {
+
+/// One event's retrospective assessment.
+struct ScorecardEntry {
+  std::string name;
+  data::RecessionShape shape{};            ///< Classifier output.
+  std::size_t duration = 0;                ///< Samples in the event window.
+  double depth = 0.0;                      ///< 1 - trough value (fraction of nominal).
+  std::size_t months_to_trough = 0;
+  /// Samples from trough until the curve first regains its starting level;
+  /// nullopt when it never does within the window.
+  std::optional<std::size_t> months_to_recovery;
+  /// All eight Section-IV metrics over the full event window [t_0, t_n].
+  std::vector<MetricValue> metrics;        ///< actual == predicted == data value.
+  /// The ranking key: normalized average performance preserved (Eq. 15) --
+  /// scale-free, so deep-and-long events score low regardless of duration.
+  double resilience_score = 0.0;
+};
+
+struct ScorecardOptions {
+  MetricOptions metrics;
+};
+
+/// Assess one completed event over its full window.
+ScorecardEntry assess_event(const data::PerformanceSeries& series,
+                            const ScorecardOptions& options = {});
+
+/// Assess a set of events and sort by resilience_score, most resilient
+/// first. Ties broken by shallower depth.
+std::vector<ScorecardEntry> scorecard(const std::vector<data::PerformanceSeries>& events,
+                                      const ScorecardOptions& options = {});
+
+/// Convenience: the seven-recession catalog.
+std::vector<ScorecardEntry> recession_scorecard(const ScorecardOptions& options = {});
+
+}  // namespace prm::core

@@ -1,0 +1,87 @@
+#include "core/segmented.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace prm::core {
+
+namespace {
+void require_params(const num::Vector& p) {
+  if (p.size() != 6) {
+    throw std::invalid_argument("segmented-quadratic: expected 6 parameters");
+  }
+}
+}  // namespace
+
+std::vector<opt::Bound> SegmentedQuadraticModel::parameter_bounds() const {
+  return {
+      opt::Bound::positive(),  // alpha: performance at t = 0
+      opt::Bound::negative(),  // beta1: first decline
+      opt::Bound::positive(),  // gamma1: first recovery
+      opt::Bound::negative(),  // beta2: second decline
+      opt::Bound::positive(),  // gamma2: second recovery
+      opt::Bound::interval(kTauLo, kTauHi),
+  };
+}
+
+double SegmentedQuadraticModel::evaluate(double t, const num::Vector& p) const {
+  require_params(p);
+  const double tau = p[5];
+  if (t < tau) {
+    return p[0] + p[1] * t + p[2] * t * t;
+  }
+  const double at_tau = p[0] + p[1] * tau + p[2] * tau * tau;
+  const double s = t - tau;
+  return at_tau + p[3] * s + p[4] * s * s;
+}
+
+num::Vector SegmentedQuadraticModel::gradient(double t, const num::Vector& p) const {
+  require_params(p);
+  const double tau = p[5];
+  if (t < tau) {
+    return {1.0, t, t * t, 0.0, 0.0, 0.0};
+  }
+  const double s = t - tau;
+  // d/dtau: q1'(tau) from the continuity term, minus the shift of segment 2.
+  const double dtau = (p[1] + 2.0 * p[2] * tau) - p[3] - 2.0 * p[4] * s;
+  return {1.0, tau, tau * tau, s, s * s, dtau};
+}
+
+std::vector<num::Vector> SegmentedQuadraticModel::initial_guesses(
+    const data::PerformanceSeries& fit) const {
+  const double tn = std::max(fit.times().back(), 4.0);
+  const double v0 = std::max(fit.value(0), 1e-3);
+
+  // Build a guess with the breakpoint at fraction f of the window: fit crude
+  // bathtubs to each side from the local troughs.
+  const auto build = [&](double f) {
+    const double tau = std::clamp(f * tn, kTauLo + 0.5, kTauHi - 0.5);
+    // First segment: vertex near the trough of [0, tau].
+    std::size_t i_tau = 0;
+    while (i_tau + 1 < fit.size() && fit.time(i_tau + 1) <= tau) ++i_tau;
+    const auto first = fit.head(std::max<std::size_t>(i_tau + 1, 3));
+    const double td1 = std::max(first.trough_time(), 0.5);
+    const double d1 = std::max(v0 - first.trough_value(), 1e-4);
+    const double g1 = d1 / (td1 * td1);
+    // Second segment: symmetric guess over the remaining span.
+    const double span2 = std::max(tn - tau, 2.0);
+    const double d2 = 0.5 * d1;
+    const double g2 = std::max(4.0 * d2 / (span2 * span2), 1e-8);
+    return num::Vector{v0, -2.0 * g1 * td1, g1, -0.8 * g2 * span2, g2, tau};
+  };
+  return {build(0.3), build(0.45), build(0.6)};
+}
+
+std::pair<num::Vector, num::Vector> SegmentedQuadraticModel::search_box(
+    const data::PerformanceSeries& fit) const {
+  const double tn = std::max(fit.times().back(), 4.0);
+  const double scale = std::max(fit.value(0), 0.1);
+  const double tau_lo = std::max(kTauLo + 0.5, 0.15 * tn);
+  const double tau_hi = std::min(kTauHi - 0.5, 0.85 * tn);
+  num::Vector lo = {0.7 * scale, -2.0 * scale / tn, 1e-8, -2.0 * scale / tn, 1e-8, tau_lo};
+  num::Vector hi = {1.3 * scale, -1e-8, 4.0 * scale / (tn * tn),
+                    -1e-8, 4.0 * scale / (tn * tn), tau_hi};
+  return {lo, hi};
+}
+
+}  // namespace prm::core

@@ -1,0 +1,58 @@
+// Segmented quadratic bathtub: the paper's "future research" direction made
+// concrete. Both paper model families assume a single decline and a single
+// recovery, which is exactly why the W-shaped 1980 recession defeats them
+// (Section V / conclusions: curves that "deviate from the assumption of a
+// single decrease and subsequent increase cannot be characterized").
+//
+// This model chains TWO quadratic bathtubs at a fitted breakpoint tau,
+// continuous by construction:
+//
+//   P(t) = alpha + beta1 t + gamma1 t^2                    for t <  tau
+//   P(t) = P(tau) + beta2 (t - tau) + gamma2 (t - tau)^2   for t >= tau
+//
+// Parameters [alpha, beta1, gamma1, beta2, gamma2, tau]: the first bathtub's
+// decline/recovery, the second dip's decline/recovery, and the regime break.
+// Six parameters against the single quadratic's three -- the price of the
+// second dip, reported honestly via AIC/BIC in the validation layer.
+#pragma once
+
+#include "core/model.hpp"
+
+namespace prm::core {
+
+class SegmentedQuadraticModel final : public ResilienceModel {
+ public:
+  /// tau is constrained to (tau_lo_fraction, tau_hi_fraction) of the fit
+  /// window's time span via an interval bound computed per fit; defaults
+  /// keep the breakpoint away from either edge.
+  SegmentedQuadraticModel() = default;
+
+  std::string name() const override { return "segmented-quadratic"; }
+  std::string description() const override {
+    return "Two chained quadratic bathtubs with a fitted breakpoint (W-shape capable)";
+  }
+  std::size_t num_parameters() const override { return 6; }
+  std::vector<std::string> parameter_names() const override {
+    return {"alpha", "beta1", "gamma1", "beta2", "gamma2", "tau"};
+  }
+  std::vector<opt::Bound> parameter_bounds() const override;
+
+  double evaluate(double t, const num::Vector& params) const override;
+  num::Vector gradient(double t, const num::Vector& params) const override;
+
+  std::vector<num::Vector> initial_guesses(
+      const data::PerformanceSeries& fit_window) const override;
+  std::pair<num::Vector, num::Vector> search_box(
+      const data::PerformanceSeries& fit_window) const override;
+
+  std::unique_ptr<ResilienceModel> clone() const override {
+    return std::make_unique<SegmentedQuadraticModel>(*this);
+  }
+
+  /// Fixed bound on tau used by parameter_bounds(); generous enough for any
+  /// monthly dataset in this repo (breakpoint within (1, 200)).
+  static constexpr double kTauLo = 1.0;
+  static constexpr double kTauHi = 200.0;
+};
+
+}  // namespace prm::core

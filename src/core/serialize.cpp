@@ -1,0 +1,140 @@
+#include "core/serialize.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace prm::core {
+
+namespace {
+
+constexpr int kFormatVersion = 1;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("load_fit: " + what);
+}
+
+std::string expect_key(std::istream& in, const std::string& key) {
+  std::string k;
+  if (!(in >> k)) fail("unexpected end of input, wanted '" + key + "'");
+  if (k != key) fail("expected '" + key + "', found '" + k + "'");
+  return k;
+}
+
+std::vector<double> read_doubles(std::istream& in) {
+  std::size_t n = 0;
+  if (!(in >> n)) fail("missing count");
+  std::vector<double> v(n);
+  for (double& x : v) {
+    if (!(in >> x)) fail("truncated numeric list");
+  }
+  return v;
+}
+
+opt::StopReason parse_stop(const std::string& s) {
+  if (s == "converged") return opt::StopReason::kConverged;
+  if (s == "max-iterations") return opt::StopReason::kMaxIterations;
+  if (s == "stalled") return opt::StopReason::kStalled;
+  return opt::StopReason::kNumericalFailure;
+}
+
+}  // namespace
+
+void save_fit(std::ostream& out, const FitResult& fit) {
+  const std::string name = fit.model().name();
+  if (!ModelRegistry::instance().contains(name)) {
+    throw std::invalid_argument("save_fit: model '" + name +
+                                "' is not registered; loading would fail");
+  }
+  if (fit.series().name().find('\n') != std::string::npos) {
+    throw std::invalid_argument("save_fit: series name must not contain newlines");
+  }
+  out << "prm-fit " << kFormatVersion << '\n';
+  out << "model " << name << '\n';
+  out << "holdout " << fit.holdout() << '\n';
+  out << std::setprecision(17);
+  out << "parameters " << fit.parameters().size();
+  for (double p : fit.parameters()) out << ' ' << p;
+  out << '\n';
+  out << "series " << (fit.series().name().empty() ? "unnamed" : fit.series().name())
+      << '\n';
+  out << "times " << fit.series().size();
+  for (double t : fit.series().times()) out << ' ' << t;
+  out << '\n';
+  out << "values " << fit.series().size();
+  for (double v : fit.series().values()) out << ' ' << v;
+  out << '\n';
+  out << "sse " << fit.sse << '\n';
+  out << "stop " << opt::to_string(fit.stop_reason) << '\n';
+}
+
+void save_fit_file(const std::string& path, const FitResult& fit) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_fit_file: cannot open " + path);
+  save_fit(out, fit);
+  if (!out) throw std::runtime_error("save_fit_file: write failed for " + path);
+}
+
+FitResult load_fit(std::istream& in) {
+  expect_key(in, "prm-fit");
+  int version = 0;
+  if (!(in >> version)) fail("missing format version");
+  if (version != kFormatVersion) {
+    fail("unsupported format version " + std::to_string(version));
+  }
+
+  expect_key(in, "model");
+  std::string model_name;
+  if (!(in >> model_name)) fail("missing model name");
+  if (!ModelRegistry::instance().contains(model_name)) {
+    fail("unknown model '" + model_name + "' (register it before loading)");
+  }
+
+  expect_key(in, "holdout");
+  std::size_t holdout = 0;
+  if (!(in >> holdout)) fail("missing holdout");
+
+  expect_key(in, "parameters");
+  const std::vector<double> params = read_doubles(in);
+
+  expect_key(in, "series");
+  std::string series_name;
+  if (!(in >> series_name)) fail("missing series name");
+
+  expect_key(in, "times");
+  std::vector<double> times = read_doubles(in);
+  expect_key(in, "values");
+  std::vector<double> values = read_doubles(in);
+  if (times.size() != values.size()) fail("times/values size mismatch");
+
+  expect_key(in, "sse");
+  double sse = 0.0;
+  if (!(in >> sse)) fail("missing sse");
+  expect_key(in, "stop");
+  std::string stop;
+  if (!(in >> stop)) fail("missing stop reason");
+
+  ModelPtr model = ModelRegistry::instance().create(model_name);
+  if (params.size() != model->num_parameters()) {
+    fail("parameter count does not match model '" + model_name + "'");
+  }
+  try {
+    data::PerformanceSeries series(series_name, std::move(times), std::move(values));
+    FitResult fit(std::shared_ptr<const ResilienceModel>(std::move(model)), params,
+                  std::move(series), holdout);
+    fit.sse = sse;
+    fit.stop_reason = parse_stop(stop);
+    return fit;
+  } catch (const std::invalid_argument& e) {
+    fail(e.what());
+  }
+}
+
+FitResult load_fit_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_fit_file: cannot open " + path);
+  return load_fit(in);
+}
+
+}  // namespace prm::core

@@ -1,0 +1,128 @@
+#include "core/uncertainty.hpp"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "core/predictor.hpp"
+#include "stats/bootstrap.hpp"
+
+namespace prm::core {
+
+namespace {
+
+IntervalEstimate summarize(double point, std::vector<double>& samples, double alpha) {
+  IntervalEstimate est;
+  est.point = point;
+  est.samples = static_cast<int>(samples.size());
+  if (samples.size() >= 2) {
+    est.lower = stats::empirical_quantile(samples, alpha / 2.0);
+    est.upper = stats::empirical_quantile(samples, 1.0 - alpha / 2.0);
+  } else {
+    est.lower = point;
+    est.upper = point;
+  }
+  return est;
+}
+
+}  // namespace
+
+UncertaintyResult prediction_uncertainty(const FitResult& fit,
+                                         const UncertaintyOptions& options) {
+  if (fit.holdout() < 1) {
+    throw std::invalid_argument("prediction_uncertainty: fit needs a holdout window");
+  }
+  if (options.replicates < 10) {
+    throw std::invalid_argument("prediction_uncertainty: need >= 10 replicates");
+  }
+
+  const data::PerformanceSeries& series = fit.series();
+  const data::PerformanceSeries fit_window = fit.fit_window();
+  const std::size_t n_fit = fit_window.size();
+
+  // Centered residuals over the fit window.
+  std::vector<double> residuals(n_fit);
+  double mean_res = 0.0;
+  for (std::size_t i = 0; i < n_fit; ++i) {
+    residuals[i] = fit_window.value(i) - fit.evaluate(fit_window.time(i));
+    mean_res += residuals[i];
+  }
+  mean_res /= static_cast<double>(n_fit);
+  for (double& r : residuals) r -= mean_res;
+
+  std::mt19937_64 rng(options.seed);
+  std::uniform_int_distribution<std::size_t> pick(0, n_fit - 1);
+
+  UncertaintyResult out;
+  std::vector<double> recovery_samples;
+  std::vector<double> trough_t_samples;
+  std::vector<double> trough_v_samples;
+  std::vector<std::vector<double>> metric_samples(kAllMetrics.size());
+  int no_recovery = 0;
+
+  std::vector<double> values(series.size());
+  for (int rep = 0; rep < options.replicates; ++rep) {
+    // Resampled series: fitted curve + bootstrap residuals on the fit
+    // window; the holdout keeps its observed values (it is never fit).
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      if (i < n_fit) {
+        values[i] = fit.evaluate(series.time(i)) + residuals[pick(rng)];
+      } else {
+        values[i] = series.value(i);
+      }
+    }
+    data::PerformanceSeries resampled(series.name(),
+                                      std::vector<double>(series.times().begin(),
+                                                          series.times().end()),
+                                      values);
+    FitOptions fit_opts = options.fit;
+    fit_opts.multistart.seed = options.seed + static_cast<std::uint64_t>(rep) + 1;
+    FitResult refit;
+    try {
+      refit = fit_model(fit.model(), resampled, fit.holdout(), fit_opts);
+    } catch (const std::exception&) {
+      ++out.replicates_failed;
+      continue;
+    }
+    if (!refit.success()) {
+      ++out.replicates_failed;
+      continue;
+    }
+    ++out.replicates_used;
+
+    trough_t_samples.push_back(predict_trough_time(refit));
+    trough_v_samples.push_back(predict_trough_value(refit));
+    if (const auto tr = predict_recovery_time(refit, options.recovery_level)) {
+      recovery_samples.push_back(*tr);
+    } else {
+      ++no_recovery;
+    }
+    const auto metrics = predictive_metrics(refit);
+    for (std::size_t k = 0; k < metrics.size(); ++k) {
+      metric_samples[k].push_back(metrics[k].predicted);
+    }
+  }
+  if (out.replicates_used < 2) {
+    throw std::runtime_error("prediction_uncertainty: too few successful replicates");
+  }
+
+  const double point_recovery =
+      predict_recovery_time(fit, options.recovery_level).value_or(
+          std::numeric_limits<double>::quiet_NaN());
+  out.recovery_time = summarize(point_recovery, recovery_samples, options.alpha);
+  out.trough_time = summarize(predict_trough_time(fit), trough_t_samples, options.alpha);
+  out.trough_value = summarize(predict_trough_value(fit), trough_v_samples, options.alpha);
+
+  const auto point_metrics = predictive_metrics(fit);
+  for (std::size_t k = 0; k < kAllMetrics.size(); ++k) {
+    out.metrics.emplace_back(
+        kAllMetrics[k],
+        summarize(point_metrics[k].predicted, metric_samples[k], options.alpha));
+  }
+  out.no_recovery_rate =
+      100.0 * static_cast<double>(no_recovery) /
+      static_cast<double>(out.replicates_used);
+  return out;
+}
+
+}  // namespace prm::core

@@ -1,0 +1,53 @@
+// Monte Carlo prediction uncertainty.
+//
+// The paper puts a confidence band on performance (Eq. 13) but reports
+// recovery times and metrics as point predictions. This module propagates
+// fit uncertainty into those quantities with a parametric residual
+// bootstrap: resample the fit-window residuals, refit, and collect the
+// distribution of each derived prediction (recovery time, trough time/value,
+// any metric). The result is "recovery between months 31 and 38 with 90%
+// confidence" instead of "recovery at month 34".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/fitting.hpp"
+#include "core/metrics.hpp"
+
+namespace prm::core {
+
+struct UncertaintyOptions {
+  int replicates = 200;
+  double alpha = 0.10;        ///< (1 - alpha) central interval.
+  std::uint64_t seed = 0xdecafu;
+  double recovery_level = 1.0;  ///< Level whose crossing time is tracked.
+  FitOptions fit;
+};
+
+/// Central interval plus point estimate for one derived quantity.
+struct IntervalEstimate {
+  double point = 0.0;     ///< From the original (non-resampled) fit.
+  double lower = 0.0;
+  double upper = 0.0;
+  int samples = 0;        ///< Replicates contributing (some may not recover).
+};
+
+struct UncertaintyResult {
+  IntervalEstimate recovery_time;   ///< First crossing of recovery_level.
+  IntervalEstimate trough_time;
+  IntervalEstimate trough_value;
+  std::vector<std::pair<MetricKind, IntervalEstimate>> metrics;
+  int replicates_used = 0;
+  int replicates_failed = 0;
+  /// Fraction (in %) of replicates whose curve never reaches recovery_level.
+  double no_recovery_rate = 0.0;
+};
+
+/// Run the Monte Carlo. The original `fit` must have holdout >= 1 (the
+/// metric definitions need a predictive window). Throws std::invalid_argument
+/// otherwise or when replicates < 10.
+UncertaintyResult prediction_uncertainty(const FitResult& fit,
+                                         const UncertaintyOptions& options = {});
+
+}  // namespace prm::core

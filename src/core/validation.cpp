@@ -1,0 +1,38 @@
+#include "core/validation.hpp"
+
+#include "stats/goodness_of_fit.hpp"
+
+namespace prm::core {
+
+ValidationReport validate(const FitResult& fit, const ValidationOptions& options) {
+  ValidationReport report;
+
+  const auto observed_all = fit.series().values();
+  const std::vector<double> predicted_all = fit.predictions();
+  const std::size_t n_fit = fit.fit_count();
+
+  const std::span<const double> observed_fit = observed_all.subspan(0, n_fit);
+  const std::span<const double> predicted_fit =
+      std::span<const double>(predicted_all).subspan(0, n_fit);
+  const std::span<const double> observed_tail = observed_all.subspan(n_fit);
+  const std::span<const double> predicted_tail =
+      std::span<const double>(predicted_all).subspan(n_fit);
+
+  report.sse = stats::sse(observed_fit, predicted_fit);
+  if (!observed_tail.empty()) {
+    report.pmse = stats::pmse(observed_tail, predicted_tail);
+    report.theil_u = stats::theil_u(observed_tail, predicted_tail, observed_fit.back());
+  }
+  report.r2_adj = stats::adjusted_r_squared(observed_fit, predicted_fit,
+                                            fit.model().num_parameters());
+  report.aic = stats::aic(observed_fit, predicted_fit, fit.model().num_parameters());
+  report.bic = stats::bic(observed_fit, predicted_fit, fit.model().num_parameters());
+
+  report.band =
+      stats::level_confidence_band(observed_fit, predicted_fit, predicted_all, options.alpha);
+  report.ec = stats::empirical_coverage(observed_all, report.band);
+  report.predictions = predicted_all;
+  return report;
+}
+
+}  // namespace prm::core

@@ -1,0 +1,33 @@
+// Validation of a fitted model (paper Section III-B): the four measures the
+// paper reports in Tables I and III (SSE, PMSE, adjusted R^2, empirical
+// coverage of the 95% confidence interval), plus AIC/BIC extensions.
+#pragma once
+
+#include "core/fitting.hpp"
+#include "stats/confidence.hpp"
+
+namespace prm::core {
+
+struct ValidationOptions {
+  double alpha = 0.05;  ///< CI significance level (95% band).
+};
+
+/// Everything Tables I/III report for one (model, dataset) pair.
+struct ValidationReport {
+  double sse = 0.0;        ///< Eq. 9, over the fitting window.
+  double pmse = 0.0;       ///< Eq. 10, over the holdout window.
+  double r2_adj = 0.0;     ///< Eq. 11, over the fitting window.
+  double ec = 0.0;         ///< Empirical coverage (%) over ALL n samples.
+  double aic = 0.0;        ///< Extension: Akaike IC over the fitting window.
+  double bic = 0.0;        ///< Extension: Bayesian IC.
+  double theil_u = 0.0;    ///< Extension: forecast skill vs persistence (<1 = wins);
+                           ///< 0 when there is no holdout window.
+  stats::ConfidenceBand band;       ///< Level band over the full grid (Eq. 13).
+  std::vector<double> predictions;  ///< Model curve on the full sample grid.
+};
+
+/// Compute the report for a fit. Throws std::invalid_argument when the fit
+/// window is too small for the variance estimate (n <= 2).
+ValidationReport validate(const FitResult& fit, const ValidationOptions& options = {});
+
+}  // namespace prm::core

@@ -1,0 +1,42 @@
+#include "core/whatif.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/predictor.hpp"
+
+namespace prm::core {
+
+double accelerated_value(const FitResult& fit, double kappa, double t) {
+  if (!(kappa > 0.0) || !std::isfinite(kappa)) {
+    throw std::invalid_argument("accelerated_value: kappa must be positive and finite");
+  }
+  const double t_d = predict_trough_time(fit);
+  if (t <= t_d) return fit.evaluate(t);
+  return fit.evaluate(t_d + kappa * (t - t_d));
+}
+
+std::optional<double> accelerated_recovery_time(const FitResult& fit, double kappa,
+                                                double level) {
+  if (!(kappa > 0.0) || !std::isfinite(kappa)) {
+    throw std::invalid_argument(
+        "accelerated_recovery_time: kappa must be positive and finite");
+  }
+  const double t_d = predict_trough_time(fit);
+  const auto baseline = predict_recovery_time(fit, level, t_d);
+  if (!baseline) return std::nullopt;
+  return t_d + (*baseline - t_d) / kappa;
+}
+
+std::optional<double> required_acceleration(const FitResult& fit, double level,
+                                            double target_time) {
+  const double t_d = predict_trough_time(fit);
+  if (!(target_time > t_d)) return std::nullopt;
+  const auto baseline = predict_recovery_time(fit, level, t_d);
+  if (!baseline) return std::nullopt;
+  const double span = *baseline - t_d;
+  if (span <= 0.0) return 1.0;  // already recovered by the trough (degenerate)
+  return span / (target_time - t_d);
+}
+
+}  // namespace prm::core

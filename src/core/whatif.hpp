@@ -1,0 +1,39 @@
+// What-if analysis on a fitted resilience curve.
+//
+// The paper's introduction motivates prediction with the planning question:
+// "what actions to take in order to reach a target level of performance
+// quickly and cost effectively". This module gives that question a concrete,
+// model-agnostic handle: a recovery-acceleration factor kappa that dilates
+// time on the recovery leg only,
+//
+//   P_kappa(t) = P(t)                          for t <= t_d (degradation unchanged)
+//   P_kappa(t) = P(t_d + kappa * (t - t_d))    for t >  t_d
+//
+// kappa = 2 means the response program executes the fitted recovery twice as
+// fast; kappa < 1 models slippage. Because the transform only dilates time,
+// the recovery time obeys a closed form: t_r(kappa) = t_d + (t_r - t_d)/kappa,
+// which also inverts into "what kappa hits a target date".
+#pragma once
+
+#include <optional>
+
+#include "core/fitting.hpp"
+
+namespace prm::core {
+
+/// P_kappa(t) for the fitted curve. kappa must be positive.
+double accelerated_value(const FitResult& fit, double kappa, double t);
+
+/// Recovery time of the accelerated curve to `level`; closed form from the
+/// baseline prediction. nullopt when the baseline curve never recovers.
+std::optional<double> accelerated_recovery_time(const FitResult& fit, double kappa,
+                                                double level);
+
+/// The acceleration needed so the curve reaches `level` by `target_time`.
+/// nullopt when the baseline never recovers, or when target_time <= t_d
+/// (no finite acceleration recovers before the trough: degradation is not
+/// compressible in this model).
+std::optional<double> required_acceleration(const FitResult& fit, double level,
+                                            double target_time);
+
+}  // namespace prm::core

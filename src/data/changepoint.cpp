@@ -1,0 +1,81 @@
+#include "data/changepoint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace prm::data {
+
+CusumResult detect_downward_shift(const PerformanceSeries& series,
+                                  const CusumOptions& options) {
+  if (series.size() < options.baseline + 2) {
+    throw std::invalid_argument("detect_downward_shift: series shorter than baseline + 2");
+  }
+  if (options.baseline < 2) {
+    throw std::invalid_argument("detect_downward_shift: baseline must be >= 2");
+  }
+
+  CusumResult result;
+  // Baseline statistics over the assumed-nominal prefix.
+  double mean = 0.0;
+  for (std::size_t i = 0; i < options.baseline; ++i) mean += series.value(i);
+  mean /= static_cast<double>(options.baseline);
+  double var = 0.0;
+  for (std::size_t i = 0; i < options.baseline; ++i) {
+    const double d = series.value(i) - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(options.baseline - 1);
+  double sigma = std::sqrt(var);
+  // Flat baselines (synthetic data) would make any deviation infinite-sigma;
+  // floor sigma at a fraction of the signal level instead.
+  if (sigma < 1e-6 * std::max(std::fabs(mean), 1.0)) {
+    sigma = 1e-6 * std::max(std::fabs(mean), 1.0);
+  }
+  result.baseline_mean = mean;
+  result.baseline_sigma = sigma;
+
+  const double k = options.slack_sigmas * sigma;
+  const double h = options.threshold_sigmas * sigma;
+  double s = 0.0;
+  result.statistic.resize(series.size(), 0.0);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    // Downward CUSUM accumulates (mean - x - k)+.
+    s = std::max(0.0, s + (mean - series.value(i)) - k);
+    result.statistic[i] = s;
+    if (!result.alarm_index && s > h) {
+      result.alarm_index = i;
+    }
+  }
+  return result;
+}
+
+std::optional<OnsetResult> find_hazard_onset(const PerformanceSeries& series,
+                                             const CusumOptions& options) {
+  const CusumResult cusum = detect_downward_shift(series, options);
+  if (!cusum.alarm_index) return std::nullopt;
+
+  // Walk back from the alarm to the preceding performance peak. On a noisy
+  // but flat nominal regime the literal maximum can sit anywhere, so take
+  // the LAST sample within two baseline sigmas of the maximum -- the point
+  // just before the sustained decline begins.
+  double best = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i <= *cusum.alarm_index; ++i) {
+    best = std::max(best, series.value(i));
+  }
+  const double tol = 2.0 * cusum.baseline_sigma;
+  std::size_t peak = 0;
+  for (std::size_t i = 0; i <= *cusum.alarm_index; ++i) {
+    if (series.value(i) >= best - tol) peak = i;
+  }
+
+  OnsetResult out;
+  out.peak_index = peak;
+  out.alarm_index = *cusum.alarm_index;
+  const PerformanceSeries suffix =
+      series.slice(peak, series.size() - peak).rebased();
+  out.aligned = suffix.normalized();
+  return out;
+}
+
+}  // namespace prm::data

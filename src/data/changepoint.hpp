@@ -1,0 +1,53 @@
+// Hazard-onset detection.
+//
+// The paper's datasets are pre-aligned: t = 0 is the employment peak. Real
+// monitoring pipelines receive a long series that includes the nominal
+// pre-hazard regime and must find the disruption onset themselves before any
+// resilience model can be fit. This module provides two detectors:
+//
+//  * a one-sided CUSUM on downward level shifts (classic SPC), and
+//  * a peak-before-sustained-decline heuristic matching how the BLS aligns
+//    recessions ("months after employment peak").
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "data/time_series.hpp"
+
+namespace prm::data {
+
+struct CusumOptions {
+  /// Samples assumed hazard-free, used to estimate the nominal mean/sigma.
+  std::size_t baseline = 12;
+  double threshold_sigmas = 8.0;  ///< Alarm when the CUSUM exceeds this many sigmas.
+  double slack_sigmas = 1.0;      ///< Per-step allowance (k in CUSUM terms).
+};
+
+struct CusumResult {
+  std::optional<std::size_t> alarm_index;  ///< First sample that trips the alarm.
+  std::vector<double> statistic;           ///< CUSUM value per sample.
+  double baseline_mean = 0.0;
+  double baseline_sigma = 0.0;
+};
+
+/// One-sided (downward) CUSUM. Throws std::invalid_argument when the series
+/// is shorter than baseline + 2 or the baseline has zero variance and no
+/// shift could ever alarm (sigma == 0 uses a small floor instead).
+CusumResult detect_downward_shift(const PerformanceSeries& series,
+                                  const CusumOptions& options = {});
+
+struct OnsetResult {
+  std::size_t peak_index = 0;    ///< The pre-hazard performance peak (t_h).
+  std::size_t alarm_index = 0;   ///< Where the decline became undeniable.
+  PerformanceSeries aligned;     ///< Series re-based so peak_index is t = 0,
+                                 ///< values normalized to the peak value.
+};
+
+/// Find the hazard onset: run the CUSUM, then walk back from the alarm to
+/// the preceding local maximum (the "employment peak"). Returns nullopt when
+/// no alarm fires (no disruption in the series).
+std::optional<OnsetResult> find_hazard_onset(const PerformanceSeries& series,
+                                             const CusumOptions& options = {});
+
+}  // namespace prm::data

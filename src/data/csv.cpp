@@ -1,0 +1,88 @@
+#include "data/csv.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace prm::data {
+
+namespace {
+
+bool parse_double(std::string_view field, double* out) {
+  // Trim surrounding whitespace.
+  while (!field.empty() && (field.front() == ' ' || field.front() == '\t')) {
+    field.remove_prefix(1);
+  }
+  while (!field.empty() && (field.back() == ' ' || field.back() == '\t' ||
+                            field.back() == '\r')) {
+    field.remove_suffix(1);
+  }
+  if (field.empty()) return false;
+  const char* first = field.data();
+  const char* last = field.data() + field.size();
+  const auto [ptr, ec] = std::from_chars(first, last, *out);
+  return ec == std::errc{} && ptr == last;
+}
+
+}  // namespace
+
+PerformanceSeries read_csv(std::istream& in, std::string name, const CsvOptions& opts) {
+  std::vector<double> times;
+  std::vector<double> values;
+  std::string line;
+  std::size_t line_no = 0;
+  bool skipped_header = !opts.header;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line == "\r") continue;
+    if (!skipped_header) {
+      skipped_header = true;
+      continue;
+    }
+    const std::size_t comma = line.find(opts.delimiter);
+    if (comma == std::string::npos) {
+      throw std::runtime_error("read_csv: line " + std::to_string(line_no) +
+                               ": expected two delimited columns");
+    }
+    double t = 0.0;
+    double v = 0.0;
+    if (!parse_double(std::string_view(line).substr(0, comma), &t) ||
+        !parse_double(std::string_view(line).substr(comma + 1), &v)) {
+      throw std::runtime_error("read_csv: line " + std::to_string(line_no) +
+                               ": non-numeric field");
+    }
+    times.push_back(t);
+    values.push_back(v);
+  }
+  return PerformanceSeries(std::move(name), std::move(times), std::move(values));
+}
+
+PerformanceSeries read_csv_file(const std::string& path, std::string name,
+                                const CsvOptions& opts) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_csv_file: cannot open " + path);
+  return read_csv(in, std::move(name), opts);
+}
+
+void write_csv(std::ostream& out, const PerformanceSeries& series, const CsvOptions& opts) {
+  if (opts.header) {
+    out << 't' << opts.delimiter << (series.name().empty() ? "value" : series.name()) << '\n';
+  }
+  out << std::setprecision(opts.precision);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    out << series.time(i) << opts.delimiter << series.value(i) << '\n';
+  }
+}
+
+void write_csv_file(const std::string& path, const PerformanceSeries& series,
+                    const CsvOptions& opts) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_csv_file: cannot open " + path);
+  write_csv(out, series, opts);
+  if (!out) throw std::runtime_error("write_csv_file: write failed for " + path);
+}
+
+}  // namespace prm::data

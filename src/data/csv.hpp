@@ -1,0 +1,35 @@
+// Minimal CSV I/O for PerformanceSeries: two columns "t,value" with an
+// optional header line. Enough to round-trip user datasets into the fitting
+// pipeline and to dump model curves for external plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/time_series.hpp"
+
+namespace prm::data {
+
+struct CsvOptions {
+  char delimiter = ',';
+  bool header = true;          ///< Write/expect a "t,<name>" header line.
+  int precision = 10;          ///< Output digits.
+};
+
+/// Parse a two-column CSV stream into a series named `name`.
+/// Throws std::runtime_error on malformed rows (wrong column count,
+/// non-numeric fields) with a 1-based line number in the message.
+PerformanceSeries read_csv(std::istream& in, std::string name, const CsvOptions& opts = {});
+
+/// Read from a file path; throws std::runtime_error if unreadable.
+PerformanceSeries read_csv_file(const std::string& path, std::string name,
+                                const CsvOptions& opts = {});
+
+/// Write "t,value" rows.
+void write_csv(std::ostream& out, const PerformanceSeries& series, const CsvOptions& opts = {});
+
+/// Write to a file path; throws std::runtime_error if unwritable.
+void write_csv_file(const std::string& path, const PerformanceSeries& series,
+                    const CsvOptions& opts = {});
+
+}  // namespace prm::data

@@ -1,0 +1,42 @@
+// Synthetic resilience-curve generator.
+//
+// Produces seeded, reproducible series with the letter shapes the economics
+// literature uses (V, U, W, L, J) plus configurable noise. Used by the
+// property tests ("a V-shaped curve is fit well; a W-shaped one is not"),
+// the failure-injection tests, and the cyber-resilience example, standing in
+// for domains whose data the paper notes is not shared widely.
+#pragma once
+
+#include <cstdint>
+
+#include "data/recessions.hpp"
+#include "data/time_series.hpp"
+
+namespace prm::data {
+
+/// Parameters of a synthetic resilience event.
+struct ScenarioSpec {
+  RecessionShape shape = RecessionShape::kV;
+  std::size_t length = 48;      ///< Number of monthly samples.
+  double depth = 0.03;          ///< Peak-to-trough performance loss (fraction of nominal).
+  double trough_at = 0.25;      ///< Trough position as a fraction of the series length.
+  double recovery_gain = 0.04;  ///< Final value above nominal (J/V) or below (L) at the end.
+  double noise = 0.0008;        ///< Std-dev of multiplicative Gaussian noise.
+  std::uint64_t seed = 42;      ///< RNG seed; same spec + seed => same series.
+
+  // W-shape only: second dip.
+  double second_dip_depth = 0.025;
+  double second_dip_at = 0.6;
+};
+
+/// Generate the series described by `spec`. The curve starts at exactly 1.0.
+/// Throws std::invalid_argument for non-positive length or out-of-range
+/// fractions.
+PerformanceSeries generate_scenario(const ScenarioSpec& spec);
+
+/// Convenience: the shape with default parameters tuned to look like the
+/// corresponding recession class.
+PerformanceSeries generate_shape(RecessionShape shape, std::size_t length = 48,
+                                 std::uint64_t seed = 42);
+
+}  // namespace prm::data

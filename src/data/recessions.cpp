@@ -1,0 +1,119 @@
+#include "data/recessions.hpp"
+
+#include <stdexcept>
+
+namespace prm::data {
+
+std::string_view to_string(RecessionShape shape) {
+  switch (shape) {
+    case RecessionShape::kV: return "V";
+    case RecessionShape::kU: return "U";
+    case RecessionShape::kW: return "W";
+    case RecessionShape::kL: return "L";
+    case RecessionShape::kJ: return "J";
+    case RecessionShape::kK: return "K";
+  }
+  return "?";
+}
+
+namespace {
+
+// Normalized payroll employment index, month 0 = employment peak.
+// Reconstructed series; see the header and DESIGN.md for provenance.
+
+const std::vector<double> k1974 = {
+    1.0000, 0.9995, 0.9984, 0.9947, 0.9891, 0.9821, 0.9755, 0.9734,
+    0.9743, 0.9744, 0.9759, 0.9786, 0.9814, 0.9857, 0.9898, 0.9932,
+    0.9965, 0.9987, 1.0014, 1.0052, 1.0085, 1.0127, 1.0165, 1.0190,
+    1.0219, 1.0241, 1.0265, 1.0299, 1.0322, 1.0344, 1.0364, 1.0373,
+    1.0394, 1.0416, 1.0434, 1.0459, 1.0474, 1.0486, 1.0504, 1.0515,
+    1.0534, 1.0556, 1.0571, 1.0592, 1.0605, 1.0613, 1.0631, 1.0645,
+};
+
+const std::vector<double> k1980 = {
+    1.0000, 0.9977, 0.9948, 0.9905, 0.9884, 0.9880, 0.9878, 0.9890,
+    0.9899, 0.9918, 0.9943, 0.9963, 0.9987, 1.0000, 1.0002, 0.9999,
+    0.9982, 0.9964, 0.9949, 0.9923, 0.9900, 0.9877, 0.9845, 0.9822,
+    0.9799, 0.9779, 0.9774, 0.9764, 0.9758, 0.9760, 0.9758, 0.9766,
+    0.9778, 0.9787, 0.9805, 0.9817, 0.9826, 0.9841, 0.9849, 0.9863,
+    0.9882, 0.9892, 0.9906, 0.9912, 0.9913, 0.9924, 0.9933, 0.9945,
+};
+
+const std::vector<double> k1981 = {
+    1.0000, 0.9987, 0.9970, 0.9964, 0.9950, 0.9929, 0.9912, 0.9882,
+    0.9854, 0.9832, 0.9805, 0.9789, 0.9772, 0.9747, 0.9729, 0.9703,
+    0.9686, 0.9689, 0.9696, 0.9711, 0.9729, 0.9741, 0.9766, 0.9792,
+    0.9820, 0.9860, 0.9890, 0.9920, 0.9953, 0.9977, 1.0010, 1.0049,
+    1.0084, 1.0130, 1.0167, 1.0196, 1.0232, 1.0264, 1.0305, 1.0355,
+    1.0394, 1.0435, 1.0472, 1.0502, 1.0546, 1.0589, 1.0631, 1.0678,
+};
+
+const std::vector<double> k1990 = {
+    1.0000, 0.9988, 0.9984, 0.9977, 0.9962, 0.9948, 0.9925, 0.9904,
+    0.9889, 0.9872, 0.9859, 0.9850, 0.9843, 0.9841, 0.9838, 0.9837,
+    0.9846, 0.9850, 0.9856, 0.9863, 0.9863, 0.9869, 0.9877, 0.9884,
+    0.9897, 0.9906, 0.9913, 0.9923, 0.9926, 0.9936, 0.9951, 0.9963,
+    0.9980, 0.9992, 0.9999, 1.0013, 1.0026, 1.0044, 1.0067, 1.0083,
+    1.0102, 1.0121, 1.0138, 1.0164, 1.0190, 1.0215, 1.0247, 1.0272,
+};
+
+const std::vector<double> k2001 = {
+    1.0000, 0.9990, 0.9985, 0.9976, 0.9970, 0.9955, 0.9940, 0.9933,
+    0.9923, 0.9918, 0.9913, 0.9899, 0.9890, 0.9879, 0.9868, 0.9864,
+    0.9856, 0.9849, 0.9844, 0.9831, 0.9822, 0.9816, 0.9808, 0.9808,
+    0.9804, 0.9796, 0.9790, 0.9781, 0.9778, 0.9781, 0.9781, 0.9787,
+    0.9792, 0.9792, 0.9800, 0.9808, 0.9818, 0.9834, 0.9844, 0.9856,
+    0.9870, 0.9880, 0.9897, 0.9917, 0.9936, 0.9960, 0.9978, 0.9993,
+};
+
+const std::vector<double> k2007 = {
+    1.0000, 1.0001, 0.9994, 0.9989, 0.9975, 0.9958, 0.9948, 0.9930,
+    0.9909, 0.9886, 0.9848, 0.9810, 0.9768, 0.9720, 0.9680, 0.9637,
+    0.9595, 0.9557, 0.9513, 0.9479, 0.9455, 0.9431, 0.9420, 0.9405,
+    0.9386, 0.9375, 0.9371, 0.9375, 0.9387, 0.9392, 0.9400, 0.9406,
+    0.9406, 0.9417, 0.9428, 0.9439, 0.9459, 0.9471, 0.9482, 0.9494,
+    0.9499, 0.9513, 0.9532, 0.9547, 0.9567, 0.9578, 0.9586, 0.9602,
+};
+
+const std::vector<double> k2020 = {
+    1.0000, 0.9907, 0.8568, 0.8744, 0.8975, 0.9094, 0.9204, 0.9276,
+    0.9326, 0.9347, 0.9364, 0.9378, 0.9389, 0.9414, 0.9438, 0.9460,
+    0.9485, 0.9504, 0.9529, 0.9561, 0.9588, 0.9622, 0.9650, 0.9670,
+};
+
+std::vector<RecessionDataset> build_catalog() {
+  std::vector<RecessionDataset> cat;
+  cat.push_back({PerformanceSeries("1974-76", k1974), RecessionShape::kV, 5});
+  cat.push_back({PerformanceSeries("1980", k1980), RecessionShape::kW, 5});
+  cat.push_back({PerformanceSeries("1981-83", k1981), RecessionShape::kV, 5});
+  cat.push_back({PerformanceSeries("1990-93", k1990), RecessionShape::kU, 5});
+  cat.push_back({PerformanceSeries("2001-05", k2001), RecessionShape::kU, 5});
+  cat.push_back({PerformanceSeries("2007-09", k2007), RecessionShape::kU, 5});
+  cat.push_back({PerformanceSeries("2020-21", k2020), RecessionShape::kL, 3});
+  return cat;
+}
+
+}  // namespace
+
+const std::vector<RecessionDataset>& recession_catalog() {
+  static const std::vector<RecessionDataset> catalog = build_catalog();
+  return catalog;
+}
+
+const RecessionDataset& recession(std::string_view name) {
+  for (const RecessionDataset& d : recession_catalog()) {
+    if (d.series.name() == name) return d;
+  }
+  throw std::out_of_range("recession: unknown dataset name: " + std::string(name));
+}
+
+std::vector<std::string_view> recession_names() {
+  std::vector<std::string_view> names;
+  names.reserve(recession_catalog().size());
+  for (const RecessionDataset& d : recession_catalog()) {
+    names.push_back(d.series.name());
+  }
+  return names;
+}
+
+}  // namespace prm::data

@@ -1,0 +1,44 @@
+// The seven U.S. recession payroll-employment series the paper evaluates on
+// (its Figure 2), reconstructed for offline use.
+//
+// SUBSTITUTION NOTE (see DESIGN.md): the paper uses Bureau of Labor
+// Statistics Current Employment Statistics data, which is not available in
+// this environment. These series are reconstructions anchored to the
+// documented depth, trough timing, and recovery profile of each episode
+// (e.g. 2007-09 trough about -6.3% ~25 months after the peak; 2020-21 a
+// ~14% two-month collapse). Values are a normalized payroll employment
+// index: 1.0 at the pre-recession employment peak (month 0).
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "data/time_series.hpp"
+
+namespace prm::data {
+
+/// Letter taxonomy of recession shapes used by the paper (Section V).
+enum class RecessionShape { kV, kU, kW, kL, kJ, kK };
+
+std::string_view to_string(RecessionShape shape);
+
+/// One catalog entry: the series plus metadata used by the experiments.
+struct RecessionDataset {
+  PerformanceSeries series;
+  RecessionShape documented_shape;  ///< Shape per the economics literature.
+  std::size_t holdout;              ///< Samples reserved for prediction (~10%).
+};
+
+/// All seven recessions in the paper's order:
+/// 1974-76, 1980, 1981-83, 1990-93, 2001-05, 2007-09, 2020-21.
+const std::vector<RecessionDataset>& recession_catalog();
+
+/// Look up a recession by name (e.g. "1990-93").
+/// Throws std::out_of_range for unknown names.
+const RecessionDataset& recession(std::string_view name);
+
+/// Names in catalog order.
+std::vector<std::string_view> recession_names();
+
+}  // namespace prm::data

@@ -1,0 +1,118 @@
+#include "data/resample.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace prm::data {
+
+CubicSpline::CubicSpline(std::vector<double> ts, std::vector<double> ys)
+    : ts_(std::move(ts)), ys_(std::move(ys)) {
+  if (ts_.size() != ys_.size()) {
+    throw std::invalid_argument("CubicSpline: size mismatch");
+  }
+  if (ts_.size() < 2) {
+    throw std::invalid_argument("CubicSpline: need at least 2 points");
+  }
+  for (std::size_t i = 1; i < ts_.size(); ++i) {
+    if (!(ts_[i] > ts_[i - 1])) {
+      throw std::invalid_argument("CubicSpline: times must be strictly increasing");
+    }
+  }
+  const std::size_t n = ts_.size();
+  m_.assign(n, 0.0);
+  if (n == 2) return;  // natural spline through 2 points = line
+
+  // Solve the tridiagonal system for natural-spline second derivatives
+  // (Thomas algorithm; diagonally dominant, no pivoting needed).
+  std::vector<double> diag(n, 0.0);
+  std::vector<double> rhs(n, 0.0);
+  std::vector<double> upper(n, 0.0);
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    const double h0 = ts_[i] - ts_[i - 1];
+    const double h1 = ts_[i + 1] - ts_[i];
+    diag[i] = 2.0 * (h0 + h1);
+    upper[i] = h1;
+    rhs[i] = 6.0 * ((ys_[i + 1] - ys_[i]) / h1 - (ys_[i] - ys_[i - 1]) / h0);
+  }
+  // Forward sweep over interior nodes (natural: m_0 = m_{n-1} = 0).
+  for (std::size_t i = 2; i + 1 < n; ++i) {
+    const double h0 = ts_[i] - ts_[i - 1];  // sub-diagonal entry
+    const double w = h0 / diag[i - 1];
+    diag[i] -= w * upper[i - 1];
+    rhs[i] -= w * rhs[i - 1];
+  }
+  for (std::size_t i = n - 2; i >= 1; --i) {
+    m_[i] = (rhs[i] - upper[i] * m_[i + 1]) / diag[i];
+    if (i == 1) break;
+  }
+}
+
+std::size_t CubicSpline::segment(double t) const {
+  const auto it = std::upper_bound(ts_.begin(), ts_.end(), t);
+  std::size_t hi = static_cast<std::size_t>(it - ts_.begin());
+  hi = std::clamp<std::size_t>(hi, 1, ts_.size() - 1);
+  return hi - 1;
+}
+
+double CubicSpline::operator()(double t) const {
+  if (t <= ts_.front()) return ys_.front();
+  if (t >= ts_.back()) return ys_.back();
+  const std::size_t i = segment(t);
+  const double h = ts_[i + 1] - ts_[i];
+  const double a = (ts_[i + 1] - t) / h;
+  const double b = (t - ts_[i]) / h;
+  return a * ys_[i] + b * ys_[i + 1] +
+         ((a * a * a - a) * m_[i] + (b * b * b - b) * m_[i + 1]) * h * h / 6.0;
+}
+
+double CubicSpline::derivative(double t) const {
+  t = std::clamp(t, ts_.front(), ts_.back());
+  const std::size_t i = segment(t);
+  const double h = ts_[i + 1] - ts_[i];
+  const double a = (ts_[i + 1] - t) / h;
+  const double b = (t - ts_[i]) / h;
+  return (ys_[i + 1] - ys_[i]) / h +
+         ((1.0 - 3.0 * a * a) * m_[i] + (3.0 * b * b - 1.0) * m_[i + 1]) * h / 6.0;
+}
+
+PerformanceSeries resample_uniform(const PerformanceSeries& series, std::size_t count) {
+  if (count < 2) throw std::invalid_argument("resample_uniform: count must be >= 2");
+  if (series.size() < 2) {
+    throw std::invalid_argument("resample_uniform: series needs >= 2 samples");
+  }
+  const CubicSpline spline(
+      std::vector<double>(series.times().begin(), series.times().end()),
+      std::vector<double>(series.values().begin(), series.values().end()));
+  const double t0 = series.times().front();
+  const double t1 = series.times().back();
+  std::vector<double> times(count);
+  std::vector<double> values(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    times[i] = t0 + (t1 - t0) * static_cast<double>(i) / static_cast<double>(count - 1);
+    values[i] = spline(times[i]);
+  }
+  return PerformanceSeries(series.name(), std::move(times), std::move(values));
+}
+
+PerformanceSeries resample_dt(const PerformanceSeries& series, double dt) {
+  if (!(dt > 0.0)) throw std::invalid_argument("resample_dt: dt must be positive");
+  if (series.size() < 2) {
+    throw std::invalid_argument("resample_dt: series needs >= 2 samples");
+  }
+  const double span = series.times().back() - series.times().front();
+  const std::size_t count = static_cast<std::size_t>(std::floor(span / dt)) + 1;
+  if (count < 2) throw std::invalid_argument("resample_dt: dt larger than the time span");
+  const CubicSpline spline(
+      std::vector<double>(series.times().begin(), series.times().end()),
+      std::vector<double>(series.values().begin(), series.values().end()));
+  std::vector<double> times(count);
+  std::vector<double> values(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    times[i] = series.times().front() + dt * static_cast<double>(i);
+    values[i] = spline(times[i]);
+  }
+  return PerformanceSeries(series.name(), std::move(times), std::move(values));
+}
+
+}  // namespace prm::data

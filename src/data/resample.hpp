@@ -1,0 +1,43 @@
+// Resampling irregular series onto a uniform grid.
+//
+// The fitting pipeline accepts any strictly-increasing time grid, but the
+// metric conventions (discrete sums, Table II arithmetic) and the paper's
+// monthly protocol assume uniform sampling. Users with event-driven or
+// irregular telemetry resample here first: natural cubic spline through the
+// samples, evaluated on a uniform grid.
+#pragma once
+
+#include "data/time_series.hpp"
+
+namespace prm::data {
+
+/// Natural cubic spline interpolant through (ts, ys).
+class CubicSpline {
+ public:
+  /// ts strictly increasing, sizes equal, at least 2 points (2 points
+  /// degrade to linear). Throws std::invalid_argument otherwise.
+  CubicSpline(std::vector<double> ts, std::vector<double> ys);
+
+  /// Evaluate; clamps to the boundary values outside [ts.front(), ts.back()].
+  double operator()(double t) const;
+
+  /// First derivative of the spline (clamped to boundary slopes outside).
+  double derivative(double t) const;
+
+ private:
+  std::size_t segment(double t) const;
+
+  std::vector<double> ts_;
+  std::vector<double> ys_;
+  std::vector<double> m_;  ///< Second derivatives at the knots.
+};
+
+/// Resample a series onto a uniform grid of `count` points spanning its
+/// time range. Throws std::invalid_argument for count < 2 or series with
+/// fewer than 2 samples.
+PerformanceSeries resample_uniform(const PerformanceSeries& series, std::size_t count);
+
+/// Resample onto a uniform grid with spacing dt (last point <= t_end).
+PerformanceSeries resample_dt(const PerformanceSeries& series, double dt);
+
+}  // namespace prm::data

@@ -1,0 +1,108 @@
+#include "data/shape.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace prm::data {
+
+ShapeFeatures extract_features(const PerformanceSeries& series) {
+  if (series.size() < 4) {
+    throw std::invalid_argument("extract_features: need at least 4 samples");
+  }
+  ShapeFeatures f;
+  const auto vals = series.values();
+  const double start = vals.front();
+  const double end = vals.back();
+  const std::size_t ti = series.trough_index();
+  const double vmin = vals[ti];
+
+  f.depth = (start - vmin) / std::max(start, 1e-12);
+  f.trough_fraction =
+      static_cast<double>(ti) / static_cast<double>(series.size() - 1);
+  f.recovered = end >= start;
+  const double loss = start - vmin;
+  f.recovery_ratio = loss > 1e-12 ? (end - vmin) / loss : 1.0;
+
+  // Largest single-step drop, as a fraction of the total loss.
+  double worst_step = 0.0;
+  for (std::size_t i = 1; i < vals.size(); ++i) {
+    worst_step = std::max(worst_step, vals[i - 1] - vals[i]);
+  }
+  f.crash_speed = loss > 1e-12 ? worst_step / loss : 0.0;
+
+  // Count distinct dips: local minima that descend meaningfully below the
+  // line between neighbors' local maxima. Smooth with a 3-point mean first so
+  // sample noise does not create spurious dips.
+  std::vector<double> s(vals.size());
+  s.front() = vals.front();
+  s.back() = vals.back();
+  for (std::size_t i = 1; i + 1 < vals.size(); ++i) {
+    s[i] = (vals[i - 1] + vals[i] + vals[i + 1]) / 3.0;
+  }
+  const double prominence = std::max(0.25 * loss, 1e-4);
+  int dips = 0;
+  std::size_t i = 1;
+  while (i + 1 < s.size()) {
+    if (s[i] <= s[i - 1] && s[i] <= s[i + 1]) {
+      // Local minimum at i; measure prominence against the highest level
+      // reached before the next local minimum.
+      double left_peak = *std::max_element(s.begin(), s.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+      double right_peak = s[i];
+      for (std::size_t j = i + 1; j < s.size(); ++j) {
+        right_peak = std::max(right_peak, s[j]);
+        if (j + 1 < s.size() && s[j] <= s[j - 1] && s[j] <= s[j + 1] && s[j] < right_peak - prominence) {
+          break;
+        }
+      }
+      if (std::min(left_peak, right_peak) - s[i] >= prominence) ++dips;
+      // Skip ahead past this basin.
+      std::size_t j = i + 1;
+      while (j + 1 < s.size() && s[j] <= s[j - 1] + prominence * 0.25) ++j;
+      i = std::max(j, i + 1);
+    } else {
+      ++i;
+    }
+  }
+  f.num_dips = std::max(dips, 1);
+  return f;
+}
+
+RecessionShape classify_shape(const PerformanceSeries& series) {
+  const ShapeFeatures f = extract_features(series);
+
+  if (f.num_dips >= 2) return RecessionShape::kW;
+  if (f.trough_fraction <= 0.12 && f.crash_speed >= 0.5) {
+    // Sudden collapse: L if recovery stalls well below nominal, K otherwise
+    // (sharp drop with substantial but incomplete/divergent recovery).
+    return f.recovery_ratio < 0.6 ? RecessionShape::kL : RecessionShape::kK;
+  }
+  if (f.trough_fraction <= 0.28 && f.recovered) return RecessionShape::kV;
+
+  // Distinguish U from J by the convexity of the recovery leg: J recoveries
+  // accelerate (second half of the recovery gains more than the first).
+  const auto vals = series.values();
+  const std::size_t ti = series.trough_index();
+  const std::size_t n = series.size();
+  if (ti + 2 < n) {
+    const std::size_t mid = ti + (n - 1 - ti) / 2;
+    const double first_half = vals[mid] - vals[ti];
+    const double second_half = vals[n - 1] - vals[mid];
+    // U-shapes with a flat basin also back-load their gains, so J demands
+    // BOTH accelerating recovery and a strong overshoot past the starting
+    // level (recovery_ratio > 2.5 means the end gain exceeds 1.5x the
+    // original loss -- the "return to growth trend" signature).
+    if (f.recovered && second_half > 2.0 * std::max(first_half, 1e-12) &&
+        f.recovery_ratio > 2.5) {
+      return RecessionShape::kJ;
+    }
+  }
+  return RecessionShape::kU;
+}
+
+bool is_hard_shape(RecessionShape shape) {
+  return shape == RecessionShape::kW || shape == RecessionShape::kL ||
+         shape == RecessionShape::kK;
+}
+
+}  // namespace prm::data

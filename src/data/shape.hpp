@@ -1,0 +1,39 @@
+// Heuristic shape classification of resilience curves.
+//
+// The paper's central finding is shape-dependent: V and U curves fit well,
+// W/L/K do not. This classifier lets the analysis layer warn when a dataset
+// falls in the hard classes, and lets tests assert the generator produces
+// what it claims.
+#pragma once
+
+#include "data/recessions.hpp"
+#include "data/time_series.hpp"
+
+namespace prm::data {
+
+/// Features extracted from a resilience curve for classification.
+struct ShapeFeatures {
+  double depth = 0.0;           ///< 1 - min(values) relative to the start.
+  double trough_fraction = 0.0; ///< Trough position / series length.
+  double crash_speed = 0.0;     ///< Largest single-step drop (fraction of depth).
+  int num_dips = 0;             ///< Local minima below the recovery midline.
+  double recovery_ratio = 0.0;  ///< (end - min) / (start - min); >1 means overshoot.
+  bool recovered = false;       ///< End value >= start value.
+};
+
+ShapeFeatures extract_features(const PerformanceSeries& series);
+
+/// Classify into the letter taxonomy. Rules (applied in order):
+///  - two or more distinct dips           -> W
+///  - trough within the first ~12% of samples AND recovery_ratio < 0.9 -> L
+///  - crash_speed > 0.5 (half the loss in one step) and not recovered  -> K
+///  - trough in the first third and recovered quickly                  -> V
+///  - otherwise                                                        -> U/J by
+///    recovery convexity (accelerating recovery = J).
+RecessionShape classify_shape(const PerformanceSeries& series);
+
+/// True for the classes the paper says its models cannot characterize
+/// (W, L, K).
+bool is_hard_shape(RecessionShape shape);
+
+}  // namespace prm::data

@@ -1,0 +1,107 @@
+#include "data/time_series.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "numerics/integrate.hpp"
+
+namespace prm::data {
+
+PerformanceSeries::PerformanceSeries(std::string name, std::vector<double> times,
+                                     std::vector<double> values)
+    : name_(std::move(name)), times_(std::move(times)), values_(std::move(values)) {
+  if (times_.size() != values_.size()) {
+    throw std::invalid_argument("PerformanceSeries: times/values size mismatch");
+  }
+  for (std::size_t i = 1; i < times_.size(); ++i) {
+    if (!(times_[i] > times_[i - 1])) {
+      throw std::invalid_argument("PerformanceSeries: times must be strictly increasing");
+    }
+  }
+}
+
+PerformanceSeries::PerformanceSeries(std::string name, std::vector<double> values)
+    : name_(std::move(name)), values_(std::move(values)) {
+  times_.resize(values_.size());
+  for (std::size_t i = 0; i < times_.size(); ++i) times_[i] = static_cast<double>(i);
+}
+
+PerformanceSeries PerformanceSeries::head(std::size_t count) const {
+  return slice(0, count);
+}
+
+PerformanceSeries PerformanceSeries::tail(std::size_t count) const {
+  if (count > size()) throw std::out_of_range("PerformanceSeries::tail: count > size");
+  return slice(size() - count, count);
+}
+
+PerformanceSeries PerformanceSeries::slice(std::size_t first, std::size_t count) const {
+  if (first + count > size()) {
+    throw std::out_of_range("PerformanceSeries::slice: out of range");
+  }
+  const auto tb = times_.begin() + static_cast<std::ptrdiff_t>(first);
+  const auto vb = values_.begin() + static_cast<std::ptrdiff_t>(first);
+  return PerformanceSeries(name_,
+                           std::vector<double>(tb, tb + static_cast<std::ptrdiff_t>(count)),
+                           std::vector<double>(vb, vb + static_cast<std::ptrdiff_t>(count)));
+}
+
+std::pair<PerformanceSeries, PerformanceSeries> PerformanceSeries::split(
+    std::size_t holdout) const {
+  if (holdout >= size()) {
+    throw std::invalid_argument("PerformanceSeries::split: holdout >= size");
+  }
+  return {head(size() - holdout), tail(holdout)};
+}
+
+std::size_t PerformanceSeries::trough_index() const {
+  if (empty()) throw std::logic_error("PerformanceSeries::trough_index: empty series");
+  return static_cast<std::size_t>(
+      std::min_element(values_.begin(), values_.end()) - values_.begin());
+}
+
+double PerformanceSeries::integral(std::size_t i0, std::size_t i1) const {
+  if (i0 > i1 || i1 >= size()) {
+    throw std::out_of_range("PerformanceSeries::integral: bad index range");
+  }
+  double acc = 0.0;
+  for (std::size_t i = i0 + 1; i <= i1; ++i) {
+    acc += 0.5 * (times_[i] - times_[i - 1]) * (values_[i] + values_[i - 1]);
+  }
+  return acc;
+}
+
+double PerformanceSeries::integral() const {
+  if (size() < 2) return 0.0;
+  return integral(0, size() - 1);
+}
+
+PerformanceSeries PerformanceSeries::normalized() const {
+  if (empty()) throw std::logic_error("PerformanceSeries::normalized: empty series");
+  const double base = values_.front();
+  if (base == 0.0) throw std::domain_error("PerformanceSeries::normalized: first value is 0");
+  std::vector<double> v = values_;
+  for (double& x : v) x /= base;
+  return PerformanceSeries(name_, times_, std::move(v));
+}
+
+PerformanceSeries PerformanceSeries::rebased() const {
+  if (empty()) return *this;
+  const double t0 = times_.front();
+  std::vector<double> t = times_;
+  for (double& x : t) x -= t0;
+  return PerformanceSeries(name_, std::move(t), values_);
+}
+
+double PerformanceSeries::interpolate(double t) const {
+  if (empty()) throw std::logic_error("PerformanceSeries::interpolate: empty series");
+  if (t <= times_.front()) return values_.front();
+  if (t >= times_.back()) return values_.back();
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  const std::size_t hi = static_cast<std::size_t>(it - times_.begin());
+  const std::size_t lo = hi - 1;
+  const double w = (t - times_[lo]) / (times_[hi] - times_[lo]);
+  return values_[lo] + w * (values_[hi] - values_[lo]);
+}
+
+}  // namespace prm::data

@@ -1,0 +1,71 @@
+// PerformanceSeries: the sampled resilience curve R(t_i) every layer above
+// works with. Time is measured from the disruptive event (t = 0 is the
+// pre-hazard peak); values are normalized performance (1.0 = nominal).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace prm::data {
+
+class PerformanceSeries {
+ public:
+  PerformanceSeries() = default;
+
+  /// Construct from parallel time/value arrays. Times must be strictly
+  /// increasing and sizes equal; throws std::invalid_argument otherwise.
+  PerformanceSeries(std::string name, std::vector<double> times, std::vector<double> values);
+
+  /// Construct on a uniform integer grid 0..values.size()-1 (monthly data).
+  PerformanceSeries(std::string name, std::vector<double> values);
+
+  const std::string& name() const noexcept { return name_; }
+  std::size_t size() const noexcept { return values_.size(); }
+  bool empty() const noexcept { return values_.empty(); }
+
+  std::span<const double> times() const noexcept { return times_; }
+  std::span<const double> values() const noexcept { return values_; }
+  double time(std::size_t i) const { return times_.at(i); }
+  double value(std::size_t i) const { return values_.at(i); }
+
+  /// First `count` samples (the fitting window).
+  PerformanceSeries head(std::size_t count) const;
+
+  /// Last `count` samples (the prediction window).
+  PerformanceSeries tail(std::size_t count) const;
+
+  /// Samples [first, first+count).
+  PerformanceSeries slice(std::size_t first, std::size_t count) const;
+
+  /// Train/test split: first size()-holdout samples vs last holdout samples.
+  std::pair<PerformanceSeries, PerformanceSeries> split(std::size_t holdout) const;
+
+  /// Index of the minimum value (the trough t_d); first occurrence on ties.
+  std::size_t trough_index() const;
+  double trough_time() const { return times_.at(trough_index()); }
+  double trough_value() const { return values_.at(trough_index()); }
+
+  /// Trapezoid integral of the series between sample indices [i0, i1].
+  double integral(std::size_t i0, std::size_t i1) const;
+
+  /// Trapezoid integral over the whole series.
+  double integral() const;
+
+  /// Series divided by its first value (normalize to R(t_0) = 1).
+  PerformanceSeries normalized() const;
+
+  /// Series with times shifted so times()[0] == 0.
+  PerformanceSeries rebased() const;
+
+  /// Linear interpolation R(t); clamps outside the observed range.
+  double interpolate(double t) const;
+
+ private:
+  std::string name_;
+  std::vector<double> times_;
+  std::vector<double> values_;
+};
+
+}  // namespace prm::data

@@ -1,0 +1,66 @@
+#include "numerics/differentiate.hpp"
+
+#include <cmath>
+
+namespace prm::num {
+
+namespace {
+double default_step(double x, double power) {
+  const double eps = std::numeric_limits<double>::epsilon();
+  return std::pow(eps, power) * std::max(1.0, std::fabs(x));
+}
+}  // namespace
+
+double derivative_central(const std::function<double(double)>& f, double x, double h) {
+  if (h <= 0.0) h = default_step(x, 1.0 / 3.0);
+  return (f(x + h) - f(x - h)) / (2.0 * h);
+}
+
+double derivative_richardson(const std::function<double(double)>& f, double x, double h) {
+  if (h <= 0.0) h = default_step(x, 1.0 / 5.0);
+  const double d1 = (f(x + h) - f(x - h)) / (2.0 * h);
+  const double d2 = (f(x + h / 2.0) - f(x - h / 2.0)) / h;
+  return (4.0 * d2 - d1) / 3.0;
+}
+
+double derivative_forward(const std::function<double(double)>& f, double x, double h) {
+  if (h <= 0.0) h = default_step(x, 0.5);
+  return (f(x + h) - f(x)) / h;
+}
+
+Vector gradient_central(const std::function<double(const Vector&)>& f, const Vector& x) {
+  Vector g(x.size());
+  Vector xp = x;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double h = default_step(x[i], 1.0 / 3.0);
+    const double orig = xp[i];
+    xp[i] = orig + h;
+    const double fp = f(xp);
+    xp[i] = orig - h;
+    const double fm = f(xp);
+    xp[i] = orig;
+    g[i] = (fp - fm) / (2.0 * h);
+  }
+  return g;
+}
+
+Matrix jacobian_central(const std::function<Vector(const Vector&)>& r, const Vector& p) {
+  Vector pp = p;
+  const Vector r0 = r(p);
+  Matrix j(r0.size(), p.size());
+  for (std::size_t c = 0; c < p.size(); ++c) {
+    const double h = default_step(p[c], 1.0 / 3.0);
+    const double orig = pp[c];
+    pp[c] = orig + h;
+    const Vector rp = r(pp);
+    pp[c] = orig - h;
+    const Vector rm = r(pp);
+    pp[c] = orig;
+    for (std::size_t i = 0; i < r0.size(); ++i) {
+      j(i, c) = (rp[i] - rm[i]) / (2.0 * h);
+    }
+  }
+  return j;
+}
+
+}  // namespace prm::num

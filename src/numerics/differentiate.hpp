@@ -1,0 +1,33 @@
+// Finite-difference derivatives. Used for Jacobians of models that are not
+// written generically over the scalar type, and to cross-check the dual
+// number implementation in tests.
+#pragma once
+
+#include <functional>
+
+#include "numerics/matrix.hpp"
+
+namespace prm::num {
+
+/// Central difference f'(x) with a curvature-balanced step.
+double derivative_central(const std::function<double(double)>& f, double x,
+                          double h = 0.0);
+
+/// Richardson-extrapolated central difference: two central estimates at h and
+/// h/2 combined for O(h^4) accuracy.
+double derivative_richardson(const std::function<double(double)>& f, double x,
+                             double h = 0.0);
+
+/// Forward difference (for functions only defined to the right of x, e.g.
+/// at a domain boundary t >= 0).
+double derivative_forward(const std::function<double(double)>& f, double x,
+                          double h = 0.0);
+
+/// Gradient of a scalar function of a vector by central differences.
+Vector gradient_central(const std::function<double(const Vector&)>& f, const Vector& x);
+
+/// Jacobian of a vector residual function r(p) (m outputs, n parameters) by
+/// central differences; steps scale with |p_i|.
+Matrix jacobian_central(const std::function<Vector(const Vector&)>& r, const Vector& p);
+
+}  // namespace prm::num

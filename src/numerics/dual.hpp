@@ -1,0 +1,77 @@
+// Forward-mode automatic differentiation with dual numbers.
+//
+// Used by the optimizer layer to build exact Jacobians for models that are
+// written generically over the scalar type (both bathtub models and the
+// mixture families are). A Dual carries the value and the derivative with
+// respect to a single seed; Jacobians are assembled one parameter at a time,
+// which is ideal for the <= 5 parameter models in this library.
+#pragma once
+
+#include <cmath>
+#include <compare>
+
+namespace prm::num {
+
+struct Dual {
+  double v = 0.0;  ///< value
+  double d = 0.0;  ///< derivative w.r.t. the seeded variable
+
+  constexpr Dual() = default;
+  constexpr Dual(double value) : v(value) {}  // NOLINT: implicit by design
+  constexpr Dual(double value, double deriv) : v(value), d(deriv) {}
+
+  /// The independent variable: derivative 1.
+  static constexpr Dual seed(double value) { return {value, 1.0}; }
+
+  constexpr Dual operator-() const { return {-v, -d}; }
+
+  friend constexpr Dual operator+(Dual a, Dual b) { return {a.v + b.v, a.d + b.d}; }
+  friend constexpr Dual operator-(Dual a, Dual b) { return {a.v - b.v, a.d - b.d}; }
+  friend constexpr Dual operator*(Dual a, Dual b) {
+    return {a.v * b.v, a.d * b.v + a.v * b.d};
+  }
+  friend constexpr Dual operator/(Dual a, Dual b) {
+    return {a.v / b.v, (a.d * b.v - a.v * b.d) / (b.v * b.v)};
+  }
+
+  Dual& operator+=(Dual o) { return *this = *this + o; }
+  Dual& operator-=(Dual o) { return *this = *this - o; }
+  Dual& operator*=(Dual o) { return *this = *this * o; }
+  Dual& operator/=(Dual o) { return *this = *this / o; }
+
+  // Comparisons act on values only (derivatives do not order).
+  friend constexpr bool operator==(Dual a, Dual b) { return a.v == b.v; }
+  friend constexpr auto operator<=>(Dual a, Dual b) { return a.v <=> b.v; }
+};
+
+inline Dual exp(Dual a) {
+  const double e = std::exp(a.v);
+  return {e, a.d * e};
+}
+
+inline Dual log(Dual a) { return {std::log(a.v), a.d / a.v}; }
+
+inline Dual sqrt(Dual a) {
+  const double s = std::sqrt(a.v);
+  return {s, a.d / (2.0 * s)};
+}
+
+inline Dual pow(Dual a, double p) {
+  return {std::pow(a.v, p), p * std::pow(a.v, p - 1.0) * a.d};
+}
+
+inline Dual pow(Dual a, Dual b) {
+  // a^b = exp(b log a); valid for a.v > 0.
+  const double val = std::pow(a.v, b.v);
+  const double da = b.v * std::pow(a.v, b.v - 1.0);
+  const double db = val * std::log(a.v);
+  return {val, da * a.d + db * b.d};
+}
+
+inline Dual sin(Dual a) { return {std::sin(a.v), a.d * std::cos(a.v)}; }
+inline Dual cos(Dual a) { return {std::cos(a.v), -a.d * std::sin(a.v)}; }
+inline Dual fabs(Dual a) { return a.v < 0.0 ? -a : a; }
+inline double value(Dual a) { return a.v; }
+inline double value(double a) { return a; }
+
+}  // namespace prm::num

@@ -1,0 +1,159 @@
+#include "numerics/integrate.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace prm::num {
+
+double trapezoid(const std::vector<double>& ts, const std::vector<double>& ys) {
+  if (ts.size() != ys.size()) {
+    throw std::invalid_argument("trapezoid: size mismatch between ts and ys");
+  }
+  if (ts.size() < 2) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 1; i < ts.size(); ++i) {
+    const double dt = ts[i] - ts[i - 1];
+    if (dt <= 0.0) throw std::invalid_argument("trapezoid: ts must be strictly increasing");
+    acc += 0.5 * dt * (ys[i] + ys[i - 1]);
+  }
+  return acc;
+}
+
+double trapezoid(const std::function<double(double)>& f, double a, double b, int panels) {
+  if (panels < 1) throw std::invalid_argument("trapezoid: panels must be >= 1");
+  const double h = (b - a) / panels;
+  double acc = 0.5 * (f(a) + f(b));
+  for (int i = 1; i < panels; ++i) acc += f(a + i * h);
+  return acc * h;
+}
+
+double simpson(const std::function<double(double)>& f, double a, double b, int panels) {
+  if (panels < 2) panels = 2;
+  if (panels % 2 != 0) ++panels;
+  const double h = (b - a) / panels;
+  double acc = f(a) + f(b);
+  for (int i = 1; i < panels; ++i) {
+    acc += f(a + i * h) * ((i % 2 == 1) ? 4.0 : 2.0);
+  }
+  return acc * h / 3.0;
+}
+
+namespace {
+
+struct SimpsonPanel {
+  double fa, fm, fb;
+  double whole;
+};
+
+SimpsonPanel simpson_panel(const std::function<double(double)>& f, double a, double b,
+                           double fa, double fb) {
+  const double m = 0.5 * (a + b);
+  const double fm = f(m);
+  return {fa, fm, fb, (b - a) / 6.0 * (fa + 4.0 * fm + fb)};
+}
+
+double adaptive_rec(const std::function<double(double)>& f, double a, double b,
+                    const SimpsonPanel& p, double tol, int depth, int max_depth,
+                    double* err_acc, int* evals, bool* converged) {
+  const double m = 0.5 * (a + b);
+  const SimpsonPanel left = simpson_panel(f, a, m, p.fa, p.fm);
+  const SimpsonPanel right = simpson_panel(f, m, b, p.fm, p.fb);
+  *evals += 2;
+  const double delta = left.whole + right.whole - p.whole;
+  if (depth >= max_depth) {
+    *converged = false;
+    *err_acc += std::fabs(delta);
+    return left.whole + right.whole + delta / 15.0;
+  }
+  if (std::fabs(delta) <= 15.0 * tol) {
+    *err_acc += std::fabs(delta) / 15.0;
+    return left.whole + right.whole + delta / 15.0;
+  }
+  return adaptive_rec(f, a, m, left, tol / 2.0, depth + 1, max_depth, err_acc, evals, converged) +
+         adaptive_rec(f, m, b, right, tol / 2.0, depth + 1, max_depth, err_acc, evals, converged);
+}
+
+}  // namespace
+
+AdaptiveResult adaptive_simpson(const std::function<double(double)>& f, double a, double b,
+                                double abs_tol, int max_depth) {
+  AdaptiveResult res;
+  res.converged = true;
+  if (a == b) {
+    res.converged = true;
+    return res;
+  }
+  double sign = 1.0;
+  if (a > b) {
+    std::swap(a, b);
+    sign = -1.0;
+  }
+  const double fa = f(a);
+  const double fb = f(b);
+  res.evaluations = 3;
+  const SimpsonPanel root = simpson_panel(f, a, b, fa, fb);
+  res.value = sign * adaptive_rec(f, a, b, root, abs_tol, 0, max_depth, &res.error_estimate,
+                                  &res.evaluations, &res.converged);
+  return res;
+}
+
+namespace {
+
+// Nodes/weights on [-1, 1] for selected orders; higher orders computed by
+// Newton iteration on Legendre polynomials at first use.
+void legendre_nodes(int order, std::vector<double>* x, std::vector<double>* w) {
+  x->assign(order, 0.0);
+  w->assign(order, 0.0);
+  const int m = (order + 1) / 2;
+  for (int i = 0; i < m; ++i) {
+    // Initial guess: Chebyshev-like.
+    double z = std::cos(M_PI * (i + 0.75) / (order + 0.5));
+    double pp = 0.0;
+    for (int it = 0; it < 100; ++it) {
+      double p0 = 1.0;
+      double p1 = 0.0;
+      for (int j = 0; j < order; ++j) {
+        const double p2 = p1;
+        p1 = p0;
+        p0 = ((2.0 * j + 1.0) * z * p1 - j * p2) / (j + 1.0);
+      }
+      pp = order * (z * p0 - p1) / (z * z - 1.0);
+      const double z1 = z;
+      z = z1 - p0 / pp;
+      if (std::fabs(z - z1) < 1e-15) break;
+    }
+    (*x)[i] = -z;
+    (*x)[order - 1 - i] = z;
+    (*w)[i] = 2.0 / ((1.0 - z * z) * pp * pp);
+    (*w)[order - 1 - i] = (*w)[i];
+  }
+}
+
+}  // namespace
+
+double gauss_legendre(const std::function<double(double)>& f, double a, double b, int order) {
+  if (order < 2 || order > 64) {
+    throw std::invalid_argument("gauss_legendre: order must lie in [2, 64]");
+  }
+  std::vector<double> x, w;
+  legendre_nodes(order, &x, &w);
+  const double mid = 0.5 * (a + b);
+  const double half = 0.5 * (b - a);
+  double acc = 0.0;
+  for (int i = 0; i < order; ++i) acc += w[i] * f(mid + half * x[i]);
+  return acc * half;
+}
+
+double gauss_legendre_composite(const std::function<double(double)>& f, double a, double b,
+                                int order, int panels) {
+  if (panels < 1) throw std::invalid_argument("gauss_legendre_composite: panels must be >= 1");
+  const double h = (b - a) / panels;
+  double acc = 0.0;
+  for (int i = 0; i < panels; ++i) {
+    acc += gauss_legendre(f, a + i * h, a + (i + 1) * h, order);
+  }
+  return acc;
+}
+
+}  // namespace prm::num

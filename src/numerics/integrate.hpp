@@ -1,0 +1,43 @@
+// Quadrature for the interval-based resilience metrics (Eqs. 14-21 of the
+// paper). Bathtub models have closed-form areas; mixture models do not, so
+// the metrics layer integrates them numerically. Adaptive Simpson is the
+// default; fixed-order Gauss-Legendre is provided for smooth integrands and
+// trapezoid for sampled data.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace prm::num {
+
+/// Composite trapezoid rule over a sampled series (irregular grids allowed).
+/// ts must be strictly increasing and the sizes must match.
+double trapezoid(const std::vector<double>& ts, const std::vector<double>& ys);
+
+/// Composite trapezoid rule for a function on [a, b] with n panels.
+double trapezoid(const std::function<double(double)>& f, double a, double b, int panels);
+
+/// Composite Simpson rule for a function on [a, b]; `panels` is rounded up
+/// to the next even number.
+double simpson(const std::function<double(double)>& f, double a, double b, int panels);
+
+struct AdaptiveResult {
+  double value = 0.0;
+  double error_estimate = 0.0;
+  int evaluations = 0;
+  bool converged = false;
+};
+
+/// Adaptive Simpson with a global absolute tolerance. Handles a > b by
+/// sign flip; returns 0 for a == b.
+AdaptiveResult adaptive_simpson(const std::function<double(double)>& f, double a, double b,
+                                double abs_tol = 1e-10, int max_depth = 40);
+
+/// Fixed-order Gauss-Legendre (orders 2..16 supported) on [a, b].
+double gauss_legendre(const std::function<double(double)>& f, double a, double b, int order);
+
+/// Composite Gauss-Legendre: split [a, b] into `panels` intervals.
+double gauss_legendre_composite(const std::function<double(double)>& f, double a, double b,
+                                int order, int panels);
+
+}  // namespace prm::num

@@ -1,0 +1,68 @@
+// Direct solvers for the small dense systems that arise in least-squares
+// fitting: Cholesky (for SPD normal equations), Householder QR (for
+// rectangular least squares without forming the normal equations), and
+// partially-pivoted LU (general square systems).
+#pragma once
+
+#include <optional>
+
+#include "numerics/matrix.hpp"
+
+namespace prm::num {
+
+/// Result of a Cholesky factorization A = L L^T (lower triangular L).
+struct CholeskyResult {
+  Matrix l;        ///< Lower-triangular factor.
+  bool ok = false; ///< False if A was not (numerically) positive definite.
+};
+
+/// Factor a symmetric positive definite matrix. Only the lower triangle of
+/// `a` is read. Fails (ok=false) on non-SPD input rather than throwing so
+/// optimizers can react by increasing damping.
+CholeskyResult cholesky(const Matrix& a);
+
+/// Solve A x = b given the Cholesky factor L of A.
+Vector cholesky_solve(const CholeskyResult& chol, const Vector& b);
+
+/// Solve the SPD system A x = b via Cholesky. Returns nullopt if A is not
+/// numerically positive definite.
+std::optional<Vector> solve_spd(const Matrix& a, const Vector& b);
+
+/// Householder QR factorization of an m x n matrix with m >= n.
+struct QrResult {
+  Matrix qr;       ///< Packed factor: R in the upper triangle, reflectors below.
+  Vector beta;     ///< Householder scalars.
+  bool full_rank = false;
+};
+
+QrResult qr_decompose(const Matrix& a);
+
+/// Minimum-norm least squares solution of min ||A x - b||_2 via QR.
+/// Returns nullopt when A is numerically rank deficient.
+std::optional<Vector> qr_solve(const Matrix& a, const Vector& b);
+
+/// LU with partial pivoting for square systems.
+struct LuResult {
+  Matrix lu;                 ///< Packed L (unit diag, below) and U (above).
+  std::vector<std::size_t> perm;  ///< Row permutation.
+  bool singular = true;
+  double sign = 1.0;         ///< Permutation sign, for determinants.
+};
+
+LuResult lu_decompose(const Matrix& a);
+Vector lu_solve(const LuResult& lu, const Vector& b);
+
+/// Solve a general square system; nullopt when singular.
+std::optional<Vector> solve(const Matrix& a, const Vector& b);
+
+/// Inverse of a square matrix via LU; nullopt when singular.
+std::optional<Matrix> inverse(const Matrix& a);
+
+/// Determinant via LU.
+double determinant(const Matrix& a);
+
+/// Crude 1-norm condition estimate ||A||_1 * ||A^-1||_1 (exact inverse).
+/// Returns +inf for singular matrices.
+double condition_1norm(const Matrix& a);
+
+}  // namespace prm::num

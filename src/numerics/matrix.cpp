@@ -1,0 +1,187 @@
+#include "numerics/matrix.hpp"
+
+#include <cmath>
+
+namespace prm::num {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    if (r.size() != cols_) {
+      throw std::invalid_argument("Matrix initializer rows have unequal widths");
+    }
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::diagonal(const Vector& d) {
+  Matrix m(d.size(), d.size(), 0.0);
+  for (std::size_t i = 0; i < d.size(); ++i) m(i, i) = d[i];
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      t(c, r) = (*this)(r, c);
+    }
+  }
+  return t;
+}
+
+Vector Matrix::row(std::size_t r) const {
+  if (r >= rows_) throw std::out_of_range("Matrix::row out of range");
+  return Vector(data_.begin() + static_cast<std::ptrdiff_t>(r * cols_),
+                data_.begin() + static_cast<std::ptrdiff_t>((r + 1) * cols_));
+}
+
+Vector Matrix::col(std::size_t c) const {
+  if (c >= cols_) throw std::out_of_range("Matrix::col out of range");
+  Vector v(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) v[r] = (*this)(r, c);
+  return v;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& x : data_) x *= s;
+  return *this;
+}
+
+namespace {
+void require_same_shape(const Matrix& a, const Matrix& b, const char* op) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    throw std::invalid_argument(std::string("Matrix shape mismatch in ") + op);
+  }
+}
+}  // namespace
+
+Matrix operator+(const Matrix& a, const Matrix& b) {
+  require_same_shape(a, b, "operator+");
+  Matrix out(a.rows(), a.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c) out(r, c) = a(r, c) + b(r, c);
+  return out;
+}
+
+Matrix operator-(const Matrix& a, const Matrix& b) {
+  require_same_shape(a, b, "operator-");
+  Matrix out(a.rows(), a.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c) out(r, c) = a(r, c) - b(r, c);
+  return out;
+}
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("Matrix inner dimension mismatch in operator*");
+  }
+  Matrix out(a.rows(), b.cols(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double ark = a(r, k);
+      if (ark == 0.0) continue;
+      for (std::size_t c = 0; c < b.cols(); ++c) {
+        out(r, c) += ark * b(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix operator*(double s, const Matrix& a) {
+  Matrix out = a;
+  out *= s;
+  return out;
+}
+
+Vector operator*(const Matrix& a, const Vector& x) {
+  if (a.cols() != x.size()) {
+    throw std::invalid_argument("Matrix-vector dimension mismatch");
+  }
+  Vector out(a.rows(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < a.cols(); ++c) s += a(r, c) * x[c];
+    out[r] = s;
+  }
+  return out;
+}
+
+Vector add(const Vector& a, const Vector& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("Vector size mismatch in add");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vector sub(const Vector& a, const Vector& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("Vector size mismatch in sub");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vector scaled(double s, const Vector& a) {
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = s * a[i];
+  return out;
+}
+
+Vector axpy(const Vector& a, double s, const Vector& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("Vector size mismatch in axpy");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + s * b[i];
+  return out;
+}
+
+double dot(const Vector& a, const Vector& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("Vector size mismatch in dot");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(const Vector& a) { return std::sqrt(dot(a, a)); }
+
+double norm_inf(const Vector& a) {
+  double m = 0.0;
+  for (double x : a) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+Matrix gram(const Matrix& a) {
+  Matrix g(a.cols(), a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.cols(); ++i) {
+    for (std::size_t j = i; j < a.cols(); ++j) {
+      double s = 0.0;
+      for (std::size_t r = 0; r < a.rows(); ++r) s += a(r, i) * a(r, j);
+      g(i, j) = s;
+      g(j, i) = s;
+    }
+  }
+  return g;
+}
+
+Vector at_times(const Matrix& a, const Vector& b) {
+  if (a.rows() != b.size()) {
+    throw std::invalid_argument("Dimension mismatch in at_times");
+  }
+  Vector out(a.cols(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double br = b[r];
+    if (br == 0.0) continue;
+    for (std::size_t c = 0; c < a.cols(); ++c) out[c] += a(r, c) * br;
+  }
+  return out;
+}
+
+}  // namespace prm::num

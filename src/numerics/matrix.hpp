@@ -1,0 +1,124 @@
+// Dense row-major matrix and vector types used throughout prm.
+//
+// These are deliberately small: the fitting problems in this library involve
+// Jacobians of at most a few hundred rows and fewer than ten columns, so a
+// simple contiguous row-major container with bounds-checked access in debug
+// builds is the right tool. No expression templates, no views.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <stdexcept>
+#include <vector>
+
+namespace prm::num {
+
+/// Dense column vector of doubles with value semantics.
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix of doubles with value semantics.
+///
+/// Invariant: data_.size() == rows_ * cols_ at all times.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// rows x cols matrix, all elements set to `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Construct from nested initializer list; all rows must have equal width.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// Identity matrix of size n.
+  static Matrix identity(std::size_t n);
+
+  /// Diagonal matrix from a vector.
+  static Matrix diagonal(const Vector& d);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  bool empty() const noexcept { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    check(r, c);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    check(r, c);
+    return data_[r * cols_ + c];
+  }
+
+  /// Raw contiguous storage (row-major).
+  const double* data() const noexcept { return data_.data(); }
+  double* data() noexcept { return data_.data(); }
+
+  /// Transposed copy.
+  Matrix transposed() const;
+
+  /// Extract row r / column c as a vector.
+  Vector row(std::size_t r) const;
+  Vector col(std::size_t c) const;
+
+  /// In-place scale by a scalar.
+  Matrix& operator*=(double s);
+
+  bool operator==(const Matrix& other) const = default;
+
+ private:
+  void check(std::size_t r, std::size_t c) const {
+    if (r >= rows_ || c >= cols_) {
+      throw std::out_of_range("Matrix index out of range");
+    }
+  }
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// --- Matrix/vector algebra ---------------------------------------------
+
+Matrix operator+(const Matrix& a, const Matrix& b);
+Matrix operator-(const Matrix& a, const Matrix& b);
+Matrix operator*(const Matrix& a, const Matrix& b);
+Matrix operator*(double s, const Matrix& a);
+
+/// Matrix-vector product; x.size() must equal a.cols().
+Vector operator*(const Matrix& a, const Vector& x);
+
+// --- Vector algebra ------------------------------------------------------
+//
+// Vector is an alias for std::vector<double>, so these are named functions
+// rather than operators (operators on std::vector would not be found by ADL
+// outside this namespace).
+
+/// Element-wise a + b; sizes must match.
+Vector add(const Vector& a, const Vector& b);
+
+/// Element-wise a - b; sizes must match.
+Vector sub(const Vector& a, const Vector& b);
+
+/// s * a.
+Vector scaled(double s, const Vector& a);
+
+/// a + s * b (BLAS axpy); sizes must match.
+Vector axpy(const Vector& a, double s, const Vector& b);
+
+/// Dot product; sizes must match.
+double dot(const Vector& a, const Vector& b);
+
+/// Euclidean norm.
+double norm2(const Vector& a);
+
+/// Max-absolute-value norm.
+double norm_inf(const Vector& a);
+
+/// a^T * a as a square matrix (Gram matrix of columns), i.e. A^T A.
+Matrix gram(const Matrix& a);
+
+/// A^T * b for matrix A and vector b.
+Vector at_times(const Matrix& a, const Vector& b);
+
+}  // namespace prm::num

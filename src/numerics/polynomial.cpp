@@ -1,0 +1,110 @@
+#include "numerics/polynomial.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace prm::num {
+
+double polyval(const std::vector<double>& coeffs, double t) {
+  double acc = 0.0;
+  for (std::size_t i = coeffs.size(); i-- > 0;) acc = acc * t + coeffs[i];
+  return acc;
+}
+
+std::vector<double> polyder(const std::vector<double>& coeffs) {
+  if (coeffs.size() <= 1) return {};
+  std::vector<double> d(coeffs.size() - 1);
+  for (std::size_t i = 1; i < coeffs.size(); ++i) {
+    d[i - 1] = static_cast<double>(i) * coeffs[i];
+  }
+  return d;
+}
+
+std::vector<double> quadratic_roots(double a, double b, double c) {
+  constexpr double kEps = 1e-14;
+  const double scale = std::max({std::fabs(a), std::fabs(b), std::fabs(c), 1e-300});
+  if (std::fabs(a) <= kEps * scale) {
+    // Linear b t + c = 0.
+    if (std::fabs(b) <= kEps * scale) return {};
+    return {-c / b};
+  }
+  const double disc = b * b - 4.0 * a * c;
+  if (disc < 0.0) return {};
+  if (disc == 0.0) return {-b / (2.0 * a)};
+  const double sq = std::sqrt(disc);
+  // q = -(b + sign(b) sqrt(disc)) / 2 avoids cancellation.
+  const double q = -0.5 * (b + std::copysign(sq, b));
+  double r1 = q / a;
+  double r2 = (q != 0.0) ? c / q : -b / a - r1;
+  if (r1 > r2) std::swap(r1, r2);
+  return {r1, r2};
+}
+
+std::vector<double> cubic_roots(double a, double b, double c, double d) {
+  constexpr double kEps = 1e-14;
+  const double scale = std::max({std::fabs(a), std::fabs(b), std::fabs(c), std::fabs(d), 1e-300});
+  if (std::fabs(a) <= kEps * scale) return quadratic_roots(b, c, d);
+
+  // Normalize to t^3 + p2 t^2 + p1 t + p0.
+  const double p2 = b / a;
+  const double p1 = c / a;
+  const double p0 = d / a;
+
+  // Depressed cubic y^3 + py + q with t = y - p2/3.
+  const double shift = p2 / 3.0;
+  const double p = p1 - p2 * p2 / 3.0;
+  const double q = 2.0 * p2 * p2 * p2 / 27.0 - p2 * p1 / 3.0 + p0;
+
+  std::vector<double> roots;
+  const double disc = q * q / 4.0 + p * p * p / 27.0;
+  if (disc > 1e-13 * scale) {
+    // One real root (Cardano).
+    const double sq = std::sqrt(disc);
+    const double u = std::cbrt(-q / 2.0 + sq);
+    const double v = std::cbrt(-q / 2.0 - sq);
+    roots.push_back(u + v - shift);
+  } else if (disc < -1e-13 * scale) {
+    // Three distinct real roots (trigonometric form).
+    const double r = std::sqrt(-p * p * p / 27.0);
+    const double phi = std::acos(std::clamp(-q / (2.0 * r), -1.0, 1.0));
+    const double m = 2.0 * std::sqrt(-p / 3.0);
+    for (int k = 0; k < 3; ++k) {
+      roots.push_back(m * std::cos((phi + 2.0 * M_PI * k) / 3.0) - shift);
+    }
+  } else {
+    // Repeated roots.
+    if (std::fabs(q) <= kEps && std::fabs(p) <= kEps) {
+      roots.push_back(-shift);
+    } else {
+      const double u = std::cbrt(-q / 2.0);
+      roots.push_back(2.0 * u - shift);
+      roots.push_back(-u - shift);
+    }
+  }
+
+  std::sort(roots.begin(), roots.end());
+  // One Newton polish per root to tighten the trigonometric form.
+  for (double& t : roots) {
+    for (int it = 0; it < 2; ++it) {
+      const double f = ((a * t + b) * t + c) * t + d;
+      const double fp = (3.0 * a * t + 2.0 * b) * t + c;
+      if (fp != 0.0) t -= f / fp;
+    }
+  }
+  roots.erase(std::unique(roots.begin(), roots.end(),
+                          [](double x, double y) { return std::fabs(x - y) < 1e-10; }),
+              roots.end());
+  return roots;
+}
+
+bool first_root_after(const std::vector<double>& roots, double after, double* out) {
+  for (double r : roots) {
+    if (r > after) {
+      *out = r;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace prm::num

@@ -1,0 +1,31 @@
+// Polynomial evaluation and closed-form real roots for degrees 1-3.
+// The bathtub resilience models reduce recovery-time and trough questions to
+// quadratic/cubic equations; these helpers keep that logic exact instead of
+// falling back to iterative root finding.
+#pragma once
+
+#include <vector>
+
+namespace prm::num {
+
+/// Evaluate a polynomial with coefficients in ascending order
+/// (coeffs[0] + coeffs[1] t + coeffs[2] t^2 + ...) by Horner's rule.
+double polyval(const std::vector<double>& coeffs, double t);
+
+/// Derivative coefficients of the polynomial (ascending order).
+std::vector<double> polyder(const std::vector<double>& coeffs);
+
+/// Real roots of a t^2 + b t + c = 0, sorted ascending. Degenerate (a ~ 0)
+/// inputs fall back to the linear case. Returns an empty vector when no real
+/// root exists. Uses the numerically stable citardauq formulation.
+std::vector<double> quadratic_roots(double a, double b, double c);
+
+/// Real roots of a t^3 + b t^2 + c t + d = 0, sorted ascending, deduplicated
+/// within tolerance. Falls back to quadratic when a ~ 0.
+std::vector<double> cubic_roots(double a, double b, double c, double d);
+
+/// Smallest root strictly greater than `after`, if any.
+/// Helper for "first time the curve crosses level L after the trough".
+bool first_root_after(const std::vector<double>& roots, double after, double* out);
+
+}  // namespace prm::num

@@ -1,0 +1,205 @@
+#include "numerics/roots.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace prm::num {
+
+namespace {
+bool opposite_signs(double a, double b) {
+  return (a < 0.0 && b > 0.0) || (a > 0.0 && b < 0.0);
+}
+}  // namespace
+
+RootResult bisect(const std::function<double(double)>& f, double lo, double hi,
+                  const RootOptions& opts) {
+  if (lo > hi) std::swap(lo, hi);
+  double flo = f(lo);
+  double fhi = f(hi);
+  RootResult res;
+  if (flo == 0.0) return {lo, 0.0, 0, true};
+  if (fhi == 0.0) return {hi, 0.0, 0, true};
+  if (!opposite_signs(flo, fhi)) {
+    res.x = std::fabs(flo) < std::fabs(fhi) ? lo : hi;
+    res.fx = std::fabs(flo) < std::fabs(fhi) ? flo : fhi;
+    return res;  // converged = false
+  }
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    const double fm = f(mid);
+    res.iterations = it + 1;
+    if (fm == 0.0 || hi - lo < opts.x_tol ||
+        (opts.f_tol > 0.0 && std::fabs(fm) <= opts.f_tol)) {
+      return {mid, fm, it + 1, true};
+    }
+    if (opposite_signs(flo, fm)) {
+      hi = mid;
+      fhi = fm;
+    } else {
+      lo = mid;
+      flo = fm;
+    }
+  }
+  res.x = 0.5 * (lo + hi);
+  res.fx = f(res.x);
+  res.converged = hi - lo < opts.x_tol * 16;
+  return res;
+}
+
+RootResult brent(const std::function<double(double)>& f, double lo, double hi,
+                 const RootOptions& opts) {
+  double a = lo;
+  double b = hi;
+  double fa = f(a);
+  double fb = f(b);
+  RootResult res;
+  if (fa == 0.0) return {a, 0.0, 0, true};
+  if (fb == 0.0) return {b, 0.0, 0, true};
+  if (!opposite_signs(fa, fb)) {
+    res.x = std::fabs(fa) < std::fabs(fb) ? a : b;
+    res.fx = std::fabs(fa) < std::fabs(fb) ? fa : fb;
+    return res;
+  }
+  double c = a;
+  double fc = fa;
+  double d = b - a;
+  double e = d;
+
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    if (std::fabs(fc) < std::fabs(fb)) {
+      a = b; b = c; c = a;
+      fa = fb; fb = fc; fc = fa;
+    }
+    const double tol = 2.0 * std::numeric_limits<double>::epsilon() * std::fabs(b) +
+                       0.5 * opts.x_tol;
+    const double m = 0.5 * (c - b);
+    if (std::fabs(m) <= tol || fb == 0.0 ||
+        (opts.f_tol > 0.0 && std::fabs(fb) <= opts.f_tol)) {
+      return {b, fb, it, true};
+    }
+    if (std::fabs(e) < tol || std::fabs(fa) <= std::fabs(fb)) {
+      d = m;
+      e = m;
+    } else {
+      double p, q;
+      const double s = fb / fa;
+      if (a == c) {
+        // Secant.
+        p = 2.0 * m * s;
+        q = 1.0 - s;
+      } else {
+        // Inverse quadratic interpolation.
+        const double qq = fa / fc;
+        const double r = fb / fc;
+        p = s * (2.0 * m * qq * (qq - r) - (b - a) * (r - 1.0));
+        q = (qq - 1.0) * (r - 1.0) * (s - 1.0);
+      }
+      if (p > 0.0) q = -q;
+      p = std::fabs(p);
+      if (2.0 * p < std::min(3.0 * m * q - std::fabs(tol * q), std::fabs(e * q))) {
+        e = d;
+        d = p / q;
+      } else {
+        d = m;
+        e = m;
+      }
+    }
+    a = b;
+    fa = fb;
+    b += (std::fabs(d) > tol) ? d : std::copysign(tol, m);
+    fb = f(b);
+    if ((fb > 0.0) == (fc > 0.0)) {
+      c = a;
+      fc = fa;
+      e = b - a;
+      d = e;
+    }
+    res.iterations = it + 1;
+  }
+  res.x = b;
+  res.fx = fb;
+  res.converged = false;
+  return res;
+}
+
+RootResult newton_safeguarded(const std::function<std::pair<double, double>(double)>& fdf,
+                              double x0, double lo, double hi, const RootOptions& opts) {
+  if (lo > hi) std::swap(lo, hi);
+  double x = std::clamp(x0, lo, hi);
+  RootResult res;
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    const auto [fx, dfx] = fdf(x);
+    res = {x, fx, it + 1, false};
+    if (std::fabs(fx) <= std::max(opts.f_tol, 1e-14)) {
+      res.converged = true;
+      return res;
+    }
+    double step;
+    if (dfx != 0.0 && std::isfinite(dfx)) {
+      step = -fx / dfx;
+    } else {
+      step = (hi - lo) * 0.25;  // derivative unusable; nudge
+    }
+    double xn = x + step;
+    if (!(xn > lo && xn < hi)) xn = 0.5 * (lo + hi);  // safeguard: bisect the box
+    if (std::fabs(xn - x) < opts.x_tol) {
+      res.x = xn;
+      res.converged = true;
+      return res;
+    }
+    // Shrink the box around the current iterate using the sign of f.
+    if (fx > 0.0) {
+      // Prefer moving toward where f decreases; keep box consistent.
+      if (xn < x) hi = x; else lo = x;
+    } else {
+      if (xn < x) hi = x; else lo = x;
+    }
+    x = xn;
+  }
+  return res;
+}
+
+std::optional<std::pair<double, double>> expand_bracket(
+    const std::function<double(double)>& f, double a, double b, int max_expand) {
+  if (a == b) b = a + 1.0;
+  if (a > b) std::swap(a, b);
+  double fa = f(a);
+  double fb = f(b);
+  for (int i = 0; i < max_expand; ++i) {
+    if (opposite_signs(fa, fb)) return std::make_pair(a, b);
+    // Expand the end with the smaller |f| less aggressively.
+    const double w = b - a;
+    if (std::fabs(fa) < std::fabs(fb)) {
+      a -= 0.8 * w;
+      fa = f(a);
+    } else {
+      b += 0.8 * w;
+      fb = f(b);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<double> first_crossing(const std::function<double(double)>& f, double lo,
+                                     double hi, int steps, const RootOptions& opts) {
+  if (steps < 1 || !(hi > lo)) return std::nullopt;
+  const double h = (hi - lo) / steps;
+  double x0 = lo;
+  double f0 = f(x0);
+  if (f0 == 0.0) return x0;
+  for (int i = 1; i <= steps; ++i) {
+    const double x1 = lo + i * h;
+    const double f1 = f(x1);
+    if (f1 == 0.0) return x1;
+    if (opposite_signs(f0, f1)) {
+      const RootResult r = brent(f, x0, x1, opts);
+      if (r.converged) return r.x;
+      return 0.5 * (x0 + x1);
+    }
+    x0 = x1;
+    f0 = f1;
+  }
+  return std::nullopt;
+}
+
+}  // namespace prm::num

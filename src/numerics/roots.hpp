@@ -1,0 +1,52 @@
+// One-dimensional root finding for the cases where no closed form exists
+// (mixture-model recovery times, model trough location). Bracketing methods
+// only: the resilience curves are smooth but their derivatives are awkward,
+// so Brent is the workhorse; safeguarded Newton is provided for callers that
+// have derivatives.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+namespace prm::num {
+
+/// Outcome of a 1-D root search.
+struct RootResult {
+  double x = 0.0;          ///< Best estimate.
+  double fx = 0.0;         ///< Residual at x.
+  int iterations = 0;
+  bool converged = false;
+};
+
+struct RootOptions {
+  double x_tol = 1e-12;    ///< Absolute tolerance on the bracket width.
+  double f_tol = 0.0;      ///< Accept when |f(x)| <= f_tol (0 = bracket only).
+  int max_iterations = 200;
+};
+
+/// Bisection on [lo, hi]; requires f(lo) and f(hi) of opposite sign.
+RootResult bisect(const std::function<double(double)>& f, double lo, double hi,
+                  const RootOptions& opts = {});
+
+/// Brent's method on [lo, hi]; requires a sign change. Superlinear on smooth
+/// functions, never worse than bisection.
+RootResult brent(const std::function<double(double)>& f, double lo, double hi,
+                 const RootOptions& opts = {});
+
+/// Newton's method with bisection safeguard inside [lo, hi].
+/// fdf must return {f(x), f'(x)}.
+RootResult newton_safeguarded(const std::function<std::pair<double, double>(double)>& fdf,
+                              double x0, double lo, double hi, const RootOptions& opts = {});
+
+/// Expand a bracket [a, b] geometrically until f changes sign or the limit
+/// `max_expand` is hit. Returns the bracket if found.
+std::optional<std::pair<double, double>> expand_bracket(
+    const std::function<double(double)>& f, double a, double b, int max_expand = 60);
+
+/// Scan [lo, hi] in `steps` uniform cells and return the first cell with a
+/// sign change, refined by Brent. Useful when multiple roots may exist and
+/// the caller wants the earliest one.
+std::optional<double> first_crossing(const std::function<double(double)>& f, double lo,
+                                     double hi, int steps = 256, const RootOptions& opts = {});
+
+}  // namespace prm::num

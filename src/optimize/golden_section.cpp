@@ -1,0 +1,70 @@
+#include "optimize/golden_section.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace prm::opt {
+
+GoldenResult golden_section(const std::function<double(double)>& f, double lo, double hi,
+                            double x_tol, int max_iterations) {
+  if (lo > hi) std::swap(lo, hi);
+  constexpr double kInvPhi = 0.6180339887498949;  // 1/phi
+  double a = lo;
+  double b = hi;
+  double c = b - (b - a) * kInvPhi;
+  double d = a + (b - a) * kInvPhi;
+  double fc = f(c);
+  double fd = f(d);
+  GoldenResult res;
+  for (int it = 0; it < max_iterations; ++it) {
+    res.iterations = it + 1;
+    if (b - a < x_tol) {
+      res.converged = true;
+      break;
+    }
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - (b - a) * kInvPhi;
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + (b - a) * kInvPhi;
+      fd = f(d);
+    }
+  }
+  res.x = (fc < fd) ? c : d;
+  res.fx = std::min(fc, fd);
+  if (res.iterations >= max_iterations && b - a < x_tol * 16) res.converged = true;
+  return res;
+}
+
+GoldenResult scan_then_golden(const std::function<double(double)>& f, double lo, double hi,
+                              int samples, double x_tol) {
+  if (samples < 3) throw std::invalid_argument("scan_then_golden: samples must be >= 3");
+  if (lo > hi) std::swap(lo, hi);
+  const double h = (hi - lo) / (samples - 1);
+  double best_x = lo;
+  double best_f = f(lo);
+  for (int i = 1; i < samples; ++i) {
+    const double x = lo + i * h;
+    const double fx = f(x);
+    if (fx < best_f) {
+      best_f = fx;
+      best_x = x;
+    }
+  }
+  const double a = std::max(lo, best_x - h);
+  const double b = std::min(hi, best_x + h);
+  GoldenResult res = golden_section(f, a, b, x_tol);
+  if (best_f < res.fx) {
+    res.x = best_x;
+    res.fx = best_f;
+  }
+  return res;
+}
+
+}  // namespace prm::opt

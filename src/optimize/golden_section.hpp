@@ -1,0 +1,28 @@
+// One-dimensional minimization by golden-section search, used to locate the
+// trough of a fitted resilience curve when no closed form exists (mixture
+// models) and to tune single scalar knobs in the ablation benches.
+#pragma once
+
+#include <functional>
+
+namespace prm::opt {
+
+struct GoldenResult {
+  double x = 0.0;
+  double fx = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Minimize f on [lo, hi]; f need not be unimodal but the result is then
+/// only a local minimum.
+GoldenResult golden_section(const std::function<double(double)>& f, double lo, double hi,
+                            double x_tol = 1e-10, int max_iterations = 200);
+
+/// Coarse-to-fine scan: sample [lo, hi] at `samples` points, then refine the
+/// best cell with golden section. Robust when several local minima exist
+/// (e.g. a W-shaped curve) and the global one is wanted.
+GoldenResult scan_then_golden(const std::function<double(double)>& f, double lo, double hi,
+                              int samples = 128, double x_tol = 1e-10);
+
+}  // namespace prm::opt

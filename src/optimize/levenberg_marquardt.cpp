@@ -1,0 +1,201 @@
+#include "optimize/levenberg_marquardt.hpp"
+
+#include <cmath>
+
+#include "numerics/differentiate.hpp"
+#include "numerics/linalg.hpp"
+
+namespace prm::opt {
+
+const char* to_string(StopReason reason) {
+  switch (reason) {
+    case StopReason::kConverged: return "converged";
+    case StopReason::kMaxIterations: return "max-iterations";
+    case StopReason::kStalled: return "stalled";
+    case StopReason::kNumericalFailure: return "numerical-failure";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool all_finite(const num::Vector& v) {
+  for (double x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+double half_squared_norm(const num::Vector& r) {
+  double s = 0.0;
+  for (double x : r) s += x * x;
+  return 0.5 * s;
+}
+
+num::Matrix eval_jacobian(const ResidualProblem& problem, const num::Vector& p,
+                          int* evals) {
+  if (problem.jacobian) {
+    return problem.jacobian(p);
+  }
+  *evals += static_cast<int>(2 * p.size());
+  return num::jacobian_central(problem.residuals, p);
+}
+
+}  // namespace
+
+OptimizeResult levenberg_marquardt(const ResidualProblem& problem, const num::Vector& initial,
+                                   const LmOptions& options) {
+  OptimizeResult result;
+  result.parameters = initial;
+
+  num::Vector p = initial;
+  num::Vector r = problem.residuals(p);
+  result.function_evaluations = 1;
+  if (!all_finite(r)) {
+    result.stop_reason = StopReason::kNumericalFailure;
+    result.cost = std::numeric_limits<double>::infinity();
+    return result;
+  }
+  double cost = half_squared_norm(r);
+
+  num::Matrix j = eval_jacobian(problem, p, &result.function_evaluations);
+  num::Matrix jtj = num::gram(j);
+  num::Vector g = num::at_times(j, r);
+
+  double max_diag = 0.0;
+  for (std::size_t i = 0; i < jtj.rows(); ++i) max_diag = std::max(max_diag, jtj(i, i));
+  double mu = options.initial_mu * std::max(max_diag, 1e-12);
+
+  result.stop_reason = StopReason::kMaxIterations;
+  for (int it = 0; it < options.max_iterations; ++it) {
+    result.iterations = it + 1;
+
+    if (num::norm_inf(g) < options.gradient_tol) {
+      result.stop_reason = StopReason::kConverged;
+      break;
+    }
+
+    // Try steps with increasing damping until one is productive.
+    bool stepped = false;
+    for (int attempt = 0; attempt < 40; ++attempt) {
+      // (J^T J + mu * diag(J^T J + eps)) dp = -g
+      num::Matrix a = jtj;
+      for (std::size_t i = 0; i < a.rows(); ++i) {
+        a(i, i) += mu * std::max(jtj(i, i), 1e-12);
+      }
+      const auto dp_opt = num::solve_spd(a, num::scaled(-1.0, g));
+      if (!dp_opt) {
+        mu = std::min(mu * options.mu_increase, options.max_mu);
+        continue;
+      }
+      const num::Vector& dp = *dp_opt;
+
+      const double step_norm = num::norm2(dp);
+      const double p_norm = std::max(num::norm2(p), 1e-12);
+      if (step_norm <= options.step_tol * p_norm) {
+        result.stop_reason = StopReason::kConverged;
+        stepped = false;
+        break;
+      }
+
+      const num::Vector p_new = num::add(p, dp);
+      const num::Vector r_new = problem.residuals(p_new);
+      ++result.function_evaluations;
+      if (!all_finite(r_new)) {
+        mu = std::min(mu * options.mu_increase, options.max_mu);
+        continue;
+      }
+      const double cost_new = half_squared_norm(r_new);
+
+      // Gain ratio: actual reduction over the reduction predicted by the
+      // quadratic model, 0.5 * dp^T (mu D dp - g).
+      double predicted = 0.0;
+      for (std::size_t i = 0; i < dp.size(); ++i) {
+        predicted += dp[i] * (mu * std::max(jtj(i, i), 1e-12) * dp[i] - g[i]);
+      }
+      predicted *= 0.5;
+      const double actual = cost - cost_new;
+      const double rho = (predicted > 0.0) ? actual / predicted : (actual > 0.0 ? 1.0 : -1.0);
+
+      if (rho > 0.0 && actual > 0.0) {
+        // Accept.
+        const double rel_reduction = actual / std::max(cost, 1e-300);
+        p = p_new;
+        r = r_new;
+        cost = cost_new;
+        j = eval_jacobian(problem, p, &result.function_evaluations);
+        jtj = num::gram(j);
+        g = num::at_times(j, r);
+        // Nielsen-style damping update.
+        const double factor = std::max(options.mu_decrease, 1.0 - std::pow(2.0 * rho - 1.0, 3));
+        mu = std::max(mu * factor, 1e-18);
+        stepped = true;
+        if (rel_reduction < options.cost_tol) {
+          result.stop_reason = StopReason::kConverged;
+        }
+        break;
+      }
+      mu = std::min(mu * options.mu_increase, options.max_mu);
+      if (mu >= options.max_mu) break;
+    }
+
+    if (result.stop_reason == StopReason::kConverged) break;
+    if (!stepped) {
+      if (result.stop_reason != StopReason::kConverged) {
+        result.stop_reason = StopReason::kStalled;
+      }
+      break;
+    }
+  }
+
+  result.parameters = p;
+  result.cost = cost;
+  return result;
+}
+
+OptimizeResult gauss_newton(const ResidualProblem& problem, const num::Vector& initial,
+                            int max_iterations) {
+  OptimizeResult result;
+  num::Vector p = initial;
+  num::Vector r = problem.residuals(p);
+  result.function_evaluations = 1;
+  double cost = half_squared_norm(r);
+  result.stop_reason = StopReason::kMaxIterations;
+
+  for (int it = 0; it < max_iterations; ++it) {
+    result.iterations = it + 1;
+    const num::Matrix j = eval_jacobian(problem, p, &result.function_evaluations);
+    const num::Vector g = num::at_times(j, r);
+    if (num::norm_inf(g) < 1e-12) {
+      result.stop_reason = StopReason::kConverged;
+      break;
+    }
+    const auto dp = num::solve_spd(num::gram(j), num::scaled(-1.0, g));
+    if (!dp) {
+      result.stop_reason = StopReason::kStalled;
+      break;
+    }
+    const num::Vector p_new = num::add(p, *dp);
+    const num::Vector r_new = problem.residuals(p_new);
+    ++result.function_evaluations;
+    const double cost_new = half_squared_norm(r_new);
+    if (!all_finite(r_new) || cost_new >= cost) {
+      result.stop_reason = StopReason::kStalled;
+      break;
+    }
+    if ((cost - cost_new) / std::max(cost, 1e-300) < 1e-14) {
+      p = p_new;
+      cost = cost_new;
+      result.stop_reason = StopReason::kConverged;
+      break;
+    }
+    p = p_new;
+    r = r_new;
+    cost = cost_new;
+  }
+  result.parameters = p;
+  result.cost = cost;
+  return result;
+}
+
+}  // namespace prm::opt

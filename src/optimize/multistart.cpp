@@ -1,0 +1,102 @@
+#include "optimize/multistart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace prm::opt {
+
+std::vector<num::Vector> latin_hypercube(const num::Vector& lo, const num::Vector& hi,
+                                         int count, std::uint64_t seed) {
+  if (lo.size() != hi.size()) {
+    throw std::invalid_argument("latin_hypercube: bound size mismatch");
+  }
+  for (std::size_t d = 0; d < lo.size(); ++d) {
+    if (!(lo[d] <= hi[d])) throw std::invalid_argument("latin_hypercube: lo > hi");
+  }
+  if (count <= 0) return {};
+  const std::size_t dims = lo.size();
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  // One stratified permutation per dimension.
+  std::vector<std::vector<int>> perms(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    perms[d].resize(count);
+    for (int i = 0; i < count; ++i) perms[d][i] = i;
+    std::shuffle(perms[d].begin(), perms[d].end(), rng);
+  }
+
+  std::vector<num::Vector> pts(count, num::Vector(dims));
+  for (int i = 0; i < count; ++i) {
+    for (std::size_t d = 0; d < dims; ++d) {
+      const double cell = (perms[d][i] + unit(rng)) / count;
+      pts[i][d] = lo[d] + (hi[d] - lo[d]) * cell;
+    }
+  }
+  return pts;
+}
+
+MultistartResult multistart_least_squares(const ResidualProblem& problem,
+                                          const std::vector<num::Vector>& starts,
+                                          const num::Vector& search_lo,
+                                          const num::Vector& search_hi,
+                                          const MultistartOptions& options) {
+  MultistartResult out;
+  out.best.cost = std::numeric_limits<double>::infinity();
+  out.best.stop_reason = StopReason::kNumericalFailure;
+
+  std::vector<num::Vector> all = starts;
+
+  // Jittered copies of caller starts.
+  std::mt19937_64 rng(options.seed);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  for (const num::Vector& s : starts) {
+    for (int j = 0; j < options.jitter_per_start; ++j) {
+      num::Vector v = s;
+      for (double& x : v) {
+        const double scale = options.jitter_rel * std::max(std::fabs(x), 0.1);
+        x += scale * gauss(rng);
+      }
+      all.push_back(std::move(v));
+    }
+  }
+
+  if (options.sampled_starts > 0) {
+    if (search_lo.empty() || search_hi.empty()) {
+      throw std::invalid_argument(
+          "multistart_least_squares: sampled starts require a search box");
+    }
+    auto lhs = latin_hypercube(search_lo, search_hi, options.sampled_starts, options.seed ^ 0x9e3779b97f4a7c15ULL);
+    all.insert(all.end(), lhs.begin(), lhs.end());
+  }
+  if (all.empty()) {
+    throw std::invalid_argument("multistart_least_squares: no starting points");
+  }
+
+  for (const num::Vector& s : all) {
+    ++out.starts_tried;
+    OptimizeResult r = levenberg_marquardt(problem, s, options.lm);
+    if (!std::isfinite(r.cost)) {
+      ++out.starts_failed;
+      continue;
+    }
+    if (options.polish_with_nelder_mead && r.usable()) {
+      NelderMeadOptions nm = options.nm;
+      nm.initial_step = 0.02;
+      OptimizeResult polished = nelder_mead_least_squares(problem.residuals, r.parameters, nm);
+      if (std::isfinite(polished.cost) && polished.cost < r.cost) {
+        polished.function_evaluations += r.function_evaluations;
+        polished.iterations += r.iterations;
+        r = polished;
+        // A Nelder-Mead improvement still counts as a converged LS fit when
+        // it met its own tolerances.
+      }
+    }
+    if (r.cost < out.best.cost) out.best = r;
+  }
+  return out;
+}
+
+}  // namespace prm::opt

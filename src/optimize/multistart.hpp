@@ -1,0 +1,52 @@
+// Multistart driver: run Levenberg-Marquardt (with optional Nelder-Mead
+// polish) from several starting points and keep the best finisher.
+//
+// Nonlinear resilience fits have narrow basins — especially the mixture
+// families, whose recovery-trend coefficient trades off against the Weibull
+// scale. A handful of deterministic, seeded starts (user guesses plus
+// jittered and Latin-hypercube points inside a search box) makes the fit
+// reproducible and robust without a global optimizer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "optimize/levenberg_marquardt.hpp"
+#include "optimize/nelder_mead.hpp"
+#include "optimize/problem.hpp"
+
+namespace prm::opt {
+
+struct MultistartOptions {
+  /// Number of additional starts sampled inside `search_lo`/`search_hi`
+  /// (Latin hypercube), on top of the caller-provided starts.
+  int sampled_starts = 8;
+  /// Jittered copies of each caller-provided start.
+  int jitter_per_start = 2;
+  double jitter_rel = 0.25;  ///< Relative jitter magnitude.
+  std::uint64_t seed = 0x5eedf17u;
+  LmOptions lm;
+  bool polish_with_nelder_mead = true;
+  NelderMeadOptions nm;
+};
+
+struct MultistartResult {
+  OptimizeResult best;
+  int starts_tried = 0;
+  int starts_failed = 0;  ///< Starts that produced non-finite costs.
+};
+
+/// Minimize 0.5*||r(p)||^2 over starts. `search_lo`/`search_hi` bound the
+/// sampled starts (required non-empty iff sampled_starts > 0); caller starts
+/// are used as-is.
+MultistartResult multistart_least_squares(const ResidualProblem& problem,
+                                          const std::vector<num::Vector>& starts,
+                                          const num::Vector& search_lo,
+                                          const num::Vector& search_hi,
+                                          const MultistartOptions& options = {});
+
+/// Deterministic Latin hypercube sample of `count` points in [lo, hi]^n.
+std::vector<num::Vector> latin_hypercube(const num::Vector& lo, const num::Vector& hi,
+                                         int count, std::uint64_t seed);
+
+}  // namespace prm::opt

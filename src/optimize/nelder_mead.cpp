@@ -1,0 +1,140 @@
+#include "optimize/nelder_mead.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace prm::opt {
+
+OptimizeResult nelder_mead(const ScalarFn& f, const num::Vector& initial,
+                           const NelderMeadOptions& opt) {
+  const std::size_t n = initial.size();
+  OptimizeResult result;
+  result.parameters = initial;
+  if (n == 0) {
+    result.stop_reason = StopReason::kConverged;
+    return result;
+  }
+
+  auto safe_eval = [&](const num::Vector& x) {
+    const double v = f(x);
+    return std::isfinite(v) ? v : std::numeric_limits<double>::max();
+  };
+
+  // Build the initial simplex: initial plus a perturbation along each axis.
+  std::vector<num::Vector> simplex(n + 1, initial);
+  std::vector<double> fx(n + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    double step = opt.initial_step * std::fabs(initial[i]);
+    if (step == 0.0) step = opt.initial_step * 0.1;
+    simplex[i + 1][i] += step;
+  }
+  for (std::size_t i = 0; i <= n; ++i) fx[i] = safe_eval(simplex[i]);
+  result.function_evaluations = static_cast<int>(n + 1);
+
+  std::vector<std::size_t> order(n + 1);
+  result.stop_reason = StopReason::kMaxIterations;
+
+  for (int it = 0; it < opt.max_iterations; ++it) {
+    result.iterations = it + 1;
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return fx[a] < fx[b]; });
+    const std::size_t best = order[0];
+    const std::size_t worst = order[n];
+    const std::size_t second_worst = order[n - 1];
+
+    // Convergence: simplex size and value spread.
+    double diam = 0.0;
+    for (std::size_t i = 0; i <= n; ++i) {
+      diam = std::max(diam, num::norm_inf(num::sub(simplex[i], simplex[best])));
+    }
+    // A small f-spread alone is not convergence: a simplex straddling the
+    // minimum symmetrically has equal vertex values at large diameter. Accept
+    // the f criterion only once the simplex is also geometrically small.
+    const double spread = std::fabs(fx[worst] - fx[best]);
+    const bool x_converged = diam < opt.x_tol;
+    const bool f_converged =
+        spread < opt.f_tol * (std::fabs(fx[best]) + 1e-300) &&
+        diam < 1e-6 * (1.0 + num::norm_inf(simplex[best]));
+    if (x_converged || f_converged) {
+      result.stop_reason = StopReason::kConverged;
+      break;
+    }
+
+    // Centroid of all but the worst.
+    num::Vector centroid(n, 0.0);
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == worst) continue;
+      centroid = num::add(centroid, simplex[i]);
+    }
+    centroid = num::scaled(1.0 / static_cast<double>(n), centroid);
+
+    auto point_along = [&](double coef) {
+      return num::axpy(centroid, coef, num::sub(centroid, simplex[worst]));
+    };
+
+    const num::Vector reflected = point_along(opt.reflection);
+    const double f_ref = safe_eval(reflected);
+    ++result.function_evaluations;
+
+    if (f_ref < fx[best]) {
+      const num::Vector expanded = point_along(opt.expansion);
+      const double f_exp = safe_eval(expanded);
+      ++result.function_evaluations;
+      if (f_exp < f_ref) {
+        simplex[worst] = expanded;
+        fx[worst] = f_exp;
+      } else {
+        simplex[worst] = reflected;
+        fx[worst] = f_ref;
+      }
+      continue;
+    }
+    if (f_ref < fx[second_worst]) {
+      simplex[worst] = reflected;
+      fx[worst] = f_ref;
+      continue;
+    }
+
+    // Contraction (outside if reflection improved on worst, else inside).
+    const bool outside = f_ref < fx[worst];
+    const num::Vector contracted =
+        outside ? point_along(opt.contraction) : point_along(-opt.contraction);
+    const double f_con = safe_eval(contracted);
+    ++result.function_evaluations;
+    if (f_con < std::min(f_ref, fx[worst])) {
+      simplex[worst] = contracted;
+      fx[worst] = f_con;
+      continue;
+    }
+
+    // Shrink toward the best vertex.
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == best) continue;
+      simplex[i] = num::axpy(simplex[best], opt.shrink, num::sub(simplex[i], simplex[best]));
+      fx[i] = safe_eval(simplex[i]);
+    }
+    result.function_evaluations += static_cast<int>(n);
+  }
+
+  const std::size_t best =
+      static_cast<std::size_t>(std::min_element(fx.begin(), fx.end()) - fx.begin());
+  result.parameters = simplex[best];
+  result.cost = fx[best];
+  return result;
+}
+
+OptimizeResult nelder_mead_least_squares(const ResidualFn& residuals,
+                                         const num::Vector& initial,
+                                         const NelderMeadOptions& options) {
+  auto f = [&residuals](const num::Vector& p) {
+    const num::Vector r = residuals(p);
+    double s = 0.0;
+    for (double x : r) s += x * x;
+    return 0.5 * s;
+  };
+  return nelder_mead(f, initial, options);
+}
+
+}  // namespace prm::opt

@@ -1,0 +1,31 @@
+// Nelder-Mead downhill simplex: the derivative-free fallback used to polish
+// least-squares fits when the Levenberg-Marquardt basin is poor (e.g. the
+// W-shaped 1980 recession, where no model fits well and the residual surface
+// is nearly flat in several directions).
+#pragma once
+
+#include "optimize/problem.hpp"
+
+namespace prm::opt {
+
+struct NelderMeadOptions {
+  int max_iterations = 2000;
+  double x_tol = 1e-10;      ///< Simplex diameter tolerance.
+  double f_tol = 1e-14;      ///< Spread of f over the simplex.
+  double initial_step = 0.1; ///< Relative size of the initial simplex.
+  double reflection = 1.0;
+  double expansion = 2.0;
+  double contraction = 0.5;
+  double shrink = 0.5;
+};
+
+/// Minimize f from `initial`.
+OptimizeResult nelder_mead(const ScalarFn& f, const num::Vector& initial,
+                           const NelderMeadOptions& options = {});
+
+/// Convenience: minimize 0.5*||r(p)||^2 with Nelder-Mead.
+OptimizeResult nelder_mead_least_squares(const ResidualFn& residuals,
+                                         const num::Vector& initial,
+                                         const NelderMeadOptions& options = {});
+
+}  // namespace prm::opt

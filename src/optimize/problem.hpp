@@ -1,0 +1,61 @@
+// Problem interfaces for the optimizer layer.
+//
+// Least-squares fitting in prm is expressed as a ResidualProblem: a callable
+// producing the residual vector r(p) (and optionally its Jacobian). General
+// scalar minimization (Nelder-Mead) takes a plain std::function.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "numerics/matrix.hpp"
+
+namespace prm::opt {
+
+/// Residual function r: R^n -> R^m for min ||r(p)||^2.
+using ResidualFn = std::function<num::Vector(const num::Vector&)>;
+
+/// Optional analytic Jacobian dr/dp (m x n).
+using JacobianFn = std::function<num::Matrix(const num::Vector&)>;
+
+/// A least-squares problem: residuals plus an optional analytic Jacobian.
+/// When `jacobian` is absent the solver falls back to central differences.
+struct ResidualProblem {
+  ResidualFn residuals;
+  JacobianFn jacobian;  ///< May be empty.
+  std::size_t num_parameters = 0;
+  std::size_t num_residuals = 0;
+};
+
+/// Scalar objective f: R^n -> R.
+using ScalarFn = std::function<double(const num::Vector&)>;
+
+/// Why an iterative solver stopped.
+enum class StopReason {
+  kConverged,         ///< Gradient/step/cost tolerance met.
+  kMaxIterations,     ///< Iteration budget exhausted.
+  kStalled,           ///< No productive step could be found.
+  kNumericalFailure,  ///< Non-finite values encountered.
+};
+
+const char* to_string(StopReason reason);
+
+/// Common result type for the iterative solvers.
+struct OptimizeResult {
+  num::Vector parameters;
+  double cost = 0.0;                ///< 0.5 * ||r||^2 for LS, f(x) otherwise.
+  int iterations = 0;
+  int function_evaluations = 0;
+  StopReason stop_reason = StopReason::kMaxIterations;
+
+  /// True when the solver reports a usable minimum (converged or hit the
+  /// iteration cap while finite).
+  bool usable() const {
+    return stop_reason == StopReason::kConverged ||
+           stop_reason == StopReason::kMaxIterations ||
+           stop_reason == StopReason::kStalled;
+  }
+  bool converged() const { return stop_reason == StopReason::kConverged; }
+};
+
+}  // namespace prm::opt

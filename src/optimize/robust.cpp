@@ -1,0 +1,50 @@
+#include "optimize/robust.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace prm::opt {
+
+const char* to_string(LossKind kind) {
+  switch (kind) {
+    case LossKind::kSquared: return "squared";
+    case LossKind::kHuber: return "huber";
+    case LossKind::kCauchy: return "cauchy";
+  }
+  return "unknown";
+}
+
+double loss_rho(LossKind kind, double r, double scale) {
+  if (!(scale > 0.0)) throw std::invalid_argument("loss_rho: scale must be positive");
+  const double a = std::fabs(r);
+  switch (kind) {
+    case LossKind::kSquared:
+      return 0.5 * r * r;
+    case LossKind::kHuber:
+      if (a <= scale) return 0.5 * r * r;
+      return scale * (a - 0.5 * scale);
+    case LossKind::kCauchy: {
+      const double z = r / scale;
+      return 0.5 * scale * scale * std::log1p(z * z);
+    }
+  }
+  throw std::logic_error("loss_rho: unknown loss");
+}
+
+double loss_whiten(LossKind kind, double r, double scale) {
+  if (kind == LossKind::kSquared) return r;
+  const double rho = loss_rho(kind, r, scale);
+  return std::copysign(std::sqrt(2.0 * rho), r);
+}
+
+ResidualFn make_robust(ResidualFn residuals, LossKind kind, double scale) {
+  if (kind == LossKind::kSquared) return residuals;
+  if (!(scale > 0.0)) throw std::invalid_argument("make_robust: scale must be positive");
+  return [inner = std::move(residuals), kind, scale](const num::Vector& p) {
+    num::Vector r = inner(p);
+    for (double& x : r) x = loss_whiten(kind, x, scale);
+    return r;
+  };
+}
+
+}  // namespace prm::opt

@@ -1,0 +1,34 @@
+// Robust loss functions for least squares.
+//
+// Economic and incident time series carry gross outliers (strikes, data
+// revisions, sensor dropouts). Minimizing sum rho(r_i) with a bounded-growth
+// rho keeps one bad month from dragging the whole resilience curve. The
+// losses are applied by residual whitening -- each residual r is replaced by
+// sign(r) * sqrt(2 rho(|r|)) so that 0.5 * sum s_i^2 == sum rho(r_i) and the
+// existing (multistart) Levenberg-Marquardt machinery applies unchanged.
+#pragma once
+
+#include "optimize/problem.hpp"
+
+namespace prm::opt {
+
+enum class LossKind {
+  kSquared,  ///< rho(r) = r^2 / 2 (plain least squares).
+  kHuber,    ///< quadratic within `scale`, linear beyond.
+  kCauchy,   ///< rho(r) = (scale^2/2) log(1 + (r/scale)^2), hard redescender.
+};
+
+const char* to_string(LossKind kind);
+
+/// rho(r) for the given loss; scale > 0 is the inlier threshold.
+double loss_rho(LossKind kind, double r, double scale);
+
+/// Whitened residual s(r) = sign(r) sqrt(2 rho(|r|)).
+double loss_whiten(LossKind kind, double r, double scale);
+
+/// Wrap a residual function so each component is whitened. kSquared returns
+/// the original function unchanged. Throws std::invalid_argument for
+/// non-positive scale.
+ResidualFn make_robust(ResidualFn residuals, LossKind kind, double scale);
+
+}  // namespace prm::opt

@@ -1,0 +1,102 @@
+#include "optimize/transforms.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace prm::opt {
+
+Bound Bound::interval(double lo, double hi) {
+  if (!(lo < hi)) throw std::invalid_argument("Bound::interval: requires lo < hi");
+  return {BoundKind::kInterval, lo, hi};
+}
+
+namespace {
+double logistic(double u) { return 1.0 / (1.0 + std::exp(-u)); }
+double logit(double x) { return std::log(x / (1.0 - x)); }
+// Clamp so logit of values at the edge stays finite.
+double clamp_unit(double x) { return std::min(1.0 - 1e-12, std::max(1e-12, x)); }
+}  // namespace
+
+double to_internal_scalar(const Bound& b, double p) {
+  switch (b.kind) {
+    case BoundKind::kFree:
+      return p;
+    case BoundKind::kPositive:
+      if (!(p > 0.0)) throw std::domain_error("transform: parameter must be positive");
+      return std::log(p);
+    case BoundKind::kNegative:
+      if (!(p < 0.0)) throw std::domain_error("transform: parameter must be negative");
+      return std::log(-p);
+    case BoundKind::kInterval: {
+      if (!(p > b.lo && p < b.hi)) {
+        throw std::domain_error("transform: parameter outside interval bound");
+      }
+      return logit(clamp_unit((p - b.lo) / (b.hi - b.lo)));
+    }
+  }
+  throw std::logic_error("transform: unknown bound kind");
+}
+
+double to_external_scalar(const Bound& b, double u) {
+  switch (b.kind) {
+    case BoundKind::kFree:
+      return u;
+    case BoundKind::kPositive:
+      return std::exp(u);
+    case BoundKind::kNegative:
+      return -std::exp(u);
+    case BoundKind::kInterval:
+      // Clamp the logistic away from 0/1 so extreme internal values still map
+      // STRICTLY inside the interval (the logistic saturates in double
+      // precision around |u| ~ 37).
+      return b.lo + (b.hi - b.lo) * clamp_unit(logistic(u));
+  }
+  throw std::logic_error("transform: unknown bound kind");
+}
+
+num::Vector ParameterTransform::to_internal(const num::Vector& p) const {
+  if (p.size() != bounds_.size()) {
+    throw std::invalid_argument("ParameterTransform: size mismatch");
+  }
+  num::Vector u(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) u[i] = to_internal_scalar(bounds_[i], p[i]);
+  return u;
+}
+
+num::Vector ParameterTransform::to_external(const num::Vector& u) const {
+  if (u.size() != bounds_.size()) {
+    throw std::invalid_argument("ParameterTransform: size mismatch");
+  }
+  num::Vector p(u.size());
+  for (std::size_t i = 0; i < u.size(); ++i) p[i] = to_external_scalar(bounds_[i], u[i]);
+  return p;
+}
+
+num::Vector ParameterTransform::dexternal_dinternal(const num::Vector& u) const {
+  if (u.size() != bounds_.size()) {
+    throw std::invalid_argument("ParameterTransform: size mismatch");
+  }
+  num::Vector d(u.size());
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    const Bound& b = bounds_[i];
+    switch (b.kind) {
+      case BoundKind::kFree:
+        d[i] = 1.0;
+        break;
+      case BoundKind::kPositive:
+        d[i] = std::exp(u[i]);
+        break;
+      case BoundKind::kNegative:
+        d[i] = -std::exp(u[i]);
+        break;
+      case BoundKind::kInterval: {
+        const double s = logistic(u[i]);
+        d[i] = (b.hi - b.lo) * s * (1.0 - s);
+        break;
+      }
+    }
+  }
+  return d;
+}
+
+}  // namespace prm::opt

@@ -1,0 +1,69 @@
+// Smooth bound transforms.
+//
+// The resilience models constrain parameters (rates > 0, Weibull shape > 0,
+// bathtub conditions). Rather than implement a constrained solver, prm maps
+// each constrained parameter to an unconstrained internal coordinate:
+//
+//   positive:   p = exp(u)                (u = log p)
+//   interval:   p = lo + (hi-lo)*logistic(u)
+//   negative:   p = -exp(u)
+//   free:       p = u
+//
+// The optimizer works in u-space; model code always sees valid p-space
+// values, so residuals never observe out-of-domain parameters.
+#pragma once
+
+#include <vector>
+
+#include "numerics/matrix.hpp"
+
+namespace prm::opt {
+
+enum class BoundKind {
+  kFree,      ///< p = u
+  kPositive,  ///< p > 0
+  kNegative,  ///< p < 0
+  kInterval,  ///< lo < p < hi
+};
+
+/// Per-parameter bound description.
+struct Bound {
+  BoundKind kind = BoundKind::kFree;
+  double lo = 0.0;  ///< Used by kInterval only.
+  double hi = 0.0;
+
+  static Bound free() { return {BoundKind::kFree, 0.0, 0.0}; }
+  static Bound positive() { return {BoundKind::kPositive, 0.0, 0.0}; }
+  static Bound negative() { return {BoundKind::kNegative, 0.0, 0.0}; }
+  static Bound interval(double lo, double hi);
+};
+
+/// Vector transform between external (bounded) and internal (free) space.
+class ParameterTransform {
+ public:
+  ParameterTransform() = default;
+  explicit ParameterTransform(std::vector<Bound> bounds) : bounds_(std::move(bounds)) {}
+
+  std::size_t size() const { return bounds_.size(); }
+  const std::vector<Bound>& bounds() const { return bounds_; }
+
+  /// External -> internal. Throws std::domain_error if p violates a bound.
+  num::Vector to_internal(const num::Vector& p) const;
+
+  /// Internal -> external (always valid).
+  num::Vector to_external(const num::Vector& u) const;
+
+  /// d p_i / d u_i, the diagonal Jacobian of to_external. Used to convert an
+  /// analytic external-space model Jacobian into internal space by the chain
+  /// rule.
+  num::Vector dexternal_dinternal(const num::Vector& u) const;
+
+ private:
+  std::vector<Bound> bounds_;
+};
+
+/// Scalar helpers (exposed for tests).
+double to_internal_scalar(const Bound& b, double p);
+double to_external_scalar(const Bound& b, double u);
+
+}  // namespace prm::opt

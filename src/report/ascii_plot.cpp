@@ -1,0 +1,180 @@
+#include "report/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace prm::report {
+
+AsciiPlot::AsciiPlot(int width, int height) : width_(width), height_(height) {
+  if (width_ < 20 || height_ < 6) {
+    throw std::invalid_argument("AsciiPlot: minimum canvas is 20x6");
+  }
+}
+
+void AsciiPlot::add_series(data::PerformanceSeries series, char glyph, std::string label) {
+  series_.push_back({std::move(series), glyph, std::move(label)});
+}
+
+void AsciiPlot::add_band(PlotBand band) {
+  if (band.times.size() != band.lower.size() || band.times.size() != band.upper.size()) {
+    throw std::invalid_argument("AsciiPlot::add_band: size mismatch");
+  }
+  bands_.push_back(std::move(band));
+}
+
+void AsciiPlot::add_vertical_marker(double t, std::string label) {
+  markers_.emplace_back(t, std::move(label));
+}
+
+void AsciiPlot::set_axis_labels(std::string x, std::string y) {
+  x_label_ = std::move(x);
+  y_label_ = std::move(y);
+}
+
+void AsciiPlot::print(std::ostream& out) const {
+  // Data extents.
+  double tmin = std::numeric_limits<double>::infinity();
+  double tmax = -tmin;
+  double vmin = tmin;
+  double vmax = -tmin;
+  for (const PlotSeries& s : series_) {
+    for (std::size_t i = 0; i < s.series.size(); ++i) {
+      tmin = std::min(tmin, s.series.time(i));
+      tmax = std::max(tmax, s.series.time(i));
+      vmin = std::min(vmin, s.series.value(i));
+      vmax = std::max(vmax, s.series.value(i));
+    }
+  }
+  for (const PlotBand& b : bands_) {
+    for (std::size_t i = 0; i < b.times.size(); ++i) {
+      tmin = std::min(tmin, b.times[i]);
+      tmax = std::max(tmax, b.times[i]);
+      vmin = std::min(vmin, b.lower[i]);
+      vmax = std::max(vmax, b.upper[i]);
+    }
+  }
+  if (!(tmax > tmin) || !(vmax >= vmin)) {
+    out << "(empty plot)\n";
+    return;
+  }
+  if (vmax == vmin) {
+    vmax += 0.5;
+    vmin -= 0.5;
+  }
+  // Pad the value range slightly so extremes are visible.
+  const double pad = 0.04 * (vmax - vmin);
+  vmin -= pad;
+  vmax += pad;
+
+  const int w = width_;
+  const int h = height_;
+  std::vector<std::string> canvas(static_cast<std::size_t>(h), std::string(static_cast<std::size_t>(w), ' '));
+
+  const auto col_of = [&](double t) {
+    return static_cast<int>(std::lround((t - tmin) / (tmax - tmin) * (w - 1)));
+  };
+  const auto row_of = [&](double v) {
+    // Row 0 is the top.
+    return (h - 1) - static_cast<int>(std::lround((v - vmin) / (vmax - vmin) * (h - 1)));
+  };
+  const auto plot_at = [&](double t, double v, char g) {
+    const int c = col_of(t);
+    const int r = row_of(v);
+    if (c >= 0 && c < w && r >= 0 && r < h) {
+      canvas[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = g;
+    }
+  };
+
+  // Bands first (so curves draw over them).
+  for (const PlotBand& b : bands_) {
+    for (std::size_t i = 0; i < b.times.size(); ++i) {
+      plot_at(b.times[i], b.lower[i], b.glyph);
+      plot_at(b.times[i], b.upper[i], b.glyph);
+    }
+  }
+
+  // Vertical markers.
+  for (const auto& [t, label] : markers_) {
+    const int c = col_of(t);
+    if (c < 0 || c >= w) continue;
+    for (int r = 0; r < h; ++r) {
+      char& cell = canvas[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)];
+      if (cell == ' ') cell = ':';
+    }
+  }
+
+  // Series: draw with light linear interpolation between samples so curves
+  // read as lines, not scatter.
+  for (const PlotSeries& s : series_) {
+    const auto& ser = s.series;
+    for (std::size_t i = 0; i < ser.size(); ++i) {
+      plot_at(ser.time(i), ser.value(i), s.glyph);
+      if (i + 1 < ser.size()) {
+        const int c0 = col_of(ser.time(i));
+        const int c1 = col_of(ser.time(i + 1));
+        for (int c = c0 + 1; c < c1; ++c) {
+          const double t = tmin + (tmax - tmin) * c / (w - 1);
+          const double wgt = (t - ser.time(i)) / (ser.time(i + 1) - ser.time(i));
+          plot_at(t, ser.value(i) + wgt * (ser.value(i + 1) - ser.value(i)), s.glyph);
+        }
+      }
+    }
+  }
+
+  // Render.
+  if (!title_.empty()) out << title_ << '\n';
+  std::ostringstream ylab_hi, ylab_lo;
+  ylab_hi << std::fixed << std::setprecision(3) << vmax;
+  ylab_lo << std::fixed << std::setprecision(3) << vmin;
+  const std::size_t gutter = std::max(ylab_hi.str().size(), ylab_lo.str().size()) + 1;
+
+  for (int r = 0; r < h; ++r) {
+    std::string left(gutter, ' ');
+    if (r == 0) {
+      left = ylab_hi.str() + std::string(gutter - ylab_hi.str().size(), ' ');
+    } else if (r == h - 1) {
+      left = ylab_lo.str() + std::string(gutter - ylab_lo.str().size(), ' ');
+    }
+    out << left << '|' << canvas[static_cast<std::size_t>(r)] << '\n';
+  }
+  out << std::string(gutter, ' ') << '+' << std::string(static_cast<std::size_t>(w), '-') << '\n';
+  {
+    std::ostringstream xl, xr;
+    xl << std::fixed << std::setprecision(0) << tmin;
+    xr << std::fixed << std::setprecision(0) << tmax;
+    const std::string xs = xl.str();
+    const std::string xe = xr.str();
+    std::string axis(gutter + 1 + static_cast<std::size_t>(w), ' ');
+    axis.replace(gutter + 1, xs.size(), xs);
+    if (xe.size() < static_cast<std::size_t>(w)) {
+      axis.replace(gutter + 1 + static_cast<std::size_t>(w) - xe.size(), xe.size(), xe);
+    }
+    out << axis << "  (" << x_label_ << ")\n";
+  }
+
+  // Legend.
+  for (const PlotSeries& s : series_) {
+    out << "  " << s.glyph << "  " << (s.label.empty() ? s.series.name() : s.label) << '\n';
+  }
+  for (const PlotBand& b : bands_) {
+    if (!b.label.empty()) out << "  " << b.glyph << "  " << b.label << '\n';
+  }
+  for (const auto& [t, label] : markers_) {
+    if (!label.empty()) {
+      out << "  :  " << label << " (t = " << t << ")\n";
+    }
+  }
+}
+
+std::string AsciiPlot::to_string() const {
+  std::ostringstream ss;
+  print(ss);
+  return ss.str();
+}
+
+}  // namespace prm::report

@@ -1,0 +1,56 @@
+// ASCII line plots: the repo's stand-in for the paper's figures. Renders one
+// or more sampled series (data points, model curves, confidence bands) on a
+// shared character grid with axes, a legend, and an optional vertical marker
+// (the paper's dashed fit/predict boundary).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "data/time_series.hpp"
+
+namespace prm::report {
+
+struct PlotSeries {
+  data::PerformanceSeries series;
+  char glyph = '*';
+  std::string label;
+};
+
+struct PlotBand {
+  std::vector<double> times;
+  std::vector<double> lower;
+  std::vector<double> upper;
+  char glyph = '.';
+  std::string label;
+};
+
+class AsciiPlot {
+ public:
+  AsciiPlot(int width = 78, int height = 24);
+
+  void add_series(data::PerformanceSeries series, char glyph, std::string label);
+  void add_band(PlotBand band);
+
+  /// Vertical dashed line at time t (the fitting/prediction boundary).
+  void add_vertical_marker(double t, std::string label = {});
+
+  void set_title(std::string title) { title_ = std::move(title); }
+  void set_axis_labels(std::string x, std::string y);
+
+  void print(std::ostream& out) const;
+  std::string to_string() const;
+
+ private:
+  int width_;
+  int height_;
+  std::string title_;
+  std::string x_label_ = "t";
+  std::string y_label_ = "P(t)";
+  std::vector<PlotSeries> series_;
+  std::vector<PlotBand> bands_;
+  std::vector<std::pair<double, std::string>> markers_;
+};
+
+}  // namespace prm::report

@@ -1,0 +1,40 @@
+#include "report/series_csv.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <stdexcept>
+
+namespace prm::report {
+
+void write_columns(std::ostream& out, const std::vector<double>& times,
+                   const std::vector<Column>& columns) {
+  for (const Column& c : columns) {
+    if (c.values.size() != times.size()) {
+      throw std::invalid_argument("write_columns: column '" + c.name + "' size mismatch");
+    }
+  }
+  out << 't';
+  for (const Column& c : columns) out << ',' << c.name;
+  out << '\n';
+  out << std::setprecision(10);
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    out << times[i];
+    for (const Column& c : columns) out << ',' << c.values[i];
+    out << '\n';
+  }
+}
+
+void write_figure_csv(std::ostream& out, const prm::core::FitResult& fit,
+                      const prm::core::ValidationReport& validation) {
+  const auto times_span = fit.series().times();
+  const std::vector<double> times(times_span.begin(), times_span.end());
+  const auto values_span = fit.series().values();
+  std::vector<Column> cols;
+  cols.push_back({"observed", std::vector<double>(values_span.begin(), values_span.end())});
+  cols.push_back({"model", validation.predictions});
+  cols.push_back({"ci_lower", validation.band.lower});
+  cols.push_back({"ci_upper", validation.band.upper});
+  write_columns(out, times, cols);
+}
+
+}  // namespace prm::report

@@ -1,0 +1,29 @@
+// Multi-column CSV dump of aligned series (observed data, model fit, CI
+// bounds) so figure data can be re-plotted with external tools.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/validation.hpp"
+#include "data/time_series.hpp"
+
+namespace prm::report {
+
+/// One named column aligned to a shared time grid.
+struct Column {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// Write "t,<col1>,<col2>,..." rows. All columns must match `times` in size.
+void write_columns(std::ostream& out, const std::vector<double>& times,
+                   const std::vector<Column>& columns);
+
+/// Convenience: dump a figure's worth of data (observed series, model
+/// predictions, CI bounds) for one fit.
+void write_figure_csv(std::ostream& out, const prm::core::FitResult& fit,
+                      const prm::core::ValidationReport& validation);
+
+}  // namespace prm::report

@@ -1,0 +1,103 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace prm::report {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table: need at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table::add_row: cell count mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_separator() { rows_.emplace_back(); }
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  // Treat strings ending in '%' as numeric too.
+  return end != s.c_str() && (*end == '\0' || (*end == '%' && *(end + 1) == '\0'));
+}
+}  // namespace
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    if (row.empty()) continue;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto print_separator = [&] {
+    out << '+';
+    for (std::size_t w : widths) out << std::string(w + 2, '-') << '+';
+    out << '\n';
+  };
+
+  const auto print_cells = [&](const std::vector<std::string>& cells, bool align_numeric) {
+    out << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const bool right = align_numeric && looks_numeric(cells[c]);
+      out << ' ';
+      if (right) {
+        out << std::string(widths[c] - cells[c].size(), ' ') << cells[c];
+      } else {
+        out << cells[c] << std::string(widths[c] - cells[c].size(), ' ');
+      }
+      out << " |";
+    }
+    out << '\n';
+  };
+
+  print_separator();
+  print_cells(headers_, /*align_numeric=*/false);
+  print_separator();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      print_separator();
+    } else {
+      print_cells(row, /*align_numeric=*/true);
+    }
+  }
+  print_separator();
+}
+
+std::string Table::to_string() const {
+  std::ostringstream ss;
+  print(ss);
+  return ss.str();
+}
+
+std::string Table::fixed(double value, int decimals) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(decimals) << value;
+  return ss.str();
+}
+
+std::string Table::scientific(double value, int decimals) {
+  std::ostringstream ss;
+  ss << std::scientific << std::setprecision(decimals) << value;
+  return ss.str();
+}
+
+std::string Table::percent(double value, int decimals) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(decimals) << value << '%';
+  return ss.str();
+}
+
+}  // namespace prm::report

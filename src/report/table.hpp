@@ -1,0 +1,38 @@
+// Fixed-width text table renderer used by the benches to print the paper's
+// tables. Right-aligns numeric columns, left-aligns text, supports row
+// group separators (the paper's per-dataset blocks in Table I).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace prm::report {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must have exactly as many cells as headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Insert a horizontal separator before the next row.
+  void add_separator();
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+
+  /// Render with aligned columns.
+  void print(std::ostream& out) const;
+  std::string to_string() const;
+
+  /// Format helpers matching the paper's number style.
+  static std::string fixed(double value, int decimals);
+  static std::string scientific(double value, int decimals);
+  static std::string percent(double value, int decimals = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector = separator
+};
+
+}  // namespace prm::report

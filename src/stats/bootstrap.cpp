@@ -1,0 +1,121 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace prm::stats {
+
+double empirical_quantile(std::vector<double> values, double q) {
+  if (values.empty()) throw std::invalid_argument("empirical_quantile: empty sample");
+  if (!(q >= 0.0 && q <= 1.0)) {
+    throw std::invalid_argument("empirical_quantile: q must lie in [0, 1]");
+  }
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values.front();
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double w = pos - static_cast<double>(lo);
+  return values[lo] + w * (values[hi] - values[lo]);
+}
+
+BootstrapResult bootstrap_confidence_band(std::span<const double> observed_fit,
+                                          std::span<const double> predicted_fit,
+                                          std::span<const double> predicted_all,
+                                          const RefitFn& refit,
+                                          const BootstrapOptions& options) {
+  if (observed_fit.size() != predicted_fit.size()) {
+    throw std::invalid_argument("bootstrap_confidence_band: fit-window size mismatch");
+  }
+  if (observed_fit.empty() || predicted_all.empty()) {
+    throw std::invalid_argument("bootstrap_confidence_band: empty inputs");
+  }
+  if (options.replicates < 2) {
+    throw std::invalid_argument("bootstrap_confidence_band: need >= 2 replicates");
+  }
+  if (!refit) {
+    throw std::invalid_argument("bootstrap_confidence_band: null refit callback");
+  }
+
+  // Centered residuals of the original fit.
+  const std::size_t n = observed_fit.size();
+  std::vector<double> residuals(n);
+  double mean_res = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    residuals[i] = observed_fit[i] - predicted_fit[i];
+    mean_res += residuals[i];
+  }
+  mean_res /= static_cast<double>(n);
+  for (double& r : residuals) r -= mean_res;
+
+  std::mt19937_64 rng(options.seed);
+  std::uniform_int_distribution<std::size_t> pick(0, n - 1);
+
+  // ensemble[i] = predictions at grid point i across replicates.
+  std::vector<std::vector<double>> ensemble(predicted_all.size());
+  BootstrapResult out;
+
+  std::vector<double> resampled(n);
+  for (int rep = 0; rep < options.replicates; ++rep) {
+    for (std::size_t i = 0; i < n; ++i) {
+      resampled[i] = predicted_fit[i] + residuals[pick(rng)];
+    }
+    const std::vector<double> predictions = refit(resampled);
+    if (predictions.size() != predicted_all.size()) {
+      ++out.replicates_failed;
+      continue;
+    }
+    bool finite = true;
+    for (double p : predictions) {
+      if (!std::isfinite(p)) {
+        finite = false;
+        break;
+      }
+    }
+    if (!finite) {
+      ++out.replicates_failed;
+      continue;
+    }
+    for (std::size_t i = 0; i < predictions.size(); ++i) {
+      const double noise =
+          options.include_residual_noise ? residuals[pick(rng)] : 0.0;
+      ensemble[i].push_back(predictions[i] + noise);
+    }
+    ++out.replicates_used;
+  }
+  if (out.replicates_used < 2) {
+    throw std::runtime_error("bootstrap_confidence_band: too few successful replicates");
+  }
+
+  // Percentile band around the ORIGINAL predictions: center + empirical
+  // quantiles of the replicate spread. We use the basic percentile method on
+  // the replicate predictions directly.
+  out.band.center.assign(predicted_all.begin(), predicted_all.end());
+  out.band.lower.resize(predicted_all.size());
+  out.band.upper.resize(predicted_all.size());
+  const double lo_q = options.alpha / 2.0;
+  const double hi_q = 1.0 - options.alpha / 2.0;
+  double width_acc = 0.0;
+  for (std::size_t i = 0; i < predicted_all.size(); ++i) {
+    out.band.lower[i] = empirical_quantile(ensemble[i], lo_q);
+    out.band.upper[i] = empirical_quantile(ensemble[i], hi_q);
+    width_acc += out.band.upper[i] - out.band.lower[i];
+  }
+  out.band.half_width = 0.5 * width_acc / static_cast<double>(predicted_all.size());
+  // Spread estimate analogous to Eq. 12 for reporting.
+  double var_acc = 0.0;
+  for (const auto& col : ensemble) {
+    double m = 0.0;
+    for (double v : col) m += v;
+    m /= static_cast<double>(col.size());
+    double s = 0.0;
+    for (double v : col) s += (v - m) * (v - m);
+    var_acc += s / static_cast<double>(col.size() - 1);
+  }
+  out.band.sigma2 = var_acc / static_cast<double>(ensemble.size());
+  return out;
+}
+
+}  // namespace prm::stats

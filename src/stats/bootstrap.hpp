@@ -1,0 +1,64 @@
+// Residual bootstrap confidence intervals.
+//
+// The paper's Eq. 13 band assumes i.i.d. Gaussian residuals with a single
+// pooled variance. The residual bootstrap drops the normality assumption:
+// resample the fitting residuals with replacement, add them back onto the
+// fitted curve, refit, and take empirical quantiles of the resulting
+// prediction ensemble. Used by the bench/ablation comparing Eq. 13 against
+// bootstrap coverage, and available to library users for any refittable
+// model (the refit is injected as a callback so this module stays free of
+// core dependencies).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "stats/confidence.hpp"
+
+namespace prm::stats {
+
+struct BootstrapOptions {
+  int replicates = 200;
+  double alpha = 0.05;       ///< (1 - alpha) central interval.
+  std::uint64_t seed = 0xb007u;
+  /// true  -> prediction band: each replicate curve gets a fresh resampled
+  ///          residual added per grid point, so the band covers future
+  ///          OBSERVATIONS (comparable to the paper's Eq. 13 usage).
+  /// false -> confidence band on the fitted CURVE only (parameter
+  ///          uncertainty), which is narrower.
+  bool include_residual_noise = true;
+};
+
+/// Refit callback: given a resampled observation vector (same grid as the
+/// original fit window), return model predictions over the FULL grid the
+/// band should cover. Returning an empty vector marks the replicate as
+/// failed (it is skipped).
+using RefitFn = std::function<std::vector<double>(const std::vector<double>&)>;
+
+struct BootstrapResult {
+  ConfidenceBand band;       ///< Percentile band over the full grid.
+  int replicates_used = 0;   ///< Successful refits.
+  int replicates_failed = 0;
+};
+
+/// Residual bootstrap band.
+///  * observed_fit/predicted_fit: the original fit window and its fitted
+///    values (residuals are drawn from their difference, recentred to mean
+///    zero).
+///  * predicted_all: the original predictions over the full grid (the band
+///    center).
+///  * refit: callback performing the refit on each resampled window.
+/// Throws std::invalid_argument on size mismatches or replicates < 2.
+BootstrapResult bootstrap_confidence_band(std::span<const double> observed_fit,
+                                          std::span<const double> predicted_fit,
+                                          std::span<const double> predicted_all,
+                                          const RefitFn& refit,
+                                          const BootstrapOptions& options = {});
+
+/// Empirical quantile (linear interpolation between order statistics) of a
+/// sample; q in [0, 1]. Exposed for tests.
+double empirical_quantile(std::vector<double> values, double q);
+
+}  // namespace prm::stats

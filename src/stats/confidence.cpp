@@ -1,0 +1,76 @@
+#include "stats/confidence.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/goodness_of_fit.hpp"
+#include "stats/normal.hpp"
+
+namespace prm::stats {
+
+double residual_variance(std::span<const double> observed,
+                         std::span<const double> predicted) {
+  if (observed.size() != predicted.size()) {
+    throw std::invalid_argument("residual_variance: size mismatch");
+  }
+  if (observed.size() <= 2) {
+    throw std::invalid_argument("residual_variance: need n > 2");
+  }
+  return sse(observed, predicted) / static_cast<double>(observed.size() - 2);
+}
+
+ConfidenceBand level_confidence_band(std::span<const double> observed_fit,
+                                     std::span<const double> predicted_fit,
+                                     std::span<const double> predicted_all,
+                                     double alpha) {
+  ConfidenceBand band;
+  band.sigma2 = residual_variance(observed_fit, predicted_fit);
+  const double z = normal_critical_value(alpha);
+  band.half_width = z * std::sqrt(band.sigma2);
+  band.center.assign(predicted_all.begin(), predicted_all.end());
+  band.lower.resize(band.center.size());
+  band.upper.resize(band.center.size());
+  for (std::size_t i = 0; i < band.center.size(); ++i) {
+    band.lower[i] = band.center[i] - band.half_width;
+    band.upper[i] = band.center[i] + band.half_width;
+  }
+  return band;
+}
+
+ConfidenceBand delta_confidence_band(std::span<const double> observed_fit,
+                                     std::span<const double> predicted_fit,
+                                     std::span<const double> predicted_all,
+                                     double alpha) {
+  if (predicted_all.size() < 2) {
+    throw std::invalid_argument("delta_confidence_band: need at least two predictions");
+  }
+  ConfidenceBand band;
+  band.sigma2 = residual_variance(observed_fit, predicted_fit);
+  const double z = normal_critical_value(alpha);
+  band.half_width = z * std::sqrt(band.sigma2);
+  band.center.resize(predicted_all.size() - 1);
+  band.lower.resize(band.center.size());
+  band.upper.resize(band.center.size());
+  for (std::size_t i = 0; i + 1 < predicted_all.size(); ++i) {
+    band.center[i] = predicted_all[i + 1] - predicted_all[i];
+    band.lower[i] = band.center[i] - band.half_width;
+    band.upper[i] = band.center[i] + band.half_width;
+  }
+  return band;
+}
+
+double empirical_coverage(std::span<const double> observed, const ConfidenceBand& band) {
+  if (observed.size() != band.center.size()) {
+    throw std::invalid_argument("empirical_coverage: size mismatch with band");
+  }
+  if (observed.empty()) {
+    throw std::invalid_argument("empirical_coverage: empty input");
+  }
+  std::size_t inside = 0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    if (observed[i] >= band.lower[i] && observed[i] <= band.upper[i]) ++inside;
+  }
+  return 100.0 * static_cast<double>(inside) / static_cast<double>(observed.size());
+}
+
+}  // namespace prm::stats

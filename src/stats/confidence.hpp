@@ -1,0 +1,50 @@
+// Confidence intervals and empirical coverage (paper Section III-B-2).
+//
+// The paper estimates the residual variance as sigma^2 = SSE/(n-2) (Eq. 12)
+// and draws the band P_hat(t_i) +/- z_{1-alpha/2} * sigma (Eq. 13). Empirical
+// coverage (EC) is the fraction of observations inside the band. Both the
+// level-band form (used by the paper's figures and EC columns) and the
+// delta-band form (the literal "change in performance" reading of Eq. 13)
+// are provided; see DESIGN.md for the disambiguation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace prm::stats {
+
+/// Residual variance estimate sigma^2 = SSE / (n - 2) (Eq. 12).
+/// Requires n > 2.
+double residual_variance(std::span<const double> observed,
+                         std::span<const double> predicted);
+
+/// A symmetric band around a curve.
+struct ConfidenceBand {
+  std::vector<double> center;  ///< Model predictions P_hat(t_i).
+  std::vector<double> lower;
+  std::vector<double> upper;
+  double half_width = 0.0;     ///< z * sigma (constant across i).
+  double sigma2 = 0.0;         ///< The variance estimate used.
+};
+
+/// Level band: P_hat(t_i) +/- z_{1-alpha/2} * sigma, with sigma^2 estimated
+/// from the FITTING window residuals and the band drawn over all of
+/// `predicted_all`. `alpha` defaults to 0.05 (95%).
+ConfidenceBand level_confidence_band(std::span<const double> observed_fit,
+                                     std::span<const double> predicted_fit,
+                                     std::span<const double> predicted_all,
+                                     double alpha = 0.05);
+
+/// Delta band: the band on changes Delta P(t_i) = P(t_i) - P(t_{i-1}).
+/// Returned band has size n-1 (bands over each change).
+ConfidenceBand delta_confidence_band(std::span<const double> observed_fit,
+                                     std::span<const double> predicted_fit,
+                                     std::span<const double> predicted_all,
+                                     double alpha = 0.05);
+
+/// Empirical coverage: fraction (in %) of `observed` inside [lower, upper].
+/// Sizes must match the band.
+double empirical_coverage(std::span<const double> observed, const ConfidenceBand& band);
+
+}  // namespace prm::stats

@@ -1,0 +1,93 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace prm::stats {
+
+namespace {
+void require_nonempty(std::span<const double> xs, const char* fn) {
+  if (xs.empty()) throw std::invalid_argument(std::string(fn) + ": empty sample");
+}
+}  // namespace
+
+double mean(std::span<const double> xs) {
+  require_nonempty(xs, "mean");
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) throw std::invalid_argument("variance: need at least two samples");
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double min(std::span<const double> xs) {
+  require_nonempty(xs, "min");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max(std::span<const double> xs) {
+  require_nonempty(xs, "max");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+std::size_t argmin(std::span<const double> xs) {
+  require_nonempty(xs, "argmin");
+  return static_cast<std::size_t>(std::min_element(xs.begin(), xs.end()) - xs.begin());
+}
+
+std::size_t argmax(std::span<const double> xs) {
+  require_nonempty(xs, "argmax");
+  return static_cast<std::size_t>(std::max_element(xs.begin(), xs.end()) - xs.begin());
+}
+
+double median(std::span<const double> xs) {
+  require_nonempty(xs, "median");
+  std::vector<double> v(xs.begin(), xs.end());
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid), v.end());
+  if (v.size() % 2 == 1) return v[mid];
+  const double hi = v[mid];
+  const double lo = *std::max_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+double correlation(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size()) throw std::invalid_argument("correlation: size mismatch");
+  if (xs.size() < 2) throw std::invalid_argument("correlation: need at least two samples");
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) {
+    throw std::domain_error("correlation: zero-variance input");
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double total_sum_of_squares(std::span<const double> xs) {
+  require_nonempty(xs, "total_sum_of_squares");
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s;
+}
+
+}  // namespace prm::stats

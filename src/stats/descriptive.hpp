@@ -1,0 +1,33 @@
+// Descriptive statistics over samples. Small, allocation-free helpers used by
+// the goodness-of-fit layer and the synthetic-data tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace prm::stats {
+
+double mean(std::span<const double> xs);
+
+/// Unbiased sample variance (divides by n-1); requires n >= 2.
+double variance(std::span<const double> xs);
+
+double stddev(std::span<const double> xs);
+
+double min(std::span<const double> xs);
+double max(std::span<const double> xs);
+
+/// Index of the minimum element; first occurrence on ties. Requires n >= 1.
+std::size_t argmin(std::span<const double> xs);
+std::size_t argmax(std::span<const double> xs);
+
+/// Median (average of the two central order statistics for even n).
+double median(std::span<const double> xs);
+
+/// Pearson correlation; requires n >= 2 and equal sizes.
+double correlation(std::span<const double> xs, std::span<const double> ys);
+
+/// Sum of squared deviations from the mean: SSY of paper Eq. 11.
+double total_sum_of_squares(std::span<const double> xs);
+
+}  // namespace prm::stats

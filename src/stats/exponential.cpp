@@ -1,0 +1,38 @@
+#include "stats/exponential.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace prm::stats {
+
+Exponential::Exponential(double rate) : rate_(rate) {
+  if (!(rate > 0.0) || !std::isfinite(rate)) {
+    throw std::invalid_argument("Exponential: rate must be positive and finite");
+  }
+}
+
+double Exponential::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return -std::expm1(-rate_ * x);
+}
+
+double Exponential::pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  return rate_ * std::exp(-rate_ * x);
+}
+
+double Exponential::quantile(double p) const {
+  if (!(p >= 0.0 && p < 1.0)) {
+    throw std::domain_error("Exponential::quantile: p must lie in [0, 1)");
+  }
+  return -std::log1p(-p) / rate_;
+}
+
+double Exponential::survival(double x) const {
+  if (x <= 0.0) return 1.0;
+  return std::exp(-rate_ * x);
+}
+
+double Exponential::hazard(double x) const { return x < 0.0 ? 0.0 : rate_; }
+
+}  // namespace prm::stats

@@ -1,0 +1,31 @@
+// Exponential distribution: F(t) = 1 - exp(-lambda t).
+// The paper's simplest mixture building block (Eq. 23 with k = 1).
+#pragma once
+
+#include "stats/distribution.hpp"
+
+namespace prm::stats {
+
+class Exponential final : public Distribution {
+ public:
+  /// rate > 0 (events per unit time). Throws std::invalid_argument otherwise.
+  explicit Exponential(double rate);
+
+  double rate() const noexcept { return rate_; }
+
+  std::string name() const override { return "Exponential"; }
+  std::size_t num_parameters() const override { return 1; }
+  double cdf(double x) const override;
+  double pdf(double x) const override;
+  double quantile(double p) const override;
+  double mean() const override { return 1.0 / rate_; }
+  double variance() const override { return 1.0 / (rate_ * rate_); }
+  double survival(double x) const override;
+  double hazard(double x) const override;
+  DistributionPtr clone() const override { return std::make_unique<Exponential>(*this); }
+
+ private:
+  double rate_;
+};
+
+}  // namespace prm::stats

@@ -1,0 +1,43 @@
+#include "stats/gamma.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/special_functions.hpp"
+
+namespace prm::stats {
+
+Gamma::Gamma(double shape, double scale) : shape_(shape), scale_(scale) {
+  if (!(shape > 0.0) || !std::isfinite(shape)) {
+    throw std::invalid_argument("Gamma: shape must be positive and finite");
+  }
+  if (!(scale > 0.0) || !std::isfinite(scale)) {
+    throw std::invalid_argument("Gamma: scale must be positive and finite");
+  }
+}
+
+double Gamma::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return num::gamma_p(shape_, x / scale_);
+}
+
+double Gamma::pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  if (x == 0.0) {
+    if (shape_ < 1.0) return std::numeric_limits<double>::infinity();
+    if (shape_ == 1.0) return 1.0 / scale_;
+    return 0.0;
+  }
+  return std::exp((shape_ - 1.0) * std::log(x / scale_) - x / scale_ -
+                  std::lgamma(shape_)) /
+         scale_;
+}
+
+double Gamma::quantile(double p) const {
+  if (!(p >= 0.0 && p < 1.0)) {
+    throw std::domain_error("Gamma::quantile: p must lie in [0, 1)");
+  }
+  return scale_ * num::gamma_p_inv(shape_, p);
+}
+
+}  // namespace prm::stats

@@ -1,0 +1,31 @@
+// Gamma distribution with shape k and scale theta. Extension member of the
+// mixture family; its CDF exercises the incomplete-gamma substrate.
+#pragma once
+
+#include "stats/distribution.hpp"
+
+namespace prm::stats {
+
+class Gamma final : public Distribution {
+ public:
+  /// shape > 0, scale > 0. Throws std::invalid_argument otherwise.
+  Gamma(double shape, double scale);
+
+  double shape() const noexcept { return shape_; }
+  double scale() const noexcept { return scale_; }
+
+  std::string name() const override { return "Gamma"; }
+  std::size_t num_parameters() const override { return 2; }
+  double cdf(double x) const override;
+  double pdf(double x) const override;
+  double quantile(double p) const override;
+  double mean() const override { return shape_ * scale_; }
+  double variance() const override { return shape_ * scale_ * scale_; }
+  DistributionPtr clone() const override { return std::make_unique<Gamma>(*this); }
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+}  // namespace prm::stats

@@ -1,0 +1,37 @@
+// Gompertz distribution: exponentially increasing hazard h(t) = b e^{c t},
+// F(t) = 1 - exp(-(b/c)(e^{c t} - 1)). The canonical wear-out/aging model
+// from reliability engineering; its CDF gives the mixture family a
+// degradation process that accelerates over time.
+#pragma once
+
+#include "stats/distribution.hpp"
+
+namespace prm::stats {
+
+class Gompertz final : public Distribution {
+ public:
+  /// rate b > 0 (initial hazard), shape c > 0 (hazard growth).
+  Gompertz(double rate, double shape);
+
+  double rate() const noexcept { return rate_; }
+  double shape() const noexcept { return shape_; }
+
+  std::string name() const override { return "Gompertz"; }
+  std::size_t num_parameters() const override { return 2; }
+  double cdf(double x) const override;
+  double pdf(double x) const override;
+  double quantile(double p) const override;
+  /// No elementary closed form; computed by adaptive quadrature of S(t).
+  double mean() const override;
+  /// Computed numerically from E[X^2] - E[X]^2.
+  double variance() const override;
+  double survival(double x) const override;
+  double hazard(double x) const override;
+  DistributionPtr clone() const override { return std::make_unique<Gompertz>(*this); }
+
+ private:
+  double rate_;
+  double shape_;
+};
+
+}  // namespace prm::stats

@@ -1,0 +1,107 @@
+#include "stats/goodness_of_fit.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace prm::stats {
+
+namespace {
+void require_same_size(std::span<const double> a, std::span<const double> b, const char* fn) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument(std::string(fn) + ": size mismatch");
+  }
+  if (a.empty()) {
+    throw std::invalid_argument(std::string(fn) + ": empty input");
+  }
+}
+}  // namespace
+
+double sse(std::span<const double> observed, std::span<const double> predicted) {
+  require_same_size(observed, predicted, "sse");
+  double s = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    const double e = observed[i] - predicted[i];
+    s += e * e;
+  }
+  return s;
+}
+
+double mse(std::span<const double> observed, std::span<const double> predicted) {
+  return sse(observed, predicted) / static_cast<double>(observed.size());
+}
+
+double pmse(std::span<const double> observed_tail, std::span<const double> predicted_tail) {
+  return mse(observed_tail, predicted_tail);
+}
+
+double r_squared(std::span<const double> observed, std::span<const double> predicted) {
+  require_same_size(observed, predicted, "r_squared");
+  const double ssy = total_sum_of_squares(observed);
+  if (ssy == 0.0) throw std::domain_error("r_squared: observations have zero variance");
+  return 1.0 - sse(observed, predicted) / ssy;
+}
+
+double adjusted_r_squared(std::span<const double> observed,
+                          std::span<const double> predicted, std::size_t num_parameters) {
+  require_same_size(observed, predicted, "adjusted_r_squared");
+  const std::size_t n = observed.size();
+  if (n <= num_parameters) {
+    throw std::invalid_argument("adjusted_r_squared: need n > num_parameters");
+  }
+  const double r2 = r_squared(observed, predicted);
+  const double dof_ratio = static_cast<double>(n - 1) / static_cast<double>(n - num_parameters);
+  return 1.0 - (1.0 - r2) * dof_ratio;
+}
+
+double aic(std::span<const double> observed, std::span<const double> predicted,
+           std::size_t num_parameters) {
+  require_same_size(observed, predicted, "aic");
+  const double n = static_cast<double>(observed.size());
+  const double s = sse(observed, predicted);
+  const double guarded = std::max(s / n, 1e-300);
+  return n * std::log(guarded) + 2.0 * static_cast<double>(num_parameters);
+}
+
+double bic(std::span<const double> observed, std::span<const double> predicted,
+           std::size_t num_parameters) {
+  require_same_size(observed, predicted, "bic");
+  const double n = static_cast<double>(observed.size());
+  const double s = sse(observed, predicted);
+  const double guarded = std::max(s / n, 1e-300);
+  return n * std::log(guarded) + static_cast<double>(num_parameters) * std::log(n);
+}
+
+double theil_u(std::span<const double> observed_tail,
+               std::span<const double> predicted_tail, double last_observed) {
+  require_same_size(observed_tail, predicted_tail, "theil_u");
+  double model_se = 0.0;
+  double naive_se = 0.0;
+  for (std::size_t i = 0; i < observed_tail.size(); ++i) {
+    const double em = observed_tail[i] - predicted_tail[i];
+    const double en = observed_tail[i] - last_observed;
+    model_se += em * em;
+    naive_se += en * en;
+  }
+  if (naive_se == 0.0) {
+    return model_se == 0.0 ? 1.0 : std::numeric_limits<double>::infinity();
+  }
+  return std::sqrt(model_se / naive_se);
+}
+
+double mape(std::span<const double> observed, std::span<const double> predicted) {
+  require_same_size(observed, predicted, "mape");
+  double s = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    if (observed[i] == 0.0) continue;
+    s += std::fabs((observed[i] - predicted[i]) / observed[i]);
+    ++count;
+  }
+  if (count == 0) return std::numeric_limits<double>::quiet_NaN();
+  return 100.0 * s / static_cast<double>(count);
+}
+
+}  // namespace prm::stats

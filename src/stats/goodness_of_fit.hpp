@@ -1,0 +1,58 @@
+// Goodness-of-fit measures (paper Section III-B-1).
+//
+// All functions take the observed series R(t_i) and the model predictions
+// P(t_i) evaluated on the same grid. SSE is computed over the fitting window
+// (Eq. 9); PMSE over the held-out tail (Eq. 10); adjusted R^2 per Eq. 11.
+// AIC/BIC/MAPE are extensions beyond the paper for model selection.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace prm::stats {
+
+/// Sum of squared errors: sum_i (r_i - p_i)^2 (Eq. 9). Sizes must match.
+double sse(std::span<const double> observed, std::span<const double> predicted);
+
+/// Mean squared error SSE / n.
+double mse(std::span<const double> observed, std::span<const double> predicted);
+
+/// Predictive mean square error (Eq. 10): mean of squared residuals over a
+/// held-out window. `observed`/`predicted` here are ONLY the held-out tail
+/// (length l in the paper).
+double pmse(std::span<const double> observed_tail, std::span<const double> predicted_tail);
+
+/// Adjusted coefficient of determination (Eq. 11) with m model parameters:
+///   r2_adj = 1 - (1 - (SSY - SSE)/SSY) * (n - 1)/(n - m)
+/// The paper's Eq. 11 prints the denominator ambiguously; this is the
+/// standard adjusted-R^2 form, which reproduces the paper's ability to go
+/// negative on bad fits (their 1980/2020-21 rows). Requires n > m.
+double adjusted_r_squared(std::span<const double> observed,
+                          std::span<const double> predicted, std::size_t num_parameters);
+
+/// Plain (unadjusted) R^2 = 1 - SSE/SSY.
+double r_squared(std::span<const double> observed, std::span<const double> predicted);
+
+/// Akaike information criterion for a Gaussian LS fit:
+///   AIC = n ln(SSE/n) + 2k.  (Extension beyond the paper.)
+double aic(std::span<const double> observed, std::span<const double> predicted,
+           std::size_t num_parameters);
+
+/// Bayesian information criterion: n ln(SSE/n) + k ln n.
+double bic(std::span<const double> observed, std::span<const double> predicted,
+           std::size_t num_parameters);
+
+/// Mean absolute percentage error (%); observations equal to zero are
+/// skipped (returns NaN if all are zero).
+double mape(std::span<const double> observed, std::span<const double> predicted);
+
+/// Theil's U forecast-skill ratio over a held-out window (extension):
+///   U = RMSE(model forecast) / RMSE(persistence forecast)
+/// where the persistence forecast predicts `last_observed` (the final value
+/// of the fitting window) for every held-out sample. U < 1 means the model
+/// beats the naive no-change forecast; U > 1 means it loses to it. Returns
+/// +inf when the observations never move (persistence is exact).
+double theil_u(std::span<const double> observed_tail,
+               std::span<const double> predicted_tail, double last_observed);
+
+}  // namespace prm::stats

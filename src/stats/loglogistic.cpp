@@ -1,0 +1,73 @@
+#include "stats/loglogistic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace prm::stats {
+
+LogLogistic::LogLogistic(double scale, double shape) : scale_(scale), shape_(shape) {
+  if (!(scale > 0.0) || !std::isfinite(scale)) {
+    throw std::invalid_argument("LogLogistic: scale must be positive and finite");
+  }
+  if (!(shape > 0.0) || !std::isfinite(shape)) {
+    throw std::invalid_argument("LogLogistic: shape must be positive and finite");
+  }
+}
+
+double LogLogistic::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  const double z = std::pow(x / scale_, shape_);
+  return z / (1.0 + z);
+}
+
+double LogLogistic::pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  if (x == 0.0) {
+    if (shape_ < 1.0) return std::numeric_limits<double>::infinity();
+    if (shape_ == 1.0) return 1.0 / scale_;
+    return 0.0;
+  }
+  const double z = std::pow(x / scale_, shape_);
+  const double denom = (1.0 + z) * (1.0 + z);
+  return (shape_ / x) * z / denom;
+}
+
+double LogLogistic::quantile(double p) const {
+  if (!(p >= 0.0 && p < 1.0)) {
+    throw std::domain_error("LogLogistic::quantile: p must lie in [0, 1)");
+  }
+  if (p == 0.0) return 0.0;
+  return scale_ * std::pow(p / (1.0 - p), 1.0 / shape_);
+}
+
+double LogLogistic::mean() const {
+  if (shape_ <= 1.0) return std::numeric_limits<double>::infinity();
+  const double b = M_PI / shape_;
+  return scale_ * b / std::sin(b);
+}
+
+double LogLogistic::variance() const {
+  if (shape_ <= 2.0) return std::numeric_limits<double>::infinity();
+  const double b = M_PI / shape_;
+  const double m = b / std::sin(b);
+  return scale_ * scale_ * (2.0 * b / std::sin(2.0 * b) - m * m);
+}
+
+double LogLogistic::survival(double x) const {
+  if (x <= 0.0) return 1.0;
+  const double z = std::pow(x / scale_, shape_);
+  return 1.0 / (1.0 + z);
+}
+
+double LogLogistic::hazard(double x) const {
+  if (x < 0.0) return 0.0;
+  if (x == 0.0) {
+    if (shape_ < 1.0) return std::numeric_limits<double>::infinity();
+    if (shape_ == 1.0) return 1.0 / scale_;
+    return 0.0;
+  }
+  const double z = std::pow(x / scale_, shape_);
+  return (shape_ / x) * z / (1.0 + z);
+}
+
+}  // namespace prm::stats

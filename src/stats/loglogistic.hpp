@@ -1,0 +1,37 @@
+// Log-logistic distribution: F(t) = 1 / (1 + (t/scale)^-shape).
+// Classic lifetime model with a non-monotone hazard for shape > 1 --
+// a natural extension member for the paper's mixture family (its recovery
+// CDF has the S-shape of staged restoration programs).
+#pragma once
+
+#include "stats/distribution.hpp"
+
+namespace prm::stats {
+
+class LogLogistic final : public Distribution {
+ public:
+  /// scale > 0, shape > 0. Throws std::invalid_argument otherwise.
+  LogLogistic(double scale, double shape);
+
+  double scale() const noexcept { return scale_; }
+  double shape() const noexcept { return shape_; }
+
+  std::string name() const override { return "LogLogistic"; }
+  std::size_t num_parameters() const override { return 2; }
+  double cdf(double x) const override;
+  double pdf(double x) const override;
+  double quantile(double p) const override;
+  /// Mean = scale * (pi/shape) / sin(pi/shape) for shape > 1, +inf otherwise.
+  double mean() const override;
+  /// Finite only for shape > 2.
+  double variance() const override;
+  double survival(double x) const override;
+  double hazard(double x) const override;
+  DistributionPtr clone() const override { return std::make_unique<LogLogistic>(*this); }
+
+ private:
+  double scale_;
+  double shape_;
+};
+
+}  // namespace prm::stats

@@ -1,0 +1,43 @@
+#include "stats/lognormal.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/special_functions.hpp"
+
+namespace prm::stats {
+
+LogNormal::LogNormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  if (!(sigma > 0.0) || !std::isfinite(sigma) || !std::isfinite(mu)) {
+    throw std::invalid_argument("LogNormal: requires finite mu and positive sigma");
+  }
+}
+
+double LogNormal::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return num::normal_cdf((std::log(x) - mu_) / sigma_);
+}
+
+double LogNormal::pdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  const double z = (std::log(x) - mu_) / sigma_;
+  constexpr double kInvSqrt2Pi = 0.3989422804014326779;
+  return kInvSqrt2Pi / (x * sigma_) * std::exp(-0.5 * z * z);
+}
+
+double LogNormal::quantile(double p) const {
+  if (!(p > 0.0 && p < 1.0)) {
+    if (p == 0.0) return 0.0;
+    throw std::domain_error("LogNormal::quantile: p must lie in [0, 1)");
+  }
+  return std::exp(mu_ + sigma_ * num::normal_quantile(p));
+}
+
+double LogNormal::mean() const { return std::exp(mu_ + 0.5 * sigma_ * sigma_); }
+
+double LogNormal::variance() const {
+  const double s2 = sigma_ * sigma_;
+  return (std::exp(s2) - 1.0) * std::exp(2.0 * mu_ + s2);
+}
+
+}  // namespace prm::stats

@@ -1,0 +1,32 @@
+// LogNormal distribution: log X ~ Normal(mu, sigma). Extension member of the
+// mixture family (not evaluated in the paper, useful for slow J-shaped
+// recoveries).
+#pragma once
+
+#include "stats/distribution.hpp"
+
+namespace prm::stats {
+
+class LogNormal final : public Distribution {
+ public:
+  /// sigma > 0. Throws std::invalid_argument otherwise.
+  LogNormal(double mu, double sigma);
+
+  double mu() const noexcept { return mu_; }
+  double sigma() const noexcept { return sigma_; }
+
+  std::string name() const override { return "LogNormal"; }
+  std::size_t num_parameters() const override { return 2; }
+  double cdf(double x) const override;
+  double pdf(double x) const override;
+  double quantile(double p) const override;
+  double mean() const override;
+  double variance() const override;
+  DistributionPtr clone() const override { return std::make_unique<LogNormal>(*this); }
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+}  // namespace prm::stats

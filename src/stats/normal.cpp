@@ -1,0 +1,35 @@
+#include "stats/normal.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/special_functions.hpp"
+
+namespace prm::stats {
+
+Normal::Normal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  if (!(sigma > 0.0) || !std::isfinite(sigma) || !std::isfinite(mu)) {
+    throw std::invalid_argument("Normal: requires finite mu and positive sigma");
+  }
+}
+
+double Normal::cdf(double x) const { return num::normal_cdf((x - mu_) / sigma_); }
+
+double Normal::pdf(double x) const {
+  const double z = (x - mu_) / sigma_;
+  constexpr double kInvSqrt2Pi = 0.3989422804014326779;
+  return kInvSqrt2Pi / sigma_ * std::exp(-0.5 * z * z);
+}
+
+double Normal::quantile(double p) const {
+  return mu_ + sigma_ * num::normal_quantile(p);
+}
+
+double normal_critical_value(double alpha) {
+  if (!(alpha > 0.0 && alpha < 1.0)) {
+    throw std::domain_error("normal_critical_value: alpha must lie in (0, 1)");
+  }
+  return num::normal_quantile(1.0 - alpha / 2.0);
+}
+
+}  // namespace prm::stats

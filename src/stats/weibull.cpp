@@ -1,0 +1,63 @@
+#include "stats/weibull.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace prm::stats {
+
+Weibull::Weibull(double scale, double shape) : scale_(scale), shape_(shape) {
+  if (!(scale > 0.0) || !std::isfinite(scale)) {
+    throw std::invalid_argument("Weibull: scale must be positive and finite");
+  }
+  if (!(shape > 0.0) || !std::isfinite(shape)) {
+    throw std::invalid_argument("Weibull: shape must be positive and finite");
+  }
+}
+
+double Weibull::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return -std::expm1(-std::pow(x / scale_, shape_));
+}
+
+double Weibull::pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  if (x == 0.0) {
+    if (shape_ < 1.0) return std::numeric_limits<double>::infinity();
+    if (shape_ == 1.0) return 1.0 / scale_;
+    return 0.0;
+  }
+  const double z = x / scale_;
+  return (shape_ / scale_) * std::pow(z, shape_ - 1.0) * std::exp(-std::pow(z, shape_));
+}
+
+double Weibull::quantile(double p) const {
+  if (!(p >= 0.0 && p < 1.0)) {
+    throw std::domain_error("Weibull::quantile: p must lie in [0, 1)");
+  }
+  return scale_ * std::pow(-std::log1p(-p), 1.0 / shape_);
+}
+
+double Weibull::mean() const { return scale_ * std::tgamma(1.0 + 1.0 / shape_); }
+
+double Weibull::variance() const {
+  const double g1 = std::tgamma(1.0 + 1.0 / shape_);
+  const double g2 = std::tgamma(1.0 + 2.0 / shape_);
+  return scale_ * scale_ * (g2 - g1 * g1);
+}
+
+double Weibull::survival(double x) const {
+  if (x <= 0.0) return 1.0;
+  return std::exp(-std::pow(x / scale_, shape_));
+}
+
+double Weibull::hazard(double x) const {
+  if (x < 0.0) return 0.0;
+  if (x == 0.0) {
+    if (shape_ < 1.0) return std::numeric_limits<double>::infinity();
+    if (shape_ == 1.0) return 1.0 / scale_;
+    return 0.0;
+  }
+  return (shape_ / scale_) * std::pow(x / scale_, shape_ - 1.0);
+}
+
+}  // namespace prm::stats

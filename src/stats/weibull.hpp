@@ -1,0 +1,34 @@
+// Weibull distribution: F(t) = 1 - exp(-(t/scale)^shape)  (paper Eq. 23,
+// parameterized with scale lambda and shape k). The paper's flexible mixture
+// building block; reduces to Exponential at shape = 1.
+#pragma once
+
+#include "stats/distribution.hpp"
+
+namespace prm::stats {
+
+class Weibull final : public Distribution {
+ public:
+  /// scale > 0, shape > 0. Throws std::invalid_argument otherwise.
+  Weibull(double scale, double shape);
+
+  double scale() const noexcept { return scale_; }
+  double shape() const noexcept { return shape_; }
+
+  std::string name() const override { return "Weibull"; }
+  std::size_t num_parameters() const override { return 2; }
+  double cdf(double x) const override;
+  double pdf(double x) const override;
+  double quantile(double p) const override;
+  double mean() const override;
+  double variance() const override;
+  double survival(double x) const override;
+  double hazard(double x) const override;
+  DistributionPtr clone() const override { return std::make_unique<Weibull>(*this); }
+
+ private:
+  double scale_;
+  double shape_;
+};
+
+}  // namespace prm::stats

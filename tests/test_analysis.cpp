@@ -1,0 +1,54 @@
+#include "core/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+namespace prm::core {
+namespace {
+
+TEST(Analyze, ProducesCompleteResult) {
+  const auto r = analyze("quadratic", data::recession("1990-93"));
+  EXPECT_EQ(r.dataset, "1990-93");
+  EXPECT_EQ(r.model_name, "quadratic");
+  EXPECT_EQ(r.model_label, "Quadratic");
+  EXPECT_TRUE(r.fit.success());
+  EXPECT_EQ(r.validation.predictions.size(), 48u);
+}
+
+TEST(Analyze, UsesDatasetHoldout) {
+  const auto r = analyze("quadratic", data::recession("2020-21"));
+  EXPECT_EQ(r.fit.holdout(), 3u);
+  EXPECT_EQ(r.fit.fit_count(), 21u);
+}
+
+TEST(AnalyzeGrid, RowMajorCrossProduct) {
+  const std::vector<std::string> models{"quadratic", "competing-risks"};
+  const std::vector<data::RecessionDataset> datasets{data::recession("1990-93"),
+                                                     data::recession("2001-05")};
+  const auto grid = analyze_grid(models, datasets);
+  ASSERT_EQ(grid.size(), 4u);
+  EXPECT_EQ(grid[0].dataset, "1990-93");
+  EXPECT_EQ(grid[0].model_name, "quadratic");
+  EXPECT_EQ(grid[1].model_name, "competing-risks");
+  EXPECT_EQ(grid[2].dataset, "2001-05");
+}
+
+TEST(MetricTable, EightRows) {
+  const auto r = analyze("competing-risks", data::recession("1990-93"));
+  const auto table = metric_table(r);
+  EXPECT_EQ(table.size(), 8u);
+}
+
+TEST(DisplayLabel, PaperStyleLabels) {
+  EXPECT_EQ(display_label("quadratic"), "Quadratic");
+  EXPECT_EQ(display_label("competing-risks"), "Competing Risks");
+  EXPECT_EQ(display_label("mix-wei-exp-log"), "Wei-Exp");
+  EXPECT_EQ(display_label("mix-exp-wei-log"), "Exp-Wei");
+  EXPECT_EQ(display_label("unregistered-model"), "unregistered-model");
+}
+
+TEST(Analyze, UnknownModelThrows) {
+  EXPECT_THROW(analyze("no-such-model", data::recession("1980")), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace prm::core

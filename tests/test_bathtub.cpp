@@ -1,0 +1,184 @@
+#include "core/bathtub.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generator.hpp"
+#include "numerics/integrate.hpp"
+
+namespace prm::core {
+namespace {
+
+const num::Vector kQuadParams{1.0, -0.04, 0.0008};   // trough at t = 25
+const num::Vector kCrParams{1.0, 0.25, 0.0006};      // Hjorth-type bathtub
+
+TEST(Quadratic, EvaluateMatchesPolynomial) {
+  const QuadraticBathtubModel m;
+  EXPECT_DOUBLE_EQ(m.evaluate(0.0, kQuadParams), 1.0);
+  EXPECT_DOUBLE_EQ(m.evaluate(10.0, kQuadParams), 1.0 - 0.4 + 0.08);
+  EXPECT_THROW(m.evaluate(1.0, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Quadratic, GradientIsDesignRow) {
+  const QuadraticBathtubModel m;
+  const num::Vector g = m.gradient(3.0, kQuadParams);
+  EXPECT_DOUBLE_EQ(g[0], 1.0);
+  EXPECT_DOUBLE_EQ(g[1], 3.0);
+  EXPECT_DOUBLE_EQ(g[2], 9.0);
+}
+
+TEST(Quadratic, AreaClosedFormMatchesNumericIntegration) {
+  const QuadraticBathtubModel m;
+  const auto area = m.area_closed_form(kQuadParams, 2.0, 30.0);
+  ASSERT_TRUE(area.has_value());
+  const double numeric = num::adaptive_simpson(
+      [&m](double t) { return m.evaluate(t, kQuadParams); }, 2.0, 30.0, 1e-12).value;
+  EXPECT_NEAR(*area, numeric, 1e-9);
+}
+
+TEST(Quadratic, RecoveryTimeSolvesLevelCrossing) {
+  const QuadraticBathtubModel m;
+  // Trough at t=25 (value 0.5); ask when P returns to 0.9 after the trough.
+  const auto t = m.recovery_time_closed_form(kQuadParams, 0.9, 25.0);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_GT(*t, 25.0);
+  EXPECT_NEAR(m.evaluate(*t, kQuadParams), 0.9, 1e-10);
+}
+
+TEST(Quadratic, RecoveryTimeNoneWhenLevelUnreachableBelow) {
+  const QuadraticBathtubModel m;
+  // Minimum value is 0.5: level 0.4 is never attained.
+  EXPECT_FALSE(m.recovery_time_closed_form(kQuadParams, 0.4, 0.0).has_value());
+}
+
+TEST(Quadratic, TroughAtVertex) {
+  const QuadraticBathtubModel m;
+  const auto t = m.trough_closed_form(kQuadParams);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, 25.0, 1e-12);
+  // Vertex before zero clamps to zero.
+  EXPECT_DOUBLE_EQ(*m.trough_closed_form({1.0, 0.1, 0.01}), 0.0);
+}
+
+TEST(Quadratic, IsBathtubCondition) {
+  EXPECT_TRUE(QuadraticBathtubModel::is_bathtub(kQuadParams));
+  // beta too negative: hazard dips below zero.
+  EXPECT_FALSE(QuadraticBathtubModel::is_bathtub({1.0, -0.1, 0.0008}));
+  // beta positive: monotone increasing, not a bathtub.
+  EXPECT_FALSE(QuadraticBathtubModel::is_bathtub({1.0, 0.01, 0.0008}));
+  EXPECT_FALSE(QuadraticBathtubModel::is_bathtub({1.0, -0.04}));
+}
+
+TEST(Quadratic, LinearLsFitRecoversExactPolynomialData) {
+  std::vector<double> v(20);
+  for (int i = 0; i < 20; ++i) {
+    v[i] = 1.0 - 0.03 * i + 0.001 * i * i;
+  }
+  const data::PerformanceSeries s("poly", v);
+  const num::Vector p = QuadraticBathtubModel::linear_ls_fit(s);
+  EXPECT_NEAR(p[0], 1.0, 1e-10);
+  EXPECT_NEAR(p[1], -0.03, 1e-10);
+  EXPECT_NEAR(p[2], 0.001, 1e-12);
+}
+
+TEST(Quadratic, InitialGuessesSatisfyBounds) {
+  const QuadraticBathtubModel m;
+  const auto s = data::generate_shape(data::RecessionShape::kV, 48, 5);
+  for (const num::Vector& g : m.initial_guesses(s)) {
+    ASSERT_EQ(g.size(), 3u);
+    EXPECT_GT(g[0], 0.0);
+    EXPECT_LT(g[1], 0.0);
+    EXPECT_GT(g[2], 0.0);
+  }
+}
+
+TEST(Quadratic, MetadataIsConsistent) {
+  const QuadraticBathtubModel m;
+  EXPECT_EQ(m.name(), "quadratic");
+  EXPECT_EQ(m.num_parameters(), 3u);
+  EXPECT_EQ(m.parameter_names().size(), 3u);
+  EXPECT_EQ(m.parameter_bounds().size(), 3u);
+  const auto clone = m.clone();
+  EXPECT_EQ(clone->name(), "quadratic");
+}
+
+TEST(CompetingRisks, EvaluateMatchesFormula) {
+  const CompetingRisksModel m;
+  const double t = 4.0;
+  const double expected = 1.0 / (1.0 + 0.25 * t) + 2.0 * 0.0006 * t;
+  EXPECT_DOUBLE_EQ(m.evaluate(t, kCrParams), expected);
+  EXPECT_DOUBLE_EQ(m.evaluate(0.0, kCrParams), 1.0);
+}
+
+TEST(CompetingRisks, GradientMatchesFiniteDifference) {
+  const CompetingRisksModel m;
+  const num::Vector g = m.gradient(6.0, kCrParams);
+  for (std::size_t i = 0; i < 3; ++i) {
+    num::Vector p = kCrParams;
+    const double h = 1e-7 * std::max(1.0, std::fabs(p[i]));
+    p[i] += h;
+    const double up = m.evaluate(6.0, p);
+    p[i] -= 2.0 * h;
+    const double dn = m.evaluate(6.0, p);
+    EXPECT_NEAR(g[i], (up - dn) / (2.0 * h), 1e-5) << "param " << i;
+  }
+}
+
+TEST(CompetingRisks, AreaClosedFormMatchesNumericIntegration) {
+  const CompetingRisksModel m;
+  const auto area = m.area_closed_form(kCrParams, 0.0, 40.0);
+  ASSERT_TRUE(area.has_value());
+  const double numeric = num::adaptive_simpson(
+      [&m](double t) { return m.evaluate(t, kCrParams); }, 0.0, 40.0, 1e-12).value;
+  EXPECT_NEAR(*area, numeric, 1e-9);
+}
+
+TEST(CompetingRisks, TroughSatisfiesFirstOrderCondition) {
+  const CompetingRisksModel m;
+  const auto td = m.trough_closed_form(kCrParams);
+  ASSERT_TRUE(td.has_value());
+  EXPECT_GT(*td, 0.0);
+  // P'(td) ~ 0 by central difference.
+  const double h = 1e-5;
+  const double deriv = (m.evaluate(*td + h, kCrParams) - m.evaluate(*td - h, kCrParams)) / (2 * h);
+  EXPECT_NEAR(deriv, 0.0, 1e-8);
+}
+
+TEST(CompetingRisks, TroughZeroWhenMonotoneIncreasing) {
+  const CompetingRisksModel m;
+  // Tiny alpha*beta vs gamma: increasing from the start.
+  EXPECT_DOUBLE_EQ(*m.trough_closed_form({0.1, 0.01, 1.0}), 0.0);
+}
+
+TEST(CompetingRisks, RecoveryTimeSolvesLevelCrossing) {
+  const CompetingRisksModel m;
+  const double td = *m.trough_closed_form(kCrParams);
+  const auto tr = m.recovery_time_closed_form(kCrParams, 0.8, td);
+  ASSERT_TRUE(tr.has_value());
+  EXPECT_GT(*tr, td);
+  EXPECT_NEAR(m.evaluate(*tr, kCrParams), 0.8, 1e-9);
+}
+
+TEST(CompetingRisks, InitialGuessesSatisfyBounds) {
+  const CompetingRisksModel m;
+  const auto s = data::generate_shape(data::RecessionShape::kU, 48, 5);
+  for (const num::Vector& g : m.initial_guesses(s)) {
+    ASSERT_EQ(g.size(), 3u);
+    for (double x : g) EXPECT_GT(x, 0.0);
+  }
+}
+
+TEST(CompetingRisks, SearchBoxInsideBounds) {
+  const CompetingRisksModel m;
+  const auto s = data::generate_shape(data::RecessionShape::kU, 48, 5);
+  const auto [lo, hi] = m.search_box(s);
+  ASSERT_EQ(lo.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_GT(lo[i], 0.0);
+    EXPECT_LT(lo[i], hi[i]);
+  }
+}
+
+}  // namespace
+}  // namespace prm::core

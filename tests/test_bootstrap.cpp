@@ -1,0 +1,166 @@
+#include "stats/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "core/bathtub.hpp"
+#include "core/fitting.hpp"
+#include "data/recessions.hpp"
+
+namespace prm::stats {
+namespace {
+
+TEST(EmpiricalQuantile, OrderStatisticsAndInterpolation) {
+  const std::vector<double> v{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(empirical_quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(empirical_quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(empirical_quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(empirical_quantile(v, 1.0 / 3.0), 2.0);
+  EXPECT_DOUBLE_EQ(empirical_quantile({7.0}, 0.3), 7.0);
+}
+
+TEST(EmpiricalQuantile, Errors) {
+  EXPECT_THROW(empirical_quantile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(empirical_quantile({1.0}, 1.5), std::invalid_argument);
+  EXPECT_THROW(empirical_quantile({1.0}, -0.1), std::invalid_argument);
+}
+
+// A trivially refittable "model": mean of the resampled window, constant
+// prediction everywhere.
+std::vector<double> mean_refit(const std::vector<double>& window, std::size_t total) {
+  double m = 0.0;
+  for (double v : window) m += v;
+  m /= static_cast<double>(window.size());
+  return std::vector<double>(total, m);
+}
+
+TEST(BootstrapBand, CoversTruthForMeanModel) {
+  std::mt19937_64 rng(77);
+  std::normal_distribution<double> noise(0.0, 0.1);
+  const std::size_t n = 60;
+  std::vector<double> obs(n), pred(n, 0.0);
+  double mean_obs = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    obs[i] = 5.0 + noise(rng);
+    mean_obs += obs[i];
+  }
+  mean_obs /= static_cast<double>(n);
+  std::fill(pred.begin(), pred.end(), mean_obs);
+
+  BootstrapOptions opts;
+  opts.replicates = 300;
+  const BootstrapResult r = bootstrap_confidence_band(
+      obs, pred, pred, [n](const std::vector<double>& w) { return mean_refit(w, n); },
+      opts);
+  EXPECT_EQ(r.replicates_used, 300);
+  EXPECT_EQ(r.replicates_failed, 0);
+  // The prediction band must cover essentially all observations.
+  const double ec = empirical_coverage(obs, r.band);
+  EXPECT_GE(ec, 90.0);
+  // And the true level.
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_LE(r.band.lower[i], 5.05);
+    EXPECT_GE(r.band.upper[i], 4.95);
+  }
+}
+
+TEST(BootstrapBand, CurveOnlyBandIsNarrowerThanPredictionBand) {
+  std::mt19937_64 rng(78);
+  std::normal_distribution<double> noise(0.0, 0.2);
+  const std::size_t n = 50;
+  std::vector<double> obs(n);
+  for (std::size_t i = 0; i < n; ++i) obs[i] = 2.0 + noise(rng);
+  std::vector<double> pred(n, 2.0);
+
+  BootstrapOptions with_noise;
+  with_noise.include_residual_noise = true;
+  BootstrapOptions without_noise;
+  without_noise.include_residual_noise = false;
+  const auto refit = [n](const std::vector<double>& w) { return mean_refit(w, n); };
+  const auto wide = bootstrap_confidence_band(obs, pred, pred, refit, with_noise);
+  const auto narrow = bootstrap_confidence_band(obs, pred, pred, refit, without_noise);
+  EXPECT_GT(wide.band.half_width, 2.0 * narrow.band.half_width);
+}
+
+TEST(BootstrapBand, DeterministicForSeed) {
+  const std::size_t n = 30;
+  std::vector<double> obs(n), pred(n, 1.0);
+  for (std::size_t i = 0; i < n; ++i) obs[i] = 1.0 + 0.01 * ((i % 3) - 1.0);
+  const auto refit = [n](const std::vector<double>& w) { return mean_refit(w, n); };
+  const auto a = bootstrap_confidence_band(obs, pred, pred, refit);
+  const auto b = bootstrap_confidence_band(obs, pred, pred, refit);
+  EXPECT_EQ(a.band.lower, b.band.lower);
+  EXPECT_EQ(a.band.upper, b.band.upper);
+}
+
+TEST(BootstrapBand, FailedReplicatesAreSkippedAndCounted) {
+  const std::size_t n = 20;
+  std::vector<double> obs(n), pred(n, 1.0);
+  for (std::size_t i = 0; i < n; ++i) obs[i] = 1.0 + 0.01 * ((i % 5) - 2.0);
+  int call = 0;
+  const auto flaky = [&call, n](const std::vector<double>& w) {
+    ++call;
+    if (call % 3 == 0) return std::vector<double>();  // simulated refit failure
+    return mean_refit(w, n);
+  };
+  BootstrapOptions opts;
+  opts.replicates = 90;
+  const auto r = bootstrap_confidence_band(obs, pred, pred, flaky, opts);
+  EXPECT_EQ(r.replicates_failed, 30);
+  EXPECT_EQ(r.replicates_used, 60);
+}
+
+TEST(BootstrapBand, InputValidation) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  const auto refit = [](const std::vector<double>& w) { return w; };
+  EXPECT_THROW(
+      bootstrap_confidence_band(v, std::vector<double>{1.0}, v, refit),
+      std::invalid_argument);
+  BootstrapOptions one;
+  one.replicates = 1;
+  EXPECT_THROW(bootstrap_confidence_band(v, v, v, refit, one), std::invalid_argument);
+  EXPECT_THROW(bootstrap_confidence_band(v, v, v, nullptr), std::invalid_argument);
+}
+
+TEST(BootstrapBand, EndToEndWithRealModelRefit) {
+  // Full pipeline: quadratic model on a real dataset, refit per replicate.
+  const auto& ds = data::recession("1990-93");
+  const core::FitResult fit = core::fit_model("quadratic", ds.series, ds.holdout);
+  const auto fit_window = fit.fit_window();
+  const std::vector<double> predicted_all = fit.predictions();
+  const std::vector<double> predicted_fit = fit.fit_predictions();
+  const std::vector<double> observed_fit(fit_window.values().begin(),
+                                         fit_window.values().end());
+
+  const auto refit = [&](const std::vector<double>& window) -> std::vector<double> {
+    data::PerformanceSeries s(
+        "boot", std::vector<double>(fit_window.times().begin(), fit_window.times().end()),
+        window);
+    core::FitOptions quick;
+    quick.multistart.sampled_starts = 0;
+    quick.multistart.jitter_per_start = 0;
+    quick.multistart.polish_with_nelder_mead = false;
+    const core::FitResult r = core::fit_model("quadratic", s, 0, quick);
+    if (!r.success()) return {};
+    std::vector<double> out;
+    out.reserve(fit.series().size());
+    for (std::size_t i = 0; i < fit.series().size(); ++i) {
+      out.push_back(r.evaluate(fit.series().time(i)));
+    }
+    return out;
+  };
+
+  BootstrapOptions opts;
+  opts.replicates = 60;
+  const auto r =
+      bootstrap_confidence_band(observed_fit, predicted_fit, predicted_all, refit, opts);
+  EXPECT_GE(r.replicates_used, 50);
+  // Bootstrap EC over all samples should be broadly comparable to Eq. 13.
+  const double ec = empirical_coverage(fit.series().values(), r.band);
+  EXPECT_GE(ec, 80.0);
+}
+
+}  // namespace
+}  // namespace prm::stats

@@ -1,0 +1,134 @@
+#include "data/changepoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "data/generator.hpp"
+
+namespace prm::data {
+namespace {
+
+// Nominal regime (mean 1.0, small noise) followed by a recession-like drop
+// starting at `onset`.
+PerformanceSeries series_with_onset(std::size_t nominal_len, std::size_t onset_at,
+                                    std::uint64_t seed = 5) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> noise(0.0, 0.0008);
+  std::vector<double> v;
+  for (std::size_t i = 0; i < nominal_len; ++i) {
+    v.push_back(1.0 + noise(rng) + 0.00005 * static_cast<double>(i));  // mild growth
+  }
+  (void)onset_at;
+  // Decline phase: 2% loss over 12 samples, then partial recovery.
+  const double peak = v.back();
+  for (int i = 1; i <= 12; ++i) v.push_back(peak - 0.02 * peak * i / 12.0 + noise(rng));
+  for (int i = 1; i <= 12; ++i) {
+    v.push_back(peak * (0.98 + 0.015 * i / 12.0) + noise(rng));
+  }
+  return PerformanceSeries("synthetic-onset", std::move(v));
+}
+
+TEST(Cusum, NoAlarmOnPureNoise) {
+  std::mt19937_64 rng(9);
+  std::normal_distribution<double> noise(0.0, 0.001);
+  std::vector<double> v(60);
+  for (double& x : v) x = 1.0 + noise(rng);
+  const CusumResult r = detect_downward_shift(PerformanceSeries("flat", std::move(v)));
+  EXPECT_FALSE(r.alarm_index.has_value());
+}
+
+TEST(Cusum, AlarmsOnSustainedDrop) {
+  const PerformanceSeries s = series_with_onset(24, 24);
+  const CusumResult r = detect_downward_shift(s);
+  ASSERT_TRUE(r.alarm_index.has_value());
+  // Alarm should fire during the decline (after 24, well before recovery end).
+  EXPECT_GT(*r.alarm_index, 24u);
+  EXPECT_LT(*r.alarm_index, 36u);
+}
+
+TEST(Cusum, StatisticIsNonNegativeAndResets) {
+  const PerformanceSeries s = series_with_onset(24, 24);
+  const CusumResult r = detect_downward_shift(s);
+  for (double x : r.statistic) EXPECT_GE(x, 0.0);
+  // During the nominal prefix the statistic stays small.
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_LT(r.statistic[i], r.baseline_sigma * 5.0);
+  }
+}
+
+TEST(Cusum, HigherThresholdDelaysAlarm) {
+  const PerformanceSeries s = series_with_onset(24, 24);
+  CusumOptions sensitive;
+  sensitive.threshold_sigmas = 3.0;
+  CusumOptions strict;
+  strict.threshold_sigmas = 30.0;
+  const auto early = detect_downward_shift(s, sensitive);
+  const auto late = detect_downward_shift(s, strict);
+  ASSERT_TRUE(early.alarm_index.has_value());
+  ASSERT_TRUE(late.alarm_index.has_value());
+  EXPECT_LE(*early.alarm_index, *late.alarm_index);
+}
+
+TEST(Cusum, FlatBaselineUsesSigmaFloor) {
+  // Exactly constant baseline, then a step down: must not divide by zero.
+  std::vector<double> v(20, 1.0);
+  for (int i = 0; i < 10; ++i) v.push_back(0.95);
+  const CusumResult r = detect_downward_shift(PerformanceSeries("step", std::move(v)));
+  EXPECT_GT(r.baseline_sigma, 0.0);
+  ASSERT_TRUE(r.alarm_index.has_value());
+  EXPECT_GE(*r.alarm_index, 20u);
+}
+
+TEST(Cusum, InputValidation) {
+  const PerformanceSeries tiny("t", {1.0, 1.0, 1.0});
+  EXPECT_THROW(detect_downward_shift(tiny), std::invalid_argument);
+  CusumOptions bad;
+  bad.baseline = 1;
+  const PerformanceSeries s = series_with_onset(24, 24);
+  EXPECT_THROW(detect_downward_shift(s, bad), std::invalid_argument);
+}
+
+TEST(FindHazardOnset, RecoversThePeakAndAligns) {
+  const PerformanceSeries s = series_with_onset(24, 24);
+  const auto onset = find_hazard_onset(s);
+  ASSERT_TRUE(onset.has_value());
+  // The peak should be near the end of the nominal regime (the prefix is
+  // noisy and nearly flat, so a few samples of slack is inherent).
+  EXPECT_GE(onset->peak_index, 14u);
+  EXPECT_LE(onset->peak_index, 26u);
+  EXPECT_GE(onset->alarm_index, onset->peak_index);
+  // Aligned series: starts at exactly 1.0 at t = 0.
+  EXPECT_DOUBLE_EQ(onset->aligned.value(0), 1.0);
+  EXPECT_DOUBLE_EQ(onset->aligned.time(0), 0.0);
+  EXPECT_EQ(onset->aligned.size(), s.size() - onset->peak_index);
+  // And it dips (the recession is in there).
+  EXPECT_LT(onset->aligned.trough_value(), 0.99);
+}
+
+TEST(FindHazardOnset, NulloptWhenNothingHappens) {
+  std::mt19937_64 rng(11);
+  std::normal_distribution<double> noise(0.0, 0.001);
+  std::vector<double> v(60);
+  for (double& x : v) x = 1.0 + noise(rng);
+  EXPECT_FALSE(find_hazard_onset(PerformanceSeries("calm", std::move(v))).has_value());
+}
+
+TEST(FindHazardOnset, WorksOnGeneratedRecessionWithNominalPrefix) {
+  // Prepend a nominal year to a generated V-recession; the detector should
+  // recover the splice point as the peak.
+  const PerformanceSeries v_curve = generate_shape(RecessionShape::kV, 36, 21);
+  std::mt19937_64 rng(21);
+  std::normal_distribution<double> noise(0.0, 0.0006);
+  std::vector<double> values;
+  for (int i = 0; i < 18; ++i) values.push_back(1.0 + noise(rng));
+  for (double x : v_curve.values()) values.push_back(x);
+  const PerformanceSeries spliced("spliced", std::move(values));
+  const auto onset = find_hazard_onset(spliced);
+  ASSERT_TRUE(onset.has_value());
+  EXPECT_NEAR(static_cast<double>(onset->peak_index), 18.0, 4.0);
+}
+
+}  // namespace
+}  // namespace prm::data

@@ -1,0 +1,101 @@
+#include "stats/confidence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+namespace prm::stats {
+namespace {
+
+TEST(ResidualVariance, MatchesEq12) {
+  const std::vector<double> obs{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> pred{1.1, 1.9, 3.1, 3.9};
+  // SSE = 4 * 0.01 = 0.04; n - 2 = 2 -> 0.02.
+  EXPECT_NEAR(residual_variance(obs, pred), 0.02, 1e-14);
+}
+
+TEST(ResidualVariance, RequiresAtLeastThreeSamples) {
+  const std::vector<double> two{1.0, 2.0};
+  EXPECT_THROW(residual_variance(two, two), std::invalid_argument);
+  EXPECT_THROW(residual_variance(two, std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(LevelBand, WidthIsZSigmaAndCentersOnPredictions) {
+  const std::vector<double> obs{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> pred{1.1, 1.9, 3.1, 3.9};
+  const std::vector<double> all{1.1, 1.9, 3.1, 3.9, 5.0};
+  const ConfidenceBand band = level_confidence_band(obs, pred, all, 0.05);
+  const double sigma = std::sqrt(0.02);
+  EXPECT_NEAR(band.half_width, 1.959963984540054 * sigma, 1e-9);
+  ASSERT_EQ(band.center.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(band.center[i], all[i]);
+    EXPECT_NEAR(band.upper[i] - band.lower[i], 2.0 * band.half_width, 1e-12);
+  }
+}
+
+TEST(LevelBand, TighterAlphaWidensBand) {
+  const std::vector<double> obs{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> pred{1.1, 1.9, 3.1, 3.9};
+  const auto b95 = level_confidence_band(obs, pred, pred, 0.05);
+  const auto b99 = level_confidence_band(obs, pred, pred, 0.01);
+  EXPECT_GT(b99.half_width, b95.half_width);
+}
+
+TEST(DeltaBand, CentersOnChanges) {
+  const std::vector<double> obs{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> pred{1.1, 1.9, 3.1, 3.9};
+  const std::vector<double> all{1.0, 3.0, 6.0};
+  const ConfidenceBand band = delta_confidence_band(obs, pred, all, 0.05);
+  ASSERT_EQ(band.center.size(), 2u);
+  EXPECT_DOUBLE_EQ(band.center[0], 2.0);
+  EXPECT_DOUBLE_EQ(band.center[1], 3.0);
+}
+
+TEST(DeltaBand, RequiresTwoPredictions) {
+  const std::vector<double> obs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_THROW(delta_confidence_band(obs, obs, std::vector<double>{1.0}, 0.05),
+               std::invalid_argument);
+}
+
+TEST(EmpiricalCoverage, CountsInsideFraction) {
+  ConfidenceBand band;
+  band.center = {1.0, 2.0, 3.0, 4.0};
+  band.lower = {0.5, 1.5, 2.5, 3.5};
+  band.upper = {1.5, 2.5, 3.5, 4.5};
+  // 3 of 4 inside (10.0 is far outside).
+  EXPECT_NEAR(empirical_coverage(std::vector<double>{1.2, 2.4, 10.0, 3.6}, band), 75.0, 1e-12);
+  // Boundary counts as inside.
+  EXPECT_NEAR(empirical_coverage(std::vector<double>{0.5, 2.5, 3.5, 4.5}, band), 100.0, 1e-12);
+}
+
+TEST(EmpiricalCoverage, Errors) {
+  ConfidenceBand band;
+  band.center = {1.0};
+  band.lower = {0.0};
+  band.upper = {2.0};
+  EXPECT_THROW(empirical_coverage(std::vector<double>{1.0, 2.0}, band), std::invalid_argument);
+  ConfidenceBand empty;
+  EXPECT_THROW(empirical_coverage(std::vector<double>{}, empty), std::invalid_argument);
+}
+
+TEST(EmpiricalCoverage, NominalCoverageOnGaussianNoise) {
+  // Large-sample check: with Gaussian noise of the estimated sigma, a 95%
+  // level band should cover ~95% of observations.
+  std::mt19937_64 rng(12345);
+  std::normal_distribution<double> noise(0.0, 0.3);
+  const int n = 4000;
+  std::vector<double> pred(n), obs(n);
+  for (int i = 0; i < n; ++i) {
+    pred[i] = 1.0 + 0.001 * i;
+    obs[i] = pred[i] + noise(rng);
+  }
+  const auto band = level_confidence_band(obs, pred, pred, 0.05);
+  const double ec = empirical_coverage(obs, band);
+  EXPECT_NEAR(ec, 95.0, 1.2);
+}
+
+}  // namespace
+}  // namespace prm::stats

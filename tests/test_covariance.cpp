@@ -1,0 +1,197 @@
+#include "core/covariance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "core/bathtub.hpp"
+#include "data/recessions.hpp"
+#include "numerics/linalg.hpp"
+#include "stats/confidence.hpp"
+
+namespace prm::core {
+namespace {
+
+// Linear-in-parameters model (the quadratic): the NLS covariance formula is
+// EXACT, so we can verify against the textbook linear-regression answer.
+FitResult noisy_quadratic_fit(double noise_sigma, std::uint64_t seed,
+                              std::size_t n = 40, std::size_t holdout = 5) {
+  const QuadraticBathtubModel m;
+  const num::Vector truth{1.0, -0.03, 0.0006};
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> noise(0.0, noise_sigma);
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = m.evaluate(static_cast<double>(i), truth) + noise(rng);
+  }
+  return fit_model(m, data::PerformanceSeries("noisy", std::move(v)), holdout);
+}
+
+TEST(ParameterInference, MatchesTextbookLinearRegressionCovariance) {
+  const FitResult fit = noisy_quadratic_fit(0.002, 42);
+  const auto inf = parameter_inference(fit);
+  ASSERT_TRUE(inf.has_value());
+
+  // Build the design matrix and compute sigma^2 (X^T X)^-1 directly.
+  const auto window = fit.fit_window();
+  num::Matrix x(window.size(), 3);
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    const double t = window.time(i);
+    x(i, 0) = 1.0;
+    x(i, 1) = t;
+    x(i, 2) = t * t;
+  }
+  const auto xtx_inv = num::inverse(num::gram(x));
+  ASSERT_TRUE(xtx_inv.has_value());
+  const double sigma2 = fit.sse / static_cast<double>(window.size() - 3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_NEAR(inf->covariance(r, c), sigma2 * (*xtx_inv)(r, c),
+                  1e-10 * std::fabs(sigma2 * (*xtx_inv)(r, c)) + 1e-18);
+    }
+  }
+}
+
+TEST(ParameterInference, StandardErrorsCoverTruthAcrossReplicates) {
+  // Frequentist check: |theta_hat - theta_true| < 3 se in the large majority
+  // of noise realizations.
+  const num::Vector truth{1.0, -0.03, 0.0006};
+  int covered = 0;
+  int total = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const FitResult fit = noisy_quadratic_fit(0.002, seed);
+    const auto inf = parameter_inference(fit);
+    ASSERT_TRUE(inf.has_value());
+    for (std::size_t i = 0; i < 3; ++i) {
+      ++total;
+      if (std::fabs(fit.parameters()[i] - truth[i]) < 3.0 * inf->standard_errors[i]) {
+        ++covered;
+      }
+    }
+  }
+  EXPECT_GE(covered, total - 4);  // ~99.7% nominal; allow slack
+}
+
+TEST(ParameterInference, CorrelationMatrixIsValid) {
+  const FitResult fit = noisy_quadratic_fit(0.002, 7);
+  const auto inf = parameter_inference(fit);
+  ASSERT_TRUE(inf.has_value());
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(inf->correlation(i, i), 1.0, 1e-12);
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_LE(std::fabs(inf->correlation(i, c)), 1.0 + 1e-12);
+      EXPECT_NEAR(inf->correlation(i, c), inf->correlation(c, i), 1e-12);
+    }
+  }
+  // In a polynomial fit on [0, n], slope and curvature are strongly
+  // negatively correlated.
+  EXPECT_LT(inf->correlation(1, 2), -0.8);
+}
+
+TEST(ParameterInference, RequiresDegreesOfFreedom) {
+  const QuadraticBathtubModel m;
+  const data::PerformanceSeries s("tiny", {1.0, 0.98, 0.99});
+  FitResult fit(std::make_shared<QuadraticBathtubModel>(), {1.0, -0.02, 0.001}, s, 0);
+  fit.sse = 1e-6;
+  EXPECT_THROW(parameter_inference(fit), std::invalid_argument);
+}
+
+// A model with two perfectly redundant parameters: J^T J is singular by
+// construction, exercising the nullopt paths.
+class RedundantModel final : public ResilienceModel {
+ public:
+  std::string name() const override { return "redundant"; }
+  std::string description() const override { return "P(t) = p0 + p1 (unidentifiable)"; }
+  std::size_t num_parameters() const override { return 2; }
+  std::vector<std::string> parameter_names() const override { return {"p0", "p1"}; }
+  std::vector<opt::Bound> parameter_bounds() const override {
+    return {opt::Bound::free(), opt::Bound::free()};
+  }
+  double evaluate(double, const num::Vector& p) const override { return p[0] + p[1]; }
+  std::vector<num::Vector> initial_guesses(
+      const data::PerformanceSeries&) const override {
+    return {{0.5, 0.5}};
+  }
+  std::pair<num::Vector, num::Vector> search_box(
+      const data::PerformanceSeries&) const override {
+    return {{0.0, 0.0}, {2.0, 2.0}};
+  }
+  std::unique_ptr<ResilienceModel> clone() const override {
+    return std::make_unique<RedundantModel>(*this);
+  }
+};
+
+TEST(ParameterInference, SingularJacobianReturnsNullopt) {
+  std::vector<double> v(12, 1.0);
+  v[3] = 0.99;  // some variance so SSE > 0
+  FitResult fit(std::make_shared<RedundantModel>(), {0.5, 0.5},
+                data::PerformanceSeries("flat", std::move(v)), 2);
+  fit.sse = 1e-4;
+  fit.stop_reason = opt::StopReason::kConverged;
+  EXPECT_FALSE(parameter_inference(fit).has_value());
+  EXPECT_FALSE(delta_method_band(fit).has_value());
+}
+
+TEST(DeltaMethodBand, WidensOutsideTheFittingWindow) {
+  const FitResult fit = noisy_quadratic_fit(0.002, 3, 48, 8);
+  const auto band = delta_method_band(fit);
+  ASSERT_TRUE(band.has_value());
+  // Width at the last extrapolated point must exceed the width in the middle
+  // of the fitting window.
+  const std::size_t mid = fit.fit_count() / 2;
+  const std::size_t last = fit.series().size() - 1;
+  const double w_mid = band->upper[mid] - band->lower[mid];
+  const double w_last = band->upper[last] - band->lower[last];
+  EXPECT_GT(w_last, 1.2 * w_mid);
+}
+
+TEST(DeltaMethodBand, PredictionBandContainsCurveBand) {
+  const FitResult fit = noisy_quadratic_fit(0.002, 5);
+  const auto pred = delta_method_band(fit, 0.05, true);
+  const auto curve = delta_method_band(fit, 0.05, false);
+  ASSERT_TRUE(pred.has_value());
+  ASSERT_TRUE(curve.has_value());
+  for (std::size_t i = 0; i < pred->center.size(); ++i) {
+    EXPECT_LE(pred->lower[i], curve->lower[i] + 1e-12);
+    EXPECT_GE(pred->upper[i], curve->upper[i] - 1e-12);
+  }
+}
+
+TEST(DeltaMethodBand, CoverageIsNominalOnGaussianData) {
+  // Pool coverage over several replicates: the 95% prediction band should
+  // cover ~95% of all observations.
+  int inside = 0;
+  int total = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const FitResult fit = noisy_quadratic_fit(0.003, seed);
+    const auto band = delta_method_band(fit);
+    ASSERT_TRUE(band.has_value());
+    const auto obs = fit.series().values();
+    for (std::size_t i = 0; i < obs.size(); ++i) {
+      if (obs[i] >= band->lower[i] && obs[i] <= band->upper[i]) ++inside;
+      ++total;
+    }
+  }
+  const double coverage = 100.0 * inside / total;
+  EXPECT_GT(coverage, 90.0);
+  EXPECT_LT(coverage, 99.9);
+}
+
+TEST(DeltaMethodBand, WorksOnRealRecessionAndBeatsConstantBandShape) {
+  const auto& ds = data::recession("1990-93");
+  const FitResult fit = fit_model("competing-risks", ds.series, ds.holdout);
+  const auto band = delta_method_band(fit);
+  ASSERT_TRUE(band.has_value());
+  // The band over the holdout (extrapolated) region is wider than over the
+  // center of the fit window -- the property Eq. 13's constant band lacks.
+  const std::size_t mid = fit.fit_count() / 2;
+  const std::size_t last = ds.series.size() - 1;
+  EXPECT_GT(band->upper[last] - band->lower[last], band->upper[mid] - band->lower[mid]);
+  // And it still covers the data well.
+  const double ec = stats::empirical_coverage(ds.series.values(), *band);
+  EXPECT_GE(ec, 90.0);
+}
+
+}  // namespace
+}  // namespace prm::core

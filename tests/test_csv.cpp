@@ -1,0 +1,110 @@
+#include "data/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+namespace prm::data {
+namespace {
+
+TEST(Csv, WriteThenReadRoundTrips) {
+  const PerformanceSeries s("payroll", {0.0, 1.0, 2.0}, {1.0, 0.98, 0.99});
+  std::stringstream ss;
+  write_csv(ss, s);
+  const PerformanceSeries back = read_csv(ss, "payroll");
+  ASSERT_EQ(back.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(back.time(i), s.time(i));
+    EXPECT_DOUBLE_EQ(back.value(i), s.value(i));
+  }
+}
+
+TEST(Csv, HeaderIsWrittenAndSkipped) {
+  const PerformanceSeries s("idx", {0.0, 1.0}, {1.0, 2.0});
+  std::stringstream ss;
+  write_csv(ss, s);
+  std::string first_line;
+  std::getline(ss, first_line);
+  EXPECT_EQ(first_line, "t,idx");
+}
+
+TEST(Csv, NoHeaderMode) {
+  CsvOptions opts;
+  opts.header = false;
+  std::stringstream ss("0,1.0\n1,0.5\n");
+  const PerformanceSeries s = read_csv(ss, "x", opts);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.value(1), 0.5);
+}
+
+TEST(Csv, SkipsBlankLines) {
+  std::stringstream ss("t,v\n0,1.0\n\n1,2.0\n");
+  const PerformanceSeries s = read_csv(ss, "x");
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(Csv, ToleratesSpacesAndCrlf) {
+  std::stringstream ss("t,v\n 0 , 1.0 \r\n1,2.0\r\n");
+  const PerformanceSeries s = read_csv(ss, "x");
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.value(0), 1.0);
+}
+
+TEST(Csv, MalformedRowReportsLineNumber) {
+  std::stringstream one_col("t,v\n0;1.0\n");
+  try {
+    read_csv(one_col, "x");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Csv, NonNumericFieldThrows) {
+  std::stringstream bad("t,v\n0,hello\n");
+  EXPECT_THROW(read_csv(bad, "x"), std::runtime_error);
+}
+
+TEST(Csv, NonMonotoneTimesRejectedByValidation) {
+  std::stringstream bad("t,v\n1,1.0\n0,2.0\n");
+  EXPECT_THROW(read_csv(bad, "x"), std::invalid_argument);
+}
+
+TEST(Csv, AlternativeDelimiter) {
+  CsvOptions opts;
+  opts.delimiter = ';';
+  std::stringstream ss("t;v\n0;1.5\n1;2.5\n");
+  const PerformanceSeries s = read_csv(ss, "x", opts);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.value(0), 1.5);
+}
+
+TEST(Csv, FileRoundTrip) {
+  const std::string path = std::filesystem::temp_directory_path() / "prm_csv_test.csv";
+  const PerformanceSeries s("f", {0.0, 1.0, 2.0}, {1.0, 0.9, 1.1});
+  write_csv_file(path, s);
+  const PerformanceSeries back = read_csv_file(path, "f");
+  EXPECT_EQ(back.size(), 3u);
+  EXPECT_DOUBLE_EQ(back.value(2), 1.1);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, MissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/dir/data.csv", "x"), std::runtime_error);
+  const PerformanceSeries s("f", {0.0}, {1.0});
+  EXPECT_THROW(write_csv_file("/nonexistent/dir/data.csv", s), std::runtime_error);
+}
+
+TEST(Csv, HighPrecisionPreserved) {
+  const PerformanceSeries s("p", {0.0, 1.0}, {1.0 / 3.0, 0.123456789});
+  std::stringstream ss;
+  write_csv(ss, s);
+  const PerformanceSeries back = read_csv(ss, "p");
+  EXPECT_NEAR(back.value(0), 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(back.value(1), 0.123456789, 1e-9);
+}
+
+}  // namespace
+}  // namespace prm::data

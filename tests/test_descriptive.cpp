@@ -1,0 +1,65 @@
+#include "stats/descriptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace prm::stats {
+namespace {
+
+const std::vector<double> kSample{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+
+TEST(Descriptive, Mean) {
+  EXPECT_DOUBLE_EQ(mean(kSample), 5.0);
+  EXPECT_THROW(mean(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Descriptive, VarianceUnbiased) {
+  // Sum of squared deviations = 32; n-1 = 7.
+  EXPECT_NEAR(variance(kSample), 32.0 / 7.0, 1e-14);
+  EXPECT_THROW(variance(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Descriptive, Stddev) {
+  EXPECT_NEAR(stddev(kSample), std::sqrt(32.0 / 7.0), 1e-14);
+}
+
+TEST(Descriptive, MinMaxArg) {
+  EXPECT_DOUBLE_EQ(min(kSample), 2.0);
+  EXPECT_DOUBLE_EQ(max(kSample), 9.0);
+  EXPECT_EQ(argmin(kSample), 0u);
+  EXPECT_EQ(argmax(kSample), 7u);
+  // First occurrence on ties.
+  const std::vector<double> ties{3.0, 1.0, 1.0, 5.0, 5.0};
+  EXPECT_EQ(argmin(ties), 1u);
+  EXPECT_EQ(argmax(ties), 3u);
+}
+
+TEST(Descriptive, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{7.0}), 7.0);
+}
+
+TEST(Descriptive, CorrelationPerfectAndSign) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(correlation(x, y), 1.0, 1e-14);
+  const std::vector<double> z{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(correlation(x, z), -1.0, 1e-14);
+}
+
+TEST(Descriptive, CorrelationErrors) {
+  const std::vector<double> x{1.0, 2.0};
+  EXPECT_THROW(correlation(x, std::vector<double>{1.0}), std::invalid_argument);
+  EXPECT_THROW(correlation(std::vector<double>{1.0, 1.0}, x), std::domain_error);
+}
+
+TEST(Descriptive, TotalSumOfSquares) {
+  EXPECT_NEAR(total_sum_of_squares(kSample), 32.0, 1e-14);
+  EXPECT_DOUBLE_EQ(total_sum_of_squares(std::vector<double>{5.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace prm::stats

@@ -1,0 +1,68 @@
+#include "numerics/differentiate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace prm::num {
+namespace {
+
+TEST(DerivativeCentral, MatchesAnalyticDerivative) {
+  const auto f = [](double x) { return std::exp(2.0 * x); };
+  EXPECT_NEAR(derivative_central(f, 0.5), 2.0 * std::exp(1.0), 1e-7);
+}
+
+TEST(DerivativeRichardson, MoreAccurateThanCentral) {
+  const auto f = [](double x) { return std::sin(x); };
+  const double exact = std::cos(1.0);
+  const double ec = std::fabs(derivative_central(f, 1.0, 1e-3) - exact);
+  const double er = std::fabs(derivative_richardson(f, 1.0, 1e-3) - exact);
+  EXPECT_LT(er, ec);
+  EXPECT_NEAR(derivative_richardson(f, 1.0), exact, 1e-10);
+}
+
+TEST(DerivativeForward, WorksAtDomainBoundary) {
+  // sqrt is only defined for x >= 0; forward difference at x = 0 must not
+  // evaluate negative arguments.
+  const auto f = [](double x) { return x * std::sqrt(x); };  // f' = 1.5 sqrt(x)
+  EXPECT_NEAR(derivative_forward(f, 0.0), 0.0, 1e-3);
+  EXPECT_NEAR(derivative_forward(f, 1.0), 1.5, 1e-5);
+}
+
+TEST(GradientCentral, MatchesAnalyticGradient) {
+  const auto f = [](const Vector& x) {
+    return x[0] * x[0] + 3.0 * x[0] * x[1] + std::exp(x[1]);
+  };
+  const Vector x{1.0, 0.5};
+  const Vector g = gradient_central(f, x);
+  ASSERT_EQ(g.size(), 2u);
+  EXPECT_NEAR(g[0], 2.0 * x[0] + 3.0 * x[1], 1e-7);
+  EXPECT_NEAR(g[1], 3.0 * x[0] + std::exp(x[1]), 1e-7);
+}
+
+TEST(JacobianCentral, MatchesAnalyticJacobian) {
+  // r(p) = [p0^2, p0 p1, sin(p1)].
+  const auto r = [](const Vector& p) {
+    return Vector{p[0] * p[0], p[0] * p[1], std::sin(p[1])};
+  };
+  const Vector p{2.0, 0.7};
+  const Matrix j = jacobian_central(r, p);
+  ASSERT_EQ(j.rows(), 3u);
+  ASSERT_EQ(j.cols(), 2u);
+  EXPECT_NEAR(j(0, 0), 4.0, 1e-7);
+  EXPECT_NEAR(j(0, 1), 0.0, 1e-7);
+  EXPECT_NEAR(j(1, 0), 0.7, 1e-7);
+  EXPECT_NEAR(j(1, 1), 2.0, 1e-7);
+  EXPECT_NEAR(j(2, 0), 0.0, 1e-7);
+  EXPECT_NEAR(j(2, 1), std::cos(0.7), 1e-7);
+}
+
+TEST(JacobianCentral, HandlesZeroParameters) {
+  const auto r = [](const Vector&) { return Vector{1.0}; };
+  const Matrix j = jacobian_central(r, {});
+  EXPECT_EQ(j.rows(), 1u);
+  EXPECT_EQ(j.cols(), 0u);
+}
+
+}  // namespace
+}  // namespace prm::num

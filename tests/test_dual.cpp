@@ -1,0 +1,99 @@
+#include "numerics/dual.hpp"
+
+#include <gtest/gtest.h>
+
+#include "numerics/differentiate.hpp"
+
+namespace prm::num {
+namespace {
+
+TEST(Dual, SeedHasUnitDerivative) {
+  const Dual x = Dual::seed(3.0);
+  EXPECT_DOUBLE_EQ(x.v, 3.0);
+  EXPECT_DOUBLE_EQ(x.d, 1.0);
+}
+
+TEST(Dual, ConstantHasZeroDerivative) {
+  const Dual c = 5.0;
+  EXPECT_DOUBLE_EQ(c.d, 0.0);
+}
+
+TEST(Dual, ArithmeticRules) {
+  const Dual x = Dual::seed(2.0);
+  const Dual y = x * x + 3.0 * x - Dual(1.0);  // f = x^2+3x-1, f' = 2x+3
+  EXPECT_DOUBLE_EQ(y.v, 9.0);
+  EXPECT_DOUBLE_EQ(y.d, 7.0);
+}
+
+TEST(Dual, QuotientRule) {
+  const Dual x = Dual::seed(2.0);
+  const Dual y = (x + 1.0) / (x - 1.0);  // f' = -2/(x-1)^2 = -2
+  EXPECT_DOUBLE_EQ(y.v, 3.0);
+  EXPECT_DOUBLE_EQ(y.d, -2.0);
+}
+
+TEST(Dual, ChainThroughExpLog) {
+  const Dual x = Dual::seed(1.5);
+  const Dual y = log(exp(x) + 1.0);  // f' = e^x/(e^x+1)
+  const double ex = std::exp(1.5);
+  EXPECT_NEAR(y.v, std::log(ex + 1.0), 1e-15);
+  EXPECT_NEAR(y.d, ex / (ex + 1.0), 1e-15);
+}
+
+TEST(Dual, SqrtAndPow) {
+  const Dual x = Dual::seed(4.0);
+  EXPECT_DOUBLE_EQ(sqrt(x).v, 2.0);
+  EXPECT_DOUBLE_EQ(sqrt(x).d, 0.25);
+  const Dual p = pow(x, 3.0);  // f' = 3x^2 = 48
+  EXPECT_DOUBLE_EQ(p.v, 64.0);
+  EXPECT_DOUBLE_EQ(p.d, 48.0);
+}
+
+TEST(Dual, PowDualExponent) {
+  // f(x) = x^x, f'(x) = x^x (ln x + 1).
+  const Dual x = Dual::seed(2.0);
+  const Dual y = pow(x, x);
+  EXPECT_DOUBLE_EQ(y.v, 4.0);
+  EXPECT_NEAR(y.d, 4.0 * (std::log(2.0) + 1.0), 1e-14);
+}
+
+TEST(Dual, TrigRules) {
+  const Dual x = Dual::seed(0.7);
+  EXPECT_NEAR(sin(x).d, std::cos(0.7), 1e-15);
+  EXPECT_NEAR(cos(x).d, -std::sin(0.7), 1e-15);
+}
+
+TEST(Dual, FabsAndComparisons) {
+  const Dual neg(-2.0, 1.0);
+  EXPECT_DOUBLE_EQ(fabs(neg).v, 2.0);
+  EXPECT_DOUBLE_EQ(fabs(neg).d, -1.0);
+  EXPECT_TRUE(Dual(1.0) < Dual(2.0));
+  EXPECT_TRUE(Dual(3.0, 1.0) == Dual(3.0, 9.0));  // compares values only
+}
+
+TEST(Dual, MatchesFiniteDifferences) {
+  // Compare autodiff against central differences on a composite function.
+  const auto f = [](double x) {
+    return std::exp(-x) * std::sin(x) + std::sqrt(x + 1.0);
+  };
+  const auto fd = [](Dual x) { return exp(-x) * sin(x) + sqrt(x + 1.0); };
+  for (double x : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+    const double ad = fd(Dual::seed(x)).d;
+    const double num = derivative_richardson(f, x);
+    EXPECT_NEAR(ad, num, 1e-8) << "x = " << x;
+  }
+}
+
+TEST(Dual, CompoundAssignments) {
+  Dual x = Dual::seed(3.0);
+  Dual acc = 1.0;
+  acc += x;   // 1 + x
+  acc *= x;   // x + x^2, d = 1 + 2x = 7
+  acc -= 2.0; // d unchanged
+  acc /= 2.0; // d = 3.5
+  EXPECT_DOUBLE_EQ(acc.v, (3.0 + 9.0 - 2.0) / 2.0);
+  EXPECT_DOUBLE_EQ(acc.d, 3.5);
+}
+
+}  // namespace
+}  // namespace prm::num

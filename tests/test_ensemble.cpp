@@ -1,0 +1,159 @@
+#include "core/ensemble.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/recessions.hpp"
+
+namespace prm::core {
+namespace {
+
+const std::vector<std::string> kModels{"quadratic", "competing-risks", "mix-wei-exp-log",
+                                       "mix-wei-wei-log"};
+
+TEST(InformationWeights, NormalizedAndOrdered) {
+  const auto w = information_weights({100.0, 102.0, 110.0});
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_NEAR(w[0] + w[1] + w[2], 1.0, 1e-12);
+  EXPECT_GT(w[0], w[1]);
+  EXPECT_GT(w[1], w[2]);
+  // Delta of 2 AIC units -> weight ratio e^{-1}.
+  EXPECT_NEAR(w[1] / w[0], std::exp(-1.0), 1e-12);
+}
+
+TEST(InformationWeights, ClearWinnerTakesNearlyAll) {
+  const auto w = information_weights({-500.0, -400.0});
+  EXPECT_GT(w[0], 0.999999);
+}
+
+TEST(InformationWeights, NonFiniteCriteriaGetZero) {
+  const auto w = information_weights(
+      {10.0, std::numeric_limits<double>::infinity(),
+       std::numeric_limits<double>::quiet_NaN()});
+  EXPECT_NEAR(w[0], 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(w[1], 0.0);
+  EXPECT_DOUBLE_EQ(w[2], 0.0);
+  // All failed -> all zero.
+  const auto none = information_weights({std::numeric_limits<double>::infinity()});
+  EXPECT_DOUBLE_EQ(none[0], 0.0);
+}
+
+TEST(FitEnsemble, WeightsSumToOne) {
+  const auto& ds = data::recession("1990-93");
+  const EnsembleFit e = fit_ensemble(kModels, ds.series, ds.holdout);
+  double sum = 0.0;
+  for (const EnsembleMember& m : e.members()) {
+    EXPECT_GE(m.weight, 0.0);
+    sum += m.weight;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(FitEnsemble, SingleModelEnsembleEqualsThatModel) {
+  const auto& ds = data::recession("2001-05");
+  const EnsembleFit e = fit_ensemble({"quadratic"}, ds.series, ds.holdout);
+  const FitResult solo = fit_model("quadratic", ds.series, ds.holdout);
+  for (double t : {0.0, 10.0, 30.0, 47.0}) {
+    EXPECT_NEAR(e.evaluate(t), solo.evaluate(t), 1e-12);
+  }
+  EXPECT_NEAR(e.members().front().weight, 1.0, 1e-12);
+}
+
+TEST(FitEnsemble, EnsembleSseNoWorseThanWorstMember) {
+  const auto& ds = data::recession("1990-93");
+  const EnsembleFit e = fit_ensemble(kModels, ds.series, ds.holdout);
+  const auto v = e.validate();
+  double worst = 0.0;
+  for (const EnsembleMember& m : e.members()) {
+    worst = std::max(worst, m.validation.sse);
+  }
+  EXPECT_LE(v.sse, worst);
+}
+
+TEST(FitEnsemble, AicWeightsFavorTheDominantModel) {
+  // On 1990-93 the Wei-Wei mixture dominates by AIC; its weight should lead.
+  const auto& ds = data::recession("1990-93");
+  const EnsembleFit e = fit_ensemble(kModels, ds.series, ds.holdout);
+  double best_weight = 0.0;
+  std::string best_name;
+  double best_aic = std::numeric_limits<double>::infinity();
+  std::string best_aic_name;
+  for (const EnsembleMember& m : e.members()) {
+    if (m.weight > best_weight) {
+      best_weight = m.weight;
+      best_name = m.fit.model().name();
+    }
+    if (m.validation.aic < best_aic) {
+      best_aic = m.validation.aic;
+      best_aic_name = m.fit.model().name();
+    }
+  }
+  EXPECT_EQ(best_name, best_aic_name);
+}
+
+TEST(FitEnsemble, InversePmseWeightingDiffersFromAic) {
+  const auto& ds = data::recession("1981-83");
+  EnsembleOptions aic;
+  EnsembleOptions pmse;
+  pmse.weighting = EnsembleWeighting::kInversePmse;
+  const EnsembleFit ea = fit_ensemble(kModels, ds.series, ds.holdout, aic);
+  const EnsembleFit ep = fit_ensemble(kModels, ds.series, ds.holdout, pmse);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < ea.members().size(); ++i) {
+    if (std::fabs(ea.members()[i].weight - ep.members()[i].weight) > 1e-6) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(FitEnsemble, ValidationIsCompleteAndSane) {
+  const auto& ds = data::recession("1974-76");
+  const EnsembleFit e = fit_ensemble(kModels, ds.series, ds.holdout);
+  const auto v = e.validate();
+  EXPECT_GT(v.r2_adj, 0.85);
+  EXPECT_GT(v.ec, 80.0);
+  EXPECT_LE(v.ec, 100.0);
+  EXPECT_EQ(v.predictions.size(), ds.series.size());
+  EXPECT_GT(v.theil_u, 0.0);
+}
+
+TEST(FitEnsemble, RecoveryAndTroughQueries) {
+  const auto& ds = data::recession("1981-83");
+  const EnsembleFit e = fit_ensemble(kModels, ds.series, ds.holdout);
+  const double td = e.trough_time();
+  EXPECT_NEAR(td, 16.0, 6.0);  // observed trough month 16
+  const auto tr = e.recovery_time(1.0, td);
+  ASSERT_TRUE(tr.has_value());
+  EXPECT_GT(*tr, td);
+  EXPECT_NEAR(e.evaluate(*tr), 1.0, 1e-6);
+}
+
+TEST(EnsembleFit, ConstructorValidation) {
+  EXPECT_THROW(EnsembleFit({}), std::invalid_argument);
+
+  const auto& ds = data::recession("1990-93");
+  EnsembleMember a;
+  a.fit = fit_model("quadratic", ds.series, ds.holdout);
+  a.weight = -1.0;
+  std::vector<EnsembleMember> bad;
+  bad.push_back(std::move(a));
+  EXPECT_THROW(EnsembleFit(std::move(bad)), std::invalid_argument);
+
+  EnsembleMember z;
+  z.fit = fit_model("quadratic", ds.series, ds.holdout);
+  z.weight = 0.0;
+  std::vector<EnsembleMember> zeros;
+  zeros.push_back(std::move(z));
+  EXPECT_THROW(EnsembleFit(std::move(zeros)), std::invalid_argument);
+}
+
+TEST(FitEnsemble, InputValidation) {
+  const auto& ds = data::recession("1990-93");
+  EXPECT_THROW(fit_ensemble({}, ds.series, ds.holdout), std::invalid_argument);
+  EXPECT_THROW(fit_ensemble({"no-such-model"}, ds.series, ds.holdout), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace prm::core

@@ -1,0 +1,137 @@
+#include "core/forecast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "core/bathtub.hpp"
+#include "data/recessions.hpp"
+
+namespace prm::core {
+namespace {
+
+FitResult real_fit() {
+  const auto& ds = data::recession("1990-93");
+  return fit_model("competing-risks", ds.series, ds.holdout);
+}
+
+TEST(ForecastHorizon, ProducesRequestedGrid) {
+  const FitResult fit = real_fit();
+  const ForecastResult f = forecast_horizon(fit, 6);
+  ASSERT_EQ(f.points.size(), 6u);
+  // Monthly data: steps continue at dt = 1 after month 47.
+  EXPECT_DOUBLE_EQ(f.points.front().t, 48.0);
+  EXPECT_DOUBLE_EQ(f.points.back().t, 53.0);
+  for (const ForecastPoint& p : f.points) {
+    EXPECT_LT(p.lower, p.value);
+    EXPECT_GT(p.upper, p.value);
+    EXPECT_DOUBLE_EQ(p.value, fit.evaluate(p.t));
+  }
+}
+
+TEST(ForecastHorizon, CustomStepRespected) {
+  const FitResult fit = real_fit();
+  const ForecastResult f = forecast_horizon(fit, 4, 0.5);
+  EXPECT_DOUBLE_EQ(f.points[0].t, 47.5);
+  EXPECT_DOUBLE_EQ(f.points[3].t, 49.0);
+}
+
+TEST(ForecastHorizon, IntervalsWidenWithExtrapolationDistance) {
+  const FitResult fit = real_fit();
+  const ForecastResult f = forecast_horizon(fit, 24);
+  ASSERT_TRUE(f.used_delta_method);
+  const double w_first = f.points.front().upper - f.points.front().lower;
+  const double w_last = f.points.back().upper - f.points.back().lower;
+  EXPECT_GT(w_last, 1.2 * w_first);
+}
+
+TEST(ForecastHorizon, TighterAlphaWidensIntervals) {
+  const FitResult fit = real_fit();
+  const ForecastResult f95 = forecast_horizon(fit, 3, 0.0, 0.05);
+  const ForecastResult f99 = forecast_horizon(fit, 3, 0.0, 0.01);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_GT(f99.points[i].upper - f99.points[i].lower,
+              f95.points[i].upper - f95.points[i].lower);
+  }
+}
+
+TEST(ForecastHorizon, CoversTruthOnSyntheticContinuation) {
+  // Generate 60 months from a known quadratic + noise, fit on the first 40,
+  // forecast the next 20: most of the unseen truth lies inside the band.
+  const QuadraticBathtubModel m;
+  const num::Vector truth{1.0, -0.03, 0.0006};
+  std::mt19937_64 rng(99);
+  std::normal_distribution<double> noise(0.0, 0.002);
+  std::vector<double> v(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    v[i] = m.evaluate(static_cast<double>(i), truth) + noise(rng);
+  }
+  const data::PerformanceSeries full("cont", v);
+  const FitResult fit = fit_model(m, full.head(40), 0);
+  const ForecastResult f = forecast_horizon(fit, 20);
+  int inside = 0;
+  for (std::size_t i = 0; i < 20; ++i) {
+    const double actual = v[40 + i];
+    EXPECT_NEAR(f.points[i].t, static_cast<double>(40 + i), 1e-9);
+    if (actual >= f.points[i].lower && actual <= f.points[i].upper) ++inside;
+  }
+  EXPECT_GE(inside, 18);  // ~95% nominal
+}
+
+TEST(ForecastHorizon, InputValidation) {
+  const FitResult fit = real_fit();
+  EXPECT_THROW(forecast_horizon(fit, 0), std::invalid_argument);
+  EXPECT_THROW(forecast_horizon(fit, 3, -1.0), std::invalid_argument);
+}
+
+TEST(ForecastHorizon, FallsBackToConstantWidthWhenCovarianceSingular) {
+  // Two redundant parameters -> singular J^T J -> Eq. 13 fallback width.
+  class Redundant final : public ResilienceModel {
+   public:
+    std::string name() const override { return "redundant-f"; }
+    std::string description() const override { return "P = p0 + p1"; }
+    std::size_t num_parameters() const override { return 2; }
+    std::vector<std::string> parameter_names() const override { return {"a", "b"}; }
+    std::vector<opt::Bound> parameter_bounds() const override {
+      return {opt::Bound::free(), opt::Bound::free()};
+    }
+    double evaluate(double, const num::Vector& p) const override { return p[0] + p[1]; }
+    std::vector<num::Vector> initial_guesses(
+        const data::PerformanceSeries&) const override {
+      return {{0.5, 0.5}};
+    }
+    std::pair<num::Vector, num::Vector> search_box(
+        const data::PerformanceSeries&) const override {
+      return {{0.0, 0.0}, {2.0, 2.0}};
+    }
+    std::unique_ptr<ResilienceModel> clone() const override {
+      return std::make_unique<Redundant>(*this);
+    }
+  };
+  std::vector<double> v(12, 1.0);
+  v[4] = 1.01;
+  FitResult fit(std::make_shared<Redundant>(), {0.5, 0.5},
+                data::PerformanceSeries("flat", std::move(v)), 2);
+  fit.sse = 1e-4;
+  fit.stop_reason = opt::StopReason::kConverged;
+  const ForecastResult f = forecast_horizon(fit, 3);
+  EXPECT_FALSE(f.used_delta_method);
+  ASSERT_EQ(f.points.size(), 3u);
+  // Constant width across the horizon.
+  const double w0 = f.points[0].upper - f.points[0].lower;
+  const double w2 = f.points[2].upper - f.points[2].lower;
+  EXPECT_NEAR(w0, w2, 1e-12);
+  EXPECT_GT(w0, 0.0);
+}
+
+TEST(ForecastHorizon, SigmaMatchesParameterInference) {
+  const FitResult fit = real_fit();
+  const ForecastResult f = forecast_horizon(fit, 2);
+  const auto inf = parameter_inference(fit);
+  ASSERT_TRUE(inf.has_value());
+  EXPECT_DOUBLE_EQ(f.sigma2, inf->sigma2);
+}
+
+}  // namespace
+}  // namespace prm::core

@@ -1,0 +1,62 @@
+#include "optimize/golden_section.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace prm::opt {
+namespace {
+
+TEST(GoldenSection, FindsParabolaMinimum) {
+  const auto f = [](double x) { return (x - 1.7) * (x - 1.7) + 0.5; };
+  const GoldenResult r = golden_section(f, 0.0, 5.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 1.7, 1e-7);
+  EXPECT_NEAR(r.fx, 0.5, 1e-12);
+}
+
+TEST(GoldenSection, HandlesReversedBounds) {
+  const auto f = [](double x) { return std::fabs(x + 2.0); };
+  const GoldenResult r = golden_section(f, 3.0, -5.0);
+  EXPECT_NEAR(r.x, -2.0, 1e-6);
+}
+
+TEST(GoldenSection, MinimumAtBoundary) {
+  const auto f = [](double x) { return x; };
+  const GoldenResult r = golden_section(f, 0.0, 1.0);
+  EXPECT_NEAR(r.x, 0.0, 1e-6);
+}
+
+TEST(GoldenSection, NonSmoothUnimodal) {
+  const auto f = [](double x) { return std::fabs(x - 0.3) + 1.0; };
+  const GoldenResult r = golden_section(f, -1.0, 1.0);
+  EXPECT_NEAR(r.x, 0.3, 1e-6);
+}
+
+TEST(ScanThenGolden, FindsGlobalMinimumAmongSeveral) {
+  // Two basins: local at x ~ 2 (depth 1), global at x ~ -1.5 (depth 2).
+  const auto f = [](double x) {
+    return -2.0 * std::exp(-(x + 1.5) * (x + 1.5)) -
+           1.0 * std::exp(-(x - 2.0) * (x - 2.0) / 0.25);
+  };
+  const GoldenResult r = scan_then_golden(f, -5.0, 5.0, 256);
+  EXPECT_NEAR(r.x, -1.5, 1e-3);
+}
+
+TEST(ScanThenGolden, WShapedCurveGlobalTrough) {
+  // Mimics a W-shaped resilience curve: second dip is deeper.
+  const auto f = [](double x) {
+    return 1.0 - 0.4 * std::exp(-(x - 1.0) * (x - 1.0) * 4.0) -
+           0.6 * std::exp(-(x - 3.0) * (x - 3.0) * 4.0);
+  };
+  const GoldenResult r = scan_then_golden(f, 0.0, 5.0, 512);
+  EXPECT_NEAR(r.x, 3.0, 1e-2);
+}
+
+TEST(ScanThenGolden, RejectsTooFewSamples) {
+  EXPECT_THROW(scan_then_golden([](double x) { return x * x; }, 0.0, 1.0, 2),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prm::opt

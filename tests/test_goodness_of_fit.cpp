@@ -1,0 +1,137 @@
+#include "stats/goodness_of_fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace prm::stats {
+namespace {
+
+const std::vector<double> kObs{1.0, 2.0, 3.0, 4.0, 5.0};
+const std::vector<double> kPred{1.1, 1.9, 3.2, 3.8, 5.0};
+
+TEST(Sse, HandComputedValue) {
+  // 0.01 + 0.01 + 0.04 + 0.04 + 0 = 0.10.
+  EXPECT_NEAR(sse(kObs, kPred), 0.10, 1e-12);
+  EXPECT_DOUBLE_EQ(sse(kObs, kObs), 0.0);
+}
+
+TEST(Sse, Errors) {
+  EXPECT_THROW(sse(kObs, std::vector<double>{1.0}), std::invalid_argument);
+  EXPECT_THROW(sse(std::vector<double>{}, std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(MseAndPmse, AreScaledSse) {
+  EXPECT_NEAR(mse(kObs, kPred), 0.02, 1e-12);
+  EXPECT_NEAR(pmse(kObs, kPred), 0.02, 1e-12);  // same formula, holdout window
+}
+
+TEST(RSquared, PerfectFitIsOne) {
+  EXPECT_DOUBLE_EQ(r_squared(kObs, kObs), 1.0);
+}
+
+TEST(RSquared, HandComputedValue) {
+  // SSY = 10, SSE = 0.1 -> R2 = 0.99.
+  EXPECT_NEAR(r_squared(kObs, kPred), 0.99, 1e-12);
+}
+
+TEST(RSquared, WorseThanMeanGoesNegative) {
+  const std::vector<double> bad{5.0, 4.0, 3.0, 2.0, 1.0};  // anti-correlated
+  EXPECT_LT(r_squared(kObs, bad), 0.0);
+}
+
+TEST(RSquared, ZeroVarianceThrows) {
+  const std::vector<double> flat{2.0, 2.0, 2.0};
+  EXPECT_THROW(r_squared(flat, flat), std::domain_error);
+}
+
+TEST(AdjustedRSquared, PenalizesParameters) {
+  // r2_adj = 1 - (1 - 0.99) * (5-1)/(5-3) = 0.98 for 3 parameters.
+  EXPECT_NEAR(adjusted_r_squared(kObs, kPred, 3), 0.98, 1e-12);
+  // More parameters -> lower adjusted value.
+  EXPECT_GT(adjusted_r_squared(kObs, kPred, 1), adjusted_r_squared(kObs, kPred, 3));
+}
+
+TEST(AdjustedRSquared, RequiresDegreesOfFreedom) {
+  EXPECT_THROW(adjusted_r_squared(kObs, kPred, 5), std::invalid_argument);
+  EXPECT_THROW(adjusted_r_squared(kObs, kPred, 6), std::invalid_argument);
+}
+
+TEST(AdjustedRSquared, CanBeNegativeOnBadFit) {
+  const std::vector<double> bad{5.0, 1.0, 5.0, 1.0, 5.0};
+  EXPECT_LT(adjusted_r_squared(kObs, bad, 3), 0.0);
+}
+
+TEST(Aic, PrefersBetterFitAtEqualComplexity) {
+  EXPECT_LT(aic(kObs, kPred, 2), aic(kObs, std::vector<double>{2.0, 2.0, 2.0, 2.0, 2.0}, 2));
+}
+
+TEST(Aic, PenalizesComplexityAtEqualFit) {
+  EXPECT_LT(aic(kObs, kPred, 2), aic(kObs, kPred, 4));
+  // AIC = n ln(SSE/n) + 2k exactly.
+  const double expected = 5.0 * std::log(0.10 / 5.0) + 4.0;
+  EXPECT_NEAR(aic(kObs, kPred, 2), expected, 1e-12);
+}
+
+TEST(Bic, StrongerComplexityPenaltyThanAicForLargeN) {
+  std::vector<double> obs(50), pred(50);
+  for (int i = 0; i < 50; ++i) {
+    obs[i] = i;
+    pred[i] = i + 0.1;
+  }
+  const double aic_gap = aic(obs, pred, 5) - aic(obs, pred, 1);
+  const double bic_gap = bic(obs, pred, 5) - bic(obs, pred, 1);
+  EXPECT_GT(bic_gap, aic_gap);  // ln(50) > 2
+}
+
+TEST(Aic, PerfectFitDoesNotBlowUp) {
+  EXPECT_TRUE(std::isfinite(aic(kObs, kObs, 2)));
+  EXPECT_TRUE(std::isfinite(bic(kObs, kObs, 2)));
+}
+
+TEST(Mape, HandComputedValue) {
+  // |0.1/1| + |0.1/2| + |0.2/3| + |0.2/4| + 0 = 0.266667; /5 *100 = 5.3333.
+  EXPECT_NEAR(mape(kObs, kPred), 100.0 * (0.1 + 0.05 + 0.2 / 3.0 + 0.05 + 0.0) / 5.0, 1e-9);
+}
+
+TEST(TheilU, OneWhenModelEqualsPersistence) {
+  // Model predicting exactly the last observed value = the naive forecast.
+  const std::vector<double> obs{1.1, 1.2, 1.3};
+  const std::vector<double> pred{1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(theil_u(obs, pred, 1.0), 1.0);
+}
+
+TEST(TheilU, BelowOneWhenModelBeatsPersistence) {
+  const std::vector<double> obs{1.1, 1.2, 1.3};
+  const std::vector<double> good{1.09, 1.21, 1.31};
+  EXPECT_LT(theil_u(obs, good, 1.0), 0.2);
+}
+
+TEST(TheilU, AboveOneWhenModelLosesToPersistence) {
+  const std::vector<double> obs{1.01, 1.02, 1.01};
+  const std::vector<double> bad{1.5, 1.5, 1.5};
+  EXPECT_GT(theil_u(obs, bad, 1.0), 1.0);
+}
+
+TEST(TheilU, DegenerateFlatObservations) {
+  const std::vector<double> obs{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(theil_u(obs, obs, 1.0), 1.0);  // both forecasts exact
+  const std::vector<double> off{1.1, 1.1};
+  EXPECT_TRUE(std::isinf(theil_u(obs, off, 1.0)));
+}
+
+TEST(TheilU, SizeMismatchThrows) {
+  EXPECT_THROW(theil_u(std::vector<double>{1.0}, std::vector<double>{1.0, 2.0}, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Mape, SkipsZeroObservations) {
+  const std::vector<double> obs{0.0, 2.0};
+  const std::vector<double> pred{5.0, 2.2};
+  EXPECT_NEAR(mape(obs, pred), 10.0, 1e-12);
+  EXPECT_TRUE(std::isnan(mape(std::vector<double>{0.0}, std::vector<double>{1.0})));
+}
+
+}  // namespace
+}  // namespace prm::stats

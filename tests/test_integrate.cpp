@@ -1,0 +1,92 @@
+#include "numerics/integrate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace prm::num {
+namespace {
+
+TEST(TrapezoidSampled, ExactForLinearData) {
+  // Integral of 2t on [0, 4] = 16; trapezoid is exact for linear data.
+  const std::vector<double> ts{0.0, 1.0, 2.5, 4.0};
+  std::vector<double> ys(ts.size());
+  for (std::size_t i = 0; i < ts.size(); ++i) ys[i] = 2.0 * ts[i];
+  EXPECT_DOUBLE_EQ(trapezoid(ts, ys), 16.0);
+}
+
+TEST(TrapezoidSampled, RejectsBadInput) {
+  EXPECT_THROW(trapezoid({0.0, 1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(trapezoid({0.0, 0.0}, {1.0, 1.0}), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(trapezoid(std::vector<double>{1.0}, std::vector<double>{5.0}), 0.0);
+}
+
+TEST(TrapezoidFunction, ConvergesQuadratically) {
+  const auto f = [](double x) { return std::sin(x); };
+  const double exact = 1.0 - std::cos(1.0);
+  const double e1 = std::fabs(trapezoid(f, 0.0, 1.0, 8) - exact);
+  const double e2 = std::fabs(trapezoid(f, 0.0, 1.0, 16) - exact);
+  EXPECT_NEAR(e1 / e2, 4.0, 0.3);  // halving h quarters the error
+}
+
+TEST(Simpson, ExactForCubics) {
+  const auto f = [](double x) { return x * x * x - 2.0 * x + 1.0; };
+  // Integral on [0, 2]: 4 - 4 + 2 = 2.
+  EXPECT_NEAR(simpson(f, 0.0, 2.0, 2), 2.0, 1e-13);
+}
+
+TEST(Simpson, OddPanelCountRoundedUp) {
+  const auto f = [](double x) { return x * x; };
+  EXPECT_NEAR(simpson(f, 0.0, 3.0, 3), 9.0, 1e-12);
+}
+
+TEST(AdaptiveSimpson, HandlesSharpFeature) {
+  // Narrow Gaussian bump: integral over [-1, 1] ~ sqrt(pi)/50.
+  const double s = 0.02;
+  const auto f = [s](double x) { return std::exp(-x * x / (s * s)); };
+  const auto r = adaptive_simpson(f, -1.0, 1.0, 1e-12);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.value, s * std::sqrt(M_PI), 1e-10);
+}
+
+TEST(AdaptiveSimpson, SignFlipsForReversedBounds) {
+  const auto f = [](double x) { return x; };
+  const auto fwd = adaptive_simpson(f, 0.0, 2.0);
+  const auto rev = adaptive_simpson(f, 2.0, 0.0);
+  EXPECT_NEAR(fwd.value, 2.0, 1e-12);
+  EXPECT_NEAR(rev.value, -2.0, 1e-12);
+}
+
+TEST(AdaptiveSimpson, ZeroWidthIntervalIsZero) {
+  const auto r = adaptive_simpson([](double x) { return x * x; }, 1.5, 1.5);
+  EXPECT_DOUBLE_EQ(r.value, 0.0);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(GaussLegendre, ExactForHighDegreePolynomials) {
+  // Order-n Gauss is exact for degree 2n-1; order 4 handles x^7.
+  const auto f = [](double x) { return std::pow(x, 7); };
+  // Integral of x^7 on [0, 1] = 1/8.
+  EXPECT_NEAR(gauss_legendre(f, 0.0, 1.0, 4), 0.125, 1e-13);
+}
+
+TEST(GaussLegendre, MatchesAdaptiveOnSmoothIntegrand) {
+  const auto f = [](double x) { return std::exp(-x) * std::cos(3.0 * x); };
+  const double ref = adaptive_simpson(f, 0.0, 5.0, 1e-13).value;
+  EXPECT_NEAR(gauss_legendre_composite(f, 0.0, 5.0, 12, 4), ref, 1e-10);
+}
+
+TEST(GaussLegendre, RejectsBadOrder) {
+  EXPECT_THROW(gauss_legendre([](double) { return 1.0; }, 0.0, 1.0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(gauss_legendre([](double) { return 1.0; }, 0.0, 1.0, 65),
+               std::invalid_argument);
+}
+
+TEST(GaussLegendre, CompositeRequiresPanels) {
+  EXPECT_THROW(gauss_legendre_composite([](double) { return 1.0; }, 0.0, 1.0, 4, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prm::num

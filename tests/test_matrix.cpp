@@ -1,0 +1,151 @@
+#include "numerics/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace prm::num {
+namespace {
+
+TEST(Matrix, DefaultConstructedIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, SizedConstructorFills) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+  }
+}
+
+TEST(Matrix, InitializerListLaysOutRowMajor) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+  EXPECT_DOUBLE_EQ(m.data()[2], 3.0);  // row-major storage
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, OutOfRangeAccessThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m(2, 0), std::out_of_range);
+  EXPECT_THROW(m(0, 2), std::out_of_range);
+}
+
+TEST(Matrix, IdentityAndDiagonal) {
+  const Matrix i = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(i(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(i(1, 2), 0.0);
+  const Matrix d = Matrix::diagonal({2.0, 3.0});
+  EXPECT_DOUBLE_EQ(d(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+}
+
+TEST(Matrix, Transposed) {
+  Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(t(2, 0), 3.0);
+}
+
+TEST(Matrix, RowAndColExtraction) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.row(1), (Vector{3.0, 4.0}));
+  EXPECT_EQ(m.col(0), (Vector{1.0, 3.0}));
+  EXPECT_THROW(m.row(2), std::out_of_range);
+  EXPECT_THROW(m.col(2), std::out_of_range);
+}
+
+TEST(Matrix, AdditionSubtraction) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{4.0, 3.0}, {2.0, 1.0}};
+  const Matrix s = a + b;
+  EXPECT_DOUBLE_EQ(s(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(s(1, 1), 5.0);
+  const Matrix d = a - b;
+  EXPECT_DOUBLE_EQ(d(0, 0), -3.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 3.0);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 2);
+  Matrix b(2, 3);
+  EXPECT_THROW(a + b, std::invalid_argument);
+  EXPECT_THROW(a - b, std::invalid_argument);
+  EXPECT_THROW(b * b, std::invalid_argument);
+}
+
+TEST(Matrix, Multiplication) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix p = a * b;
+  EXPECT_DOUBLE_EQ(p(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(p(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(p(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(p(1, 1), 50.0);
+}
+
+TEST(Matrix, ScalarMultiplication) {
+  Matrix a{{1.0, -2.0}};
+  const Matrix s = 3.0 * a;
+  EXPECT_DOUBLE_EQ(s(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(s(0, 1), -6.0);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  const Vector y = a * Vector{1.0, -1.0};
+  EXPECT_EQ(y, (Vector{-1.0, -1.0, -1.0}));
+  EXPECT_THROW(a * Vector{1.0}, std::invalid_argument);
+}
+
+TEST(VectorOps, AddSubScaleAxpy) {
+  const Vector a{1.0, 2.0};
+  const Vector b{3.0, 5.0};
+  EXPECT_EQ(add(a, b), (Vector{4.0, 7.0}));
+  EXPECT_EQ(sub(b, a), (Vector{2.0, 3.0}));
+  EXPECT_EQ(scaled(2.0, a), (Vector{2.0, 4.0}));
+  EXPECT_EQ(axpy(a, 2.0, b), (Vector{7.0, 12.0}));
+  EXPECT_THROW(add(a, Vector{1.0}), std::invalid_argument);
+}
+
+TEST(VectorOps, DotAndNorms) {
+  const Vector a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(dot(a, a), 25.0);
+  EXPECT_DOUBLE_EQ(norm2(a), 5.0);
+  EXPECT_DOUBLE_EQ(norm_inf(Vector{-7.0, 2.0}), 7.0);
+  EXPECT_THROW(dot(a, Vector{1.0}), std::invalid_argument);
+}
+
+TEST(VectorOps, GramIsAtA) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  const Matrix g = gram(a);
+  const Matrix expected = a.transposed() * a;
+  ASSERT_EQ(g.rows(), 2u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      EXPECT_DOUBLE_EQ(g(r, c), expected(r, c));
+    }
+  }
+}
+
+TEST(VectorOps, AtTimesIsAtB) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  const Vector b{1.0, 1.0, 1.0};
+  EXPECT_EQ(at_times(a, b), (Vector{9.0, 12.0}));
+  EXPECT_THROW(at_times(a, Vector{1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prm::num

@@ -1,0 +1,255 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bathtub.hpp"
+#include "core/mixture.hpp"
+#include "data/recessions.hpp"
+
+namespace prm::core {
+namespace {
+
+// A fit whose model reproduces the data EXACTLY, so actual == predicted for
+// every metric and the hand-computed values are easy to verify.
+FitResult exact_fit() {
+  auto model = std::shared_ptr<const ResilienceModel>(new QuadraticBathtubModel());
+  const num::Vector p{1.0, -0.2, 0.02};  // trough at t = 5, value 0.5
+  const QuadraticBathtubModel qm;
+  std::vector<double> v(13);
+  for (std::size_t i = 0; i < 13; ++i) v[i] = qm.evaluate(static_cast<double>(i), p);
+  FitResult fit(model, p, data::PerformanceSeries("exact", std::move(v)), 3);
+  fit.sse = 0.0;
+  fit.stop_reason = opt::StopReason::kConverged;
+  return fit;
+}
+
+TEST(PredictiveMetrics, ExactModelHasZeroRelativeErrorEverywhere) {
+  const auto metrics = predictive_metrics(exact_fit());
+  ASSERT_EQ(metrics.size(), 8u);
+  for (const MetricValue& m : metrics) {
+    EXPECT_NEAR(m.actual, m.predicted, 1e-12) << to_string(m.kind);
+    EXPECT_NEAR(m.relative_error, 0.0, 1e-10) << to_string(m.kind);
+  }
+}
+
+TEST(PredictiveMetrics, PerformancePreservedIsWindowSum) {
+  // Window = samples 10, 11, 12 of P(t) = 1 - 0.2t + 0.02t^2.
+  const auto m = predictive_metric(exact_fit(), MetricKind::kPerformancePreserved);
+  const auto p = [](double t) { return 1.0 - 0.2 * t + 0.02 * t * t; };
+  EXPECT_NEAR(m.actual, p(10) + p(11) + p(12), 1e-12);
+}
+
+TEST(PredictiveMetrics, LostPlusPreservedEqualsNominalTimesDuration) {
+  // Identity from Eqs. 14/16: lost = nominal * duration - preserved.
+  const FitResult fit = exact_fit();
+  const auto preserved = predictive_metric(fit, MetricKind::kPerformancePreserved);
+  const auto lost = predictive_metric(fit, MetricKind::kPerformanceLost);
+  const double nominal = fit.series().value(10);
+  const double duration = fit.series().time(12) - fit.series().time(10);
+  EXPECT_NEAR(lost.actual, nominal * duration - preserved.actual, 1e-12);
+}
+
+TEST(PredictiveMetrics, AveragesAreScaledSums) {
+  const FitResult fit = exact_fit();
+  const double duration = 2.0;
+  const auto preserved = predictive_metric(fit, MetricKind::kPerformancePreserved);
+  const auto avg = predictive_metric(fit, MetricKind::kAvgPreserved);
+  EXPECT_NEAR(avg.actual, preserved.actual / duration, 1e-12);
+  const auto lost = predictive_metric(fit, MetricKind::kPerformanceLost);
+  const auto avg_lost = predictive_metric(fit, MetricKind::kAvgLost);
+  EXPECT_NEAR(avg_lost.actual, lost.actual / duration, 1e-12);
+}
+
+TEST(PredictiveMetrics, NormalizedFormsDivideByNominal) {
+  const FitResult fit = exact_fit();
+  const double nominal = fit.series().value(10);
+  const auto avg = predictive_metric(fit, MetricKind::kAvgPreserved);
+  const auto norm = predictive_metric(fit, MetricKind::kNormalizedAvgPreserved);
+  EXPECT_NEAR(norm.actual, avg.actual / nominal, 1e-12);
+  // Identity: normalized preserved + normalized lost = 1 (Eqs. 15 + 17).
+  const auto norm_lost = predictive_metric(fit, MetricKind::kNormalizedAvgLost);
+  EXPECT_NEAR(norm.actual + norm_lost.actual, 1.0, 1e-12);
+}
+
+TEST(PredictiveMetrics, PreservedFromMinimumUsesTroughWindow) {
+  // Trough at t = 5 (inside the fit window). Eq. 18 over [5, 12]:
+  // sum P(t_i) dt - P(5) * (12 - 5).
+  const FitResult fit = exact_fit();
+  const auto m = predictive_metric(fit, MetricKind::kPreservedFromMinimum);
+  const auto p = [](double t) { return 1.0 - 0.2 * t + 0.02 * t * t; };
+  double sum = 0.0;
+  for (int t = 5; t <= 12; ++t) sum += p(t);
+  EXPECT_NEAR(m.actual, sum - p(5) * 7.0, 1e-12);
+}
+
+TEST(PredictiveMetrics, WeightedAverageInterpolatesBetweenPhases) {
+  const FitResult fit = exact_fit();
+  MetricOptions opts;
+  opts.alpha_weight = 1.0 - 1e-9;  // all weight on the pre-trough phase
+  const auto before = predictive_metric(fit, MetricKind::kWeightedAvgPreserved, opts);
+  opts.alpha_weight = 1e-9;  // all weight on the post-trough phase
+  const auto after = predictive_metric(fit, MetricKind::kWeightedAvgPreserved, opts);
+  opts.alpha_weight = 0.5;
+  const auto mid = predictive_metric(fit, MetricKind::kWeightedAvgPreserved, opts);
+  EXPECT_NEAR(mid.actual, 0.5 * (before.actual + after.actual), 1e-6);
+  // Pre-trough average of a declining curve is below nominal; post-trough
+  // average of the recovering curve exceeds the trough value.
+  EXPECT_LT(before.actual, 1.0);
+  EXPECT_GT(after.actual, 0.5);
+}
+
+TEST(PredictiveMetrics, RequiresHoldout) {
+  auto model = std::shared_ptr<const ResilienceModel>(new QuadraticBathtubModel());
+  const num::Vector p{1.0, -0.2, 0.02};
+  FitResult no_holdout(model, p, data::PerformanceSeries("x", {1.0, 0.9, 0.8, 0.9}), 0);
+  EXPECT_THROW(predictive_metrics(no_holdout), std::invalid_argument);
+}
+
+TEST(PredictiveMetrics, ImperfectModelHasNonzeroError) {
+  const auto& ds = data::recession("1990-93");
+  const FitResult fit = fit_model("quadratic", ds.series, ds.holdout);
+  const auto metrics = predictive_metrics(fit);
+  // Well-fitting dataset: headline metrics within ~5%.
+  for (const MetricValue& m : metrics) {
+    if (m.kind == MetricKind::kNormalizedAvgLost ||
+        m.kind == MetricKind::kPreservedFromMinimum) {
+      continue;  // near-zero denominators / trough-sensitive
+    }
+    EXPECT_LT(m.relative_error, 0.05) << to_string(m.kind);
+    EXPECT_GT(m.relative_error, 0.0) << to_string(m.kind);
+  }
+}
+
+TEST(PredictiveMetrics, AllEightKindsPresentOnce) {
+  const auto metrics = predictive_metrics(exact_fit());
+  ASSERT_EQ(metrics.size(), kAllMetrics.size());
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    EXPECT_EQ(metrics[i].kind, kAllMetrics[i]);
+  }
+}
+
+TEST(RetrospectiveMetric, MatchesManualComputationOnRawData) {
+  const data::PerformanceSeries s("raw", {1.0, 0.9, 0.8, 0.9, 1.0, 1.1});
+  // Preserved over [1, 4]: (0.9 + 0.8 + 0.9 + 1.0) * 1 = 3.6.
+  EXPECT_NEAR(retrospective_metric(s, MetricKind::kPerformancePreserved, 1, 4), 3.6, 1e-12);
+  // Lost: nominal 0.9 * duration 3 - 3.6 = -0.9.
+  EXPECT_NEAR(retrospective_metric(s, MetricKind::kPerformanceLost, 1, 4), -0.9, 1e-12);
+  // Avg preserved: 3.6 / 3.
+  EXPECT_NEAR(retrospective_metric(s, MetricKind::kAvgPreserved, 1, 4), 1.2, 1e-12);
+  EXPECT_THROW(retrospective_metric(s, MetricKind::kAvgPreserved, 4, 1),
+               std::invalid_argument);
+  EXPECT_THROW(retrospective_metric(s, MetricKind::kAvgPreserved, 0, 9),
+               std::invalid_argument);
+}
+
+TEST(ContinuousMetric, UsesClosedFormAreaExactly) {
+  // Quadratic model: Eq. 14 over [a, b] must equal the Eq. 3 antiderivative.
+  const QuadraticBathtubModel m;
+  const num::Vector p{1.0, -0.2, 0.02};
+  const double direct = *m.area_closed_form(p, 3.0, 11.0);
+  EXPECT_NEAR(continuous_metric(m, p, MetricKind::kPerformancePreserved, 3.0, 11.0, 5.0,
+                                11.0),
+              direct, 1e-12);
+}
+
+TEST(ContinuousMetric, IdentitiesHold) {
+  const QuadraticBathtubModel m;
+  const num::Vector p{1.0, -0.2, 0.02};
+  const double t_h = 2.0;
+  const double t_r = 12.0;
+  const double preserved =
+      continuous_metric(m, p, MetricKind::kPerformancePreserved, t_h, t_r, 5.0, t_r);
+  const double lost =
+      continuous_metric(m, p, MetricKind::kPerformanceLost, t_h, t_r, 5.0, t_r);
+  const double nominal = m.evaluate(t_h, p);
+  EXPECT_NEAR(preserved + lost, nominal * (t_r - t_h), 1e-12);
+  const double norm_p =
+      continuous_metric(m, p, MetricKind::kNormalizedAvgPreserved, t_h, t_r, 5.0, t_r);
+  const double norm_l =
+      continuous_metric(m, p, MetricKind::kNormalizedAvgLost, t_h, t_r, 5.0, t_r);
+  EXPECT_NEAR(norm_p + norm_l, 1.0, 1e-12);
+  const double avg = continuous_metric(m, p, MetricKind::kAvgPreserved, t_h, t_r, 5.0, t_r);
+  EXPECT_NEAR(avg, preserved / (t_r - t_h), 1e-12);
+}
+
+TEST(ContinuousMetric, DiscreteSumsConvergeToContinuousValues) {
+  // Refine the sampling grid: the discrete predictive-metric convention must
+  // approach the continuous integral.
+  const QuadraticBathtubModel qm;
+  auto model = std::make_shared<QuadraticBathtubModel>();
+  const num::Vector p{1.0, -0.2, 0.02};
+  const double t_h = 10.0;
+  const double t_r = 12.0;
+  const double continuous =
+      continuous_metric(qm, p, MetricKind::kAvgPreserved, t_h, t_r, 5.0, t_r);
+
+  // Note: the paper's Riemann-sum convention (sum over count samples, dt =
+  // span/(count-1)) carries a count/(count-1) inflation, so convergence is
+  // O(1/count) -- slow but monotone.
+  double prev_err = std::numeric_limits<double>::infinity();
+  for (int density : {1, 8, 64}) {
+    // Grid over [0, 12] with `density` samples per month; holdout covers
+    // [10, 12].
+    const std::size_t n = static_cast<std::size_t>(12 * density) + 1;
+    std::vector<double> times(n);
+    std::vector<double> values(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      times[i] = static_cast<double>(i) / density;
+      values[i] = qm.evaluate(times[i], p);
+    }
+    const std::size_t holdout = static_cast<std::size_t>(2 * density);
+    FitResult fit(model, p, data::PerformanceSeries("grid", times, values), holdout);
+    const auto mv = predictive_metric(fit, MetricKind::kAvgPreserved);
+    const double err = std::fabs(mv.predicted - continuous);
+    EXPECT_LT(err, prev_err + 1e-12) << "density " << density;
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 0.015);
+}
+
+TEST(ContinuousMetric, MixtureFallsBackToQuadrature) {
+  const MixtureModel mix(
+      {Family::kWeibull, Family::kExponential, RecoveryTrend::kLogarithmic});
+  const num::Vector p{12.0, 2.0, 0.06, 0.30};
+  const double v =
+      continuous_metric(mix, p, MetricKind::kPerformancePreserved, 2.0, 20.0, 9.0, 20.0);
+  // Cross-check against dense trapezoid.
+  double acc = 0.0;
+  const int steps = 20000;
+  for (int i = 0; i < steps; ++i) {
+    const double a = 2.0 + 18.0 * i / steps;
+    const double b = 2.0 + 18.0 * (i + 1) / steps;
+    acc += 0.5 * (mix.evaluate(a, p) + mix.evaluate(b, p)) * (b - a);
+  }
+  EXPECT_NEAR(v, acc, 1e-6);
+}
+
+TEST(ContinuousMetric, DegenerateWindowThrows) {
+  const QuadraticBathtubModel m;
+  const num::Vector p{1.0, -0.2, 0.02};
+  EXPECT_THROW(
+      continuous_metric(m, p, MetricKind::kAvgPreserved, 5.0, 5.0, 2.0, 5.0),
+      std::invalid_argument);
+}
+
+TEST(MetricNames, AllKindsHaveLabels) {
+  for (MetricKind k : kAllMetrics) {
+    EXPECT_NE(to_string(k), "?");
+    EXPECT_FALSE(std::string(to_string(k)).empty());
+  }
+}
+
+TEST(PredictiveMetrics, RelativeErrorIsEq22Magnitude) {
+  const auto& ds = data::recession("1981-83");
+  const FitResult fit = fit_model("competing-risks", ds.series, ds.holdout);
+  for (const MetricValue& m : predictive_metrics(fit)) {
+    if (std::fabs(m.actual) > 1e-12) {
+      EXPECT_NEAR(m.relative_error, std::fabs((m.actual - m.predicted) / m.actual), 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace prm::core

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "core/bathtub.hpp"
+#include "core/mixture.hpp"
+#include "core/model.hpp"
+
+namespace prm::core {
+namespace {
+
+TEST(ModelRegistry, BuiltinsAreRegistered) {
+  auto& r = ModelRegistry::instance();
+  EXPECT_TRUE(r.contains("quadratic"));
+  EXPECT_TRUE(r.contains("competing-risks"));
+  EXPECT_TRUE(r.contains("mix-exp-exp-log"));
+  EXPECT_TRUE(r.contains("mix-wei-exp-log"));
+  EXPECT_TRUE(r.contains("mix-exp-wei-log"));
+  EXPECT_TRUE(r.contains("mix-wei-wei-log"));
+  EXPECT_GE(r.names().size(), 6u);
+}
+
+TEST(ModelRegistry, CreateReturnsFreshInstances) {
+  auto& r = ModelRegistry::instance();
+  const ModelPtr a = r.create("quadratic");
+  const ModelPtr b = r.create("quadratic");
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(a->name(), "quadratic");
+}
+
+TEST(ModelRegistry, UnknownNameThrows) {
+  EXPECT_THROW(ModelRegistry::instance().create("no-such-model"), std::out_of_range);
+  EXPECT_FALSE(ModelRegistry::instance().contains("no-such-model"));
+}
+
+TEST(ModelRegistry, NullFactoryRejected) {
+  EXPECT_THROW(ModelRegistry::instance().register_model("bad", nullptr),
+               std::invalid_argument);
+}
+
+TEST(ModelRegistry, UserModelCanBeRegisteredAndReplaced) {
+  auto& r = ModelRegistry::instance();
+  r.register_model("user-quad", [] { return ModelPtr(new QuadraticBathtubModel()); });
+  EXPECT_TRUE(r.contains("user-quad"));
+  EXPECT_EQ(r.create("user-quad")->name(), "quadratic");
+  // Replacement under the same key takes effect.
+  r.register_model("user-quad", [] { return ModelPtr(new CompetingRisksModel()); });
+  EXPECT_EQ(r.create("user-quad")->name(), "competing-risks");
+}
+
+TEST(ModelRegistry, RegisteredMixturesMatchPaperConfiguration) {
+  const ModelPtr m = ModelRegistry::instance().create("mix-wei-exp-log");
+  const auto* mix = dynamic_cast<const MixtureModel*>(m.get());
+  ASSERT_NE(mix, nullptr);
+  EXPECT_EQ(mix->spec().degradation, Family::kWeibull);
+  EXPECT_EQ(mix->spec().recovery, Family::kExponential);
+  EXPECT_EQ(mix->spec().trend, RecoveryTrend::kLogarithmic);
+}
+
+TEST(ResilienceModel, DefaultClosedFormsAreAbsent) {
+  // MixtureModel inherits the defaults: no closed forms.
+  const MixtureModel m({Family::kExponential, Family::kExponential,
+                        RecoveryTrend::kLogarithmic});
+  const num::Vector p{0.1, 0.1, 0.3};
+  EXPECT_FALSE(m.area_closed_form(p, 0.0, 1.0).has_value());
+  EXPECT_FALSE(m.recovery_time_closed_form(p, 1.0, 0.0).has_value());
+  EXPECT_FALSE(m.trough_closed_form(p).has_value());
+}
+
+}  // namespace
+}  // namespace prm::core

@@ -1,0 +1,140 @@
+#include "optimize/multistart.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace prm::opt {
+namespace {
+
+TEST(LatinHypercube, PointsInsideBox) {
+  const auto pts = latin_hypercube({-1.0, 0.0}, {1.0, 10.0}, 16, 7);
+  ASSERT_EQ(pts.size(), 16u);
+  for (const auto& p : pts) {
+    EXPECT_GE(p[0], -1.0);
+    EXPECT_LE(p[0], 1.0);
+    EXPECT_GE(p[1], 0.0);
+    EXPECT_LE(p[1], 10.0);
+  }
+}
+
+TEST(LatinHypercube, StratifiedPerDimension) {
+  // Exactly one sample per stratum in each dimension.
+  const int n = 10;
+  const auto pts = latin_hypercube({0.0}, {1.0}, n, 3);
+  std::vector<int> counts(n, 0);
+  for (const auto& p : pts) {
+    const int cell = std::min(n - 1, static_cast<int>(p[0] * n));
+    ++counts[cell];
+  }
+  for (int c : counts) EXPECT_EQ(c, 1);
+}
+
+TEST(LatinHypercube, DeterministicForSameSeed) {
+  const auto a = latin_hypercube({0.0, 0.0}, {1.0, 1.0}, 8, 99);
+  const auto b = latin_hypercube({0.0, 0.0}, {1.0, 1.0}, 8, 99);
+  EXPECT_EQ(a, b);
+  const auto c = latin_hypercube({0.0, 0.0}, {1.0, 1.0}, 8, 100);
+  EXPECT_NE(a, c);
+}
+
+TEST(LatinHypercube, RejectsBadBox) {
+  EXPECT_THROW(latin_hypercube({1.0}, {0.0}, 4, 1), std::invalid_argument);
+  EXPECT_THROW(latin_hypercube({0.0, 0.0}, {1.0}, 4, 1), std::invalid_argument);
+  EXPECT_TRUE(latin_hypercube({0.0}, {1.0}, 0, 1).empty());
+}
+
+// Two-basin least squares: r = min distance to one of two centers, with the
+// global basin narrow so single-start LM from the origin lands in the wrong
+// one.
+ResidualProblem two_basin_problem() {
+  ResidualProblem p;
+  p.num_parameters = 1;
+  p.num_residuals = 1;
+  p.residuals = [](const num::Vector& x) {
+    // f(x) = 1 - 0.5 exp(-(x-1)^2) - exp(-20 (x-6)^2); residual sqrt(f).
+    const double f = 1.0 - 0.5 * std::exp(-(x[0] - 1.0) * (x[0] - 1.0)) -
+                     0.999 * std::exp(-20.0 * (x[0] - 6.0) * (x[0] - 6.0));
+    return num::Vector{std::sqrt(std::max(f, 0.0))};
+  };
+  return p;
+}
+
+TEST(Multistart, EscapesLocalBasin) {
+  MultistartOptions opts;
+  opts.sampled_starts = 24;
+  opts.jitter_per_start = 0;
+  const MultistartResult r =
+      multistart_least_squares(two_basin_problem(), {{1.0}}, {0.0}, {8.0}, opts);
+  EXPECT_NEAR(r.best.parameters[0], 6.0, 0.05);
+  EXPECT_GE(r.starts_tried, 25);
+}
+
+TEST(Multistart, SingleStartFindsOnlyLocal) {
+  MultistartOptions opts;
+  opts.sampled_starts = 0;
+  opts.jitter_per_start = 0;
+  opts.polish_with_nelder_mead = false;
+  const MultistartResult r =
+      multistart_least_squares(two_basin_problem(), {{1.0}}, {}, {}, opts);
+  EXPECT_NEAR(r.best.parameters[0], 1.0, 0.1);  // trapped, by construction
+}
+
+TEST(Multistart, DeterministicForSameSeed) {
+  MultistartOptions opts;
+  opts.sampled_starts = 8;
+  const auto r1 = multistart_least_squares(two_basin_problem(), {{1.0}}, {0.0}, {8.0}, opts);
+  const auto r2 = multistart_least_squares(two_basin_problem(), {{1.0}}, {0.0}, {8.0}, opts);
+  EXPECT_EQ(r1.best.parameters, r2.best.parameters);
+  EXPECT_DOUBLE_EQ(r1.best.cost, r2.best.cost);
+}
+
+TEST(Multistart, CountsFailedStarts) {
+  ResidualProblem p;
+  p.num_parameters = 1;
+  p.num_residuals = 1;
+  p.residuals = [](const num::Vector& x) {
+    // NaN for x < 0 -- starts there fail outright.
+    if (x[0] < 0.0) return num::Vector{std::numeric_limits<double>::quiet_NaN()};
+    return num::Vector{x[0] - 2.0};
+  };
+  MultistartOptions opts;
+  opts.sampled_starts = 0;
+  opts.jitter_per_start = 0;
+  opts.polish_with_nelder_mead = false;
+  const MultistartResult r =
+      multistart_least_squares(p, {{-5.0}, {1.0}}, {}, {}, opts);
+  EXPECT_EQ(r.starts_failed, 1);
+  EXPECT_NEAR(r.best.parameters[0], 2.0, 1e-8);
+}
+
+TEST(Multistart, ThrowsWithoutAnyStarts) {
+  MultistartOptions opts;
+  opts.sampled_starts = 0;
+  EXPECT_THROW(multistart_least_squares(two_basin_problem(), {}, {}, {}, opts),
+               std::invalid_argument);
+}
+
+TEST(Multistart, SampledStartsRequireBox) {
+  MultistartOptions opts;
+  opts.sampled_starts = 4;
+  EXPECT_THROW(multistart_least_squares(two_basin_problem(), {{1.0}}, {}, {}, opts),
+               std::invalid_argument);
+}
+
+TEST(Multistart, NelderMeadPolishNeverWorsens) {
+  MultistartOptions with_polish;
+  with_polish.sampled_starts = 4;
+  with_polish.polish_with_nelder_mead = true;
+  MultistartOptions without_polish = with_polish;
+  without_polish.polish_with_nelder_mead = false;
+  const auto a =
+      multistart_least_squares(two_basin_problem(), {{1.0}}, {0.0}, {8.0}, with_polish);
+  const auto b =
+      multistart_least_squares(two_basin_problem(), {{1.0}}, {0.0}, {8.0}, without_polish);
+  EXPECT_LE(a.best.cost, b.best.cost + 1e-12);
+}
+
+}  // namespace
+}  // namespace prm::opt

@@ -1,0 +1,98 @@
+#include "optimize/nelder_mead.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace prm::opt {
+namespace {
+
+TEST(NelderMead, MinimizesQuadraticBowl) {
+  const auto f = [](const num::Vector& x) {
+    return (x[0] - 2.0) * (x[0] - 2.0) + 3.0 * (x[1] + 1.0) * (x[1] + 1.0);
+  };
+  const OptimizeResult r = nelder_mead(f, {0.0, 0.0});
+  EXPECT_TRUE(r.converged());
+  EXPECT_NEAR(r.parameters[0], 2.0, 1e-5);
+  EXPECT_NEAR(r.parameters[1], -1.0, 1e-5);
+  EXPECT_NEAR(r.cost, 0.0, 1e-9);
+}
+
+TEST(NelderMead, MinimizesRosenbrock) {
+  const auto f = [](const num::Vector& x) {
+    const double a = x[1] - x[0] * x[0];
+    const double b = 1.0 - x[0];
+    return 100.0 * a * a + b * b;
+  };
+  NelderMeadOptions opts;
+  opts.max_iterations = 5000;
+  const OptimizeResult r = nelder_mead(f, {-1.2, 1.0}, opts);
+  EXPECT_NEAR(r.parameters[0], 1.0, 1e-3);
+  EXPECT_NEAR(r.parameters[1], 1.0, 1e-3);
+}
+
+TEST(NelderMead, FindsAHimmelblauMinimum) {
+  // Himmelblau has four global minima, all with f = 0.
+  const auto f = [](const num::Vector& x) {
+    const double a = x[0] * x[0] + x[1] - 11.0;
+    const double b = x[0] + x[1] * x[1] - 7.0;
+    return a * a + b * b;
+  };
+  const OptimizeResult r = nelder_mead(f, {0.0, 0.0});
+  EXPECT_NEAR(r.cost, 0.0, 1e-6);
+}
+
+TEST(NelderMead, OneDimensionalProblem) {
+  const auto f = [](const num::Vector& x) { return std::cosh(x[0] - 0.5); };
+  const OptimizeResult r = nelder_mead(f, {10.0});
+  EXPECT_NEAR(r.parameters[0], 0.5, 1e-4);
+}
+
+TEST(NelderMead, ZeroDimensionalIsNoOp) {
+  const auto f = [](const num::Vector&) { return 7.0; };
+  const OptimizeResult r = nelder_mead(f, {});
+  EXPECT_TRUE(r.converged());
+}
+
+TEST(NelderMead, SurvivesNanRegions) {
+  // f is NaN left of x = -1: treated as +inf, so the simplex retreats.
+  const auto f = [](const num::Vector& x) {
+    if (x[0] < -1.0) return std::numeric_limits<double>::quiet_NaN();
+    return (x[0] - 1.0) * (x[0] - 1.0);
+  };
+  const OptimizeResult r = nelder_mead(f, {-0.9});
+  EXPECT_NEAR(r.parameters[0], 1.0, 1e-4);
+}
+
+TEST(NelderMead, ZeroInitialCoordinateStillPerturbed) {
+  // The simplex must not be degenerate when a coordinate starts at 0.
+  const auto f = [](const num::Vector& x) {
+    return x[0] * x[0] + (x[1] - 3.0) * (x[1] - 3.0);
+  };
+  const OptimizeResult r = nelder_mead(f, {0.0, 0.0});
+  EXPECT_NEAR(r.parameters[1], 3.0, 1e-4);
+}
+
+TEST(NelderMead, RespectsIterationBudget) {
+  const auto f = [](const num::Vector& x) {
+    const double a = x[1] - x[0] * x[0];
+    return 100.0 * a * a + (1.0 - x[0]) * (1.0 - x[0]);
+  };
+  NelderMeadOptions opts;
+  opts.max_iterations = 5;
+  const OptimizeResult r = nelder_mead(f, {-1.2, 1.0}, opts);
+  EXPECT_LE(r.iterations, 5);
+  EXPECT_EQ(r.stop_reason, StopReason::kMaxIterations);
+}
+
+TEST(NelderMeadLeastSquares, MatchesDirectFormulation) {
+  const auto residuals = [](const num::Vector& x) {
+    return num::Vector{x[0] - 3.0, 2.0 * (x[1] + 1.0)};
+  };
+  const OptimizeResult r = nelder_mead_least_squares(residuals, {0.0, 0.0});
+  EXPECT_NEAR(r.parameters[0], 3.0, 1e-4);
+  EXPECT_NEAR(r.parameters[1], -1.0, 1e-4);
+}
+
+}  // namespace
+}  // namespace prm::opt

@@ -1,0 +1,88 @@
+#include "core/piecewise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bathtub.hpp"
+
+namespace prm::core {
+namespace {
+
+PiecewiseResilienceCurve make_curve(double nominal = 0.8, double t_h = 10.0,
+                                    double t_r = 62.0) {
+  auto model = std::make_shared<QuadraticBathtubModel>();
+  // Inner model: P(0) = 1, trough at 20, recovery beyond.
+  return PiecewiseResilienceCurve(model, {1.0, -0.04, 0.001}, t_h, t_r, nominal);
+}
+
+TEST(Piecewise, NominalBeforeHazard) {
+  const auto c = make_curve();
+  EXPECT_DOUBLE_EQ(c.evaluate(0.0), 0.8);
+  EXPECT_DOUBLE_EQ(c.evaluate(9.999), 0.8);
+}
+
+TEST(Piecewise, ContinuousAtHazardTime) {
+  const auto c = make_curve();
+  EXPECT_NEAR(c.evaluate(10.0), 0.8, 1e-12);  // c * model(0) = nominal
+  EXPECT_NEAR(c.evaluate(10.0 + 1e-9), 0.8, 1e-6);
+}
+
+TEST(Piecewise, ContinuityConstantScalesModel) {
+  const auto c = make_curve(0.8);
+  EXPECT_NEAR(c.continuity_constant(), 0.8, 1e-12);  // model(0) = 1
+  // Transient value = c * model(t - t_h).
+  const QuadraticBathtubModel m;
+  const num::Vector p{1.0, -0.04, 0.001};
+  EXPECT_NEAR(c.evaluate(25.0), 0.8 * m.evaluate(15.0, p), 1e-12);
+}
+
+TEST(Piecewise, SteadyStateAfterRecovery) {
+  const auto c = make_curve(0.8, 10.0, 62.0);
+  const double ss = c.steady_state();
+  EXPECT_DOUBLE_EQ(c.evaluate(62.0), ss);
+  EXPECT_DOUBLE_EQ(c.evaluate(500.0), ss);
+  // This parameterization recovers ABOVE nominal (improved performance,
+  // the dashed outcome of the paper's Figure 1).
+  EXPECT_GT(ss, 0.8);
+}
+
+TEST(Piecewise, DegradedOutcomePossible) {
+  auto model = std::make_shared<QuadraticBathtubModel>();
+  // Stop recovery early: t_r at the trough -> steady state below nominal.
+  const PiecewiseResilienceCurve c(model, {1.0, -0.04, 0.001}, 0.0, 20.0, 1.0);
+  EXPECT_LT(c.steady_state(), 1.0);
+}
+
+TEST(Piecewise, SampleProducesUniformGrid) {
+  const auto c = make_curve();
+  const auto s = c.sample(0.0, 60.0, 61, "curve");
+  ASSERT_EQ(s.size(), 61u);
+  EXPECT_DOUBLE_EQ(s.time(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.time(60), 60.0);
+  EXPECT_DOUBLE_EQ(s.value(0), 0.8);
+  EXPECT_EQ(s.name(), "curve");
+  EXPECT_THROW(c.sample(0.0, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(c.sample(5.0, 5.0, 10), std::invalid_argument);
+}
+
+TEST(Piecewise, ConstructorValidation) {
+  auto model = std::make_shared<QuadraticBathtubModel>();
+  const num::Vector p{1.0, -0.04, 0.001};
+  EXPECT_THROW(PiecewiseResilienceCurve(nullptr, p, 0.0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(PiecewiseResilienceCurve(model, p, 5.0, 5.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(PiecewiseResilienceCurve(model, p, 0.0, 1.0, 0.0), std::invalid_argument);
+  // Model value 0 at t = 0 makes the continuity constant undefined.
+  EXPECT_THROW(PiecewiseResilienceCurve(model, {0.0, -0.04, 0.001}, 0.0, 1.0, 1.0),
+               std::domain_error);
+}
+
+TEST(Piecewise, TroughOfTransientVisibleInSamples) {
+  const auto c = make_curve(1.0, 0.0, 60.0);
+  const auto s = c.sample(0.0, 60.0, 121);
+  // Inner trough at t = 20.
+  EXPECT_NEAR(s.trough_time(), 20.0, 1.0);
+}
+
+}  // namespace
+}  // namespace prm::core

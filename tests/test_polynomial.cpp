@@ -1,0 +1,106 @@
+#include "numerics/polynomial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace prm::num {
+namespace {
+
+TEST(Polyval, HornerEvaluation) {
+  // 2 + 3t - t^2 at t = 2 -> 2 + 6 - 4 = 4.
+  EXPECT_DOUBLE_EQ(polyval({2.0, 3.0, -1.0}, 2.0), 4.0);
+  EXPECT_DOUBLE_EQ(polyval({}, 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(polyval({7.0}, 123.0), 7.0);
+}
+
+TEST(Polyder, Derivative) {
+  // d/dt (1 + 2t + 3t^2) = 2 + 6t.
+  EXPECT_EQ(polyder({1.0, 2.0, 3.0}), (std::vector<double>{2.0, 6.0}));
+  EXPECT_TRUE(polyder({5.0}).empty());
+}
+
+TEST(QuadraticRoots, TwoDistinctRealRoots) {
+  // (t - 1)(t - 3) = t^2 - 4t + 3.
+  const auto r = quadratic_roots(1.0, -4.0, 3.0);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_NEAR(r[0], 1.0, 1e-14);
+  EXPECT_NEAR(r[1], 3.0, 1e-14);
+}
+
+TEST(QuadraticRoots, NoRealRoots) {
+  EXPECT_TRUE(quadratic_roots(1.0, 0.0, 1.0).empty());
+}
+
+TEST(QuadraticRoots, RepeatedRoot) {
+  const auto r = quadratic_roots(1.0, -2.0, 1.0);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_NEAR(r[0], 1.0, 1e-12);
+}
+
+TEST(QuadraticRoots, DegeneratesToLinear) {
+  const auto r = quadratic_roots(0.0, 2.0, -4.0);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_DOUBLE_EQ(r[0], 2.0);
+  EXPECT_TRUE(quadratic_roots(0.0, 0.0, 3.0).empty());
+}
+
+TEST(QuadraticRoots, NumericallyStableForSmallRoot) {
+  // Roots 1e-8 and 1e8: naive formula loses the small one to cancellation.
+  const double r1 = 1e-8;
+  const double r2 = 1e8;
+  const auto r = quadratic_roots(1.0, -(r1 + r2), r1 * r2);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_NEAR(r[0] / r1, 1.0, 1e-9);
+  EXPECT_NEAR(r[1] / r2, 1.0, 1e-9);
+}
+
+TEST(CubicRoots, ThreeRealRoots) {
+  // (t-1)(t-2)(t-4) = t^3 - 7t^2 + 14t - 8.
+  const auto r = cubic_roots(1.0, -7.0, 14.0, -8.0);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_NEAR(r[0], 1.0, 1e-9);
+  EXPECT_NEAR(r[1], 2.0, 1e-9);
+  EXPECT_NEAR(r[2], 4.0, 1e-9);
+}
+
+TEST(CubicRoots, OneRealRoot) {
+  // (t-2)(t^2+1) = t^3 - 2t^2 + t - 2.
+  const auto r = cubic_roots(1.0, -2.0, 1.0, -2.0);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_NEAR(r[0], 2.0, 1e-9);
+}
+
+TEST(CubicRoots, TripleRoot) {
+  // (t-1)^3 = t^3 - 3t^2 + 3t - 1.
+  const auto r = cubic_roots(1.0, -3.0, 3.0, -1.0);
+  ASSERT_GE(r.size(), 1u);
+  for (double x : r) EXPECT_NEAR(x, 1.0, 1e-5);
+}
+
+TEST(CubicRoots, DegeneratesToQuadratic) {
+  const auto r = cubic_roots(0.0, 1.0, -4.0, 3.0);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_NEAR(r[0], 1.0, 1e-12);
+  EXPECT_NEAR(r[1], 3.0, 1e-12);
+}
+
+TEST(CubicRoots, RootsSatisfyPolynomial) {
+  const double a = 2.0, b = -3.0, c = -11.0, d = 6.0;
+  for (double t : cubic_roots(a, b, c, d)) {
+    EXPECT_NEAR(((a * t + b) * t + c) * t + d, 0.0, 1e-8);
+  }
+}
+
+TEST(FirstRootAfter, PicksSmallestBeyondThreshold) {
+  const std::vector<double> roots{-1.0, 2.0, 5.0};
+  double out = 0.0;
+  ASSERT_TRUE(first_root_after(roots, 0.0, &out));
+  EXPECT_DOUBLE_EQ(out, 2.0);
+  ASSERT_TRUE(first_root_after(roots, 3.0, &out));
+  EXPECT_DOUBLE_EQ(out, 5.0);
+  EXPECT_FALSE(first_root_after(roots, 6.0, &out));
+}
+
+}  // namespace
+}  // namespace prm::num

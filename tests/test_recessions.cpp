@@ -1,0 +1,101 @@
+#include "data/recessions.hpp"
+
+#include <gtest/gtest.h>
+
+namespace prm::data {
+namespace {
+
+TEST(RecessionCatalog, HasSevenDatasetsInPaperOrder) {
+  const auto& cat = recession_catalog();
+  ASSERT_EQ(cat.size(), 7u);
+  const std::vector<std::string> expected{"1974-76", "1980",    "1981-83", "1990-93",
+                                          "2001-05", "2007-09", "2020-21"};
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(cat[i].series.name(), expected[i]);
+  }
+}
+
+TEST(RecessionCatalog, SampleCountsMatchDesign) {
+  for (const auto& d : recession_catalog()) {
+    if (d.series.name() == "2020-21") {
+      EXPECT_EQ(d.series.size(), 24u);
+      EXPECT_EQ(d.holdout, 3u);
+    } else {
+      EXPECT_EQ(d.series.size(), 48u);
+      EXPECT_EQ(d.holdout, 5u);
+    }
+  }
+}
+
+TEST(RecessionCatalog, AllSeriesStartAtNominalPeak) {
+  for (const auto& d : recession_catalog()) {
+    EXPECT_DOUBLE_EQ(d.series.value(0), 1.0) << d.series.name();
+    EXPECT_DOUBLE_EQ(d.series.time(0), 0.0) << d.series.name();
+  }
+}
+
+TEST(RecessionCatalog, AllSeriesDipBelowNominal) {
+  for (const auto& d : recession_catalog()) {
+    EXPECT_LT(d.series.trough_value(), 1.0) << d.series.name();
+    EXPECT_GT(d.series.trough_index(), 0u) << d.series.name();
+  }
+}
+
+TEST(RecessionCatalog, ValuesAreSaneEmploymentIndices) {
+  for (const auto& d : recession_catalog()) {
+    for (double v : d.series.values()) {
+      EXPECT_GT(v, 0.8) << d.series.name();
+      EXPECT_LT(v, 1.15) << d.series.name();
+    }
+  }
+}
+
+TEST(RecessionCatalog, DocumentedDepthAnchors) {
+  // Historical anchors the reconstruction preserves (see DESIGN.md).
+  EXPECT_NEAR(recession("2020-21").series.trough_value(), 0.857, 0.01);
+  EXPECT_EQ(recession("2020-21").series.trough_index(), 2u);  // two-month collapse
+  EXPECT_NEAR(recession("2007-09").series.trough_value(), 0.937, 0.005);
+  EXPECT_NEAR(recession("1990-93").series.trough_value(), 0.984, 0.003);
+}
+
+TEST(RecessionCatalog, DocumentedShapes) {
+  EXPECT_EQ(recession("1980").documented_shape, RecessionShape::kW);
+  EXPECT_EQ(recession("2020-21").documented_shape, RecessionShape::kL);
+  EXPECT_EQ(recession("1990-93").documented_shape, RecessionShape::kU);
+  EXPECT_EQ(recession("1974-76").documented_shape, RecessionShape::kV);
+}
+
+TEST(RecessionCatalog, WShaped1980HasTwoDips) {
+  // The series recovers to ~nominal around month 13-14 then declines again.
+  const auto& s = recession("1980").series;
+  const std::size_t trough = s.trough_index();
+  EXPECT_GT(trough, 20u);  // global trough is the second dip
+  // Interim recovery peak between the dips reaches ~1.0.
+  double interim_max = 0.0;
+  for (std::size_t i = 8; i < 20; ++i) interim_max = std::max(interim_max, s.value(i));
+  EXPECT_GT(interim_max, 0.999);
+}
+
+TEST(RecessionCatalog, LookupByNameThrowsForUnknown) {
+  EXPECT_THROW(recession("1929"), std::out_of_range);
+  EXPECT_NO_THROW(recession("1981-83"));
+}
+
+TEST(RecessionCatalog, NamesHelperMatchesCatalog) {
+  const auto names = recession_names();
+  ASSERT_EQ(names.size(), 7u);
+  EXPECT_EQ(names.front(), "1974-76");
+  EXPECT_EQ(names.back(), "2020-21");
+}
+
+TEST(RecessionShapeNames, ToStringCoversAll) {
+  EXPECT_EQ(to_string(RecessionShape::kV), "V");
+  EXPECT_EQ(to_string(RecessionShape::kU), "U");
+  EXPECT_EQ(to_string(RecessionShape::kW), "W");
+  EXPECT_EQ(to_string(RecessionShape::kL), "L");
+  EXPECT_EQ(to_string(RecessionShape::kJ), "J");
+  EXPECT_EQ(to_string(RecessionShape::kK), "K");
+}
+
+}  // namespace
+}  // namespace prm::data

@@ -1,0 +1,108 @@
+#include "data/resample.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace prm::data {
+namespace {
+
+TEST(CubicSpline, InterpolatesKnotsExactly) {
+  const std::vector<double> ts{0.0, 1.0, 2.5, 4.0};
+  const std::vector<double> ys{1.0, 0.5, 0.8, 1.2};
+  const CubicSpline s(ts, ys);
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    EXPECT_NEAR(s(ts[i]), ys[i], 1e-12);
+  }
+}
+
+TEST(CubicSpline, ExactForLinearData) {
+  // A natural spline through collinear points IS the line.
+  std::vector<double> ts, ys;
+  for (int i = 0; i <= 6; ++i) {
+    ts.push_back(i * 0.7);
+    ys.push_back(2.0 - 0.3 * i * 0.7);
+  }
+  const CubicSpline s(ts, ys);
+  for (double t : {0.1, 1.3, 2.9, 4.0}) {
+    EXPECT_NEAR(s(t), 2.0 - 0.3 * t, 1e-12);
+    EXPECT_NEAR(s.derivative(t), -0.3, 1e-10);
+  }
+}
+
+TEST(CubicSpline, ApproximatesSmoothFunctionWell) {
+  std::vector<double> ts, ys;
+  for (int i = 0; i <= 20; ++i) {
+    const double t = i * 0.3;
+    ts.push_back(t);
+    ys.push_back(std::sin(t));
+  }
+  const CubicSpline s(ts, ys);
+  // Natural-spline accuracy is O(h^4) in the interior but only O(h^2) near
+  // the ends (the zero-curvature boundary condition is wrong for sin).
+  for (double t = 0.05; t < 6.0; t += 0.17) {
+    const bool near_edge = t < 0.6 || t > 5.4;
+    EXPECT_NEAR(s(t), std::sin(t), near_edge ? 2e-3 : 5e-4) << "t = " << t;
+  }
+}
+
+TEST(CubicSpline, ClampsOutsideRange) {
+  const CubicSpline s({0.0, 1.0, 2.0}, {1.0, 2.0, 1.5});
+  EXPECT_DOUBLE_EQ(s(-5.0), 1.0);
+  EXPECT_DOUBLE_EQ(s(99.0), 1.5);
+}
+
+TEST(CubicSpline, TwoPointsDegradeToLine) {
+  const CubicSpline s({0.0, 2.0}, {1.0, 3.0});
+  EXPECT_NEAR(s(1.0), 2.0, 1e-12);
+  EXPECT_NEAR(s.derivative(1.0), 1.0, 1e-12);
+}
+
+TEST(CubicSpline, Validation) {
+  EXPECT_THROW(CubicSpline({0.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(CubicSpline({0.0, 1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(CubicSpline({1.0, 0.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(CubicSpline({0.0, 0.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(ResampleUniform, ProducesUniformGridWithSameEndpoints) {
+  const PerformanceSeries irregular("ir", {0.0, 0.7, 2.9, 4.0, 9.5},
+                                    {1.0, 0.95, 0.9, 0.93, 1.02});
+  const PerformanceSeries u = resample_uniform(irregular, 20);
+  ASSERT_EQ(u.size(), 20u);
+  EXPECT_DOUBLE_EQ(u.time(0), 0.0);
+  EXPECT_DOUBLE_EQ(u.time(19), 9.5);
+  EXPECT_NEAR(u.value(0), 1.0, 1e-12);
+  EXPECT_NEAR(u.value(19), 1.02, 1e-12);
+  const double dt = u.time(1) - u.time(0);
+  for (std::size_t i = 1; i < u.size(); ++i) {
+    EXPECT_NEAR(u.time(i) - u.time(i - 1), dt, 1e-12);
+  }
+}
+
+TEST(ResampleUniform, PreservesUniformSeries) {
+  const PerformanceSeries s("u", {1.0, 0.98, 0.96, 0.97, 0.99, 1.01});
+  const PerformanceSeries r = resample_uniform(s, 6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(r.value(i), s.value(i), 1e-12);
+  }
+}
+
+TEST(ResampleDt, RespectsSpacing) {
+  const PerformanceSeries s("x", {0.0, 1.5, 4.2, 7.0}, {1.0, 0.9, 0.95, 1.0});
+  const PerformanceSeries r = resample_dt(s, 1.0);
+  ASSERT_EQ(r.size(), 8u);  // 0..7 inclusive
+  EXPECT_DOUBLE_EQ(r.time(7), 7.0);
+  EXPECT_THROW(resample_dt(s, 0.0), std::invalid_argument);
+  EXPECT_THROW(resample_dt(s, 100.0), std::invalid_argument);
+}
+
+TEST(ResampleUniform, Validation) {
+  const PerformanceSeries one("o", {1.0});
+  EXPECT_THROW(resample_uniform(one, 10), std::invalid_argument);
+  const PerformanceSeries ok("k", {1.0, 2.0});
+  EXPECT_THROW(resample_uniform(ok, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prm::data

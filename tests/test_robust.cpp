@@ -1,0 +1,147 @@
+#include "optimize/robust.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bathtub.hpp"
+#include "core/fitting.hpp"
+#include "data/recessions.hpp"
+
+namespace prm::opt {
+namespace {
+
+TEST(LossRho, SquaredIsHalfRSquared) {
+  EXPECT_DOUBLE_EQ(loss_rho(LossKind::kSquared, 3.0, 1.0), 4.5);
+  EXPECT_DOUBLE_EQ(loss_rho(LossKind::kSquared, -3.0, 1.0), 4.5);
+}
+
+TEST(LossRho, HuberQuadraticInsideLinearOutside) {
+  const double scale = 2.0;
+  // Inside: rho = r^2/2.
+  EXPECT_DOUBLE_EQ(loss_rho(LossKind::kHuber, 1.0, scale), 0.5);
+  EXPECT_DOUBLE_EQ(loss_rho(LossKind::kHuber, 2.0, scale), 2.0);  // boundary
+  // Outside: rho = scale (|r| - scale/2).
+  EXPECT_DOUBLE_EQ(loss_rho(LossKind::kHuber, 5.0, scale), 2.0 * (5.0 - 1.0));
+  // Continuous at the boundary.
+  EXPECT_NEAR(loss_rho(LossKind::kHuber, 2.0 + 1e-9, scale),
+              loss_rho(LossKind::kHuber, 2.0 - 1e-9, scale), 1e-8);
+}
+
+TEST(LossRho, CauchyGrowsLogarithmically) {
+  const double scale = 1.0;
+  const double r10 = loss_rho(LossKind::kCauchy, 10.0, scale);
+  const double r100 = loss_rho(LossKind::kCauchy, 100.0, scale);
+  // Quadratic would grow 100x; Cauchy grows ~2x (log).
+  EXPECT_LT(r100 / r10, 3.0);
+  EXPECT_NEAR(loss_rho(LossKind::kCauchy, 1.0, 1.0), 0.5 * std::log(2.0), 1e-14);
+}
+
+TEST(LossRho, RejectsBadScale) {
+  EXPECT_THROW(loss_rho(LossKind::kHuber, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(loss_rho(LossKind::kHuber, 1.0, -1.0), std::invalid_argument);
+}
+
+TEST(LossWhiten, PreservesSignAndSquaresBackToRho) {
+  for (LossKind kind : {LossKind::kHuber, LossKind::kCauchy}) {
+    for (double r : {-5.0, -0.5, 0.0, 0.3, 7.0}) {
+      const double s = loss_whiten(kind, r, 1.0);
+      EXPECT_EQ(std::signbit(s), std::signbit(r));
+      EXPECT_NEAR(0.5 * s * s, loss_rho(kind, r, 1.0), 1e-12);
+    }
+  }
+  EXPECT_DOUBLE_EQ(loss_whiten(LossKind::kSquared, -2.5, 1.0), -2.5);
+}
+
+TEST(MakeRobust, SquaredReturnsIdenticalResiduals) {
+  const ResidualFn base = [](const num::Vector& p) {
+    return num::Vector{p[0] - 1.0, 2.0 * p[0]};
+  };
+  const ResidualFn wrapped = make_robust(base, LossKind::kSquared, 1.0);
+  const num::Vector p{3.0};
+  EXPECT_EQ(base(p), wrapped(p));
+}
+
+TEST(MakeRobust, HuberShrinksLargeResidualsOnly) {
+  const ResidualFn base = [](const num::Vector&) {
+    return num::Vector{0.005, 0.5};  // one inlier, one outlier (scale 0.01)
+  };
+  const ResidualFn wrapped = make_robust(base, LossKind::kHuber, 0.01);
+  const num::Vector r = wrapped({0.0});
+  EXPECT_NEAR(r[0], 0.005, 1e-12);           // inside the scale: untouched
+  EXPECT_LT(r[1], 0.5);                      // outlier: shrunk
+  EXPECT_NEAR(0.5 * r[1] * r[1], 0.01 * (0.5 - 0.005), 1e-12);
+}
+
+TEST(MakeRobust, RejectsBadScale) {
+  const ResidualFn base = [](const num::Vector&) { return num::Vector{1.0}; };
+  EXPECT_THROW(make_robust(base, LossKind::kHuber, 0.0), std::invalid_argument);
+}
+
+TEST(RobustFit, HuberRecoversTruthDespiteGrossOutliers) {
+  using namespace prm::core;
+  // Exact quadratic data with two gross outliers in the fit window.
+  const QuadraticBathtubModel m;
+  const num::Vector truth{1.0, -0.03, 0.0006};
+  std::vector<double> v(40);
+  for (std::size_t i = 0; i < 40; ++i) v[i] = m.evaluate(static_cast<double>(i), truth);
+  v[10] += 0.3;
+  v[22] -= 0.3;
+  const data::PerformanceSeries corrupted("outliers", std::move(v));
+
+  FitOptions squared;
+  FitOptions huber;
+  huber.loss = LossKind::kHuber;
+  huber.loss_scale = 0.01;
+
+  const FitResult fit_sq = fit_model(m, corrupted, 4, squared);
+  const FitResult fit_hu = fit_model(m, corrupted, 4, huber);
+
+  // Parameter error: Huber must be far closer to the truth.
+  const auto param_err = [&truth](const FitResult& f) {
+    double e = 0.0;
+    for (std::size_t i = 0; i < 3; ++i) {
+      e += std::fabs(f.parameters()[i] - truth[i]) / std::fabs(truth[i]);
+    }
+    return e;
+  };
+  EXPECT_LT(param_err(fit_hu), 0.2 * param_err(fit_sq));
+  EXPECT_NEAR(fit_hu.parameters()[0], truth[0], 5e-3);
+}
+
+TEST(RobustFit, ReportedSseIsAlwaysPlainSse) {
+  using namespace prm::core;
+  const auto& ds = data::recession("1990-93");
+  FitOptions huber;
+  huber.loss = LossKind::kHuber;
+  huber.loss_scale = 0.005;
+  const FitResult fit = fit_model("competing-risks", ds.series, ds.holdout, huber);
+  // Recompute plain SSE from parameters; must match the reported value.
+  const auto w = fit.fit_window();
+  double sse = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    const double e = w.value(i) - fit.evaluate(w.time(i));
+    sse += e * e;
+  }
+  EXPECT_NEAR(fit.sse, sse, 1e-12);
+}
+
+TEST(RobustFit, MatchesSquaredLossOnCleanData) {
+  using namespace prm::core;
+  const auto& ds = data::recession("2001-05");
+  FitOptions huber;
+  huber.loss = LossKind::kHuber;
+  huber.loss_scale = 0.05;  // residuals are ~1e-3: everything is an inlier
+  const FitResult clean = fit_model("quadratic", ds.series, ds.holdout);
+  const FitResult robust = fit_model("quadratic", ds.series, ds.holdout, huber);
+  EXPECT_NEAR(clean.sse, robust.sse, 1e-6);
+}
+
+TEST(LossNames, AllCovered) {
+  EXPECT_STREQ(to_string(LossKind::kSquared), "squared");
+  EXPECT_STREQ(to_string(LossKind::kHuber), "huber");
+  EXPECT_STREQ(to_string(LossKind::kCauchy), "cauchy");
+}
+
+}  // namespace
+}  // namespace prm::opt

@@ -1,0 +1,121 @@
+#include "core/rolling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bathtub.hpp"
+#include "data/generator.hpp"
+#include "data/recessions.hpp"
+
+namespace prm::core {
+namespace {
+
+// Exact quadratic data: every origin must forecast perfectly.
+data::PerformanceSeries exact_series(std::size_t n) {
+  const QuadraticBathtubModel m;
+  const num::Vector p{1.0, -0.03, 0.0006};
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = m.evaluate(static_cast<double>(i), p);
+  return data::PerformanceSeries("exact", std::move(v));
+}
+
+TEST(RollingOrigin, PerfectDataGivesZeroErrorEverywhere) {
+  RollingOptions opts;
+  opts.horizon = 4;
+  const RollingResult r = rolling_origin("quadratic", exact_series(30), opts);
+  ASSERT_FALSE(r.points.empty());
+  for (const RollingPoint& p : r.points) {
+    EXPECT_TRUE(p.fit_succeeded);
+    EXPECT_LT(p.pmse, 1e-12) << "origin " << p.origin;
+  }
+  for (double e : r.error_by_horizon) EXPECT_LT(e, 1e-6);
+}
+
+TEST(RollingOrigin, OriginsFollowStride) {
+  RollingOptions opts;
+  opts.min_origin = 6;
+  opts.stride = 3;
+  opts.horizon = 2;
+  const RollingResult r = rolling_origin("quadratic", exact_series(20), opts);
+  ASSERT_GE(r.points.size(), 3u);
+  EXPECT_EQ(r.points[0].origin, 6u);
+  EXPECT_EQ(r.points[1].origin, 9u);
+  EXPECT_EQ(r.points[2].origin, 12u);
+}
+
+TEST(RollingOrigin, DefaultMinOriginDependsOnModel) {
+  const RollingResult r = rolling_origin("quadratic", exact_series(20));
+  // quadratic has 3 parameters -> first origin 5.
+  EXPECT_EQ(r.points.front().origin, 5u);
+}
+
+TEST(RollingOrigin, LastOriginTruncatesHorizon) {
+  RollingOptions opts;
+  opts.min_origin = 16;
+  opts.horizon = 10;
+  const RollingResult r = rolling_origin("quadratic", exact_series(20), opts);
+  ASSERT_FALSE(r.points.empty());
+  // Origin 19 can only be scored on one remaining sample.
+  EXPECT_EQ(r.points.back().origin, 19u);
+  EXPECT_EQ(r.points.back().abs_errors.size(), 1u);
+}
+
+TEST(RollingOrigin, ErrorShrinksWithMoreData) {
+  // On a real recession, late origins (seeing the recovery) must beat the
+  // earliest origins (seeing only decline) on average.
+  const auto& ds = data::recession("1990-93");
+  RollingOptions opts;
+  opts.min_origin = 8;
+  opts.horizon = 5;
+  opts.stride = 4;
+  const RollingResult r = rolling_origin("competing-risks", ds.series, opts);
+  ASSERT_GE(r.points.size(), 5u);
+  double early = 0.0;
+  double late = 0.0;
+  for (std::size_t i = 0; i < 2; ++i) early += r.points[i].pmse;
+  for (std::size_t i = r.points.size() - 2; i < r.points.size(); ++i) {
+    late += r.points[i].pmse;
+  }
+  EXPECT_LT(late, early);
+}
+
+TEST(RollingOrigin, ErrorGrowsWithHorizon) {
+  const auto& ds = data::recession("1981-83");
+  RollingOptions opts;
+  opts.min_origin = 12;
+  opts.horizon = 6;
+  opts.stride = 2;
+  const RollingResult r = rolling_origin("competing-risks", ds.series, opts);
+  // Mean |error| at horizon 6 should exceed that at horizon 1.
+  EXPECT_GT(r.error_by_horizon.back(), r.error_by_horizon.front());
+}
+
+TEST(RollingOrigin, StableOriginDetection) {
+  RollingResult r;
+  const auto mk = [](std::size_t origin, double pmse) {
+    RollingPoint p;
+    p.origin = origin;
+    p.pmse = pmse;
+    p.fit_succeeded = true;
+    return p;
+  };
+  r.points = {mk(5, 1.0), mk(6, 0.05), mk(7, 0.2), mk(8, 0.03), mk(9, 0.02)};
+  EXPECT_EQ(r.stable_origin(0.1), 8u);
+  EXPECT_EQ(r.stable_origin(2.0), 5u);
+  EXPECT_EQ(r.stable_origin(0.001), std::numeric_limits<std::size_t>::max());
+}
+
+TEST(RollingOrigin, InputValidation) {
+  RollingOptions bad;
+  bad.horizon = 0;
+  EXPECT_THROW(rolling_origin("quadratic", exact_series(20), bad), std::invalid_argument);
+  RollingOptions bad2;
+  bad2.stride = 0;
+  EXPECT_THROW(rolling_origin("quadratic", exact_series(20), bad2), std::invalid_argument);
+  EXPECT_THROW(rolling_origin("quadratic", exact_series(5), {}), std::invalid_argument);
+  EXPECT_THROW(rolling_origin("no-such-model", exact_series(20), {}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace prm::core

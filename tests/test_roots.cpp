@@ -1,0 +1,101 @@
+#include "numerics/roots.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace prm::num {
+namespace {
+
+TEST(Bisect, FindsSimpleRoot) {
+  const auto r = bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, std::sqrt(2.0), 1e-10);
+}
+
+TEST(Bisect, ExactEndpointRoot) {
+  const auto r = bisect([](double x) { return x - 1.0; }, 1.0, 2.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.x, 1.0);
+}
+
+TEST(Bisect, NoSignChangeReportsNotConverged) {
+  const auto r = bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0);
+  EXPECT_FALSE(r.converged);
+}
+
+TEST(Brent, FindsRootFastOnSmoothFunction) {
+  const auto r = brent([](double x) { return std::cos(x) - x; }, 0.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 0.7390851332151607, 1e-12);
+  EXPECT_LT(r.iterations, 15);
+}
+
+TEST(Brent, MatchesBisectionResult) {
+  const auto f = [](double x) { return std::exp(x) - 3.0; };
+  const auto rb = brent(f, 0.0, 2.0);
+  const auto ri = bisect(f, 0.0, 2.0);
+  EXPECT_TRUE(rb.converged);
+  EXPECT_NEAR(rb.x, ri.x, 1e-8);
+  EXPECT_NEAR(rb.x, std::log(3.0), 1e-12);
+}
+
+TEST(Brent, HandlesSteepFunction) {
+  const auto r = brent([](double x) { return std::pow(x, 9) - 0.5; }, 0.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, std::pow(0.5, 1.0 / 9.0), 1e-10);
+}
+
+TEST(Brent, NoSignChangeReturnsBestEndpoint) {
+  const auto r = brent([](double x) { return x * x + 0.5; }, -1.0, 2.0);
+  EXPECT_FALSE(r.converged);
+}
+
+TEST(NewtonSafeguarded, ConvergesQuadratically) {
+  const auto fdf = [](double x) {
+    return std::make_pair(x * x - 2.0, 2.0 * x);
+  };
+  const auto r = newton_safeguarded(fdf, 1.0, 0.0, 2.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, std::sqrt(2.0), 1e-9);
+}
+
+TEST(NewtonSafeguarded, SurvivesZeroDerivative) {
+  // f(x) = x^3 has f'(0) = 0; start at the stationary point.
+  const auto fdf = [](double x) {
+    return std::make_pair(x * x * x - 8.0, 3.0 * x * x);
+  };
+  const auto r = newton_safeguarded(fdf, 0.0, -1.0, 5.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 2.0, 1e-6);
+}
+
+TEST(ExpandBracket, GrowsUntilSignChange) {
+  const auto f = [](double x) { return x - 100.0; };
+  const auto br = expand_bracket(f, 0.0, 1.0);
+  ASSERT_TRUE(br.has_value());
+  EXPECT_LT(f(br->first) * f(br->second), 0.0);
+}
+
+TEST(ExpandBracket, GivesUpWhenNoRoot) {
+  const auto f = [](double) { return 1.0; };
+  EXPECT_FALSE(expand_bracket(f, 0.0, 1.0, 8).has_value());
+}
+
+TEST(FirstCrossing, FindsEarliestRootOfOscillation) {
+  // sin has roots at pi, 2pi, ...; earliest in (0.1, 10) is pi.
+  const auto t = first_crossing([](double x) { return std::sin(x); }, 0.1, 10.0);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, M_PI, 1e-8);
+}
+
+TEST(FirstCrossing, NoneWhenPositiveEverywhere) {
+  EXPECT_FALSE(first_crossing([](double x) { return x * x + 1.0; }, -3.0, 3.0).has_value());
+}
+
+TEST(FirstCrossing, DegenerateRange) {
+  EXPECT_FALSE(first_crossing([](double x) { return x; }, 1.0, 1.0).has_value());
+}
+
+}  // namespace
+}  // namespace prm::num

@@ -1,0 +1,80 @@
+#include "core/scorecard.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/generator.hpp"
+
+namespace prm::core {
+namespace {
+
+TEST(AssessEvent, BasicAnatomyOfARecession) {
+  const auto& ds = data::recession("1990-93");
+  const ScorecardEntry e = assess_event(ds.series);
+  EXPECT_EQ(e.name, "1990-93");
+  EXPECT_EQ(e.duration, 48u);
+  EXPECT_NEAR(e.depth, 1.0 - 0.9837, 1e-9);
+  EXPECT_EQ(e.months_to_trough, 15u);
+  ASSERT_TRUE(e.months_to_recovery.has_value());
+  // Regains 1.0 at month 35 -> 20 months after the trough.
+  EXPECT_EQ(*e.months_to_recovery, 20u);
+  EXPECT_EQ(e.metrics.size(), kAllMetrics.size());
+}
+
+TEST(AssessEvent, RetrospectiveMetricsHaveZeroError) {
+  const ScorecardEntry e = assess_event(data::recession("1981-83").series);
+  for (const MetricValue& m : e.metrics) {
+    EXPECT_DOUBLE_EQ(m.actual, m.predicted);
+    EXPECT_DOUBLE_EQ(m.relative_error, 0.0);
+  }
+}
+
+TEST(AssessEvent, UnrecoveredEventHasNoRecoveryTime) {
+  const ScorecardEntry e = assess_event(data::recession("2007-09").series);
+  EXPECT_FALSE(e.months_to_recovery.has_value());  // ends at 0.96
+}
+
+TEST(AssessEvent, ScoreIsNormalizedAvgPreserved) {
+  const ScorecardEntry e = assess_event(data::recession("1974-76").series);
+  for (const MetricValue& m : e.metrics) {
+    if (m.kind == MetricKind::kNormalizedAvgPreserved) {
+      EXPECT_DOUBLE_EQ(e.resilience_score, m.actual);
+    }
+  }
+}
+
+TEST(AssessEvent, RejectsTinySeries) {
+  EXPECT_THROW(assess_event(data::PerformanceSeries("t", {1.0, 0.9})),
+               std::invalid_argument);
+}
+
+TEST(Scorecard, SortsMostResilientFirst) {
+  const auto entries = recession_scorecard();
+  ASSERT_EQ(entries.size(), 7u);
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_GE(entries[i - 1].resilience_score, entries[i].resilience_score);
+  }
+  // The 14%-collapse 2020-21 recession must rank least resilient; the deep
+  // 2007-09 episode second-to-last.
+  EXPECT_EQ(entries.back().name, "2020-21");
+  EXPECT_EQ(entries[entries.size() - 2].name, "2007-09");
+}
+
+TEST(Scorecard, ShallowBeatsDeepForSyntheticPair) {
+  data::ScenarioSpec shallow;
+  shallow.depth = 0.01;
+  shallow.noise = 0.0;
+  data::ScenarioSpec deep = shallow;
+  deep.depth = 0.2;
+  auto s1 = data::generate_scenario(shallow);
+  auto s2 = data::generate_scenario(deep);
+  const auto entries = scorecard({s2, s1});
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_LT(entries.front().depth, entries.back().depth);
+}
+
+TEST(Scorecard, EmptyInputGivesEmptyOutput) {
+  EXPECT_TRUE(scorecard({}).empty());
+}
+
+}  // namespace
+}  // namespace prm::core

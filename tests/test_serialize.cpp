@@ -1,0 +1,161 @@
+#include "core/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "core/bathtub.hpp"
+#include "core/validation.hpp"
+#include "data/recessions.hpp"
+
+namespace prm::core {
+namespace {
+
+FitResult sample_fit() {
+  const auto& ds = data::recession("1990-93");
+  return fit_model("competing-risks", ds.series, ds.holdout);
+}
+
+TEST(Serialize, RoundTripPreservesEverything) {
+  const FitResult original = sample_fit();
+  std::stringstream ss;
+  save_fit(ss, original);
+  const FitResult loaded = load_fit(ss);
+
+  EXPECT_EQ(loaded.model().name(), original.model().name());
+  EXPECT_EQ(loaded.holdout(), original.holdout());
+  EXPECT_EQ(loaded.parameters(), original.parameters());
+  EXPECT_EQ(loaded.series().name(), original.series().name());
+  ASSERT_EQ(loaded.series().size(), original.series().size());
+  for (std::size_t i = 0; i < loaded.series().size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded.series().value(i), original.series().value(i));
+    EXPECT_DOUBLE_EQ(loaded.series().time(i), original.series().time(i));
+  }
+  EXPECT_DOUBLE_EQ(loaded.sse, original.sse);
+  EXPECT_EQ(loaded.stop_reason, original.stop_reason);
+  // The loaded fit must evaluate identically.
+  for (double t : {0.0, 10.5, 47.0}) {
+    EXPECT_DOUBLE_EQ(loaded.evaluate(t), original.evaluate(t));
+  }
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const std::string path = std::filesystem::temp_directory_path() / "prm_fit_test.txt";
+  const FitResult original = sample_fit();
+  save_fit_file(path, original);
+  const FitResult loaded = load_fit_file(path);
+  EXPECT_EQ(loaded.parameters(), original.parameters());
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, ParametersSurviveAtFullPrecision) {
+  const FitResult original = sample_fit();
+  std::stringstream ss;
+  save_fit(ss, original);
+  const FitResult loaded = load_fit(ss);
+  for (std::size_t i = 0; i < original.parameters().size(); ++i) {
+    EXPECT_EQ(loaded.parameters()[i], original.parameters()[i]) << "bit-exact expected";
+  }
+}
+
+TEST(Serialize, RejectsUnknownModelOnLoad) {
+  const FitResult original = sample_fit();
+  std::stringstream ss;
+  save_fit(ss, original);
+  std::string text = ss.str();
+  const auto pos = text.find("competing-risks");
+  text.replace(pos, std::string("competing-risks").size(), "not-registered1");
+  std::stringstream bad(text);
+  EXPECT_THROW(load_fit(bad), std::runtime_error);
+}
+
+TEST(Serialize, RejectsMalformedInput) {
+  std::stringstream empty;
+  EXPECT_THROW(load_fit(empty), std::runtime_error);
+
+  std::stringstream wrong_magic("not-a-fit 1\n");
+  EXPECT_THROW(load_fit(wrong_magic), std::runtime_error);
+
+  std::stringstream bad_version("prm-fit 99\nmodel quadratic\n");
+  EXPECT_THROW(load_fit(bad_version), std::runtime_error);
+
+  const FitResult original = sample_fit();
+  std::stringstream ss;
+  save_fit(ss, original);
+  std::string text = ss.str();
+  std::stringstream truncated(text.substr(0, text.size() / 2));
+  EXPECT_THROW(load_fit(truncated), std::runtime_error);
+}
+
+TEST(Serialize, RejectsParameterCountMismatch) {
+  const FitResult original = sample_fit();
+  std::stringstream ss;
+  save_fit(ss, original);
+  std::string text = ss.str();
+  // competing-risks has 3 params; claim 2 and drop one value.
+  const auto pos = text.find("parameters 3 ");
+  ASSERT_NE(pos, std::string::npos);
+  // Replace the count and remove the last parameter on that line.
+  const auto line_end = text.find('\n', pos);
+  std::string line = text.substr(pos, line_end - pos);
+  const auto last_space = line.find_last_of(' ');
+  line = line.substr(0, last_space);
+  line.replace(line.find("parameters 3"), 12, "parameters 2");
+  text.replace(pos, line_end - pos, line);
+  std::stringstream bad(text);
+  EXPECT_THROW(load_fit(bad), std::runtime_error);
+}
+
+TEST(Serialize, UnregisteredModelCannotBeSaved) {
+  // A model object whose name is not in the registry must be rejected at
+  // save time (loading could never reconstruct it).
+  class Anonymous final : public ResilienceModel {
+   public:
+    std::string name() const override { return "anonymous-model"; }
+    std::string description() const override { return inner_.description(); }
+    std::size_t num_parameters() const override { return inner_.num_parameters(); }
+    std::vector<std::string> parameter_names() const override {
+      return inner_.parameter_names();
+    }
+    std::vector<opt::Bound> parameter_bounds() const override {
+      return inner_.parameter_bounds();
+    }
+    double evaluate(double t, const num::Vector& p) const override {
+      return inner_.evaluate(t, p);
+    }
+    std::vector<num::Vector> initial_guesses(
+        const data::PerformanceSeries& fit) const override {
+      return inner_.initial_guesses(fit);
+    }
+    std::pair<num::Vector, num::Vector> search_box(
+        const data::PerformanceSeries& fit) const override {
+      return inner_.search_box(fit);
+    }
+    std::unique_ptr<ResilienceModel> clone() const override {
+      return std::make_unique<Anonymous>(*this);
+    }
+
+   private:
+    QuadraticBathtubModel inner_;
+  };
+  const data::PerformanceSeries s("x", {1.0, 0.98, 0.97, 0.98, 1.0, 1.01});
+  FitResult fit(std::make_shared<Anonymous>(), {1.0, -0.01, 0.001}, s, 1);
+  std::stringstream ss;
+  EXPECT_THROW(save_fit(ss, fit), std::invalid_argument);
+}
+
+TEST(Serialize, LoadedFitSupportsDownstreamAnalysis) {
+  const FitResult original = sample_fit();
+  std::stringstream ss;
+  save_fit(ss, original);
+  const FitResult loaded = load_fit(ss);
+  // Full downstream pipeline runs on the loaded object.
+  const auto v = validate(loaded);
+  EXPECT_NEAR(v.sse, loaded.sse, 1e-9);
+  EXPECT_EQ(v.predictions.size(), loaded.series().size());
+}
+
+}  // namespace
+}  // namespace prm::core

@@ -1,0 +1,66 @@
+#include "data/shape.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/generator.hpp"
+
+namespace prm::data {
+namespace {
+
+TEST(ShapeFeatures, DepthAndTroughFraction) {
+  const PerformanceSeries s("x", {1.0, 0.95, 0.9, 0.95, 1.0});
+  const ShapeFeatures f = extract_features(s);
+  EXPECT_NEAR(f.depth, 0.1, 1e-12);
+  EXPECT_NEAR(f.trough_fraction, 0.5, 1e-12);
+  EXPECT_TRUE(f.recovered);
+  EXPECT_NEAR(f.recovery_ratio, 1.0, 1e-12);
+}
+
+TEST(ShapeFeatures, CrashSpeedDetectsSingleStepCollapse) {
+  const PerformanceSeries crash("c", {1.0, 0.86, 0.88, 0.9, 0.91, 0.92});
+  const ShapeFeatures f = extract_features(crash);
+  EXPECT_GT(f.crash_speed, 0.9);  // nearly all the loss in one step
+}
+
+TEST(ShapeFeatures, RequiresMinimumLength) {
+  const PerformanceSeries tiny("t", {1.0, 0.9});
+  EXPECT_THROW(extract_features(tiny), std::invalid_argument);
+}
+
+TEST(ClassifyShape, SyntheticShapesRoundTrip) {
+  // The generator and classifier must agree on the easy shapes.
+  EXPECT_EQ(classify_shape(generate_shape(RecessionShape::kV, 48, 7)), RecessionShape::kV);
+  EXPECT_EQ(classify_shape(generate_shape(RecessionShape::kU, 48, 7)), RecessionShape::kU);
+  EXPECT_EQ(classify_shape(generate_shape(RecessionShape::kW, 48, 7)), RecessionShape::kW);
+  EXPECT_EQ(classify_shape(generate_shape(RecessionShape::kL, 48, 7)), RecessionShape::kL);
+}
+
+TEST(ClassifyShape, RealRecessionsMatchDocumentedClassesLoosely) {
+  // The two shapes the paper singles out as unfittable must be detected.
+  EXPECT_EQ(classify_shape(recession("1980").series), RecessionShape::kW);
+  const RecessionShape s2020 = classify_shape(recession("2020-21").series);
+  EXPECT_TRUE(s2020 == RecessionShape::kL || s2020 == RecessionShape::kK);
+  // And the well-behaved ones must NOT be classified as hard shapes.
+  EXPECT_FALSE(is_hard_shape(classify_shape(recession("1990-93").series)));
+  EXPECT_FALSE(is_hard_shape(classify_shape(recession("1974-76").series)));
+  EXPECT_FALSE(is_hard_shape(classify_shape(recession("2001-05").series)));
+}
+
+TEST(IsHardShape, ExactlyWLK) {
+  EXPECT_TRUE(is_hard_shape(RecessionShape::kW));
+  EXPECT_TRUE(is_hard_shape(RecessionShape::kL));
+  EXPECT_TRUE(is_hard_shape(RecessionShape::kK));
+  EXPECT_FALSE(is_hard_shape(RecessionShape::kV));
+  EXPECT_FALSE(is_hard_shape(RecessionShape::kU));
+  EXPECT_FALSE(is_hard_shape(RecessionShape::kJ));
+}
+
+TEST(ClassifyShape, MonotoneRecoveryWithoutDipIsNotW) {
+  // Smooth V with no noise: exactly one dip.
+  const auto s = generate_shape(RecessionShape::kV, 60, 3);
+  const ShapeFeatures f = extract_features(s);
+  EXPECT_EQ(f.num_dips, 1);
+}
+
+}  // namespace
+}  // namespace prm::data

@@ -1,0 +1,113 @@
+#include "data/time_series.hpp"
+
+#include <gtest/gtest.h>
+
+namespace prm::data {
+namespace {
+
+PerformanceSeries sample_series() {
+  return PerformanceSeries("s", {1.0, 0.98, 0.95, 0.96, 0.99, 1.02});
+}
+
+TEST(PerformanceSeries, UniformGridConstructor) {
+  const PerformanceSeries s = sample_series();
+  EXPECT_EQ(s.size(), 6u);
+  EXPECT_DOUBLE_EQ(s.time(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.time(5), 5.0);
+  EXPECT_DOUBLE_EQ(s.value(2), 0.95);
+  EXPECT_EQ(s.name(), "s");
+}
+
+TEST(PerformanceSeries, ExplicitTimesValidated) {
+  EXPECT_NO_THROW(PerformanceSeries("x", {0.0, 2.0, 5.0}, {1.0, 2.0, 3.0}));
+  EXPECT_THROW(PerformanceSeries("x", {0.0, 2.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(PerformanceSeries("x", {0.0, 0.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(PerformanceSeries("x", {1.0, 0.5}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(PerformanceSeries, HeadTailSlice) {
+  const PerformanceSeries s = sample_series();
+  const PerformanceSeries h = s.head(3);
+  EXPECT_EQ(h.size(), 3u);
+  EXPECT_DOUBLE_EQ(h.value(2), 0.95);
+  const PerformanceSeries t = s.tail(2);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_DOUBLE_EQ(t.value(0), 0.99);
+  EXPECT_DOUBLE_EQ(t.time(0), 4.0);  // preserves absolute times
+  const PerformanceSeries m = s.slice(1, 3);
+  EXPECT_DOUBLE_EQ(m.value(0), 0.98);
+  EXPECT_THROW(s.slice(4, 3), std::out_of_range);
+  EXPECT_THROW(s.tail(7), std::out_of_range);
+}
+
+TEST(PerformanceSeries, SplitPartitionsExactly) {
+  const PerformanceSeries s = sample_series();
+  const auto [train, test] = s.split(2);
+  EXPECT_EQ(train.size(), 4u);
+  EXPECT_EQ(test.size(), 2u);
+  EXPECT_DOUBLE_EQ(train.value(3), 0.96);
+  EXPECT_DOUBLE_EQ(test.value(0), 0.99);
+  EXPECT_THROW(s.split(6), std::invalid_argument);
+}
+
+TEST(PerformanceSeries, TroughDetection) {
+  const PerformanceSeries s = sample_series();
+  EXPECT_EQ(s.trough_index(), 2u);
+  EXPECT_DOUBLE_EQ(s.trough_time(), 2.0);
+  EXPECT_DOUBLE_EQ(s.trough_value(), 0.95);
+  // First occurrence on ties.
+  const PerformanceSeries tie("t", {1.0, 0.9, 0.9, 1.0});
+  EXPECT_EQ(tie.trough_index(), 1u);
+}
+
+TEST(PerformanceSeries, IntegralTrapezoid) {
+  const PerformanceSeries s("i", {0.0, 1.0, 3.0}, {2.0, 4.0, 4.0});
+  // [0,1]: (2+4)/2 = 3; [1,3]: 4*2 = 8; total 11.
+  EXPECT_DOUBLE_EQ(s.integral(), 11.0);
+  EXPECT_DOUBLE_EQ(s.integral(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(s.integral(1, 2), 8.0);
+  EXPECT_THROW(s.integral(2, 1), std::out_of_range);
+  EXPECT_THROW(s.integral(0, 3), std::out_of_range);
+}
+
+TEST(PerformanceSeries, SingleSampleIntegralIsZero) {
+  const PerformanceSeries s("one", {5.0});
+  EXPECT_DOUBLE_EQ(s.integral(), 0.0);
+}
+
+TEST(PerformanceSeries, Normalized) {
+  const PerformanceSeries s("n", {2.0, 1.0, 3.0});
+  const PerformanceSeries norm = s.normalized();
+  EXPECT_DOUBLE_EQ(norm.value(0), 1.0);
+  EXPECT_DOUBLE_EQ(norm.value(1), 0.5);
+  EXPECT_DOUBLE_EQ(norm.value(2), 1.5);
+  const PerformanceSeries zero("z", {0.0, 1.0});
+  EXPECT_THROW(zero.normalized(), std::domain_error);
+}
+
+TEST(PerformanceSeries, Rebased) {
+  const PerformanceSeries s("r", {10.0, 11.0, 13.0}, {1.0, 2.0, 3.0});
+  const PerformanceSeries rb = s.rebased();
+  EXPECT_DOUBLE_EQ(rb.time(0), 0.0);
+  EXPECT_DOUBLE_EQ(rb.time(2), 3.0);
+  EXPECT_DOUBLE_EQ(rb.value(1), 2.0);
+}
+
+TEST(PerformanceSeries, InterpolateLinearAndClamped) {
+  const PerformanceSeries s("p", {0.0, 2.0, 4.0}, {1.0, 3.0, 2.0});
+  EXPECT_DOUBLE_EQ(s.interpolate(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.interpolate(3.0), 2.5);
+  EXPECT_DOUBLE_EQ(s.interpolate(-1.0), 1.0);  // clamp left
+  EXPECT_DOUBLE_EQ(s.interpolate(9.0), 2.0);   // clamp right
+  EXPECT_DOUBLE_EQ(s.interpolate(2.0), 3.0);   // exact node
+}
+
+TEST(PerformanceSeries, EmptySeriesBehaviour) {
+  const PerformanceSeries e;
+  EXPECT_TRUE(e.empty());
+  EXPECT_THROW(e.trough_index(), std::logic_error);
+  EXPECT_THROW(e.interpolate(0.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace prm::data

@@ -1,0 +1,101 @@
+#include "optimize/transforms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numerics/differentiate.hpp"
+
+namespace prm::opt {
+namespace {
+
+TEST(Bound, IntervalRequiresLoBelowHi) {
+  EXPECT_NO_THROW(Bound::interval(0.0, 1.0));
+  EXPECT_THROW(Bound::interval(1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Bound::interval(2.0, 1.0), std::invalid_argument);
+}
+
+TEST(ScalarTransform, PositiveRoundTrip) {
+  const Bound b = Bound::positive();
+  for (double p : {1e-6, 0.5, 1.0, 42.0, 1e6}) {
+    EXPECT_NEAR(to_external_scalar(b, to_internal_scalar(b, p)), p, 1e-12 * p);
+  }
+  EXPECT_THROW(to_internal_scalar(b, 0.0), std::domain_error);
+  EXPECT_THROW(to_internal_scalar(b, -1.0), std::domain_error);
+}
+
+TEST(ScalarTransform, NegativeRoundTrip) {
+  const Bound b = Bound::negative();
+  for (double p : {-1e-6, -0.5, -42.0}) {
+    EXPECT_NEAR(to_external_scalar(b, to_internal_scalar(b, p)), p, 1e-12 * std::fabs(p));
+  }
+  EXPECT_THROW(to_internal_scalar(b, 1.0), std::domain_error);
+}
+
+TEST(ScalarTransform, IntervalRoundTripAndRange) {
+  const Bound b = Bound::interval(-2.0, 5.0);
+  for (double p : {-1.999, -1.0, 0.0, 3.7, 4.999}) {
+    EXPECT_NEAR(to_external_scalar(b, to_internal_scalar(b, p)), p, 1e-9);
+  }
+  EXPECT_THROW(to_internal_scalar(b, -2.0), std::domain_error);
+  EXPECT_THROW(to_internal_scalar(b, 6.0), std::domain_error);
+  // Any internal value maps inside the interval.
+  for (double u : {-100.0, -1.0, 0.0, 1.0, 100.0}) {
+    const double p = to_external_scalar(b, u);
+    EXPECT_GT(p, -2.0);
+    EXPECT_LT(p, 5.0);
+  }
+}
+
+TEST(ScalarTransform, FreeIsIdentity) {
+  const Bound b = Bound::free();
+  EXPECT_DOUBLE_EQ(to_internal_scalar(b, -3.7), -3.7);
+  EXPECT_DOUBLE_EQ(to_external_scalar(b, 2.2), 2.2);
+}
+
+TEST(ParameterTransform, VectorRoundTrip) {
+  const ParameterTransform t({Bound::positive(), Bound::negative(), Bound::free(),
+                              Bound::interval(0.0, 1.0)});
+  const num::Vector p{2.5, -0.3, 7.0, 0.6};
+  const num::Vector u = t.to_internal(p);
+  const num::Vector back = t.to_external(u);
+  ASSERT_EQ(back.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(back[i], p[i], 1e-10);
+}
+
+TEST(ParameterTransform, SizeMismatchThrows) {
+  const ParameterTransform t({Bound::free()});
+  EXPECT_THROW(t.to_internal({1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(t.to_external({1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(t.dexternal_dinternal({1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(ParameterTransform, ChainRuleDerivativeMatchesFiniteDifference) {
+  const ParameterTransform t({Bound::positive(), Bound::negative(),
+                              Bound::interval(-1.0, 3.0), Bound::free()});
+  const num::Vector u{0.3, -0.7, 0.2, 1.5};
+  const num::Vector d = t.dexternal_dinternal(u);
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    const auto f = [&t, &u, i](double ui) {
+      num::Vector uu = u;
+      uu[i] = ui;
+      return t.to_external(uu)[i];
+    };
+    EXPECT_NEAR(d[i], num::derivative_richardson(f, u[i]), 1e-7) << "coord " << i;
+  }
+}
+
+TEST(ParameterTransform, ExternalAlwaysSatisfiesBounds) {
+  const ParameterTransform t({Bound::positive(), Bound::negative(),
+                              Bound::interval(2.0, 3.0)});
+  for (double u : {-50.0, -1.0, 0.0, 1.0, 50.0}) {
+    const num::Vector p = t.to_external({u, u, u});
+    EXPECT_GT(p[0], 0.0);
+    EXPECT_LT(p[1], 0.0);
+    EXPECT_GT(p[2], 2.0);
+    EXPECT_LT(p[2], 3.0);
+  }
+}
+
+}  // namespace
+}  // namespace prm::opt

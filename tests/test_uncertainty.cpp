@@ -1,0 +1,119 @@
+#include "core/uncertainty.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/predictor.hpp"
+#include "data/recessions.hpp"
+
+namespace prm::core {
+namespace {
+
+// Shared, cheap configuration: the quadratic model refits in ~50 us without
+// multistart, so 60 replicates stay fast.
+UncertaintyOptions quick_options() {
+  UncertaintyOptions opts;
+  opts.replicates = 60;
+  opts.fit.multistart.sampled_starts = 0;
+  opts.fit.multistart.jitter_per_start = 0;
+  opts.fit.multistart.polish_with_nelder_mead = false;
+  return opts;
+}
+
+class UncertaintyFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const auto& ds = data::recession("1990-93");
+    fit_ = new FitResult(fit_model("quadratic", ds.series, ds.holdout));
+    result_ = new UncertaintyResult(prediction_uncertainty(*fit_, quick_options()));
+  }
+  static void TearDownTestSuite() {
+    delete fit_;
+    delete result_;
+    fit_ = nullptr;
+    result_ = nullptr;
+  }
+  static FitResult* fit_;
+  static UncertaintyResult* result_;
+};
+
+FitResult* UncertaintyFixture::fit_ = nullptr;
+UncertaintyResult* UncertaintyFixture::result_ = nullptr;
+
+TEST_F(UncertaintyFixture, MostReplicatesSucceed) {
+  EXPECT_GE(result_->replicates_used, 50);
+  EXPECT_LE(result_->replicates_failed, 10);
+}
+
+TEST_F(UncertaintyFixture, IntervalsBracketPointEstimates) {
+  EXPECT_LE(result_->trough_time.lower, result_->trough_time.upper);
+  EXPECT_GE(result_->trough_time.point + 2.0, result_->trough_time.lower);
+  EXPECT_LE(result_->trough_time.point - 2.0, result_->trough_time.upper);
+  EXPECT_LE(result_->trough_value.lower, result_->trough_value.upper);
+  // Trough value interval sits in a plausible index range.
+  EXPECT_GT(result_->trough_value.lower, 0.9);
+  EXPECT_LT(result_->trough_value.upper, 1.0);
+}
+
+TEST_F(UncertaintyFixture, RecoveryTimeIntervalIsPlausible) {
+  // 1990-93 regains its peak around month 32-35.
+  ASSERT_GE(result_->recovery_time.samples, 30);
+  EXPECT_GT(result_->recovery_time.lower, 20.0);
+  EXPECT_LT(result_->recovery_time.upper, 50.0);
+  EXPECT_GE(result_->recovery_time.upper, result_->recovery_time.lower);
+}
+
+TEST_F(UncertaintyFixture, MetricIntervalsCoverPointPredictions) {
+  ASSERT_EQ(result_->metrics.size(), kAllMetrics.size());
+  for (const auto& [kind, est] : result_->metrics) {
+    EXPECT_LE(est.lower, est.upper) << to_string(kind);
+    // Point prediction from the original fit lies inside (or at) the interval
+    // for a well-behaved dataset.
+    EXPECT_GE(est.point, est.lower - 0.05) << to_string(kind);
+    EXPECT_LE(est.point, est.upper + 0.05) << to_string(kind);
+  }
+}
+
+TEST_F(UncertaintyFixture, NoRecoveryRateIsSmallForRecoveringDataset) {
+  EXPECT_LT(result_->no_recovery_rate, 20.0);
+}
+
+TEST(Uncertainty, DeterministicForSeed) {
+  const auto& ds = data::recession("2001-05");
+  const FitResult fit = fit_model("quadratic", ds.series, ds.holdout);
+  UncertaintyOptions opts = quick_options();
+  opts.replicates = 20;
+  const auto a = prediction_uncertainty(fit, opts);
+  const auto b = prediction_uncertainty(fit, opts);
+  EXPECT_DOUBLE_EQ(a.trough_time.lower, b.trough_time.lower);
+  EXPECT_DOUBLE_EQ(a.recovery_time.upper, b.recovery_time.upper);
+}
+
+TEST(Uncertainty, WiderAlphaNarrowsInterval) {
+  const auto& ds = data::recession("2001-05");
+  const FitResult fit = fit_model("quadratic", ds.series, ds.holdout);
+  UncertaintyOptions narrow = quick_options();
+  narrow.alpha = 0.5;  // 50% interval
+  UncertaintyOptions wide = quick_options();
+  wide.alpha = 0.05;  // 95% interval
+  const auto a = prediction_uncertainty(fit, narrow);
+  const auto b = prediction_uncertainty(fit, wide);
+  EXPECT_LE(a.trough_time.upper - a.trough_time.lower,
+            b.trough_time.upper - b.trough_time.lower + 1e-12);
+}
+
+TEST(Uncertainty, InputValidation) {
+  const auto& ds = data::recession("1990-93");
+  const FitResult fit = fit_model("quadratic", ds.series, ds.holdout);
+  UncertaintyOptions too_few = quick_options();
+  too_few.replicates = 5;
+  EXPECT_THROW(prediction_uncertainty(fit, too_few), std::invalid_argument);
+
+  // A fit without holdout cannot produce predictive metrics.
+  const FitResult no_holdout = fit_model("quadratic", ds.series, 0);
+  EXPECT_THROW(prediction_uncertainty(no_holdout, quick_options()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prm::core

@@ -1,0 +1,122 @@
+#include "core/validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bathtub.hpp"
+#include "data/recessions.hpp"
+#include "stats/goodness_of_fit.hpp"
+
+namespace prm::core {
+namespace {
+
+FitResult known_fit() {
+  // Hand-constructed fit: quadratic params chosen, data with known residuals.
+  auto model = std::shared_ptr<const ResilienceModel>(new QuadraticBathtubModel());
+  const num::Vector p{1.0, -0.1, 0.005};
+  // Data = model + alternating +-0.01 on the fit window, +0.02 on holdout.
+  const QuadraticBathtubModel qm;
+  std::vector<double> v(12);
+  for (std::size_t i = 0; i < 12; ++i) {
+    v[i] = qm.evaluate(static_cast<double>(i), p);
+    if (i < 10) {
+      v[i] += (i % 2 == 0) ? 0.01 : -0.01;
+    } else {
+      v[i] += 0.02;
+    }
+  }
+  FitResult fit(model, p, data::PerformanceSeries("known", std::move(v)), 2);
+  fit.sse = 10 * 0.0001;
+  fit.stop_reason = opt::StopReason::kConverged;
+  return fit;
+}
+
+TEST(Validate, SseOverFitWindow) {
+  const ValidationReport r = validate(known_fit());
+  EXPECT_NEAR(r.sse, 10 * 0.0001, 1e-12);  // ten residuals of 0.01
+}
+
+TEST(Validate, PmseOverHoldout) {
+  const ValidationReport r = validate(known_fit());
+  EXPECT_NEAR(r.pmse, 0.0004, 1e-12);  // two residuals of 0.02 squared, averaged
+}
+
+TEST(Validate, R2AdjMatchesDirectComputation) {
+  const FitResult fit = known_fit();
+  const ValidationReport r = validate(fit);
+  const auto obs = fit.series().values().subspan(0, 10);
+  const auto pred_all = fit.predictions();
+  const double direct = stats::adjusted_r_squared(
+      obs, std::span<const double>(pred_all).subspan(0, 10), 3);
+  EXPECT_DOUBLE_EQ(r.r2_adj, direct);
+}
+
+TEST(Validate, BandCoversFullGridAndEcIsComputed) {
+  const ValidationReport r = validate(known_fit());
+  EXPECT_EQ(r.band.center.size(), 12u);
+  EXPECT_EQ(r.predictions.size(), 12u);
+  // Residuals are 0.01 on the fit window; sigma = sqrt(0.001/8) ~ 0.0112,
+  // band half width ~0.022 -> all 10 fit samples inside; holdout (0.02) too.
+  EXPECT_NEAR(r.ec, 100.0, 1e-9);
+}
+
+TEST(Validate, TighterAlphaNarrowsBand) {
+  const auto r10 = validate(known_fit(), {0.10});
+  const auto r01 = validate(known_fit(), {0.01});
+  EXPECT_LT(r10.band.half_width, r01.band.half_width);
+}
+
+TEST(Validate, AicBicFinite) {
+  const ValidationReport r = validate(known_fit());
+  EXPECT_TRUE(std::isfinite(r.aic));
+  EXPECT_TRUE(std::isfinite(r.bic));
+  EXPECT_GT(r.bic, r.aic - 10.0);  // sanity: same scale
+}
+
+TEST(Validate, RealDatasetProducesSaneReport) {
+  const auto& ds = data::recession("1990-93");
+  const FitResult fit = fit_model("competing-risks", ds.series, ds.holdout);
+  const ValidationReport r = validate(fit);
+  EXPECT_GT(r.r2_adj, 0.9);
+  EXPECT_GT(r.ec, 80.0);
+  EXPECT_LE(r.ec, 100.0);
+  EXPECT_LT(r.pmse, 1e-3);
+  EXPECT_GT(r.sse, 0.0);
+}
+
+TEST(Validate, TheilUSeparatesFittableFromUnfittable) {
+  // Good fits must beat the naive persistence forecast (U < 1); on the
+  // L-shaped 2020-21 collapse every model should LOSE to persistence
+  // (U > 1) -- flat-lining beats a wrong parametric extrapolation.
+  const auto good = validate(fit_model(
+      "competing-risks", data::recession("1990-93").series, 5));
+  EXPECT_LT(good.theil_u, 1.0);
+  EXPECT_GT(good.theil_u, 0.0);
+  const auto bad = validate(fit_model(
+      "competing-risks", data::recession("2020-21").series, 3));
+  EXPECT_GT(bad.theil_u, 1.0);
+}
+
+TEST(Validate, TheilUZeroWithoutHoldout) {
+  const FitResult fit = fit_model("quadratic", data::recession("1990-93").series, 0);
+  const ValidationReport r = validate(fit);
+  EXPECT_DOUBLE_EQ(r.theil_u, 0.0);
+}
+
+TEST(Validate, EcCountsHoldoutSamplesToo) {
+  // Make the model wildly wrong on the holdout only: EC must drop below 100%
+  // even though the fit window is covered.
+  FitResult fit = known_fit();
+  auto series = fit.series();
+  std::vector<double> v(series.values().begin(), series.values().end());
+  v[10] += 1.0;
+  v[11] += 1.0;
+  FitResult moved(fit.model_ptr(), fit.parameters(),
+                  data::PerformanceSeries("k2", std::move(v)), 2);
+  const ValidationReport r = validate(moved);
+  EXPECT_NEAR(r.ec, 100.0 * 10.0 / 12.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace prm::core

@@ -1,0 +1,94 @@
+#include "core/whatif.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/predictor.hpp"
+#include "data/recessions.hpp"
+
+namespace prm::core {
+namespace {
+
+FitResult baseline_fit() {
+  const auto& ds = data::recession("1981-83");
+  return fit_model("competing-risks", ds.series, ds.holdout);
+}
+
+TEST(WhatIf, KappaOneIsIdentity) {
+  const FitResult fit = baseline_fit();
+  for (double t : {0.0, 5.0, 16.0, 30.0, 47.0}) {
+    EXPECT_NEAR(accelerated_value(fit, 1.0, t), fit.evaluate(t), 1e-12);
+  }
+  const auto base = predict_recovery_time(fit, 1.0);
+  const auto acc = accelerated_recovery_time(fit, 1.0, 1.0);
+  ASSERT_TRUE(base.has_value());
+  ASSERT_TRUE(acc.has_value());
+  EXPECT_NEAR(*acc, *base, 1e-9);
+}
+
+TEST(WhatIf, DegradationLegIsUntouched) {
+  const FitResult fit = baseline_fit();
+  const double t_d = predict_trough_time(fit);
+  for (double t = 0.0; t < t_d; t += 2.0) {
+    EXPECT_DOUBLE_EQ(accelerated_value(fit, 3.0, t), fit.evaluate(t));
+  }
+}
+
+TEST(WhatIf, AccelerationHalvesTheRecoverySpan) {
+  const FitResult fit = baseline_fit();
+  const double t_d = predict_trough_time(fit);
+  const auto base = predict_recovery_time(fit, 1.0, t_d);
+  const auto twice = accelerated_recovery_time(fit, 2.0, 1.0);
+  ASSERT_TRUE(base.has_value());
+  ASSERT_TRUE(twice.has_value());
+  EXPECT_NEAR(*twice - t_d, (*base - t_d) / 2.0, 1e-9);
+  // And the accelerated curve really is at the level then.
+  EXPECT_NEAR(accelerated_value(fit, 2.0, *twice), 1.0, 1e-6);
+}
+
+TEST(WhatIf, SlowdownDelaysRecovery) {
+  const FitResult fit = baseline_fit();
+  const auto slow = accelerated_recovery_time(fit, 0.5, 1.0);
+  const auto base = predict_recovery_time(fit, 1.0);
+  ASSERT_TRUE(slow.has_value());
+  EXPECT_GT(*slow, *base);
+}
+
+TEST(WhatIf, RequiredAccelerationInvertsTheForecast) {
+  const FitResult fit = baseline_fit();
+  const auto base = predict_recovery_time(fit, 1.0);
+  ASSERT_TRUE(base.has_value());
+  const double t_d = predict_trough_time(fit);
+  const double target = t_d + 0.5 * (*base - t_d);  // want it twice as fast
+  const auto kappa = required_acceleration(fit, 1.0, target);
+  ASSERT_TRUE(kappa.has_value());
+  EXPECT_NEAR(*kappa, 2.0, 1e-9);
+  // Round trip: that kappa hits the target.
+  const auto hit = accelerated_recovery_time(fit, *kappa, 1.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(*hit, target, 1e-9);
+}
+
+TEST(WhatIf, TargetBeforeTroughIsImpossible) {
+  const FitResult fit = baseline_fit();
+  const double t_d = predict_trough_time(fit);
+  EXPECT_FALSE(required_acceleration(fit, 1.0, t_d - 1.0).has_value());
+  EXPECT_FALSE(required_acceleration(fit, 1.0, t_d).has_value());
+}
+
+TEST(WhatIf, UnreachableLevelPropagatesNullopt) {
+  const FitResult fit = baseline_fit();
+  EXPECT_FALSE(accelerated_recovery_time(fit, 2.0, 10.0).has_value());  // level 10x nominal
+  EXPECT_FALSE(required_acceleration(fit, 10.0, 100.0).has_value());
+}
+
+TEST(WhatIf, InvalidKappaThrows) {
+  const FitResult fit = baseline_fit();
+  EXPECT_THROW(accelerated_value(fit, 0.0, 5.0), std::invalid_argument);
+  EXPECT_THROW(accelerated_value(fit, -1.0, 5.0), std::invalid_argument);
+  EXPECT_THROW(accelerated_recovery_time(fit, 0.0, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prm::core
