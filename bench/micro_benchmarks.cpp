@@ -3,10 +3,15 @@
 // so regressions in the numeric substrate are visible.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <string>
+#include <vector>
+
 #include "core/analysis.hpp"
 #include "core/bathtub.hpp"
 #include "core/metrics.hpp"
 #include "core/mixture.hpp"
+#include "live/monitor.hpp"
 #include "numerics/integrate.hpp"
 #include "numerics/special_functions.hpp"
 #include "optimize/levenberg_marquardt.hpp"
@@ -112,6 +117,57 @@ void BM_GammaPInv(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GammaPInv);
+
+void BM_RefitCold(benchmark::State& state) {
+  // The batch path live::Monitor would pay without warm-starting: a full
+  // multistart fit from scratch on each refit.
+  const auto& ds = data::recession("1990-93");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::fit_model("competing-risks", ds.series, 0));
+  }
+}
+BENCHMARK(BM_RefitCold)->Unit(benchmark::kMillisecond);
+
+void BM_RefitWarm(benchmark::State& state) {
+  // The incremental path: seed the refit with the previous optimum. The
+  // warm seed replaces the whole Latin-hypercube start set, so the ratio
+  // to BM_RefitCold is the wall-clock saving per background refit.
+  const auto& ds = data::recession("1990-93");
+  const auto cold = core::fit_model("competing-risks", ds.series, 0);
+  core::FitOptions opts;
+  opts.warm_start = cold.parameters();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::fit_model("competing-risks", ds.series, 0, opts));
+  }
+}
+BENCHMARK(BM_RefitWarm)->Unit(benchmark::kMillisecond);
+
+void BM_MonitorIngest(benchmark::State& state) {
+  // Steady-state ingest throughput (samples/sec) across many streams: ring
+  // push + incremental CUSUM + registry lookup, no refits (values stay
+  // nominal so no event ever forms).
+  const int num_streams = static_cast<int>(state.range(0));
+  live::MonitorOptions options;
+  options.threads = 1;
+  live::Monitor monitor(options);
+  std::vector<std::string> names;
+  for (int i = 0; i < num_streams; ++i) {
+    std::string name = "stream-";  // two-step append: gcc 12 -Wrestrict
+    name += std::to_string(i);
+    names.push_back(std::move(name));
+  }
+  double t = 0.0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    // Tiny bounded wobble, never a sustained drop: detector stays quiet.
+    const double v = 1.0 + 1e-4 * std::sin(0.1 * t);
+    monitor.ingest(names[i % names.size()], t, v);
+    t += 1.0;
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MonitorIngest)->Arg(1)->Arg(32)->Arg(1000);
 
 void BM_FullTableOneColumn(benchmark::State& state) {
   // One complete Table I cell block: fit + validate on one dataset.

@@ -6,12 +6,16 @@
 //   prm_cli predict   --fit FILE [--level L]    # reuse a saved fit
 //   prm_cli uncertainty --fit FILE [--level L] [--replicates N]
 //   prm_cli detect    --csv data.csv            # hazard-onset detection
+//   prm_cli monitor   --csv F1,F2,... replay CSVs as interleaved live streams
 //   prm_cli models                              # list registered models
 //   prm_cli demo                                # run on a bundled dataset
 //
 // CSV format: "t,value" with a header line; t strictly increasing.
 // With --model omitted, every registered model is fit and the best holdout
-// PMSE wins. Exit code 0 on success, 1 on CLI errors, 2 on data errors.
+// PMSE wins. Unknown subcommands and unknown --options are rejected (usage
+// on stderr, exit 1). Exit code 0 on success, 1 on CLI errors, 2 on data
+// errors.
+#include <algorithm>
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -24,6 +28,7 @@
 #include "core/uncertainty.hpp"
 #include "data/changepoint.hpp"
 #include "data/csv.hpp"
+#include "live/monitor.hpp"
 #include "report/ascii_plot.hpp"
 #include "report/table.hpp"
 
@@ -36,15 +41,18 @@ struct CliArgs {
   std::map<std::string, std::string> options;
 };
 
-std::optional<CliArgs> parse(int argc, char** argv) {
-  if (argc < 2) return std::nullopt;
-  CliArgs args;
-  args.command = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
-    if (std::strncmp(argv[i], "--", 2) != 0) return std::nullopt;
-    args.options[argv[i] + 2] = argv[i + 1];
-  }
-  return args;
+/// Options each subcommand accepts; a command absent here is unknown.
+const std::map<std::string, std::vector<std::string>>& command_options() {
+  static const std::map<std::string, std::vector<std::string>> table = {
+      {"fit", {"csv", "model", "holdout", "loss", "level", "save"}},
+      {"predict", {"fit", "level"}},
+      {"uncertainty", {"fit", "level", "replicates"}},
+      {"detect", {"csv"}},
+      {"monitor", {"csv", "model", "threads", "refit-every", "save", "load"}},
+      {"models", {}},
+      {"demo", {"model", "holdout", "loss", "level", "save"}},
+  };
+  return table;
 }
 
 void usage() {
@@ -54,8 +62,43 @@ void usage() {
             << "  prm_cli predict --fit FILE [--level L]\n"
             << "  prm_cli uncertainty --fit FILE [--level L] [--replicates N]\n"
             << "  prm_cli detect  --csv FILE\n"
+            << "  prm_cli monitor --csv FILE[,FILE...] [--model NAME] [--threads N]\n"
+            << "                  [--refit-every N] [--save FILE] [--load FILE]\n"
             << "  prm_cli models\n"
             << "  prm_cli demo\n";
+}
+
+std::optional<CliArgs> parse(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "prm_cli: missing subcommand\n";
+    return std::nullopt;
+  }
+  CliArgs args;
+  args.command = argv[1];
+  const auto allowed = command_options().find(args.command);
+  if (allowed == command_options().end()) {
+    std::cerr << "prm_cli: unknown subcommand '" << args.command << "'\n";
+    return std::nullopt;
+  }
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) != 0) {
+      std::cerr << "prm_cli: unexpected argument '" << argv[i] << "'\n";
+      return std::nullopt;
+    }
+    const std::string key = argv[i] + 2;
+    const auto& names = allowed->second;
+    if (std::find(names.begin(), names.end(), key) == names.end()) {
+      std::cerr << "prm_cli: unknown option '--" << key << "' for '" << args.command
+                << "'\n";
+      return std::nullopt;
+    }
+    if (i + 1 >= argc) {
+      std::cerr << "prm_cli: missing value for '--" << key << "'\n";
+      return std::nullopt;
+    }
+    args.options[key] = argv[++i];
+  }
+  return args;
 }
 
 void print_predictions(const core::FitResult& fit, double level) {
@@ -159,6 +202,112 @@ int run_fit(const data::PerformanceSeries& series, const CliArgs& args) {
   return 0;
 }
 
+/// Split "a,b,c" on commas, dropping empty fields.
+std::vector<std::string> split_csv_list(const std::string& list) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::size_t end = (comma == std::string::npos) ? list.size() : comma;
+    if (end > start) out.push_back(list.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// Strip directories and a trailing .csv to name the stream after its file.
+std::string stream_name_for(const std::string& path) {
+  std::string name = path;
+  const std::size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  if (name.size() > 4 && name.compare(name.size() - 4, 4, ".csv") == 0) {
+    name = name.substr(0, name.size() - 4);
+  }
+  return name.empty() ? path : name;
+}
+
+int run_monitor(const CliArgs& args) {
+  using report::Table;
+  live::MonitorOptions options;
+  if (args.options.count("model")) options.model = args.options.at("model");
+  if (args.options.count("threads")) {
+    options.threads = static_cast<std::size_t>(std::stoul(args.options.at("threads")));
+  }
+  if (args.options.count("refit-every")) {
+    options.refit_every =
+        static_cast<std::size_t>(std::stoul(args.options.at("refit-every")));
+  }
+
+  std::unique_ptr<live::Monitor> monitor;
+  if (args.options.count("load")) {
+    monitor = live::Monitor::load_file(args.options.at("load"), options);
+    std::cout << "resumed monitor with " << monitor->stream_count() << " stream(s) from "
+              << args.options.at("load") << '\n';
+  } else {
+    monitor = std::make_unique<live::Monitor>(options);
+  }
+
+  monitor->alerts().subscribe([](const live::Alert& alert) {
+    std::cout << "[alert] " << alert.rule << ": " << alert.message << '\n';
+  });
+  live::AlertRule degrading;
+  degrading.name = "degrading";
+  degrading.kind = live::AlertKind::kPhaseTransition;
+  degrading.phase = live::StreamPhase::kDegrading;
+  degrading.once_per_event = false;
+  monitor->alerts().add_rule(degrading);
+  live::AlertRule restored;
+  restored.name = "restored";
+  restored.kind = live::AlertKind::kPhaseTransition;
+  restored.phase = live::StreamPhase::kRestored;
+  restored.once_per_event = false;
+  monitor->alerts().add_rule(restored);
+
+  // Merge every file's samples into one global time-ordered replay, so the
+  // monitor sees the streams interleaved as a live deployment would.
+  struct Sample {
+    double t;
+    double value;
+    std::string stream;
+  };
+  std::vector<Sample> replay;
+  if (args.options.count("csv")) {
+    for (const std::string& path : split_csv_list(args.options.at("csv"))) {
+      const std::string name = stream_name_for(path);
+      const data::PerformanceSeries series = data::read_csv_file(path, name);
+      for (std::size_t i = 0; i < series.size(); ++i) {
+        replay.push_back({series.time(i), series.value(i), name});
+      }
+    }
+  }
+  std::stable_sort(replay.begin(), replay.end(),
+                   [](const Sample& a, const Sample& b) { return a.t < b.t; });
+  for (const Sample& s : replay) monitor->ingest(s.stream, s.t, s.value);
+  monitor->drain();
+
+  std::cout << "\nreplayed " << replay.size() << " sample(s) into "
+            << monitor->stream_count() << " stream(s); " << monitor->refits_executed()
+            << " refit(s), " << monitor->refits_coalesced() << " coalesced\n\n";
+  Table table({"Stream", "Phase", "Samples", "Events", "Pred. t_r", "Refits (warm)"});
+  for (const live::StreamSnapshot& snap : monitor->snapshot()) {
+    table.add_row({snap.name, std::string(live::to_string(snap.phase)),
+                   std::to_string(snap.samples_seen), std::to_string(snap.event_ordinal),
+                   snap.predicted_recovery_time
+                       ? Table::fixed(*snap.predicted_recovery_time, 2)
+                       : std::string("-"),
+                   std::to_string(snap.refits) + " (" + std::to_string(snap.warm_refits) +
+                       ")"});
+  }
+  table.print(std::cout);
+
+  if (args.options.count("save")) {
+    monitor->save_file(args.options.at("save"));
+    std::cout << "\nmonitor state saved to " << args.options.at("save") << '\n';
+  }
+  return 0;
+}
+
 int run_detect(const data::PerformanceSeries& series) {
   const auto onset = data::find_hazard_onset(series);
   if (!onset) {
@@ -254,6 +403,13 @@ int main(int argc, char** argv) {
                   << " of replicates never reach the recovery level\n";
       }
       return 0;
+    }
+    if (args->command == "monitor") {
+      if (!args->options.count("csv") && !args->options.count("load")) {
+        usage();
+        return 1;
+      }
+      return run_monitor(*args);
     }
     if (args->command == "fit" || args->command == "detect") {
       if (!args->options.count("csv")) {

@@ -111,31 +111,44 @@ FitResult fit_model(const ResilienceModel& model, const data::PerformanceSeries&
   problem.num_parameters = model.num_parameters();
   problem.num_residuals = fit_window.size();
 
-  // Starting points: model guesses mapped to internal space. Guesses that
-  // violate the bounds are clipped into them by a tiny margin rather than
-  // dropped.
-  std::vector<num::Vector> starts;
-  for (const num::Vector& g : model.initial_guesses(fit_window)) {
-    num::Vector clipped = g;
+  // External-space points that violate the bounds are clipped into them by a
+  // tiny margin rather than dropped.
+  const auto clip_into_bounds = [&transform](num::Vector p) {
     const auto& bounds = transform.bounds();
-    for (std::size_t i = 0; i < clipped.size(); ++i) {
+    for (std::size_t i = 0; i < p.size(); ++i) {
       switch (bounds[i].kind) {
         case opt::BoundKind::kPositive:
-          clipped[i] = std::max(clipped[i], 1e-12);
+          p[i] = std::max(p[i], 1e-12);
           break;
         case opt::BoundKind::kNegative:
-          clipped[i] = std::min(clipped[i], -1e-12);
+          p[i] = std::min(p[i], -1e-12);
           break;
         case opt::BoundKind::kInterval: {
           const double pad = 1e-9 * (bounds[i].hi - bounds[i].lo);
-          clipped[i] = std::clamp(clipped[i], bounds[i].lo + pad, bounds[i].hi - pad);
+          p[i] = std::clamp(p[i], bounds[i].lo + pad, bounds[i].hi - pad);
           break;
         }
         case opt::BoundKind::kFree:
           break;
       }
     }
-    starts.push_back(transform.to_internal(clipped));
+    return p;
+  };
+
+  // Starting points: model guesses mapped to internal space.
+  std::vector<num::Vector> starts;
+  for (const num::Vector& g : model.initial_guesses(fit_window)) {
+    starts.push_back(transform.to_internal(clip_into_bounds(g)));
+  }
+
+  // Warm start (previous solution) mapped the same way; the multistart
+  // driver then skips the regular start set entirely.
+  opt::MultistartOptions ms_options = options.multistart;
+  if (options.warm_start) {
+    if (options.warm_start->size() != model.num_parameters()) {
+      throw std::invalid_argument("fit_model: warm start size does not match the model");
+    }
+    ms_options.warm_start = transform.to_internal(clip_into_bounds(*options.warm_start));
   }
 
   // Search box corners mapped to internal space (the transforms are
@@ -149,7 +162,7 @@ FitResult fit_model(const ResilienceModel& model, const data::PerformanceSeries&
   }
 
   const opt::MultistartResult ms =
-      opt::multistart_least_squares(problem, starts, lo_int, hi_int, options.multistart);
+      opt::multistart_least_squares(problem, starts, lo_int, hi_int, ms_options);
 
   num::Vector best_params;
   if (ms.best.parameters.size() == model.num_parameters()) {

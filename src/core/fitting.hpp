@@ -9,6 +9,7 @@
 
 #include <limits>
 #include <memory>
+#include <optional>
 
 #include "core/model.hpp"
 #include "data/time_series.hpp"
@@ -31,6 +32,16 @@ struct FitOptions {
   /// non-negative and match the fit-window length; throws otherwise.
   /// Composable with `loss` (weights apply before whitening).
   std::vector<double> weights;
+
+  /// Optional warm start: a previous parameter vector (external/bounded
+  /// space, e.g. FitResult::parameters() from an earlier fit of the same
+  /// stream) assumed to be near the new optimum. When set, the solver runs
+  /// only this seed (plus `multistart.warm_jitter` jittered copies and
+  /// `multistart.warm_sampled_starts` safety starts) instead of the full
+  /// multistart -- the incremental-refit fast path used by prm::live.
+  /// Out-of-bounds components are clipped into the parameter bounds; throws
+  /// std::invalid_argument on a size mismatch.
+  std::optional<num::Vector> warm_start;
 };
 
 /// A fitted model bound to the series it was fitted on.

@@ -38,6 +38,10 @@ PerformanceSeries read_csv(std::istream& in, std::string name, const CsvOptions&
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty() || line == "\r") continue;
+    // '#'-prefixed comment lines (allowing leading blanks) are skipped
+    // anywhere, including before the header.
+    const std::size_t content = line.find_first_not_of(" \t");
+    if (content != std::string::npos && line[content] == '#') continue;
     if (!skipped_header) {
       skipped_header = true;
       continue;
@@ -53,6 +57,12 @@ PerformanceSeries read_csv(std::istream& in, std::string name, const CsvOptions&
         !parse_double(std::string_view(line).substr(comma + 1), &v)) {
       throw std::runtime_error("read_csv: line " + std::to_string(line_no) +
                                ": non-numeric field");
+    }
+    if (!times.empty() && !(t > times.back())) {
+      std::ostringstream msg;
+      msg << "read_csv: line " << line_no << ": time column must be strictly "
+          << "increasing (t = " << t << " after " << times.back() << ")";
+      throw std::runtime_error(msg.str());
     }
     times.push_back(t);
     values.push_back(v);

@@ -16,9 +16,11 @@ struct CsvOptions {
   int precision = 10;          ///< Output digits.
 };
 
-/// Parse a two-column CSV stream into a series named `name`.
-/// Throws std::runtime_error on malformed rows (wrong column count,
-/// non-numeric fields) with a 1-based line number in the message.
+/// Parse a two-column CSV stream into a series named `name`. Lines whose
+/// first non-blank character is '#' are comments and are skipped. Throws
+/// std::runtime_error on malformed rows (wrong column count, non-numeric
+/// fields, non-strictly-increasing time column) with a 1-based line number
+/// in the message.
 PerformanceSeries read_csv(std::istream& in, std::string name, const CsvOptions& opts = {});
 
 /// Read from a file path; throws std::runtime_error if unreadable.

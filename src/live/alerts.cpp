@@ -1,0 +1,142 @@
+#include "live/alerts.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace prm::live {
+
+std::string_view to_string(AlertKind kind) {
+  switch (kind) {
+    case AlertKind::kValueBelow: return "value-below";
+    case AlertKind::kValueAbove: return "value-above";
+    case AlertKind::kPhaseTransition: return "phase-transition";
+    case AlertKind::kRecoveryBeyond: return "recovery-beyond";
+  }
+  return "unknown";
+}
+
+void AlertEngine::add_rule(AlertRule rule) {
+  if (rule.name.empty()) {
+    throw std::invalid_argument("AlertEngine::add_rule: rule name must be non-empty");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const AlertRule& existing : rules_) {
+    if (existing.name == rule.name) {
+      throw std::invalid_argument("AlertEngine::add_rule: duplicate rule name '" +
+                                  rule.name + "'");
+    }
+  }
+  rules_.push_back(std::move(rule));
+}
+
+int AlertEngine::subscribe(Callback callback) {
+  if (!callback) {
+    throw std::invalid_argument("AlertEngine::subscribe: null callback");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int id = next_subscriber_id_++;
+  subscribers_.emplace_back(id, std::move(callback));
+  return id;
+}
+
+void AlertEngine::unsubscribe(int id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  subscribers_.erase(std::remove_if(subscribers_.begin(), subscribers_.end(),
+                                    [id](const auto& s) { return s.first == id; }),
+                     subscribers_.end());
+}
+
+std::size_t AlertEngine::rule_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rules_.size();
+}
+
+bool AlertEngine::armed(std::size_t rule_index, const AlertRule& rule,
+                        const std::string& stream) {
+  // Caller holds mutex_.
+  if (!rule.once_per_event) return true;
+  return fired_.insert({rule_index, stream}).second;
+}
+
+void AlertEngine::reset_stream(const std::string& stream) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = fired_.begin(); it != fired_.end();) {
+    it = (it->second == stream) ? fired_.erase(it) : std::next(it);
+  }
+}
+
+std::vector<Alert> AlertEngine::fire(std::vector<Alert> alerts) {
+  if (alerts.empty()) return alerts;
+  std::vector<Callback> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    callbacks.reserve(subscribers_.size());
+    for (const auto& [id, cb] : subscribers_) callbacks.push_back(cb);
+  }
+  for (const Alert& alert : alerts) {
+    for (const Callback& cb : callbacks) cb(alert);
+  }
+  return alerts;
+}
+
+std::vector<Alert> AlertEngine::on_sample(const std::string& stream, double t,
+                                          double value, StreamPhase phase) {
+  std::vector<Alert> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < rules_.size(); ++i) {
+      const AlertRule& rule = rules_[i];
+      const bool hit = (rule.kind == AlertKind::kValueBelow && value < rule.threshold) ||
+                       (rule.kind == AlertKind::kValueAbove && value > rule.threshold);
+      if (!hit || !armed(i, rule, stream)) continue;
+      std::ostringstream msg;
+      msg << stream << ": value " << value
+          << (rule.kind == AlertKind::kValueBelow ? " below " : " above ")
+          << rule.threshold << " at t = " << t;
+      out.push_back({rule.name, stream, t, value, phase, msg.str()});
+    }
+  }
+  return fire(std::move(out));
+}
+
+std::vector<Alert> AlertEngine::on_transition(const std::string& stream,
+                                              const TransitionEvent& event) {
+  std::vector<Alert> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < rules_.size(); ++i) {
+      const AlertRule& rule = rules_[i];
+      if (rule.kind != AlertKind::kPhaseTransition) continue;
+      if (rule.phase && *rule.phase != event.to) continue;
+      if (!armed(i, rule, stream)) continue;
+      std::ostringstream msg;
+      msg << stream << ": " << to_string(event.from) << " -> " << to_string(event.to)
+          << " at t = " << event.t;
+      out.push_back({rule.name, stream, event.t, 0.0, event.to, msg.str()});
+    }
+  }
+  return fire(std::move(out));
+}
+
+std::vector<Alert> AlertEngine::on_forecast(const std::string& stream, double t,
+                                            double predicted_recovery_time,
+                                            StreamPhase phase) {
+  std::vector<Alert> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < rules_.size(); ++i) {
+      const AlertRule& rule = rules_[i];
+      if (rule.kind != AlertKind::kRecoveryBeyond) continue;
+      if (!(predicted_recovery_time > rule.threshold)) continue;
+      if (!armed(i, rule, stream)) continue;
+      std::ostringstream msg;
+      msg << stream << ": predicted recovery t_r = " << predicted_recovery_time
+          << " exceeds budget " << rule.threshold << " (forecast at t = " << t << ")";
+      out.push_back({rule.name, stream, t, predicted_recovery_time, phase, msg.str()});
+    }
+  }
+  return fire(std::move(out));
+}
+
+}  // namespace prm::live

@@ -1,0 +1,87 @@
+// Threshold and level-crossing alert rules with a subscriber callback API.
+//
+// Rules are evaluated by live::Monitor on every ingested sample, on every
+// state-machine transition, and whenever a refit produces a new recovery
+// forecast. Fired alerts are delivered synchronously to every subscriber
+// (callbacks run outside the engine lock and must be thread-safe: with a
+// multi-threaded refit pool, forecast alerts fire from worker threads).
+//
+// `once_per_event` rules re-arm when a stream starts a new disruption event
+// (Monitor calls reset_stream on each NOMINAL/RESTORED -> DEGRADING edge).
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "live/stream_state.hpp"
+
+namespace prm::live {
+
+enum class AlertKind {
+  kValueBelow,       ///< Observed value drops below `threshold`.
+  kValueAbove,       ///< Observed value rises above `threshold`.
+  kPhaseTransition,  ///< The stream entered `phase` (any transition if unset).
+  kRecoveryBeyond,   ///< Predicted recovery time exceeds `threshold` (aligned t).
+};
+
+std::string_view to_string(AlertKind kind);
+
+struct AlertRule {
+  std::string name;
+  AlertKind kind = AlertKind::kValueBelow;
+  double threshold = 0.0;            ///< Value level or recovery-time budget.
+  std::optional<StreamPhase> phase;  ///< kPhaseTransition only: target filter.
+  bool once_per_event = true;        ///< Fire once per (stream, event).
+};
+
+struct Alert {
+  std::string rule;
+  std::string stream;
+  double t = 0.0;      ///< Time of the triggering sample / forecast.
+  double value = 0.0;  ///< Observed value, or predicted t_r for kRecoveryBeyond.
+  StreamPhase phase = StreamPhase::kNominal;
+  std::string message;
+};
+
+class AlertEngine {
+ public:
+  using Callback = std::function<void(const Alert&)>;
+
+  /// Register a rule; throws std::invalid_argument on an empty or duplicate
+  /// rule name.
+  void add_rule(AlertRule rule);
+
+  /// Register a callback invoked for every fired alert; returns an id for
+  /// unsubscribe().
+  int subscribe(Callback callback);
+  void unsubscribe(int id);
+
+  // Evaluation entry points (thread-safe). Each returns the alerts fired,
+  // after delivering them to every subscriber.
+  std::vector<Alert> on_sample(const std::string& stream, double t, double value,
+                               StreamPhase phase);
+  std::vector<Alert> on_transition(const std::string& stream, const TransitionEvent& event);
+  std::vector<Alert> on_forecast(const std::string& stream, double t,
+                                 double predicted_recovery_time, StreamPhase phase);
+
+  /// Re-arm once_per_event rules for `stream` (new disruption event began).
+  void reset_stream(const std::string& stream);
+
+  std::size_t rule_count() const;
+
+ private:
+  std::vector<Alert> fire(std::vector<Alert> alerts);
+  bool armed(std::size_t rule_index, const AlertRule& rule, const std::string& stream);
+
+  mutable std::mutex mutex_;
+  std::vector<AlertRule> rules_;
+  std::set<std::pair<std::size_t, std::string>> fired_;  ///< (rule, stream) latches.
+  std::vector<std::pair<int, Callback>> subscribers_;
+  int next_subscriber_id_ = 1;
+};
+
+}  // namespace prm::live

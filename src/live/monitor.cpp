@@ -1,0 +1,356 @@
+#include "live/monitor.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <stdexcept>
+#include <utility>
+
+#include "core/model.hpp"
+#include "core/predictor.hpp"
+#include "core/serialize.hpp"
+
+namespace prm::live {
+
+namespace {
+
+constexpr int kFormatVersion = 1;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("Monitor::load: " + what);
+}
+
+void expect_key(std::istream& in, const std::string& key) {
+  std::string k;
+  if (!(in >> k)) fail("unexpected end of input, wanted '" + key + "'");
+  if (k != key) fail("expected '" + key + "', found '" + k + "'");
+}
+
+double read_double(std::istream& in, const std::string& key) {
+  double v = 0.0;
+  if (!(in >> v)) fail("bad value for '" + key + "'");
+  return v;
+}
+
+std::uint64_t read_u64(std::istream& in, const std::string& key) {
+  std::uint64_t v = 0;
+  if (!(in >> v)) fail("bad count for '" + key + "'");
+  return v;
+}
+
+void write_optional(std::ostream& out, const std::optional<double>& v) {
+  out << ' ' << (v ? 1 : 0) << ' ' << (v ? *v : 0.0);
+}
+
+std::optional<double> read_optional(std::istream& in, const std::string& key) {
+  const std::uint64_t has = read_u64(in, key);
+  const double v = read_double(in, key);
+  return has ? std::optional<double>(v) : std::nullopt;
+}
+
+}  // namespace
+
+Monitor::Monitor(MonitorOptions options)
+    : options_(std::move(options)), scheduler_(options_.threads) {
+  if (options_.refit_every == 0) {
+    throw std::invalid_argument("Monitor: refit_every must be >= 1");
+  }
+  if (!(options_.horizon_factor > 1.0)) {
+    throw std::invalid_argument("Monitor: horizon_factor must exceed 1");
+  }
+  const auto model = core::ModelRegistry::instance().create(options_.model);
+  model_parameters_ = model->num_parameters();
+  min_fit_samples_ = std::max(options_.min_fit_samples, model_parameters_ + 2);
+  // Surface a bad stream config at construction, not at first ingest.
+  [[maybe_unused]] StreamState probe("probe", options_.stream);
+}
+
+Monitor::~Monitor() = default;
+
+Monitor::Entry& Monitor::entry_for(const std::string& name) {
+  {
+    std::shared_lock<std::shared_mutex> lock(registry_mutex_);
+    auto it = streams_.find(name);
+    if (it != streams_.end()) return *it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(registry_mutex_);
+  auto it = streams_.find(name);  // double-checked: another thread may have won
+  if (it == streams_.end()) {
+    // Construct before inserting: a throwing StreamState ctor (bad stream
+    // name) must not leave a null entry in the registry.
+    auto entry = std::make_unique<Entry>(name, options_.stream);
+    it = streams_.emplace(name, std::move(entry)).first;
+  }
+  return *it->second;
+}
+
+std::vector<TransitionEvent> Monitor::ingest(const std::string& stream, double t,
+                                             double value) {
+  Entry& entry = entry_for(stream);
+
+  std::vector<TransitionEvent> transitions;
+  StreamPhase phase_after = StreamPhase::kNominal;
+  bool new_event = false;
+  bool want_refit = false;
+  std::uint64_t ordinal = 0;
+  {
+    std::lock_guard<std::mutex> lock(entry.m);
+    transitions = entry.state.push(t, value);
+    phase_after = entry.state.phase();
+    ordinal = entry.state.event_ordinal();
+
+    for (const TransitionEvent& tr : transitions) {
+      if (tr.to == StreamPhase::kDegrading && tr.from != StreamPhase::kRecovering) {
+        new_event = true;  // fresh disruption, not a W-shape back-edge
+      }
+    }
+    if (new_event) {
+      entry.predicted_recovery.reset();
+      entry.predicted_trough_time.reset();
+      entry.predicted_trough_value.reset();
+      entry.samples_at_last_refit = 0;
+      entry.state.set_predicted_recovery(std::nullopt);
+    }
+
+    if (entry.state.event_active() && entry.state.event_size() >= min_fit_samples_ &&
+        entry.state.event_size() >= entry.samples_at_last_refit + options_.refit_every) {
+      want_refit = true;
+      entry.samples_at_last_refit = entry.state.event_size();
+    }
+  }
+
+  // Alerts and refit scheduling happen outside the entry lock: callbacks may
+  // be slow, and a refit job locking entry.m must not deadlock with us.
+  if (new_event) alerts_.reset_stream(stream);
+  for (const TransitionEvent& tr : transitions) alerts_.on_transition(stream, tr);
+  alerts_.on_sample(stream, t, value, phase_after);
+
+  if (want_refit) {
+    // The job snapshots the event at EXECUTION time, not here: the scheduler
+    // coalesces bursts, and the surviving job should fit the freshest data
+    // (and warm-start from whatever fit landed in the meantime).
+    scheduler_.schedule(stream, [this, &entry, stream, ordinal] {
+      refit_job(entry, stream, ordinal);
+    });
+  }
+  return transitions;
+}
+
+void Monitor::refit_job(Entry& entry, const std::string& name, std::uint64_t ordinal) {
+  try {
+    data::PerformanceSeries series;
+    std::optional<num::Vector> warm_start;
+    {
+      std::lock_guard<std::mutex> lock(entry.m);
+      if (entry.state.event_ordinal() != ordinal) return;  // stale: event ended
+      series = entry.state.event_series();
+      if (entry.fit && entry.fit_event_ordinal == ordinal) {
+        warm_start = entry.fit->parameters();
+      }
+    }
+    core::FitOptions fit_options = options_.fit;
+    fit_options.warm_start = warm_start;
+    core::FitResult fit = core::fit_model(options_.model, series, /*holdout=*/0,
+                                          fit_options);
+    if (!fit.success()) throw std::runtime_error("fit did not converge");
+
+    const std::optional<double> t_r = core::predict_recovery_time(
+        fit, options_.stream.recovery_fraction, std::nullopt, options_.horizon_factor);
+    const double trough_t = core::predict_trough_time(fit);
+    const double trough_v = core::predict_trough_value(fit);
+
+    double forecast_at = 0.0;
+    StreamPhase phase = StreamPhase::kNominal;
+    {
+      std::lock_guard<std::mutex> lock(entry.m);
+      if (entry.state.event_ordinal() != ordinal) return;  // stale: event ended
+      entry.fit = std::move(fit);
+      entry.fit_event_ordinal = ordinal;
+      entry.predicted_recovery = t_r;
+      entry.predicted_trough_time = trough_t;
+      entry.predicted_trough_value = trough_v;
+      entry.state.set_predicted_recovery(t_r);
+      ++entry.refits;
+      if (warm_start) ++entry.warm_refits;
+      forecast_at = entry.state.last_time();
+      phase = entry.state.phase();
+    }
+    if (t_r) alerts_.on_forecast(name, forecast_at, *t_r, phase);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(entry.m);
+    ++entry.failed_refits;
+  }
+}
+
+void Monitor::drain() { scheduler_.drain(); }
+
+StreamSnapshot Monitor::fill_snapshot(Entry& entry) const {
+  const StreamState& state = entry.state;
+  StreamSnapshot snap;
+  snap.name = state.name();
+  snap.phase = state.phase();
+  snap.samples_seen = state.samples_seen();
+  snap.last_time = state.last_time();
+  snap.last_value = state.last_value();
+  snap.event_ordinal = state.event_ordinal();
+  snap.event_active = state.event_active();
+  snap.onset_time = state.onset_time();
+  snap.trough_time = state.trough_time();
+  snap.trough_value = state.trough_value();
+  snap.refits = entry.refits;
+  snap.warm_refits = entry.warm_refits;
+  snap.failed_refits = entry.failed_refits;
+
+  if (entry.fit && entry.fit_event_ordinal == state.event_ordinal()) {
+    snap.has_fit = true;
+    snap.model = options_.model;
+    snap.parameters = entry.fit->parameters();
+    snap.fit_sse = entry.fit->sse;
+    snap.predicted_recovery_time = entry.predicted_recovery;
+    snap.predicted_trough_time = entry.predicted_trough_time;
+    snap.predicted_trough_value = entry.predicted_trough_value;
+
+    // Eight interval metrics over the UNSEEN horizon [t_now, predicted t_r],
+    // both in aligned (event) time.
+    if (snap.event_active && snap.onset_time && entry.predicted_recovery) {
+      const double t_now = state.last_time() - *snap.onset_time;
+      const double t_r = *entry.predicted_recovery;
+      if (t_r > t_now) {
+        const double t_d = entry.predicted_trough_time.value_or(t_now);
+        try {
+          for (std::size_t i = 0; i < core::kAllMetrics.size(); ++i) {
+            snap.horizon_metrics[i] = core::continuous_metric(
+                entry.fit->model(), snap.parameters, core::kAllMetrics[i], t_now, t_r,
+                t_d, t_r);
+          }
+          snap.has_horizon_metrics = true;
+        } catch (const std::exception&) {
+          snap.has_horizon_metrics = false;  // degenerate window; skip quietly
+        }
+      }
+    }
+  }
+  return snap;
+}
+
+std::vector<StreamSnapshot> Monitor::snapshot() const {
+  std::shared_lock<std::shared_mutex> lock(registry_mutex_);
+  std::vector<StreamSnapshot> out;
+  out.reserve(streams_.size());
+  for (const auto& [name, entry] : streams_) {
+    std::lock_guard<std::mutex> entry_lock(entry->m);
+    out.push_back(fill_snapshot(*entry));
+  }
+  return out;
+}
+
+StreamSnapshot Monitor::snapshot(const std::string& stream) const {
+  std::shared_lock<std::shared_mutex> lock(registry_mutex_);
+  auto it = streams_.find(stream);
+  if (it == streams_.end()) {
+    throw std::out_of_range("Monitor::snapshot: unknown stream '" + stream + "'");
+  }
+  std::lock_guard<std::mutex> entry_lock(it->second->m);
+  return fill_snapshot(*it->second);
+}
+
+std::vector<std::string> Monitor::stream_names() const {
+  std::shared_lock<std::shared_mutex> lock(registry_mutex_);
+  std::vector<std::string> names;
+  names.reserve(streams_.size());
+  for (const auto& [name, entry] : streams_) names.push_back(name);
+  return names;
+}
+
+std::size_t Monitor::stream_count() const {
+  std::shared_lock<std::shared_mutex> lock(registry_mutex_);
+  return streams_.size();
+}
+
+void Monitor::save(std::ostream& out) {
+  drain();  // quiesce refits so no entry mutates mid-snapshot
+  std::shared_lock<std::shared_mutex> lock(registry_mutex_);
+  out << "prm-live " << kFormatVersion << '\n';
+  out << std::setprecision(17);
+  out << "model " << options_.model << '\n';
+  out << "streams " << streams_.size() << '\n';
+  for (const auto& [name, entry] : streams_) {
+    std::lock_guard<std::mutex> entry_lock(entry->m);
+    out << "stream " << name << '\n';
+    entry->state.save(out);
+    const bool has_fit = entry->fit.has_value();
+    out << "fit " << (has_fit ? 1 : 0) << '\n';
+    if (has_fit) core::save_fit(out, *entry->fit);
+    out << "fit_event_ordinal " << entry->fit_event_ordinal << '\n';
+    out << "counters " << entry->refits << ' ' << entry->warm_refits << ' '
+        << entry->failed_refits << ' ' << entry->samples_at_last_refit << '\n';
+    out << "predicted";
+    write_optional(out, entry->predicted_recovery);
+    write_optional(out, entry->predicted_trough_time);
+    write_optional(out, entry->predicted_trough_value);
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("Monitor::save: write failed");
+}
+
+void Monitor::save_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("Monitor::save_file: cannot open " + path);
+  save(out);
+  if (!out) throw std::runtime_error("Monitor::save_file: write failed for " + path);
+}
+
+std::unique_ptr<Monitor> Monitor::load(std::istream& in, MonitorOptions options) {
+  expect_key(in, "prm-live");
+  int version = 0;
+  if (!(in >> version)) fail("missing format version");
+  if (version != kFormatVersion) {
+    fail("unsupported format version " + std::to_string(version));
+  }
+  expect_key(in, "model");
+  std::string model_name;
+  if (!(in >> model_name)) fail("missing model name");
+  options.model = model_name;  // keep the warm-start path consistent on resume
+
+  auto monitor = std::unique_ptr<Monitor>(new Monitor(std::move(options)));
+
+  expect_key(in, "streams");
+  const std::uint64_t count = read_u64(in, "streams");
+  for (std::uint64_t i = 0; i < count; ++i) {
+    expect_key(in, "stream");
+    std::string name;
+    if (!(in >> name)) fail("missing stream name");
+
+    auto entry = std::make_unique<Entry>(
+        StreamState::load(in, monitor->options_.stream));
+    expect_key(in, "fit");
+    if (read_u64(in, "fit") != 0) entry->fit = core::load_fit(in);
+    expect_key(in, "fit_event_ordinal");
+    entry->fit_event_ordinal = read_u64(in, "fit_event_ordinal");
+    expect_key(in, "counters");
+    entry->refits = read_u64(in, "counters");
+    entry->warm_refits = read_u64(in, "counters");
+    entry->failed_refits = read_u64(in, "counters");
+    entry->samples_at_last_refit =
+        static_cast<std::size_t>(read_u64(in, "counters"));
+    expect_key(in, "predicted");
+    entry->predicted_recovery = read_optional(in, "predicted");
+    entry->predicted_trough_time = read_optional(in, "predicted");
+    entry->predicted_trough_value = read_optional(in, "predicted");
+
+    if (entry->state.name() != name) {
+      fail("stream record name mismatch: '" + name + "' vs '" + entry->state.name() +
+           "'");
+    }
+    monitor->streams_.emplace(name, std::move(entry));
+  }
+  return monitor;
+}
+
+std::unique_ptr<Monitor> Monitor::load_file(const std::string& path,
+                                            MonitorOptions options) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("Monitor::load_file: cannot open " + path);
+  return load(in, std::move(options));
+}
+
+}  // namespace prm::live

@@ -1,0 +1,197 @@
+// live::Monitor -- the public facade of the online resilience engine.
+//
+// Ingests timestamped performance samples for many named streams
+// concurrently, walks each stream through the StreamState machine, and keeps
+// a continuously refit resilience model per active disruption event:
+//
+//   ingest(stream, t, value)   feed one sample        (thread-safe, O(1)-ish)
+//   snapshot()                 per-stream state, latest fit, predicted t_r,
+//                              and the eight interval metrics over the
+//                              unseen horizon [t_now, t_r]
+//   alerts()                   threshold / transition / forecast alert rules
+//   save() / load()            snapshot persistence so a monitor survives
+//                              restart (fits stored via core/serialize)
+//
+// Refits run on a RefitScheduler worker pool: the first fit of an event is a
+// cold full multistart; every subsequent refit warm-starts from the stream's
+// previous parameter vector (FitOptions::warm_start), which is what makes
+// per-sample refitting affordable. A fit's predicted recovery time is fed
+// back into the stream's state machine, where it gates the RESTORED
+// transition.
+//
+// Threading model (see DESIGN.md §7 for the full table):
+//  * ingest/snapshot/stream_names/drain/counters: thread-safe, may be called
+//    from any number of threads.
+//  * Per-stream work is serialized by a per-stream mutex; distinct streams
+//    never contend.
+//  * Alert callbacks fire on the calling thread (ingest) or on a refit
+//    worker (forecast alerts) -- they must be thread-safe.
+//  * save() drains in-flight refits, then snapshots under the locks; load()
+//    returns a brand-new monitor before any thread can touch it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/fitting.hpp"
+#include "core/metrics.hpp"
+#include "live/alerts.hpp"
+#include "live/refit_scheduler.hpp"
+#include "live/stream_state.hpp"
+
+namespace prm::live {
+
+struct MonitorOptions {
+  /// Per-stream state machine knobs (ring capacity, CUSUM, thresholds).
+  StreamConfig stream;
+
+  /// Registry name of the model refit per event. Validated at construction.
+  std::string model = "competing-risks";
+
+  /// Schedule a refit every this many new event samples.
+  std::size_t refit_every = 4;
+
+  /// Do not fit before this many event samples (raised internally to the
+  /// model's parameter count + 2 when smaller).
+  std::size_t min_fit_samples = 8;
+
+  /// Refit worker pool size.
+  std::size_t threads = 2;
+
+  /// Search horizon for the recovery-time prediction, as a multiple of the
+  /// observed event span (see core::predict_recovery_time).
+  double horizon_factor = 4.0;
+
+  /// Fit options for the cold (first) fit of an event; warm refits reuse
+  /// these plus FitOptions::warm_start.
+  core::FitOptions fit;
+};
+
+/// One stream's state as returned by snapshot(). Times labelled "aligned"
+/// are measured from the event's pre-hazard peak (t = 0), in the same units
+/// the samples use; values are normalized to the peak value.
+struct StreamSnapshot {
+  std::string name;
+  StreamPhase phase = StreamPhase::kNominal;
+  std::uint64_t samples_seen = 0;
+  double last_time = 0.0;
+  double last_value = 0.0;
+  std::uint64_t event_ordinal = 0;  ///< 0 = never disrupted.
+  bool event_active = false;
+  std::optional<double> onset_time;     ///< Absolute time of the pre-hazard peak.
+  std::optional<double> trough_time;    ///< Observed, aligned.
+  std::optional<double> trough_value;   ///< Observed, aligned.
+
+  bool has_fit = false;  ///< The fields below are meaningful only when true.
+  std::string model;
+  num::Vector parameters;
+  double fit_sse = 0.0;
+  std::optional<double> predicted_recovery_time;  ///< Aligned.
+  std::optional<double> predicted_trough_time;    ///< Aligned.
+  std::optional<double> predicted_trough_value;
+
+  /// The eight interval metrics (core::kAllMetrics order) computed on the
+  /// fitted curve over the UNSEEN horizon [t_now, predicted t_r].
+  bool has_horizon_metrics = false;
+  std::array<double, 8> horizon_metrics{};
+
+  std::uint64_t refits = 0;
+  std::uint64_t warm_refits = 0;
+  std::uint64_t failed_refits = 0;
+};
+
+class Monitor {
+ public:
+  /// Throws std::out_of_range when options.model is not registered and
+  /// std::invalid_argument on out-of-range knobs.
+  explicit Monitor(MonitorOptions options = {});
+  ~Monitor();
+
+  Monitor(const Monitor&) = delete;
+  Monitor& operator=(const Monitor&) = delete;
+
+  /// Feed one sample, creating the stream on first sight. Returns the state
+  /// transitions this sample fired (delivered to alert subscribers too).
+  /// Thread-safe; samples of one stream must arrive in time order (throws
+  /// std::invalid_argument otherwise, as does a whitespace stream name).
+  std::vector<TransitionEvent> ingest(const std::string& stream, double t, double value);
+
+  /// Block until every scheduled refit has completed.
+  void drain();
+
+  /// All streams, sorted by name. Live read: refits may still be in flight;
+  /// call drain() first for a quiescent view.
+  std::vector<StreamSnapshot> snapshot() const;
+
+  /// One stream; throws std::out_of_range for unknown names.
+  StreamSnapshot snapshot(const std::string& stream) const;
+
+  std::vector<std::string> stream_names() const;
+  std::size_t stream_count() const;
+
+  AlertEngine& alerts() noexcept { return alerts_; }
+  const MonitorOptions& options() const noexcept { return options_; }
+
+  // Engine-wide counters (sums over streams; scheduler totals).
+  std::uint64_t refits_executed() const { return scheduler_.executed(); }
+  std::uint64_t refits_coalesced() const { return scheduler_.coalesced(); }
+
+  /// Persist the full monitor state (drains refits first so the snapshot is
+  /// quiescent). Restore with load(); alert rules/subscribers and options
+  /// are NOT serialized -- the caller re-supplies them.
+  void save(std::ostream& out);
+  void save_file(const std::string& path);
+
+  /// Rebuild a monitor from a save() snapshot. `options` must use the same
+  /// stream config the snapshot was produced with; the model name stored in
+  /// the snapshot overrides options.model. Throws std::runtime_error on
+  /// malformed input.
+  static std::unique_ptr<Monitor> load(std::istream& in, MonitorOptions options = {});
+  static std::unique_ptr<Monitor> load_file(const std::string& path,
+                                            MonitorOptions options = {});
+
+ private:
+  struct Entry {
+    Entry(std::string stream_name, const StreamConfig& config)
+        : state(std::move(stream_name), config) {}
+    explicit Entry(StreamState loaded) : state(std::move(loaded)) {}
+
+    std::mutex m;
+    StreamState state;
+    std::optional<core::FitResult> fit;
+    std::uint64_t fit_event_ordinal = 0;  ///< Event the fit belongs to.
+    std::optional<double> predicted_recovery;
+    std::optional<double> predicted_trough_time;
+    std::optional<double> predicted_trough_value;
+    std::uint64_t refits = 0;
+    std::uint64_t warm_refits = 0;
+    std::uint64_t failed_refits = 0;
+    std::size_t samples_at_last_refit = 0;
+  };
+
+  Entry& entry_for(const std::string& name);
+  void refit_job(Entry& entry, const std::string& name, std::uint64_t ordinal);
+  StreamSnapshot fill_snapshot(Entry& entry) const;  ///< Caller holds entry.m.
+
+  MonitorOptions options_;
+  std::size_t model_parameters_ = 0;
+  std::size_t min_fit_samples_ = 0;  ///< Effective (options + param floor).
+
+  mutable std::shared_mutex registry_mutex_;
+  std::map<std::string, std::unique_ptr<Entry>> streams_;
+
+  AlertEngine alerts_;
+
+  // Declared last: destroyed first, so in-flight refit jobs finish while the
+  // entries they reference are still alive.
+  RefitScheduler scheduler_;
+};
+
+}  // namespace prm::live

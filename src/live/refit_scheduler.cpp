@@ -1,0 +1,108 @@
+#include "live/refit_scheduler.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace prm::live {
+
+RefitScheduler::RefitScheduler(std::size_t num_threads) {
+  const std::size_t n = std::max<std::size_t>(num_threads, 1);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+RefitScheduler::~RefitScheduler() {
+  drain();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void RefitScheduler::schedule(const std::string& key, Job job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) return;
+    Slot& slot = slots_[key];
+    if (slot.running) {
+      if (slot.has_parked) ++coalesced_;
+      slot.parked = std::move(job);
+      slot.has_parked = true;
+      return;
+    }
+    if (slot.queued) {
+      ++coalesced_;
+      slot.pending = std::move(job);
+      return;
+    }
+    slot.pending = std::move(job);
+    slot.queued = true;
+    ready_.push_back(key);
+  }
+  work_cv_.notify_one();
+}
+
+void RefitScheduler::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return (active_ == 0 && ready_.empty()) || stop_; });
+}
+
+std::uint64_t RefitScheduler::executed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return executed_;
+}
+
+std::uint64_t RefitScheduler::coalesced() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return coalesced_;
+}
+
+std::uint64_t RefitScheduler::failed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return failed_;
+}
+
+void RefitScheduler::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stop_ || !ready_.empty(); });
+    if (stop_) return;
+
+    const std::string key = std::move(ready_.front());
+    ready_.pop_front();
+    Slot& slot = slots_[key];  // reference stays valid: slots_ never erases
+    Job job = std::move(slot.pending);
+    slot.pending = nullptr;
+    slot.queued = false;
+    slot.running = true;
+    ++active_;
+
+    lock.unlock();
+    try {
+      job();
+    } catch (...) {
+      std::lock_guard<std::mutex> guard(mutex_);
+      ++failed_;
+    }
+    lock.lock();
+
+    ++executed_;
+    slot.running = false;
+    --active_;
+    if (slot.has_parked) {
+      slot.pending = std::move(slot.parked);
+      slot.parked = nullptr;
+      slot.has_parked = false;
+      slot.queued = true;
+      ready_.push_back(key);
+      work_cv_.notify_one();
+    }
+    if (active_ == 0 && ready_.empty()) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace prm::live

@@ -1,0 +1,79 @@
+// Debounced worker pool for incremental refits.
+//
+// Streams produce refit work far faster than a nonlinear fit can run, so
+// jobs are keyed (one key per stream) and coalesced: while a key's job is
+// still waiting in the queue, scheduling again REPLACES it (only the newest
+// snapshot is worth fitting); while it is running, the newest job is parked
+// and enqueued when the running one finishes. Each key therefore has at most
+// one job queued and one running at any time -- per-stream refits are
+// serialized, distinct streams fit concurrently on the pool.
+//
+// All public members are thread-safe. Jobs run outside the scheduler lock,
+// so they may call schedule() themselves; exceptions escaping a job are
+// swallowed and counted (failed()).
+#pragma once
+
+#include <cstdint>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace prm::live {
+
+class RefitScheduler {
+ public:
+  using Job = std::function<void()>;
+
+  /// Spins up `num_threads` workers (clamped to >= 1).
+  explicit RefitScheduler(std::size_t num_threads = 2);
+
+  /// Drains outstanding work, then stops and joins the workers.
+  ~RefitScheduler();
+
+  RefitScheduler(const RefitScheduler&) = delete;
+  RefitScheduler& operator=(const RefitScheduler&) = delete;
+
+  /// Enqueue `job` under `key`, coalescing as described above.
+  void schedule(const std::string& key, Job job);
+
+  /// Block until every scheduled job -- including parked reschedules and
+  /// jobs scheduled by running jobs -- has finished.
+  void drain();
+
+  std::size_t num_threads() const noexcept { return workers_.size(); }
+
+  // Counters (monotone, for monitoring/tests).
+  std::uint64_t executed() const;   ///< Jobs run to completion.
+  std::uint64_t coalesced() const;  ///< Jobs replaced before they could run.
+  std::uint64_t failed() const;     ///< Jobs that threw.
+
+ private:
+  struct Slot {
+    Job pending;
+    bool queued = false;   ///< `pending` is waiting in ready_.
+    bool running = false;  ///< A worker is executing this key right now.
+    Job parked;            ///< Newest job received while running.
+    bool has_parked = false;
+  };
+
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< Signals workers: work or stop.
+  std::condition_variable idle_cv_;  ///< Signals drain(): pool went quiet.
+  std::deque<std::string> ready_;    ///< Keys with a queued job, FIFO.
+  std::unordered_map<std::string, Slot> slots_;
+  std::size_t active_ = 0;  ///< Jobs currently executing.
+  std::uint64_t executed_ = 0;
+  std::uint64_t coalesced_ = 0;
+  std::uint64_t failed_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace prm::live

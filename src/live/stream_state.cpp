@@ -1,0 +1,479 @@
+#include "live/stream_state.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace prm::live {
+
+namespace {
+
+constexpr int kFormatVersion = 1;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("StreamState::load: " + what);
+}
+
+void expect_key(std::istream& in, const std::string& key) {
+  std::string k;
+  if (!(in >> k)) fail("unexpected end of input, wanted '" + key + "'");
+  if (k != key) fail("expected '" + key + "', found '" + k + "'");
+}
+
+std::vector<double> read_doubles(std::istream& in) {
+  std::size_t n = 0;
+  if (!(in >> n)) fail("missing count");
+  std::vector<double> v(n);
+  for (double& x : v) {
+    if (!(in >> x)) fail("truncated numeric list");
+  }
+  return v;
+}
+
+void write_doubles(std::ostream& out, const std::vector<double>& v) {
+  out << v.size();
+  for (double x : v) out << ' ' << x;
+  out << '\n';
+}
+
+// Same floor as data::detect_downward_shift: a flat baseline must still be
+// able to alarm without making every deviation infinite-sigma.
+double floored_sigma(double sigma, double mean) {
+  const double floor = 1e-6 * std::max(std::fabs(mean), 1.0);
+  return std::max(sigma, floor);
+}
+
+}  // namespace
+
+std::string_view to_string(StreamPhase phase) {
+  switch (phase) {
+    case StreamPhase::kNominal: return "NOMINAL";
+    case StreamPhase::kDegrading: return "DEGRADING";
+    case StreamPhase::kRecovering: return "RECOVERING";
+    case StreamPhase::kRestored: return "RESTORED";
+  }
+  return "UNKNOWN";
+}
+
+StreamPhase phase_from_string(std::string_view s) {
+  if (s == "NOMINAL") return StreamPhase::kNominal;
+  if (s == "DEGRADING") return StreamPhase::kDegrading;
+  if (s == "RECOVERING") return StreamPhase::kRecovering;
+  if (s == "RESTORED") return StreamPhase::kRestored;
+  throw std::invalid_argument("phase_from_string: unknown phase '" + std::string(s) + "'");
+}
+
+StreamState::StreamState(std::string name, StreamConfig config)
+    : name_(std::move(name)), config_(config) {
+  if (name_.empty() ||
+      name_.find_first_of(" \t\n\r") != std::string::npos) {
+    throw std::invalid_argument(
+        "StreamState: name must be non-empty and contain no whitespace");
+  }
+  if (config_.cusum.baseline < 2) {
+    throw std::invalid_argument("StreamState: cusum.baseline must be >= 2");
+  }
+  if (config_.window_capacity < config_.cusum.baseline + 2) {
+    throw std::invalid_argument(
+        "StreamState: window_capacity must be >= cusum.baseline + 2");
+  }
+  if (config_.max_event_samples < 16) {
+    throw std::invalid_argument("StreamState: max_event_samples must be >= 16");
+  }
+  if (config_.confirm_samples < 1) {
+    throw std::invalid_argument("StreamState: confirm_samples must be >= 1");
+  }
+  if (!(config_.recovery_fraction > 0.0)) {
+    throw std::invalid_argument("StreamState: recovery_fraction must be positive");
+  }
+  ring_times_.resize(config_.window_capacity);
+  ring_values_.resize(config_.window_capacity);
+}
+
+bool StreamState::event_active() const noexcept {
+  return phase_ == StreamPhase::kDegrading || phase_ == StreamPhase::kRecovering;
+}
+
+std::optional<double> StreamState::onset_time() const {
+  if (event_ordinal_ == 0) return std::nullopt;
+  return onset_time_;
+}
+
+std::optional<double> StreamState::onset_peak_value() const {
+  if (event_ordinal_ == 0) return std::nullopt;
+  return onset_peak_value_;
+}
+
+std::optional<double> StreamState::trough_time() const {
+  if (event_ordinal_ == 0) return std::nullopt;
+  return event_trough_time_;
+}
+
+std::optional<double> StreamState::trough_value() const {
+  if (event_ordinal_ == 0) return std::nullopt;
+  return event_trough_value_;
+}
+
+void StreamState::set_predicted_recovery(std::optional<double> t_r_aligned) {
+  have_predicted_recovery_ = t_r_aligned.has_value() && std::isfinite(*t_r_aligned);
+  predicted_recovery_ = have_predicted_recovery_ ? *t_r_aligned : 0.0;
+}
+
+std::optional<double> StreamState::predicted_recovery_time() const {
+  if (!have_predicted_recovery_) return std::nullopt;
+  return predicted_recovery_;
+}
+
+data::PerformanceSeries StreamState::event_series() const {
+  if (event_times_.empty()) return data::PerformanceSeries();
+  return data::PerformanceSeries(name_ + "/event-" + std::to_string(event_ordinal_),
+                                 event_times_, event_values_);
+}
+
+data::PerformanceSeries StreamState::window_series() const {
+  std::vector<double> t(ring_size_);
+  std::vector<double> v(ring_size_);
+  for (std::size_t i = 0; i < ring_size_; ++i) {
+    const std::size_t j = (ring_head_ + i) % config_.window_capacity;
+    t[i] = ring_times_[j];
+    v[i] = ring_values_[j];
+  }
+  if (ring_size_ == 0) return data::PerformanceSeries();
+  return data::PerformanceSeries(name_ + "/window", std::move(t), std::move(v));
+}
+
+void StreamState::ring_push(double t, double value) {
+  if (ring_size_ < config_.window_capacity) {
+    const std::size_t j = (ring_head_ + ring_size_) % config_.window_capacity;
+    ring_times_[j] = t;
+    ring_values_[j] = value;
+    ++ring_size_;
+  } else {
+    ring_times_[ring_head_] = t;
+    ring_values_[ring_head_] = value;
+    ring_head_ = (ring_head_ + 1) % config_.window_capacity;
+  }
+}
+
+void StreamState::reset_baseline_accumulator() {
+  accum_count_ = 0;
+  accum_mean_ = 0.0;
+  accum_m2_ = 0.0;
+}
+
+double StreamState::aligned_sigma() const {
+  if (!have_baseline_ || !(onset_peak_value_ > 0.0)) return 0.0;
+  return active_sigma_ / onset_peak_value_;
+}
+
+void StreamState::append_event_sample(double t, double value) {
+  const double t_al = t - onset_time_;
+  const double v_al = value / onset_peak_value_;
+  if (v_al < event_trough_value_) {
+    event_trough_value_ = v_al;
+    event_trough_time_ = t_al;
+  }
+  ++stride_phase_;
+  if (stride_phase_ < event_stride_) return;
+  stride_phase_ = 0;
+  event_times_.push_back(t_al);
+  event_values_.push_back(v_al);
+  if (event_times_.size() >= config_.max_event_samples) {
+    // Decimate by two: horizon preserved, resolution halved.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < event_times_.size(); i += 2, ++kept) {
+      event_times_[kept] = event_times_[i];
+      event_values_[kept] = event_values_[i];
+    }
+    event_times_.resize(kept);
+    event_values_.resize(kept);
+    event_stride_ *= 2;
+  }
+}
+
+void StreamState::begin_event(double t, std::uint64_t index) {
+  // Locate the pre-hazard peak with the batch onset detector over the
+  // buffered window; fall back to a direct walkback when the window-local
+  // CUSUM does not reproduce the alarm (e.g. after a very slow drift).
+  const data::PerformanceSeries window = window_series();
+  std::size_t peak = 0;
+  bool located = false;
+  if (window.size() >= config_.cusum.baseline + 2) {
+    if (const auto onset = data::find_hazard_onset(window, config_.cusum)) {
+      peak = onset->peak_index;
+      located = true;
+    }
+  }
+  if (!located) {
+    double best = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < window.size(); ++i) {
+      best = std::max(best, window.value(i));
+    }
+    const double tol = 2.0 * active_sigma_;
+    for (std::size_t i = 0; i < window.size(); ++i) {
+      if (window.value(i) >= best - tol) peak = i;
+    }
+  }
+
+  ++event_ordinal_;
+  onset_time_ = window.time(peak);
+  onset_peak_value_ = window.value(peak);
+  if (!(onset_peak_value_ > 0.0)) onset_peak_value_ = 1.0;
+  event_times_.clear();
+  event_values_.clear();
+  event_stride_ = 1;
+  stride_phase_ = 0;
+  event_trough_value_ = std::numeric_limits<double>::infinity();
+  event_trough_time_ = 0.0;
+  dip_min_value_ = std::numeric_limits<double>::infinity();
+  rising_count_ = 0;
+  recovery_max_ = 0.0;
+  falling_count_ = 0;
+  restored_count_ = 0;
+  have_predicted_recovery_ = false;
+  predicted_recovery_ = 0.0;
+  cusum_s_ = 0.0;
+
+  // Seed the event with the buffered decline observed so far.
+  for (std::size_t i = peak; i < window.size(); ++i) {
+    append_event_sample(window.time(i), window.value(i));
+  }
+  dip_min_value_ = event_trough_value_;
+
+  transitions_.push_back({phase_, StreamPhase::kDegrading, t, index});
+  phase_ = StreamPhase::kDegrading;
+}
+
+std::vector<TransitionEvent> StreamState::push(double t, double value) {
+  if (!std::isfinite(t) || !std::isfinite(value)) {
+    throw std::invalid_argument("StreamState::push: non-finite sample");
+  }
+  if (samples_seen_ > 0 && !(t > last_time_)) {
+    throw std::invalid_argument("StreamState::push: times must be strictly increasing (t = " +
+                                std::to_string(t) + " after " + std::to_string(last_time_) +
+                                " on stream '" + name_ + "')");
+  }
+  const std::uint64_t index = samples_seen_;
+  ++samples_seen_;
+  last_time_ = t;
+  last_value_ = value;
+  ring_push(t, value);
+
+  const std::size_t first_transition = transitions_.size();
+
+  switch (phase_) {
+    case StreamPhase::kNominal:
+    case StreamPhase::kRestored: {
+      // (Re-)establish the baseline from the first cusum.baseline samples of
+      // the regime. Detection pauses until the estimate is ready: the new
+      // normal may legitimately sit below the pre-event mean (anything >=
+      // recovery_fraction counts as recovered), so keeping the stale
+      // baseline armed would guarantee a false re-alarm.
+      if (accum_count_ < config_.cusum.baseline) {
+        ++accum_count_;
+        const double d = value - accum_mean_;
+        accum_mean_ += d / static_cast<double>(accum_count_);
+        accum_m2_ += d * (value - accum_mean_);
+        if (accum_count_ == config_.cusum.baseline) {
+          const double var = accum_m2_ / static_cast<double>(accum_count_ - 1);
+          active_mean_ = accum_mean_;
+          active_sigma_ = floored_sigma(std::sqrt(std::max(var, 0.0)), accum_mean_);
+          have_baseline_ = true;
+          cusum_s_ = 0.0;
+          if (phase_ == StreamPhase::kRestored) {
+            transitions_.push_back({phase_, StreamPhase::kNominal, t, index});
+            phase_ = StreamPhase::kNominal;
+          }
+        }
+      }
+      if (have_baseline_) {
+        // Incremental one-sided downward CUSUM -- the same accumulation as
+        // data::detect_downward_shift, maintained in O(1) per sample.
+        const double k = config_.cusum.slack_sigmas * active_sigma_;
+        const double h = config_.cusum.threshold_sigmas * active_sigma_;
+        cusum_s_ = std::max(0.0, cusum_s_ + (active_mean_ - value) - k);
+        if (cusum_s_ > h) begin_event(t, index);
+      }
+      break;
+    }
+    case StreamPhase::kDegrading: {
+      append_event_sample(t, value);
+      const double v_al = value / onset_peak_value_;
+      const double eps = std::max(config_.turn_epsilon, 3.0 * aligned_sigma());
+      if (v_al < dip_min_value_) {
+        dip_min_value_ = v_al;
+        rising_count_ = 0;
+      } else if (v_al > dip_min_value_ + eps) {
+        ++rising_count_;
+      } else {
+        rising_count_ = 0;
+      }
+      if (rising_count_ >= config_.confirm_samples) {
+        transitions_.push_back({phase_, StreamPhase::kRecovering, t, index});
+        phase_ = StreamPhase::kRecovering;
+        recovery_max_ = v_al;
+        falling_count_ = 0;
+        restored_count_ = 0;
+      }
+      break;
+    }
+    case StreamPhase::kRecovering: {
+      append_event_sample(t, value);
+      const double v_al = value / onset_peak_value_;
+      recovery_max_ = std::max(recovery_max_, v_al);
+      if (v_al < recovery_max_ - config_.redegrade_drop) {
+        ++falling_count_;
+      } else {
+        falling_count_ = 0;
+      }
+      if (falling_count_ >= config_.confirm_samples) {
+        // Re-degradation back-edge: the W-shape's second dip.
+        transitions_.push_back({phase_, StreamPhase::kDegrading, t, index});
+        phase_ = StreamPhase::kDegrading;
+        dip_min_value_ = v_al;
+        rising_count_ = 0;
+        break;
+      }
+      if (v_al >= config_.recovery_fraction) {
+        ++restored_count_;
+      } else {
+        restored_count_ = 0;
+      }
+      // The fitted recovery-time prediction gates the RESTORED declaration:
+      // holding at the level is not enough until the model agrees the
+      // recovery is due.
+      const double t_al = t - onset_time_;
+      if (restored_count_ >= config_.confirm_samples &&
+          (!have_predicted_recovery_ || t_al >= predicted_recovery_)) {
+        transitions_.push_back({phase_, StreamPhase::kRestored, t, index});
+        phase_ = StreamPhase::kRestored;
+        reset_baseline_accumulator();
+        have_baseline_ = false;  // re-arm only once the new baseline is frozen
+        cusum_s_ = 0.0;
+      }
+      break;
+    }
+  }
+
+  return std::vector<TransitionEvent>(transitions_.begin() + static_cast<std::ptrdiff_t>(first_transition),
+                                      transitions_.end());
+}
+
+void StreamState::save(std::ostream& out) const {
+  out << "prm-stream " << kFormatVersion << '\n';
+  out << "name " << name_ << '\n';
+  out << std::setprecision(17);
+  out << "phase " << to_string(phase_) << '\n';
+  out << "samples_seen " << samples_seen_ << '\n';
+  out << "last " << last_time_ << ' ' << last_value_ << '\n';
+  const data::PerformanceSeries window = window_series();
+  out << "ring_times ";
+  write_doubles(out, {window.times().begin(), window.times().end()});
+  out << "ring_values ";
+  write_doubles(out, {window.values().begin(), window.values().end()});
+  out << "baseline " << (have_baseline_ ? 1 : 0) << ' ' << active_mean_ << ' '
+      << active_sigma_ << '\n';
+  out << "accum " << accum_count_ << ' ' << accum_mean_ << ' ' << accum_m2_ << '\n';
+  out << "cusum " << cusum_s_ << '\n';
+  out << "event_ordinal " << event_ordinal_ << '\n';
+  out << "onset " << onset_time_ << ' ' << onset_peak_value_ << '\n';
+  out << "event_times ";
+  write_doubles(out, event_times_);
+  out << "event_values ";
+  write_doubles(out, event_values_);
+  out << "stride " << event_stride_ << ' ' << stride_phase_ << '\n';
+  out << "trough " << event_trough_value_ << ' ' << event_trough_time_ << '\n';
+  out << "dip " << dip_min_value_ << ' ' << rising_count_ << '\n';
+  out << "recovery " << recovery_max_ << ' ' << falling_count_ << ' ' << restored_count_
+      << '\n';
+  out << "predicted " << (have_predicted_recovery_ ? 1 : 0) << ' ' << predicted_recovery_
+      << '\n';
+  out << "transitions " << transitions_.size() << '\n';
+  for (const TransitionEvent& ev : transitions_) {
+    out << to_string(ev.from) << ' ' << to_string(ev.to) << ' ' << ev.t << ' '
+        << ev.sample_index << '\n';
+  }
+}
+
+StreamState StreamState::load(std::istream& in, StreamConfig config) {
+  expect_key(in, "prm-stream");
+  int version = 0;
+  if (!(in >> version)) fail("missing format version");
+  if (version != kFormatVersion) {
+    fail("unsupported format version " + std::to_string(version));
+  }
+  expect_key(in, "name");
+  std::string name;
+  if (!(in >> name)) fail("missing name");
+  StreamState s(name, config);
+
+  expect_key(in, "phase");
+  std::string phase;
+  if (!(in >> phase)) fail("missing phase");
+  s.phase_ = phase_from_string(phase);
+  expect_key(in, "samples_seen");
+  if (!(in >> s.samples_seen_)) fail("missing samples_seen");
+  expect_key(in, "last");
+  if (!(in >> s.last_time_ >> s.last_value_)) fail("missing last sample");
+
+  expect_key(in, "ring_times");
+  const std::vector<double> rt = read_doubles(in);
+  expect_key(in, "ring_values");
+  const std::vector<double> rv = read_doubles(in);
+  if (rt.size() != rv.size()) fail("ring times/values size mismatch");
+  if (rt.size() > config.window_capacity) fail("ring larger than window_capacity");
+  for (std::size_t i = 0; i < rt.size(); ++i) s.ring_push(rt[i], rv[i]);
+
+  int have_baseline = 0;
+  expect_key(in, "baseline");
+  if (!(in >> have_baseline >> s.active_mean_ >> s.active_sigma_)) fail("missing baseline");
+  s.have_baseline_ = have_baseline != 0;
+  expect_key(in, "accum");
+  if (!(in >> s.accum_count_ >> s.accum_mean_ >> s.accum_m2_)) fail("missing accum");
+  expect_key(in, "cusum");
+  if (!(in >> s.cusum_s_)) fail("missing cusum");
+  expect_key(in, "event_ordinal");
+  if (!(in >> s.event_ordinal_)) fail("missing event_ordinal");
+  expect_key(in, "onset");
+  if (!(in >> s.onset_time_ >> s.onset_peak_value_)) fail("missing onset");
+  expect_key(in, "event_times");
+  s.event_times_ = read_doubles(in);
+  expect_key(in, "event_values");
+  s.event_values_ = read_doubles(in);
+  if (s.event_times_.size() != s.event_values_.size()) {
+    fail("event times/values size mismatch");
+  }
+  expect_key(in, "stride");
+  if (!(in >> s.event_stride_ >> s.stride_phase_)) fail("missing stride");
+  if (s.event_stride_ == 0) fail("stride must be positive");
+  expect_key(in, "trough");
+  if (!(in >> s.event_trough_value_ >> s.event_trough_time_)) fail("missing trough");
+  expect_key(in, "dip");
+  if (!(in >> s.dip_min_value_ >> s.rising_count_)) fail("missing dip");
+  expect_key(in, "recovery");
+  if (!(in >> s.recovery_max_ >> s.falling_count_ >> s.restored_count_)) {
+    fail("missing recovery");
+  }
+  int have_predicted = 0;
+  expect_key(in, "predicted");
+  if (!(in >> have_predicted >> s.predicted_recovery_)) fail("missing predicted");
+  s.have_predicted_recovery_ = have_predicted != 0;
+
+  expect_key(in, "transitions");
+  std::size_t n = 0;
+  if (!(in >> n)) fail("missing transition count");
+  s.transitions_.resize(n);
+  for (TransitionEvent& ev : s.transitions_) {
+    std::string from, to;
+    if (!(in >> from >> to >> ev.t >> ev.sample_index)) fail("truncated transition");
+    ev.from = phase_from_string(from);
+    ev.to = phase_from_string(to);
+  }
+  return s;
+}
+
+}  // namespace prm::live

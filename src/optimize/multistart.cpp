@@ -47,28 +47,43 @@ MultistartResult multistart_least_squares(const ResidualProblem& problem,
   out.best.cost = std::numeric_limits<double>::infinity();
   out.best.stop_reason = StopReason::kNumericalFailure;
 
-  std::vector<num::Vector> all = starts;
-
-  // Jittered copies of caller starts.
   std::mt19937_64 rng(options.seed);
   std::normal_distribution<double> gauss(0.0, 1.0);
-  for (const num::Vector& s : starts) {
-    for (int j = 0; j < options.jitter_per_start; ++j) {
+  const auto add_jittered = [&](std::vector<num::Vector>& dst, const num::Vector& s,
+                                int copies) {
+    for (int j = 0; j < copies; ++j) {
       num::Vector v = s;
       for (double& x : v) {
         const double scale = options.jitter_rel * std::max(std::fabs(x), 0.1);
         x += scale * gauss(rng);
       }
-      all.push_back(std::move(v));
+      dst.push_back(std::move(v));
     }
+  };
+
+  std::vector<num::Vector> all;
+  const bool warm = !options.warm_start.empty();
+  if (warm) {
+    // Warm path: the previous solution (plus a little jitter) replaces the
+    // whole start set.
+    if (options.warm_start.size() != problem.num_parameters) {
+      throw std::invalid_argument(
+          "multistart_least_squares: warm start dimension mismatch");
+    }
+    all.push_back(options.warm_start);
+    add_jittered(all, options.warm_start, options.warm_jitter);
+  } else {
+    all = starts;
+    for (const num::Vector& s : starts) add_jittered(all, s, options.jitter_per_start);
   }
 
-  if (options.sampled_starts > 0) {
+  const int sampled = warm ? options.warm_sampled_starts : options.sampled_starts;
+  if (sampled > 0) {
     if (search_lo.empty() || search_hi.empty()) {
       throw std::invalid_argument(
           "multistart_least_squares: sampled starts require a search box");
     }
-    auto lhs = latin_hypercube(search_lo, search_hi, options.sampled_starts, options.seed ^ 0x9e3779b97f4a7c15ULL);
+    auto lhs = latin_hypercube(search_lo, search_hi, sampled, options.seed ^ 0x9e3779b97f4a7c15ULL);
     all.insert(all.end(), lhs.begin(), lhs.end());
   }
   if (all.empty()) {

@@ -28,6 +28,16 @@ struct MultistartOptions {
   LmOptions lm;
   bool polish_with_nelder_mead = true;
   NelderMeadOptions nm;
+
+  /// Incremental-refit path: when non-empty, a previous solution (in the
+  /// problem's own coordinates) assumed to be near the new optimum. The
+  /// driver then runs ONLY this start plus `warm_jitter` jittered copies and
+  /// `warm_sampled_starts` Latin-hypercube points, ignoring the regular
+  /// start set -- orders of magnitude cheaper than the full multistart when
+  /// the data changed by a few samples. Must match the problem dimension.
+  num::Vector warm_start;
+  int warm_jitter = 1;         ///< Jittered copies of the warm start.
+  int warm_sampled_starts = 0; ///< Extra LHS safety starts (0 = trust the seed).
 };
 
 struct MultistartResult {

@@ -81,6 +81,29 @@ TEST(Cusum, FlatBaselineUsesSigmaFloor) {
   EXPECT_GE(*r.alarm_index, 20u);
 }
 
+TEST(Cusum, SigmaFloorIsExactAndScalesWithTheMean) {
+  // Unit-scale flat baseline: floor = 1e-6 * max(|mean|, 1) = 1e-6.
+  std::vector<double> unit(30, 1.0);
+  const CusumResult r1 = detect_downward_shift(PerformanceSeries("unit", std::move(unit)));
+  EXPECT_DOUBLE_EQ(r1.baseline_sigma, 1e-6);
+  EXPECT_FALSE(r1.alarm_index.has_value());  // perfectly flat: no disruption
+
+  // Large-mean flat baseline: the floor scales with |mean|, so a drop that
+  // is tiny in absolute sigma units but huge relative to the floor alarms.
+  std::vector<double> big(20, 5000.0);
+  for (int i = 0; i < 10; ++i) big.push_back(4999.0);
+  const CusumResult r2 = detect_downward_shift(PerformanceSeries("big", std::move(big)));
+  EXPECT_DOUBLE_EQ(r2.baseline_sigma, 5e-3);
+  ASSERT_TRUE(r2.alarm_index.has_value());
+  EXPECT_GE(*r2.alarm_index, 20u);
+
+  // Sub-unit mean: max(|mean|, 1) keeps the floor anchored at 1e-6.
+  std::vector<double> small(30, 0.01);
+  const CusumResult r3 =
+      detect_downward_shift(PerformanceSeries("small", std::move(small)));
+  EXPECT_DOUBLE_EQ(r3.baseline_sigma, 1e-6);
+}
+
 TEST(Cusum, InputValidation) {
   const PerformanceSeries tiny("t", {1.0, 1.0, 1.0});
   EXPECT_THROW(detect_downward_shift(tiny), std::invalid_argument);
@@ -113,6 +136,20 @@ TEST(FindHazardOnset, NulloptWhenNothingHappens) {
   std::vector<double> v(60);
   for (double& x : v) x = 1.0 + noise(rng);
   EXPECT_FALSE(find_hazard_onset(PerformanceSeries("calm", std::move(v))).has_value());
+}
+
+TEST(FindHazardOnset, NulloptOnPerfectlyFlatSeries) {
+  // Zero-variance baseline AND no disruption: the sigma floor must keep the
+  // detector numerically alive, and it must stay silent.
+  std::vector<double> v(48, 1.0);
+  EXPECT_FALSE(find_hazard_onset(PerformanceSeries("flat", std::move(v))).has_value());
+}
+
+TEST(FindHazardOnset, NulloptOnSlowUpwardTrend) {
+  // Growth is not a hazard: a one-sided downward detector must not fire.
+  std::vector<double> v;
+  for (int i = 0; i < 80; ++i) v.push_back(1.0 + 0.002 * static_cast<double>(i));
+  EXPECT_FALSE(find_hazard_onset(PerformanceSeries("growth", std::move(v))).has_value());
 }
 
 TEST(FindHazardOnset, WorksOnGeneratedRecessionWithNominalPrefix) {

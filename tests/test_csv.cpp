@@ -67,9 +67,49 @@ TEST(Csv, NonNumericFieldThrows) {
   EXPECT_THROW(read_csv(bad, "x"), std::runtime_error);
 }
 
-TEST(Csv, NonMonotoneTimesRejectedByValidation) {
+TEST(Csv, NonMonotoneTimesRejectedWithLineNumber) {
   std::stringstream bad("t,v\n1,1.0\n0,2.0\n");
-  EXPECT_THROW(read_csv(bad, "x"), std::invalid_argument);
+  try {
+    read_csv(bad, "x");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("strictly increasing"), std::string::npos);
+  }
+}
+
+TEST(Csv, RepeatedTimeRejected) {
+  std::stringstream bad("t,v\n0,1.0\n1,1.0\n1,1.1\n");
+  try {
+    read_csv(bad, "x");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Csv, CommentLinesAreSkipped) {
+  std::stringstream ss(
+      "# exported by the monitoring job\n"
+      "t,v\n"
+      "0,1.0\n"
+      "  # mid-file annotation, indented\n"
+      "1,0.9\n"
+      "#2,0.5\n"
+      "2,0.8\n");
+  const PerformanceSeries s = read_csv(ss, "x");
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.value(1), 0.9);
+  EXPECT_DOUBLE_EQ(s.time(2), 2.0);
+}
+
+TEST(Csv, CommentBeforeHeaderDoesNotEatTheHeader) {
+  // The '#' line is not the header: the real header after it must still be
+  // skipped, and the data must parse.
+  std::stringstream ss("# comment first\nt,v\n5,1.5\n");
+  const PerformanceSeries s = read_csv(ss, "x");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.time(0), 5.0);
 }
 
 TEST(Csv, AlternativeDelimiter) {

@@ -186,6 +186,45 @@ TEST(FitModel, WeightValidation) {
                std::invalid_argument);
 }
 
+TEST(FitModel, WarmStartRefitMatchesColdFitAtAFractionOfTheWork) {
+  // Cold fit on the first 30 samples, then a warm refit on the full series
+  // seeded from the cold parameters: the incremental path live::Monitor uses.
+  const data::PerformanceSeries series = exact_quadratic_series(40);
+  const FitResult cold = fit_model("quadratic", series.head(30), 0);
+  ASSERT_TRUE(cold.success());
+
+  FitOptions warm_opts;
+  warm_opts.warm_start = cold.parameters();
+  const FitResult warm = fit_model("quadratic", series, 0, warm_opts);
+  EXPECT_TRUE(warm.success());
+  EXPECT_LT(warm.sse, 1e-10);
+  EXPECT_NEAR(warm.parameters()[0], 1.0, 1e-3);
+
+  const FitResult cold_full = fit_model("quadratic", series, 0);
+  EXPECT_LT(warm.starts_tried, cold_full.starts_tried);
+  EXPECT_NEAR(warm.sse, cold_full.sse, 1e-8);
+}
+
+TEST(FitModel, WarmStartDimensionMismatchThrows) {
+  FitOptions opts;
+  opts.warm_start = num::Vector{1.0};  // quadratic has three parameters
+  EXPECT_THROW(fit_model("quadratic", exact_quadratic_series(30), 0, opts),
+               std::invalid_argument);
+}
+
+TEST(FitModel, WarmStartOutsideBoundsIsClippedNotFatal) {
+  const data::PerformanceSeries series = exact_quadratic_series(30);
+  const FitResult reference = fit_model("quadratic", series, 0);
+  FitOptions opts;
+  // Violate the declared bounds on purpose (e.g. a non-positive component
+  // where the model demands positive): the fit must clip and proceed.
+  opts.warm_start = reference.parameters();
+  (*opts.warm_start)[0] = -5.0;
+  opts.multistart.warm_sampled_starts = 4;  // safety net for the bad seed
+  const FitResult fit = fit_model("quadratic", series, 0, opts);
+  EXPECT_TRUE(fit.success());
+}
+
 TEST(FitModel, FuzzedSeriesNeverCrash) {
   // Random-walk garbage in, finite diagnostics (or clean failure) out.
   std::mt19937_64 rng(31337);

@@ -1,0 +1,446 @@
+// prm::live acceptance tests: the full NOMINAL -> DEGRADING -> RECOVERING ->
+// RESTORED walkthrough on a synthetic disruption with known ground truth,
+// the mid-recovery t_r forecast accuracy, gating of RESTORED by the fitted
+// prediction, W-shape back-edges, alerting, and the save/load round trip
+// resuming identical state.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "live/monitor.hpp"
+#include "live/stream_state.hpp"
+
+namespace {
+
+using namespace prm;
+using live::StreamPhase;
+
+double smoothstep(double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  return x * x * (3.0 - 2.0 * x);
+}
+
+constexpr std::size_t kPrefix = 16;     // flat nominal run-in (baseline = 12)
+constexpr double kDipLen = 10.0;        // samples from peak to trough
+constexpr double kRecoveryLen = 30.0;   // samples from trough to full recovery
+constexpr double kDepth = 0.10;         // trough at 0.90
+constexpr double kOvershoot = 0.12;     // recovers to 1.02
+
+/// Noiseless V-shaped disruption in absolute sample time: flat 1.0 for
+/// kPrefix samples, smoothstep dip to 0.90, smoothstep recovery to 1.02.
+double v_curve(double t) {
+  const double u = t - static_cast<double>(kPrefix);
+  if (u <= 0.0) return 1.0;
+  if (u <= kDipLen) return 1.0 - kDepth * smoothstep(u / kDipLen);
+  return (1.0 - kDepth) + kOvershoot * smoothstep((u - kDipLen) / kRecoveryLen);
+}
+
+/// Event time (samples past the pre-hazard peak) at which the curve first
+/// reaches `level` during recovery, by dense scan of the generator formula.
+double true_recovery_event_time(double level) {
+  for (double u = kDipLen; u <= kDipLen + kRecoveryLen + 1.0; u += 1e-3) {
+    if (v_curve(static_cast<double>(kPrefix) + u) >= level) return u;
+  }
+  return kDipLen + kRecoveryLen;
+}
+
+live::StreamConfig test_config() {
+  live::StreamConfig config;
+  config.window_capacity = 64;
+  config.cusum.baseline = 12;
+  config.confirm_samples = 3;
+  config.recovery_fraction = 0.98;
+  return config;
+}
+
+live::MonitorOptions test_options() {
+  live::MonitorOptions options;
+  options.stream = test_config();
+  options.model = "competing-risks";
+  options.refit_every = 2;
+  options.min_fit_samples = 8;
+  options.threads = 2;
+  return options;
+}
+
+std::vector<StreamPhase> phases_entered(const std::vector<live::TransitionEvent>& ts) {
+  std::vector<StreamPhase> out;
+  for (const auto& t : ts) out.push_back(t.to);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// StreamState: the state machine in isolation.
+
+TEST(StreamState, WalksThroughAllFourPhasesOnAVShape) {
+  live::StreamState state("svc", test_config());
+  std::vector<live::TransitionEvent> all;
+  const std::size_t total = kPrefix + static_cast<std::size_t>(kDipLen + kRecoveryLen) + 8;
+  for (std::size_t i = 0; i < total; ++i) {
+    const double t = static_cast<double>(i);
+    for (const auto& tr : state.push(t, v_curve(t))) all.push_back(tr);
+  }
+  // The full life cycle, including the re-baseline back to NOMINAL once
+  // enough post-recovery samples establish the new normal.
+  const std::vector<StreamPhase> want = {StreamPhase::kDegrading,
+                                         StreamPhase::kRecovering,
+                                         StreamPhase::kRestored,
+                                         StreamPhase::kNominal};
+  EXPECT_EQ(phases_entered(all), want);
+  EXPECT_EQ(state.phase(), StreamPhase::kNominal);
+  EXPECT_EQ(state.event_ordinal(), 1u);
+
+  // Onset aligned at the last flat sample; observed trough at depth 0.90.
+  ASSERT_TRUE(state.onset_time().has_value());
+  EXPECT_NEAR(*state.onset_time(), static_cast<double>(kPrefix), 2.0);
+  ASSERT_TRUE(state.trough_value().has_value());
+  EXPECT_NEAR(*state.trough_value(), 1.0 - kDepth, 0.01);
+  EXPECT_NEAR(*state.trough_time(), kDipLen, 2.0);
+}
+
+TEST(StreamState, StaysNominalOnFlatAndNoisyButSteadyInput) {
+  live::StreamState state("quiet", test_config());
+  for (int i = 0; i < 200; ++i) {
+    // Deterministic small oscillation well inside the alarm threshold.
+    const double wiggle = 0.002 * std::sin(0.7 * static_cast<double>(i));
+    auto transitions = state.push(static_cast<double>(i), 1.0 + wiggle);
+    EXPECT_TRUE(transitions.empty());
+  }
+  EXPECT_EQ(state.phase(), StreamPhase::kNominal);
+  EXPECT_EQ(state.event_ordinal(), 0u);
+  EXPECT_FALSE(state.onset_time().has_value());
+}
+
+TEST(StreamState, WShapeTakesTheBackEdgeWithoutStartingANewEvent) {
+  live::StreamState state("w", test_config());
+  double t = 0.0;
+  auto feed = [&](double value) {
+    auto transitions = state.push(t, value);
+    t += 1.0;
+    return transitions;
+  };
+  for (std::size_t i = 0; i < kPrefix; ++i) feed(1.0);
+  // First dip.
+  for (double v = 0.99; v > 0.90; v -= 0.02) feed(v);
+  EXPECT_EQ(state.phase(), StreamPhase::kDegrading);
+  // Partial recovery: confirm the turn.
+  for (double v = 0.91; v < 0.955; v += 0.01) feed(v);
+  EXPECT_EQ(state.phase(), StreamPhase::kRecovering);
+  const std::uint64_t ordinal = state.event_ordinal();
+  // Second dip: must re-enter DEGRADING on the SAME event.
+  for (double v = 0.94; v > 0.87; v -= 0.02) feed(v);
+  EXPECT_EQ(state.phase(), StreamPhase::kDegrading);
+  EXPECT_EQ(state.event_ordinal(), ordinal);
+  // Full recovery this time.
+  for (double v = 0.88; v < 1.01; v += 0.01) feed(v);
+  EXPECT_EQ(state.phase(), StreamPhase::kRestored);
+  EXPECT_EQ(state.event_ordinal(), ordinal);
+}
+
+TEST(StreamState, PredictedRecoveryGatesTheRestoredTransition) {
+  live::StreamState state("gated", test_config());
+  double t = 0.0;
+  auto feed = [&](double value) {
+    auto transitions = state.push(t, value);
+    t += 1.0;
+    return transitions;
+  };
+  for (std::size_t i = 0; i < kPrefix; ++i) feed(1.0);
+  for (double v = 0.99; v > 0.90; v -= 0.02) feed(v);
+  for (double v = 0.91; v < 0.97; v += 0.01) feed(v);
+  ASSERT_EQ(state.phase(), StreamPhase::kRecovering);
+
+  // Install a forecast far in the future: holding at the recovered level
+  // must NOT flip the stream to RESTORED while the model says "not yet".
+  state.set_predicted_recovery(1000.0);
+  for (int i = 0; i < 10; ++i) feed(1.0);
+  EXPECT_EQ(state.phase(), StreamPhase::kRecovering);
+
+  // Clear the gate: the standing value evidence now suffices.
+  state.set_predicted_recovery(std::nullopt);
+  feed(1.0);
+  EXPECT_EQ(state.phase(), StreamPhase::kRestored);
+}
+
+TEST(StreamState, RejectsNonMonotoneTimesAndNonFiniteSamples) {
+  live::StreamState state("strict", test_config());
+  state.push(0.0, 1.0);
+  state.push(1.0, 1.0);
+  EXPECT_THROW(state.push(1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(state.push(0.5, 1.0), std::invalid_argument);
+  EXPECT_THROW(state.push(2.0, std::nan("")), std::invalid_argument);
+  // The stream survives rejected samples.
+  EXPECT_NO_THROW(state.push(2.0, 1.0));
+}
+
+TEST(StreamState, SaveLoadRoundTripResumesIdenticalState) {
+  const live::StreamConfig config = test_config();
+  live::StreamState original("svc", config);
+  const std::size_t split = kPrefix + 18;  // mid-recovery
+  for (std::size_t i = 0; i < split; ++i) {
+    original.push(static_cast<double>(i), v_curve(static_cast<double>(i)));
+  }
+  original.set_predicted_recovery(29.0);
+
+  std::stringstream buffer;
+  original.save(buffer);
+  live::StreamState restored = live::StreamState::load(buffer, config);
+
+  EXPECT_EQ(restored.name(), original.name());
+  EXPECT_EQ(restored.phase(), original.phase());
+  EXPECT_EQ(restored.samples_seen(), original.samples_seen());
+  EXPECT_EQ(restored.event_ordinal(), original.event_ordinal());
+  EXPECT_EQ(restored.predicted_recovery_time(), original.predicted_recovery_time());
+  EXPECT_EQ(restored.transitions().size(), original.transitions().size());
+
+  // Both instances must evolve identically from here on.
+  const std::size_t total = kPrefix + static_cast<std::size_t>(kDipLen + kRecoveryLen) + 8;
+  for (std::size_t i = split; i < total; ++i) {
+    const double t = static_cast<double>(i);
+    const auto a = original.push(t, v_curve(t));
+    const auto b = restored.push(t, v_curve(t));
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t j = 0; j < a.size(); ++j) {
+      EXPECT_EQ(a[j].to, b[j].to);
+      EXPECT_EQ(a[j].t, b[j].t);
+    }
+  }
+  EXPECT_EQ(restored.phase(), original.phase());
+  int restored_edges = 0;
+  for (const auto& tr : restored.transitions()) {
+    if (tr.to == StreamPhase::kRestored) ++restored_edges;
+  }
+  EXPECT_EQ(restored_edges, 1);
+  const auto sa = original.event_series();
+  const auto sb = restored.event_series();
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa.time(i), sb.time(i));
+    EXPECT_EQ(sa.value(i), sb.value(i));
+  }
+}
+
+TEST(StreamState, LoadRejectsMalformedInput) {
+  std::stringstream bad("prm-stream 1\nnonsense");
+  EXPECT_THROW(live::StreamState::load(bad, test_config()), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Monitor: facade, refits, forecasts, persistence.
+
+TEST(Monitor, WalkthroughWithMidRecoveryForecastNearGroundTruth) {
+  live::Monitor monitor(test_options());
+  std::vector<StreamPhase> entered;
+
+  const std::size_t mid = kPrefix + static_cast<std::size_t>(kDipLen) + 15;
+  for (std::size_t i = 0; i < mid; ++i) {
+    const double t = static_cast<double>(i);
+    for (const auto& tr : monitor.ingest("svc", t, v_curve(t))) {
+      entered.push_back(tr.to);
+    }
+  }
+  monitor.drain();
+
+  live::StreamSnapshot snap = monitor.snapshot("svc");
+  EXPECT_EQ(snap.phase, StreamPhase::kRecovering);
+  EXPECT_TRUE(snap.event_active);
+  EXPECT_EQ(snap.event_ordinal, 1u);
+  ASSERT_TRUE(snap.has_fit);
+  EXPECT_EQ(snap.model, "competing-risks");
+  EXPECT_GE(snap.refits, 1u);
+
+  // Acceptance criterion: the mid-recovery forecast lands near the
+  // generator's ground-truth recovery time (aligned to the pre-hazard peak,
+  // which sits one sample before the event formula's origin).
+  ASSERT_TRUE(snap.predicted_recovery_time.has_value());
+  const double truth = true_recovery_event_time(0.98) + 1.0;
+  EXPECT_NEAR(*snap.predicted_recovery_time, truth, 6.0);
+
+  // Eight interval metrics over the unseen horizon [t_now, t_r].
+  ASSERT_TRUE(snap.has_horizon_metrics);
+  for (double m : snap.horizon_metrics) EXPECT_TRUE(std::isfinite(m));
+  // Performance preserved over the remaining recovery is positive and less
+  // than the full nominal area of that window.
+  const double t_now = snap.last_time - *snap.onset_time;
+  const double window = *snap.predicted_recovery_time - t_now;
+  EXPECT_GT(snap.horizon_metrics[0], 0.0);
+  EXPECT_LT(snap.horizon_metrics[0], 1.1 * window);
+
+  // Run the curve to completion: the stream must come out RESTORED.
+  const std::size_t total = kPrefix + static_cast<std::size_t>(kDipLen + kRecoveryLen) + 10;
+  for (std::size_t i = mid; i < total; ++i) {
+    const double t = static_cast<double>(i);
+    for (const auto& tr : monitor.ingest("svc", t, v_curve(t))) {
+      entered.push_back(tr.to);
+    }
+  }
+  monitor.drain();
+  snap = monitor.snapshot("svc");
+  // RESTORED, or already re-baselined back to NOMINAL when the forecast let
+  // the restoration land early enough.
+  EXPECT_TRUE(snap.phase == StreamPhase::kRestored || snap.phase == StreamPhase::kNominal);
+  ASSERT_GE(entered.size(), 3u);
+  EXPECT_EQ(entered[0], StreamPhase::kDegrading);
+  EXPECT_EQ(entered[1], StreamPhase::kRecovering);
+  EXPECT_NE(std::find(entered.begin(), entered.end(), StreamPhase::kRestored),
+            entered.end());
+  EXPECT_GE(snap.warm_refits + monitor.refits_coalesced(), 1u)
+      << "incremental refits neither warm-started nor coalesced";
+}
+
+TEST(Monitor, MultipleStreamsAreIndependent) {
+  live::Monitor monitor(test_options());
+  const std::size_t total = kPrefix + static_cast<std::size_t>(kDipLen + kRecoveryLen) + 8;
+  for (std::size_t i = 0; i < total; ++i) {
+    const double t = static_cast<double>(i);
+    monitor.ingest("dipping", t, v_curve(t));
+    monitor.ingest("steady", t, 1.0);
+  }
+  monitor.drain();
+
+  EXPECT_EQ(monitor.stream_count(), 2u);
+  const auto snaps = monitor.snapshot();
+  ASSERT_EQ(snaps.size(), 2u);
+  EXPECT_EQ(snaps[0].name, "dipping");  // sorted by name
+  EXPECT_EQ(snaps[1].name, "steady");
+  EXPECT_TRUE(snaps[0].phase == StreamPhase::kRestored ||
+              snaps[0].phase == StreamPhase::kNominal);
+  EXPECT_EQ(snaps[0].event_ordinal, 1u);
+  EXPECT_EQ(snaps[1].phase, StreamPhase::kNominal);
+  EXPECT_EQ(snaps[1].event_ordinal, 0u);
+  EXPECT_FALSE(snaps[1].has_fit);
+}
+
+TEST(Monitor, AlertsFireOnValueThresholdTransitionsAndForecasts) {
+  live::Monitor monitor(test_options());
+
+  live::AlertRule low;
+  low.name = "low-value";
+  low.kind = live::AlertKind::kValueBelow;
+  low.threshold = 0.95;
+  monitor.alerts().add_rule(low);
+
+  live::AlertRule degrading;
+  degrading.name = "degrading";
+  degrading.kind = live::AlertKind::kPhaseTransition;
+  degrading.phase = StreamPhase::kDegrading;
+  monitor.alerts().add_rule(degrading);
+
+  live::AlertRule slow;
+  slow.name = "slow-recovery";
+  slow.kind = live::AlertKind::kRecoveryBeyond;
+  slow.threshold = 5.0;  // recovery takes ~30 samples, so this must fire
+  monitor.alerts().add_rule(slow);
+
+  std::mutex m;
+  std::vector<live::Alert> seen;
+  monitor.alerts().subscribe([&](const live::Alert& alert) {
+    std::lock_guard<std::mutex> lock(m);
+    seen.push_back(alert);
+  });
+
+  const std::size_t total = kPrefix + static_cast<std::size_t>(kDipLen + kRecoveryLen) + 8;
+  for (std::size_t i = 0; i < total; ++i) {
+    const double t = static_cast<double>(i);
+    monitor.ingest("svc", t, v_curve(t));
+  }
+  monitor.drain();
+
+  std::lock_guard<std::mutex> lock(m);
+  int low_count = 0, degrading_count = 0, slow_count = 0;
+  for (const auto& alert : seen) {
+    if (alert.rule == "low-value") ++low_count;
+    if (alert.rule == "degrading") ++degrading_count;
+    if (alert.rule == "slow-recovery") ++slow_count;
+  }
+  EXPECT_EQ(low_count, 1) << "once_per_event rule fired more than once";
+  EXPECT_EQ(degrading_count, 1);
+  EXPECT_GE(slow_count, 1);
+}
+
+TEST(Monitor, SaveLoadRoundTripResumesIdenticalState) {
+  // threads = 1 + drain after every sample makes refit timing deterministic,
+  // so the original and the restored copy must match bit for bit.
+  live::MonitorOptions options = test_options();
+  options.threads = 1;
+
+  live::Monitor original(options);
+  const std::size_t split = kPrefix + static_cast<std::size_t>(kDipLen) + 15;
+  for (std::size_t i = 0; i < split; ++i) {
+    const double t = static_cast<double>(i);
+    original.ingest("svc", t, v_curve(t));
+    original.drain();
+  }
+
+  std::stringstream buffer;
+  original.save(buffer);
+  const auto restored = live::Monitor::load(buffer, options);
+
+  live::StreamSnapshot a = original.snapshot("svc");
+  live::StreamSnapshot b = restored->snapshot("svc");
+  EXPECT_EQ(b.phase, a.phase);
+  EXPECT_EQ(b.samples_seen, a.samples_seen);
+  EXPECT_EQ(b.event_ordinal, a.event_ordinal);
+  EXPECT_EQ(b.last_time, a.last_time);
+  EXPECT_EQ(b.last_value, a.last_value);
+  ASSERT_EQ(b.has_fit, a.has_fit);
+  ASSERT_TRUE(b.has_fit);
+  ASSERT_EQ(b.parameters.size(), a.parameters.size());
+  for (std::size_t i = 0; i < a.parameters.size(); ++i) {
+    EXPECT_DOUBLE_EQ(b.parameters[i], a.parameters[i]);
+  }
+  EXPECT_EQ(b.predicted_recovery_time, a.predicted_recovery_time);
+  EXPECT_EQ(b.refits, a.refits);
+  EXPECT_EQ(b.warm_refits, a.warm_refits);
+
+  // Both monitors replay the remainder identically: same transitions, same
+  // terminal phase.
+  const std::size_t total = kPrefix + static_cast<std::size_t>(kDipLen + kRecoveryLen) + 10;
+  for (std::size_t i = split; i < total; ++i) {
+    const double t = static_cast<double>(i);
+    const auto ta = original.ingest("svc", t, v_curve(t));
+    original.drain();
+    const auto tb = restored->ingest("svc", t, v_curve(t));
+    restored->drain();
+    ASSERT_EQ(ta.size(), tb.size());
+    for (std::size_t j = 0; j < ta.size(); ++j) {
+      EXPECT_EQ(ta[j].to, tb[j].to);
+      EXPECT_EQ(ta[j].t, tb[j].t);
+    }
+  }
+  a = original.snapshot("svc");
+  b = restored->snapshot("svc");
+  EXPECT_TRUE(a.phase == StreamPhase::kRestored || a.phase == StreamPhase::kNominal);
+  EXPECT_EQ(b.phase, a.phase);
+  EXPECT_EQ(b.event_ordinal, a.event_ordinal);
+}
+
+TEST(Monitor, ValidatesOptionsAndInputs) {
+  live::MonitorOptions options = test_options();
+  options.model = "no-such-model";
+  EXPECT_THROW(live::Monitor{options}, std::out_of_range);
+
+  options = test_options();
+  options.refit_every = 0;
+  EXPECT_THROW(live::Monitor{options}, std::invalid_argument);
+
+  live::Monitor monitor(test_options());
+  EXPECT_THROW(monitor.snapshot("missing"), std::out_of_range);
+  EXPECT_THROW(monitor.ingest("bad name", 0.0, 1.0), std::invalid_argument);
+  monitor.ingest("svc", 0.0, 1.0);
+  EXPECT_THROW(monitor.ingest("svc", 0.0, 1.0), std::invalid_argument);
+}
+
+TEST(Monitor, LoadRejectsMalformedInput) {
+  std::stringstream bad("prm-live 999\n");
+  EXPECT_THROW(live::Monitor::load(bad, test_options()), std::runtime_error);
+  std::stringstream worse("not-a-snapshot\n");
+  EXPECT_THROW(live::Monitor::load(worse, test_options()), std::runtime_error);
+}
+
+}  // namespace

@@ -123,6 +123,54 @@ TEST(Multistart, SampledStartsRequireBox) {
                std::invalid_argument);
 }
 
+TEST(Multistart, WarmStartReplacesTheRegularStartSet) {
+  // The regular start {1.0} would trap in the local basin; a warm seed near
+  // the global optimum must win because the warm path ignores it entirely.
+  MultistartOptions opts;
+  opts.sampled_starts = 24;  // ignored on the warm path
+  opts.warm_start = {5.9};
+  opts.warm_jitter = 0;
+  opts.warm_sampled_starts = 0;
+  const MultistartResult r =
+      multistart_least_squares(two_basin_problem(), {{1.0}}, {0.0}, {8.0}, opts);
+  EXPECT_NEAR(r.best.parameters[0], 6.0, 0.05);
+  EXPECT_EQ(r.starts_tried, 1);  // exactly the seed: no multistart cost
+}
+
+TEST(Multistart, WarmStartJitterAndSafetyStartsAreCounted) {
+  MultistartOptions opts;
+  opts.warm_start = {5.9};
+  opts.warm_jitter = 3;
+  opts.warm_sampled_starts = 4;
+  const MultistartResult r =
+      multistart_least_squares(two_basin_problem(), {{1.0}}, {0.0}, {8.0}, opts);
+  EXPECT_EQ(r.starts_tried, 1 + 3 + 4);
+  EXPECT_NEAR(r.best.parameters[0], 6.0, 0.05);
+}
+
+TEST(Multistart, WarmStartDimensionMismatchThrows) {
+  MultistartOptions opts;
+  opts.warm_start = {1.0, 2.0};  // problem has one parameter
+  EXPECT_THROW(multistart_least_squares(two_basin_problem(), {{1.0}}, {}, {}, opts),
+               std::invalid_argument);
+}
+
+TEST(Multistart, ColdPathUnchangedByWarmKnobs) {
+  // With warm_start empty, warm_jitter/warm_sampled_starts are inert and the
+  // RNG stream matches a default-configured run exactly.
+  MultistartOptions cold;
+  cold.sampled_starts = 8;
+  MultistartOptions with_knobs = cold;
+  with_knobs.warm_jitter = 7;
+  with_knobs.warm_sampled_starts = 5;
+  const auto r1 = multistart_least_squares(two_basin_problem(), {{1.0}}, {0.0}, {8.0}, cold);
+  const auto r2 =
+      multistart_least_squares(two_basin_problem(), {{1.0}}, {0.0}, {8.0}, with_knobs);
+  EXPECT_EQ(r1.best.parameters, r2.best.parameters);
+  EXPECT_DOUBLE_EQ(r1.best.cost, r2.best.cost);
+  EXPECT_EQ(r1.starts_tried, r2.starts_tried);
+}
+
 TEST(Multistart, NelderMeadPolishNeverWorsens) {
   MultistartOptions with_polish;
   with_polish.sampled_starts = 4;
