@@ -1,11 +1,20 @@
 // Google-benchmark micro benchmarks: throughput of the hot paths (model
 // evaluation, full fits, metric computation, quadrature, special functions)
 // so regressions in the numeric substrate are visible.
+//
+// Usage: micro_benchmarks [--json <path>] [google-benchmark flags...]
+// --json writes the per-benchmark results (name, iterations, real/cpu time,
+// user counters) as a JSON document alongside the usual console table, so CI
+// can archive and diff runs without parsing console output.
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <fstream>
+#include <iostream>
 #include <string>
 #include <vector>
+
+#include "serve/json.hpp"
 
 #include "core/analysis.hpp"
 #include "core/bathtub.hpp"
@@ -178,4 +187,84 @@ void BM_FullTableOneColumn(benchmark::State& state) {
 }
 BENCHMARK(BM_FullTableOneColumn)->Unit(benchmark::kMillisecond);
 
+/// Console reporter that additionally collects every per-iteration run so the
+/// custom main below can dump them as JSON (serve::Json is the in-tree
+/// serializer; no dependency on benchmark's own JSONReporter output format).
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  bool ReportContext(const Context& context) override {
+    return benchmark::ConsoleReporter::ReportContext(context);
+  }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      serve::Json entry = serve::Json::object();
+      entry["name"] = serve::Json(run.benchmark_name());
+      entry["iterations"] = serve::Json(static_cast<double>(run.iterations));
+      entry["real_time"] = serve::Json(run.GetAdjustedRealTime());
+      entry["cpu_time"] = serve::Json(run.GetAdjustedCPUTime());
+      entry["time_unit"] = serve::Json(benchmark::GetTimeUnitString(run.time_unit));
+      if (!run.counters.empty()) {
+        serve::Json counters = serve::Json::object();
+        for (const auto& [name, counter] : run.counters) {
+          counters[name] = serve::Json(static_cast<double>(counter));
+        }
+        entry["counters"] = std::move(counters);
+      }
+      collected_.push_back(std::move(entry));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  serve::Json document() const {
+    serve::Json doc = serve::Json::object();
+    serve::Json list = serve::Json::array();
+    for (const serve::Json& entry : collected_) list.push_back(entry);
+    doc["benchmarks"] = std::move(list);
+    return doc;
+  }
+
+ private:
+  std::vector<serve::Json> collected_;
+};
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  // Strip "--json <path>" before google-benchmark sees (and rejects) it.
+  std::string json_path;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json") {
+      if (i + 1 >= argc) {
+        std::cerr << "micro_benchmarks: --json requires a file path\n";
+        return 1;
+      }
+      json_path = argv[++i];
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  args.push_back(nullptr);
+
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) return 1;
+
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "micro_benchmarks: cannot write '" << json_path << "'\n";
+      return 1;
+    }
+    out << reporter.document().dump() << '\n';
+    std::cout << "wrote " << json_path << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,135 @@
+// serve_throughput: requests/sec through the full prm::serve stack (JSON
+// parse -> route -> fit-or-cache -> JSON dump -> HTTP framing) over real
+// loopback sockets, cached vs uncached.
+//
+//  * Uncached: every request carries a distinct series (jittered copies of
+//    the 1990-93 recession), so each one runs the multistart optimizer.
+//  * Cached: every request repeats one already-fitted series, so the server
+//    answers straight from the LRU fit cache.
+//
+// The printed ratio is the speedup the cache buys a fit-heavy workload; the
+// cached row doubles as the ceiling of the HTTP/JSON plumbing itself.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/recessions.hpp"
+#include "report/table.hpp"
+#include "serve/handlers.hpp"
+#include "serve/json.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace prm;
+
+/// Fit-request body for the 1990-93 recession with each value nudged by a
+/// distinct epsilon: bit-different doubles hash to a fresh cache key while
+/// the fit problem stays numerically identical in difficulty.
+std::string jittered_body(int variant) {
+  const data::RecessionDataset& dataset = data::recession("1990-93");
+  serve::Json series = serve::Json::object();
+  serve::Json times = serve::Json::array();
+  for (const double t : dataset.series.times()) times.push_back(serve::Json(t));
+  serve::Json values = serve::Json::array();
+  const double epsilon = 1e-9 * static_cast<double>(variant);
+  for (const double v : dataset.series.values()) values.push_back(serve::Json(v + epsilon));
+  series["times"] = std::move(times);
+  series["values"] = std::move(values);
+  serve::Json body = serve::Json::object();
+  body["series"] = std::move(series);
+  body["model"] = serve::Json("competing-risks");
+  body["holdout"] = serve::Json(dataset.holdout);
+  return body.dump();
+}
+
+struct RunResult {
+  double seconds = 0.0;
+  std::size_t requests = 0;
+  double rps() const { return seconds > 0.0 ? static_cast<double>(requests) / seconds : 0.0; }
+};
+
+/// Fire all `bodies` at the server from `client_threads` concurrent
+/// connections, round-robin, and time the whole batch.
+RunResult drive(std::uint16_t port, const std::vector<std::string>& bodies,
+                std::size_t client_threads) {
+  const auto started = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < client_threads; ++c) {
+    threads.emplace_back([port, &bodies, c, client_threads] {
+      serve::http::Client client("127.0.0.1", port);
+      for (std::size_t i = c; i < bodies.size(); i += client_threads) {
+        const serve::http::Response response = client.post_json("/v1/fit", bodies[i]);
+        if (response.status != 200) {
+          std::fprintf(stderr, "fit failed: %s\n", response.body.c_str());
+          std::exit(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  RunResult result;
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
+  result.requests = bodies.size();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kClientThreads = 4;
+  constexpr int kUncachedRequests = 64;
+  constexpr int kCachedRequests = 2000;
+
+  serve::App app;
+  serve::ServerOptions options;
+  options.port = 0;
+  options.threads = 4;
+  serve::Server server(options,
+                       [&app](const serve::http::Request& r) { return app.handle(r); });
+  server.start();
+
+  // Uncached: 64 distinct series, each one a fresh optimizer run.
+  std::vector<std::string> distinct;
+  distinct.reserve(kUncachedRequests);
+  for (int i = 0; i < kUncachedRequests; ++i) distinct.push_back(jittered_body(i + 1));
+  const RunResult uncached = drive(server.port(), distinct, kClientThreads);
+
+  // Cached: one series repeated; prime it once so every timed request hits.
+  const std::string repeated = jittered_body(0);
+  {
+    serve::http::Client primer("127.0.0.1", server.port());
+    if (primer.post_json("/v1/fit", repeated).status != 200) return 1;
+  }
+  std::vector<std::string> repeats(kCachedRequests, repeated);
+  const RunResult cached = drive(server.port(), repeats, kClientThreads);
+
+  const std::uint64_t hits = app.fit_cache().hits();
+  server.stop();
+
+  report::Table table({"Workload", "Requests", "Wall (s)", "Req/sec"});
+  table.add_row({"uncached (distinct series)", std::to_string(uncached.requests),
+                 report::Table::fixed(uncached.seconds, 3),
+                 report::Table::fixed(uncached.rps(), 1)});
+  table.add_row({"cached (repeated series)", std::to_string(cached.requests),
+                 report::Table::fixed(cached.seconds, 3),
+                 report::Table::fixed(cached.rps(), 1)});
+  std::printf("serve_throughput: POST /v1/fit over loopback, %zu client threads, "
+              "%zu server workers\n",
+              kClientThreads, options.threads);
+  table.print(std::cout);
+  std::printf("\ncache speedup: %.1fx (%llu hits recorded)\n",
+              cached.rps() / uncached.rps(),
+              static_cast<unsigned long long>(hits));
+
+  if (hits < static_cast<std::uint64_t>(kCachedRequests)) {
+    std::fprintf(stderr, "expected every cached-pass request to hit the fit cache\n");
+    return 1;
+  }
+  return 0;
+}

@@ -7,8 +7,10 @@
 //   prm_cli uncertainty --fit FILE [--level L] [--replicates N]
 //   prm_cli detect    --csv data.csv            # hazard-onset detection
 //   prm_cli monitor   --csv F1,F2,... replay CSVs as interleaved live streams
+//   prm_cli serve     --port N --threads K      # embedded HTTP/JSON service
 //   prm_cli models                              # list registered models
 //   prm_cli demo                                # run on a bundled dataset
+//   prm_cli help | --help | -h                  # usage on stdout, exit 0
 //
 // CSV format: "t,value" with a header line; t strictly increasing.
 // With --model omitted, every registered model is fit and the best holdout
@@ -16,10 +18,15 @@
 // on stderr, exit 1). Exit code 0 on success, 1 on CLI errors, 2 on data
 // errors.
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstring>
 #include <iostream>
 #include <map>
 #include <optional>
+#include <string_view>
+#include <thread>
 
 #include "core/analysis.hpp"
 #include "core/metrics.hpp"
@@ -31,6 +38,8 @@
 #include "live/monitor.hpp"
 #include "report/ascii_plot.hpp"
 #include "report/table.hpp"
+#include "serve/handlers.hpp"
+#include "serve/server.hpp"
 
 namespace {
 
@@ -49,24 +58,30 @@ const std::map<std::string, std::vector<std::string>>& command_options() {
       {"uncertainty", {"fit", "level", "replicates"}},
       {"detect", {"csv"}},
       {"monitor", {"csv", "model", "threads", "refit-every", "save", "load"}},
+      {"serve", {"port", "threads", "model", "cache", "queue"}},
       {"models", {}},
       {"demo", {"model", "holdout", "loss", "level", "save"}},
   };
   return table;
 }
 
-void usage() {
-  std::cerr << "usage:\n"
-            << "  prm_cli fit     --csv FILE [--model NAME] [--holdout N]\n"
-            << "                  [--loss squared|huber|cauchy] [--level L] [--save FILE]\n"
-            << "  prm_cli predict --fit FILE [--level L]\n"
-            << "  prm_cli uncertainty --fit FILE [--level L] [--replicates N]\n"
-            << "  prm_cli detect  --csv FILE\n"
-            << "  prm_cli monitor --csv FILE[,FILE...] [--model NAME] [--threads N]\n"
-            << "                  [--refit-every N] [--save FILE] [--load FILE]\n"
-            << "  prm_cli models\n"
-            << "  prm_cli demo\n";
+void usage(std::ostream& out) {
+  out << "usage:\n"
+      << "  prm_cli fit     --csv FILE [--model NAME] [--holdout N]\n"
+      << "                  [--loss squared|huber|cauchy] [--level L] [--save FILE]\n"
+      << "  prm_cli predict --fit FILE [--level L]\n"
+      << "  prm_cli uncertainty --fit FILE [--level L] [--replicates N]\n"
+      << "  prm_cli detect  --csv FILE\n"
+      << "  prm_cli monitor --csv FILE[,FILE...] [--model NAME] [--threads N]\n"
+      << "                  [--refit-every N] [--save FILE] [--load FILE]\n"
+      << "  prm_cli serve   [--port N] [--threads N] [--model NAME] [--cache N]\n"
+      << "                  [--queue N]   # HTTP/JSON service; --port 0 = ephemeral\n"
+      << "  prm_cli models\n"
+      << "  prm_cli demo\n"
+      << "  prm_cli help | --help | -h\n";
 }
+
+void usage() { usage(std::cerr); }
 
 std::optional<CliArgs> parse(int argc, char** argv) {
   if (argc < 2) {
@@ -308,6 +323,62 @@ int run_monitor(const CliArgs& args) {
   return 0;
 }
 
+std::atomic<bool> g_serve_stop{false};
+
+void serve_signal_handler(int) { g_serve_stop.store(true); }
+
+int run_serve(const CliArgs& args) {
+  serve::AppOptions app_options;
+  if (args.options.count("model")) {
+    app_options.default_model = args.options.at("model");
+    app_options.monitor.model = app_options.default_model;
+  }
+  if (args.options.count("cache")) {
+    app_options.cache_capacity =
+        static_cast<std::size_t>(std::stoul(args.options.at("cache")));
+  }
+  serve::ServerOptions server_options;
+  server_options.port = args.options.count("port")
+                            ? static_cast<std::uint16_t>(
+                                  std::stoul(args.options.at("port")))
+                            : 8080;
+  if (args.options.count("threads")) {
+    server_options.threads =
+        static_cast<std::size_t>(std::stoul(args.options.at("threads")));
+  }
+  if (args.options.count("queue")) {
+    server_options.max_pending =
+        static_cast<std::size_t>(std::stoul(args.options.at("queue")));
+  }
+
+  serve::App app(app_options);
+  serve::Server server(server_options,
+                       [&app](const serve::http::Request& r) { return app.handle(r); });
+  server.start();
+  app.set_stats_provider([&server] { return server.stats(); });
+
+  // The "listening on" line is the startup contract: CI and scripts poll for
+  // it (and parse the ephemeral port from it), so flush immediately.
+  std::cout << "prm_cli serve: listening on " << server_options.bind_address << ':'
+            << server.port() << " (" << server_options.threads << " worker thread(s), "
+            << "fit cache " << app.fit_cache().capacity() << ", model '"
+            << app.options().default_model << "')" << std::endl;
+  std::cout << "routes: /healthz /metrics /v1/models /v1/fit /v1/forecast "
+               "/v1/metrics /v1/streams; Ctrl-C stops" << std::endl;
+
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+  while (!g_serve_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::cout << "prm_cli serve: shutting down\n";
+  server.stop();
+  const serve::ServerStats stats = server.stats();
+  std::cout << "served " << stats.requests_total << " request(s), rejected "
+            << stats.connections_rejected << " on overload\n";
+  return 0;
+}
+
 int run_detect(const data::PerformanceSeries& series) {
   const auto onset = data::find_hazard_onset(series);
   if (!onset) {
@@ -328,6 +399,13 @@ int run_detect(const data::PerformanceSeries& series) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2) {
+    const std::string_view first = argv[1];
+    if (first == "help" || first == "--help" || first == "-h") {
+      usage(std::cout);
+      return 0;
+    }
+  }
   const auto args = parse(argc, argv);
   if (!args) {
     usage();
@@ -410,6 +488,9 @@ int main(int argc, char** argv) {
         return 1;
       }
       return run_monitor(*args);
+    }
+    if (args->command == "serve") {
+      return run_serve(*args);
     }
     if (args->command == "fit" || args->command == "detect") {
       if (!args->options.count("csv")) {

@@ -304,7 +304,9 @@ std::unique_ptr<Monitor> Monitor::load(std::istream& in, MonitorOptions options)
   int version = 0;
   if (!(in >> version)) fail("missing format version");
   if (version != kFormatVersion) {
-    fail("unsupported format version " + std::to_string(version));
+    fail("unknown snapshot version: found prm-live " + std::to_string(version) +
+         ", this build reads prm-live " + std::to_string(kFormatVersion) +
+         " (re-save the snapshot with a matching build)");
   }
   expect_key(in, "model");
   std::string model_name;

@@ -1,0 +1,118 @@
+#include "serve/fit_cache.hpp"
+
+#include <cstring>
+
+namespace prm::serve {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_doubles(std::uint64_t h, std::span<const double> values) {
+  for (const double v : values) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);  // raw bits: -0.0 != 0.0, NaNs stable
+    h = fnv1a(h, &bits, sizeof bits);
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t hash_series(const data::PerformanceSeries& series) {
+  std::uint64_t h = kFnvOffset;
+  h = fnv1a_doubles(h, series.times());
+  h = fnv1a(h, "|", 1);  // separator: times [a] values [] != times [] values [a]
+  h = fnv1a_doubles(h, series.values());
+  return h;
+}
+
+bool cacheable(const core::FitOptions& options) {
+  return options.weights.empty() && !options.warm_start.has_value();
+}
+
+FitCacheKey make_fit_cache_key(const data::PerformanceSeries& series,
+                               const std::string& model, std::size_t holdout,
+                               const core::FitOptions& options) {
+  FitCacheKey key;
+  key.series_hash = hash_series(series);
+  key.series_length = series.size();
+  key.model = model;
+  key.holdout = holdout;
+  key.loss_kind = static_cast<int>(options.loss);
+  key.loss_scale = options.loss_scale;
+  return key;
+}
+
+std::size_t FitCache::KeyHash::operator()(const FitCacheKey& key) const noexcept {
+  std::uint64_t h = key.series_hash;
+  h = fnv1a(h, key.model.data(), key.model.size());
+  const std::uint64_t scalars[3] = {key.series_length, key.holdout,
+                                    static_cast<std::uint64_t>(key.loss_kind)};
+  h = fnv1a(h, scalars, sizeof scalars);
+  h = fnv1a(h, &key.loss_scale, sizeof key.loss_scale);
+  return static_cast<std::size_t>(h);
+}
+
+std::shared_ptr<const core::FitResult> FitCache::lookup(const FitCacheKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  order_.splice(order_.begin(), order_, it->second);  // promote to MRU
+  return it->second->fit;
+}
+
+void FitCache::insert(const FitCacheKey& key,
+                      std::shared_ptr<const core::FitResult> fit) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->fit = std::move(fit);
+    order_.splice(order_.begin(), order_, it->second);
+    return;
+  }
+  order_.push_front(Entry{key, std::move(fit)});
+  index_.emplace(key, order_.begin());
+  if (index_.size() > capacity_) {
+    index_.erase(order_.back().key);
+    order_.pop_back();
+  }
+}
+
+std::uint64_t FitCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t FitCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::size_t FitCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return index_.size();
+}
+
+void FitCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  order_.clear();
+  index_.clear();
+}
+
+}  // namespace prm::serve

@@ -1,0 +1,92 @@
+// LRU cache of fit results keyed by (series content hash, model family, fit
+// options), so identical /v1/fit -- and /v1/forecast, /v1/metrics, which fit
+// internally -- requests skip the multistart optimizer entirely.
+//
+// Keying: the series' time/value doubles are FNV-1a hashed bit-for-bit, and
+// the full key (hash + length + model name + holdout + loss kind/scale) is
+// compared for equality on lookup, so a 64-bit hash collision can at worst
+// cause a spurious miss between two series that share a digest -- never a
+// wrong hit being served, unless the digests AND all scalar fields collide
+// (vanishingly unlikely and bounded by the FNV quality, which unit tests
+// exercise with near-identical series).
+//
+// Values are shared_ptr<const FitResult>: a hit hands out a reference to the
+// immutable cached fit with no copying; eviction never invalidates a result a
+// handler is still using. All operations are thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/fitting.hpp"
+#include "data/time_series.hpp"
+
+namespace prm::serve {
+
+struct FitCacheKey {
+  std::uint64_t series_hash = 0;  ///< FNV-1a over times then values, raw bits.
+  std::size_t series_length = 0;
+  std::string model;
+  std::size_t holdout = 0;
+  int loss_kind = 0;
+  double loss_scale = 0.0;
+
+  bool operator==(const FitCacheKey&) const = default;
+};
+
+/// Build the cache key for a fit request. Ignores the series *name* (two
+/// differently named uploads of the same data share a slot) and any
+/// FitOptions fields that do not change the optimum deterministically
+/// (weights and warm starts make a request uncacheable; see cacheable()).
+FitCacheKey make_fit_cache_key(const data::PerformanceSeries& series,
+                               const std::string& model, std::size_t holdout,
+                               const core::FitOptions& options);
+
+/// False when `options` carries state the key does not capture.
+bool cacheable(const core::FitOptions& options);
+
+/// FNV-1a over the raw bytes of the series' time and value arrays.
+std::uint64_t hash_series(const data::PerformanceSeries& series);
+
+class FitCache {
+ public:
+  /// capacity == 0 disables caching (every lookup misses, inserts drop).
+  explicit FitCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// nullptr on miss. A hit promotes the entry to most-recently-used.
+  std::shared_ptr<const core::FitResult> lookup(const FitCacheKey& key);
+
+  /// Insert (or refresh) an entry, evicting the least-recently-used one when
+  /// over capacity. Racing inserts of the same key keep the newest value.
+  void insert(const FitCacheKey& key, std::shared_ptr<const core::FitResult> fit);
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::size_t size() const;
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  void clear();
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const FitCacheKey& key) const noexcept;
+  };
+  struct Entry {
+    FitCacheKey key;
+    std::shared_ptr<const core::FitResult> fit;
+  };
+  using Order = std::list<Entry>;  ///< Front = most recently used.
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  Order order_;
+  std::unordered_map<FitCacheKey, Order::iterator, KeyHash> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace prm::serve

@@ -1,0 +1,492 @@
+#include "serve/handlers.hpp"
+
+#include <cmath>
+#include <span>
+#include <stdexcept>
+#include <utility>
+
+#include "core/analysis.hpp"
+#include "core/forecast.hpp"
+#include "core/metrics.hpp"
+#include "core/model.hpp"
+#include "core/predictor.hpp"
+#include "core/validation.hpp"
+#include "optimize/problem.hpp"
+
+namespace prm::serve {
+
+namespace {
+
+Json error_json(const std::string& message) {
+  JsonObject o;
+  o["error"] = Json(message);
+  return Json(std::move(o));
+}
+
+http::Response error_response(int status, const std::string& message) {
+  return http::Response::json(status, error_json(message).dump());
+}
+
+Json to_json(std::span<const double> values) {
+  JsonArray a;
+  a.reserve(values.size());
+  for (const double v : values) a.push_back(Json(v));
+  return Json(std::move(a));
+}
+
+Json to_json(const std::optional<double>& v) {
+  return v ? Json(*v) : Json(nullptr);
+}
+
+/// Read a non-negative integral field ("holdout", "steps"); throws
+/// std::runtime_error (-> 400) on negatives or fractional values.
+std::size_t json_index_or(const Json& obj, std::string_view key, std::size_t fallback) {
+  const double raw = json_number_or(obj, key, static_cast<double>(fallback));
+  if (!(raw >= 0.0) || raw != std::floor(raw)) {
+    throw std::runtime_error("field '" + std::string(key) +
+                             "' must be a non-negative integer");
+  }
+  return static_cast<std::size_t>(raw);
+}
+
+}  // namespace
+
+struct App::FitRequest {
+  data::PerformanceSeries series;
+  std::string model;
+  std::size_t holdout = 0;
+  core::FitOptions fit_options;
+};
+
+App::App(AppOptions options)
+    : options_(std::move(options)), cache_(options_.cache_capacity) {
+  if (!core::ModelRegistry::instance().contains(options_.default_model)) {
+    throw std::out_of_range("App: unknown default model '" + options_.default_model +
+                            "'");
+  }
+  monitor_ = std::make_unique<live::Monitor>(options_.monitor);
+}
+
+void App::set_stats_provider(std::function<ServerStats()> provider) {
+  std::lock_guard<std::mutex> lock(stats_provider_mutex_);
+  stats_provider_ = std::move(provider);
+}
+
+App::FitRequest App::parse_fit_request(const Json& body) const {
+  const Json* series_field = body.find("series");
+  if (!series_field || !series_field->is_object()) {
+    throw std::runtime_error("missing required object field 'series'");
+  }
+  std::vector<double> values = json_number_array(*series_field, "values");
+  if (values.size() < 2) {
+    throw std::runtime_error("'series.values' needs at least 2 samples");
+  }
+  if (values.size() > options_.max_series_samples) {
+    throw std::runtime_error("series exceeds " +
+                             std::to_string(options_.max_series_samples) + " samples");
+  }
+  const std::string name = json_string_or(*series_field, "name", "series");
+
+  FitRequest request;
+  if (series_field->find("times")) {
+    std::vector<double> times = json_number_array(*series_field, "times");
+    if (times.size() != values.size()) {
+      throw std::runtime_error("'series.times' and 'series.values' differ in length");
+    }
+    // PerformanceSeries enforces strictly increasing times (-> 400 on violation).
+    request.series = data::PerformanceSeries(name, std::move(times), std::move(values));
+  } else {
+    request.series = data::PerformanceSeries(name, std::move(values));
+  }
+
+  request.model = json_string_or(body, "model", options_.default_model);
+  if (!core::ModelRegistry::instance().contains(request.model)) {
+    throw std::runtime_error("unknown model '" + request.model + "'");
+  }
+
+  const std::size_t n = request.series.size();
+  request.holdout = json_index_or(body, "holdout", std::max<std::size_t>(n / 10, 1));
+  if (request.holdout >= n) {
+    throw std::runtime_error("'holdout' must be smaller than the series length");
+  }
+
+  const std::string loss = json_string_or(body, "loss", "squared");
+  if (loss == "huber") {
+    request.fit_options.loss = opt::LossKind::kHuber;
+  } else if (loss == "cauchy") {
+    request.fit_options.loss = opt::LossKind::kCauchy;
+  } else if (loss != "squared") {
+    throw std::runtime_error("unknown loss '" + loss +
+                             "' (expected squared|huber|cauchy)");
+  }
+  request.fit_options.loss_scale =
+      json_number_or(body, "loss_scale", request.fit_options.loss_scale);
+  return request;
+}
+
+std::pair<std::shared_ptr<const core::FitResult>, bool> App::fit_or_cache(
+    const FitRequest& request) {
+  const FitCacheKey key = make_fit_cache_key(request.series, request.model,
+                                             request.holdout, request.fit_options);
+  if (auto hit = cache_.lookup(key)) return {std::move(hit), true};
+
+  auto fit = std::make_shared<core::FitResult>(core::fit_model(
+      request.model, request.series, request.holdout, request.fit_options));
+  fits_computed_.fetch_add(1, std::memory_order_relaxed);
+  if (!fit->success()) {
+    throw std::runtime_error("fit did not converge (" +
+                             std::string(opt::to_string(fit->stop_reason)) + ")");
+  }
+  cache_.insert(key, fit);  // only successes are cached
+  return {std::move(fit), false};
+}
+
+http::Response App::handle(const http::Request& request) {
+  try {
+    const std::string& target = request.target;
+    const bool is_get = request.method == "GET" || request.method == "HEAD";
+    const bool is_post = request.method == "POST";
+
+    if (target == "/healthz") {
+      return is_get ? handle_healthz() : error_response(405, "use GET /healthz");
+    }
+    if (target == "/metrics") {
+      return is_get ? handle_metrics() : error_response(405, "use GET /metrics");
+    }
+    if (target == "/v1/models") {
+      return is_get ? handle_models() : error_response(405, "use GET /v1/models");
+    }
+    if (target == "/v1/fit") {
+      return is_post ? handle_fit(request) : error_response(405, "use POST /v1/fit");
+    }
+    if (target == "/v1/forecast") {
+      return is_post ? handle_forecast(request)
+                     : error_response(405, "use POST /v1/forecast");
+    }
+    if (target == "/v1/metrics") {
+      return is_post ? handle_interval_metrics(request)
+                     : error_response(405, "use POST /v1/metrics");
+    }
+    if (target == "/v1/streams" || target == "/v1/streams/") {
+      return is_get ? handle_stream_list()
+                    : error_response(405, "use GET /v1/streams");
+    }
+    constexpr std::string_view kStreamPrefix = "/v1/streams/";
+    if (target.size() > kStreamPrefix.size() &&
+        std::string_view(target).substr(0, kStreamPrefix.size()) == kStreamPrefix) {
+      std::string rest = target.substr(kStreamPrefix.size());
+      constexpr std::string_view kIngestSuffix = "/ingest";
+      if (rest.size() > kIngestSuffix.size() &&
+          std::string_view(rest).substr(rest.size() - kIngestSuffix.size()) ==
+              kIngestSuffix) {
+        const std::string name = rest.substr(0, rest.size() - kIngestSuffix.size());
+        return is_post ? handle_stream_ingest(name, request)
+                       : error_response(405, "use POST /v1/streams/{name}/ingest");
+      }
+      return is_get ? handle_stream_get(rest)
+                    : error_response(405, "use GET /v1/streams/{name}");
+    }
+    return error_response(404, "no route for '" + target + "'");
+  } catch (const std::exception& e) {
+    // Anything thrown while parsing/validating/fitting is a client-side
+    // problem by construction; internal faults surface via Server's 500 path.
+    return error_response(400, e.what());
+  }
+}
+
+http::Response App::handle_healthz() const {
+  JsonObject o;
+  o["status"] = Json("ok");
+  o["service"] = Json("prm-serve");
+  return http::Response::json(200, Json(std::move(o)).dump());
+}
+
+http::Response App::handle_metrics() const {
+  Json out = Json::object();
+  {
+    std::lock_guard<std::mutex> lock(stats_provider_mutex_);
+    if (stats_provider_) {
+      const ServerStats s = stats_provider_();
+      Json server = Json::object();
+      server["connections_accepted"] = Json(s.connections_accepted);
+      server["connections_rejected"] = Json(s.connections_rejected);
+      server["requests_total"] = Json(s.requests_total);
+      server["responses_2xx"] = Json(s.responses_2xx);
+      server["responses_4xx"] = Json(s.responses_4xx);
+      server["responses_5xx"] = Json(s.responses_5xx);
+      server["parse_errors"] = Json(s.parse_errors);
+      server["queue_depth"] = Json(s.queue_depth);
+      server["threads"] = Json(s.threads);
+      Json buckets = Json::array();
+      for (std::size_t i = 0; i < s.latency_buckets.size(); ++i) {
+        Json bucket = Json::object();
+        bucket["le_us"] = i < kLatencyBucketEdgesUs.size()
+                              ? Json(kLatencyBucketEdgesUs[i])
+                              : Json(nullptr);  // null = +inf overflow bucket
+        bucket["count"] = Json(s.latency_buckets[i]);
+        buckets.push_back(std::move(bucket));
+      }
+      server["latency_histogram"] = std::move(buckets);
+      out["server"] = std::move(server);
+    } else {
+      out["server"] = Json(nullptr);
+    }
+  }
+  Json cache = Json::object();
+  cache["hits"] = Json(cache_.hits());
+  cache["misses"] = Json(cache_.misses());
+  cache["size"] = Json(cache_.size());
+  cache["capacity"] = Json(cache_.capacity());
+  out["fit_cache"] = std::move(cache);
+  out["fits_computed"] = Json(fits_computed());
+  Json mon = Json::object();
+  mon["streams"] = Json(monitor_->stream_count());
+  mon["refits_executed"] = Json(monitor_->refits_executed());
+  mon["refits_coalesced"] = Json(monitor_->refits_coalesced());
+  out["monitor"] = std::move(mon);
+  return http::Response::json(200, out.dump());
+}
+
+http::Response App::handle_models() const {
+  Json models = Json::array();
+  for (const std::string& name : core::ModelRegistry::instance().names()) {
+    const core::ModelPtr model = core::ModelRegistry::instance().create(name);
+    Json entry = Json::object();
+    entry["name"] = Json(name);
+    entry["display"] = Json(core::display_label(name));
+    entry["parameters"] = Json(model->num_parameters());
+    Json names = Json::array();
+    for (const std::string& p : model->parameter_names()) names.push_back(Json(p));
+    entry["parameter_names"] = std::move(names);
+    entry["description"] = Json(model->description());
+    models.push_back(std::move(entry));
+  }
+  Json out = Json::object();
+  out["models"] = std::move(models);
+  return http::Response::json(200, out.dump());
+}
+
+http::Response App::handle_fit(const http::Request& request) {
+  const Json body = Json::parse(request.body);
+  const FitRequest fit_request = parse_fit_request(body);
+  const auto [fit, cache_hit] = fit_or_cache(fit_request);
+  const core::ValidationReport report = core::validate(*fit);
+
+  const double level =
+      json_number_or(body, "level", fit_request.series.value(0));
+
+  Json out = Json::object();
+  out["model"] = Json(fit_request.model);
+  out["display_model"] = Json(core::display_label(fit_request.model));
+  out["holdout"] = Json(fit_request.holdout);
+  out["cache"] = Json(cache_hit ? "hit" : "miss");
+
+  Json parameters = Json::object();
+  const auto names = fit->model().parameter_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    parameters[names[i]] = Json(fit->parameters()[i]);
+  }
+  out["parameters"] = std::move(parameters);
+  out["parameter_vector"] = to_json(fit->parameters());
+
+  Json validation = Json::object();
+  validation["sse"] = Json(report.sse);
+  validation["pmse"] = Json(report.pmse);
+  validation["r2_adj"] = Json(report.r2_adj);
+  validation["ec"] = Json(report.ec);
+  validation["aic"] = Json(report.aic);
+  validation["bic"] = Json(report.bic);
+  validation["theil_u"] = Json(report.theil_u);
+  out["validation"] = std::move(validation);
+
+  Json recovery = Json::object();
+  recovery["level"] = Json(level);
+  recovery["time"] = to_json(core::predict_recovery_time(*fit, level));
+  out["recovery"] = std::move(recovery);
+
+  Json trough = Json::object();
+  trough["time"] = Json(core::predict_trough_time(*fit));
+  trough["value"] = Json(core::predict_trough_value(*fit));
+  out["trough"] = std::move(trough);
+
+  Json band = Json::object();
+  band["half_width"] = Json(report.band.half_width);
+  band["times"] = to_json(fit_request.series.times());
+  band["lower"] = to_json(report.band.lower);
+  band["upper"] = to_json(report.band.upper);
+  out["band"] = std::move(band);
+
+  Json solver = Json::object();
+  solver["sse"] = Json(fit->sse);
+  solver["stop"] = Json(std::string(opt::to_string(fit->stop_reason)));
+  solver["starts_tried"] = Json(fit->starts_tried);
+  solver["iterations"] = Json(fit->iterations);
+  solver["function_evaluations"] = Json(fit->function_evaluations);
+  out["solver"] = std::move(solver);
+
+  return http::Response::json(200, out.dump());
+}
+
+http::Response App::handle_forecast(const http::Request& request) {
+  const Json body = Json::parse(request.body);
+  const FitRequest fit_request = parse_fit_request(body);
+  const std::size_t steps = json_index_or(body, "steps", 12);
+  const double dt = json_number_or(body, "dt", 0.0);
+  const double alpha = json_number_or(body, "alpha", 0.05);
+  if (steps == 0 || steps > 100000) {
+    throw std::runtime_error("'steps' must be between 1 and 100000");
+  }
+
+  const auto [fit, cache_hit] = fit_or_cache(fit_request);
+  const core::ForecastResult forecast = core::forecast_horizon(*fit, steps, dt, alpha);
+
+  Json out = Json::object();
+  out["model"] = Json(fit_request.model);
+  out["cache"] = Json(cache_hit ? "hit" : "miss");
+  out["used_delta_method"] = Json(forecast.used_delta_method);
+  out["sigma2"] = Json(forecast.sigma2);
+  Json points = Json::array();
+  for (const core::ForecastPoint& p : forecast.points) {
+    Json point = Json::object();
+    point["t"] = Json(p.t);
+    point["value"] = Json(p.value);
+    point["lower"] = Json(p.lower);
+    point["upper"] = Json(p.upper);
+    points.push_back(std::move(point));
+  }
+  out["points"] = std::move(points);
+  return http::Response::json(200, out.dump());
+}
+
+http::Response App::handle_interval_metrics(const http::Request& request) {
+  const Json body = Json::parse(request.body);
+  const FitRequest fit_request = parse_fit_request(body);
+  if (fit_request.holdout == 0) {
+    throw std::runtime_error("'holdout' must be >= 1 for interval metrics");
+  }
+  core::MetricOptions metric_options;
+  metric_options.alpha_weight = json_number_or(body, "alpha_weight", 0.5);
+
+  const auto [fit, cache_hit] = fit_or_cache(fit_request);
+  Json out = Json::object();
+  out["model"] = Json(fit_request.model);
+  out["holdout"] = Json(fit_request.holdout);
+  out["cache"] = Json(cache_hit ? "hit" : "miss");
+  Json rows = Json::array();
+  for (const core::MetricValue& m : core::predictive_metrics(*fit, metric_options)) {
+    Json row = Json::object();
+    row["metric"] = Json(std::string(core::to_string(m.kind)));
+    row["actual"] = Json(m.actual);
+    row["predicted"] = Json(m.predicted);
+    row["relative_error"] = Json(m.relative_error);
+    rows.push_back(std::move(row));
+  }
+  out["metrics"] = std::move(rows);
+  return http::Response::json(200, out.dump());
+}
+
+http::Response App::handle_stream_list() const {
+  Json streams = Json::array();
+  for (const std::string& name : monitor_->stream_names()) streams.push_back(Json(name));
+  Json out = Json::object();
+  out["streams"] = std::move(streams);
+  return http::Response::json(200, out.dump());
+}
+
+http::Response App::handle_stream_get(const std::string& name) const {
+  live::StreamSnapshot snap;
+  try {
+    snap = monitor_->snapshot(name);
+  } catch (const std::out_of_range&) {
+    return error_response(404, "unknown stream '" + name + "'");
+  }
+
+  Json out = Json::object();
+  out["stream"] = Json(snap.name);
+  out["phase"] = Json(std::string(live::to_string(snap.phase)));
+  out["samples_seen"] = Json(snap.samples_seen);
+  out["last_time"] = Json(snap.last_time);
+  out["last_value"] = Json(snap.last_value);
+  out["event_ordinal"] = Json(snap.event_ordinal);
+  out["event_active"] = Json(snap.event_active);
+  out["onset_time"] = to_json(snap.onset_time);
+  Json trough = Json::object();
+  trough["time"] = to_json(snap.trough_time);
+  trough["value"] = to_json(snap.trough_value);
+  out["trough"] = std::move(trough);
+
+  if (snap.has_fit) {
+    Json fit = Json::object();
+    fit["model"] = Json(snap.model);
+    fit["parameters"] = to_json(snap.parameters);
+    fit["sse"] = Json(snap.fit_sse);
+    fit["predicted_recovery_time"] = to_json(snap.predicted_recovery_time);
+    fit["predicted_trough_time"] = to_json(snap.predicted_trough_time);
+    fit["predicted_trough_value"] = to_json(snap.predicted_trough_value);
+    out["fit"] = std::move(fit);
+  } else {
+    out["fit"] = Json(nullptr);
+  }
+
+  if (snap.has_horizon_metrics) {
+    Json metrics = Json::object();
+    for (std::size_t i = 0; i < core::kAllMetrics.size(); ++i) {
+      metrics[core::to_string(core::kAllMetrics[i])] = Json(snap.horizon_metrics[i]);
+    }
+    out["horizon_metrics"] = std::move(metrics);
+  } else {
+    out["horizon_metrics"] = Json(nullptr);
+  }
+
+  Json refits = Json::object();
+  refits["total"] = Json(snap.refits);
+  refits["warm"] = Json(snap.warm_refits);
+  refits["failed"] = Json(snap.failed_refits);
+  out["refits"] = std::move(refits);
+  return http::Response::json(200, out.dump());
+}
+
+http::Response App::handle_stream_ingest(const std::string& name,
+                                         const http::Request& request) {
+  const Json body = Json::parse(request.body);
+  std::vector<std::pair<double, double>> samples;
+  if (const Json* list = body.find("samples")) {
+    if (!list->is_array()) throw std::runtime_error("'samples' must be an array");
+    samples.reserve(list->as_array().size());
+    for (const Json& element : list->as_array()) {
+      if (!element.is_array() || element.as_array().size() != 2 ||
+          !element.as_array()[0].is_number() || !element.as_array()[1].is_number()) {
+        throw std::runtime_error("'samples' entries must be [t, value] pairs");
+      }
+      samples.emplace_back(element.as_array()[0].as_number(),
+                           element.as_array()[1].as_number());
+    }
+  } else {
+    samples.emplace_back(json_number(body, "t"), json_number(body, "value"));
+  }
+  if (samples.empty()) throw std::runtime_error("no samples provided");
+
+  Json transitions = Json::array();
+  // Out-of-order times / bad stream names throw std::invalid_argument -> 400.
+  for (const auto& [t, value] : samples) {
+    for (const live::TransitionEvent& tr : monitor_->ingest(name, t, value)) {
+      Json event = Json::object();
+      event["from"] = Json(std::string(live::to_string(tr.from)));
+      event["to"] = Json(std::string(live::to_string(tr.to)));
+      event["t"] = Json(tr.t);
+      transitions.push_back(std::move(event));
+    }
+  }
+
+  const live::StreamSnapshot snap = monitor_->snapshot(name);
+  Json out = Json::object();
+  out["stream"] = Json(name);
+  out["accepted"] = Json(samples.size());
+  out["phase"] = Json(std::string(live::to_string(snap.phase)));
+  out["event_ordinal"] = Json(snap.event_ordinal);
+  out["event_active"] = Json(snap.event_active);
+  out["transitions"] = std::move(transitions);
+  return http::Response::json(200, out.dump());
+}
+
+}  // namespace prm::serve

@@ -1,0 +1,104 @@
+// serve::App -- the HTTP-facing application: routing plus the JSON <->
+// pipeline plumbing that turns requests into core:: / live:: calls.
+//
+// Routes (all bodies and responses are JSON):
+//   GET  /healthz                      liveness probe
+//   GET  /metrics                      server stats + fit-cache + monitor counters
+//   GET  /v1/models                    registered model catalog
+//   POST /v1/fit                       fit a series: parameters, validation
+//                                      (SSE/PMSE/adjusted R^2/EC), predicted
+//                                      t_r, trough, 95% confidence band
+//   POST /v1/forecast                  fitted curve extended past the data
+//                                      with prediction intervals
+//   POST /v1/metrics                   the eight interval resilience metrics
+//   GET  /v1/streams                   monitored stream names
+//   GET  /v1/streams/{name}            one stream's live snapshot
+//   POST /v1/streams/{name}/ingest     feed samples into the shared Monitor
+//
+// Fit-shaped requests ({"series": {...}, "model": ..., "holdout": ...,
+// "loss": ...}) share one LRU FitCache: /v1/fit, /v1/forecast and
+// /v1/metrics on identical inputs all reuse the same optimizer run.
+// handle() is thread-safe and is what Server invokes from its worker pool.
+//
+// Error contract: malformed JSON / bad fields / unknown models -> 400 with
+// {"error": ...}; unknown routes or streams -> 404; wrong method -> 405.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "live/monitor.hpp"
+#include "serve/fit_cache.hpp"
+#include "serve/http.hpp"
+#include "serve/json.hpp"
+#include "serve/server.hpp"
+
+namespace prm::serve {
+
+struct AppOptions {
+  /// Model fitted when a request omits "model".
+  std::string default_model = "competing-risks";
+
+  /// LRU fit-cache capacity; 0 disables caching.
+  std::size_t cache_capacity = 256;
+
+  /// Reject uploaded series longer than this (guards allocation).
+  std::size_t max_series_samples = 200000;
+
+  /// Options for the embedded live::Monitor behind /v1/streams.
+  live::MonitorOptions monitor;
+};
+
+class App {
+ public:
+  /// Throws std::out_of_range when default_model / monitor model are not in
+  /// the registry (same contract as live::Monitor).
+  explicit App(AppOptions options = {});
+
+  /// Dispatch one request. Thread-safe; never throws (errors become JSON
+  /// error responses; Server still maps any escaped exception to a 500).
+  http::Response handle(const http::Request& request);
+
+  FitCache& fit_cache() noexcept { return cache_; }
+  live::Monitor& monitor() noexcept { return *monitor_; }
+
+  /// Number of fits that actually ran the optimizer (cache misses).
+  std::uint64_t fits_computed() const noexcept { return fits_computed_.load(); }
+
+  /// Wire in the Server's counters so GET /metrics can report them. Called
+  /// after the Server exists; /metrics reports "server": null until then.
+  void set_stats_provider(std::function<ServerStats()> provider);
+
+  const AppOptions& options() const noexcept { return options_; }
+
+ private:
+  struct FitRequest;  ///< Parsed fit-shaped body (series/model/holdout/loss).
+
+  FitRequest parse_fit_request(const Json& body) const;
+  std::pair<std::shared_ptr<const core::FitResult>, bool> fit_or_cache(
+      const FitRequest& request);
+
+  http::Response handle_healthz() const;
+  http::Response handle_metrics() const;
+  http::Response handle_models() const;
+  http::Response handle_fit(const http::Request& request);
+  http::Response handle_forecast(const http::Request& request);
+  http::Response handle_interval_metrics(const http::Request& request);
+  http::Response handle_stream_list() const;
+  http::Response handle_stream_get(const std::string& name) const;
+  http::Response handle_stream_ingest(const std::string& name,
+                                      const http::Request& request);
+
+  AppOptions options_;
+  FitCache cache_;
+  std::unique_ptr<live::Monitor> monitor_;
+  std::atomic<std::uint64_t> fits_computed_{0};
+
+  mutable std::mutex stats_provider_mutex_;
+  std::function<ServerStats()> stats_provider_;
+};
+
+}  // namespace prm::serve

@@ -1,0 +1,429 @@
+#include "serve/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstring>
+#include <stdexcept>
+
+namespace prm::serve::http {
+
+namespace {
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
+  return s;
+}
+
+/// Parse a non-negative Content-Length; nullopt on garbage.
+std::optional<std::size_t> parse_content_length(std::string_view value) {
+  value = trim(value);
+  if (value.empty()) return std::nullopt;
+  std::size_t n = 0;
+  const auto [end, ec] = std::from_chars(value.data(), value.data() + value.size(), n);
+  if (ec != std::errc() || end != value.data() + value.size()) return std::nullopt;
+  return n;
+}
+
+}  // namespace
+
+bool parse_header_block(std::string_view block, std::map<std::string, std::string>& out) {
+  std::size_t pos = 0;
+  while (pos < block.size()) {
+    std::size_t eol = block.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = block.size();
+    const std::string_view line = block.substr(pos, eol - pos);
+    pos = (eol == block.size()) ? block.size() : eol + 2;
+    if (line.empty()) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) return false;
+    const std::string_view name = trim(line.substr(0, colon));
+    if (name.empty() || name.find(' ') != std::string_view::npos) return false;
+    out[to_lower(name)] = std::string(trim(line.substr(colon + 1)));
+  }
+  return true;
+}
+
+bool Request::keep_alive() const {
+  const std::string* connection = header("connection");
+  const std::string value = connection ? to_lower(*connection) : "";
+  if (version == "HTTP/1.0") return value == "keep-alive";
+  return value != "close";  // HTTP/1.1 default: persistent
+}
+
+const std::string* Request::header(std::string_view name) const {
+  const auto it = headers.find(to_lower(name));
+  return it == headers.end() ? nullptr : &it->second;
+}
+
+Response Response::json(int status, std::string body) {
+  Response r;
+  r.status = status;
+  r.headers["Content-Type"] = "application/json";
+  r.body = std::move(body);
+  return r;
+}
+
+std::string_view reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string serialize(const Response& response, bool keep_alive) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + ' ';
+  out += reason_phrase(response.status);
+  out += "\r\n";
+  bool have_type = false;
+  for (const auto& [name, value] : response.headers) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+    if (to_lower(name) == "content-type") have_type = true;
+  }
+  if (!have_type) out += "Content-Type: application/json\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+std::string serialize(const Request& request, std::string_view host) {
+  std::string target = request.target.empty() ? "/" : request.target;
+  if (!request.query.empty()) target += '?' + request.query;
+  std::string out = request.method + ' ' + target + " HTTP/1.1\r\n";
+  out += "Host: ";
+  out += host;
+  out += "\r\n";
+  for (const auto& [name, value] : request.headers) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  if (!request.body.empty() || request.method == "POST" || request.method == "PUT") {
+    out += "Content-Length: " + std::to_string(request.body.size()) + "\r\n";
+  }
+  out += "\r\n";
+  out += request.body;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// RequestParser
+
+void RequestParser::fail(int status, std::string what) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_ = std::move(what);
+}
+
+bool RequestParser::feed(std::string_view chunk) {
+  if (state_ == State::kError) return false;
+  buffer_.append(chunk.data(), chunk.size());
+  advance();
+  return done();
+}
+
+void RequestParser::next() {
+  if (state_ != State::kDone) return;
+  state_ = State::kHeaders;
+  request_ = Request{};
+  body_expected_ = 0;
+  advance();  // a pipelined next message may already be complete
+}
+
+void RequestParser::advance() {
+  if (state_ == State::kHeaders) {
+    const std::size_t head_end = buffer_.find("\r\n\r\n");
+    if (head_end == std::string::npos) {
+      if (buffer_.size() > limits_.max_header_bytes) {
+        fail(431, "header block exceeds " + std::to_string(limits_.max_header_bytes) +
+                      " bytes");
+      }
+      return;
+    }
+    if (head_end > limits_.max_header_bytes) {
+      fail(431, "header block exceeds " + std::to_string(limits_.max_header_bytes) +
+                    " bytes");
+      return;
+    }
+    if (!parse_head(std::string_view(buffer_).substr(0, head_end))) return;
+    buffer_.erase(0, head_end + 4);
+    if (body_expected_ > limits_.max_body_bytes) {
+      fail(413, "body of " + std::to_string(body_expected_) + " bytes exceeds limit");
+      return;
+    }
+    state_ = State::kBody;
+  }
+  if (state_ == State::kBody && buffer_.size() >= body_expected_) {
+    request_.body = buffer_.substr(0, body_expected_);
+    buffer_.erase(0, body_expected_);
+    state_ = State::kDone;
+  }
+}
+
+bool RequestParser::parse_head(std::string_view head) {
+  const std::size_t eol = head.find("\r\n");
+  const std::string_view line = head.substr(0, eol);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = (sp1 == std::string_view::npos) ? std::string_view::npos
+                                                          : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      line.find(' ', sp2 + 1) != std::string_view::npos) {
+    fail(400, "malformed request line");
+    return false;
+  }
+  request_.method = std::string(line.substr(0, sp1));
+  std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  request_.version = std::string(line.substr(sp2 + 1));
+  if (request_.method.empty() || target.empty() || target.front() != '/') {
+    fail(400, "malformed request line");
+    return false;
+  }
+  if (request_.version != "HTTP/1.1" && request_.version != "HTTP/1.0") {
+    fail(400, "unsupported HTTP version '" + request_.version + "'");
+    return false;
+  }
+  const std::size_t question = target.find('?');
+  if (question != std::string_view::npos) {
+    request_.query = std::string(target.substr(question + 1));
+    target = target.substr(0, question);
+  }
+  request_.target = std::string(target);
+
+  const std::string_view header_block =
+      (eol == std::string_view::npos) ? std::string_view{} : head.substr(eol + 2);
+  if (!parse_header_block(header_block, request_.headers)) {
+    fail(400, "malformed header line");
+    return false;
+  }
+  if (request_.header("transfer-encoding") != nullptr) {
+    fail(501, "transfer-encoding is not supported");
+    return false;
+  }
+  if (const std::string* length = request_.header("content-length")) {
+    const auto parsed = parse_content_length(*length);
+    if (!parsed) {
+      fail(400, "invalid content-length");
+      return false;
+    }
+    body_expected_ = *parsed;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// ResponseParser
+
+void ResponseParser::fail(std::string what) {
+  state_ = State::kError;
+  error_ = std::move(what);
+}
+
+bool ResponseParser::feed(std::string_view chunk) {
+  if (state_ == State::kError) return false;
+  buffer_.append(chunk.data(), chunk.size());
+  advance();
+  return done();
+}
+
+void ResponseParser::next() {
+  if (state_ != State::kDone) return;
+  state_ = State::kHeaders;
+  response_ = Response{};
+  body_expected_ = 0;
+  advance();
+}
+
+void ResponseParser::advance() {
+  if (state_ == State::kHeaders) {
+    const std::size_t head_end = buffer_.find("\r\n\r\n");
+    if (head_end == std::string::npos) {
+      if (buffer_.size() > limits_.max_header_bytes) fail("header block too large");
+      return;
+    }
+    if (!parse_head(std::string_view(buffer_).substr(0, head_end))) return;
+    buffer_.erase(0, head_end + 4);
+    if (body_expected_ > limits_.max_body_bytes) {
+      fail("response body exceeds limit");
+      return;
+    }
+    state_ = State::kBody;
+  }
+  if (state_ == State::kBody && buffer_.size() >= body_expected_) {
+    response_.body = buffer_.substr(0, body_expected_);
+    buffer_.erase(0, body_expected_);
+    state_ = State::kDone;
+  }
+}
+
+bool ResponseParser::parse_head(std::string_view head) {
+  const std::size_t eol = head.find("\r\n");
+  const std::string_view line = head.substr(0, eol);
+  // "HTTP/1.1 200 OK" -- the reason phrase may contain spaces or be empty.
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos || line.substr(0, 5) != "HTTP/") {
+    fail("malformed status line");
+    return false;
+  }
+  const std::string_view status_text = trim(line.substr(sp1 + 1, 4));
+  int status = 0;
+  const auto [end, ec] =
+      std::from_chars(status_text.data(), status_text.data() + status_text.size(), status);
+  if (ec != std::errc() || status < 100 || status > 599) {
+    fail("malformed status code");
+    return false;
+  }
+  (void)end;
+  response_.status = status;
+
+  const std::string_view header_block =
+      (eol == std::string_view::npos) ? std::string_view{} : head.substr(eol + 2);
+  std::map<std::string, std::string> headers;
+  if (!parse_header_block(header_block, headers)) {
+    fail("malformed header line");
+    return false;
+  }
+  if (const auto it = headers.find("content-length"); it != headers.end()) {
+    const auto parsed = parse_content_length(it->second);
+    if (!parsed) {
+      fail("invalid content-length");
+      return false;
+    }
+    body_expected_ = *parsed;
+  }
+  response_.headers = std::move(headers);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Client
+
+Client::Client(const std::string& host, std::uint16_t port) : host_(host), port_(port) {
+  connect();
+}
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::connect() {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("http::Client: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    close();
+    throw std::runtime_error("http::Client: bad address '" + host_ + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    close();
+    throw std::runtime_error("http::Client: cannot connect to " + host_ + ':' +
+                             std::to_string(port_));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+Response Client::request(const Request& request) {
+  const std::string wire = serialize(request, host_ + ':' + std::to_string(port_));
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (fd_ < 0) connect();
+    std::size_t sent = 0;
+    bool send_failed = false;
+    while (sent < wire.size()) {
+      const ssize_t n =
+          ::send(fd_, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) {
+        send_failed = true;
+        break;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    if (send_failed) {
+      // Server likely closed a kept-alive connection: reconnect and retry once.
+      close();
+      if (attempt == 0) continue;
+      throw std::runtime_error("http::Client: send failed");
+    }
+
+    ResponseParser parser;
+    char buf[4096];
+    bool peer_closed_early = false;
+    while (!parser.done() && !parser.failed()) {
+      const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+      if (n < 0) throw std::runtime_error("http::Client: recv failed");
+      if (n == 0) {
+        peer_closed_early = true;
+        break;
+      }
+      parser.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    }
+    if (peer_closed_early && !parser.done()) {
+      close();
+      if (attempt == 0) continue;  // stale keep-alive connection
+      throw std::runtime_error("http::Client: connection closed mid-response");
+    }
+    if (parser.failed()) throw std::runtime_error("http::Client: " + parser.error());
+
+    const Response& response = parser.response();
+    const auto it = response.headers.find("connection");
+    if (it != response.headers.end() && to_lower(it->second) == "close") close();
+    return response;
+  }
+  throw std::runtime_error("http::Client: request failed");  // unreachable
+}
+
+Response Client::get(const std::string& target) {
+  Request r;
+  r.method = "GET";
+  r.target = target;
+  return request(r);
+}
+
+Response Client::post_json(const std::string& target, const std::string& body) {
+  Request r;
+  r.method = "POST";
+  r.target = target;
+  r.headers["Content-Type"] = "application/json";
+  r.body = body;
+  return request(r);
+}
+
+}  // namespace prm::serve::http

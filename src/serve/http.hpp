@@ -1,0 +1,163 @@
+// HTTP/1.1 framing for prm::serve: incremental request/response parsers that
+// consume raw socket bytes, a serializer, and a tiny blocking client used by
+// tests, the bench, and the serve_client example.
+//
+// Scope (deliberately small, covered by unit tests):
+//  * Requests: method + target + HTTP/1.0|1.1, header block, fixed
+//    Content-Length bodies. Chunked transfer encoding is rejected with 501.
+//  * Keep-alive: HTTP/1.1 defaults to persistent connections; "Connection:
+//    close" (or HTTP/1.0 without "keep-alive") closes after the response.
+//  * Hard limits on header-block and body sizes; violations map to the
+//    suggested status carried by the parser (400/413/431/501).
+//  * Header names are case-insensitive: stored lower-cased.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace prm::serve::http {
+
+struct Request {
+  std::string method;           ///< Upper-case by convention; not enforced.
+  std::string target;           ///< Path only ("/v1/fit"); query split off.
+  std::string query;            ///< Bytes after '?', empty when absent.
+  std::string version;          ///< "HTTP/1.1".
+  std::map<std::string, std::string> headers;  ///< Keys lower-cased.
+  std::string body;
+
+  /// True when the response may keep the connection open afterwards.
+  bool keep_alive() const;
+
+  const std::string* header(std::string_view name) const;
+};
+
+struct Response {
+  int status = 200;
+  std::map<std::string, std::string> headers;  ///< Content-Length is added for you.
+  std::string body;
+
+  /// Convenience: a JSON response with Content-Type set.
+  static Response json(int status, std::string body);
+};
+
+std::string_view reason_phrase(int status);
+
+/// Serialize a response; adds Content-Length and (unless already present)
+/// Content-Type. `keep_alive` controls the Connection header.
+std::string serialize(const Response& response, bool keep_alive);
+
+/// Serialize a request for the client side (adds Content-Length and Host).
+std::string serialize(const Request& request, std::string_view host);
+
+struct ParserLimits {
+  std::size_t max_header_bytes = 16 * 1024;
+  std::size_t max_body_bytes = 8 * 1024 * 1024;
+};
+
+/// Incremental parser: feed() socket chunks until done() or failed(). After a
+/// completed message, next() re-arms the parser keeping any pipelined bytes
+/// already received beyond the message boundary.
+class RequestParser {
+ public:
+  explicit RequestParser(ParserLimits limits = {}) : limits_(limits) {}
+
+  /// Append bytes and advance. Returns done(). No-op once failed.
+  bool feed(std::string_view chunk);
+
+  bool done() const noexcept { return state_ == State::kDone; }
+  bool failed() const noexcept { return state_ == State::kError; }
+
+  /// Valid while done(): the parsed message.
+  const Request& request() const noexcept { return request_; }
+
+  /// Valid while failed(): what went wrong and the status to answer with.
+  const std::string& error() const noexcept { return error_; }
+  int error_status() const noexcept { return error_status_; }
+
+  /// True when no bytes of a next message have arrived yet -- i.e. the
+  /// connection is between messages (clean EOF point).
+  bool idle() const noexcept { return state_ == State::kHeaders && buffer_.empty(); }
+
+  /// After done(): reset for the next message on the same connection,
+  /// retaining pipelined bytes.
+  void next();
+
+ private:
+  enum class State { kHeaders, kBody, kDone, kError };
+
+  void fail(int status, std::string what);
+  void advance();
+  bool parse_head(std::string_view head);
+
+  ParserLimits limits_;
+  State state_ = State::kHeaders;
+  std::string buffer_;
+  std::size_t body_expected_ = 0;
+  Request request_;
+  std::string error_;
+  int error_status_ = 400;
+};
+
+/// Response-side twin of RequestParser, for the blocking client. Handles
+/// status line + headers + Content-Length body (no chunked decoding).
+class ResponseParser {
+ public:
+  explicit ResponseParser(ParserLimits limits = {}) : limits_(limits) {}
+
+  bool feed(std::string_view chunk);
+  bool done() const noexcept { return state_ == State::kDone; }
+  bool failed() const noexcept { return state_ == State::kError; }
+  const Response& response() const noexcept { return response_; }
+  const std::string& error() const noexcept { return error_; }
+  void next();
+
+ private:
+  enum class State { kHeaders, kBody, kDone, kError };
+
+  void fail(std::string what);
+  void advance();
+  bool parse_head(std::string_view head);
+
+  ParserLimits limits_;
+  State state_ = State::kHeaders;
+  std::string buffer_;
+  std::size_t body_expected_ = 0;
+  Response response_;
+  std::string error_;
+};
+
+/// Parse a header block "Name: value\r\n..." into lower-cased keys. Returns
+/// false on a malformed line. Shared by both parsers; exposed for tests.
+bool parse_header_block(std::string_view block, std::map<std::string, std::string>& out);
+
+/// Blocking HTTP/1.1 client over one TCP connection with keep-alive.
+/// Throws std::runtime_error on connect/IO/parse failures.
+class Client {
+ public:
+  Client(const std::string& host, std::uint16_t port);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// One round-trip. Reconnects transparently if the server closed the
+  /// connection after the previous exchange.
+  Response request(const Request& request);
+
+  /// Convenience wrappers.
+  Response get(const std::string& target);
+  Response post_json(const std::string& target, const std::string& body);
+
+ private:
+  void connect();
+  void close();
+
+  std::string host_;
+  std::uint16_t port_;
+  int fd_ = -1;
+};
+
+}  // namespace prm::serve::http

@@ -1,0 +1,419 @@
+#include "serve/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+namespace prm::serve {
+
+namespace {
+
+[[noreturn]] void type_error(const char* wanted, Json::Type got) {
+  static constexpr const char* kNames[] = {"null",   "bool",  "number",
+                                           "string", "array", "object"};
+  throw std::runtime_error(std::string("Json: expected ") + wanted + ", got " +
+                           kNames[static_cast<int>(got)]);
+}
+
+/// Recursive-descent parser over a string_view with offset-tracked errors.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json run() {
+    Json value = parse_value(0);
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters after JSON document");
+    return value;
+  }
+
+ private:
+  static constexpr std::size_t kMaxDepth = 100;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("Json::parse: " + what + " at offset " +
+                             std::to_string(pos_));
+  }
+
+  bool at_end() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  void skip_whitespace() {
+    while (!at_end()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  void expect(char c) {
+    if (at_end() || peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  Json parse_value(std::size_t depth) {
+    if (depth > kMaxDepth) fail("nesting deeper than " + std::to_string(kMaxDepth));
+    skip_whitespace();
+    if (at_end()) fail("unexpected end of input");
+    switch (peek()) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"':
+        return Json(parse_string());
+      case 't':
+        if (consume_literal("true")) return Json(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return Json(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return Json(nullptr);
+        fail("invalid literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  Json parse_object(std::size_t depth) {
+    expect('{');
+    JsonObject members;
+    skip_whitespace();
+    if (!at_end() && peek() == '}') {
+      ++pos_;
+      return Json(std::move(members));
+    }
+    while (true) {
+      skip_whitespace();
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      members[std::move(key)] = parse_value(depth + 1);
+      skip_whitespace();
+      if (at_end()) fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return Json(std::move(members));
+    }
+  }
+
+  Json parse_array(std::size_t depth) {
+    expect('[');
+    JsonArray elements;
+    skip_whitespace();
+    if (!at_end() && peek() == ']') {
+      ++pos_;
+      return Json(std::move(elements));
+    }
+    while (true) {
+      elements.push_back(parse_value(depth + 1));
+      skip_whitespace();
+      if (at_end()) fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return Json(std::move(elements));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (at_end()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (at_end()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': append_unicode_escape(out); break;
+        default: fail("unknown escape character");
+      }
+    }
+  }
+
+  unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("bad hex digit in \\u escape");
+    }
+    return value;
+  }
+
+  void append_unicode_escape(std::string& out) {
+    unsigned code = parse_hex4();
+    if (code >= 0xD800 && code <= 0xDBFF) {  // high surrogate: need a low one
+      if (pos_ + 2 > text_.size() || text_[pos_] != '\\' || text_[pos_ + 1] != 'u') {
+        fail("unpaired UTF-16 surrogate");
+      }
+      pos_ += 2;
+      const unsigned low = parse_hex4();
+      if (low < 0xDC00 || low > 0xDFFF) fail("invalid UTF-16 surrogate pair");
+      code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+      fail("unpaired UTF-16 surrogate");
+    }
+    // UTF-8 encode.
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (!at_end() && peek() == '-') ++pos_;
+    auto digits = [this] {
+      std::size_t n = 0;
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_, ++n;
+      return n;
+    };
+    if (digits() == 0) fail("invalid number");
+    if (!at_end() && peek() == '.') {
+      ++pos_;
+      if (digits() == 0) fail("digits required after decimal point");
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!at_end() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (digits() == 0) fail("digits required in exponent");
+    }
+    double value = 0.0;
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    const auto [end, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc() || end != last) {
+      pos_ = start;
+      fail("unparseable number");
+    }
+    return Json(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void dump_string(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out.push_back(c);  // UTF-8 bytes pass through verbatim
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void dump_number(double d, std::string& out) {
+  if (!std::isfinite(d)) {  // JSON has no NaN/Inf spelling
+    out += "null";
+    return;
+  }
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, d);
+  (void)ec;  // 32 bytes always fit the shortest representation
+  out.append(buf, end);
+}
+
+void dump_value(const Json& v, std::string& out);
+
+void dump_array(const JsonArray& a, std::string& out) {
+  out.push_back('[');
+  bool first = true;
+  for (const Json& element : a) {
+    if (!first) out.push_back(',');
+    first = false;
+    dump_value(element, out);
+  }
+  out.push_back(']');
+}
+
+void dump_object(const JsonObject& o, std::string& out) {
+  out.push_back('{');
+  bool first = true;
+  for (const auto& [key, value] : o) {
+    if (!first) out.push_back(',');
+    first = false;
+    dump_string(key, out);
+    out.push_back(':');
+    dump_value(value, out);
+  }
+  out.push_back('}');
+}
+
+void dump_value(const Json& v, std::string& out) {
+  switch (v.type()) {
+    case Json::Type::kNull: out += "null"; break;
+    case Json::Type::kBool: out += v.as_bool() ? "true" : "false"; break;
+    case Json::Type::kNumber: dump_number(v.as_number(), out); break;
+    case Json::Type::kString: dump_string(v.as_string(), out); break;
+    case Json::Type::kArray: dump_array(v.as_array(), out); break;
+    case Json::Type::kObject: dump_object(v.as_object(), out); break;
+  }
+}
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (const bool* b = std::get_if<bool>(&value_)) return *b;
+  type_error("bool", type());
+}
+
+double Json::as_number() const {
+  if (const double* d = std::get_if<double>(&value_)) return *d;
+  type_error("number", type());
+}
+
+const std::string& Json::as_string() const {
+  if (const std::string* s = std::get_if<std::string>(&value_)) return *s;
+  type_error("string", type());
+}
+
+const JsonArray& Json::as_array() const {
+  if (const JsonArray* a = std::get_if<JsonArray>(&value_)) return *a;
+  type_error("array", type());
+}
+
+const JsonObject& Json::as_object() const {
+  if (const JsonObject* o = std::get_if<JsonObject>(&value_)) return *o;
+  type_error("object", type());
+}
+
+JsonArray& Json::as_array() {
+  if (JsonArray* a = std::get_if<JsonArray>(&value_)) return *a;
+  type_error("array", type());
+}
+
+JsonObject& Json::as_object() {
+  if (JsonObject* o = std::get_if<JsonObject>(&value_)) return *o;
+  type_error("object", type());
+}
+
+const Json* Json::find(std::string_view key) const {
+  const JsonObject* o = std::get_if<JsonObject>(&value_);
+  if (!o) return nullptr;
+  const auto it = o->find(std::string(key));
+  return it == o->end() ? nullptr : &it->second;
+}
+
+Json& Json::operator[](std::string_view key) {
+  if (is_null()) value_ = JsonObject{};
+  return as_object()[std::string(key)];
+}
+
+void Json::push_back(Json element) {
+  if (is_null()) value_ = JsonArray{};
+  as_array().push_back(std::move(element));
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_value(*this, out);
+  return out;
+}
+
+Json Json::parse(std::string_view text) { return Parser(text).run(); }
+
+double json_number(const Json& obj, std::string_view key) {
+  const Json* v = obj.find(key);
+  if (!v) throw std::runtime_error("missing required field '" + std::string(key) + "'");
+  if (!v->is_number()) {
+    throw std::runtime_error("field '" + std::string(key) + "' must be a number");
+  }
+  return v->as_number();
+}
+
+double json_number_or(const Json& obj, std::string_view key, double fallback) {
+  const Json* v = obj.find(key);
+  if (!v || v->is_null()) return fallback;
+  if (!v->is_number()) {
+    throw std::runtime_error("field '" + std::string(key) + "' must be a number");
+  }
+  return v->as_number();
+}
+
+std::string json_string_or(const Json& obj, std::string_view key, std::string fallback) {
+  const Json* v = obj.find(key);
+  if (!v || v->is_null()) return fallback;
+  if (!v->is_string()) {
+    throw std::runtime_error("field '" + std::string(key) + "' must be a string");
+  }
+  return v->as_string();
+}
+
+std::vector<double> json_number_array(const Json& obj, std::string_view key) {
+  const Json* v = obj.find(key);
+  if (!v) throw std::runtime_error("missing required field '" + std::string(key) + "'");
+  if (!v->is_array()) {
+    throw std::runtime_error("field '" + std::string(key) + "' must be an array");
+  }
+  std::vector<double> out;
+  out.reserve(v->as_array().size());
+  for (const Json& element : v->as_array()) {
+    if (!element.is_number()) {
+      throw std::runtime_error("field '" + std::string(key) +
+                               "' must contain only numbers");
+    }
+    out.push_back(element.as_number());
+  }
+  return out;
+}
+
+}  // namespace prm::serve

@@ -1,0 +1,102 @@
+// Minimal JSON value type, parser, and serializer -- the wire format of the
+// prm::serve HTTP service, hand-rolled so the tree stays dependency-free.
+//
+// Design points:
+//  * One variant-backed value class (null / bool / number / string / array /
+//    object). Objects are std::map so dumps are deterministic (sorted keys).
+//  * parse() is a recursive-descent parser over the full RFC 8259 grammar
+//    (escapes incl. \uXXXX surrogate pairs, exponents, nesting) with a depth
+//    limit and byte-offset error messages.
+//  * dump() emits the shortest round-trippable representation of doubles
+//    (std::to_chars), so parse(dump(x)) == x bit-for-bit for finite values.
+//    NaN and infinities have no JSON spelling and serialize as null.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace prm::serve {
+
+class Json;
+
+using JsonArray = std::vector<Json>;
+using JsonObject = std::map<std::string, Json>;
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(int i) : value_(static_cast<double>(i)) {}
+  Json(unsigned i) : value_(static_cast<double>(i)) {}
+  Json(long i) : value_(static_cast<double>(i)) {}
+  Json(unsigned long i) : value_(static_cast<double>(i)) {}
+  Json(long long i) : value_(static_cast<double>(i)) {}
+  Json(unsigned long long i) : value_(static_cast<double>(i)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(std::string_view s) : value_(std::string(s)) {}
+  Json(JsonArray a) : value_(std::move(a)) {}
+  Json(JsonObject o) : value_(std::move(o)) {}
+
+  static Json array() { return Json(JsonArray{}); }
+  static Json object() { return Json(JsonObject{}); }
+
+  Type type() const noexcept { return static_cast<Type>(value_.index()); }
+  bool is_null() const noexcept { return type() == Type::kNull; }
+  bool is_bool() const noexcept { return type() == Type::kBool; }
+  bool is_number() const noexcept { return type() == Type::kNumber; }
+  bool is_string() const noexcept { return type() == Type::kString; }
+  bool is_array() const noexcept { return type() == Type::kArray; }
+  bool is_object() const noexcept { return type() == Type::kObject; }
+
+  /// Checked accessors; throw std::runtime_error on a type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  const JsonObject& as_object() const;
+  JsonArray& as_array();
+  JsonObject& as_object();
+
+  /// Object member lookup: nullptr when this is not an object or the key is
+  /// absent. The pointer stays valid while the Json is alive and unmodified.
+  const Json* find(std::string_view key) const;
+
+  /// Object member insertion/assignment; converts a null value to an object
+  /// first and throws std::runtime_error on any other non-object type.
+  Json& operator[](std::string_view key);
+
+  /// Array append; converts a null value to an array first and throws
+  /// std::runtime_error on any other non-array type.
+  void push_back(Json element);
+
+  bool operator==(const Json& other) const = default;
+
+  /// Serialize compactly (no whitespace). Keys are sorted (std::map order).
+  std::string dump() const;
+
+  /// Parse one JSON document; rejects trailing non-whitespace. Throws
+  /// std::runtime_error naming the byte offset of the problem.
+  static Json parse(std::string_view text);
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject> value_;
+};
+
+/// Helpers for the handler layer: required/optional typed member access with
+/// route-quality error messages (thrown as std::runtime_error, mapped to 400).
+double json_number(const Json& obj, std::string_view key);
+double json_number_or(const Json& obj, std::string_view key, double fallback);
+std::string json_string_or(const Json& obj, std::string_view key, std::string fallback);
+std::vector<double> json_number_array(const Json& obj, std::string_view key);
+
+}  // namespace prm::serve

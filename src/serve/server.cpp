@@ -1,0 +1,299 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "serve/json.hpp"
+
+namespace prm::serve {
+
+namespace {
+
+/// Granularity at which blocked reads wake up to re-check the stop flag and
+/// the connection's idle budget.
+constexpr int kRecvSliceMs = 200;
+
+bool send_all(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void set_recv_timeout(int fd, int ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options, Handler handler)
+    : options_(std::move(options)),
+      handler_(std::move(handler)),
+      worker_fds_(std::max<std::size_t>(options_.threads, 1)) {
+  if (!handler_) throw std::invalid_argument("Server: null handler");
+  options_.threads = std::max<std::size_t>(options_.threads, 1);
+  options_.max_pending = std::max<std::size_t>(options_.max_pending, 1);
+  for (auto& fd : worker_fds_) fd.store(-1, std::memory_order_relaxed);
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (running_.exchange(true)) return;
+  stopping_.store(false);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    running_.store(false);
+    throw std::runtime_error("Server: socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    running_.store(false);
+    throw std::runtime_error("Server: bad bind address '" + options_.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(listen_fd_, static_cast<int>(options_.max_pending)) != 0) {
+    const std::string what = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    running_.store(false);
+    throw std::runtime_error("Server: cannot listen on " + options_.bind_address + ':' +
+                             std::to_string(options_.port) + ": " + what);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_.store(ntohs(bound.sin_port));
+
+  acceptor_ = std::thread([this] { accept_loop(); });
+  workers_.reserve(options_.threads);
+  for (std::size_t i = 0; i < options_.threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+void Server::stop() {
+  if (!running_.load()) return;
+  stopping_.store(true);
+
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);  // unblock accept()
+  if (acceptor_.joinable()) acceptor_.join();
+
+  queue_cv_.notify_all();
+  for (auto& slot : worker_fds_) {
+    const int fd = slot.load(std::memory_order_acquire);
+    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);  // unblock a worker mid-recv
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    for (const int fd : queue_) ::close(fd);
+    queue_.clear();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false);
+}
+
+bool Server::push_connection(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (queue_.size() >= options_.max_pending) return false;
+    queue_.push_back(fd);
+  }
+  queue_cv_.notify_one();
+  return true;
+}
+
+int Server::pop_connection() {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  queue_cv_.wait(lock, [this] { return stopping_.load() || !queue_.empty(); });
+  if (stopping_.load()) return -1;
+  const int fd = queue_.front();
+  queue_.pop_front();
+  return fd;
+}
+
+void Server::accept_loop() {
+  static const std::string overload_response = http::serialize(
+      http::Response::json(503, R"({"error":"server overloaded, retry later"})"),
+      /*keep_alive=*/false);
+  while (!stopping_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) break;
+      if (errno == EINTR) continue;
+      break;  // listen socket is gone; nothing sensible left to do
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    if (!push_connection(fd)) {
+      // Bounded queue full: shed at the door so latency stays flat.
+      connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+      send_all(fd, overload_response);
+      ::close(fd);
+    }
+  }
+}
+
+void Server::worker_loop(std::size_t worker_index) {
+  while (true) {
+    const int fd = pop_connection();
+    if (fd < 0) return;
+    worker_fds_[worker_index].store(fd, std::memory_order_release);
+    serve_connection(fd, worker_index);
+    worker_fds_[worker_index].store(-1, std::memory_order_release);
+    ::close(fd);
+  }
+}
+
+void Server::serve_connection(int fd, std::size_t worker_index) {
+  (void)worker_index;
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  set_recv_timeout(fd, kRecvSliceMs);
+
+  http::ParserLimits limits;
+  limits.max_body_bytes = options_.max_body_bytes;
+  http::RequestParser parser(limits);
+  char buf[8192];
+  int idle_ms = 0;
+
+  while (!stopping_.load()) {
+    // Read until one full request (or an error) is in hand.
+    while (!parser.done() && !parser.failed()) {
+      const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+      if (n > 0) {
+        idle_ms = 0;
+        parser.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+        continue;
+      }
+      if (n == 0) return;  // peer closed
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        idle_ms += kRecvSliceMs;
+        if (stopping_.load()) return;
+        if (idle_ms >= options_.idle_timeout_ms) {
+          if (!parser.idle()) {
+            parse_errors_.fetch_add(1, std::memory_order_relaxed);
+            record_status(408);
+            send_all(fd, http::serialize(
+                             http::Response::json(408, R"({"error":"request timeout"})"),
+                             false));
+          }
+          return;
+        }
+        continue;
+      }
+      return;  // hard I/O error
+    }
+
+    if (parser.failed()) {
+      parse_errors_.fetch_add(1, std::memory_order_relaxed);
+      const int status = parser.error_status();
+      record_status(status);
+      http::Response response = http::Response::json(
+          status, Json(JsonObject{{"error", Json(parser.error())}}).dump());
+      send_all(fd, http::serialize(response, false));
+      return;
+    }
+
+    requests_total_.fetch_add(1, std::memory_order_relaxed);
+    const auto started = std::chrono::steady_clock::now();
+    http::Response response;
+    try {
+      response = handler_(parser.request());
+    } catch (const std::exception& e) {
+      response = http::Response::json(
+          500, Json(JsonObject{{"error", Json(std::string("internal error: ") +
+                                              e.what())}})
+                   .dump());
+    } catch (...) {
+      response = http::Response::json(500, R"({"error":"internal error"})");
+    }
+    const bool keep = parser.request().keep_alive() && !stopping_.load();
+    const bool sent = send_all(fd, http::serialize(response, keep));
+    record_status(response.status);
+    record_latency(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - started)
+            .count()));
+    if (!sent || !keep) return;
+    parser.next();
+    idle_ms = 0;
+  }
+}
+
+void Server::record_latency(std::uint64_t micros) {
+  std::size_t bucket = kLatencyBucketEdgesUs.size();  // overflow bucket
+  for (std::size_t i = 0; i < kLatencyBucketEdgesUs.size(); ++i) {
+    if (micros <= kLatencyBucketEdgesUs[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  latency_buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+void Server::record_status(int status) {
+  if (status >= 200 && status < 300) {
+    responses_2xx_.fetch_add(1, std::memory_order_relaxed);
+  } else if (status >= 400 && status < 500) {
+    responses_4xx_.fetch_add(1, std::memory_order_relaxed);
+  } else if (status >= 500) {
+    responses_5xx_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.connections_accepted = connections_accepted_.load(std::memory_order_relaxed);
+  s.connections_rejected = connections_rejected_.load(std::memory_order_relaxed);
+  s.requests_total = requests_total_.load(std::memory_order_relaxed);
+  s.responses_2xx = responses_2xx_.load(std::memory_order_relaxed);
+  s.responses_4xx = responses_4xx_.load(std::memory_order_relaxed);
+  s.responses_5xx = responses_5xx_.load(std::memory_order_relaxed);
+  s.parse_errors = parse_errors_.load(std::memory_order_relaxed);
+  s.threads = options_.threads;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    s.queue_depth = queue_.size();
+  }
+  for (std::size_t i = 0; i < s.latency_buckets.size(); ++i) {
+    s.latency_buckets[i] = latency_buckets_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+}  // namespace prm::serve

@@ -1,0 +1,122 @@
+// Threaded HTTP server over POSIX sockets: one acceptor thread feeding a
+// bounded connection queue drained by a fixed pool of worker threads.
+//
+// Backpressure: when the queue is full the acceptor answers the new
+// connection with a canned 503 and closes it immediately -- overload sheds
+// load at the door instead of stacking latency. Keep-alive connections are
+// served until the peer closes, an I/O error occurs, the idle timeout
+// expires, or stop() is called.
+//
+// Observability: request counts by status class, total/in-flight connection
+// gauges, a fixed-bucket latency histogram (handler + write time), current
+// queue depth, and the overload-rejection counter -- exported by the
+// /metrics route in serve::App but owned here so any handler can serve them.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/http.hpp"
+
+namespace prm::serve {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;        ///< 0 = pick an ephemeral port (see Server::port()).
+  std::size_t threads = 4;       ///< Worker pool size (>= 1 enforced).
+  std::size_t max_pending = 64;  ///< Bounded accept queue; beyond it -> 503.
+  std::size_t max_body_bytes = 8 * 1024 * 1024;
+  int idle_timeout_ms = 10000;   ///< Keep-alive connection idle cutoff.
+};
+
+/// Upper edges (inclusive) of the latency histogram buckets, microseconds;
+/// the last bucket is unbounded.
+inline constexpr std::array<std::uint64_t, 7> kLatencyBucketEdgesUs = {
+    100, 1000, 5000, 25000, 100000, 500000, 2000000};
+
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_rejected = 0;  ///< 503-at-the-door overload sheds.
+  std::uint64_t requests_total = 0;
+  std::uint64_t responses_2xx = 0;
+  std::uint64_t responses_4xx = 0;
+  std::uint64_t responses_5xx = 0;
+  std::uint64_t parse_errors = 0;
+  std::size_t queue_depth = 0;          ///< Connections waiting for a worker.
+  std::size_t threads = 0;
+  std::array<std::uint64_t, kLatencyBucketEdgesUs.size() + 1> latency_buckets{};
+};
+
+class Server {
+ public:
+  using Handler = std::function<http::Response(const http::Request&)>;
+
+  /// The handler runs on worker threads and must be thread-safe. Exceptions
+  /// it throws become 500 responses.
+  Server(ServerOptions options, Handler handler);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen + spawn threads. Throws std::runtime_error when the
+  /// address cannot be bound. Idempotent once running.
+  void start();
+
+  /// Stop accepting, drain workers, close every connection. Safe to call
+  /// multiple times; the destructor calls it too.
+  void stop();
+
+  bool running() const noexcept { return running_.load(); }
+
+  /// Actual bound port (resolves port 0 after start()).
+  std::uint16_t port() const noexcept { return port_.load(); }
+
+  ServerStats stats() const;
+
+ private:
+  void accept_loop();
+  void worker_loop(std::size_t worker_index);
+  void serve_connection(int fd, std::size_t worker_index);
+  bool push_connection(int fd);
+  int pop_connection();
+  void record_latency(std::uint64_t micros);
+  void record_status(int status);
+
+  ServerOptions options_;
+  Handler handler_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint16_t> port_{0};
+  int listen_fd_ = -1;
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+  std::vector<std::atomic<int>> worker_fds_;  ///< Active fd per worker, -1 idle.
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<int> queue_;
+
+  // Counters are independent atomics: relaxed updates, snapshot on stats().
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> connections_rejected_{0};
+  std::atomic<std::uint64_t> requests_total_{0};
+  std::atomic<std::uint64_t> responses_2xx_{0};
+  std::atomic<std::uint64_t> responses_4xx_{0};
+  std::atomic<std::uint64_t> responses_5xx_{0};
+  std::atomic<std::uint64_t> parse_errors_{0};
+  std::array<std::atomic<std::uint64_t>, kLatencyBucketEdgesUs.size() + 1>
+      latency_buckets_{};
+};
+
+}  // namespace prm::serve

@@ -1,0 +1,187 @@
+// serve::FitCache: key construction (what participates, what is ignored),
+// LRU eviction order with MRU promotion, hit/miss counters, the capacity-0
+// kill switch, cacheability rules, and a concurrency smoke test.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/fitting.hpp"
+#include "serve/fit_cache.hpp"
+
+namespace {
+
+using namespace prm;
+using serve::FitCache;
+using serve::FitCacheKey;
+
+data::PerformanceSeries series_of(std::vector<double> values) {
+  std::vector<double> times(values.size());
+  for (std::size_t i = 0; i < times.size(); ++i) times[i] = static_cast<double>(i);
+  return data::PerformanceSeries("s", std::move(times), std::move(values));
+}
+
+std::shared_ptr<const core::FitResult> fake_fit(double marker) {
+  auto fit = std::make_shared<core::FitResult>();
+  fit->sse = marker;
+  return fit;
+}
+
+TEST(FitCacheKey, IgnoresSeriesNameButNotData) {
+  const core::FitOptions options;
+  std::vector<double> times = {0, 1, 2, 3};
+  const data::PerformanceSeries a("first upload", times, {1.0, 0.8, 0.7, 0.9});
+  const data::PerformanceSeries b("second upload", times, {1.0, 0.8, 0.7, 0.9});
+  const data::PerformanceSeries c("first upload", times, {1.0, 0.8, 0.7, 0.91});
+  EXPECT_EQ(serve::make_fit_cache_key(a, "m", 1, options),
+            serve::make_fit_cache_key(b, "m", 1, options));
+  EXPECT_NE(serve::make_fit_cache_key(a, "m", 1, options),
+            serve::make_fit_cache_key(c, "m", 1, options));
+}
+
+TEST(FitCacheKey, TimesMatterIndependentlyOfValues) {
+  // Same concatenated byte streams, different time/value split: the hash
+  // separates the two arrays, so these must not collide as full keys.
+  const data::PerformanceSeries a("a", {0, 1, 2}, {3, 4, 5});
+  const data::PerformanceSeries b("b", {0, 1, 3}, {2, 4, 5});
+  const core::FitOptions options;
+  EXPECT_NE(serve::make_fit_cache_key(a, "m", 1, options),
+            serve::make_fit_cache_key(b, "m", 1, options));
+}
+
+TEST(FitCacheKey, EveryScalarFieldParticipates) {
+  const auto series = series_of({1.0, 0.9, 0.8, 0.85, 0.95});
+  core::FitOptions options;
+  const FitCacheKey base = serve::make_fit_cache_key(series, "model-a", 1, options);
+
+  EXPECT_NE(base, serve::make_fit_cache_key(series, "model-b", 1, options));
+  EXPECT_NE(base, serve::make_fit_cache_key(series, "model-a", 2, options));
+
+  core::FitOptions robust = options;
+  robust.loss = opt::LossKind::kHuber;
+  EXPECT_NE(base, serve::make_fit_cache_key(series, "model-a", 1, robust));
+
+  core::FitOptions rescaled = robust;
+  rescaled.loss_scale = robust.loss_scale * 2.0;
+  EXPECT_NE(serve::make_fit_cache_key(series, "model-a", 1, robust),
+            serve::make_fit_cache_key(series, "model-a", 1, rescaled));
+}
+
+TEST(FitCacheKey, CacheabilityRules) {
+  core::FitOptions plain;
+  EXPECT_TRUE(serve::cacheable(plain));
+
+  core::FitOptions weighted = plain;
+  weighted.weights = {1.0, 2.0, 1.0};
+  EXPECT_FALSE(serve::cacheable(weighted));
+
+  core::FitOptions warm = plain;
+  warm.warm_start = num::Vector{0.5, 0.5};
+  EXPECT_FALSE(serve::cacheable(warm));
+}
+
+FitCacheKey key_n(int n) {
+  // Aggregate init (not member-wise assignment): GCC 12 raises a spurious
+  // -Wrestrict on std::string::operator=(const char*) at -O2.
+  return FitCacheKey{static_cast<std::uint64_t>(n), 16, std::string("m"), 0, 0, 0.0};
+}
+
+TEST(FitCache, LookupInsertAndCounters) {
+  FitCache cache(4);
+  EXPECT_EQ(cache.lookup(key_n(1)), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  cache.insert(key_n(1), fake_fit(11.0));
+  const auto hit = cache.lookup(key_n(1));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_DOUBLE_EQ(hit->sse, 11.0);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(FitCache, EvictsLeastRecentlyUsed) {
+  FitCache cache(3);
+  cache.insert(key_n(1), fake_fit(1));
+  cache.insert(key_n(2), fake_fit(2));
+  cache.insert(key_n(3), fake_fit(3));
+
+  // Touch 1 so it becomes MRU; inserting 4 must now evict 2, not 1.
+  ASSERT_NE(cache.lookup(key_n(1)), nullptr);
+  cache.insert(key_n(4), fake_fit(4));
+
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_NE(cache.lookup(key_n(1)), nullptr);
+  EXPECT_EQ(cache.lookup(key_n(2)), nullptr);  // evicted
+  EXPECT_NE(cache.lookup(key_n(3)), nullptr);
+  EXPECT_NE(cache.lookup(key_n(4)), nullptr);
+}
+
+TEST(FitCache, EvictionDoesNotInvalidateHandedOutResults) {
+  FitCache cache(1);
+  cache.insert(key_n(1), fake_fit(1.5));
+  const auto held = cache.lookup(key_n(1));
+  cache.insert(key_n(2), fake_fit(2.5));  // evicts key 1
+  EXPECT_EQ(cache.lookup(key_n(1)), nullptr);
+  ASSERT_NE(held, nullptr);  // our reference is still alive and intact
+  EXPECT_DOUBLE_EQ(held->sse, 1.5);
+}
+
+TEST(FitCache, ReinsertSameKeyKeepsNewestValue) {
+  FitCache cache(4);
+  cache.insert(key_n(1), fake_fit(1.0));
+  cache.insert(key_n(1), fake_fit(9.0));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_DOUBLE_EQ(cache.lookup(key_n(1))->sse, 9.0);
+}
+
+TEST(FitCache, CapacityZeroDisablesCaching) {
+  FitCache cache(0);
+  cache.insert(key_n(1), fake_fit(1.0));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.lookup(key_n(1)), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(FitCache, ClearEmptiesEntriesButCountersPersist) {
+  FitCache cache(4);
+  cache.insert(key_n(1), fake_fit(1.0));
+  ASSERT_NE(cache.lookup(key_n(1)), nullptr);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.lookup(key_n(1)), nullptr);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(FitCache, ConcurrentMixedOperationsAreSafe) {
+  FitCache cache(8);  // smaller than the working set: constant eviction churn
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 1998;  // divisible by 3: exact counter math below
+  std::atomic<bool> failed{false};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &failed, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const int slot = (t * 7 + i) % 16;
+        if (i % 3 == 0) {
+          cache.insert(key_n(slot), fake_fit(static_cast<double>(slot)));
+        } else if (const auto fit = cache.lookup(key_n(slot))) {
+          // A hit must always carry the value inserted under that key.
+          if (fit->sse != static_cast<double>(slot)) failed = true;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_FALSE(failed.load());
+  EXPECT_LE(cache.size(), 8u);
+  EXPECT_EQ(cache.hits() + cache.misses(),
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread * 2 / 3);
+}
+
+}  // namespace

@@ -6,9 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <mutex>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "live/monitor.hpp"
@@ -441,6 +443,65 @@ TEST(Monitor, LoadRejectsMalformedInput) {
   EXPECT_THROW(live::Monitor::load(bad, test_options()), std::runtime_error);
   std::stringstream worse("not-a-snapshot\n");
   EXPECT_THROW(live::Monitor::load(worse, test_options()), std::runtime_error);
+}
+
+TEST(Monitor, LoadNamesTheUnknownSnapshotVersion) {
+  // A snapshot from a newer (or corrupted) build must be refused with an
+  // error that names the version it found, not a generic parse failure.
+  std::stringstream future("prm-live 999\nmodel competing-risks\nstreams 0\n");
+  try {
+    live::Monitor::load(future, test_options());
+    FAIL() << "expected std::runtime_error for an unknown snapshot version";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("999"), std::string::npos) << what;
+    EXPECT_NE(what.find("prm-live 1"), std::string::npos) << what;
+  }
+}
+
+TEST(Monitor, ConcurrentIngestAndSnapshotAreRaceFree) {
+  // Several writer threads ingest disjoint streams (per-stream time ordering
+  // is a hard precondition) while reader threads hammer snapshot() and
+  // stream_names() and refit workers run in the background. There are no
+  // value assertions beyond the final counts -- the point is that the CI
+  // sanitizer job executes this interleaving and finds no races.
+  live::Monitor monitor(test_options());
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 2;
+  constexpr int kSamples = 120;
+
+  std::atomic<bool> writers_done{false};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&monitor, w] {
+      const std::string stream = "w" + std::to_string(w);
+      for (int i = 0; i < kSamples; ++i) {
+        const double t = static_cast<double>(i);
+        monitor.ingest(stream, t, v_curve(t));
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&monitor, &writers_done] {
+      while (!writers_done.load()) {
+        for (const live::StreamSnapshot& snap : monitor.snapshot()) {
+          ASSERT_FALSE(snap.name.empty());
+        }
+        (void)monitor.stream_names();
+        (void)monitor.stream_count();
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) threads[static_cast<std::size_t>(w)].join();
+  writers_done.store(true);
+  for (std::size_t i = kWriters; i < threads.size(); ++i) threads[i].join();
+  monitor.drain();
+
+  ASSERT_EQ(monitor.stream_count(), static_cast<std::size_t>(kWriters));
+  for (const live::StreamSnapshot& snap : monitor.snapshot()) {
+    EXPECT_EQ(snap.samples_seen, static_cast<std::uint64_t>(kSamples));
+    EXPECT_EQ(snap.event_ordinal, 1u);  // every stream saw the one disruption
+  }
 }
 
 }  // namespace

@@ -1,0 +1,210 @@
+// serve::http framing: incremental request parsing (byte-by-byte feeds,
+// bodies, pipelining, keep-alive semantics), limit violations mapped to the
+// right status codes, response serialization round trips, and header-block
+// parsing edge cases. No sockets here -- the parsers are pure functions of
+// the byte stream.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "serve/http.hpp"
+
+namespace {
+
+using namespace prm::serve::http;
+
+TEST(RequestParser, ParsesSimpleGet) {
+  RequestParser parser;
+  EXPECT_TRUE(parser.feed("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"));
+  ASSERT_TRUE(parser.done());
+  const Request& request = parser.request();
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.target, "/healthz");
+  EXPECT_EQ(request.query, "");
+  EXPECT_EQ(request.version, "HTTP/1.1");
+  EXPECT_TRUE(request.body.empty());
+  EXPECT_TRUE(request.keep_alive());
+}
+
+TEST(RequestParser, HandlesOneByteAtATimeFeeds) {
+  const std::string wire =
+      "POST /v1/fit?debug=1 HTTP/1.1\r\n"
+      "Content-Type: application/json\r\n"
+      "Content-Length: 13\r\n"
+      "\r\n"
+      "{\"series\":{}}";
+  RequestParser parser;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    const bool complete = parser.feed(wire.substr(i, 1));
+    EXPECT_FALSE(parser.failed()) << "at byte " << i;
+    EXPECT_EQ(complete, i + 1 == wire.size());
+  }
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().target, "/v1/fit");
+  EXPECT_EQ(parser.request().query, "debug=1");
+  EXPECT_EQ(parser.request().body, "{\"series\":{}}");
+}
+
+TEST(RequestParser, LowercasesAndTrimsHeaders) {
+  RequestParser parser;
+  parser.feed("GET / HTTP/1.1\r\nX-Custom-THING:   spaced value  \r\n\r\n");
+  ASSERT_TRUE(parser.done());
+  const std::string* value = parser.request().header("x-custom-thing");
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(*value, "spaced value");
+  EXPECT_NE(parser.request().header("X-CUSTOM-thing"), nullptr);  // lookup case-blind
+  EXPECT_EQ(parser.request().header("absent"), nullptr);
+}
+
+TEST(RequestParser, PipelinedRequestsSurviveNext) {
+  RequestParser parser;
+  parser.feed(
+      "POST /a HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi"
+      "GET /b HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().target, "/a");
+  EXPECT_EQ(parser.request().body, "hi");
+  parser.next();
+  // The second message was already buffered; next() must finish it without
+  // more feed() data.
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().target, "/b");
+  parser.next();
+  EXPECT_FALSE(parser.done());
+  EXPECT_TRUE(parser.idle());
+}
+
+TEST(RequestParser, KeepAliveSemanticsPerVersion) {
+  struct Case {
+    const char* wire;
+    bool expected;
+  } cases[] = {
+      {"GET / HTTP/1.1\r\n\r\n", true},
+      {"GET / HTTP/1.1\r\nConnection: close\r\n\r\n", false},
+      {"GET / HTTP/1.1\r\nConnection: Close\r\n\r\n", false},
+      {"GET / HTTP/1.0\r\n\r\n", false},
+      {"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", true},
+  };
+  for (const Case& c : cases) {
+    RequestParser parser;
+    parser.feed(c.wire);
+    ASSERT_TRUE(parser.done()) << c.wire;
+    EXPECT_EQ(parser.request().keep_alive(), c.expected) << c.wire;
+  }
+}
+
+TEST(RequestParser, MalformedRequestLineFailsWith400) {
+  const char* bad[] = {
+      "GET\r\n\r\n",
+      "GET /\r\n\r\n",
+      "GET / HTTP/2.0\r\n\r\n",
+      "GET / HTTP/1.1\r\nno-colon-here\r\n\r\n",
+      "GET / HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+      "GET / HTTP/1.1\r\nContent-Length: -4\r\n\r\n",
+  };
+  for (const char* wire : bad) {
+    RequestParser parser;
+    parser.feed(wire);
+    EXPECT_TRUE(parser.failed()) << wire;
+    EXPECT_EQ(parser.error_status(), 400) << wire;
+    EXPECT_FALSE(parser.error().empty()) << wire;
+  }
+}
+
+TEST(RequestParser, OversizedHeaderBlockFailsWith431) {
+  ParserLimits limits;
+  limits.max_header_bytes = 128;
+  RequestParser parser(limits);
+  std::string wire = "GET / HTTP/1.1\r\nX-Big: ";
+  wire.append(512, 'a');
+  wire += "\r\n\r\n";
+  parser.feed(wire);
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(RequestParser, OversizedBodyFailsWith413) {
+  ParserLimits limits;
+  limits.max_body_bytes = 8;
+  RequestParser parser(limits);
+  parser.feed("POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n");
+  ASSERT_TRUE(parser.failed());  // rejected from the declared length alone
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(RequestParser, ChunkedTransferEncodingFailsWith501) {
+  RequestParser parser;
+  parser.feed("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_status(), 501);
+}
+
+TEST(RequestParser, FeedAfterFailureStaysFailed) {
+  RequestParser parser;
+  parser.feed("BROKEN\r\n\r\n");
+  ASSERT_TRUE(parser.failed());
+  EXPECT_FALSE(parser.feed("GET / HTTP/1.1\r\n\r\n"));
+  EXPECT_TRUE(parser.failed());
+}
+
+TEST(ResponseRoundTrip, SerializeThenParse) {
+  Response response = Response::json(200, "{\"status\":\"ok\"}");
+  response.headers["x-marker"] = "42";
+  const std::string wire = serialize(response, /*keep_alive=*/true);
+  EXPECT_NE(wire.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: keep-alive"), std::string::npos);
+
+  ResponseParser parser;
+  EXPECT_TRUE(parser.feed(wire));
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.response().status, 200);
+  EXPECT_EQ(parser.response().body, "{\"status\":\"ok\"}");
+  const auto& headers = parser.response().headers;
+  EXPECT_EQ(headers.at("x-marker"), "42");
+  EXPECT_EQ(headers.at("content-type"), "application/json");
+  EXPECT_EQ(headers.at("content-length"), std::to_string(response.body.size()));
+}
+
+TEST(ResponseRoundTrip, CloseVariantAndErrorStatuses) {
+  const std::string wire = serialize(Response::json(503, "{}"), /*keep_alive=*/false);
+  EXPECT_NE(wire.find("HTTP/1.1 503 Service Unavailable\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: close"), std::string::npos);
+  EXPECT_EQ(reason_phrase(404), "Not Found");
+  EXPECT_EQ(reason_phrase(418), "Unknown");  // unmapped codes get a fallback
+}
+
+TEST(RequestSerialize, ClientSideWireFormat) {
+  Request request;
+  request.method = "POST";
+  request.target = "/v1/fit";
+  request.body = "{}";
+  request.headers["content-type"] = "application/json";
+  const std::string wire = serialize(request, "127.0.0.1:8080");
+  EXPECT_EQ(wire.rfind("POST /v1/fit HTTP/1.1\r\n", 0), 0u) << wire;
+  EXPECT_NE(wire.find("Host: 127.0.0.1:8080"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 2"), std::string::npos);
+  EXPECT_EQ(wire.substr(wire.size() - 6), "\r\n\r\n{}");
+
+  // And the server-side parser accepts what the client emits.
+  RequestParser parser;
+  parser.feed(wire);
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().body, "{}");
+}
+
+TEST(HeaderBlock, ParsesAndRejects) {
+  std::map<std::string, std::string> headers;
+  EXPECT_TRUE(parse_header_block("A: 1\r\nB-Long: two words\r\n", headers));
+  EXPECT_EQ(headers.at("a"), "1");
+  EXPECT_EQ(headers.at("b-long"), "two words");
+
+  headers.clear();
+  EXPECT_TRUE(parse_header_block("", headers));
+  EXPECT_TRUE(headers.empty());
+
+  EXPECT_FALSE(parse_header_block("no colon\r\n", headers));
+  EXPECT_FALSE(parse_header_block(": empty name\r\n", headers));
+}
+
+}  // namespace

@@ -1,0 +1,144 @@
+// serve::Json: parser grammar coverage (strings/escapes/unicode, numbers,
+// nesting, errors with offsets), serializer round trips (bit-exact doubles,
+// deterministic key order), and the typed field helpers the handlers use.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "serve/json.hpp"
+
+namespace {
+
+using prm::serve::Json;
+using prm::serve::JsonArray;
+using prm::serve::JsonObject;
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(Json::parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(Json::parse("-0.75").as_number(), -0.75);
+  EXPECT_DOUBLE_EQ(Json::parse("6.02e23").as_number(), 6.02e23);
+  EXPECT_DOUBLE_EQ(Json::parse("1E-3").as_number(), 1e-3);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(Json::parse("  [1, 2]  ").as_array().size(), 2u);
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const Json doc = Json::parse(
+      R"({"series":{"values":[1,0.9,0.8],"times":[0,1,2]},"model":"quadratic","opts":{"holdout":2,"robust":false}})");
+  ASSERT_TRUE(doc.is_object());
+  const Json* series = doc.find("series");
+  ASSERT_NE(series, nullptr);
+  EXPECT_EQ(series->find("values")->as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(series->find("values")->as_array()[1].as_number(), 0.9);
+  EXPECT_EQ(doc.find("model")->as_string(), "quadratic");
+  EXPECT_EQ(doc.find("opts")->find("robust")->as_bool(), false);
+  EXPECT_EQ(doc.find("nope"), nullptr);
+}
+
+TEST(Json, ParsesStringEscapes) {
+  EXPECT_EQ(Json::parse(R"("a\"b\\c\/d\n\t")").as_string(), "a\"b\\c/d\n\t");
+  EXPECT_EQ(Json::parse(R"("Aé")").as_string(), "A\xc3\xa9");
+  // Surrogate pair: U+1F600 -> 4-byte UTF-8.
+  EXPECT_EQ(Json::parse(R"("😀")").as_string(), "\xf0\x9f\x98\x80");
+  // Escaped control characters round-trip through dump().
+  const Json v = Json(std::string("line1\nline2\x01"));
+  EXPECT_EQ(Json::parse(v.dump()), v);
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  const char* bad[] = {
+      "",          "{",          "[1,",        "tru",       "nul",
+      "\"open",    "{\"a\":}",   "{\"a\" 1}",  "[1 2]",     "01x",
+      "1.2.3",     "--1",        "1e",         "{}extra",   R"("\q")",
+      R"("\ud83d")",  // unpaired high surrogate
+      R"("raw
+newline")",
+  };
+  for (const char* text : bad) {
+    EXPECT_THROW(Json::parse(text), std::runtime_error) << text;
+  }
+}
+
+TEST(Json, RejectsPathologicalNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  for (int i = 0; i < 200; ++i) deep += ']';
+  EXPECT_THROW(Json::parse(deep), std::runtime_error);
+}
+
+TEST(Json, ErrorsNameTheByteOffset) {
+  try {
+    Json::parse("[1, 2, oops]");
+    FAIL() << "expected parse failure";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("offset 7"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Json, DumpRoundTripsDoublesExactly) {
+  const double values[] = {0.1,
+                           1.0 / 3.0,
+                           6.02214076e23,
+                           -2.2250738585072014e-308,
+                           123456789.123456789,
+                           0.0,
+                           -1.5e-300};
+  for (const double v : values) {
+    const Json parsed = Json::parse(Json(v).dump());
+    EXPECT_EQ(parsed.as_number(), v) << Json(v).dump();  // bit-exact, no tolerance
+  }
+}
+
+TEST(Json, DumpIsCompactAndDeterministic) {
+  Json obj = Json::object();
+  obj["zeta"] = Json(1);
+  obj["alpha"] = Json(JsonArray{Json(true), Json(nullptr)});
+  obj["mid"] = Json("x");
+  EXPECT_EQ(obj.dump(), R"({"alpha":[true,null],"mid":"x","zeta":1})");
+  EXPECT_EQ(Json(12.0).dump(), "12");  // integral doubles have no trailing ".0"
+}
+
+TEST(Json, NonFiniteNumbersSerializeAsNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+}
+
+TEST(Json, TypeMismatchesThrow) {
+  const Json num = Json(3.0);
+  EXPECT_THROW(num.as_string(), std::runtime_error);
+  EXPECT_THROW(num.as_array(), std::runtime_error);
+  EXPECT_THROW(Json("x").as_number(), std::runtime_error);
+  EXPECT_EQ(num.find("k"), nullptr);  // find() on a non-object is a soft miss
+}
+
+TEST(Json, BuilderInterfaceConvertsNullInPlace) {
+  Json doc;  // starts null
+  doc["list"].push_back(Json(1));
+  doc["list"].push_back(Json(2));
+  doc["name"] = Json("series");
+  EXPECT_EQ(doc.dump(), R"({"list":[1,2],"name":"series"})");
+  EXPECT_THROW(doc["name"].push_back(Json(3)), std::runtime_error);
+}
+
+TEST(JsonHelpers, TypedFieldAccess) {
+  const Json doc = Json::parse(R"({"n":3,"s":"abc","xs":[1,2,3],"null":null})");
+  EXPECT_DOUBLE_EQ(prm::serve::json_number(doc, "n"), 3.0);
+  EXPECT_THROW(prm::serve::json_number(doc, "missing"), std::runtime_error);
+  EXPECT_THROW(prm::serve::json_number(doc, "s"), std::runtime_error);
+  EXPECT_DOUBLE_EQ(prm::serve::json_number_or(doc, "n", 7.0), 3.0);
+  EXPECT_DOUBLE_EQ(prm::serve::json_number_or(doc, "missing", 7.0), 7.0);
+  EXPECT_DOUBLE_EQ(prm::serve::json_number_or(doc, "null", 7.0), 7.0);
+  EXPECT_EQ(prm::serve::json_string_or(doc, "s", "d"), "abc");
+  EXPECT_EQ(prm::serve::json_string_or(doc, "missing", "d"), "d");
+  EXPECT_EQ(prm::serve::json_number_array(doc, "xs").size(), 3u);
+  EXPECT_THROW(prm::serve::json_number_array(doc, "s"), std::runtime_error);
+  EXPECT_THROW(prm::serve::json_number_array(Json::parse(R"({"xs":[1,"x"]})"), "xs"),
+               std::runtime_error);
+}
+
+}  // namespace
