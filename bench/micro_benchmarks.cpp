@@ -12,6 +12,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "serve/json.hpp"
@@ -20,10 +21,17 @@
 #include "core/bathtub.hpp"
 #include "core/metrics.hpp"
 #include "core/mixture.hpp"
+#include "core/rolling.hpp"
 #include "live/monitor.hpp"
 #include "numerics/integrate.hpp"
 #include "numerics/special_functions.hpp"
 #include "optimize/levenberg_marquardt.hpp"
+#include "par/parallel.hpp"
+#include "par/task_pool.hpp"
+
+#ifndef PRM_BUILD_INFO
+#define PRM_BUILD_INFO "unknown"
+#endif
 
 namespace {
 
@@ -178,6 +186,63 @@ void BM_MonitorIngest(benchmark::State& state) {
 }
 BENCHMARK(BM_MonitorIngest)->Arg(1)->Arg(32)->Arg(1000);
 
+void BM_MultistartFitThreads(benchmark::State& state) {
+  // Scaling curve for the parallel fit engine: an 8-start multistart on the
+  // 5-parameter Weibull-Weibull mixture, with the start fan-out running on
+  // the prm::par pool. The fitted parameters are bit-identical at every
+  // thread count (per-index seeding + fixed-order reduction); only the
+  // wall-clock changes. The "threads" counter records the requested width so
+  // JSON consumers can compute speedup vs the Arg(1) row.
+  const auto& ds = data::recession("1990-93");
+  core::FitOptions opts;
+  opts.multistart.sampled_starts = 8;
+  opts.multistart.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::fit_model("mix-wei-wei-log", ds.series, ds.holdout, opts));
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_MultistartFitThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FitJacobianMode(benchmark::State& state) {
+  // Analytic (dual-number) Jacobian vs the central-difference fallback on
+  // the same serial fit. Arg: 1 = analytic, 0 = numeric. The
+  // "function_evaluations" counter is the per-fit residual-sweep count; the
+  // numeric mode pays 2 * num_parameters sweeps per LM Jacobian, so the gap
+  // is deterministic and shows up even on one core.
+  const auto& ds = data::recession("1990-93");
+  core::FitOptions opts;
+  opts.analytic_jacobian = state.range(0) == 1;
+  double evals = 0.0;
+  double fits = 0.0;
+  for (auto _ : state) {
+    const core::FitResult fit =
+        core::fit_model("mix-wei-wei-log", ds.series, ds.holdout, opts);
+    evals += static_cast<double>(fit.function_evaluations);
+    fits += 1.0;
+    benchmark::DoNotOptimize(fit);
+  }
+  state.counters["function_evaluations"] = fits > 0.0 ? evals / fits : 0.0;
+}
+BENCHMARK(BM_FitJacobianMode)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_RollingOriginThreads(benchmark::State& state) {
+  // Concurrent rolling-origin validation: each origin fits an independent
+  // prefix, so the whole sweep fans out on the pool.
+  const auto& ds = data::recession("1990-93");
+  core::RollingOptions opts;
+  opts.horizon = 4;
+  opts.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::rolling_origin("quadratic", ds.series, opts));
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_RollingOriginThreads)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+
 void BM_FullTableOneColumn(benchmark::State& state) {
   // One complete Table I cell block: fit + validate on one dataset.
   const auto& ds = data::recession("2001-05");
@@ -219,6 +284,16 @@ class CollectingReporter : public benchmark::ConsoleReporter {
 
   serve::Json document() const {
     serve::Json doc = serve::Json::object();
+    // Machine/build context so archived runs are comparable: thread budget of
+    // the box, the pool size auto mode would pick, and what was built.
+    serve::Json context = serve::Json::object();
+    context["hardware_concurrency"] =
+        serve::Json(static_cast<double>(std::thread::hardware_concurrency()));
+    context["pool_default_threads"] =
+        serve::Json(static_cast<double>(par::TaskPool::default_threads()));
+    context["build"] = serve::Json(std::string(PRM_BUILD_INFO));
+    context["compiler"] = serve::Json(std::string(__VERSION__));
+    doc["context"] = std::move(context);
     serve::Json list = serve::Json::array();
     for (const serve::Json& entry : collected_) list.push_back(entry);
     doc["benchmarks"] = std::move(list);

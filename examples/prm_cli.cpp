@@ -23,6 +23,7 @@
 #include <csignal>
 #include <cstring>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <optional>
 #include <string_view>
@@ -53,14 +54,14 @@ struct CliArgs {
 /// Options each subcommand accepts; a command absent here is unknown.
 const std::map<std::string, std::vector<std::string>>& command_options() {
   static const std::map<std::string, std::vector<std::string>> table = {
-      {"fit", {"csv", "model", "holdout", "loss", "level", "save"}},
+      {"fit", {"csv", "model", "holdout", "loss", "level", "save", "threads"}},
       {"predict", {"fit", "level"}},
-      {"uncertainty", {"fit", "level", "replicates"}},
+      {"uncertainty", {"fit", "level", "replicates", "threads"}},
       {"detect", {"csv"}},
       {"monitor", {"csv", "model", "threads", "refit-every", "save", "load"}},
-      {"serve", {"port", "threads", "model", "cache", "queue"}},
+      {"serve", {"port", "threads", "fit-threads", "model", "cache", "queue"}},
       {"models", {}},
-      {"demo", {"model", "holdout", "loss", "level", "save"}},
+      {"demo", {"model", "holdout", "loss", "level", "save", "threads"}},
   };
   return table;
 }
@@ -69,13 +70,14 @@ void usage(std::ostream& out) {
   out << "usage:\n"
       << "  prm_cli fit     --csv FILE [--model NAME] [--holdout N]\n"
       << "                  [--loss squared|huber|cauchy] [--level L] [--save FILE]\n"
+      << "                  [--threads N]   # solver threads (1 = serial)\n"
       << "  prm_cli predict --fit FILE [--level L]\n"
-      << "  prm_cli uncertainty --fit FILE [--level L] [--replicates N]\n"
+      << "  prm_cli uncertainty --fit FILE [--level L] [--replicates N] [--threads N]\n"
       << "  prm_cli detect  --csv FILE\n"
       << "  prm_cli monitor --csv FILE[,FILE...] [--model NAME] [--threads N]\n"
       << "                  [--refit-every N] [--save FILE] [--load FILE]\n"
-      << "  prm_cli serve   [--port N] [--threads N] [--model NAME] [--cache N]\n"
-      << "                  [--queue N]   # HTTP/JSON service; --port 0 = ephemeral\n"
+      << "  prm_cli serve   [--port N] [--threads N] [--fit-threads N] [--model NAME]\n"
+      << "                  [--cache N] [--queue N]   # --port 0 = ephemeral\n"
       << "  prm_cli models\n"
       << "  prm_cli demo\n"
       << "  prm_cli help | --help | -h\n";
@@ -116,6 +118,35 @@ std::optional<CliArgs> parse(int argc, char** argv) {
   return args;
 }
 
+/// Strict positive-integer parse for thread-count options: the whole string
+/// must be a base-10 integer >= 1. "0", "-2", "4x" and "" are all rejected.
+std::optional<int> parse_positive_int(const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const long v = std::stol(text, &pos);
+    if (pos != text.size() || v < 1 || v > std::numeric_limits<int>::max()) {
+      return std::nullopt;
+    }
+    return static_cast<int>(v);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+/// Fetch `--threads`-style options with strict validation; reports the error
+/// itself and leaves `ok` false so callers can exit with the CLI error code.
+std::optional<int> threads_option(const CliArgs& args, const std::string& key, bool& ok) {
+  ok = true;
+  if (!args.options.count(key)) return std::nullopt;
+  const std::optional<int> parsed = parse_positive_int(args.options.at(key));
+  if (!parsed) {
+    std::cerr << "prm_cli: '--" << key << "' must be a positive integer, got '"
+              << args.options.at(key) << "'\n";
+    ok = false;
+  }
+  return parsed;
+}
+
 void print_predictions(const core::FitResult& fit, double level) {
   using report::Table;
   std::cout << "\nPredictions:\n";
@@ -143,6 +174,12 @@ int run_fit(const data::PerformanceSeries& series, const CliArgs& args) {
           : std::max<std::size_t>(series.size() / 10, 1);
 
   core::FitOptions fit_opts;
+  bool threads_ok = false;
+  if (const auto threads = threads_option(args, "threads", threads_ok)) {
+    fit_opts.multistart.threads = *threads;
+  } else if (!threads_ok) {
+    return 1;
+  }
   if (args.options.count("loss")) {
     const std::string& loss = args.options.at("loss");
     if (loss == "huber") {
@@ -246,8 +283,11 @@ int run_monitor(const CliArgs& args) {
   using report::Table;
   live::MonitorOptions options;
   if (args.options.count("model")) options.model = args.options.at("model");
-  if (args.options.count("threads")) {
-    options.threads = static_cast<std::size_t>(std::stoul(args.options.at("threads")));
+  bool threads_ok = false;
+  if (const auto threads = threads_option(args, "threads", threads_ok)) {
+    options.threads = static_cast<std::size_t>(*threads);
+  } else if (!threads_ok) {
+    return 1;
   }
   if (args.options.count("refit-every")) {
     options.refit_every =
@@ -337,14 +377,21 @@ int run_serve(const CliArgs& args) {
     app_options.cache_capacity =
         static_cast<std::size_t>(std::stoul(args.options.at("cache")));
   }
+  bool threads_ok = false;
+  if (const auto fit_threads = threads_option(args, "fit-threads", threads_ok)) {
+    app_options.fit_threads = *fit_threads;
+  } else if (!threads_ok) {
+    return 1;
+  }
   serve::ServerOptions server_options;
   server_options.port = args.options.count("port")
                             ? static_cast<std::uint16_t>(
                                   std::stoul(args.options.at("port")))
                             : 8080;
-  if (args.options.count("threads")) {
-    server_options.threads =
-        static_cast<std::size_t>(std::stoul(args.options.at("threads")));
+  if (const auto threads = threads_option(args, "threads", threads_ok)) {
+    server_options.threads = static_cast<std::size_t>(*threads);
+  } else if (!threads_ok) {
+    return 1;
   }
   if (args.options.count("queue")) {
     server_options.max_pending =
@@ -447,6 +494,13 @@ int main(int argc, char** argv) {
       }
       const core::FitResult fit = core::load_fit_file(args->options.at("fit"));
       core::UncertaintyOptions opts;
+      bool threads_ok = false;
+      if (const auto threads = threads_option(*args, "threads", threads_ok)) {
+        opts.threads = *threads;
+      } else if (!threads_ok) {
+        usage();
+        return 1;
+      }
       if (args->options.count("replicates")) {
         opts.replicates = std::stoi(args->options.at("replicates"));
       }

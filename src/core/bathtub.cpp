@@ -1,8 +1,10 @@
 #include "core/bathtub.hpp"
 
 #include <cmath>
+#include <span>
 #include <stdexcept>
 
+#include "numerics/autodiff.hpp"
 #include "numerics/linalg.hpp"
 #include "numerics/polynomial.hpp"
 
@@ -14,6 +16,18 @@ void require_params(const num::Vector& p, std::size_t n, const char* model) {
     throw std::invalid_argument(std::string(model) + ": expected " + std::to_string(n) +
                                 " parameters, got " + std::to_string(p.size()));
   }
+}
+
+// Both curves are written once, generically over the scalar type: doubles for
+// evaluation, duals for the exact gradients below.
+template <typename Scalar>
+Scalar quadratic_curve(double t, std::span<const Scalar> p) {
+  return p[0] + p[1] * Scalar(t) + p[2] * Scalar(t * t);
+}
+
+template <typename Scalar>
+Scalar competing_risks_curve(double t, std::span<const Scalar> p) {
+  return p[0] / (Scalar(1.0) + p[1] * Scalar(t)) + Scalar(2.0 * t) * p[2];
 }
 }  // namespace
 
@@ -27,12 +41,13 @@ std::vector<opt::Bound> QuadraticBathtubModel::parameter_bounds() const {
 
 double QuadraticBathtubModel::evaluate(double t, const num::Vector& p) const {
   require_params(p, 3, "quadratic");
-  return p[0] + p[1] * t + p[2] * t * t;
+  return quadratic_curve<double>(t, std::span<const double>(p));
 }
 
 num::Vector QuadraticBathtubModel::gradient(double t, const num::Vector& p) const {
   require_params(p, 3, "quadratic");
-  return {1.0, t, t * t};
+  return num::dual_gradient(
+      [t](std::span<const num::Dual> q) { return quadratic_curve<num::Dual>(t, q); }, p);
 }
 
 num::Vector QuadraticBathtubModel::linear_ls_fit(const data::PerformanceSeries& fit) {
@@ -126,13 +141,14 @@ std::vector<opt::Bound> CompetingRisksModel::parameter_bounds() const {
 
 double CompetingRisksModel::evaluate(double t, const num::Vector& p) const {
   require_params(p, 3, "competing-risks");
-  return p[0] / (1.0 + p[1] * t) + 2.0 * p[2] * t;
+  return competing_risks_curve<double>(t, std::span<const double>(p));
 }
 
 num::Vector CompetingRisksModel::gradient(double t, const num::Vector& p) const {
   require_params(p, 3, "competing-risks");
-  const double u = 1.0 + p[1] * t;
-  return {1.0 / u, -p[0] * t / (u * u), 2.0 * t};
+  return num::dual_gradient(
+      [t](std::span<const num::Dual> q) { return competing_risks_curve<num::Dual>(t, q); },
+      p);
 }
 
 std::vector<num::Vector> CompetingRisksModel::initial_guesses(

@@ -103,13 +103,17 @@ FitResult fit_model(const ResilienceModel& model, const data::PerformanceSeries&
     return j;
   };
 
-  opt::ResidualProblem problem;
-  problem.residuals = opt::make_robust(residuals, options.loss, options.loss_scale);
-  if (options.loss == opt::LossKind::kSquared) {
-    problem.jacobian = jacobian;  // the analytic Jacobian matches plain residuals only
-  }
-  problem.num_parameters = model.num_parameters();
-  problem.num_residuals = fit_window.size();
+  // Whitening the full problem keeps the analytic Jacobian for robust losses
+  // too (each row is chain-ruled through the whitening derivative), so no
+  // loss kind pays the 2*p finite-difference residual sweeps per iteration
+  // unless analytic_jacobian is explicitly turned off.
+  opt::ResidualProblem base;
+  base.residuals = residuals;
+  if (options.analytic_jacobian) base.jacobian = jacobian;
+  base.num_parameters = model.num_parameters();
+  base.num_residuals = fit_window.size();
+  const opt::ResidualProblem problem =
+      opt::make_robust_problem(std::move(base), options.loss, options.loss_scale);
 
   // External-space points that violate the bounds are clipped into them by a
   // tiny margin rather than dropped.

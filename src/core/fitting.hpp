@@ -42,6 +42,13 @@ struct FitOptions {
   /// Out-of-bounds components are clipped into the parameter bounds; throws
   /// std::invalid_argument on a size mismatch.
   std::optional<num::Vector> warm_start;
+
+  /// Use the model's analytic (dual-number) gradient for the LM Jacobian,
+  /// for every loss kind (robust losses are chain-ruled through the
+  /// whitening). false forces the central-difference fallback, which costs
+  /// 2 * num_parameters residual sweeps per Jacobian -- only useful for
+  /// cross-checks and the bench comparison.
+  bool analytic_jacobian = true;
 };
 
 /// A fitted model bound to the series it was fitted on.

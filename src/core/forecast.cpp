@@ -29,9 +29,10 @@ ForecastResult forecast_horizon(const FitResult& fit, std::size_t steps, double 
   // Fallback width: the paper's constant band from the fit-window residuals.
   double fallback_sigma2 = 0.0;
   if (!inference) {
-    const auto observed = fit.fit_window().values();
+    // Keep the window alive for the duration of the span into it.
+    const data::PerformanceSeries window = fit.fit_window();
     const std::vector<double> predicted = fit.fit_predictions();
-    fallback_sigma2 = stats::residual_variance(observed, predicted);
+    fallback_sigma2 = stats::residual_variance(window.values(), predicted);
   }
   out.sigma2 = inference ? inference->sigma2 : fallback_sigma2;
 

@@ -3,9 +3,65 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "numerics/autodiff.hpp"
 #include "numerics/special_functions.hpp"
 
 namespace prm::core {
+
+namespace {
+
+// The family CDFs written once, generically over the scalar type: double for
+// plain evaluation, num::Dual for the exact gradients. The double
+// instantiation compiles to exactly the expressions family_cdf used to spell
+// out, so values are unchanged. Parameter-slice sizes are validated by the
+// public wrappers.
+template <typename Scalar>
+Scalar family_cdf_t(Family family, std::span<const Scalar> p, double t) {
+  using std::expm1;
+  using std::log;
+  using std::pow;
+  if (t <= 0.0) return Scalar(0.0);
+  switch (family) {
+    case Family::kExponential:
+      return -expm1(-p[0] * Scalar(t));
+    case Family::kWeibull:
+      return -expm1(-pow(Scalar(t) / p[0], p[1]));
+    case Family::kLogNormal:
+      return num::normal_cdf((log(Scalar(t)) - p[0]) / p[1]);
+    case Family::kGamma:
+      return num::gamma_p(p[0], Scalar(t) / p[1]);
+    case Family::kLogLogistic: {
+      const Scalar z = pow(Scalar(t) / p[0], p[1]);
+      return z / (Scalar(1.0) + z);
+    }
+    case Family::kGompertz:
+      return -expm1(-(p[0] / p[1]) * expm1(p[1] * Scalar(t)));
+  }
+  throw std::logic_error("family_cdf_t: unknown family");
+}
+
+// Full mixture curve P(t) = a1(t) (1 - F1(t)) + a2(t) F2(t), scalar-generic.
+// Mirrors the branch structure of the double evaluation path exactly.
+template <typename Scalar>
+Scalar mixture_curve(const MixtureSpec& spec, std::size_t n1, std::size_t n2, double t,
+                     std::span<const Scalar> p) {
+  using std::exp;
+  Scalar s1 = Scalar(1.0) - family_cdf_t<Scalar>(spec.degradation, p.subspan(0, n1), t);
+  if (spec.a1 == DegradationTrend::kExpDecay && t > 0.0) {
+    s1 = s1 * exp(-p[n1 + n2 + 1] * Scalar(t));
+  }
+  const Scalar f2 = family_cdf_t<Scalar>(spec.recovery, p.subspan(n1, n2), t);
+  const Scalar b = p[n1 + n2];
+  Scalar recovery(0.0);
+  if (spec.trend == RecoveryTrend::kExponential) {
+    recovery = exp(b * Scalar(t)) * f2;
+  } else {
+    recovery = b * Scalar(MixtureModel::trend_basis(spec.trend, t)) * f2;
+  }
+  return s1 + recovery;
+}
+
+}  // namespace
 
 std::string_view to_string(Family family) {
   switch (family) {
@@ -53,24 +109,7 @@ double family_cdf(Family family, std::span<const double> p, double t) {
   if (p.size() != family_num_parameters(family)) {
     throw std::invalid_argument("family_cdf: wrong parameter count");
   }
-  if (t <= 0.0) return 0.0;
-  switch (family) {
-    case Family::kExponential:
-      return -std::expm1(-p[0] * t);
-    case Family::kWeibull:
-      return -std::expm1(-std::pow(t / p[0], p[1]));
-    case Family::kLogNormal:
-      return num::normal_cdf((std::log(t) - p[0]) / p[1]);
-    case Family::kGamma:
-      return num::gamma_p(p[0], t / p[1]);
-    case Family::kLogLogistic: {
-      const double z = std::pow(t / p[0], p[1]);
-      return z / (1.0 + z);
-    }
-    case Family::kGompertz:
-      return -std::expm1(-(p[0] / p[1]) * std::expm1(p[1] * t));
-  }
-  throw std::logic_error("family_cdf: unknown family");
+  return family_cdf_t<double>(family, p, t);
 }
 
 double family_cdf_grad(Family family, std::span<const double> p, double t,
@@ -357,21 +396,6 @@ std::vector<opt::Bound> MixtureModel::parameter_bounds() const {
   return bounds;
 }
 
-std::span<const double> MixtureModel::f1_params(const num::Vector& p) const {
-  return std::span<const double>(p).subspan(0, n1_);
-}
-
-std::span<const double> MixtureModel::f2_params(const num::Vector& p) const {
-  return std::span<const double>(p).subspan(n1_, n2_);
-}
-
-double MixtureModel::beta(const num::Vector& p) const { return p[n1_ + n2_]; }
-
-double MixtureModel::theta(const num::Vector& p) const {
-  if (!has_theta()) throw std::logic_error("MixtureModel::theta: a1 is constant");
-  return p[n1_ + n2_ + 1];
-}
-
 double MixtureModel::trend_basis(RecoveryTrend trend, double t) {
   switch (trend) {
     case RecoveryTrend::kConstant: return 1.0;
@@ -383,57 +407,29 @@ double MixtureModel::trend_basis(RecoveryTrend trend, double t) {
   throw std::logic_error("trend_basis: unknown trend");
 }
 
-double MixtureModel::recovery_term(double t, const num::Vector& p) const {
-  const double f2 = family_cdf(spec_.recovery, f2_params(p), t);
-  if (f2 == 0.0) return 0.0;
-  const double b = beta(p);
-  if (spec_.trend == RecoveryTrend::kExponential) {
-    return std::exp(b * t) * f2;
-  }
-  return b * trend_basis(spec_.trend, t) * f2;
-}
-
 double MixtureModel::evaluate(double t, const num::Vector& p) const {
   if (p.size() != num_parameters()) {
     throw std::invalid_argument("MixtureModel::evaluate: wrong parameter count");
   }
-  double s1 = 1.0 - family_cdf(spec_.degradation, f1_params(p), t);
-  if (has_theta() && t > 0.0) s1 *= std::exp(-theta(p) * t);
-  return s1 + recovery_term(t, p);
+  return mixture_curve<double>(spec_, n1_, n2_, t, std::span<const double>(p));
 }
 
 num::Vector MixtureModel::gradient(double t, const num::Vector& p) const {
   if (p.size() != num_parameters()) {
     throw std::invalid_argument("MixtureModel::gradient: wrong parameter count");
   }
-  num::Vector g(p.size(), 0.0);
-  // Degradation block: dP/dF1_j = -a1(t) dF1/dF1_j.
-  std::vector<double> g1(n1_);
-  const double f1 = family_cdf_grad(spec_.degradation, f1_params(p), t, g1);
-  const double a1 = (has_theta() && t > 0.0) ? std::exp(-theta(p) * t) : 1.0;
-  for (std::size_t j = 0; j < n1_; ++j) g[j] = -a1 * g1[j];
-
-  // Recovery block: dP/dF2_j = a2(t) * dF2/dF2_j; dP/dbeta from the trend.
-  std::vector<double> g2(n2_);
-  const double f2 = family_cdf_grad(spec_.recovery, f2_params(p), t, g2);
-  const double b = beta(p);
-  double a2 = 0.0;      // a2(t)
-  double da2_db = 0.0;  // d a2 / d beta
-  if (spec_.trend == RecoveryTrend::kExponential) {
-    a2 = std::exp(b * t);
-    da2_db = t * a2;
-  } else {
-    const double basis = trend_basis(spec_.trend, t);
-    a2 = b * basis;
-    da2_db = basis;
-  }
-  for (std::size_t j = 0; j < n2_; ++j) g[n1_ + j] = a2 * g2[j];
-  g[n1_ + n2_] = da2_db * f2;
-  if (has_theta()) {
-    // dP/dtheta = -t a1(t) S1(t).
-    g[n1_ + n2_ + 1] = (t > 0.0) ? -t * a1 * (1.0 - f1) : 0.0;
-  }
-  return g;
+  // One seeded dual sweep per parameter through the same generic curve the
+  // evaluation uses -- exact derivatives everywhere the curve is smooth (the
+  // Gamma shape direction alone falls back to a central difference inside
+  // num::gamma_p, matching family_cdf_grad).
+  const MixtureSpec spec = spec_;
+  const std::size_t n1 = n1_;
+  const std::size_t n2 = n2_;
+  return num::dual_gradient(
+      [&spec, n1, n2, t](std::span<const num::Dual> q) {
+        return mixture_curve<num::Dual>(spec, n1, n2, t, q);
+      },
+      p);
 }
 
 std::vector<num::Vector> MixtureModel::initial_guesses(

@@ -104,12 +104,7 @@ class MixtureModel final : public ResilienceModel {
   static double trend_basis(RecoveryTrend trend, double t);
 
  private:
-  std::span<const double> f1_params(const num::Vector& p) const;
-  std::span<const double> f2_params(const num::Vector& p) const;
-  double beta(const num::Vector& p) const;
   bool has_theta() const { return spec_.a1 == DegradationTrend::kExpDecay; }
-  double theta(const num::Vector& p) const;
-  double recovery_term(double t, const num::Vector& p) const;
 
   MixtureSpec spec_;
   std::size_t n1_;  ///< F1 parameter count

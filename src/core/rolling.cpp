@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "par/parallel.hpp"
+
 namespace prm::core {
 
 std::size_t RollingResult::stable_origin(double threshold) const {
@@ -30,14 +32,17 @@ RollingResult rolling_origin(const std::string& model_name,
     throw std::invalid_argument("rolling_origin: series too short for any origin");
   }
 
-  RollingResult result;
-  result.error_by_horizon.assign(options.horizon, 0.0);
-  std::vector<std::size_t> horizon_counts(options.horizon, 0);
-
+  // Enumerate origins up front, fit each independently (each origin's work
+  // depends only on the origin itself), then aggregate in origin order so the
+  // result is identical at any thread count.
+  std::vector<std::size_t> origins;
   for (std::size_t origin = first; origin < series.size(); origin += options.stride) {
-    const std::size_t available = series.size() - origin;
-    const std::size_t h = std::min(options.horizon, available);
-    if (h == 0) break;
+    origins.push_back(origin);
+  }
+
+  const auto run_origin = [&](std::size_t k) {
+    const std::size_t origin = origins[k];
+    const std::size_t h = std::min(options.horizon, series.size() - origin);
 
     RollingPoint point;
     point.origin = origin;
@@ -58,13 +63,25 @@ RollingResult rolling_origin(const std::string& model_name,
           ape += std::fabs(err / series.value(idx));
         }
         point.abs_errors.push_back(std::fabs(err));
-        result.error_by_horizon[j] += std::fabs(err);
-        ++horizon_counts[j];
       }
       point.pmse = se / static_cast<double>(h);
       point.mape = 100.0 * ape / static_cast<double>(h);
     }
-    result.points.push_back(std::move(point));
+    return point;
+  };
+
+  RollingResult result;
+  result.points =
+      par::parallel_map<RollingPoint>(origins.size(), run_origin, options.threads);
+
+  result.error_by_horizon.assign(options.horizon, 0.0);
+  std::vector<std::size_t> horizon_counts(options.horizon, 0);
+  for (const RollingPoint& point : result.points) {
+    if (!point.fit_succeeded) continue;
+    for (std::size_t j = 0; j < point.abs_errors.size(); ++j) {
+      result.error_by_horizon[j] += point.abs_errors[j];
+      ++horizon_counts[j];
+    }
   }
 
   for (std::size_t j = 0; j < options.horizon; ++j) {

@@ -16,6 +16,10 @@ struct RollingOptions {
   std::size_t horizon = 5;      ///< Forecast length at each origin.
   std::size_t stride = 1;       ///< Origin step.
   FitOptions fit;
+  /// Concurrent origin fits: 1 = serial (default), 0 = auto, N > 1 = up to N.
+  /// Origins are enumerated up front and aggregated in origin order, so the
+  /// PMSE curve is bit-identical at any thread count.
+  int threads = 1;
 };
 
 /// One origin's outcome.

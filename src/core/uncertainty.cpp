@@ -3,8 +3,10 @@
 #include <cmath>
 #include <random>
 #include <stdexcept>
+#include <utility>
 
 #include "core/predictor.hpp"
+#include "par/parallel.hpp"
 #include "stats/bootstrap.hpp"
 
 namespace prm::core {
@@ -50,8 +52,54 @@ UncertaintyResult prediction_uncertainty(const FitResult& fit,
   mean_res /= static_cast<double>(n_fit);
   for (double& r : residuals) r -= mean_res;
 
-  std::mt19937_64 rng(options.seed);
-  std::uniform_int_distribution<std::size_t> pick(0, n_fit - 1);
+  // The fitted curve over the fit window is replicate-invariant.
+  std::vector<double> fitted(n_fit);
+  for (std::size_t i = 0; i < n_fit; ++i) fitted[i] = fit.evaluate(series.time(i));
+
+  // One replicate, self-contained: all randomness comes from a stream seeded
+  // by the replicate index, so results are index-addressed and independent of
+  // scheduling. The reduction below walks them in replicate order.
+  struct Replicate {
+    bool ok = false;
+    double trough_t = 0.0;
+    double trough_v = 0.0;
+    std::optional<double> recovery;
+    std::vector<double> metrics;
+  };
+  const auto run_replicate = [&](std::size_t rep) {
+    Replicate result;
+    std::mt19937_64 rng(options.seed ^ (static_cast<std::uint64_t>(rep) + 1));
+    std::uniform_int_distribution<std::size_t> pick(0, n_fit - 1);
+    // Resampled series: fitted curve + bootstrap residuals on the fit
+    // window; the holdout keeps its observed values (it is never fit).
+    std::vector<double> values(series.size());
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      values[i] = i < n_fit ? fitted[i] + residuals[pick(rng)] : series.value(i);
+    }
+    data::PerformanceSeries resampled(series.name(),
+                                      std::vector<double>(series.times().begin(),
+                                                          series.times().end()),
+                                      std::move(values));
+    FitOptions fit_opts = options.fit;
+    fit_opts.multistart.seed = options.seed + static_cast<std::uint64_t>(rep) + 1;
+    FitResult refit;
+    try {
+      refit = fit_model(fit.model(), resampled, fit.holdout(), fit_opts);
+    } catch (const std::exception&) {
+      return result;
+    }
+    if (!refit.success()) return result;
+    result.ok = true;
+    result.trough_t = predict_trough_time(refit);
+    result.trough_v = predict_trough_value(refit);
+    result.recovery = predict_recovery_time(refit, options.recovery_level);
+    const auto metrics = predictive_metrics(refit);
+    result.metrics.reserve(metrics.size());
+    for (const auto& m : metrics) result.metrics.push_back(m.predicted);
+    return result;
+  };
+  const std::vector<Replicate> replicates = par::parallel_map<Replicate>(
+      static_cast<std::size_t>(options.replicates), run_replicate, options.threads);
 
   UncertaintyResult out;
   std::vector<double> recovery_samples;
@@ -59,47 +107,21 @@ UncertaintyResult prediction_uncertainty(const FitResult& fit,
   std::vector<double> trough_v_samples;
   std::vector<std::vector<double>> metric_samples(kAllMetrics.size());
   int no_recovery = 0;
-
-  std::vector<double> values(series.size());
-  for (int rep = 0; rep < options.replicates; ++rep) {
-    // Resampled series: fitted curve + bootstrap residuals on the fit
-    // window; the holdout keeps its observed values (it is never fit).
-    for (std::size_t i = 0; i < series.size(); ++i) {
-      if (i < n_fit) {
-        values[i] = fit.evaluate(series.time(i)) + residuals[pick(rng)];
-      } else {
-        values[i] = series.value(i);
-      }
-    }
-    data::PerformanceSeries resampled(series.name(),
-                                      std::vector<double>(series.times().begin(),
-                                                          series.times().end()),
-                                      values);
-    FitOptions fit_opts = options.fit;
-    fit_opts.multistart.seed = options.seed + static_cast<std::uint64_t>(rep) + 1;
-    FitResult refit;
-    try {
-      refit = fit_model(fit.model(), resampled, fit.holdout(), fit_opts);
-    } catch (const std::exception&) {
-      ++out.replicates_failed;
-      continue;
-    }
-    if (!refit.success()) {
+  for (const Replicate& r : replicates) {
+    if (!r.ok) {
       ++out.replicates_failed;
       continue;
     }
     ++out.replicates_used;
-
-    trough_t_samples.push_back(predict_trough_time(refit));
-    trough_v_samples.push_back(predict_trough_value(refit));
-    if (const auto tr = predict_recovery_time(refit, options.recovery_level)) {
-      recovery_samples.push_back(*tr);
+    trough_t_samples.push_back(r.trough_t);
+    trough_v_samples.push_back(r.trough_v);
+    if (r.recovery) {
+      recovery_samples.push_back(*r.recovery);
     } else {
       ++no_recovery;
     }
-    const auto metrics = predictive_metrics(refit);
-    for (std::size_t k = 0; k < metrics.size(); ++k) {
-      metric_samples[k].push_back(metrics[k].predicted);
+    for (std::size_t k = 0; k < r.metrics.size(); ++k) {
+      metric_samples[k].push_back(r.metrics[k]);
     }
   }
   if (out.replicates_used < 2) {

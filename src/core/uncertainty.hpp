@@ -23,6 +23,11 @@ struct UncertaintyOptions {
   std::uint64_t seed = 0xdecafu;
   double recovery_level = 1.0;  ///< Level whose crossing time is tracked.
   FitOptions fit;
+  /// Concurrent replicates: 1 = serial (default), 0 = auto, N > 1 = up to N.
+  /// Per-replicate RNG streams (mt19937_64(seed ^ (rep + 1))) and a fixed
+  /// replicate-order reduction keep every interval bit-identical across
+  /// thread counts.
+  int threads = 1;
 };
 
 /// Central interval plus point estimate for one derived quantity.

@@ -5,6 +5,8 @@
 #include <random>
 #include <stdexcept>
 
+#include "par/parallel.hpp"
+
 namespace prm::opt {
 
 std::vector<num::Vector> latin_hypercube(const num::Vector& lo, const num::Vector& hi,
@@ -38,27 +40,23 @@ std::vector<num::Vector> latin_hypercube(const num::Vector& lo, const num::Vecto
   return pts;
 }
 
-MultistartResult multistart_least_squares(const ResidualProblem& problem,
-                                          const std::vector<num::Vector>& starts,
-                                          const num::Vector& search_lo,
-                                          const num::Vector& search_hi,
-                                          const MultistartOptions& options) {
-  MultistartResult out;
-  out.best.cost = std::numeric_limits<double>::infinity();
-  out.best.stop_reason = StopReason::kNumericalFailure;
-
-  std::mt19937_64 rng(options.seed);
-  std::normal_distribution<double> gauss(0.0, 1.0);
-  const auto add_jittered = [&](std::vector<num::Vector>& dst, const num::Vector& s,
-                                int copies) {
-    for (int j = 0; j < copies; ++j) {
-      num::Vector v = s;
-      for (double& x : v) {
-        const double scale = options.jitter_rel * std::max(std::fabs(x), 0.1);
-        x += scale * gauss(rng);
-      }
-      dst.push_back(std::move(v));
+std::vector<num::Vector> multistart_start_points(const std::vector<num::Vector>& starts,
+                                                 const num::Vector& search_lo,
+                                                 const num::Vector& search_hi,
+                                                 const MultistartOptions& options,
+                                                 std::size_t num_parameters) {
+  // Each jittered copy draws from a stream seeded by its own position in the
+  // start list, so adding/removing other starts (or running starts out of
+  // order on the pool) can never change its coordinates.
+  const auto jittered_at = [&options](const num::Vector& s, std::size_t index) {
+    std::mt19937_64 rng(options.seed ^ static_cast<std::uint64_t>(index));
+    std::normal_distribution<double> gauss(0.0, 1.0);
+    num::Vector v = s;
+    for (double& x : v) {
+      const double scale = options.jitter_rel * std::max(std::fabs(x), 0.1);
+      x += scale * gauss(rng);
     }
+    return v;
   };
 
   std::vector<num::Vector> all;
@@ -66,15 +64,21 @@ MultistartResult multistart_least_squares(const ResidualProblem& problem,
   if (warm) {
     // Warm path: the previous solution (plus a little jitter) replaces the
     // whole start set.
-    if (options.warm_start.size() != problem.num_parameters) {
+    if (options.warm_start.size() != num_parameters) {
       throw std::invalid_argument(
           "multistart_least_squares: warm start dimension mismatch");
     }
     all.push_back(options.warm_start);
-    add_jittered(all, options.warm_start, options.warm_jitter);
+    for (int j = 0; j < options.warm_jitter; ++j) {
+      all.push_back(jittered_at(options.warm_start, all.size()));
+    }
   } else {
     all = starts;
-    for (const num::Vector& s : starts) add_jittered(all, s, options.jitter_per_start);
+    for (const num::Vector& s : starts) {
+      for (int j = 0; j < options.jitter_per_start; ++j) {
+        all.push_back(jittered_at(s, all.size()));
+      }
+    }
   }
 
   const int sampled = warm ? options.warm_sampled_starts : options.sampled_starts;
@@ -89,25 +93,48 @@ MultistartResult multistart_least_squares(const ResidualProblem& problem,
   if (all.empty()) {
     throw std::invalid_argument("multistart_least_squares: no starting points");
   }
+  return all;
+}
 
-  for (const num::Vector& s : all) {
+MultistartResult multistart_least_squares(const ResidualProblem& problem,
+                                          const std::vector<num::Vector>& starts,
+                                          const num::Vector& search_lo,
+                                          const num::Vector& search_hi,
+                                          const MultistartOptions& options) {
+  const std::vector<num::Vector> all =
+      multistart_start_points(starts, search_lo, search_hi, options, problem.num_parameters);
+
+  std::vector<OptimizeResult> results = par::parallel_map<OptimizeResult>(
+      all.size(),
+      [&problem, &options, &all](std::size_t i) {
+        OptimizeResult r = levenberg_marquardt(problem, all[i], options.lm);
+        if (std::isfinite(r.cost) && options.polish_with_nelder_mead && r.usable()) {
+          NelderMeadOptions nm = options.nm;
+          nm.initial_step = 0.02;
+          OptimizeResult polished =
+              nelder_mead_least_squares(problem.residuals, r.parameters, nm);
+          if (std::isfinite(polished.cost) && polished.cost < r.cost) {
+            polished.function_evaluations += r.function_evaluations;
+            polished.iterations += r.iterations;
+            r = polished;
+            // A Nelder-Mead improvement still counts as a converged LS fit
+            // when it met its own tolerances.
+          }
+        }
+        return r;
+      },
+      options.threads);
+
+  // Reduce in index order with a strict '<' so cost ties keep the lowest
+  // index -- the same winner the serial loop picks at any thread count.
+  MultistartResult out;
+  out.best.cost = std::numeric_limits<double>::infinity();
+  out.best.stop_reason = StopReason::kNumericalFailure;
+  for (const OptimizeResult& r : results) {
     ++out.starts_tried;
-    OptimizeResult r = levenberg_marquardt(problem, s, options.lm);
     if (!std::isfinite(r.cost)) {
       ++out.starts_failed;
       continue;
-    }
-    if (options.polish_with_nelder_mead && r.usable()) {
-      NelderMeadOptions nm = options.nm;
-      nm.initial_step = 0.02;
-      OptimizeResult polished = nelder_mead_least_squares(problem.residuals, r.parameters, nm);
-      if (std::isfinite(polished.cost) && polished.cost < r.cost) {
-        polished.function_evaluations += r.function_evaluations;
-        polished.iterations += r.iterations;
-        r = polished;
-        // A Nelder-Mead improvement still counts as a converged LS fit when
-        // it met its own tolerances.
-      }
     }
     if (r.cost < out.best.cost) out.best = r;
   }

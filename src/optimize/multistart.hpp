@@ -38,6 +38,12 @@ struct MultistartOptions {
   num::Vector warm_start;
   int warm_jitter = 1;         ///< Jittered copies of the warm start.
   int warm_sampled_starts = 0; ///< Extra LHS safety starts (0 = trust the seed).
+
+  /// Concurrent LM starts: 1 = serial (default), 0 = auto (PRM_THREADS or
+  /// hardware_concurrency), N > 1 = up to N concurrent starts. The start set
+  /// is pre-generated from per-index seeds and the winner is reduced in fixed
+  /// index order, so every setting produces bit-identical results.
+  int threads = 1;
 };
 
 struct MultistartResult {
@@ -58,5 +64,17 @@ MultistartResult multistart_least_squares(const ResidualProblem& problem,
 /// Deterministic Latin hypercube sample of `count` points in [lo, hi]^n.
 std::vector<num::Vector> latin_hypercube(const num::Vector& lo, const num::Vector& hi,
                                          int count, std::uint64_t seed);
+
+/// The exact start set `multistart_least_squares` will try, in try order:
+/// caller starts (or the warm start), then jittered copies, then Latin-
+/// hypercube samples. Each jittered copy at position `i` draws from its own
+/// `std::mt19937_64(options.seed ^ i)` stream, so a start's coordinates
+/// depend only on its index and the options -- not on how many other starts
+/// exist or on any scheduling. Exposed for the seeding-contract tests.
+std::vector<num::Vector> multistart_start_points(const std::vector<num::Vector>& starts,
+                                                 const num::Vector& search_lo,
+                                                 const num::Vector& search_hi,
+                                                 const MultistartOptions& options,
+                                                 std::size_t num_parameters);
 
 }  // namespace prm::opt

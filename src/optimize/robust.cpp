@@ -1,7 +1,9 @@
 #include "optimize/robust.hpp"
 
 #include <cmath>
+#include <memory>
 #include <stdexcept>
+#include <utility>
 
 namespace prm::opt {
 
@@ -37,6 +39,30 @@ double loss_whiten(LossKind kind, double r, double scale) {
   return std::copysign(std::sqrt(2.0 * rho), r);
 }
 
+double loss_dwhiten(LossKind kind, double r, double scale) {
+  if (kind == LossKind::kSquared) return 1.0;
+  if (!(scale > 0.0)) {
+    throw std::invalid_argument("loss_dwhiten: scale must be positive");
+  }
+  const double a = std::fabs(r);
+  // s(r) = sign(r) sqrt(2 rho(|r|)) gives ds/dr = rho'(|r|) / sqrt(2 rho(|r|))
+  // (even in r), with limit 1 as r -> 0 for both kinds.
+  if (a == 0.0) return 1.0;
+  switch (kind) {
+    case LossKind::kSquared:
+      return 1.0;
+    case LossKind::kHuber:
+      if (a <= scale) return 1.0;
+      return scale / std::sqrt(2.0 * scale * (a - 0.5 * scale));
+    case LossKind::kCauchy: {
+      const double z = a / scale;
+      const double drho = a / (1.0 + z * z);
+      return drho / std::sqrt(2.0 * loss_rho(kind, a, scale));
+    }
+  }
+  throw std::logic_error("loss_dwhiten: unknown loss");
+}
+
 ResidualFn make_robust(ResidualFn residuals, LossKind kind, double scale) {
   if (kind == LossKind::kSquared) return residuals;
   if (!(scale > 0.0)) throw std::invalid_argument("make_robust: scale must be positive");
@@ -45,6 +71,34 @@ ResidualFn make_robust(ResidualFn residuals, LossKind kind, double scale) {
     for (double& x : r) x = loss_whiten(kind, x, scale);
     return r;
   };
+}
+
+ResidualProblem make_robust_problem(ResidualProblem problem, LossKind kind, double scale) {
+  if (kind == LossKind::kSquared) return problem;
+  if (!(scale > 0.0)) {
+    throw std::invalid_argument("make_robust_problem: scale must be positive");
+  }
+  auto base = std::make_shared<ResidualProblem>(std::move(problem));
+  ResidualProblem robust;
+  robust.num_parameters = base->num_parameters;
+  robust.num_residuals = base->num_residuals;
+  robust.residuals = [base, kind, scale](const num::Vector& p) {
+    num::Vector r = base->residuals(p);
+    for (double& x : r) x = loss_whiten(kind, x, scale);
+    return r;
+  };
+  if (base->jacobian) {
+    robust.jacobian = [base, kind, scale](const num::Vector& p) {
+      const num::Vector r = base->residuals(p);
+      num::Matrix j = base->jacobian(p);
+      for (std::size_t i = 0; i < j.rows(); ++i) {
+        const double w = loss_dwhiten(kind, r[i], scale);
+        for (std::size_t c = 0; c < j.cols(); ++c) j(i, c) *= w;
+      }
+      return j;
+    };
+  }
+  return robust;
 }
 
 }  // namespace prm::opt

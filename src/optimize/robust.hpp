@@ -26,9 +26,21 @@ double loss_rho(LossKind kind, double r, double scale);
 /// Whitened residual s(r) = sign(r) sqrt(2 rho(|r|)).
 double loss_whiten(LossKind kind, double r, double scale);
 
+/// Derivative ds/dr of the whitening at residual r (continuous; 1 at r = 0
+/// and everywhere for kSquared). Throws for non-positive scale on the robust
+/// kinds.
+double loss_dwhiten(LossKind kind, double r, double scale);
+
 /// Wrap a residual function so each component is whitened. kSquared returns
 /// the original function unchanged. Throws std::invalid_argument for
 /// non-positive scale.
 ResidualFn make_robust(ResidualFn residuals, LossKind kind, double scale);
+
+/// Whiten a full problem. Residuals are wrapped as in make_robust; when the
+/// base problem carries an analytic Jacobian, each of its rows is rescaled by
+/// loss_dwhiten(r_i) (chain rule), so the robust problem keeps an analytic
+/// Jacobian instead of falling back to finite differences. kSquared returns
+/// the problem unchanged.
+ResidualProblem make_robust_problem(ResidualProblem problem, LossKind kind, double scale);
 
 }  // namespace prm::opt

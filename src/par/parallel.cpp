@@ -1,0 +1,86 @@
+#include "par/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+
+#include "par/task_pool.hpp"
+
+namespace prm::par {
+
+std::size_t resolve_threads(int threads) {
+  if (threads >= 1) return static_cast<std::size_t>(threads);
+  return TaskPool::default_threads();
+}
+
+namespace {
+
+/// Shared fork-join state. Helpers and the caller claim indices from `next`;
+/// `done` counts completed (or skipped-after-failure) indices up to `count`,
+/// at which point the caller is released.
+struct ForJoinState {
+  explicit ForJoinState(std::size_t n, const std::function<void(std::size_t)>& b)
+      : count(n), body(b) {}
+
+  const std::size_t count;
+  const std::function<void(std::size_t)>& body;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::atomic<bool> failed{false};
+  std::mutex mutex;
+  std::condition_variable all_done;
+  std::exception_ptr error;
+
+  void drain() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      if (!failed.load(std::memory_order_acquire)) {
+        try {
+          body(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(mutex);
+          if (!error) error = std::current_exception();
+          failed.store(true, std::memory_order_release);
+        }
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
+        std::lock_guard<std::mutex> lock(mutex);
+        all_done.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                  int threads) {
+  if (count == 0) return;
+  const std::size_t workers = std::min(resolve_threads(threads), count);
+  if (workers <= 1 || TaskPool::in_worker()) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  // The caller participates, so only workers-1 helper tasks are submitted.
+  // The shared_ptr keeps the state alive for helpers that wake after the
+  // caller has already been released (they see next >= count and exit).
+  auto state = std::make_shared<ForJoinState>(count, body);
+  TaskPool& pool = TaskPool::instance();
+  for (std::size_t h = 1; h < workers; ++h) {
+    pool.submit([state] { state->drain(); });
+  }
+  state->drain();
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->all_done.wait(lock, [&state] {
+    return state->done.load(std::memory_order_acquire) == state->count;
+  });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace prm::par

@@ -1,0 +1,45 @@
+// Deterministic fork-join helpers on top of TaskPool.
+//
+// `parallel_for(n, body)` runs body(0..n-1) with the calling thread
+// participating; `parallel_map<T>` collects results into an index-addressed
+// vector. Work is claimed from a shared atomic counter, so iteration *order*
+// is nondeterministic — callers must make each body(i) depend only on i (e.g.
+// seed RNGs per index) and reduce the index-addressed results in fixed order.
+// Under that discipline every thread count produces bit-identical output.
+//
+// Serial fallback: when the resolved thread count or n is <= 1, or the caller
+// is already a pool worker (nested parallelism), the loop runs inline with no
+// pool interaction at all.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace prm::par {
+
+/// Map a user-facing `threads` knob to an effective worker count:
+/// values >= 1 are taken literally, anything else (0 or negative) means
+/// "auto" = TaskPool::default_threads() (PRM_THREADS or hardware).
+std::size_t resolve_threads(int threads);
+
+/// Run body(i) for i in [0, count) on up to `threads` workers (0 = auto).
+/// Blocks until every index has completed. The first exception thrown by any
+/// body is rethrown on the calling thread after the remaining indices are
+/// drained (bodies after the failure are skipped, not run).
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                  int threads = 1);
+
+/// Index-addressed map: out[i] = body(i). T must be default-constructible
+/// and movable. Result order is always 0..count-1 regardless of scheduling.
+template <typename T, typename Fn>
+std::vector<T> parallel_map(std::size_t count, Fn&& body, int threads = 1) {
+  std::vector<T> out(count);
+  auto fn = std::forward<Fn>(body);
+  parallel_for(
+      count, [&out, &fn](std::size_t i) { out[i] = fn(i); }, threads);
+  return out;
+}
+
+}  // namespace prm::par

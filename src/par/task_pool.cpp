@@ -1,0 +1,108 @@
+#include "par/task_pool.hpp"
+
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace prm::par {
+
+namespace {
+thread_local bool t_in_worker = false;
+}  // namespace
+
+TaskPool::TaskPool(std::size_t threads) {
+  if (threads < 1) threads = 1;
+  queues_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) queues_.push_back(std::make_unique<Queue>());
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void TaskPool::submit(Task task) {
+  const std::size_t slot =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[slot]->mutex);
+    queues_[slot]->tasks.push_back(std::move(task));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  wake_.notify_one();
+}
+
+bool TaskPool::try_pop(std::size_t index, Task& out) {
+  // Own queue first (front = submission order), then steal from siblings.
+  {
+    Queue& own = *queues_[index];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      out = std::move(own.tasks.front());
+      own.tasks.pop_front();
+      return true;
+    }
+  }
+  for (std::size_t k = 1; k < queues_.size(); ++k) {
+    Queue& victim = *queues_[(index + k) % queues_.size()];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      out = std::move(victim.tasks.back());
+      victim.tasks.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void TaskPool::worker_loop(std::size_t index) {
+  t_in_worker = true;
+  for (;;) {
+    Task task;
+    if (try_pop(index, task)) {
+      pending_.fetch_sub(1, std::memory_order_acq_rel);
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(idle_mutex_);
+    wake_.wait(lock, [this] {
+      return stop_.load(std::memory_order_relaxed) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_relaxed) &&
+        pending_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+TaskPool& TaskPool::instance() {
+  static TaskPool pool(default_threads());
+  return pool;
+}
+
+std::size_t TaskPool::default_threads() {
+  if (const char* env = std::getenv("PRM_THREADS")) {
+    try {
+      std::size_t pos = 0;
+      const long v = std::stol(env, &pos);
+      if (pos == std::string(env).size() && v >= 1) return static_cast<std::size_t>(v);
+    } catch (...) {
+      // Fall through to hardware_concurrency on malformed values.
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<std::size_t>(hw) : 1;
+}
+
+bool TaskPool::in_worker() noexcept { return t_in_worker; }
+
+}  // namespace prm::par

@@ -1,0 +1,74 @@
+// Fixed-size work-stealing task pool shared by every parallel fit path.
+//
+// The pool is a process-wide singleton created lazily on first use (a serial
+// run never spawns a thread). Each worker owns a deque guarded by a mutex;
+// `submit` distributes tasks round-robin and idle workers steal from the back
+// of their siblings' deques. Size is `PRM_THREADS` when set (clamped to >= 1),
+// otherwise `std::thread::hardware_concurrency()`.
+//
+// Determinism contract: the pool only ever decides *when* a task runs, never
+// what it computes. Callers (see parallel.hpp) pre-generate all per-task
+// inputs from per-index seeds and reduce results in fixed index order, so
+// scheduling cannot change any numeric output.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace prm::par {
+
+class TaskPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// Spawns `threads` workers (clamped to >= 1). Prefer `instance()`.
+  explicit TaskPool(std::size_t threads);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Number of worker threads.
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task for execution on some worker.
+  void submit(Task task);
+
+  /// The process-wide pool, created on first call with `default_threads()`
+  /// workers. Worker threads idle on a condition variable between tasks.
+  static TaskPool& instance();
+
+  /// Pool size policy: `PRM_THREADS` (positive integer) when set and valid,
+  /// otherwise `std::thread::hardware_concurrency()`, never less than 1.
+  static std::size_t default_threads();
+
+  /// True when the calling thread is a pool worker. Used by parallel_for to
+  /// run nested parallel regions inline instead of re-entering the pool.
+  static bool in_worker() noexcept;
+
+ private:
+  struct Queue {
+    std::mutex mutex;
+    std::deque<Task> tasks;
+  };
+
+  void worker_loop(std::size_t index);
+  bool try_pop(std::size_t index, Task& out);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex idle_mutex_;
+  std::condition_variable wake_;
+  std::atomic<std::size_t> next_queue_{0};
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace prm::par

@@ -121,6 +121,9 @@ App::FitRequest App::parse_fit_request(const Json& body) const {
   }
   request.fit_options.loss_scale =
       json_number_or(body, "loss_scale", request.fit_options.loss_scale);
+  // Cold-path fits run their multistart on the shared task pool; the cache
+  // key ignores this knob because results are thread-count-invariant.
+  request.fit_options.multistart.threads = options_.fit_threads;
   return request;
 }
 

@@ -48,6 +48,11 @@ struct AppOptions {
   /// Reject uploaded series longer than this (guards allocation).
   std::size_t max_series_samples = 200000;
 
+  /// Solver threads for cache-miss fits (multistart starts fan out on the
+  /// prm::par pool). 0 = auto (pool size); 1 = serial. Results are
+  /// bit-identical at any setting, so the fit cache ignores it.
+  int fit_threads = 0;
+
   /// Options for the embedded live::Monitor behind /v1/streams.
   live::MonitorOptions monitor;
 };

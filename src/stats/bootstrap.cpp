@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <random>
 #include <stdexcept>
+
+#include "par/parallel.hpp"
 
 namespace prm::stats {
 
@@ -50,39 +53,42 @@ BootstrapResult bootstrap_confidence_band(std::span<const double> observed_fit,
   mean_res /= static_cast<double>(n);
   for (double& r : residuals) r -= mean_res;
 
-  std::mt19937_64 rng(options.seed);
-  std::uniform_int_distribution<std::size_t> pick(0, n - 1);
-
-  // ensemble[i] = predictions at grid point i across replicates.
-  std::vector<std::vector<double>> ensemble(predicted_all.size());
-  BootstrapResult out;
-
-  std::vector<double> resampled(n);
-  for (int rep = 0; rep < options.replicates; ++rep) {
+  // Each replicate draws all of its randomness (resample indices, then the
+  // per-grid-point noise) from a stream seeded by its own index, and the
+  // ensemble is assembled from the index-addressed results in replicate
+  // order -- the band cannot depend on scheduling or thread count. An empty
+  // curve marks a failed replicate.
+  const std::size_t grid = predicted_all.size();
+  const auto run_replicate = [&](std::size_t rep) -> std::vector<double> {
+    std::mt19937_64 rng(options.seed ^ (static_cast<std::uint64_t>(rep) + 1));
+    std::uniform_int_distribution<std::size_t> pick(0, n - 1);
+    std::vector<double> resampled(n);
     for (std::size_t i = 0; i < n; ++i) {
       resampled[i] = predicted_fit[i] + residuals[pick(rng)];
     }
-    const std::vector<double> predictions = refit(resampled);
-    if (predictions.size() != predicted_all.size()) {
-      ++out.replicates_failed;
-      continue;
-    }
-    bool finite = true;
+    std::vector<double> predictions = refit(resampled);
+    if (predictions.size() != grid) return {};
     for (double p : predictions) {
-      if (!std::isfinite(p)) {
-        finite = false;
-        break;
-      }
+      if (!std::isfinite(p)) return {};
     }
-    if (!finite) {
+    if (options.include_residual_noise) {
+      for (double& p : predictions) p += residuals[pick(rng)];
+    }
+    return predictions;
+  };
+  const std::vector<std::vector<double>> curves =
+      par::parallel_map<std::vector<double>>(
+          static_cast<std::size_t>(options.replicates), run_replicate, options.threads);
+
+  // ensemble[i] = predictions at grid point i across replicates.
+  std::vector<std::vector<double>> ensemble(grid);
+  BootstrapResult out;
+  for (const std::vector<double>& curve : curves) {
+    if (curve.empty()) {
       ++out.replicates_failed;
       continue;
     }
-    for (std::size_t i = 0; i < predictions.size(); ++i) {
-      const double noise =
-          options.include_residual_noise ? residuals[pick(rng)] : 0.0;
-      ensemble[i].push_back(predictions[i] + noise);
-    }
+    for (std::size_t i = 0; i < grid; ++i) ensemble[i].push_back(curve[i]);
     ++out.replicates_used;
   }
   if (out.replicates_used < 2) {

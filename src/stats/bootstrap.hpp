@@ -29,6 +29,12 @@ struct BootstrapOptions {
   /// false -> confidence band on the fitted CURVE only (parameter
   ///          uncertainty), which is narrower.
   bool include_residual_noise = true;
+  /// Concurrent replicates: 1 = serial (default), 0 = auto, N > 1 = up to N.
+  /// Replicate `rep` draws every random number from its own
+  /// mt19937_64(seed ^ (rep + 1)) stream and the ensemble is assembled in
+  /// replicate order, so the band is bit-identical at any thread count.
+  /// The refit callback must be thread-safe when threads != 1.
+  int threads = 1;
 };
 
 /// Refit callback: given a resampled observation vector (same grid as the

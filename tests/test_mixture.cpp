@@ -251,5 +251,44 @@ TEST(MixtureModel, DescriptionMentionsFamilies) {
   EXPECT_NE(d.find("exp"), std::string::npos);
 }
 
+TEST(MixtureModel, GammaFamilyGradientMatchesCentralDifference) {
+  // The Gamma CDF reaches the dual-number overload of gamma_p, whose
+  // x-derivative is the analytic gamma density -- cross-check the whole
+  // chain against central differences of evaluate().
+  const MixtureModel m({Family::kGamma, Family::kGamma, RecoveryTrend::kLinear});
+  const num::Vector p{2.5, 6.0, 1.8, 14.0, 0.004};
+  for (double t : {1.0, 8.0, 25.0}) {
+    const num::Vector g = m.gradient(t, p);
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      num::Vector pp = p;
+      const double h = 1e-6 * std::max(1.0, std::fabs(p[i]));
+      pp[i] += h;
+      const double up = m.evaluate(t, pp);
+      pp[i] -= 2 * h;
+      const double dn = m.evaluate(t, pp);
+      EXPECT_NEAR(g[i], (up - dn) / (2 * h), 1e-4) << "t=" << t << " param " << i;
+    }
+  }
+}
+
+TEST(MixtureModel, LogNormalFamilyGradientMatchesCentralDifference) {
+  // Same cross-check through the normal_cdf dual overload (derivative phi).
+  const MixtureModel m({Family::kLogNormal, Family::kWeibull,
+                        RecoveryTrend::kExponential});
+  const num::Vector p{2.0, 0.6, 20.0, 2.2, 0.01};
+  for (double t : {0.5, 6.0, 18.0}) {
+    const num::Vector g = m.gradient(t, p);
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      num::Vector pp = p;
+      const double h = 1e-6 * std::max(1.0, std::fabs(p[i]));
+      pp[i] += h;
+      const double up = m.evaluate(t, pp);
+      pp[i] -= 2 * h;
+      const double dn = m.evaluate(t, pp);
+      EXPECT_NEAR(g[i], (up - dn) / (2 * h), 1e-5) << "t=" << t << " param " << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace prm::core

@@ -184,5 +184,125 @@ TEST(Multistart, NelderMeadPolishNeverWorsens) {
   EXPECT_LE(a.best.cost, b.best.cost + 1e-12);
 }
 
+TEST(LatinHypercube, SinglePointLandsInsideTheBox) {
+  // count = 1 means one stratum spanning the whole box: still in bounds,
+  // still deterministic.
+  const auto pts = latin_hypercube({-2.0, 5.0}, {2.0, 6.0}, 1, 11);
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_GE(pts[0][0], -2.0);
+  EXPECT_LE(pts[0][0], 2.0);
+  EXPECT_GE(pts[0][1], 5.0);
+  EXPECT_LE(pts[0][1], 6.0);
+  EXPECT_EQ(pts, latin_hypercube({-2.0, 5.0}, {2.0, 6.0}, 1, 11));
+}
+
+TEST(LatinHypercube, DegenerateBoxCollapsesToThePoint) {
+  // lo == hi in one dimension: every sample must sit exactly on it while the
+  // other dimension stays stratified.
+  const int n = 8;
+  const auto pts = latin_hypercube({0.5, 0.0}, {0.5, 1.0}, n, 21);
+  ASSERT_EQ(pts.size(), static_cast<std::size_t>(n));
+  std::vector<int> counts(n, 0);
+  for (const auto& p : pts) {
+    EXPECT_EQ(p[0], 0.5);
+    ++counts[std::min(n - 1, static_cast<int>(p[1] * n))];
+  }
+  for (int c : counts) EXPECT_EQ(c, 1);
+}
+
+TEST(LatinHypercube, HighDimensionalStratificationHolds) {
+  // One sample per stratum must hold in EVERY dimension simultaneously.
+  const int n = 16;
+  const std::size_t dims = 12;
+  const auto pts =
+      latin_hypercube(num::Vector(dims, 0.0), num::Vector(dims, 1.0), n, 77);
+  ASSERT_EQ(pts.size(), static_cast<std::size_t>(n));
+  for (std::size_t d = 0; d < dims; ++d) {
+    std::vector<int> counts(n, 0);
+    for (const auto& p : pts) {
+      ++counts[std::min(n - 1, static_cast<int>(p[d] * n))];
+    }
+    for (int c : counts) EXPECT_EQ(c, 1) << "dimension " << d;
+  }
+}
+
+TEST(MultistartStartPoints, JitterDependsOnlyOnIndexAndOptions) {
+  // The per-index seeding contract: a jittered start's coordinates are a
+  // function of (options.seed ^ its position) only. Identical configs agree.
+  MultistartOptions options;
+  options.jitter_per_start = 3;
+  options.sampled_starts = 4;
+  const std::vector<num::Vector> starts{{1.0, 2.0}, {-1.0, 0.5}};
+  const num::Vector lo{-5.0, -5.0};
+  const num::Vector hi{5.0, 5.0};
+  const auto a = multistart_start_points(starts, lo, hi, options, 2);
+  const auto b = multistart_start_points(starts, lo, hi, options, 2);
+  EXPECT_EQ(a, b);
+  // Layout: caller starts first, then their jittered copies, then LHS.
+  ASSERT_EQ(a.size(), starts.size() + starts.size() * 3 + 4);
+  EXPECT_EQ(a[0], starts[0]);
+  EXPECT_EQ(a[1], starts[1]);
+}
+
+TEST(MultistartStartPoints, ChangingTheSampledCountLeavesEarlierPointsAlone) {
+  // Appending LHS points must not disturb caller starts or jittered copies:
+  // they draw from per-index streams, not one shared RNG that LHS would
+  // advance. This is what makes the parallel reduction bit-stable.
+  MultistartOptions small;
+  small.jitter_per_start = 2;
+  small.sampled_starts = 2;
+  MultistartOptions large = small;
+  large.sampled_starts = 9;
+
+  const std::vector<num::Vector> starts{{0.3, -0.7}};
+  const num::Vector lo{-2.0, -2.0};
+  const num::Vector hi{2.0, 2.0};
+  const auto a = multistart_start_points(starts, lo, hi, small, 2);
+  const auto b = multistart_start_points(starts, lo, hi, large, 2);
+  const std::size_t prefix = 1 + 2;  // caller start + its jittered copies
+  ASSERT_GE(a.size(), prefix);
+  ASSERT_GE(b.size(), prefix);
+  for (std::size_t i = 0; i < prefix; ++i) EXPECT_EQ(a[i], b[i]) << "index " << i;
+}
+
+TEST(MultistartStartPoints, DistinctIndicesDrawDistinctJitter) {
+  // Two jittered copies of the SAME seed point must differ: each index gets
+  // its own stream, not a replay of the first.
+  MultistartOptions options;
+  options.jitter_per_start = 2;
+  options.sampled_starts = 0;
+  const std::vector<num::Vector> starts{{1.0, 1.0}};
+  const auto pts = multistart_start_points(starts, {}, {}, options, 2);
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_NE(pts[1], pts[2]);
+  EXPECT_NE(pts[1], pts[0]);
+}
+
+TEST(Multistart, ParallelKnobDoesNotChangeTheWinner) {
+  // Same rosenbrock-style problem as EscapesLocalBasin, run at several
+  // thread counts: identical best parameters and cost, bit for bit.
+  ResidualProblem problem;
+  problem.num_parameters = 2;
+  problem.num_residuals = 2;
+  problem.residuals = [](const num::Vector& p) {
+    return num::Vector{10.0 * (p[1] - p[0] * p[0]), 1.0 - p[0]};
+  };
+  MultistartOptions serial;
+  serial.sampled_starts = 6;
+  const auto baseline =
+      multistart_least_squares(problem, {{-1.5, 2.0}}, {-3.0, -3.0}, {3.0, 3.0}, serial);
+  for (const int threads : {2, 8}) {
+    MultistartOptions opts;
+    opts.sampled_starts = 6;
+    opts.threads = threads;
+    const auto got = multistart_least_squares(problem, {{-1.5, 2.0}}, {-3.0, -3.0},
+                                              {3.0, 3.0}, opts);
+    EXPECT_EQ(got.best.cost, baseline.best.cost) << "threads = " << threads;
+    EXPECT_EQ(got.best.parameters, baseline.best.parameters);
+    EXPECT_EQ(got.starts_tried, baseline.starts_tried);
+    EXPECT_EQ(got.starts_failed, baseline.starts_failed);
+  }
+}
+
 }  // namespace
 }  // namespace prm::opt

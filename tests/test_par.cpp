@@ -1,0 +1,128 @@
+// prm::par -- task pool and deterministic fork-join helpers.
+#include "par/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "par/task_pool.hpp"
+
+namespace prm::par {
+namespace {
+
+TEST(TaskPool, RunsEverySubmittedTask) {
+  TaskPool pool(4);
+  std::atomic<int> count{0};
+  std::atomic<int> done{0};
+  constexpr int kTasks = 200;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&count, &done] {
+      count.fetch_add(1);
+      done.fetch_add(1);
+    });
+  }
+  while (done.load() < kTasks) {
+  }
+  EXPECT_EQ(count.load(), kTasks);
+}
+
+TEST(TaskPool, SingletonHasAtLeastOneWorker) {
+  EXPECT_GE(TaskPool::instance().size(), 1u);
+  EXPECT_GE(TaskPool::default_threads(), 1u);
+}
+
+TEST(TaskPool, CallerThreadIsNotAWorker) { EXPECT_FALSE(TaskPool::in_worker()); }
+
+TEST(ResolveThreads, LiteralWhenPositiveAutoOtherwise) {
+  EXPECT_EQ(resolve_threads(1), 1u);
+  EXPECT_EQ(resolve_threads(7), 7u);
+  EXPECT_EQ(resolve_threads(0), TaskPool::default_threads());
+  EXPECT_EQ(resolve_threads(-3), TaskPool::default_threads());
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (const int threads : {1, 2, 8}) {
+    constexpr std::size_t kCount = 500;
+    std::vector<std::atomic<int>> hits(kCount);
+    for (auto& h : hits) h.store(0);
+    parallel_for(
+        kCount, [&hits](std::size_t i) { hits[i].fetch_add(1); }, threads);
+    for (std::size_t i = 0; i < kCount; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelFor, ZeroCountIsANoOp) {
+  bool ran = false;
+  parallel_for(0, [&ran](std::size_t) { ran = true; }, 8);
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, PropagatesTheBodyException) {
+  EXPECT_THROW(
+      parallel_for(
+          100,
+          [](std::size_t i) {
+            if (i == 37) throw std::runtime_error("boom at 37");
+          },
+          8),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, SerialFallbackRunsInline) {
+  // threads = 1 must execute on the calling thread, in index order.
+  std::vector<std::size_t> order;
+  parallel_for(
+      5, [&order](std::size_t i) { order.push_back(i); }, 1);
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, NestedRegionsSerializeInsteadOfDeadlocking) {
+  // A body that itself calls parallel_for must complete: inner regions run
+  // inline on pool workers rather than waiting for pool capacity.
+  std::atomic<int> inner_total{0};
+  parallel_for(
+      8,
+      [&inner_total](std::size_t) {
+        parallel_for(
+            8, [&inner_total](std::size_t) { inner_total.fetch_add(1); }, 8);
+      },
+      8);
+  EXPECT_EQ(inner_total.load(), 64);
+}
+
+TEST(ParallelMap, ResultsAreIndexAddressed) {
+  for (const int threads : {1, 2, 8}) {
+    const std::vector<int> out = parallel_map<int>(
+        64, [](std::size_t i) { return static_cast<int>(i) * 3; }, threads);
+    ASSERT_EQ(out.size(), 64u);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i], static_cast<int>(i) * 3);
+    }
+  }
+}
+
+TEST(ParallelMap, MoveOnlyFriendlyValueTypes) {
+  const auto out = parallel_map<std::vector<double>>(
+      16, [](std::size_t i) { return std::vector<double>(i, 1.0); }, 4);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i].size(), i);
+}
+
+TEST(ParallelFor, LargeFanOutCompletes) {
+  // More indices than any plausible pool width: exercises the shared-counter
+  // claim path and the caller-participates drain.
+  std::atomic<long> sum{0};
+  constexpr std::size_t kCount = 10000;
+  parallel_for(
+      kCount, [&sum](std::size_t i) { sum.fetch_add(static_cast<long>(i)); }, 8);
+  EXPECT_EQ(sum.load(), static_cast<long>(kCount) * (kCount - 1) / 2);
+}
+
+}  // namespace
+}  // namespace prm::par

@@ -1,0 +1,161 @@
+// The determinism contract of the parallel fit engine: every threaded entry
+// point (multistart fits, residual bootstrap, Monte Carlo uncertainty,
+// rolling-origin validation) must produce BIT-IDENTICAL results at any
+// thread count. All comparisons below are exact (EXPECT_EQ on doubles), not
+// tolerance-based -- per-index RNG streams plus fixed-order reductions make
+// that possible.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/fitting.hpp"
+#include "core/rolling.hpp"
+#include "core/uncertainty.hpp"
+#include "data/recessions.hpp"
+#include "stats/bootstrap.hpp"
+
+namespace prm {
+namespace {
+
+/// The thread settings every suite compares: serial default, explicit 1,
+/// moderate, and oversubscribed (more workers than this box has cores).
+const std::vector<int> kThreadSettings{1, 2, 8};
+
+TEST(ParallelDeterminism, MultistartFitParametersAreBitIdentical) {
+  const auto& ds = data::recession("1990-93");
+  core::FitOptions serial;  // threads = 1 (serial path, no pool involvement)
+  const core::FitResult baseline =
+      core::fit_model("mix-wei-wei-log", ds.series, ds.holdout, serial);
+  ASSERT_TRUE(baseline.success());
+
+  for (const int threads : kThreadSettings) {
+    core::FitOptions opts;
+    opts.multistart.threads = threads;
+    const core::FitResult fit =
+        core::fit_model("mix-wei-wei-log", ds.series, ds.holdout, opts);
+    ASSERT_TRUE(fit.success()) << "threads = " << threads;
+    ASSERT_EQ(fit.parameters().size(), baseline.parameters().size());
+    for (std::size_t i = 0; i < fit.parameters().size(); ++i) {
+      EXPECT_EQ(fit.parameters()[i], baseline.parameters()[i])
+          << "parameter " << i << " differs at threads = " << threads;
+    }
+    EXPECT_EQ(fit.sse, baseline.sse) << "threads = " << threads;
+    EXPECT_EQ(fit.starts_tried, baseline.starts_tried);
+  }
+}
+
+TEST(ParallelDeterminism, AutoThreadsMatchesSerialToo) {
+  const auto& ds = data::recession("2001-05");
+  const core::FitResult baseline = core::fit_model("quadratic", ds.series, ds.holdout);
+  core::FitOptions opts;
+  opts.multistart.threads = 0;  // auto = pool default
+  const core::FitResult fit = core::fit_model("quadratic", ds.series, ds.holdout, opts);
+  ASSERT_TRUE(fit.success());
+  for (std::size_t i = 0; i < fit.parameters().size(); ++i) {
+    EXPECT_EQ(fit.parameters()[i], baseline.parameters()[i]);
+  }
+}
+
+TEST(ParallelDeterminism, BootstrapBandQuantilesAreBitIdentical) {
+  // A cheap closed-form "refit" keeps the test fast while still exercising
+  // the full per-replicate RNG and ensemble-assembly machinery: fit a mean
+  // to the resampled window, predict it everywhere.
+  const std::size_t n = 24;
+  std::vector<double> observed(n);
+  std::vector<double> predicted(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i);
+    predicted[i] = 1.0 - 0.4 * std::exp(-0.1 * t);
+    observed[i] = predicted[i] + 0.02 * std::sin(3.0 * t);
+  }
+  const auto refit = [](const std::vector<double>& resampled) {
+    double mean = 0.0;
+    for (double v : resampled) mean += v;
+    mean /= static_cast<double>(resampled.size());
+    return std::vector<double>(resampled.size(), mean);
+  };
+
+  stats::BootstrapOptions serial;
+  serial.replicates = 64;
+  const stats::BootstrapResult baseline =
+      stats::bootstrap_confidence_band(observed, predicted, predicted, refit, serial);
+
+  for (const int threads : kThreadSettings) {
+    stats::BootstrapOptions opts;
+    opts.replicates = 64;
+    opts.threads = threads;
+    const stats::BootstrapResult band =
+        stats::bootstrap_confidence_band(observed, predicted, predicted, refit, opts);
+    EXPECT_EQ(band.replicates_used, baseline.replicates_used);
+    EXPECT_EQ(band.replicates_failed, baseline.replicates_failed);
+    ASSERT_EQ(band.band.lower.size(), baseline.band.lower.size());
+    for (std::size_t i = 0; i < band.band.lower.size(); ++i) {
+      EXPECT_EQ(band.band.lower[i], baseline.band.lower[i]) << "threads = " << threads;
+      EXPECT_EQ(band.band.upper[i], baseline.band.upper[i]) << "threads = " << threads;
+    }
+    EXPECT_EQ(band.band.sigma2, baseline.band.sigma2) << "threads = " << threads;
+  }
+}
+
+TEST(ParallelDeterminism, UncertaintyIntervalsAreBitIdentical) {
+  const auto& ds = data::recession("1990-93");
+  const core::FitResult fit = core::fit_model("quadratic", ds.series, ds.holdout);
+  ASSERT_TRUE(fit.success());
+
+  core::UncertaintyOptions serial;
+  serial.replicates = 16;
+  serial.recovery_level = ds.series.value(0);
+  const core::UncertaintyResult baseline = core::prediction_uncertainty(fit, serial);
+
+  for (const int threads : kThreadSettings) {
+    core::UncertaintyOptions opts;
+    opts.replicates = 16;
+    opts.recovery_level = ds.series.value(0);
+    opts.threads = threads;
+    const core::UncertaintyResult u = core::prediction_uncertainty(fit, opts);
+    EXPECT_EQ(u.replicates_used, baseline.replicates_used) << "threads = " << threads;
+    EXPECT_EQ(u.trough_time.lower, baseline.trough_time.lower);
+    EXPECT_EQ(u.trough_time.upper, baseline.trough_time.upper);
+    EXPECT_EQ(u.trough_value.lower, baseline.trough_value.lower);
+    EXPECT_EQ(u.trough_value.upper, baseline.trough_value.upper);
+    EXPECT_EQ(u.recovery_time.lower, baseline.recovery_time.lower);
+    EXPECT_EQ(u.recovery_time.upper, baseline.recovery_time.upper);
+    ASSERT_EQ(u.metrics.size(), baseline.metrics.size());
+    for (std::size_t k = 0; k < u.metrics.size(); ++k) {
+      EXPECT_EQ(u.metrics[k].second.lower, baseline.metrics[k].second.lower);
+      EXPECT_EQ(u.metrics[k].second.upper, baseline.metrics[k].second.upper);
+    }
+  }
+}
+
+TEST(ParallelDeterminism, RollingOriginPmseCurveIsBitIdentical) {
+  const auto& ds = data::recession("1990-93");
+  core::RollingOptions serial;
+  serial.horizon = 4;
+  const core::RollingResult baseline =
+      core::rolling_origin("quadratic", ds.series, serial);
+  ASSERT_FALSE(baseline.points.empty());
+
+  for (const int threads : kThreadSettings) {
+    core::RollingOptions opts;
+    opts.horizon = 4;
+    opts.threads = threads;
+    const core::RollingResult rolled = core::rolling_origin("quadratic", ds.series, opts);
+    ASSERT_EQ(rolled.points.size(), baseline.points.size());
+    for (std::size_t k = 0; k < rolled.points.size(); ++k) {
+      EXPECT_EQ(rolled.points[k].origin, baseline.points[k].origin);
+      EXPECT_EQ(rolled.points[k].fit_succeeded, baseline.points[k].fit_succeeded);
+      EXPECT_EQ(rolled.points[k].pmse, baseline.points[k].pmse)
+          << "origin " << baseline.points[k].origin << " threads " << threads;
+      EXPECT_EQ(rolled.points[k].mape, baseline.points[k].mape);
+    }
+    ASSERT_EQ(rolled.error_by_horizon.size(), baseline.error_by_horizon.size());
+    for (std::size_t j = 0; j < rolled.error_by_horizon.size(); ++j) {
+      EXPECT_EQ(rolled.error_by_horizon[j], baseline.error_by_horizon[j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace prm

@@ -7,6 +7,7 @@
 #include "core/bathtub.hpp"
 #include "core/fitting.hpp"
 #include "data/recessions.hpp"
+#include "numerics/differentiate.hpp"
 
 namespace prm::opt {
 namespace {
@@ -141,6 +142,100 @@ TEST(LossNames, AllCovered) {
   EXPECT_STREQ(to_string(LossKind::kSquared), "squared");
   EXPECT_STREQ(to_string(LossKind::kHuber), "huber");
   EXPECT_STREQ(to_string(LossKind::kCauchy), "cauchy");
+}
+
+TEST(LossDWhiten, MatchesDerivativeOfWhitenedResidual) {
+  for (const LossKind kind : {LossKind::kSquared, LossKind::kHuber, LossKind::kCauchy}) {
+    const double scale = 0.4;
+    for (double r : {-2.0, -0.39, -0.1, 0.1, 0.41, 3.0}) {
+      const double h = 1e-7;
+      const double numeric =
+          (loss_whiten(kind, r + h, scale) - loss_whiten(kind, r - h, scale)) / (2 * h);
+      EXPECT_NEAR(loss_dwhiten(kind, r, scale), numeric, 1e-5)
+          << to_string(kind) << " at r=" << r;
+    }
+  }
+}
+
+TEST(LossDWhiten, ContinuousAtZeroAndAtTheHuberKnee) {
+  EXPECT_DOUBLE_EQ(loss_dwhiten(LossKind::kCauchy, 0.0, 1.0), 1.0);
+  EXPECT_NEAR(loss_dwhiten(LossKind::kHuber, 1.0 - 1e-9, 1.0), 1.0, 1e-6);
+  EXPECT_NEAR(loss_dwhiten(LossKind::kHuber, 1.0 + 1e-9, 1.0), 1.0, 1e-6);
+}
+
+TEST(MakeRobustProblem, RescaledJacobianMatchesCentralDifference) {
+  // The robust wrapper chain-rules the analytic Jacobian through the
+  // whitening: J_robust(i, :) = dwhiten(r_i) * J(i, :). Cross-check against
+  // a central-difference Jacobian of the whitened residual function.
+  ResidualProblem base;
+  base.num_parameters = 2;
+  base.num_residuals = 3;
+  const num::Vector t{0.0, 1.0, 2.0};
+  const num::Vector y{1.0, 0.2, 0.9};
+  base.residuals = [&t, &y](const num::Vector& p) {
+    num::Vector r(t.size());
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      r[i] = y[i] - (p[0] + p[1] * t[i] * t[i]);
+    }
+    return r;
+  };
+  base.jacobian = [&t](const num::Vector&) {
+    num::Matrix j(t.size(), 2);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      j(i, 0) = -1.0;
+      j(i, 1) = -t[i] * t[i];
+    }
+    return j;
+  };
+
+  for (const LossKind kind : {LossKind::kHuber, LossKind::kCauchy}) {
+    const ResidualProblem robust = make_robust_problem(base, kind, 0.3);
+    ASSERT_TRUE(static_cast<bool>(robust.jacobian));
+    // Residuals {0.15, -0.59, 0.29}: inliers and outliers for scale 0.3, but
+    // none exactly on the Huber knee (central differences straddle the kink).
+    const num::Vector p{0.85, -0.06};
+    const num::Matrix analytic = robust.jacobian(p);
+    const num::Matrix numeric = num::jacobian_central(robust.residuals, p);
+    ASSERT_EQ(analytic.rows(), numeric.rows());
+    ASSERT_EQ(analytic.cols(), numeric.cols());
+    for (std::size_t i = 0; i < analytic.rows(); ++i) {
+      for (std::size_t c = 0; c < analytic.cols(); ++c) {
+        EXPECT_NEAR(analytic(i, c), numeric(i, c), 1e-6)
+            << to_string(kind) << " entry (" << i << "," << c << ")";
+      }
+    }
+  }
+}
+
+TEST(MakeRobustProblem, SquaredLossPassesProblemThroughUntouched) {
+  ResidualProblem base;
+  base.num_parameters = 1;
+  base.num_residuals = 1;
+  base.residuals = [](const num::Vector& p) { return num::Vector{p[0] - 2.0}; };
+  const ResidualProblem same = make_robust_problem(base, LossKind::kSquared, 0.5);
+  EXPECT_EQ(same.residuals({3.0})[0], 1.0);
+  EXPECT_FALSE(static_cast<bool>(same.jacobian));
+}
+
+TEST(RobustFit, AnalyticAndNumericJacobiansAgreeOnTheOptimum) {
+  // End-to-end: a Huber fit with the analytic (dual + whitening) Jacobian
+  // must land on the same optimum as the central-difference fallback, while
+  // spending fewer residual evaluations.
+  using namespace prm::core;
+  const auto& ds = data::recession("1990-93");
+  FitOptions analytic;
+  analytic.loss = LossKind::kHuber;
+  FitOptions numeric = analytic;
+  numeric.analytic_jacobian = false;
+  const FitResult a = fit_model("competing-risks", ds.series, ds.holdout, analytic);
+  const FitResult n = fit_model("competing-risks", ds.series, ds.holdout, numeric);
+  ASSERT_TRUE(a.success());
+  ASSERT_TRUE(n.success());
+  for (std::size_t i = 0; i < a.parameters().size(); ++i) {
+    EXPECT_NEAR(a.parameters()[i], n.parameters()[i],
+                1e-5 * std::max(1.0, std::fabs(n.parameters()[i])));
+  }
+  EXPECT_LT(a.function_evaluations, n.function_evaluations);
 }
 
 }  // namespace
