@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Diff two `micro_benchmarks --json` result files and flag regressions.
+
+Usage:
+    compare_bench.py BASELINE.json CURRENT.json [--threshold 0.15]
+                     [--metric cpu_time] [--normalize] [--require-all]
+
+Exits non-zero when any benchmark present in both files got slower than
+baseline by more than --threshold (fractional, default 0.15 = +15%).
+
+--normalize divides every current/baseline ratio by the suite's median ratio
+before applying the threshold. That cancels a uniform machine-speed offset
+(CI runners are not the machine the checked-in baseline was recorded on) and
+keeps the gate sensitive to what it is actually for: one benchmark regressing
+relative to the rest of the suite.
+
+--require-all additionally fails when a baseline benchmark is missing from
+the current run (renamed or deleted without refreshing the baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from statistics import median
+
+
+def load_results(path: str) -> dict[str, dict]:
+    """name -> result entry; with --benchmark_repetitions the same name
+    appears once per repetition and we keep the fastest (min-of-N is the
+    standard noise filter for micro-benchmarks)."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    out: dict[str, dict] = {}
+    for entry in doc.get("benchmarks", []):
+        name = entry["name"]
+        if name not in out or entry["cpu_time"] < out[name]["cpu_time"]:
+            out[name] = entry
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline micro_benchmarks --json output")
+    parser.add_argument("current", help="current micro_benchmarks --json output")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="max tolerated fractional slowdown (default 0.15)")
+    parser.add_argument("--metric", default="cpu_time",
+                        choices=["cpu_time", "real_time"],
+                        help="which per-iteration time to compare (default cpu_time)")
+    parser.add_argument("--normalize", action="store_true",
+                        help="divide ratios by the suite median ratio "
+                             "(cancels uniform machine-speed differences)")
+    parser.add_argument("--require-all", action="store_true",
+                        help="fail if a baseline benchmark is missing from current")
+    args = parser.parse_args()
+
+    base = load_results(args.baseline)
+    curr = load_results(args.current)
+
+    common = [name for name in base if name in curr]
+    missing = [name for name in base if name not in curr]
+    if not common:
+        print("compare_bench: no benchmarks in common", file=sys.stderr)
+        return 2
+
+    ratios = {name: curr[name][args.metric] / base[name][args.metric]
+              for name in common}
+    scale = median(ratios.values()) if args.normalize else 1.0
+    if args.normalize:
+        print(f"suite median ratio {scale:.3f} (normalized out)")
+
+    regressions = []
+    width = max(len(n) for n in common)
+    print(f"{'benchmark':<{width}}  {'baseline':>10}  {'current':>10}  {'ratio':>7}")
+    for name in sorted(common):
+        ratio = ratios[name] / scale
+        unit = base[name].get("time_unit", "ns")
+        flag = ""
+        if ratio > 1.0 + args.threshold:
+            regressions.append((name, ratio))
+            flag = "  <-- REGRESSION"
+        elif ratio < 1.0 - args.threshold:
+            flag = "  (improved)"
+        print(f"{name:<{width}}  {base[name][args.metric]:>10.3f}  "
+              f"{curr[name][args.metric]:>10.3f}  {ratio:>6.2f}x{flag}  [{unit}]")
+
+    for name in missing:
+        print(f"{name}: in baseline but not in current run")
+
+    if regressions:
+        print(f"\ncompare_bench: {len(regressions)} benchmark(s) regressed "
+              f"beyond +{args.threshold:.0%}:", file=sys.stderr)
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+        return 1
+    if args.require_all and missing:
+        print(f"\ncompare_bench: {len(missing)} baseline benchmark(s) missing",
+              file=sys.stderr)
+        return 1
+    print(f"\ncompare_bench: OK ({len(common)} benchmarks within "
+          f"+{args.threshold:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,7 @@
 #include "numerics/autodiff.hpp"
 #include "numerics/linalg.hpp"
 #include "numerics/polynomial.hpp"
+#include "numerics/simd.hpp"
 
 namespace prm::core {
 
@@ -15,6 +16,13 @@ void require_params(const num::Vector& p, std::size_t n, const char* model) {
   if (p.size() != n) {
     throw std::invalid_argument(std::string(model) + ": expected " + std::to_string(n) +
                                 " parameters, got " + std::to_string(p.size()));
+  }
+}
+
+void require_out(std::span<const double> t, std::span<double> out, const char* model) {
+  if (out.size() != t.size()) {
+    throw std::invalid_argument(std::string(model) +
+                                ": eval_batch out size must match t size");
   }
 }
 
@@ -28,6 +36,84 @@ Scalar quadratic_curve(double t, std::span<const Scalar> p) {
 template <typename Scalar>
 Scalar competing_risks_curve(double t, std::span<const Scalar> p) {
   return p[0] / (Scalar(1.0) + p[1] * Scalar(t)) + Scalar(2.0 * t) * p[2];
+}
+
+// --- Batch kernels --------------------------------------------------------
+//
+// Whole-series evaluation in 4-lane chunks. The pack expressions repeat the
+// scalar curves' operation order exactly, so each lane is bit-identical to
+// evaluate() on the same t — for both the native and the generic pack (see
+// simd.hpp's bit-parity contract). Tail samples are padded with t = 1.0
+// (a safe in-domain abscissa) and the pad lanes discarded.
+
+template <typename Pack, typename Kernel>
+void eval_chunks(std::span<const double> t, std::span<double> out, const Kernel& kernel) {
+  std::size_t i = 0;
+  for (; i + Pack::width <= t.size(); i += Pack::width) {
+    kernel(Pack::load(t.data() + i)).store(out.data() + i);
+  }
+  if (i < t.size()) {
+    double pad_t[Pack::width] = {1.0, 1.0, 1.0, 1.0};
+    double pad_out[Pack::width];
+    for (std::size_t k = i; k < t.size(); ++k) pad_t[k - i] = t[k];
+    kernel(Pack::load(pad_t)).store(pad_out);
+    for (std::size_t k = i; k < t.size(); ++k) out[k] = pad_out[k - i];
+  }
+}
+
+template <typename Pack>
+void quadratic_eval_kernel(std::span<const double> t, const double* p,
+                           std::span<double> out) {
+  const Pack a = Pack::broadcast(p[0]);
+  const Pack b = Pack::broadcast(p[1]);
+  const Pack c = Pack::broadcast(p[2]);
+  eval_chunks<Pack>(t, out, [&](Pack tv) { return a + b * tv + c * (tv * tv); });
+}
+
+template <typename Pack>
+void competing_risks_eval_kernel(std::span<const double> t, const double* p,
+                                 std::span<double> out) {
+  const Pack a = Pack::broadcast(p[0]);
+  const Pack b = Pack::broadcast(p[1]);
+  const Pack c = Pack::broadcast(p[2]);
+  const Pack one = Pack::broadcast(1.0);
+  const Pack two = Pack::broadcast(2.0);
+  eval_chunks<Pack>(t, out,
+                    [&](Pack tv) { return a / (one + b * tv) + (two * tv) * c; });
+}
+
+template <typename Pack>
+void competing_risks_grad_kernel(std::span<const double> t, const double* p,
+                                 num::Matrix* out) {
+  out->resize(t.size(), 3);
+  const Pack a = Pack::broadcast(p[0]);
+  const Pack b = Pack::broadcast(p[1]);
+  const Pack one = Pack::broadcast(1.0);
+  const Pack two = Pack::broadcast(2.0);
+  double* rows = out->data();
+  std::size_t i = 0;
+  double col[3][Pack::width];
+  const auto emit = [&](Pack tv, std::size_t first, std::size_t count) {
+    const Pack inv = one / (one + b * tv);
+    const Pack g1 = -(a * tv) * (inv * inv);
+    inv.store(col[0]);
+    g1.store(col[1]);
+    (two * tv).store(col[2]);
+    for (std::size_t k = 0; k < count; ++k) {
+      double* row = rows + (first + k) * 3;
+      row[0] = col[0][k];
+      row[1] = col[1][k];
+      row[2] = col[2][k];
+    }
+  };
+  for (; i + Pack::width <= t.size(); i += Pack::width) {
+    emit(Pack::load(t.data() + i), i, Pack::width);
+  }
+  if (i < t.size()) {
+    double pad_t[Pack::width] = {1.0, 1.0, 1.0, 1.0};
+    for (std::size_t k = i; k < t.size(); ++k) pad_t[k - i] = t[k];
+    emit(Pack::load(pad_t), i, t.size() - i);
+  }
 }
 }  // namespace
 
@@ -48,6 +134,30 @@ num::Vector QuadraticBathtubModel::gradient(double t, const num::Vector& p) cons
   require_params(p, 3, "quadratic");
   return num::dual_gradient(
       [t](std::span<const num::Dual> q) { return quadratic_curve<num::Dual>(t, q); }, p);
+}
+
+void QuadraticBathtubModel::eval_batch(std::span<const double> t, const num::Vector& p,
+                                       std::span<double> out) const {
+  require_params(p, 3, "quadratic");
+  require_out(t, out, "quadratic");
+  if (num::batch_simd_enabled()) {
+    quadratic_eval_kernel<num::f64x4>(t, p.data(), out);
+  } else {
+    quadratic_eval_kernel<num::f64x4_generic>(t, p.data(), out);
+  }
+}
+
+void QuadraticBathtubModel::gradient_batch(std::span<const double> t, const num::Vector& p,
+                                           num::Matrix* out) const {
+  require_params(p, 3, "quadratic");
+  // The rows are [1, t, t^2]: pure stores, nothing to vectorize.
+  out->resize(t.size(), 3);
+  double* row = out->data();
+  for (std::size_t i = 0; i < t.size(); ++i, row += 3) {
+    row[0] = 1.0;
+    row[1] = t[i];
+    row[2] = t[i] * t[i];
+  }
 }
 
 num::Vector QuadraticBathtubModel::linear_ls_fit(const data::PerformanceSeries& fit) {
@@ -149,6 +259,27 @@ num::Vector CompetingRisksModel::gradient(double t, const num::Vector& p) const 
   return num::dual_gradient(
       [t](std::span<const num::Dual> q) { return competing_risks_curve<num::Dual>(t, q); },
       p);
+}
+
+void CompetingRisksModel::eval_batch(std::span<const double> t, const num::Vector& p,
+                                     std::span<double> out) const {
+  require_params(p, 3, "competing-risks");
+  require_out(t, out, "competing-risks");
+  if (num::batch_simd_enabled()) {
+    competing_risks_eval_kernel<num::f64x4>(t, p.data(), out);
+  } else {
+    competing_risks_eval_kernel<num::f64x4_generic>(t, p.data(), out);
+  }
+}
+
+void CompetingRisksModel::gradient_batch(std::span<const double> t, const num::Vector& p,
+                                         num::Matrix* out) const {
+  require_params(p, 3, "competing-risks");
+  if (num::batch_simd_enabled()) {
+    competing_risks_grad_kernel<num::f64x4>(t, p.data(), out);
+  } else {
+    competing_risks_grad_kernel<num::f64x4_generic>(t, p.data(), out);
+  }
 }
 
 std::vector<num::Vector> CompetingRisksModel::initial_guesses(

@@ -37,6 +37,12 @@ class QuadraticBathtubModel final : public ResilienceModel {
   double evaluate(double t, const num::Vector& params) const override;
   num::Vector gradient(double t, const num::Vector& params) const override;
 
+  /// SIMD batch kernels (4 samples per step; bit-identical to evaluate()).
+  void eval_batch(std::span<const double> t, const num::Vector& params,
+                  std::span<double> out) const override;
+  void gradient_batch(std::span<const double> t, const num::Vector& params,
+                      num::Matrix* out) const override;
+
   std::vector<num::Vector> initial_guesses(
       const data::PerformanceSeries& fit_window) const override;
   std::pair<num::Vector, num::Vector> search_box(
@@ -78,6 +84,12 @@ class CompetingRisksModel final : public ResilienceModel {
 
   double evaluate(double t, const num::Vector& params) const override;
   num::Vector gradient(double t, const num::Vector& params) const override;
+
+  /// SIMD batch kernels (4 samples per step; bit-identical to evaluate()).
+  void eval_batch(std::span<const double> t, const num::Vector& params,
+                  std::span<double> out) const override;
+  void gradient_batch(std::span<const double> t, const num::Vector& params,
+                      num::Matrix* out) const override;
 
   std::vector<num::Vector> initial_guesses(
       const data::PerformanceSeries& fit_window) const override;

@@ -22,22 +22,19 @@ FitResult::FitResult(std::shared_ptr<const ResilienceModel> model, num::Vector p
 
 std::vector<double> FitResult::predictions() const {
   std::vector<double> out(series_.size());
-  for (std::size_t i = 0; i < series_.size(); ++i) {
-    out[i] = evaluate(series_.time(i));
-  }
+  model_->eval_batch(series_.times(), parameters_, out);
   return out;
 }
 
 std::vector<double> FitResult::fit_predictions() const {
   std::vector<double> out(fit_count());
-  for (std::size_t i = 0; i < out.size(); ++i) out[i] = evaluate(series_.time(i));
+  model_->eval_batch(series_.times().first(fit_count()), parameters_, out);
   return out;
 }
 
 std::vector<double> FitResult::holdout_predictions() const {
   std::vector<double> out(holdout_);
-  const std::size_t first = fit_count();
-  for (std::size_t i = 0; i < holdout_; ++i) out[i] = evaluate(series_.time(first + i));
+  model_->eval_batch(series_.times().subspan(fit_count()), parameters_, out);
   return out;
 }
 
@@ -76,30 +73,48 @@ FitResult fit_model(const ResilienceModel& model, const data::PerformanceSeries&
     }
   }
 
-  // Residuals in internal (unconstrained) coordinates.
-  const auto residuals = [&model, &fit_window, &transform, sqrt_w](const num::Vector& u) {
-    const num::Vector p = transform.to_external(u);
-    num::Vector r(fit_window.size());
-    for (std::size_t i = 0; i < fit_window.size(); ++i) {
-      r[i] = fit_window.value(i) - model.evaluate(fit_window.time(i), p);
-      if (!sqrt_w.empty()) r[i] *= sqrt_w[i];
+  // Residuals in internal (unconstrained) coordinates, whole-series-at-a-time
+  // through the model's SIMD batch kernel. The thread_local scratch vectors
+  // make the hot form allocation-free after each pool thread's first call;
+  // that is safe because fits never recurse into their own residual closures
+  // and the buffers carry no state between calls.
+  const auto residuals_into = [&model, &fit_window, &transform, sqrt_w](
+                                  const num::Vector& u, num::Vector& out) {
+    thread_local num::Vector p_ext;
+    transform.to_external_into(u, &p_ext);
+    out.resize(fit_window.size());
+    model.eval_batch(fit_window.times(), p_ext, out);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      double r = fit_window.value(i) - out[i];
+      if (!sqrt_w.empty()) r *= sqrt_w[i];
+      out[i] = r;
     }
+  };
+  const auto residuals = [residuals_into](const num::Vector& u) {
+    num::Vector r;
+    residuals_into(u, r);
     return r;
   };
 
-  // Jacobian via the model's (possibly analytic) external-space gradient and
-  // the transform chain rule: dr_i/du_j = -dP/dp_j * dp_j/du_j.
-  const auto jacobian = [&model, &fit_window, &transform, sqrt_w](const num::Vector& u) {
-    const num::Vector p = transform.to_external(u);
-    const num::Vector chain = transform.dexternal_dinternal(u);
-    num::Matrix j(fit_window.size(), u.size());
-    for (std::size_t i = 0; i < fit_window.size(); ++i) {
-      const num::Vector g = model.gradient(fit_window.time(i), p);
+  // Jacobian rows from the model's batched analytic gradient and the
+  // transform chain rule: dr_i/du_j = -dP/dp_j * dp_j/du_j.
+  const auto jacobian_into = [&model, &fit_window, &transform, sqrt_w](
+                                 const num::Vector& u, num::Matrix& out) {
+    thread_local num::Vector p_ext;
+    thread_local num::Vector chain;
+    transform.to_external_into(u, &p_ext);
+    transform.dexternal_dinternal_into(u, &chain);
+    model.gradient_batch(fit_window.times(), p_ext, &out);
+    for (std::size_t i = 0; i < out.rows(); ++i) {
       const double w = sqrt_w.empty() ? 1.0 : sqrt_w[i];
-      for (std::size_t c = 0; c < u.size(); ++c) {
-        j(i, c) = -g[c] * chain[c] * w;
+      for (std::size_t c = 0; c < out.cols(); ++c) {
+        out(i, c) *= -chain[c] * w;
       }
     }
+  };
+  const auto jacobian = [jacobian_into](const num::Vector& u) {
+    num::Matrix j;
+    jacobian_into(u, j);
     return j;
   };
 
@@ -109,7 +124,11 @@ FitResult fit_model(const ResilienceModel& model, const data::PerformanceSeries&
   // unless analytic_jacobian is explicitly turned off.
   opt::ResidualProblem base;
   base.residuals = residuals;
-  if (options.analytic_jacobian) base.jacobian = jacobian;
+  base.residuals_into = residuals_into;
+  if (options.analytic_jacobian) {
+    base.jacobian = jacobian;
+    base.jacobian_into = jacobian_into;
+  }
   base.num_parameters = model.num_parameters();
   base.num_residuals = fit_window.size();
   const opt::ResidualProblem problem =
@@ -180,9 +199,10 @@ FitResult fit_model(const ResilienceModel& model, const data::PerformanceSeries&
   // Report the PLAIN sum of squared errors regardless of the training loss,
   // so SSE stays comparable across loss choices (and matches Eq. 9).
   double plain_sse = 0.0;
+  std::vector<double> pred(fit_window.size());
+  model.eval_batch(fit_window.times(), result.parameters(), pred);
   for (std::size_t i = 0; i < fit_window.size(); ++i) {
-    const double e =
-        fit_window.value(i) - model.evaluate(fit_window.time(i), result.parameters());
+    const double e = fit_window.value(i) - pred[i];
     plain_sse += e * e;
   }
   result.sse = std::isfinite(ms.best.cost) ? plain_sse

@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "numerics/autodiff.hpp"
+#include "numerics/simd.hpp"
+#include "numerics/simd_math.hpp"
 #include "numerics/special_functions.hpp"
 
 namespace prm::core {
@@ -59,6 +61,277 @@ Scalar mixture_curve(const MixtureSpec& spec, std::size_t n1, std::size_t n2, do
     recovery = b * Scalar(MixtureModel::trend_basis(spec.trend, t)) * f2;
   }
   return s1 + recovery;
+}
+
+// ---------------------------------------------------------------------------
+// SIMD batch kernels (4-lane chunks).
+//
+// These follow the family_cdf_grad formulas with two ulp-level respellings
+// chosen for speed:
+//   * pow(r, k) with r = t/a becomes exp(k (log t - log a)). log a is a
+//     per-series scalar, so every family (and the log trend) shares ONE
+//     simd_log(t) per chunk instead of paying a divide + log each.
+//   * exp(-z) in gradients becomes 1 + expm1(-z) (exact in real arithmetic),
+//     reusing the expm1 the value already needed.
+// Batch values can therefore differ from evaluate() by a few ulp on the
+// two-parameter families. What IS exact is backend parity: the native and
+// generic pack instantiations execute identical IEEE operations, so
+// set_batch_simd_enabled never changes an output bit.
+
+template <typename Pack>
+struct FamilyChunk {
+  Pack f;   ///< F(t)
+  Pack g0;  ///< dF/dp0
+  Pack g1;  ///< dF/dp1 (zero for one-parameter families)
+};
+
+constexpr double kInvSqrt2Pi = 0.3989422804014326779;
+
+// Per-family scalars hoisted out of the chunk loop (one per solve, not one
+// per chunk): the log of the scale parameter for the log-ratio families.
+struct FamilyPre {
+  double log_a = 0.0;
+};
+
+FamilyPre family_pre(Family family, const double* p) {
+  FamilyPre pre;
+  if (family == Family::kWeibull || family == Family::kLogLogistic) {
+    pre.log_a = std::log(p[0]);
+  }
+  return pre;
+}
+
+// True when the family consumes the shared log(t) pack.
+bool family_uses_log_t(Family family) {
+  return family == Family::kWeibull || family == Family::kLogNormal ||
+         family == Family::kLogLogistic;
+}
+
+// One 4-lane chunk of a family CDF (+ gradient when Grad). `lt` carries
+// log(t) computed once by the caller and shared across both families and the
+// trend basis. `lanes` carries the same abscissae as `t` for the per-lane
+// scalar fallbacks (LogNormal's normal_cdf, the whole Gamma family). Lanes
+// with t <= 0 may compute domain garbage (log of a non-positive value); the
+// caller masks them afterwards.
+template <typename Pack, bool Grad>
+FamilyChunk<Pack> family_chunk(Family family, const double* p, const FamilyPre& pre,
+                               Pack t, Pack lt, const double* lanes) {
+  const Pack zero = Pack::broadcast(0.0);
+  const Pack one = Pack::broadcast(1.0);
+  FamilyChunk<Pack> out{zero, zero, zero};
+  switch (family) {
+    case Family::kExponential: {
+      const Pack x = Pack::broadcast(p[0]) * t;
+      const Pack em1 = num::simd_expm1(-x);
+      out.f = -em1;
+      if constexpr (Grad) out.g0 = t * (one + em1);
+      return out;
+    }
+    case Family::kWeibull: {
+      // F = 1 - e^{-z}, z = (t/a)^k = exp(k (log t - log a)).
+      const Pack a = Pack::broadcast(p[0]);
+      const Pack k = Pack::broadcast(p[1]);
+      const Pack lr = lt - Pack::broadcast(pre.log_a);
+      const Pack z = num::simd_exp(k * lr);
+      const Pack em1 = num::simd_expm1(-z);
+      out.f = -em1;
+      if constexpr (Grad) {
+        const Pack ez = (one + em1) * z;
+        out.g0 = -((ez * k) / a);
+        out.g1 = ez * lr;
+      }
+      return out;
+    }
+    case Family::kLogNormal: {
+      const Pack sigma = Pack::broadcast(p[1]);
+      const Pack u = (lt - Pack::broadcast(p[0])) / sigma;
+      double buf[Pack::width];
+      u.store(buf);
+      for (std::size_t i = 0; i < Pack::width; ++i) buf[i] = num::normal_cdf(buf[i]);
+      out.f = Pack::load(buf);
+      if constexpr (Grad) {
+        const Pack phi =
+            Pack::broadcast(kInvSqrt2Pi) * num::simd_exp(Pack::broadcast(-0.5) * (u * u));
+        out.g0 = -(phi / sigma);
+        out.g1 = -((phi * u) / sigma);
+      }
+      return out;
+    }
+    case Family::kGamma: {
+      // No pack form of the regularized incomplete gamma; all-scalar lanes,
+      // same formulas as family_cdf_grad.
+      const double k = p[0];
+      const double theta = p[1];
+      double f[Pack::width];
+      double g0[Pack::width];
+      double g1[Pack::width];
+      for (std::size_t i = 0; i < Pack::width; ++i) {
+        const double tt = lanes[i];
+        f[i] = g0[i] = g1[i] = 0.0;
+        if (tt <= 0.0) continue;
+        const double x = tt / theta;
+        f[i] = num::gamma_p(k, x);
+        if constexpr (Grad) {
+          const double dens = std::exp((k - 1.0) * std::log(x) - x - std::lgamma(k));
+          g1[i] = -dens * x / theta;
+          const double h = 1e-6 * std::max(1.0, k);
+          g0[i] = (num::gamma_p(k + h, x) - num::gamma_p(k - h, x)) / (2.0 * h);
+        }
+      }
+      out.f = Pack::load(f);
+      if constexpr (Grad) {
+        out.g0 = Pack::load(g0);
+        out.g1 = Pack::load(g1);
+      }
+      return out;
+    }
+    case Family::kLogLogistic: {
+      // F = z/(1+z), z = (t/a)^k; dF/dz = 1/(1+z)^2.
+      const Pack a = Pack::broadcast(p[0]);
+      const Pack k = Pack::broadcast(p[1]);
+      const Pack lr = lt - Pack::broadcast(pre.log_a);
+      const Pack z = num::simd_exp(k * lr);
+      const Pack zp1 = one + z;
+      out.f = z / zp1;
+      if constexpr (Grad) {
+        const Pack dFdz = one / (zp1 * zp1);
+        out.g0 = dFdz * (-((k * z) / a));
+        out.g1 = (dFdz * z) * lr;
+      }
+      return out;
+    }
+    case Family::kGompertz: {
+      // F = 1 - e^{-u}, u = (b/c)(e^{ct} - 1); e^{ct} = 1 + em1 reuses the
+      // expm1 and e^{-u} = 1 + expm1(-u) reuses the value's expm1.
+      const Pack b = Pack::broadcast(p[0]);
+      const Pack c = Pack::broadcast(p[1]);
+      const Pack em1 = num::simd_expm1(c * t);
+      const Pack u = (b / c) * em1;
+      const Pack emu = num::simd_expm1(-u);
+      out.f = -emu;
+      if constexpr (Grad) {
+        const Pack e = one + emu;
+        out.g0 = e * (em1 / c);
+        out.g1 = e * (b * ((t * (one + em1)) / c - em1 / (c * c)));
+      }
+      return out;
+    }
+  }
+  throw std::logic_error("family_chunk: unknown family");
+}
+
+// One 4-lane chunk of the full mixture curve: value lanes into vals[], and,
+// when Grad, gradient column packs scattered into cols[] (cols[c] holds the
+// four lanes of dP/dparam_c). Mirrors mixture_curve's branch structure.
+template <typename Pack, bool Grad>
+void mixture_chunk(const MixtureSpec& spec, std::size_t n1, std::size_t n2,
+                   const double* p, const FamilyPre& pre1, const FamilyPre& pre2,
+                   bool needs_lt, Pack t, const double* lanes, double* vals,
+                   double cols[][4]) {
+  const Pack zero = Pack::broadcast(0.0);
+  const Pack one = Pack::broadcast(1.0);
+  const Pack tpos = cmp_gt(t, zero);
+  // One shared log(t) per chunk feeds both families and the log trend.
+  const Pack lt = needs_lt ? num::simd_log(t) : zero;
+
+  FamilyChunk<Pack> f1 =
+      family_chunk<Pack, Grad>(spec.degradation, p, pre1, t, lt, lanes);
+  FamilyChunk<Pack> f2 =
+      family_chunk<Pack, Grad>(spec.recovery, p + n1, pre2, t, lt, lanes);
+  // F(t <= 0) = 0 with zero gradient; bitwise select kills any in-pack
+  // domain garbage (e.g. 0 * -inf = NaN lanes) instead of propagating it.
+  f1.f = select(tpos, f1.f, zero);
+  f2.f = select(tpos, f2.f, zero);
+  if constexpr (Grad) {
+    f1.g0 = select(tpos, f1.g0, zero);
+    f1.g1 = select(tpos, f1.g1, zero);
+    f2.g0 = select(tpos, f2.g0, zero);
+    f2.g1 = select(tpos, f2.g1, zero);
+  }
+
+  // a1(t): 1, or e^{-theta t} on the t > 0 lanes when the decay is on.
+  Pack s1 = one - f1.f;
+  Pack a1 = one;
+  if (spec.a1 == DegradationTrend::kExpDecay) {
+    a1 = select(tpos, num::simd_exp(Pack::broadcast(-p[n1 + n2 + 1]) * t), one);
+    s1 = s1 * a1;
+  }
+
+  // a2(t) F2(t) and the beta column.
+  const Pack beta = Pack::broadcast(p[n1 + n2]);
+  Pack a2 = zero;     // the factor multiplying F2
+  Pack dbeta = zero;  // dP/dbeta
+  if (spec.trend == RecoveryTrend::kExponential) {
+    const Pack ebt = num::simd_exp(beta * t);
+    a2 = ebt;
+    if constexpr (Grad) dbeta = (t * ebt) * f2.f;
+  } else {
+    Pack g = one;
+    switch (spec.trend) {
+      case RecoveryTrend::kConstant: g = one; break;
+      case RecoveryTrend::kLinear: g = t; break;
+      case RecoveryTrend::kLogarithmic: g = select(tpos, lt, zero); break;
+      case RecoveryTrend::kExponential: break;  // handled above
+    }
+    a2 = beta * g;
+    if constexpr (Grad) dbeta = g * f2.f;
+  }
+
+  const Pack val = s1 + a2 * f2.f;
+  val.store(vals);
+
+  if constexpr (Grad) {
+    std::size_t c = 0;
+    (-(a1 * f1.g0)).store(cols[c++]);
+    if (n1 == 2) (-(a1 * f1.g1)).store(cols[c++]);
+    (a2 * f2.g0).store(cols[c++]);
+    if (n2 == 2) (a2 * f2.g1).store(cols[c++]);
+    dbeta.store(cols[c++]);
+    if (spec.a1 == DegradationTrend::kExpDecay) {
+      // d/dtheta [(1 - F1) e^{-theta t}] = -t s1; zero on the t <= 0 lanes.
+      select(tpos, -(t * s1), zero).store(cols[c++]);
+    }
+  }
+}
+
+// Whole-series driver: full 4-lane chunks plus a t = 1.0-padded tail (1.0 is
+// safely inside every family's domain; pad lanes are computed and discarded).
+template <typename Pack, bool Grad>
+void mixture_batch(const MixtureSpec& spec, std::size_t n1, std::size_t n2,
+                   const double* p, std::span<const double> t, double* vals,
+                   num::Matrix* jac) {
+  const std::size_t np =
+      n1 + n2 + 1 + (spec.a1 == DegradationTrend::kExpDecay ? 1 : 0);
+  if constexpr (Grad) jac->resize(t.size(), np);
+  const FamilyPre pre1 = family_pre(spec.degradation, p);
+  const FamilyPre pre2 = family_pre(spec.recovery, p + n1);
+  const bool needs_lt = family_uses_log_t(spec.degradation) ||
+                        family_uses_log_t(spec.recovery) ||
+                        spec.trend == RecoveryTrend::kLogarithmic;
+  double out4[Pack::width];
+  double cols[6][Pack::width];  // np <= 6
+  const auto emit = [&](const double* tp, std::size_t first, std::size_t count) {
+    mixture_chunk<Pack, Grad>(spec, n1, n2, p, pre1, pre2, needs_lt,
+                              Pack::load(tp), tp, out4, cols);
+    if constexpr (Grad) {
+      for (std::size_t l = 0; l < count; ++l) {
+        double* row = jac->data() + (first + l) * np;
+        for (std::size_t c = 0; c < np; ++c) row[c] = cols[c][l];
+      }
+    } else {
+      for (std::size_t l = 0; l < count; ++l) vals[first + l] = out4[l];
+    }
+  };
+  std::size_t i = 0;
+  for (; i + Pack::width <= t.size(); i += Pack::width) {
+    emit(t.data() + i, i, Pack::width);
+  }
+  if (i < t.size()) {
+    const std::size_t rem = t.size() - i;
+    double tail[Pack::width];
+    for (std::size_t l = 0; l < Pack::width; ++l) tail[l] = l < rem ? t[i + l] : 1.0;
+    emit(tail, i, rem);
+  }
 }
 
 }  // namespace
@@ -430,6 +703,34 @@ num::Vector MixtureModel::gradient(double t, const num::Vector& p) const {
         return mixture_curve<num::Dual>(spec, n1, n2, t, q);
       },
       p);
+}
+
+void MixtureModel::eval_batch(std::span<const double> t, const num::Vector& p,
+                              std::span<double> out) const {
+  if (p.size() != num_parameters()) {
+    throw std::invalid_argument("MixtureModel::eval_batch: wrong parameter count");
+  }
+  if (out.size() != t.size()) {
+    throw std::invalid_argument("eval_batch: out size must match t size");
+  }
+  if (num::batch_simd_enabled()) {
+    mixture_batch<num::f64x4, false>(spec_, n1_, n2_, p.data(), t, out.data(), nullptr);
+  } else {
+    mixture_batch<num::f64x4_generic, false>(spec_, n1_, n2_, p.data(), t, out.data(),
+                                             nullptr);
+  }
+}
+
+void MixtureModel::gradient_batch(std::span<const double> t, const num::Vector& p,
+                                  num::Matrix* out) const {
+  if (p.size() != num_parameters()) {
+    throw std::invalid_argument("MixtureModel::gradient_batch: wrong parameter count");
+  }
+  if (num::batch_simd_enabled()) {
+    mixture_batch<num::f64x4, true>(spec_, n1_, n2_, p.data(), t, nullptr, out);
+  } else {
+    mixture_batch<num::f64x4_generic, true>(spec_, n1_, n2_, p.data(), t, nullptr, out);
+  }
 }
 
 std::vector<num::Vector> MixtureModel::initial_guesses(

@@ -89,6 +89,17 @@ class MixtureModel final : public ResilienceModel {
   /// Analytic dP/dparams (see family_cdf_grad for the one FD exception).
   num::Vector gradient(double t, const num::Vector& params) const override;
 
+  /// SIMD batch kernels: whole-series evaluation / analytic gradient rows in
+  /// 4-lane chunks with vectorized exp/log/expm1/log1p. The Exponential,
+  /// Weibull, LogLogistic and Gompertz families are fully vectorized; the
+  /// LogNormal CDF and the Gamma family fall back to per-lane scalar calls
+  /// (no pack form of the incomplete gamma), with the surrounding chain
+  /// still vectorized.
+  void eval_batch(std::span<const double> t, const num::Vector& params,
+                  std::span<double> out) const override;
+  void gradient_batch(std::span<const double> t, const num::Vector& params,
+                      num::Matrix* out) const override;
+
   std::vector<num::Vector> initial_guesses(
       const data::PerformanceSeries& fit_window) const override;
   std::pair<num::Vector, num::Vector> search_box(

@@ -27,6 +27,23 @@ num::Vector ResilienceModel::gradient(double t, const num::Vector& params) const
   return g;
 }
 
+void ResilienceModel::eval_batch(std::span<const double> t, const num::Vector& params,
+                                 std::span<double> out) const {
+  if (out.size() != t.size()) {
+    throw std::invalid_argument("eval_batch: out size must match t size");
+  }
+  for (std::size_t i = 0; i < t.size(); ++i) out[i] = evaluate(t[i], params);
+}
+
+void ResilienceModel::gradient_batch(std::span<const double> t, const num::Vector& params,
+                                     num::Matrix* out) const {
+  out->resize(t.size(), params.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const num::Vector g = gradient(t[i], params);
+    for (std::size_t c = 0; c < g.size(); ++c) (*out)(i, c) = g[c];
+  }
+}
+
 std::optional<double> ResilienceModel::area_closed_form(const num::Vector&, double,
                                                         double) const {
   return std::nullopt;

@@ -8,6 +8,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,19 @@ class ResilienceModel {
 
   /// dP/dparams at (t, params). Default: central finite differences.
   virtual num::Vector gradient(double t, const num::Vector& params) const;
+
+  /// Whole-series evaluation: out[i] = P(t[i]; params). This is the fit hot
+  /// path — the bathtub and mixture models override it with SIMD batch
+  /// kernels (4 samples per instruction stream, vectorized exp/log). The
+  /// default loops evaluate(). Requires out.size() == t.size().
+  virtual void eval_batch(std::span<const double> t, const num::Vector& params,
+                          std::span<double> out) const;
+
+  /// Whole-series gradient: resizes *out to t.size() x num_parameters() and
+  /// fills row i with dP/dparams at t[i]. Overridden alongside eval_batch
+  /// with analytic SIMD kernels; the default loops gradient().
+  virtual void gradient_batch(std::span<const double> t, const num::Vector& params,
+                              num::Matrix* out) const;
 
   /// Data-driven starting points for the optimizer, best first. Must return
   /// at least one point, each satisfying parameter_bounds().

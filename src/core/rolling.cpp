@@ -53,11 +53,17 @@ RollingResult rolling_origin(const std::string& model_name,
     FitResult fit = fit_model(*model, prefix, 0, options.fit);
     point.fit_succeeded = fit.success();
     if (point.fit_succeeded) {
+      // Forecast the whole horizon in one batch-kernel call; the buffer is
+      // per-thread scratch reused across origins.
+      thread_local std::vector<double> forecast;
+      forecast.resize(h);
+      fit.model().eval_batch(series.times().subspan(origin, h), fit.parameters(),
+                             forecast);
       double se = 0.0;
       double ape = 0.0;
       for (std::size_t j = 0; j < h; ++j) {
         const std::size_t idx = origin + j;
-        const double err = series.value(idx) - fit.evaluate(series.time(idx));
+        const double err = series.value(idx) - forecast[j];
         se += err * err;
         if (series.value(idx) != 0.0) {
           ape += std::fabs(err / series.value(idx));

@@ -58,6 +58,46 @@ std::optional<Vector> solve_spd(const Matrix& a, const Vector& b) {
   return cholesky_solve(chol, b);
 }
 
+bool cholesky_into(const Matrix& a, Matrix* l) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("cholesky_into: matrix must be square");
+  }
+  const std::size_t n = a.rows();
+  l->resize(n, n);
+  Matrix& f = *l;
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) d -= f(j, k) * f(j, k);
+    if (!(d > 0.0) || !std::isfinite(d)) return false;
+    f(j, j) = std::sqrt(d);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= f(i, k) * f(j, k);
+      f(i, j) = s / f(j, j);
+    }
+  }
+  return true;
+}
+
+void cholesky_solve_into(const Matrix& l, const Vector& b, Vector* y, Vector* x) {
+  const std::size_t n = l.rows();
+  if (b.size() != n) throw std::invalid_argument("cholesky_solve_into: size mismatch");
+  // Forward substitution L y = b.
+  y->resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l(i, k) * (*y)[k];
+    (*y)[i] = s / l(i, i);
+  }
+  // Back substitution L^T x = y.
+  x->resize(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = (*y)[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l(k, ii) * (*x)[k];
+    (*x)[ii] = s / l(ii, ii);
+  }
+}
+
 QrResult qr_decompose(const Matrix& a) {
   const std::size_t m = a.rows();
   const std::size_t n = a.cols();

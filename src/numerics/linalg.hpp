@@ -28,6 +28,20 @@ Vector cholesky_solve(const CholeskyResult& chol, const Vector& b);
 /// numerically positive definite.
 std::optional<Vector> solve_spd(const Matrix& a, const Vector& b);
 
+// Into-buffer forms for the allocation-free fit hot path: the caller owns
+// the factor/solution/scratch buffers (opt::FitWorkspace) and reuses them
+// across iterations. Numerically identical to the allocating forms.
+
+/// Factor SPD `a` into caller-owned `l` (reshaped in place). Returns false —
+/// with `l` contents unspecified — when `a` is not numerically positive
+/// definite, so optimizers can react by increasing damping.
+bool cholesky_into(const Matrix& a, Matrix* l);
+
+/// Solve L L^T x = b given a factor from cholesky_into, using `y` as
+/// forward-substitution scratch. `x` and `y` are resized in place; `b` must
+/// not alias either.
+void cholesky_solve_into(const Matrix& l, const Vector& b, Vector* y, Vector* x);
+
 /// Householder QR factorization of an m x n matrix with m >= n.
 struct QrResult {
   Matrix qr;       ///< Packed factor: R in the upper triangle, reflectors below.

@@ -184,4 +184,52 @@ Vector at_times(const Matrix& a, const Vector& b) {
   return out;
 }
 
+void axpy_inplace(Vector& y, double s, const Vector& x) {
+  if (y.size() != x.size()) {
+    throw std::invalid_argument("Size mismatch in axpy_inplace");
+  }
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += s * x[i];
+}
+
+void scale_inplace(Vector& a, double s) {
+  for (double& x : a) x *= s;
+}
+
+void gram_into(const Matrix& a, Matrix* out) {
+  out->resize(a.cols(), a.cols());
+  Matrix& g = *out;
+  for (std::size_t i = 0; i < a.cols(); ++i) {
+    for (std::size_t j = i; j < a.cols(); ++j) {
+      double s = 0.0;
+      for (std::size_t r = 0; r < a.rows(); ++r) s += a(r, i) * a(r, j);
+      g(i, j) = s;
+      g(j, i) = s;
+    }
+  }
+}
+
+void at_times_into(const Matrix& a, const Vector& b, Vector* out) {
+  if (a.rows() != b.size()) {
+    throw std::invalid_argument("Dimension mismatch in at_times_into");
+  }
+  out->assign(a.cols(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double br = b[r];
+    if (br == 0.0) continue;
+    for (std::size_t c = 0; c < a.cols(); ++c) (*out)[c] += a(r, c) * br;
+  }
+}
+
+void gemv_into(const Matrix& a, const Vector& x, Vector* out) {
+  if (a.cols() != x.size()) {
+    throw std::invalid_argument("Dimension mismatch in gemv_into");
+  }
+  out->assign(a.rows(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < a.cols(); ++c) s += a(r, c) * x[c];
+    (*out)[r] = s;
+  }
+}
+
 }  // namespace prm::num

@@ -41,6 +41,16 @@ class Matrix {
   std::size_t cols() const noexcept { return cols_; }
   bool empty() const noexcept { return data_.empty(); }
 
+  /// Reshape to rows x cols reusing the existing storage (no reallocation
+  /// when shrinking or refilling to a previous size). Contents are
+  /// unspecified afterwards — this is the buffer-reuse primitive behind
+  /// opt::FitWorkspace, not a value-preserving resize.
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
   double& operator()(std::size_t r, std::size_t c) {
     check(r, c);
     return data_[r * cols_ + c];
@@ -120,5 +130,27 @@ Matrix gram(const Matrix& a);
 
 /// A^T * b for matrix A and vector b.
 Vector at_times(const Matrix& a, const Vector& b);
+
+// --- In-place / into-buffer forms ---------------------------------------
+//
+// The allocation-free fit hot path (opt::FitWorkspace) reuses caller-owned
+// buffers across iterations; these write into them instead of returning
+// fresh containers. Results are bit-identical to the allocating forms.
+
+/// y += s * x (BLAS axpy); sizes must match.
+void axpy_inplace(Vector& y, double s, const Vector& x);
+
+/// a *= s.
+void scale_inplace(Vector& a, double s);
+
+/// out = A^T A; `out` is reshaped to cols x cols reusing its storage.
+void gram_into(const Matrix& a, Matrix* out);
+
+/// out = A^T b; `out` is resized to a.cols() reusing its storage.
+void at_times_into(const Matrix& a, const Vector& b, Vector* out);
+
+/// out = A x (gemv); `out` is resized to a.rows() reusing its storage.
+/// `out` must not alias `x`.
+void gemv_into(const Matrix& a, const Vector& x, Vector* out);
 
 }  // namespace prm::num

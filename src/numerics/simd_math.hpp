@@ -1,0 +1,149 @@
+// Vectorized elementary functions over the f64x4 pack interface.
+//
+// Cephes-derived minimax rationals for exp/log/expm1/log1p, written once and
+// templated over the pack type so every backend (AVX2, SSE2, NEON, generic
+// scalar) executes the identical sequence of IEEE operations — that is what
+// makes the SIMD and scalar-fallback fit paths bit-identical. Accuracy is
+// 1-2 ulp over the curve kernels' working ranges; the parity tests pin both
+// the cross-backend bit-equality and the agreement with libm.
+//
+// pow(a, b) is exp(b * log(a)) (valid for a > 0), which loses ~|b ln a| ulp;
+// for the Weibull/log-logistic shapes used here (|b ln a| < 100) that is
+// well under 1e-13 relative.
+#pragma once
+
+#include "numerics/simd.hpp"
+
+namespace prm::num {
+
+namespace simd_detail {
+
+/// Horner evaluation of c[0]*x^(N-1) + ... + c[N-1] (Cephes polevl order).
+template <class P, std::size_t N>
+inline P polevl(P x, const double (&c)[N]) {
+  P r = P::broadcast(c[0]);
+  for (std::size_t i = 1; i < N; ++i) r = r * x + P::broadcast(c[i]);
+  return r;
+}
+
+/// polevl with an implicit leading coefficient of 1 (Cephes p1evl).
+template <class P, std::size_t N>
+inline P p1evl(P x, const double (&c)[N]) {
+  P r = x + P::broadcast(c[0]);
+  for (std::size_t i = 1; i < N; ++i) r = r * x + P::broadcast(c[i]);
+  return r;
+}
+
+inline constexpr double kExpP[] = {1.26177193074810590878e-4, 3.02994407707441961300e-2,
+                                   9.99999999999999999910e-1};
+inline constexpr double kExpQ[] = {3.00198505138664455042e-6, 2.52448340349684104192e-3,
+                                   2.27265548208155028766e-1, 2.00000000000000000005e0};
+
+inline constexpr double kLogP[] = {1.01875663804580931796e-4, 4.97494994976747001425e-1,
+                                   4.70579119878881725854e0,  1.44989225341610930846e1,
+                                   1.79368678507819816313e1,  7.70838733755885391666e0};
+inline constexpr double kLogQ[] = {1.12873587189167450590e1, 4.52279145837532221105e1,
+                                   8.29875266912776603211e1, 7.11544750618563894466e1,
+                                   2.31251620126765340583e1};
+
+inline constexpr double kLog1pP[] = {4.5270000862445199635215e-5, 4.9854102823193375972212e-1,
+                                     6.5787325942061044846969e0,  2.9911919328553073277375e1,
+                                     6.0949667980987787057556e1,  5.7112963590585538103336e1,
+                                     2.0039553499201281259648e1};
+inline constexpr double kLog1pQ[] = {1.5062909083469192043167e1, 8.3047565967967209469434e1,
+                                     2.2176239823732856465394e2, 3.0909872225312059774938e2,
+                                     2.1642788614495947685003e2, 6.0118660497603843919306e1};
+
+inline constexpr double kLog2E = 1.4426950408889634073599;  // 1/ln 2
+inline constexpr double kLn2Hi = 6.93145751953125e-1;
+inline constexpr double kLn2Lo = 1.42860682030941723212e-6;
+inline constexpr double kSqrt2 = 1.4142135623730950488017;
+inline constexpr double kMaxExpArg = 709.436;   // just under log(DBL_MAX)
+inline constexpr double kMinExpArg = -708.395;  // just above log(min normal)
+inline constexpr double kInf = __builtin_huge_val();
+inline constexpr double kNan = __builtin_nan("");
+
+}  // namespace simd_detail
+
+/// exp(x), Cephes-style: 2^n * R(r) with r = x - n ln 2 in [-ln2/2, ln2/2].
+/// Saturates to 0 / +inf outside [-708.4, 709.4]; NaN propagates.
+template <class P>
+inline P simd_exp(P x) {
+  using namespace simd_detail;
+  const P n = round_nearest(x * P::broadcast(kLog2E));
+  P r = x - n * P::broadcast(kLn2Hi);
+  r = r - n * P::broadcast(kLn2Lo);
+  const P rr = r * r;
+  const P px = r * polevl(rr, kExpP);
+  const P qx = polevl(rr, kExpQ);
+  const P e =
+      P::broadcast(1.0) + (P::broadcast(2.0) * px) / (qx - px);
+  P result = e * pow2n(n);
+  // Overflow/underflow saturation; comparisons are false on NaN, so a NaN
+  // input keeps the (NaN) polynomial result.
+  result = select(cmp_gt(x, P::broadcast(kMaxExpArg)), P::broadcast(kInf), result);
+  result = select(cmp_lt(x, P::broadcast(kMinExpArg)), P::broadcast(0.0), result);
+  return result;
+}
+
+/// log(x) for x > 0; returns -inf at 0 and NaN for negative inputs.
+template <class P>
+inline P simd_log(P x) {
+  using namespace simd_detail;
+  // Split x = m * 2^e, m in [1, 2); fold m > sqrt(2) into [sqrt(2)/2, sqrt(2)].
+  P m;
+  P e;
+  split_mantissa(x, &m, &e);
+  const P fold = cmp_gt(m, P::broadcast(kSqrt2));
+  m = select(fold, m * P::broadcast(0.5), m);
+  e = select(fold, e + P::broadcast(1.0), e);
+  const P z = m - P::broadcast(1.0);
+  const P y = z * z;
+  P w = z * y * (polevl(z, kLogP) / p1evl(z, kLogQ));
+  w = w - P::broadcast(0.5) * y;
+  // Reassemble with the split ln 2 (exact high part 0.693359375).
+  P result = w - e * P::broadcast(2.121944400546905827679e-4);
+  result = result + z;
+  result = result + e * P::broadcast(0.693359375);
+  result = select(cmp_le(x, P::broadcast(0.0)),
+                  select(cmp_lt(x, P::broadcast(0.0)), P::broadcast(kNan),
+                         P::broadcast(-kInf)),
+                  result);
+  return result;
+}
+
+/// expm1(x): dedicated rational for |x| <= 0.5 (no cancellation), exp(x) - 1
+/// elsewhere.
+template <class P>
+inline P simd_expm1(P x) {
+  using namespace simd_detail;
+  const P rr = x * x;
+  const P px = x * polevl(rr, kExpP);
+  const P qx = polevl(rr, kExpQ);
+  const P small = (P::broadcast(2.0) * px) / (qx - px);
+  const P big = simd_exp(x) - P::broadcast(1.0);
+  const P abs_x = max(x, -x);
+  return select(cmp_le(abs_x, P::broadcast(0.5)), small, big);
+}
+
+/// log1p(x): dedicated rational for x in [sqrt(1/2)-1, sqrt(2)-1], log(1+x)
+/// elsewhere (including the -inf/NaN domain edges at and below x = -1).
+template <class P>
+inline P simd_log1p(P x) {
+  using namespace simd_detail;
+  const P z = x * x;
+  P w = x * z * (polevl(x, kLog1pP) / p1evl(x, kLog1pQ));
+  const P small = x - P::broadcast(0.5) * z + w;
+  const P big = simd_log(P::broadcast(1.0) + x);
+  const P in_lo = cmp_ge(x, P::broadcast(kSqrt2 * 0.5 - 1.0));
+  const P in_hi = cmp_le(x, P::broadcast(kSqrt2 - 1.0));
+  return select(mask_and(in_lo, in_hi), small, big);
+}
+
+/// a^b = exp(b * log(a)) for a > 0 (the only regime the curve kernels use).
+template <class P>
+inline P simd_pow(P a, P b) {
+  return simd_exp(b * simd_log(a));
+}
+
+}  // namespace prm::num

@@ -4,6 +4,7 @@
 
 #include "numerics/differentiate.hpp"
 #include "numerics/linalg.hpp"
+#include "optimize/workspace.hpp"
 
 namespace prm::opt {
 
@@ -32,10 +33,25 @@ double half_squared_norm(const num::Vector& r) {
   return 0.5 * s;
 }
 
+// Jacobian into ws.j: the problem's analytic form when present, else central
+// differences (the one remaining allocating path — FD problems are off the
+// hot path by construction).
+void eval_jacobian_ws(const ResidualProblem& problem, const num::Vector& p,
+                      FitWorkspace& ws, int* evals) {
+  if (problem.has_jacobian()) {
+    problem.eval_jacobian(p, ws.j);
+    return;
+  }
+  *evals += static_cast<int>(2 * p.size());
+  ws.j = num::jacobian_central(problem.residuals, p);
+}
+
 num::Matrix eval_jacobian(const ResidualProblem& problem, const num::Vector& p,
                           int* evals) {
-  if (problem.jacobian) {
-    return problem.jacobian(p);
+  if (problem.has_jacobian()) {
+    num::Matrix j;
+    problem.eval_jacobian(p, j);
+    return j;
   }
   *evals += static_cast<int>(2 * p.size());
   return num::jacobian_central(problem.residuals, p);
@@ -48,29 +64,36 @@ OptimizeResult levenberg_marquardt(const ResidualProblem& problem, const num::Ve
   OptimizeResult result;
   result.parameters = initial;
 
-  num::Vector p = initial;
-  num::Vector r = problem.residuals(p);
+  // All iteration state lives in the calling thread's workspace: after the
+  // first solve at a given problem size the loop below performs no heap
+  // allocation (analytic-Jacobian problems with *_into evaluators).
+  FitWorkspace& ws = FitWorkspace::local();
+  num::Vector& p = ws.p;
+  p = initial;
+  problem.eval_residuals(p, ws.r);
   result.function_evaluations = 1;
-  if (!all_finite(r)) {
+  if (!all_finite(ws.r)) {
     result.stop_reason = StopReason::kNumericalFailure;
     result.cost = std::numeric_limits<double>::infinity();
     return result;
   }
-  double cost = half_squared_norm(r);
+  double cost = half_squared_norm(ws.r);
 
-  num::Matrix j = eval_jacobian(problem, p, &result.function_evaluations);
-  num::Matrix jtj = num::gram(j);
-  num::Vector g = num::at_times(j, r);
+  eval_jacobian_ws(problem, p, ws, &result.function_evaluations);
+  num::gram_into(ws.j, &ws.jtj);
+  num::at_times_into(ws.j, ws.r, &ws.g);
 
   double max_diag = 0.0;
-  for (std::size_t i = 0; i < jtj.rows(); ++i) max_diag = std::max(max_diag, jtj(i, i));
+  for (std::size_t i = 0; i < ws.jtj.rows(); ++i) {
+    max_diag = std::max(max_diag, ws.jtj(i, i));
+  }
   double mu = options.initial_mu * std::max(max_diag, 1e-12);
 
   result.stop_reason = StopReason::kMaxIterations;
   for (int it = 0; it < options.max_iterations; ++it) {
     result.iterations = it + 1;
 
-    if (num::norm_inf(g) < options.gradient_tol) {
+    if (num::norm_inf(ws.g) < options.gradient_tol) {
       result.stop_reason = StopReason::kConverged;
       break;
     }
@@ -78,17 +101,20 @@ OptimizeResult levenberg_marquardt(const ResidualProblem& problem, const num::Ve
     // Try steps with increasing damping until one is productive.
     bool stepped = false;
     for (int attempt = 0; attempt < 40; ++attempt) {
-      // (J^T J + mu * diag(J^T J + eps)) dp = -g
-      num::Matrix a = jtj;
-      for (std::size_t i = 0; i < a.rows(); ++i) {
-        a(i, i) += mu * std::max(jtj(i, i), 1e-12);
+      // (J^T J + mu * diag(J^T J + eps)) dp = -g. Solving for +g and negating
+      // is bit-identical (sign flips commute exactly through the triangular
+      // solves) and saves a negated-gradient buffer.
+      ws.a = ws.jtj;
+      for (std::size_t i = 0; i < ws.a.rows(); ++i) {
+        ws.a(i, i) += mu * std::max(ws.jtj(i, i), 1e-12);
       }
-      const auto dp_opt = num::solve_spd(a, num::scaled(-1.0, g));
-      if (!dp_opt) {
+      if (!num::cholesky_into(ws.a, &ws.chol)) {
         mu = std::min(mu * options.mu_increase, options.max_mu);
         continue;
       }
-      const num::Vector& dp = *dp_opt;
+      num::cholesky_solve_into(ws.chol, ws.g, &ws.solve_y, &ws.dp);
+      num::scale_inplace(ws.dp, -1.0);
+      const num::Vector& dp = ws.dp;
 
       const double step_norm = num::norm2(dp);
       const double p_norm = std::max(num::norm2(p), 1e-12);
@@ -98,20 +124,21 @@ OptimizeResult levenberg_marquardt(const ResidualProblem& problem, const num::Ve
         break;
       }
 
-      const num::Vector p_new = num::add(p, dp);
-      const num::Vector r_new = problem.residuals(p_new);
+      ws.p_trial = p;
+      num::axpy_inplace(ws.p_trial, 1.0, dp);
+      problem.eval_residuals(ws.p_trial, ws.r_trial);
       ++result.function_evaluations;
-      if (!all_finite(r_new)) {
+      if (!all_finite(ws.r_trial)) {
         mu = std::min(mu * options.mu_increase, options.max_mu);
         continue;
       }
-      const double cost_new = half_squared_norm(r_new);
+      const double cost_new = half_squared_norm(ws.r_trial);
 
       // Gain ratio: actual reduction over the reduction predicted by the
       // quadratic model, 0.5 * dp^T (mu D dp - g).
       double predicted = 0.0;
       for (std::size_t i = 0; i < dp.size(); ++i) {
-        predicted += dp[i] * (mu * std::max(jtj(i, i), 1e-12) * dp[i] - g[i]);
+        predicted += dp[i] * (mu * std::max(ws.jtj(i, i), 1e-12) * dp[i] - ws.g[i]);
       }
       predicted *= 0.5;
       const double actual = cost - cost_new;
@@ -120,12 +147,12 @@ OptimizeResult levenberg_marquardt(const ResidualProblem& problem, const num::Ve
       if (rho > 0.0 && actual > 0.0) {
         // Accept.
         const double rel_reduction = actual / std::max(cost, 1e-300);
-        p = p_new;
-        r = r_new;
+        p.swap(ws.p_trial);
+        ws.r.swap(ws.r_trial);
         cost = cost_new;
-        j = eval_jacobian(problem, p, &result.function_evaluations);
-        jtj = num::gram(j);
-        g = num::at_times(j, r);
+        eval_jacobian_ws(problem, p, ws, &result.function_evaluations);
+        num::gram_into(ws.j, &ws.jtj);
+        num::at_times_into(ws.j, ws.r, &ws.g);
         // Nielsen-style damping update.
         const double factor = std::max(options.mu_decrease, 1.0 - std::pow(2.0 * rho - 1.0, 3));
         mu = std::max(mu * factor, 1e-18);

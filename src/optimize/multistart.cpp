@@ -112,7 +112,7 @@ MultistartResult multistart_least_squares(const ResidualProblem& problem,
           NelderMeadOptions nm = options.nm;
           nm.initial_step = 0.02;
           OptimizeResult polished =
-              nelder_mead_least_squares(problem.residuals, r.parameters, nm);
+              nelder_mead_least_squares(problem, r.parameters, nm);
           if (std::isfinite(polished.cost) && polished.cost < r.cost) {
             polished.function_evaluations += r.function_evaluations;
             polished.iterations += r.iterations;

@@ -35,6 +35,14 @@ OptimizeResult nelder_mead(const ScalarFn& f, const num::Vector& initial,
   std::vector<std::size_t> order(n + 1);
   result.stop_reason = StopReason::kMaxIterations;
 
+  // Hoisted per-iteration buffers: the loop body below performs no heap
+  // allocation (trial points are swapped into the simplex, not copied).
+  num::Vector centroid(n);
+  num::Vector dir(n);  // centroid - worst vertex
+  num::Vector reflected(n);
+  num::Vector expanded(n);
+  num::Vector contracted(n);
+
   for (int it = 0; it < opt.max_iterations; ++it) {
     result.iterations = it + 1;
     std::iota(order.begin(), order.end(), std::size_t{0});
@@ -47,7 +55,9 @@ OptimizeResult nelder_mead(const ScalarFn& f, const num::Vector& initial,
     // Convergence: simplex size and value spread.
     double diam = 0.0;
     for (std::size_t i = 0; i <= n; ++i) {
-      diam = std::max(diam, num::norm_inf(num::sub(simplex[i], simplex[best])));
+      for (std::size_t c = 0; c < n; ++c) {
+        diam = std::max(diam, std::fabs(simplex[i][c] - simplex[best][c]));
+      }
     }
     // A small f-spread alone is not convergence: a simplex straddling the
     // minimum symmetrically has equal vertex values at large diameter. Accept
@@ -63,48 +73,48 @@ OptimizeResult nelder_mead(const ScalarFn& f, const num::Vector& initial,
     }
 
     // Centroid of all but the worst.
-    num::Vector centroid(n, 0.0);
+    std::fill(centroid.begin(), centroid.end(), 0.0);
     for (std::size_t i = 0; i <= n; ++i) {
       if (i == worst) continue;
-      centroid = num::add(centroid, simplex[i]);
+      for (std::size_t c = 0; c < n; ++c) centroid[c] += simplex[i][c];
     }
-    centroid = num::scaled(1.0 / static_cast<double>(n), centroid);
+    for (std::size_t c = 0; c < n; ++c) centroid[c] *= 1.0 / static_cast<double>(n);
+    for (std::size_t c = 0; c < n; ++c) dir[c] = centroid[c] - simplex[worst][c];
 
-    auto point_along = [&](double coef) {
-      return num::axpy(centroid, coef, num::sub(centroid, simplex[worst]));
+    auto point_along = [&](double coef, num::Vector& out) {
+      for (std::size_t c = 0; c < n; ++c) out[c] = centroid[c] + coef * dir[c];
     };
 
-    const num::Vector reflected = point_along(opt.reflection);
+    point_along(opt.reflection, reflected);
     const double f_ref = safe_eval(reflected);
     ++result.function_evaluations;
 
     if (f_ref < fx[best]) {
-      const num::Vector expanded = point_along(opt.expansion);
+      point_along(opt.expansion, expanded);
       const double f_exp = safe_eval(expanded);
       ++result.function_evaluations;
       if (f_exp < f_ref) {
-        simplex[worst] = expanded;
+        simplex[worst].swap(expanded);
         fx[worst] = f_exp;
       } else {
-        simplex[worst] = reflected;
+        simplex[worst].swap(reflected);
         fx[worst] = f_ref;
       }
       continue;
     }
     if (f_ref < fx[second_worst]) {
-      simplex[worst] = reflected;
+      simplex[worst].swap(reflected);
       fx[worst] = f_ref;
       continue;
     }
 
     // Contraction (outside if reflection improved on worst, else inside).
     const bool outside = f_ref < fx[worst];
-    const num::Vector contracted =
-        outside ? point_along(opt.contraction) : point_along(-opt.contraction);
+    point_along(outside ? opt.contraction : -opt.contraction, contracted);
     const double f_con = safe_eval(contracted);
     ++result.function_evaluations;
     if (f_con < std::min(f_ref, fx[worst])) {
-      simplex[worst] = contracted;
+      simplex[worst].swap(contracted);
       fx[worst] = f_con;
       continue;
     }
@@ -112,7 +122,9 @@ OptimizeResult nelder_mead(const ScalarFn& f, const num::Vector& initial,
     // Shrink toward the best vertex.
     for (std::size_t i = 0; i <= n; ++i) {
       if (i == best) continue;
-      simplex[i] = num::axpy(simplex[best], opt.shrink, num::sub(simplex[i], simplex[best]));
+      for (std::size_t c = 0; c < n; ++c) {
+        simplex[i][c] = simplex[best][c] + opt.shrink * (simplex[i][c] - simplex[best][c]);
+      }
       fx[i] = safe_eval(simplex[i]);
     }
     result.function_evaluations += static_cast<int>(n);
@@ -130,6 +142,19 @@ OptimizeResult nelder_mead_least_squares(const ResidualFn& residuals,
                                          const NelderMeadOptions& options) {
   auto f = [&residuals](const num::Vector& p) {
     const num::Vector r = residuals(p);
+    double s = 0.0;
+    for (double x : r) s += x * x;
+    return 0.5 * s;
+  };
+  return nelder_mead(f, initial, options);
+}
+
+OptimizeResult nelder_mead_least_squares(const ResidualProblem& problem,
+                                         const num::Vector& initial,
+                                         const NelderMeadOptions& options) {
+  num::Vector r;
+  auto f = [&problem, &r](const num::Vector& p) {
+    problem.eval_residuals(p, r);
     double s = 0.0;
     for (double x : r) s += x * x;
     return 0.5 * s;

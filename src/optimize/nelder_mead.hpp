@@ -28,4 +28,11 @@ OptimizeResult nelder_mead_least_squares(const ResidualFn& residuals,
                                          const num::Vector& initial,
                                          const NelderMeadOptions& options = {});
 
+/// Same objective evaluated through the problem's allocation-free residual
+/// form when present (one reused buffer instead of a fresh vector per
+/// simplex evaluation).
+OptimizeResult nelder_mead_least_squares(const ResidualProblem& problem,
+                                         const num::Vector& initial,
+                                         const NelderMeadOptions& options = {});
+
 }  // namespace prm::opt

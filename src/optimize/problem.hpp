@@ -18,13 +18,46 @@ using ResidualFn = std::function<num::Vector(const num::Vector&)>;
 /// Optional analytic Jacobian dr/dp (m x n).
 using JacobianFn = std::function<num::Matrix(const num::Vector&)>;
 
+/// Allocation-free forms writing into caller-owned buffers (resized in
+/// place). The fit hot path provides these alongside the allocating forms;
+/// solvers use them when present via eval_residuals / eval_jacobian.
+using ResidualIntoFn = std::function<void(const num::Vector&, num::Vector&)>;
+using JacobianIntoFn = std::function<void(const num::Vector&, num::Matrix&)>;
+
 /// A least-squares problem: residuals plus an optional analytic Jacobian.
 /// When `jacobian` is absent the solver falls back to central differences.
+/// The *_into members are optional allocation-free variants; when present
+/// they must compute exactly the same values as their allocating twins.
 struct ResidualProblem {
   ResidualFn residuals;
-  JacobianFn jacobian;  ///< May be empty.
+  JacobianFn jacobian;            ///< May be empty.
+  ResidualIntoFn residuals_into;  ///< Optional zero-allocation form.
+  JacobianIntoFn jacobian_into;   ///< Optional zero-allocation form.
   std::size_t num_parameters = 0;
   std::size_t num_residuals = 0;
+
+  bool has_jacobian() const {
+    return static_cast<bool>(jacobian) || static_cast<bool>(jacobian_into);
+  }
+
+  /// Evaluate residuals into `out`, preferring the allocation-free form.
+  void eval_residuals(const num::Vector& p, num::Vector& out) const {
+    if (residuals_into) {
+      residuals_into(p, out);
+    } else {
+      out = residuals(p);
+    }
+  }
+
+  /// Evaluate the analytic Jacobian into `out`, preferring the
+  /// allocation-free form. Requires has_jacobian().
+  void eval_jacobian(const num::Vector& p, num::Matrix& out) const {
+    if (jacobian_into) {
+      jacobian_into(p, out);
+    } else {
+      out = jacobian(p);
+    }
+  }
 };
 
 /// Scalar objective f: R^n -> R.

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "optimize/workspace.hpp"
+
 namespace prm::opt {
 
 const char* to_string(LossKind kind) {
@@ -87,6 +89,10 @@ ResidualProblem make_robust_problem(ResidualProblem problem, LossKind kind, doub
     for (double& x : r) x = loss_whiten(kind, x, scale);
     return r;
   };
+  robust.residuals_into = [base, kind, scale](const num::Vector& p, num::Vector& out) {
+    base->eval_residuals(p, out);
+    for (double& x : out) x = loss_whiten(kind, x, scale);
+  };
   if (base->jacobian) {
     robust.jacobian = [base, kind, scale](const num::Vector& p) {
       const num::Vector r = base->residuals(p);
@@ -96,6 +102,19 @@ ResidualProblem make_robust_problem(ResidualProblem problem, LossKind kind, doub
         for (std::size_t c = 0; c < j.cols(); ++c) j(i, c) *= w;
       }
       return j;
+    };
+  }
+  if (base->has_jacobian()) {
+    robust.jacobian_into = [base, kind, scale](const num::Vector& p, num::Matrix& out) {
+      // The solver's workspace never touches `whiten` mid-solve; borrow it
+      // for the base residuals the row weights need.
+      num::Vector& r = FitWorkspace::local().whiten;
+      base->eval_residuals(p, r);
+      base->eval_jacobian(p, out);
+      for (std::size_t i = 0; i < out.rows(); ++i) {
+        const double w = loss_dwhiten(kind, r[i], scale);
+        for (std::size_t c = 0; c < out.cols(); ++c) out(i, c) *= w;
+      }
     };
   }
   return robust;

@@ -72,6 +72,41 @@ num::Vector ParameterTransform::to_external(const num::Vector& u) const {
   return p;
 }
 
+void ParameterTransform::to_external_into(const num::Vector& u, num::Vector* p) const {
+  if (u.size() != bounds_.size()) {
+    throw std::invalid_argument("ParameterTransform: size mismatch");
+  }
+  p->resize(u.size());
+  for (std::size_t i = 0; i < u.size(); ++i) (*p)[i] = to_external_scalar(bounds_[i], u[i]);
+}
+
+void ParameterTransform::dexternal_dinternal_into(const num::Vector& u,
+                                                  num::Vector* d) const {
+  if (u.size() != bounds_.size()) {
+    throw std::invalid_argument("ParameterTransform: size mismatch");
+  }
+  d->resize(u.size());
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    const Bound& b = bounds_[i];
+    switch (b.kind) {
+      case BoundKind::kFree:
+        (*d)[i] = 1.0;
+        break;
+      case BoundKind::kPositive:
+        (*d)[i] = std::exp(u[i]);
+        break;
+      case BoundKind::kNegative:
+        (*d)[i] = -std::exp(u[i]);
+        break;
+      case BoundKind::kInterval: {
+        const double s = logistic(u[i]);
+        (*d)[i] = (b.hi - b.lo) * s * (1.0 - s);
+        break;
+      }
+    }
+  }
+}
+
 num::Vector ParameterTransform::dexternal_dinternal(const num::Vector& u) const {
   if (u.size() != bounds_.size()) {
     throw std::invalid_argument("ParameterTransform: size mismatch");

@@ -58,6 +58,11 @@ class ParameterTransform {
   /// rule.
   num::Vector dexternal_dinternal(const num::Vector& u) const;
 
+  /// Allocation-free forms for the fit hot path: write into a caller-owned
+  /// buffer (resized in place) instead of returning a fresh vector.
+  void to_external_into(const num::Vector& u, num::Vector* p) const;
+  void dexternal_dinternal_into(const num::Vector& u, num::Vector* d) const;
+
  private:
   std::vector<Bound> bounds_;
 };

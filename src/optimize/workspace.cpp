@@ -1,0 +1,25 @@
+#include "optimize/workspace.hpp"
+
+namespace prm::opt {
+
+void FitWorkspace::resize(std::size_t m, std::size_t n) {
+  j.resize(m, n);
+  jtj.resize(n, n);
+  a.resize(n, n);
+  chol.resize(n, n);
+  r.resize(m);
+  r_trial.resize(m);
+  whiten.resize(m);
+  g.resize(n);
+  dp.resize(n);
+  solve_y.resize(n);
+  p.resize(n);
+  p_trial.resize(n);
+}
+
+FitWorkspace& FitWorkspace::local() {
+  thread_local FitWorkspace workspace;
+  return workspace;
+}
+
+}  // namespace prm::opt

@@ -1,0 +1,50 @@
+// Reusable scratch buffers for the least-squares hot path.
+//
+// One Levenberg-Marquardt run on an m-residual, n-parameter problem needs a
+// Jacobian, a Gram matrix, its damped copy and Cholesky factor, and half a
+// dozen m- or n-length vectors. Allocating them per call (let alone per
+// iteration) dominated small-fit profiles, so the solver draws them from a
+// FitWorkspace instead: resize() reshapes every buffer reusing its storage,
+// which mallocs only the first time a thread sees a new maximum size.
+//
+// Threading: the task pool runs fits concurrently, so the solver uses
+// FitWorkspace::local() — one workspace per thread, owned for the full
+// duration of a solve (the solvers do not recurse). Workspaces are scratch
+// only; they never carry results across calls, so thread-local reuse cannot
+// break PR 3's determinism contract (which thread runs a task only decides
+// which scratch buffer is used, never the values computed into it).
+#pragma once
+
+#include "numerics/matrix.hpp"
+
+namespace prm::opt {
+
+struct FitWorkspace {
+  // m x n / n x n matrices.
+  num::Matrix j;     ///< Jacobian.
+  num::Matrix jtj;   ///< J^T J.
+  num::Matrix a;     ///< Damped copy of jtj.
+  num::Matrix chol;  ///< Cholesky factor of a.
+
+  // m-length vectors.
+  num::Vector r;        ///< Residuals at the current point.
+  num::Vector r_trial;  ///< Residuals at the trial point.
+  num::Vector whiten;   ///< Robust-loss whitening scratch (base residuals).
+
+  // n-length vectors.
+  num::Vector g;        ///< Gradient J^T r.
+  num::Vector dp;       ///< Step.
+  num::Vector solve_y;  ///< Forward-substitution scratch.
+  num::Vector p;        ///< Current parameters.
+  num::Vector p_trial;  ///< Trial parameters.
+
+  /// Reshape every buffer for an m-residual, n-parameter problem. Contents
+  /// are unspecified afterwards; storage is reused whenever it suffices.
+  void resize(std::size_t m, std::size_t n);
+
+  /// The calling thread's workspace. Solvers own it for the duration of one
+  /// solve; nothing outlives the call.
+  static FitWorkspace& local();
+};
+
+}  // namespace prm::opt

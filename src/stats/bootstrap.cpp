@@ -62,7 +62,10 @@ BootstrapResult bootstrap_confidence_band(std::span<const double> observed_fit,
   const auto run_replicate = [&](std::size_t rep) -> std::vector<double> {
     std::mt19937_64 rng(options.seed ^ (static_cast<std::uint64_t>(rep) + 1));
     std::uniform_int_distribution<std::size_t> pick(0, n - 1);
-    std::vector<double> resampled(n);
+    // Per-thread scratch: the refit callback consumes the resample before
+    // returning, so reuse across replicates on the same thread is safe.
+    thread_local std::vector<double> resampled;
+    resampled.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
       resampled[i] = predicted_fit[i] + residuals[pick(rng)];
     }

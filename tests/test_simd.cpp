@@ -1,0 +1,226 @@
+// The SIMD layer's three contracts, each load-bearing for the fit hot path:
+//   1. the native pack and the generic (plain-array) pack are bit-identical,
+//   2. the vector math functions track libm to a couple of ulp,
+//   3. the batch kernels agree with the scalar evaluate()/gradient() paths,
+//      and a full fit produces identical parameters with SIMD on or off.
+#include "numerics/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "core/fitting.hpp"
+#include "core/model.hpp"
+#include "data/recessions.hpp"
+#include "numerics/simd_math.hpp"
+
+namespace prm {
+namespace {
+
+using num::f64x4;
+using num::f64x4_generic;
+
+// Bitwise comparison of a native pack against the generic reference pack
+// evaluated on the same lanes.
+template <typename NativeOp, typename GenericOp>
+void expect_bit_parity(const double* lanes, NativeOp&& native_op,
+                       GenericOp&& generic_op) {
+  double native_out[4];
+  double generic_out[4];
+  native_op(f64x4::load(lanes)).store(native_out);
+  generic_op(f64x4_generic::load(lanes)).store(generic_out);
+  EXPECT_EQ(0, std::memcmp(native_out, generic_out, sizeof(native_out)))
+      << "lanes " << lanes[0] << " " << lanes[1] << " " << lanes[2] << " "
+      << lanes[3] << " -> native " << native_out[0] << " generic "
+      << generic_out[0];
+}
+
+TEST(Simd, PackArithmeticMatchesGenericBitForBit) {
+  const double a[4] = {1.25, -3.5, 0.0, 1e-300};
+  const double b[4] = {2.0, 0.3, -1.0, 7.25e5};
+  expect_bit_parity(a, [&](auto x) { return x + decltype(x)::load(b); },
+                    [&](auto x) { return x + decltype(x)::load(b); });
+  expect_bit_parity(a, [&](auto x) { return x - decltype(x)::load(b); },
+                    [&](auto x) { return x - decltype(x)::load(b); });
+  expect_bit_parity(a, [&](auto x) { return x * decltype(x)::load(b); },
+                    [&](auto x) { return x * decltype(x)::load(b); });
+  expect_bit_parity(a, [&](auto x) { return x / decltype(x)::load(b); },
+                    [&](auto x) { return x / decltype(x)::load(b); });
+  expect_bit_parity(a, [](auto x) { return -x; }, [](auto x) { return -x; });
+  expect_bit_parity(a, [&](auto x) { return max(x, decltype(x)::load(b)); },
+                    [&](auto x) { return max(x, decltype(x)::load(b)); });
+  expect_bit_parity(a, [&](auto x) { return min(x, decltype(x)::load(b)); },
+                    [&](auto x) { return min(x, decltype(x)::load(b)); });
+}
+
+TEST(Simd, SelectAndComparisonsMatchGeneric) {
+  const double a[4] = {-1.0, 0.0, 2.0, -0.0};
+  const double b[4] = {1.0, 0.0, -2.0, 0.0};
+  expect_bit_parity(
+      a,
+      [&](auto x) {
+        auto y = decltype(x)::load(b);
+        return select(cmp_gt(x, y), x, y);
+      },
+      [&](auto x) {
+        auto y = decltype(x)::load(b);
+        return select(cmp_gt(x, y), x, y);
+      });
+  expect_bit_parity(
+      a,
+      [&](auto x) { return select(cmp_le(x, decltype(x)::broadcast(0.0)), x,
+                                  decltype(x)::broadcast(9.0)); },
+      [&](auto x) { return select(cmp_le(x, decltype(x)::broadcast(0.0)), x,
+                                  decltype(x)::broadcast(9.0)); });
+}
+
+TEST(Simd, VectorMathMatchesGenericBitForBit) {
+  // The whole point of the layer: simd_exp & friends run the same IEEE ops
+  // on every backend, so enabling SIMD can never change a fit result bit.
+  std::vector<double> probes;
+  for (double x = -30.0; x <= 30.0; x += 0.37) probes.push_back(x);
+  probes.insert(probes.end(), {-708.0, -1e-12, 0.0, 1e-12, 700.0});
+  for (std::size_t i = 0; i + 4 <= probes.size(); i += 4) {
+    expect_bit_parity(probes.data() + i,
+                      [](auto x) { return simd_exp(x); },
+                      [](auto x) { return simd_exp(x); });
+    expect_bit_parity(probes.data() + i,
+                      [](auto x) { return simd_expm1(x); },
+                      [](auto x) { return simd_expm1(x); });
+  }
+  for (double x = 0.01; x < 100.0; x *= 1.7) {
+    const double lanes[4] = {x, x * 1.03, x * 9.7, x * 0.31};
+    expect_bit_parity(lanes, [](auto v) { return simd_log(v); },
+                      [](auto v) { return simd_log(v); });
+    expect_bit_parity(lanes, [](auto v) { return simd_log1p(v); },
+                      [](auto v) { return simd_log1p(v); });
+  }
+}
+
+TEST(Simd, VectorMathTracksLibm) {
+  // Accuracy against libm: a few ulp is fine (the kernels are documented as
+  // agreeing with the scalar path to ~1e-15 relative, not bit-exactly).
+  for (double x = -40.0; x <= 40.0; x += 0.173) {
+    const double got = num::simd_exp(f64x4::broadcast(x)).lane(0);
+    EXPECT_NEAR(got, std::exp(x), 4e-15 * std::exp(x)) << "exp " << x;
+    const double gotm1 = num::simd_expm1(f64x4::broadcast(x)).lane(1);
+    EXPECT_NEAR(gotm1, std::expm1(x), 4e-15 * (std::fabs(std::expm1(x)) + 1.0))
+        << "expm1 " << x;
+  }
+  for (double x = 1e-6; x < 1e6; x *= 1.83) {
+    const double got = num::simd_log(f64x4::broadcast(x)).lane(2);
+    EXPECT_NEAR(got, std::log(x), 4e-15 * (std::fabs(std::log(x)) + 1.0))
+        << "log " << x;
+  }
+  for (double x = 0.25; x < 50.0; x *= 1.31) {
+    for (double k : {0.5, 1.0, 2.7}) {
+      const double got = num::simd_pow(f64x4::broadcast(x), f64x4::broadcast(k)).lane(3);
+      EXPECT_NEAR(got, std::pow(x, k), 8e-15 * std::pow(x, k))
+          << "pow " << x << "^" << k;
+    }
+  }
+}
+
+// All registered models: eval_batch must agree with pointwise evaluate() to
+// ~1e-14 relative (bathtub kernels are bit-identical; the mixture kernels
+// respell pow(r,k) as exp(k log r), which costs a few ulp).
+TEST(Simd, EvalBatchMatchesScalarEvaluate) {
+  const auto& ds = data::recession("1990-93");
+  for (const std::string& name : core::ModelRegistry::instance().names()) {
+    const core::ModelPtr model = core::ModelRegistry::instance().create(name);
+    const num::Vector params = model->initial_guesses(ds.series).front();
+    std::vector<double> batch(ds.series.size());
+    model->eval_batch(ds.series.times(), params, batch);
+    for (std::size_t i = 0; i < ds.series.size(); ++i) {
+      const double scalar = model->evaluate(ds.series.time(i), params);
+      EXPECT_NEAR(batch[i], scalar, 1e-13 * (std::fabs(scalar) + 1.0))
+          << name << " at t=" << ds.series.time(i);
+    }
+  }
+}
+
+TEST(Simd, GradientBatchMatchesScalarGradient) {
+  const auto& ds = data::recession("1990-93");
+  for (const std::string& name : core::ModelRegistry::instance().names()) {
+    const core::ModelPtr model = core::ModelRegistry::instance().create(name);
+    const num::Vector params = model->initial_guesses(ds.series).front();
+    num::Matrix jac;
+    model->gradient_batch(ds.series.times(), params, &jac);
+    ASSERT_EQ(jac.rows(), ds.series.size());
+    ASSERT_EQ(jac.cols(), model->num_parameters());
+    for (std::size_t i = 0; i < ds.series.size(); i += 7) {
+      const num::Vector g = model->gradient(ds.series.time(i), params);
+      for (std::size_t c = 0; c < g.size(); ++c) {
+        EXPECT_NEAR(jac(i, c), g[c], 1e-10 * (std::fabs(g[c]) + 1.0))
+            << name << " dP/dp" << c << " at t=" << ds.series.time(i);
+      }
+    }
+  }
+}
+
+// RAII: restore the global SIMD toggle even if an assertion fails out.
+struct ScopedSimdOff {
+  ScopedSimdOff() { num::set_batch_simd_enabled(false); }
+  ~ScopedSimdOff() { num::set_batch_simd_enabled(true); }
+};
+
+TEST(Simd, BatchKernelsIdenticalWithSimdDisabled) {
+  const auto& ds = data::recession("2007-09");
+  for (const std::string& name :
+       {std::string("mix-wei-wei-log"), std::string("quadratic"),
+        std::string("competing-risks"), std::string("mix-exp-wei-log")}) {
+    const core::ModelPtr model = core::ModelRegistry::instance().create(name);
+    const num::Vector params = model->initial_guesses(ds.series).front();
+    std::vector<double> fast(ds.series.size());
+    std::vector<double> slow(ds.series.size());
+    num::Matrix jac_fast;
+    num::Matrix jac_slow;
+    model->eval_batch(ds.series.times(), params, fast);
+    model->gradient_batch(ds.series.times(), params, &jac_fast);
+    {
+      ScopedSimdOff off;
+      model->eval_batch(ds.series.times(), params, slow);
+      model->gradient_batch(ds.series.times(), params, &jac_slow);
+    }
+    EXPECT_EQ(0, std::memcmp(fast.data(), slow.data(), fast.size() * sizeof(double)))
+        << name;
+    ASSERT_EQ(jac_fast.rows(), jac_slow.rows());
+    EXPECT_EQ(0, std::memcmp(jac_fast.data(), jac_slow.data(),
+                             jac_fast.rows() * jac_fast.cols() * sizeof(double)))
+        << name;
+  }
+}
+
+TEST(Simd, FitParametersIdenticalWithSimdDisabled) {
+  // The acceptance-level parity check: a full multistart fit lands on the
+  // same parameters whether the kernels run the native or the generic pack.
+  const auto& ds = data::recession("1990-93");
+  const core::FitResult with_simd =
+      core::fit_model("mix-wei-wei-log", ds.series, ds.holdout);
+  num::Vector params_off;
+  double sse_off = 0.0;
+  {
+    ScopedSimdOff off;
+    const core::FitResult without =
+        core::fit_model("mix-wei-wei-log", ds.series, ds.holdout);
+    params_off = without.parameters();
+    sse_off = without.sse;
+  }
+  ASSERT_EQ(with_simd.parameters().size(), params_off.size());
+  for (std::size_t i = 0; i < params_off.size(); ++i) {
+    EXPECT_DOUBLE_EQ(with_simd.parameters()[i], params_off[i]) << "p" << i;
+  }
+  EXPECT_DOUBLE_EQ(with_simd.sse, sse_off);
+}
+
+TEST(Simd, BackendNameIsKnown) {
+  const std::string backend = num::simd_backend();
+  EXPECT_TRUE(backend == "avx" || backend == "sse2" || backend == "neon" ||
+              backend == "scalar")
+      << backend;
+}
+
+}  // namespace
+}  // namespace prm

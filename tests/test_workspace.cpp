@@ -1,0 +1,174 @@
+// FitWorkspace: the per-thread scratch arena behind the allocation-free
+// Levenberg-Marquardt hot path. What matters: resize() reshapes correctly in
+// both directions (a workspace warmed on a long series must serve a short
+// one, and vice versa), solver results are unaffected by whatever a previous
+// solve left behind, and FitWorkspace::local() hands distinct storage to
+// distinct task-pool threads.
+#include "optimize/workspace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/fitting.hpp"
+#include "data/recessions.hpp"
+#include "optimize/levenberg_marquardt.hpp"
+#include "par/parallel.hpp"
+
+namespace prm {
+namespace {
+
+TEST(FitWorkspace, ResizeShapesEveryBuffer) {
+  opt::FitWorkspace ws;
+  ws.resize(7, 3);
+  EXPECT_EQ(ws.j.rows(), 7u);
+  EXPECT_EQ(ws.j.cols(), 3u);
+  EXPECT_EQ(ws.jtj.rows(), 3u);
+  EXPECT_EQ(ws.jtj.cols(), 3u);
+  EXPECT_EQ(ws.a.rows(), 3u);
+  EXPECT_EQ(ws.chol.rows(), 3u);
+  EXPECT_EQ(ws.r.size(), 7u);
+  EXPECT_EQ(ws.r_trial.size(), 7u);
+  EXPECT_EQ(ws.whiten.size(), 7u);
+  EXPECT_EQ(ws.g.size(), 3u);
+  EXPECT_EQ(ws.dp.size(), 3u);
+  EXPECT_EQ(ws.solve_y.size(), 3u);
+  EXPECT_EQ(ws.p.size(), 3u);
+  EXPECT_EQ(ws.p_trial.size(), 3u);
+}
+
+TEST(FitWorkspace, ResizeShrinksAndGrows) {
+  opt::FitWorkspace ws;
+  ws.resize(100, 6);
+  const double* big_data = ws.j.data();
+  ws.resize(5, 2);  // shrink: storage may be reused, shape must be exact
+  EXPECT_EQ(ws.j.rows(), 5u);
+  EXPECT_EQ(ws.j.cols(), 2u);
+  EXPECT_EQ(ws.r.size(), 5u);
+  EXPECT_EQ(ws.j.data(), big_data);  // shrinking reuses the old block
+  ws.resize(200, 6);  // grow past the original
+  EXPECT_EQ(ws.j.rows(), 200u);
+  EXPECT_EQ(ws.r.size(), 200u);
+}
+
+// A small well-conditioned least-squares problem: y = a e^{-b t} sampled
+// exactly, so LM must recover (a, b) regardless of workspace history.
+opt::ResidualProblem exp_decay_problem(std::size_t m) {
+  opt::ResidualProblem problem;
+  problem.num_parameters = 2;
+  problem.residuals = [m](const num::Vector& p) {
+    num::Vector r(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      const double t = 0.1 * static_cast<double>(i);
+      r[i] = 2.0 * std::exp(-0.7 * t) - p[0] * std::exp(-p[1] * t);
+    }
+    return r;
+  };
+  return problem;
+}
+
+TEST(FitWorkspace, SolverUnaffectedByStaleWorkspaceContents) {
+  const num::Vector start{1.0, 1.0};
+  // Reference solve on a cold workspace (whatever state the thread is in).
+  const opt::OptimizeResult ref =
+      opt::levenberg_marquardt(exp_decay_problem(40), start);
+  ASSERT_TRUE(ref.usable());
+
+  // Poison the thread's workspace with a much larger problem, then with a
+  // much smaller one, and re-solve: bit-identical parameters both times.
+  opt::levenberg_marquardt(exp_decay_problem(500), start);
+  opt::OptimizeResult again = opt::levenberg_marquardt(exp_decay_problem(40), start);
+  EXPECT_EQ(ref.parameters[0], again.parameters[0]);
+  EXPECT_EQ(ref.parameters[1], again.parameters[1]);
+
+  opt::levenberg_marquardt(exp_decay_problem(3), start);
+  again = opt::levenberg_marquardt(exp_decay_problem(40), start);
+  EXPECT_EQ(ref.parameters[0], again.parameters[0]);
+  EXPECT_EQ(ref.parameters[1], again.parameters[1]);
+  EXPECT_NEAR(again.parameters[0], 2.0, 1e-6);
+  EXPECT_NEAR(again.parameters[1], 0.7, 1e-6);
+}
+
+TEST(FitWorkspace, FitResultsIdenticalAcrossSeriesLengthSequence) {
+  // Drive the real fit path through series of very different lengths on ONE
+  // thread, interleaved, and check each fit against a fresh-process-style
+  // reference (the first fit of that series in this test). Any cross-series
+  // contamination through the shared workspace would break the repeats.
+  const auto& long_ds = data::recession("2007-09");
+  const auto& short_ds = data::recession("1990-93");
+  core::FitOptions opts;
+  opts.multistart.threads = 1;
+  const core::FitResult ref_long =
+      core::fit_model("competing-risks", long_ds.series, long_ds.holdout, opts);
+  const core::FitResult ref_short =
+      core::fit_model("competing-risks", short_ds.series, short_ds.holdout, opts);
+  for (int round = 0; round < 3; ++round) {
+    const core::FitResult again_short =
+        core::fit_model("competing-risks", short_ds.series, short_ds.holdout, opts);
+    const core::FitResult again_long =
+        core::fit_model("competing-risks", long_ds.series, long_ds.holdout, opts);
+    for (std::size_t i = 0; i < ref_long.parameters().size(); ++i) {
+      EXPECT_EQ(ref_long.parameters()[i], again_long.parameters()[i]);
+    }
+    for (std::size_t i = 0; i < ref_short.parameters().size(); ++i) {
+      EXPECT_EQ(ref_short.parameters()[i], again_short.parameters()[i]);
+    }
+  }
+}
+
+TEST(FitWorkspace, LocalIsPerThread) {
+  // Every pool thread must see its own workspace: collect &local() from many
+  // concurrent tasks and check (a) the calling thread's address is stable and
+  // (b) two different OS threads never share one.
+  std::mutex mu;
+  std::map<std::thread::id, std::set<const opt::FitWorkspace*>> seen;
+  par::parallel_for(
+      64,
+      [&](std::size_t) {
+        opt::FitWorkspace* ws = &opt::FitWorkspace::local();
+        ws->resize(16, 4);  // touch it so a shared arena would collide
+        std::lock_guard<std::mutex> lock(mu);
+        seen[std::this_thread::get_id()].insert(ws);
+      },
+      4);
+  std::set<const opt::FitWorkspace*> all;
+  for (const auto& [tid, set] : seen) {
+    EXPECT_EQ(set.size(), 1u) << "one thread saw two workspaces";
+    all.insert(set.begin(), set.end());
+  }
+  EXPECT_EQ(all.size(), seen.size()) << "two threads shared a workspace";
+}
+
+TEST(FitWorkspace, ParallelFitsMatchSerialFits) {
+  // Thread-local isolation, observed from the outside: a batch of fits run
+  // on the pool must equal the same fits run serially.
+  const auto& ds = data::recession("2001-05");
+  std::vector<std::string> models = {"quadratic", "competing-risks",
+                                     "mix-wei-wei-log", "quadratic",
+                                     "competing-risks", "mix-wei-wei-log"};
+  const auto fit_one = [&](std::size_t i) {
+    core::FitOptions opts;
+    opts.multistart.threads = 1;  // inner fits serial; outer map parallel
+    return core::fit_model(models[i], ds.series, ds.holdout, opts).parameters();
+  };
+  std::vector<num::Vector> serial;
+  for (std::size_t i = 0; i < models.size(); ++i) serial.push_back(fit_one(i));
+  const std::vector<num::Vector> parallel =
+      par::parallel_map<num::Vector>(models.size(), fit_one, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].size(), parallel[i].size());
+    for (std::size_t c = 0; c < serial[i].size(); ++c) {
+      EXPECT_EQ(serial[i][c], parallel[i][c]) << models[i] << " p" << c;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace prm
