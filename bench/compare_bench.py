@@ -14,8 +14,9 @@ before applying the threshold. That cancels a uniform machine-speed offset
 keeps the gate sensitive to what it is actually for: one benchmark regressing
 relative to the rest of the suite.
 
---require-all additionally fails when a baseline benchmark is missing from
-the current run (renamed or deleted without refreshing the baseline).
+Benchmarks present in only one of the two files are warned about and skipped
+(adding or removing a benchmark cannot break the gate); --require-all makes a
+baseline benchmark missing from the current run fatal instead.
 """
 
 from __future__ import annotations
@@ -34,7 +35,11 @@ def load_results(path: str) -> dict[str, dict]:
         doc = json.load(fh)
     out: dict[str, dict] = {}
     for entry in doc.get("benchmarks", []):
-        name = entry["name"]
+        name = entry.get("name")
+        if name is None or "cpu_time" not in entry:
+            print(f"{path}: skipping malformed benchmark entry {entry!r}",
+                  file=sys.stderr)
+            continue
         if name not in out or entry["cpu_time"] < out[name]["cpu_time"]:
             out[name] = entry
     return out
@@ -61,9 +66,19 @@ def main() -> int:
 
     common = [name for name in base if name in curr]
     missing = [name for name in base if name not in curr]
+    added = [name for name in curr if name not in base]
     if not common:
         print("compare_bench: no benchmarks in common", file=sys.stderr)
         return 2
+    # Benchmarks present in only one run are warned about and skipped, so
+    # adding or removing a benchmark never breaks the gate by itself; pass
+    # --require-all to make a stale baseline fatal.
+    for name in missing:
+        print(f"warning: {name}: in baseline but not in current run (skipped)",
+              file=sys.stderr)
+    for name in added:
+        print(f"warning: {name}: in current run but not in baseline (skipped; "
+              f"refresh the baseline to gate it)", file=sys.stderr)
 
     ratios = {name: curr[name][args.metric] / base[name][args.metric]
               for name in common}
@@ -85,9 +100,6 @@ def main() -> int:
             flag = "  (improved)"
         print(f"{name:<{width}}  {base[name][args.metric]:>10.3f}  "
               f"{curr[name][args.metric]:>10.3f}  {ratio:>6.2f}x{flag}  [{unit}]")
-
-    for name in missing:
-        print(f"{name}: in baseline but not in current run")
 
     if regressions:
         print(f"\ncompare_bench: {len(regressions)} benchmark(s) regressed "

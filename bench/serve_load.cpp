@@ -1,0 +1,339 @@
+// serve_load: closed-loop load generator for the full prm::serve stack over
+// real loopback sockets, reporting throughput AND latency percentiles.
+//
+// Unlike serve_throughput (a fixed batch, wall-clock only), serve_load runs
+// each (mix, connections) cell for a fixed duration against a fresh server,
+// timestamps every round trip, and reports p50/p95/p99 per cell -- the
+// numbers a capacity plan actually needs. Three request mixes:
+//
+//  * cached  -- POST /v1/fit round-robining over K pre-primed series: every
+//               request is a fit-cache hit, so this measures the HTTP + JSON
+//               + cache-lookup path (the sharded-serving hot loop).
+//  * cold    -- POST /v1/fit with a globally unique jittered series per
+//               request: every request runs the multistart optimizer.
+//  * ingest  -- alternating POST /v1/streams/{s}/ingest and GET
+//               /v1/streams/{s} on a per-connection stream: the live-monitor
+//               path (sharded registry + refit scheduling).
+//
+// --json emits the same schema compare_bench.py consumes (one entry per
+// cell, mean latency as cpu_time/real_time in us), so the CI regression gate
+// can diff runs; rps/p50/p95/p99 ride along as extra fields.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/recessions.hpp"
+#include "report/table.hpp"
+#include "serve/handlers.hpp"
+#include "serve/http.hpp"
+#include "serve/json.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace prm;
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  double seconds = 3.0;
+  std::vector<std::size_t> connections = {1, 4, 16, 64};
+  std::vector<std::string> mixes = {"cached", "cold", "ingest"};
+  std::size_t cached_series = 64;  ///< Distinct pre-primed series in the cached mix.
+  std::size_t server_threads = 0;  ///< 0 = one worker per connection (capped at 16).
+  std::string json_path;
+};
+
+/// Fit-request body for the 1990-93 recession with every value nudged by a
+/// distinct epsilon: bit-different doubles hash to a fresh fit-cache key
+/// while the optimization problem stays numerically identical in difficulty.
+std::string jittered_body(long variant) {
+  const data::RecessionDataset& dataset = data::recession("1990-93");
+  serve::Json series = serve::Json::object();
+  serve::Json times = serve::Json::array();
+  for (const double t : dataset.series.times()) times.push_back(serve::Json(t));
+  serve::Json values = serve::Json::array();
+  const double epsilon = 1e-9 * static_cast<double>(variant);
+  for (const double v : dataset.series.values()) {
+    values.push_back(serve::Json(v + epsilon));
+  }
+  series["times"] = std::move(times);
+  series["values"] = std::move(values);
+  serve::Json body = serve::Json::object();
+  body["series"] = std::move(series);
+  body["model"] = serve::Json("competing-risks");
+  body["holdout"] = serve::Json(dataset.holdout);
+  return body.dump();
+}
+
+/// One monotone V-shaped sample for the ingest mix: dip, trough, recovery,
+/// then a long nominal tail so each stream walks the full phase machine once.
+double ingest_value(long i) {
+  const double t = static_cast<double>(i % 64);
+  if (t < 8.0) return 1.0 + 0.001 * t;
+  if (t < 20.0) return 1.0 - 0.03 * (t - 8.0);
+  if (t < 44.0) return 0.64 + 0.015 * (t - 20.0);
+  return 1.0 + 0.0005 * (t - 44.0);
+}
+
+struct CellResult {
+  std::string mix;
+  std::size_t connections = 0;
+  std::size_t requests = 0;
+  double seconds = 0.0;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double rps() const {
+    return seconds > 0.0 ? static_cast<double>(requests) / seconds : 0.0;
+  }
+};
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+/// Run one (mix, connections) cell against a fresh App + Server.
+CellResult run_cell(const std::string& mix, std::size_t connections,
+                    const Options& options) {
+  serve::AppOptions app_options;
+  serve::App app(app_options);
+  serve::ServerOptions server_options;
+  server_options.port = 0;
+  server_options.threads = options.server_threads > 0
+                               ? options.server_threads
+                               : std::min<std::size_t>(connections, 16);
+  server_options.max_pending = std::max<std::size_t>(connections * 2, 64);
+  serve::Server server(server_options,
+                       [&app](const serve::http::Request& r) { return app.handle(r); });
+  server.start();
+
+  // Cached mix: prime every distinct series once so the timed run is hits only.
+  std::vector<std::string> cached_bodies;
+  if (mix == "cached") {
+    cached_bodies.reserve(options.cached_series);
+    serve::http::Client primer("127.0.0.1", server.port());
+    for (std::size_t i = 0; i < options.cached_series; ++i) {
+      cached_bodies.push_back(jittered_body(static_cast<long>(i + 1)));
+      const serve::http::Response response =
+          primer.post_json("/v1/fit", cached_bodies.back());
+      if (response.status != 200) {
+        std::fprintf(stderr, "serve_load: prime failed: %s\n", response.body.c_str());
+        std::exit(1);
+      }
+    }
+  }
+
+  std::atomic<long> cold_counter{1000000};  // distinct from every primed body
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> errors{0};
+  std::vector<std::vector<double>> latencies(connections);
+  const auto started = Clock::now();
+
+  std::vector<std::thread> clients;
+  clients.reserve(connections);
+  for (std::size_t c = 0; c < connections; ++c) {
+    latencies[c].reserve(1 << 16);
+    clients.emplace_back([&, c] {
+      serve::http::Client client("127.0.0.1", server.port());
+      const std::string stream_target = "/v1/streams/s" + std::to_string(c);
+      const std::string ingest_target = stream_target + "/ingest";
+      long i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        serve::http::Response response;
+        const auto t0 = Clock::now();
+        try {
+          if (mix == "cached") {
+            const std::string& body =
+                cached_bodies[static_cast<std::size_t>(i) % cached_bodies.size()];
+            response = client.post_json("/v1/fit", body);
+          } else if (mix == "cold") {
+            response = client.post_json(
+                "/v1/fit", jittered_body(cold_counter.fetch_add(1)));
+          } else if (i % 2 == 0) {
+            const std::string body = "{\"t\":" + std::to_string(i / 2) +
+                                     ",\"value\":" + std::to_string(ingest_value(i / 2)) +
+                                     "}";
+            response = client.post_json(ingest_target, body);
+          } else {
+            response = client.get(stream_target);
+          }
+        } catch (const std::exception&) {
+          ++errors;
+          break;  // connection torn down (e.g. overload shed); stop this client
+        }
+        const double us = std::chrono::duration<double, std::micro>(
+                              Clock::now() - t0)
+                              .count();
+        if (response.status != 200) {
+          ++errors;
+        } else {
+          latencies[c].push_back(us);
+        }
+        ++i;
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::duration<double>(options.seconds));
+  stop.store(true);
+  for (std::thread& client : clients) client.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - started).count();
+  server.stop();
+
+  std::vector<double> all;
+  for (const auto& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  std::sort(all.begin(), all.end());
+
+  if (errors.load() > 0) {
+    std::fprintf(stderr, "serve_load: %llu request error(s) in %s/conns:%zu\n",
+                 static_cast<unsigned long long>(errors.load()), mix.c_str(),
+                 connections);
+    std::exit(1);
+  }
+
+  CellResult result;
+  result.mix = mix;
+  result.connections = connections;
+  result.requests = all.size();
+  result.seconds = elapsed;
+  double sum = 0.0;
+  for (const double v : all) sum += v;
+  result.mean_us = all.empty() ? 0.0 : sum / static_cast<double>(all.size());
+  result.p50_us = percentile(all, 0.50);
+  result.p95_us = percentile(all, 0.95);
+  result.p99_us = percentile(all, 0.99);
+  return result;
+}
+
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::size_t end = comma == std::string::npos ? text.size() : comma;
+    if (end > start) out.push_back(text.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+void write_json(const Options& options, const std::vector<CellResult>& results) {
+  std::ofstream out(options.json_path);
+  if (!out) {
+    std::fprintf(stderr, "serve_load: cannot open %s\n", options.json_path.c_str());
+    std::exit(1);
+  }
+  out << "{\n  \"context\": {\"benchmark\": \"serve_load\", \"seconds_per_cell\": "
+      << options.seconds << "},\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CellResult& r = results[i];
+    const std::string name = "ServeLoad/" + r.mix + "/conns:" +
+                             std::to_string(r.connections);
+    char buf[512];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"name\": \"%s\", \"run_name\": \"%s\", "
+                  "\"cpu_time\": %.3f, \"real_time\": %.3f, \"time_unit\": \"us\", "
+                  "\"rps\": %.1f, \"p50_us\": %.1f, \"p95_us\": %.1f, "
+                  "\"p99_us\": %.1f, \"requests\": %zu}%s\n",
+                  name.c_str(), name.c_str(), r.mean_us, r.mean_us, r.rps(),
+                  r.p50_us, r.p95_us, r.p99_us, r.requests,
+                  i + 1 < results.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "serve_load: missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seconds") {
+      options.seconds = std::atof(next("--seconds").c_str());
+    } else if (arg == "--connections") {
+      options.connections.clear();
+      for (const std::string& item : split_list(next("--connections"))) {
+        options.connections.push_back(
+            static_cast<std::size_t>(std::atol(item.c_str())));
+      }
+    } else if (arg == "--mix") {
+      options.mixes = split_list(next("--mix"));
+    } else if (arg == "--cached-series") {
+      options.cached_series =
+          static_cast<std::size_t>(std::atol(next("--cached-series").c_str()));
+    } else if (arg == "--server-threads") {
+      options.server_threads =
+          static_cast<std::size_t>(std::atol(next("--server-threads").c_str()));
+    } else if (arg == "--json") {
+      options.json_path = next("--json");
+    } else {
+      std::fprintf(stderr,
+                   "usage: serve_load [--seconds S] [--connections 1,4,16,64]\n"
+                   "                  [--mix cached,cold,ingest] [--cached-series K]\n"
+                   "                  [--server-threads N] [--json PATH]\n");
+      return 2;
+    }
+  }
+  if (options.seconds <= 0.0 || options.connections.empty() ||
+      options.mixes.empty()) {
+    std::fprintf(stderr, "serve_load: nothing to run\n");
+    return 2;
+  }
+  for (const std::string& mix : options.mixes) {
+    if (mix != "cached" && mix != "cold" && mix != "ingest") {
+      std::fprintf(stderr, "serve_load: unknown mix '%s'\n", mix.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<CellResult> results;
+  for (const std::string& mix : options.mixes) {
+    for (const std::size_t connections : options.connections) {
+      results.push_back(run_cell(mix, connections, options));
+      const CellResult& r = results.back();
+      std::fprintf(stderr, "done %s/conns:%zu (%zu requests)\n", mix.c_str(),
+                   connections, r.requests);
+    }
+  }
+
+  report::Table table({"Mix", "Conns", "Requests", "Req/sec", "mean (us)",
+                       "p50 (us)", "p95 (us)", "p99 (us)"});
+  for (const CellResult& r : results) {
+    table.add_row({r.mix, std::to_string(r.connections), std::to_string(r.requests),
+                   report::Table::fixed(r.rps(), 1), report::Table::fixed(r.mean_us, 1),
+                   report::Table::fixed(r.p50_us, 1), report::Table::fixed(r.p95_us, 1),
+                   report::Table::fixed(r.p99_us, 1)});
+  }
+  std::printf("serve_load: closed-loop load generator, %.1f s per cell\n",
+              options.seconds);
+  table.print(std::cout);
+
+  if (!options.json_path.empty()) write_json(options, results);
+  return 0;
+}

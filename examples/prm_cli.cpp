@@ -59,7 +59,8 @@ const std::map<std::string, std::vector<std::string>>& command_options() {
       {"uncertainty", {"fit", "level", "replicates", "threads"}},
       {"detect", {"csv"}},
       {"monitor", {"csv", "model", "threads", "refit-every", "save", "load"}},
-      {"serve", {"port", "threads", "fit-threads", "model", "cache", "queue"}},
+      {"serve",
+       {"port", "threads", "fit-threads", "model", "cache", "queue", "shards"}},
       {"models", {}},
       {"demo", {"model", "holdout", "loss", "level", "save", "threads"}},
   };
@@ -77,7 +78,8 @@ void usage(std::ostream& out) {
       << "  prm_cli monitor --csv FILE[,FILE...] [--model NAME] [--threads N]\n"
       << "                  [--refit-every N] [--save FILE] [--load FILE]\n"
       << "  prm_cli serve   [--port N] [--threads N] [--fit-threads N] [--model NAME]\n"
-      << "                  [--cache N] [--queue N]   # --port 0 = ephemeral\n"
+      << "                  [--cache N] [--queue N] [--shards N]  # --port 0 = ephemeral\n"
+      << "                  # --shards: cache/registry stripes, 0 = one per core\n"
       << "  prm_cli models\n"
       << "  prm_cli demo\n"
       << "  prm_cli help | --help | -h\n";
@@ -377,6 +379,12 @@ int run_serve(const CliArgs& args) {
     app_options.cache_capacity =
         static_cast<std::size_t>(std::stoul(args.options.at("cache")));
   }
+  if (args.options.count("shards")) {
+    const std::size_t shards =
+        static_cast<std::size_t>(std::stoul(args.options.at("shards")));
+    app_options.cache_shards = shards;
+    app_options.monitor.shards = shards;
+  }
   bool threads_ok = false;
   if (const auto fit_threads = threads_option(args, "fit-threads", threads_ok)) {
     app_options.fit_threads = *fit_threads;
@@ -408,7 +416,8 @@ int run_serve(const CliArgs& args) {
   // it (and parse the ephemeral port from it), so flush immediately.
   std::cout << "prm_cli serve: listening on " << server_options.bind_address << ':'
             << server.port() << " (" << server_options.threads << " worker thread(s), "
-            << "fit cache " << app.fit_cache().capacity() << ", model '"
+            << "fit cache " << app.fit_cache().capacity() << " in "
+            << app.fit_cache().shards() << " shard(s), model '"
             << app.options().default_model << "')" << std::endl;
   std::cout << "routes: /healthz /metrics /v1/models /v1/fit /v1/forecast "
                "/v1/metrics /v1/streams; Ctrl-C stops" << std::endl;

@@ -130,19 +130,25 @@ int main() {
             << '\n';
 
   const serve::Json metrics = serve::Json::parse(client.get("/metrics").body);
-  const serve::Json* cache = require(metrics, "fit_cache");
+  const serve::Json* fit_cache = require(metrics, "fit_cache");
+  const serve::Json* response_cache = require(metrics, "response_cache");
   const serve::Json* http_stats = require(metrics, "server");
+  const double fit_hits = require(*fit_cache, "hits")->as_number();
+  const double response_hits = require(*response_cache, "hits")->as_number();
   std::cout << "\n/metrics: requests="
             << require(*http_stats, "requests_total")->as_number()
-            << ", fit cache hits=" << require(*cache, "hits")->as_number()
-            << ", misses=" << require(*cache, "misses")->as_number()
+            << ", response cache hits=" << response_hits
+            << ", fit cache hits=" << fit_hits
+            << ", misses=" << require(*fit_cache, "misses")->as_number()
             << ", optimizer runs=" << require(metrics, "fits_computed")->as_number()
             << '\n';
 
-  const bool cached_pass_worked = require(*cache, "hits")->as_number() >= 7.0;
+  // The repeat pass is memoized: identical POST bodies are answered from the
+  // response cache (which fronts the fit cache), so hits land in either layer.
+  const bool cached_pass_worked = response_hits + fit_hits >= 7.0;
   server.stop();
   if (!cached_pass_worked) {
-    std::cerr << "expected the repeat pass to be served from the fit cache\n";
+    std::cerr << "expected the repeat pass to be served from a cache\n";
     return 1;
   }
   std::cout << "\nserve_client: OK\n";

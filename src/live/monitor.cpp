@@ -1,5 +1,7 @@
 #include "live/monitor.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <fstream>
 #include <iomanip>
 #include <stdexcept>
@@ -8,12 +10,26 @@
 #include "core/model.hpp"
 #include "core/predictor.hpp"
 #include "core/serialize.hpp"
+#include "par/parallel.hpp"
+#include "par/task_pool.hpp"
 
 namespace prm::live {
 
 namespace {
 
 constexpr int kFormatVersion = 1;
+
+/// splitmix64 finalizer over std::hash so shard selection stays uniform even
+/// for the short sequential stream names real deployments use.
+std::size_t shard_of(const std::string& name, std::size_t shard_count) {
+  if (shard_count <= 1) return 0;
+  std::uint64_t x = static_cast<std::uint64_t>(std::hash<std::string>{}(name));
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return static_cast<std::size_t>(x % shard_count);
+}
 
 [[noreturn]] void fail(const std::string& what) {
   throw std::runtime_error("Monitor::load: " + what);
@@ -50,7 +66,8 @@ std::optional<double> read_optional(std::istream& in, const std::string& key) {
 }  // namespace
 
 Monitor::Monitor(MonitorOptions options)
-    : options_(std::move(options)), scheduler_(options_.threads) {
+    : options_(std::move(options)),
+      scheduler_(options_.threads, /*deferred=*/options_.batched_refits) {
   if (options_.refit_every == 0) {
     throw std::invalid_argument("Monitor: refit_every must be >= 1");
   }
@@ -62,23 +79,40 @@ Monitor::Monitor(MonitorOptions options)
   min_fit_samples_ = std::max(options_.min_fit_samples, model_parameters_ + 2);
   // Surface a bad stream config at construction, not at first ingest.
   [[maybe_unused]] StreamState probe("probe", options_.stream);
+
+  std::size_t shards = options_.shards;
+  if (shards == 0) shards = par::TaskPool::default_threads();
+  if (shards < 1) shards = 1;
+  registry_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    registry_.push_back(std::make_unique<RegistryShard>());
+  }
 }
 
 Monitor::~Monitor() = default;
 
+Monitor::RegistryShard& Monitor::shard_for(const std::string& name) {
+  return *registry_[shard_of(name, registry_.size())];
+}
+
+const Monitor::RegistryShard& Monitor::shard_for(const std::string& name) const {
+  return *registry_[shard_of(name, registry_.size())];
+}
+
 Monitor::Entry& Monitor::entry_for(const std::string& name) {
+  RegistryShard& shard = shard_for(name);
   {
-    std::shared_lock<std::shared_mutex> lock(registry_mutex_);
-    auto it = streams_.find(name);
-    if (it != streams_.end()) return *it->second;
+    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    auto it = shard.streams.find(name);
+    if (it != shard.streams.end()) return *it->second;
   }
-  std::unique_lock<std::shared_mutex> lock(registry_mutex_);
-  auto it = streams_.find(name);  // double-checked: another thread may have won
-  if (it == streams_.end()) {
+  std::unique_lock<std::shared_mutex> lock(shard.mutex);
+  auto it = shard.streams.find(name);  // double-checked: another thread may have won
+  if (it == shard.streams.end()) {
     // Construct before inserting: a throwing StreamState ctor (bad stream
     // name) must not leave a null entry in the registry.
     auto entry = std::make_unique<Entry>(name, options_.stream);
-    it = streams_.emplace(name, std::move(entry)).first;
+    it = shard.streams.emplace(name, std::move(entry)).first;
   }
   return *it->second;
 }
@@ -181,7 +215,38 @@ void Monitor::refit_job(Entry& entry, const std::string& name, std::uint64_t ord
   }
 }
 
-void Monitor::drain() { scheduler_.drain(); }
+void Monitor::drain() {
+  if (options_.batched_refits) {
+    // No background workers: run claim/execute passes until a pass finds
+    // nothing (a refit can re-arm its own key via parked reschedules).
+    while (refit_batch() > 0) {
+    }
+  }
+  scheduler_.drain();
+}
+
+std::size_t Monitor::refit_batch(int threads) {
+  auto batch = scheduler_.claim_ready();
+  if (batch.empty()) return 0;
+  if (threads <= 0) threads = static_cast<int>(options_.threads);
+  // One parallel_for over the whole due set amortizes pool wakeups across
+  // streams. Keys are distinct (the scheduler coalesces per stream), so jobs
+  // never contend on an entry; each stream's refit pipeline is identical to
+  // the threaded path, which is what keeps results bit-identical (§11).
+  std::atomic<std::uint64_t> failures{0};
+  par::parallel_for(
+      batch.size(),
+      [&batch, &failures](std::size_t i) {
+        try {
+          batch[i].job();
+        } catch (...) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      },
+      threads);
+  scheduler_.finish_claimed(batch, failures.load());
+  return batch.size();
+}
 
 StreamSnapshot Monitor::fill_snapshot(Entry& entry) const {
   const StreamState& state = entry.state;
@@ -232,11 +297,26 @@ StreamSnapshot Monitor::fill_snapshot(Entry& entry) const {
   return snap;
 }
 
+std::vector<std::pair<std::string, Monitor::Entry*>> Monitor::sorted_entries() const {
+  std::vector<std::pair<std::string, Entry*>> all;
+  for (const auto& shard : registry_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mutex);
+    for (const auto& [name, entry] : shard->streams) {
+      all.emplace_back(name, entry.get());
+    }
+  }
+  // Shards are visited in stripe order; re-sort so callers see the same
+  // name-ordered view the single-map registry used to give them.
+  std::sort(all.begin(), all.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return all;
+}
+
 std::vector<StreamSnapshot> Monitor::snapshot() const {
-  std::shared_lock<std::shared_mutex> lock(registry_mutex_);
+  const auto entries = sorted_entries();
   std::vector<StreamSnapshot> out;
-  out.reserve(streams_.size());
-  for (const auto& [name, entry] : streams_) {
+  out.reserve(entries.size());
+  for (const auto& [name, entry] : entries) {
     std::lock_guard<std::mutex> entry_lock(entry->m);
     out.push_back(fill_snapshot(*entry));
   }
@@ -244,9 +324,10 @@ std::vector<StreamSnapshot> Monitor::snapshot() const {
 }
 
 StreamSnapshot Monitor::snapshot(const std::string& stream) const {
-  std::shared_lock<std::shared_mutex> lock(registry_mutex_);
-  auto it = streams_.find(stream);
-  if (it == streams_.end()) {
+  const RegistryShard& shard = shard_for(stream);
+  std::shared_lock<std::shared_mutex> lock(shard.mutex);
+  auto it = shard.streams.find(stream);
+  if (it == shard.streams.end()) {
     throw std::out_of_range("Monitor::snapshot: unknown stream '" + stream + "'");
   }
   std::lock_guard<std::mutex> entry_lock(it->second->m);
@@ -254,26 +335,30 @@ StreamSnapshot Monitor::snapshot(const std::string& stream) const {
 }
 
 std::vector<std::string> Monitor::stream_names() const {
-  std::shared_lock<std::shared_mutex> lock(registry_mutex_);
   std::vector<std::string> names;
-  names.reserve(streams_.size());
-  for (const auto& [name, entry] : streams_) names.push_back(name);
+  for (const auto& [name, entry] : sorted_entries()) names.push_back(name);
   return names;
 }
 
 std::size_t Monitor::stream_count() const {
-  std::shared_lock<std::shared_mutex> lock(registry_mutex_);
-  return streams_.size();
+  std::size_t count = 0;
+  for (const auto& shard : registry_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mutex);
+    count += shard->streams.size();
+  }
+  return count;
 }
 
 void Monitor::save(std::ostream& out) {
   drain();  // quiesce refits so no entry mutates mid-snapshot
-  std::shared_lock<std::shared_mutex> lock(registry_mutex_);
+  // Name-sorted traversal keeps the on-disk format byte-identical to the
+  // pre-sharded single-map registry, at any shard count.
+  const auto entries = sorted_entries();
   out << "prm-live " << kFormatVersion << '\n';
   out << std::setprecision(17);
   out << "model " << options_.model << '\n';
-  out << "streams " << streams_.size() << '\n';
-  for (const auto& [name, entry] : streams_) {
+  out << "streams " << entries.size() << '\n';
+  for (const auto& [name, entry] : entries) {
     std::lock_guard<std::mutex> entry_lock(entry->m);
     out << "stream " << name << '\n';
     entry->state.save(out);
@@ -343,7 +428,7 @@ std::unique_ptr<Monitor> Monitor::load(std::istream& in, MonitorOptions options)
       fail("stream record name mismatch: '" + name + "' vs '" + entry->state.name() +
            "'");
     }
-    monitor->streams_.emplace(name, std::move(entry));
+    monitor->shard_for(name).streams.emplace(name, std::move(entry));
   }
   return monitor;
 }

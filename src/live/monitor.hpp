@@ -65,6 +65,17 @@ struct MonitorOptions {
   /// Refit worker pool size.
   std::size_t threads = 2;
 
+  /// Stream-registry shard count; 0 = one shard per prm::par pool thread.
+  /// Ingest on streams in different shards never touches a shared lock.
+  std::size_t shards = 0;
+
+  /// When true, refits are NOT run by background scheduler workers: they
+  /// accumulate (still one coalesced job per stream) until refit_batch()
+  /// drains every due stream in one prm::par parallel pass. Amortizes pool
+  /// wakeups across streams; results are bit-identical to the threaded path
+  /// because each stream's refit pipeline is unchanged (see DESIGN.md §11).
+  bool batched_refits = false;
+
   /// Search horizon for the recovery-time prediction, as a multiple of the
   /// observed event span (see core::predict_recovery_time).
   double horizon_factor = 4.0;
@@ -123,8 +134,15 @@ class Monitor {
   /// std::invalid_argument otherwise, as does a whitespace stream name).
   std::vector<TransitionEvent> ingest(const std::string& stream, double t, double value);
 
-  /// Block until every scheduled refit has completed.
+  /// Block until every scheduled refit has completed. In batched mode this
+  /// runs refit_batch() passes until no work remains.
   void drain();
+
+  /// Batched mode: claim every due refit from the scheduler and fan the
+  /// batch out through one prm::par parallel_for (threads <= 0 uses
+  /// options().threads). Returns the number of refits run. A no-op returning
+  /// 0 in threaded mode (workers already ran everything).
+  std::size_t refit_batch(int threads = 0);
 
   /// All streams, sorted by name. Live read: refits may still be in flight;
   /// call drain() first for a quiescent view.
@@ -142,6 +160,10 @@ class Monitor {
   // Engine-wide counters (sums over streams; scheduler totals).
   std::uint64_t refits_executed() const { return scheduler_.executed(); }
   std::uint64_t refits_coalesced() const { return scheduler_.coalesced(); }
+  std::uint64_t refits_failed() const { return scheduler_.failed(); }
+
+  /// Registry shard count actually in use (after the 0 = auto resolution).
+  std::size_t registry_shards() const noexcept { return registry_.size(); }
 
   /// Persist the full monitor state (drains refits first so the snapshot is
   /// quiescent). Restore with load(); alert rules/subscribers and options
@@ -176,16 +198,28 @@ class Monitor {
     std::size_t samples_at_last_refit = 0;
   };
 
+  /// One registry stripe: streams whose name hashes here share this lock and
+  /// map, and nothing else. Entries are never erased, so a raw Entry* stays
+  /// valid for the monitor's lifetime once created.
+  struct RegistryShard {
+    mutable std::shared_mutex mutex;
+    std::map<std::string, std::unique_ptr<Entry>> streams;
+  };
+
+  RegistryShard& shard_for(const std::string& name);
+  const RegistryShard& shard_for(const std::string& name) const;
   Entry& entry_for(const std::string& name);
   void refit_job(Entry& entry, const std::string& name, std::uint64_t ordinal);
   StreamSnapshot fill_snapshot(Entry& entry) const;  ///< Caller holds entry.m.
+  /// All (name, entry) pairs across shards, sorted by name. Entry pointers
+  /// stay valid after the shard locks are dropped (entries never erase).
+  std::vector<std::pair<std::string, Entry*>> sorted_entries() const;
 
   MonitorOptions options_;
   std::size_t model_parameters_ = 0;
   std::size_t min_fit_samples_ = 0;  ///< Effective (options + param floor).
 
-  mutable std::shared_mutex registry_mutex_;
-  std::map<std::string, std::unique_ptr<Entry>> streams_;
+  std::vector<std::unique_ptr<RegistryShard>> registry_;
 
   AlertEngine alerts_;
 

@@ -5,7 +5,12 @@
 
 namespace prm::live {
 
-RefitScheduler::RefitScheduler(std::size_t num_threads) {
+RefitScheduler::RefitScheduler(std::size_t num_threads)
+    : RefitScheduler(num_threads, /*deferred=*/false) {}
+
+RefitScheduler::RefitScheduler(std::size_t num_threads, bool deferred)
+    : deferred_(deferred) {
+  if (deferred_) return;  // no workers: jobs wait for claim_ready()
   const std::size_t n = std::max<std::size_t>(num_threads, 1);
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -48,7 +53,63 @@ void RefitScheduler::schedule(const std::string& key, Job job) {
 
 void RefitScheduler::drain() {
   std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [this] { return (active_ == 0 && ready_.empty()) || stop_; });
+  // Deferred mode: waiting cannot make unclaimed work run (there are no
+  // workers), so drain only waits out batches already claimed; the owner is
+  // responsible for claim/finish loops until ready_count() reaches zero.
+  idle_cv_.wait(lock, [this] {
+    return (active_ == 0 && (ready_.empty() || deferred_)) || stop_;
+  });
+}
+
+std::vector<RefitScheduler::ClaimedJob> RefitScheduler::claim_ready() {
+  std::vector<ClaimedJob> batch;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stop_) return batch;
+  batch.reserve(ready_.size());
+  while (!ready_.empty()) {
+    std::string key = std::move(ready_.front());
+    ready_.pop_front();
+    Slot& slot = slots_[key];
+    ClaimedJob claimed;
+    claimed.job = std::move(slot.pending);
+    slot.pending = nullptr;
+    slot.queued = false;
+    slot.running = true;
+    ++active_;
+    claimed.key = std::move(key);
+    batch.push_back(std::move(claimed));
+  }
+  return batch;
+}
+
+void RefitScheduler::finish_claimed(const std::vector<ClaimedJob>& batch,
+                                    std::uint64_t failures) {
+  bool rearmed = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    failed_ += failures;
+    for (const ClaimedJob& claimed : batch) {
+      Slot& slot = slots_[claimed.key];
+      ++executed_;
+      slot.running = false;
+      --active_;
+      if (slot.has_parked) {
+        slot.pending = std::move(slot.parked);
+        slot.parked = nullptr;
+        slot.has_parked = false;
+        slot.queued = true;
+        ready_.push_back(claimed.key);
+        rearmed = true;
+      }
+    }
+    if (active_ == 0 && ready_.empty()) idle_cv_.notify_all();
+  }
+  if (rearmed && !deferred_) work_cv_.notify_all();
+}
+
+std::size_t RefitScheduler::ready_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ready_.size();
 }
 
 std::uint64_t RefitScheduler::executed() const {

@@ -11,6 +11,13 @@
 // All public members are thread-safe. Jobs run outside the scheduler lock,
 // so they may call schedule() themselves; exceptions escaping a job are
 // swallowed and counted (failed()).
+//
+// Deferred mode (second constructor argument) spawns no workers: scheduled
+// jobs accumulate in the ready queue until the owner claims the whole batch
+// with claim_ready(), runs it however it likes (live::Monitor fans a batch
+// out through one prm::par parallel_map), and reports back via
+// finish_claimed(). Coalescing semantics are identical -- a claimed key
+// counts as running, so reschedules during the batch park and re-enqueue.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +39,10 @@ class RefitScheduler {
   /// Spins up `num_threads` workers (clamped to >= 1).
   explicit RefitScheduler(std::size_t num_threads = 2);
 
+  /// Deferred-mode constructor: when `deferred` is true no workers are
+  /// spawned (num_threads is ignored) and jobs wait for claim_ready().
+  RefitScheduler(std::size_t num_threads, bool deferred);
+
   /// Drains outstanding work, then stops and joins the workers.
   ~RefitScheduler();
 
@@ -46,6 +57,27 @@ class RefitScheduler {
   void drain();
 
   std::size_t num_threads() const noexcept { return workers_.size(); }
+  bool deferred() const noexcept { return deferred_; }
+
+  /// One claimed unit of work: run `job`, then pass `key` to finish_claimed.
+  struct ClaimedJob {
+    std::string key;
+    Job job;
+  };
+
+  /// Atomically take every queued job, marking each key as running so
+  /// reschedules during the batch park instead of double-running. Returns
+  /// empty when nothing is due. Intended for deferred mode (in threaded mode
+  /// it races the workers for the same queue, which is safe but pointless).
+  std::vector<ClaimedJob> claim_ready();
+
+  /// Report a claimed batch finished: re-enqueues parked reschedules and
+  /// advances the executed counter; `failures` of the batch are counted as
+  /// failed jobs (the caller owns exception handling while jobs run).
+  void finish_claimed(const std::vector<ClaimedJob>& batch, std::uint64_t failures = 0);
+
+  /// Keys currently queued (not yet claimed or picked up by a worker).
+  std::size_t ready_count() const;
 
   // Counters (monotone, for monitoring/tests).
   std::uint64_t executed() const;   ///< Jobs run to completion.
@@ -73,6 +105,7 @@ class RefitScheduler {
   std::uint64_t coalesced_ = 0;
   std::uint64_t failed_ = 0;
   bool stop_ = false;
+  bool deferred_ = false;
   std::vector<std::thread> workers_;
 };
 

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "par/task_pool.hpp"
+
 namespace prm::serve {
 
 namespace {
@@ -25,6 +27,15 @@ std::uint64_t fnv1a_doubles(std::uint64_t h, std::span<const double> values) {
     h = fnv1a(h, &bits, sizeof bits);
   }
   return h;
+}
+
+/// 64-bit finalizer (splitmix64) so shard selection uses well-mixed high
+/// entropy even if the FNV digest clusters in its low bits.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
 }
 
 }  // namespace
@@ -64,55 +75,84 @@ std::size_t FitCache::KeyHash::operator()(const FitCacheKey& key) const noexcept
   return static_cast<std::size_t>(h);
 }
 
+std::size_t FitCache::shard_index(const FitCacheKey& key,
+                                  std::size_t shard_count) noexcept {
+  if (shard_count <= 1) return 0;
+  return static_cast<std::size_t>(mix64(key.series_hash) % shard_count);
+}
+
+FitCache::FitCache(std::size_t capacity, std::size_t shards)
+    : capacity_(capacity) {
+  if (shards == 0) shards = par::TaskPool::default_threads();
+  if (shards < 1) shards = 1;
+  // Never more shards than entries: a zero-capacity shard would evict on
+  // every insert and turn part of the key space into a permanent miss.
+  if (capacity > 0 && shards > capacity) shards = capacity;
+  shards_ = std::vector<Shard>(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_[i].capacity = capacity / shards + (i < capacity % shards ? 1 : 0);
+  }
+}
+
 std::shared_ptr<const core::FitResult> FitCache::lookup(const FitCacheKey& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = index_.find(key);
-  if (it == index_.end()) {
-    ++misses_;
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
     return nullptr;
   }
-  ++hits_;
-  order_.splice(order_.begin(), order_, it->second);  // promote to MRU
+  ++shard.hits;
+  shard.order.splice(shard.order.begin(), shard.order, it->second);  // promote to MRU
   return it->second->fit;
 }
 
 void FitCache::insert(const FitCacheKey& key,
                       std::shared_ptr<const core::FitResult> fit) {
   if (capacity_ == 0) return;
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = index_.find(key);
-  if (it != index_.end()) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
     it->second->fit = std::move(fit);
-    order_.splice(order_.begin(), order_, it->second);
+    shard.order.splice(shard.order.begin(), shard.order, it->second);
     return;
   }
-  order_.push_front(Entry{key, std::move(fit)});
-  index_.emplace(key, order_.begin());
-  if (index_.size() > capacity_) {
-    index_.erase(order_.back().key);
-    order_.pop_back();
+  shard.order.push_front(Entry{key, std::move(fit)});
+  shard.index.emplace(key, shard.order.begin());
+  if (shard.index.size() > shard.capacity) {
+    shard.index.erase(shard.order.back().key);
+    shard.order.pop_back();
+    ++shard.evictions;
   }
 }
 
-std::uint64_t FitCache::hits() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return hits_;
+FitCacheStats FitCache::stats() const {
+  FitCacheStats total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total.hits += shard.hits;
+    total.misses += shard.misses;
+    total.evictions += shard.evictions;
+    total.size += shard.index.size();
+  }
+  return total;
 }
 
-std::uint64_t FitCache::misses() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return misses_;
-}
+std::uint64_t FitCache::hits() const { return stats().hits; }
 
-std::size_t FitCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return index_.size();
-}
+std::uint64_t FitCache::misses() const { return stats().misses; }
+
+std::uint64_t FitCache::evictions() const { return stats().evictions; }
+
+std::size_t FitCache::size() const { return stats().size; }
 
 void FitCache::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  order_.clear();
-  index_.clear();
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.order.clear();
+    shard.index.clear();
+  }
 }
 
 }  // namespace prm::serve

@@ -1,6 +1,6 @@
-// LRU cache of fit results keyed by (series content hash, model family, fit
-// options), so identical /v1/fit -- and /v1/forecast, /v1/metrics, which fit
-// internally -- requests skip the multistart optimizer entirely.
+// Striped LRU cache of fit results keyed by (series content hash, model
+// family, fit options), so identical /v1/fit -- and /v1/forecast, /v1/metrics,
+// which fit internally -- requests skip the multistart optimizer entirely.
 //
 // Keying: the series' time/value doubles are FNV-1a hashed bit-for-bit, and
 // the full key (hash + length + model name + holdout + loss kind/scale) is
@@ -9,6 +9,15 @@
 // wrong hit being served, unless the digests AND all scalar fields collide
 // (vanishingly unlikely and bounded by the FNV quality, which unit tests
 // exercise with near-identical series).
+//
+// Sharding: the cache is striped into S independent LRU shards, each with its
+// own mutex, order list, and hit/miss/eviction counters. The shard for a key
+// is a mix of its series_hash (shard_index()), so concurrent requests for
+// distinct series almost never contend on the same lock and the cache stops
+// being a convoy point under load. Capacity is divided across shards (the
+// first capacity % S shards get one extra slot); eviction is LRU *within a
+// shard*, which approximates global LRU the way any striped cache does.
+// shards == 1 recovers the exact single-list LRU semantics.
 //
 // Values are shared_ptr<const FitResult>: a hit hands out a reference to the
 // immutable cached fit with no copying; eviction never invalidates a result a
@@ -21,6 +30,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "core/fitting.hpp"
 #include "data/time_series.hpp"
@@ -52,24 +62,48 @@ bool cacheable(const core::FitOptions& options);
 /// FNV-1a over the raw bytes of the series' time and value arrays.
 std::uint64_t hash_series(const data::PerformanceSeries& series);
 
+/// Aggregated counters across every shard, snapshotted shard-by-shard (the
+/// totals are each internally consistent but not a single atomic cut).
+struct FitCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t size = 0;
+};
+
 class FitCache {
  public:
   /// capacity == 0 disables caching (every lookup misses, inserts drop).
-  explicit FitCache(std::size_t capacity) : capacity_(capacity) {}
+  /// shards == 0 picks one shard per pool thread (par::TaskPool default);
+  /// the count is always clamped to [1, max(capacity, 1)] so every shard
+  /// holds at least one entry.
+  explicit FitCache(std::size_t capacity, std::size_t shards = 1);
 
-  /// nullptr on miss. A hit promotes the entry to most-recently-used.
+  /// nullptr on miss. A hit promotes the entry to most-recently-used within
+  /// its shard.
   std::shared_ptr<const core::FitResult> lookup(const FitCacheKey& key);
 
-  /// Insert (or refresh) an entry, evicting the least-recently-used one when
-  /// over capacity. Racing inserts of the same key keep the newest value.
+  /// Insert (or refresh) an entry, evicting the shard's least-recently-used
+  /// one when over that shard's capacity. Racing inserts of the same key keep
+  /// the newest value.
   void insert(const FitCacheKey& key, std::shared_ptr<const core::FitResult> fit);
 
   std::uint64_t hits() const;
   std::uint64_t misses() const;
+  std::uint64_t evictions() const;
   std::size_t size() const;
   std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t shards() const noexcept { return shards_.size(); }
 
+  /// All counters in one pass over the shards.
+  FitCacheStats stats() const;
+
+  /// Drop every entry; counters persist (they are lifetime totals).
   void clear();
+
+  /// Which shard a key lands in for a cache with `shard_count` shards.
+  /// Exposed so tests can construct shard-aliased key sets deliberately.
+  static std::size_t shard_index(const FitCacheKey& key, std::size_t shard_count) noexcept;
 
  private:
   struct KeyHash {
@@ -81,12 +115,25 @@ class FitCache {
   };
   using Order = std::list<Entry>;  ///< Front = most recently used.
 
+  /// One independent LRU stripe. Never moved after construction (the vector
+  /// is sized once in the constructor), so the mutex is safe to hold by
+  /// reference.
+  struct Shard {
+    mutable std::mutex mutex;
+    std::size_t capacity = 0;
+    Order order;
+    std::unordered_map<FitCacheKey, Order::iterator, KeyHash> index;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  Shard& shard_for(const FitCacheKey& key) {
+    return shards_[shard_index(key, shards_.size())];
+  }
+
   std::size_t capacity_;
-  mutable std::mutex mutex_;
-  Order order_;
-  std::unordered_map<FitCacheKey, Order::iterator, KeyHash> index_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  std::vector<Shard> shards_;
 };
 
 }  // namespace prm::serve

@@ -1,5 +1,6 @@
 #include "serve/handlers.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <span>
 #include <stdexcept>
@@ -12,30 +13,23 @@
 #include "core/predictor.hpp"
 #include "core/validation.hpp"
 #include "optimize/problem.hpp"
+#include "serve/json_writer.hpp"
 
 namespace prm::serve {
 
 namespace {
 
-Json error_json(const std::string& message) {
-  JsonObject o;
-  o["error"] = Json(message);
-  return Json(std::move(o));
-}
+// Every response below is built in the calling worker's reusable JsonWriter
+// arena (thread_json_writer) -- no Json tree, no per-node allocations. To
+// keep the wire format byte-identical to the old Json::dump() path (which
+// serialized std::map objects), keys are emitted in sorted order throughout.
 
 http::Response error_response(int status, const std::string& message) {
-  return http::Response::json(status, error_json(message).dump());
-}
-
-Json to_json(std::span<const double> values) {
-  JsonArray a;
-  a.reserve(values.size());
-  for (const double v : values) a.push_back(Json(v));
-  return Json(std::move(a));
-}
-
-Json to_json(const std::optional<double>& v) {
-  return v ? Json(*v) : Json(nullptr);
+  JsonWriter& w = thread_json_writer();
+  w.begin_object();
+  w.kv("error", message);
+  w.end_object();
+  return http::Response::json(status, w.str());
 }
 
 /// Read a non-negative integral field ("holdout", "steps"); throws
@@ -59,7 +53,9 @@ struct App::FitRequest {
 };
 
 App::App(AppOptions options)
-    : options_(std::move(options)), cache_(options_.cache_capacity) {
+    : options_(std::move(options)),
+      cache_(options_.cache_capacity, options_.cache_shards),
+      response_cache_(options_.cache_capacity, options_.cache_shards) {
   if (!core::ModelRegistry::instance().contains(options_.default_model)) {
     throw std::out_of_range("App: unknown default model '" + options_.default_model +
                             "'");
@@ -144,6 +140,30 @@ std::pair<std::shared_ptr<const core::FitResult>, bool> App::fit_or_cache(
   return {std::move(fit), false};
 }
 
+http::Response App::cached_post(std::string_view route, const http::Request& request,
+                                http::Response (App::*handler)(const http::Request&)) {
+  if (const auto body = response_cache_.lookup(route, request.body)) {
+    return http::Response::json(200, *body);
+  }
+  http::Response response = (this->*handler)(request);
+  if (response.status == 200) {
+    // Patch the cache label before storing: a later identical request would
+    // have reported "hit". The raw bytes `"cache":"miss"` cannot occur inside
+    // any JSON string value (interior quotes are always escaped), so the
+    // first match is the top-level field; absent means the handler already
+    // said "hit" (fit-cache hit) and the body stores as-is.
+    std::string stored = response.body;
+    static constexpr std::string_view kMissField = "\"cache\":\"miss\"";
+    static constexpr std::string_view kHitField = "\"cache\":\"hit\"";
+    if (const auto pos = stored.find(kMissField); pos != std::string::npos) {
+      stored.replace(pos, kMissField.size(), kHitField);
+    }
+    response_cache_.insert(route, request.body,
+                           std::make_shared<const std::string>(std::move(stored)));
+  }
+  return response;
+}
+
 http::Response App::handle(const http::Request& request) {
   try {
     const std::string& target = request.target;
@@ -160,14 +180,15 @@ http::Response App::handle(const http::Request& request) {
       return is_get ? handle_models() : error_response(405, "use GET /v1/models");
     }
     if (target == "/v1/fit") {
-      return is_post ? handle_fit(request) : error_response(405, "use POST /v1/fit");
+      return is_post ? cached_post(target, request, &App::handle_fit)
+                     : error_response(405, "use POST /v1/fit");
     }
     if (target == "/v1/forecast") {
-      return is_post ? handle_forecast(request)
+      return is_post ? cached_post(target, request, &App::handle_forecast)
                      : error_response(405, "use POST /v1/forecast");
     }
     if (target == "/v1/metrics") {
-      return is_post ? handle_interval_metrics(request)
+      return is_post ? cached_post(target, request, &App::handle_interval_metrics)
                      : error_response(405, "use POST /v1/metrics");
     }
     if (target == "/v1/streams" || target == "/v1/streams/") {
@@ -198,75 +219,113 @@ http::Response App::handle(const http::Request& request) {
 }
 
 http::Response App::handle_healthz() const {
-  JsonObject o;
-  o["status"] = Json("ok");
-  o["service"] = Json("prm-serve");
-  return http::Response::json(200, Json(std::move(o)).dump());
+  JsonWriter& w = thread_json_writer();
+  w.begin_object();
+  w.kv("service", "prm-serve");
+  w.kv("status", "ok");
+  w.end_object();
+  return http::Response::json(200, w.str());
 }
 
 http::Response App::handle_metrics() const {
-  Json out = Json::object();
+  const FitCacheStats cache_stats = cache_.stats();
+  JsonWriter& w = thread_json_writer();
+  w.begin_object();
+
+  w.key("fit_cache");
+  w.begin_object();
+  w.kv("capacity", cache_.capacity());
+  w.kv("evictions", cache_stats.evictions);
+  w.kv("hits", cache_stats.hits);
+  w.kv("misses", cache_stats.misses);
+  w.kv("shards", cache_.shards());
+  w.kv("size", cache_stats.size);
+  w.end_object();
+
+  w.kv("fits_computed", fits_computed());
+
+  w.key("monitor");
+  w.begin_object();
+  w.kv("refits_coalesced", monitor_->refits_coalesced());
+  w.kv("refits_executed", monitor_->refits_executed());
+  w.kv("refits_failed", monitor_->refits_failed());
+  w.kv("shards", monitor_->registry_shards());
+  w.kv("streams", monitor_->stream_count());
+  w.end_object();
+
+  const ResponseCacheStats response_stats = response_cache_.stats();
+  w.key("response_cache");
+  w.begin_object();
+  w.kv("capacity", response_cache_.capacity());
+  w.kv("evictions", response_stats.evictions);
+  w.kv("hits", response_stats.hits);
+  w.kv("misses", response_stats.misses);
+  w.kv("shards", response_cache_.shards());
+  w.kv("size", response_stats.size);
+  w.end_object();
+
   {
     std::lock_guard<std::mutex> lock(stats_provider_mutex_);
     if (stats_provider_) {
       const ServerStats s = stats_provider_();
-      Json server = Json::object();
-      server["connections_accepted"] = Json(s.connections_accepted);
-      server["connections_rejected"] = Json(s.connections_rejected);
-      server["requests_total"] = Json(s.requests_total);
-      server["responses_2xx"] = Json(s.responses_2xx);
-      server["responses_4xx"] = Json(s.responses_4xx);
-      server["responses_5xx"] = Json(s.responses_5xx);
-      server["parse_errors"] = Json(s.parse_errors);
-      server["queue_depth"] = Json(s.queue_depth);
-      server["threads"] = Json(s.threads);
-      Json buckets = Json::array();
+      w.key("server");
+      w.begin_object();
+      w.kv("connections_accepted", s.connections_accepted);
+      w.kv("connections_rejected", s.connections_rejected);
+      w.key("latency_histogram");
+      w.begin_array();
       for (std::size_t i = 0; i < s.latency_buckets.size(); ++i) {
-        Json bucket = Json::object();
-        bucket["le_us"] = i < kLatencyBucketEdgesUs.size()
-                              ? Json(kLatencyBucketEdgesUs[i])
-                              : Json(nullptr);  // null = +inf overflow bucket
-        bucket["count"] = Json(s.latency_buckets[i]);
-        buckets.push_back(std::move(bucket));
+        w.begin_object();
+        w.kv("count", s.latency_buckets[i]);
+        if (i < kLatencyBucketEdgesUs.size()) {
+          w.kv("le_us", kLatencyBucketEdgesUs[i]);
+        } else {
+          w.kv_null("le_us");  // null = +inf overflow bucket
+        }
+        w.end_object();
       }
-      server["latency_histogram"] = std::move(buckets);
-      out["server"] = std::move(server);
+      w.end_array();
+      w.kv("parse_errors", s.parse_errors);
+      w.kv("queue_depth", s.queue_depth);
+      w.key("queue_depths");
+      w.begin_array();
+      for (const std::size_t depth : s.queue_depths) w.number(depth);
+      w.end_array();
+      w.kv("requests_total", s.requests_total);
+      w.kv("responses_2xx", s.responses_2xx);
+      w.kv("responses_4xx", s.responses_4xx);
+      w.kv("responses_5xx", s.responses_5xx);
+      w.kv("threads", s.threads);
+      w.end_object();
     } else {
-      out["server"] = Json(nullptr);
+      w.kv_null("server");
     }
   }
-  Json cache = Json::object();
-  cache["hits"] = Json(cache_.hits());
-  cache["misses"] = Json(cache_.misses());
-  cache["size"] = Json(cache_.size());
-  cache["capacity"] = Json(cache_.capacity());
-  out["fit_cache"] = std::move(cache);
-  out["fits_computed"] = Json(fits_computed());
-  Json mon = Json::object();
-  mon["streams"] = Json(monitor_->stream_count());
-  mon["refits_executed"] = Json(monitor_->refits_executed());
-  mon["refits_coalesced"] = Json(monitor_->refits_coalesced());
-  out["monitor"] = std::move(mon);
-  return http::Response::json(200, out.dump());
+  w.end_object();
+  return http::Response::json(200, w.str());
 }
 
 http::Response App::handle_models() const {
-  Json models = Json::array();
+  JsonWriter& w = thread_json_writer();
+  w.begin_object();
+  w.key("models");
+  w.begin_array();
   for (const std::string& name : core::ModelRegistry::instance().names()) {
     const core::ModelPtr model = core::ModelRegistry::instance().create(name);
-    Json entry = Json::object();
-    entry["name"] = Json(name);
-    entry["display"] = Json(core::display_label(name));
-    entry["parameters"] = Json(model->num_parameters());
-    Json names = Json::array();
-    for (const std::string& p : model->parameter_names()) names.push_back(Json(p));
-    entry["parameter_names"] = std::move(names);
-    entry["description"] = Json(model->description());
-    models.push_back(std::move(entry));
+    w.begin_object();
+    w.kv("description", model->description());
+    w.kv("display", core::display_label(name));
+    w.kv("name", name);
+    w.key("parameter_names");
+    w.begin_array();
+    for (const std::string& p : model->parameter_names()) w.string(p);
+    w.end_array();
+    w.kv("parameters", model->num_parameters());
+    w.end_object();
   }
-  Json out = Json::object();
-  out["models"] = std::move(models);
-  return http::Response::json(200, out.dump());
+  w.end_array();
+  w.end_object();
+  return http::Response::json(200, w.str());
 }
 
 http::Response App::handle_fit(const http::Request& request) {
@@ -278,56 +337,76 @@ http::Response App::handle_fit(const http::Request& request) {
   const double level =
       json_number_or(body, "level", fit_request.series.value(0));
 
-  Json out = Json::object();
-  out["model"] = Json(fit_request.model);
-  out["display_model"] = Json(core::display_label(fit_request.model));
-  out["holdout"] = Json(fit_request.holdout);
-  out["cache"] = Json(cache_hit ? "hit" : "miss");
+  JsonWriter& w = thread_json_writer();
+  w.begin_object();
 
-  Json parameters = Json::object();
+  w.key("band");
+  w.begin_object();
+  w.kv("half_width", report.band.half_width);
+  w.key("lower");
+  w.numbers(report.band.lower);
+  w.key("times");
+  w.numbers(fit_request.series.times());
+  w.key("upper");
+  w.numbers(report.band.upper);
+  w.end_object();
+
+  w.kv("cache", cache_hit ? "hit" : "miss");
+  w.kv("display_model", core::display_label(fit_request.model));
+  w.kv("holdout", fit_request.holdout);
+  w.kv("model", fit_request.model);
+
+  w.key("parameter_vector");
+  w.numbers(fit->parameters());
+
+  // Named parameters sorted by name (the old JsonObject sorted its keys).
   const auto names = fit->model().parameter_names();
+  std::vector<std::pair<std::string_view, double>> named;
+  named.reserve(names.size());
   for (std::size_t i = 0; i < names.size(); ++i) {
-    parameters[names[i]] = Json(fit->parameters()[i]);
+    named.emplace_back(names[i], fit->parameters()[i]);
   }
-  out["parameters"] = std::move(parameters);
-  out["parameter_vector"] = to_json(fit->parameters());
+  std::sort(named.begin(), named.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.key("parameters");
+  w.begin_object();
+  for (const auto& [name, value] : named) w.kv(name, value);
+  w.end_object();
 
-  Json validation = Json::object();
-  validation["sse"] = Json(report.sse);
-  validation["pmse"] = Json(report.pmse);
-  validation["r2_adj"] = Json(report.r2_adj);
-  validation["ec"] = Json(report.ec);
-  validation["aic"] = Json(report.aic);
-  validation["bic"] = Json(report.bic);
-  validation["theil_u"] = Json(report.theil_u);
-  out["validation"] = std::move(validation);
+  w.key("recovery");
+  w.begin_object();
+  w.kv("level", level);
+  w.kv("time", core::predict_recovery_time(*fit, level));
+  w.end_object();
 
-  Json recovery = Json::object();
-  recovery["level"] = Json(level);
-  recovery["time"] = to_json(core::predict_recovery_time(*fit, level));
-  out["recovery"] = std::move(recovery);
+  w.key("solver");
+  w.begin_object();
+  w.kv("function_evaluations", fit->function_evaluations);
+  w.kv("iterations", fit->iterations);
+  w.kv("sse", fit->sse);
+  w.kv("starts_tried", fit->starts_tried);
+  w.kv("stop", opt::to_string(fit->stop_reason));
+  w.end_object();
 
-  Json trough = Json::object();
-  trough["time"] = Json(core::predict_trough_time(*fit));
-  trough["value"] = Json(core::predict_trough_value(*fit));
-  out["trough"] = std::move(trough);
+  w.key("trough");
+  w.begin_object();
+  w.kv("time", core::predict_trough_time(*fit));
+  w.kv("value", core::predict_trough_value(*fit));
+  w.end_object();
 
-  Json band = Json::object();
-  band["half_width"] = Json(report.band.half_width);
-  band["times"] = to_json(fit_request.series.times());
-  band["lower"] = to_json(report.band.lower);
-  band["upper"] = to_json(report.band.upper);
-  out["band"] = std::move(band);
+  w.key("validation");
+  w.begin_object();
+  w.kv("aic", report.aic);
+  w.kv("bic", report.bic);
+  w.kv("ec", report.ec);
+  w.kv("pmse", report.pmse);
+  w.kv("r2_adj", report.r2_adj);
+  w.kv("sse", report.sse);
+  w.kv("theil_u", report.theil_u);
+  w.end_object();
 
-  Json solver = Json::object();
-  solver["sse"] = Json(fit->sse);
-  solver["stop"] = Json(std::string(opt::to_string(fit->stop_reason)));
-  solver["starts_tried"] = Json(fit->starts_tried);
-  solver["iterations"] = Json(fit->iterations);
-  solver["function_evaluations"] = Json(fit->function_evaluations);
-  out["solver"] = std::move(solver);
-
-  return http::Response::json(200, out.dump());
+  w.end_object();
+  return http::Response::json(200, w.str());
 }
 
 http::Response App::handle_forecast(const http::Request& request) {
@@ -343,22 +422,25 @@ http::Response App::handle_forecast(const http::Request& request) {
   const auto [fit, cache_hit] = fit_or_cache(fit_request);
   const core::ForecastResult forecast = core::forecast_horizon(*fit, steps, dt, alpha);
 
-  Json out = Json::object();
-  out["model"] = Json(fit_request.model);
-  out["cache"] = Json(cache_hit ? "hit" : "miss");
-  out["used_delta_method"] = Json(forecast.used_delta_method);
-  out["sigma2"] = Json(forecast.sigma2);
-  Json points = Json::array();
+  JsonWriter& w = thread_json_writer();
+  w.begin_object();
+  w.kv("cache", cache_hit ? "hit" : "miss");
+  w.kv("model", fit_request.model);
+  w.key("points");
+  w.begin_array();
   for (const core::ForecastPoint& p : forecast.points) {
-    Json point = Json::object();
-    point["t"] = Json(p.t);
-    point["value"] = Json(p.value);
-    point["lower"] = Json(p.lower);
-    point["upper"] = Json(p.upper);
-    points.push_back(std::move(point));
+    w.begin_object();
+    w.kv("lower", p.lower);
+    w.kv("t", p.t);
+    w.kv("upper", p.upper);
+    w.kv("value", p.value);
+    w.end_object();
   }
-  out["points"] = std::move(points);
-  return http::Response::json(200, out.dump());
+  w.end_array();
+  w.kv("sigma2", forecast.sigma2);
+  w.kv("used_delta_method", forecast.used_delta_method);
+  w.end_object();
+  return http::Response::json(200, w.str());
 }
 
 http::Response App::handle_interval_metrics(const http::Request& request) {
@@ -371,29 +453,35 @@ http::Response App::handle_interval_metrics(const http::Request& request) {
   metric_options.alpha_weight = json_number_or(body, "alpha_weight", 0.5);
 
   const auto [fit, cache_hit] = fit_or_cache(fit_request);
-  Json out = Json::object();
-  out["model"] = Json(fit_request.model);
-  out["holdout"] = Json(fit_request.holdout);
-  out["cache"] = Json(cache_hit ? "hit" : "miss");
-  Json rows = Json::array();
+  JsonWriter& w = thread_json_writer();
+  w.begin_object();
+  w.kv("cache", cache_hit ? "hit" : "miss");
+  w.kv("holdout", fit_request.holdout);
+  w.key("metrics");
+  w.begin_array();
   for (const core::MetricValue& m : core::predictive_metrics(*fit, metric_options)) {
-    Json row = Json::object();
-    row["metric"] = Json(std::string(core::to_string(m.kind)));
-    row["actual"] = Json(m.actual);
-    row["predicted"] = Json(m.predicted);
-    row["relative_error"] = Json(m.relative_error);
-    rows.push_back(std::move(row));
+    w.begin_object();
+    w.kv("actual", m.actual);
+    w.kv("metric", core::to_string(m.kind));
+    w.kv("predicted", m.predicted);
+    w.kv("relative_error", m.relative_error);
+    w.end_object();
   }
-  out["metrics"] = std::move(rows);
-  return http::Response::json(200, out.dump());
+  w.end_array();
+  w.kv("model", fit_request.model);
+  w.end_object();
+  return http::Response::json(200, w.str());
 }
 
 http::Response App::handle_stream_list() const {
-  Json streams = Json::array();
-  for (const std::string& name : monitor_->stream_names()) streams.push_back(Json(name));
-  Json out = Json::object();
-  out["streams"] = std::move(streams);
-  return http::Response::json(200, out.dump());
+  JsonWriter& w = thread_json_writer();
+  w.begin_object();
+  w.key("streams");
+  w.begin_array();
+  for (const std::string& name : monitor_->stream_names()) w.string(name);
+  w.end_array();
+  w.end_object();
+  return http::Response::json(200, w.str());
 }
 
 http::Response App::handle_stream_get(const std::string& name) const {
@@ -404,49 +492,65 @@ http::Response App::handle_stream_get(const std::string& name) const {
     return error_response(404, "unknown stream '" + name + "'");
   }
 
-  Json out = Json::object();
-  out["stream"] = Json(snap.name);
-  out["phase"] = Json(std::string(live::to_string(snap.phase)));
-  out["samples_seen"] = Json(snap.samples_seen);
-  out["last_time"] = Json(snap.last_time);
-  out["last_value"] = Json(snap.last_value);
-  out["event_ordinal"] = Json(snap.event_ordinal);
-  out["event_active"] = Json(snap.event_active);
-  out["onset_time"] = to_json(snap.onset_time);
-  Json trough = Json::object();
-  trough["time"] = to_json(snap.trough_time);
-  trough["value"] = to_json(snap.trough_value);
-  out["trough"] = std::move(trough);
+  JsonWriter& w = thread_json_writer();
+  w.begin_object();
+  w.kv("event_active", snap.event_active);
+  w.kv("event_ordinal", snap.event_ordinal);
 
   if (snap.has_fit) {
-    Json fit = Json::object();
-    fit["model"] = Json(snap.model);
-    fit["parameters"] = to_json(snap.parameters);
-    fit["sse"] = Json(snap.fit_sse);
-    fit["predicted_recovery_time"] = to_json(snap.predicted_recovery_time);
-    fit["predicted_trough_time"] = to_json(snap.predicted_trough_time);
-    fit["predicted_trough_value"] = to_json(snap.predicted_trough_value);
-    out["fit"] = std::move(fit);
+    w.key("fit");
+    w.begin_object();
+    w.kv("model", snap.model);
+    w.key("parameters");
+    w.numbers(snap.parameters);
+    w.kv("predicted_recovery_time", snap.predicted_recovery_time);
+    w.kv("predicted_trough_time", snap.predicted_trough_time);
+    w.kv("predicted_trough_value", snap.predicted_trough_value);
+    w.kv("sse", snap.fit_sse);
+    w.end_object();
   } else {
-    out["fit"] = Json(nullptr);
+    w.kv_null("fit");
   }
 
   if (snap.has_horizon_metrics) {
-    Json metrics = Json::object();
+    // Metric names sorted to match the old JsonObject key order.
+    std::array<std::pair<std::string_view, double>, 8> metrics;
     for (std::size_t i = 0; i < core::kAllMetrics.size(); ++i) {
-      metrics[core::to_string(core::kAllMetrics[i])] = Json(snap.horizon_metrics[i]);
+      metrics[i] = {core::to_string(core::kAllMetrics[i]), snap.horizon_metrics[i]};
     }
-    out["horizon_metrics"] = std::move(metrics);
+    std::sort(metrics.begin(), metrics.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    w.key("horizon_metrics");
+    w.begin_object();
+    for (const auto& [metric, value] : metrics) w.kv(metric, value);
+    w.end_object();
   } else {
-    out["horizon_metrics"] = Json(nullptr);
+    w.kv_null("horizon_metrics");
   }
 
-  Json refits = Json::object();
-  refits["total"] = Json(snap.refits);
-  refits["warm"] = Json(snap.warm_refits);
-  refits["failed"] = Json(snap.failed_refits);
-  out["refits"] = std::move(refits);
-  return http::Response::json(200, out.dump());
+  w.kv("last_time", snap.last_time);
+  w.kv("last_value", snap.last_value);
+  w.kv("onset_time", snap.onset_time);
+  w.kv("phase", live::to_string(snap.phase));
+
+  w.key("refits");
+  w.begin_object();
+  w.kv("failed", snap.failed_refits);
+  w.kv("total", snap.refits);
+  w.kv("warm", snap.warm_refits);
+  w.end_object();
+
+  w.kv("samples_seen", snap.samples_seen);
+  w.kv("stream", snap.name);
+
+  w.key("trough");
+  w.begin_object();
+  w.kv("time", snap.trough_time);
+  w.kv("value", snap.trough_value);
+  w.end_object();
+
+  w.end_object();
+  return http::Response::json(200, w.str());
 }
 
 http::Response App::handle_stream_ingest(const std::string& name,
@@ -469,27 +573,36 @@ http::Response App::handle_stream_ingest(const std::string& name,
   }
   if (samples.empty()) throw std::runtime_error("no samples provided");
 
-  Json transitions = Json::array();
-  // Out-of-order times / bad stream names throw std::invalid_argument -> 400.
+  // Ingest first (out-of-order times / bad stream names throw -> 400), then
+  // serialize: the writer arena must not be live across monitor_ calls that
+  // can throw mid-document.
+  std::vector<live::TransitionEvent> transitions;
   for (const auto& [t, value] : samples) {
     for (const live::TransitionEvent& tr : monitor_->ingest(name, t, value)) {
-      Json event = Json::object();
-      event["from"] = Json(std::string(live::to_string(tr.from)));
-      event["to"] = Json(std::string(live::to_string(tr.to)));
-      event["t"] = Json(tr.t);
-      transitions.push_back(std::move(event));
+      transitions.push_back(tr);
     }
   }
-
   const live::StreamSnapshot snap = monitor_->snapshot(name);
-  Json out = Json::object();
-  out["stream"] = Json(name);
-  out["accepted"] = Json(samples.size());
-  out["phase"] = Json(std::string(live::to_string(snap.phase)));
-  out["event_ordinal"] = Json(snap.event_ordinal);
-  out["event_active"] = Json(snap.event_active);
-  out["transitions"] = std::move(transitions);
-  return http::Response::json(200, out.dump());
+
+  JsonWriter& w = thread_json_writer();
+  w.begin_object();
+  w.kv("accepted", samples.size());
+  w.kv("event_active", snap.event_active);
+  w.kv("event_ordinal", snap.event_ordinal);
+  w.kv("phase", live::to_string(snap.phase));
+  w.kv("stream", name);
+  w.key("transitions");
+  w.begin_array();
+  for (const live::TransitionEvent& tr : transitions) {
+    w.begin_object();
+    w.kv("from", live::to_string(tr.from));
+    w.kv("t", tr.t);
+    w.kv("to", live::to_string(tr.to));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return http::Response::json(200, w.str());
 }
 
 }  // namespace prm::serve

@@ -34,6 +34,7 @@
 #include "serve/fit_cache.hpp"
 #include "serve/http.hpp"
 #include "serve/json.hpp"
+#include "serve/response_cache.hpp"
 #include "serve/server.hpp"
 
 namespace prm::serve {
@@ -44,6 +45,10 @@ struct AppOptions {
 
   /// LRU fit-cache capacity; 0 disables caching.
   std::size_t cache_capacity = 256;
+
+  /// Fit-cache stripe count; 0 = one shard per prm::par pool thread (see
+  /// FitCache). Clamped so every shard holds at least one entry.
+  std::size_t cache_shards = 0;
 
   /// Reject uploaded series longer than this (guards allocation).
   std::size_t max_series_samples = 200000;
@@ -68,6 +73,7 @@ class App {
   http::Response handle(const http::Request& request);
 
   FitCache& fit_cache() noexcept { return cache_; }
+  ResponseCache& response_cache() noexcept { return response_cache_; }
   live::Monitor& monitor() noexcept { return *monitor_; }
 
   /// Number of fits that actually ran the optimizer (cache misses).
@@ -86,6 +92,12 @@ class App {
   std::pair<std::shared_ptr<const core::FitResult>, bool> fit_or_cache(
       const FitRequest& request);
 
+  /// Serve (route, body) from the rendered-response cache, or run `handler`
+  /// and cache its 200 response (with the cache label patched to "hit", which
+  /// is what every later identical request would have reported).
+  http::Response cached_post(std::string_view route, const http::Request& request,
+                             http::Response (App::*handler)(const http::Request&));
+
   http::Response handle_healthz() const;
   http::Response handle_metrics() const;
   http::Response handle_models() const;
@@ -99,6 +111,7 @@ class App {
 
   AppOptions options_;
   FitCache cache_;
+  ResponseCache response_cache_;
   std::unique_ptr<live::Monitor> monitor_;
   std::atomic<std::uint64_t> fits_computed_{0};
 

@@ -237,9 +237,48 @@ class Parser {
   std::size_t pos_ = 0;
 };
 
-void dump_string(const std::string& s, std::string& out) {
+void dump_value(const Json& v, std::string& out);
+
+void dump_array(const JsonArray& a, std::string& out) {
+  out.push_back('[');
+  bool first = true;
+  for (const Json& element : a) {
+    if (!first) out.push_back(',');
+    first = false;
+    dump_value(element, out);
+  }
+  out.push_back(']');
+}
+
+void dump_object(const JsonObject& o, std::string& out) {
+  out.push_back('{');
+  bool first = true;
+  for (const auto& [key, value] : o) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(key, out);
+    out.push_back(':');
+    dump_value(value, out);
+  }
+  out.push_back('}');
+}
+
+void dump_value(const Json& v, std::string& out) {
+  switch (v.type()) {
+    case Json::Type::kNull: out += "null"; break;
+    case Json::Type::kBool: out += v.as_bool() ? "true" : "false"; break;
+    case Json::Type::kNumber: append_json_number(v.as_number(), out); break;
+    case Json::Type::kString: append_json_string(v.as_string(), out); break;
+    case Json::Type::kArray: dump_array(v.as_array(), out); break;
+    case Json::Type::kObject: dump_object(v.as_object(), out); break;
+  }
+}
+
+}  // namespace
+
+void append_json_string(std::string_view text, std::string& out) {
   out.push_back('"');
-  for (const char c : s) {
+  for (const char c : text) {
     switch (c) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
@@ -261,55 +300,16 @@ void dump_string(const std::string& s, std::string& out) {
   out.push_back('"');
 }
 
-void dump_number(double d, std::string& out) {
-  if (!std::isfinite(d)) {  // JSON has no NaN/Inf spelling
+void append_json_number(double value, std::string& out) {
+  if (!std::isfinite(value)) {  // JSON has no NaN/Inf spelling
     out += "null";
     return;
   }
   char buf[32];
-  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, d);
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, value);
   (void)ec;  // 32 bytes always fit the shortest representation
   out.append(buf, end);
 }
-
-void dump_value(const Json& v, std::string& out);
-
-void dump_array(const JsonArray& a, std::string& out) {
-  out.push_back('[');
-  bool first = true;
-  for (const Json& element : a) {
-    if (!first) out.push_back(',');
-    first = false;
-    dump_value(element, out);
-  }
-  out.push_back(']');
-}
-
-void dump_object(const JsonObject& o, std::string& out) {
-  out.push_back('{');
-  bool first = true;
-  for (const auto& [key, value] : o) {
-    if (!first) out.push_back(',');
-    first = false;
-    dump_string(key, out);
-    out.push_back(':');
-    dump_value(value, out);
-  }
-  out.push_back('}');
-}
-
-void dump_value(const Json& v, std::string& out) {
-  switch (v.type()) {
-    case Json::Type::kNull: out += "null"; break;
-    case Json::Type::kBool: out += v.as_bool() ? "true" : "false"; break;
-    case Json::Type::kNumber: dump_number(v.as_number(), out); break;
-    case Json::Type::kString: dump_string(v.as_string(), out); break;
-    case Json::Type::kArray: dump_array(v.as_array(), out); break;
-    case Json::Type::kObject: dump_object(v.as_object(), out); break;
-  }
-}
-
-}  // namespace
 
 bool Json::as_bool() const {
   if (const bool* b = std::get_if<bool>(&value_)) return *b;

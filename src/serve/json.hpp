@@ -92,6 +92,14 @@ class Json {
   std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject> value_;
 };
 
+/// Append the JSON spelling of `value` to `out` (shortest round-trippable
+/// form via std::to_chars; NaN/Inf become null). Shared by Json::dump and
+/// JsonWriter so both serializers emit bit-identical documents.
+void append_json_number(double value, std::string& out);
+
+/// Append `text` as a quoted, escaped JSON string to `out`.
+void append_json_string(std::string_view text, std::string& out);
+
 /// Helpers for the handler layer: required/optional typed member access with
 /// route-quality error messages (thrown as std::runtime_error, mapped to 400).
 double json_number(const Json& obj, std::string_view key);

@@ -1,0 +1,21 @@
+#include "serve/json_writer.hpp"
+
+#include "serve/json.hpp"
+
+namespace prm::serve {
+
+void JsonWriter::append_number(double value) {
+  append_json_number(value, buffer_);
+}
+
+void JsonWriter::append_quoted(std::string_view text) {
+  append_json_string(text, buffer_);
+}
+
+JsonWriter& thread_json_writer() {
+  thread_local JsonWriter writer;
+  writer.clear();
+  return writer;
+}
+
+}  // namespace prm::serve

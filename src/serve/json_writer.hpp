@@ -1,0 +1,170 @@
+// Arena-backed streaming JSON writer -- the zero-tree serializer for the
+// serve hot path.
+//
+// Json (json.hpp) builds a map/vector tree and then dumps it; for a 2-3 KB
+// response that is dozens of node allocations per request. JsonWriter emits
+// bytes directly into one reusable std::string arena: begin_object()/key()/
+// number() append in order, comma and colon placement is tracked by a tiny
+// container stack, and clear() rewinds the arena without releasing its
+// capacity. A worker thread that serves requests through thread_json_writer()
+// therefore serializes every response with zero heap allocations once its
+// arena has grown to the working-set size.
+//
+// Output is byte-identical to Json::dump() for the same document shape and
+// key order (both delegate to append_json_number/append_json_string), except
+// that the caller controls key order instead of std::map's sorting.
+//
+// Not thread-safe; use one writer per thread (thread_json_writer()).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace prm::serve {
+
+class JsonWriter {
+ public:
+  JsonWriter() { buffer_.reserve(kInitialArenaBytes); }
+
+  /// Rewind the arena for a new document; capacity is retained.
+  void clear() {
+    buffer_.clear();
+    stack_.clear();
+    after_key_ = false;
+  }
+
+  /// The document serialized so far. A complete document requires every
+  /// begin_*() to have been closed (asserted in debug builds via depth()).
+  const std::string& str() const noexcept { return buffer_; }
+  std::size_t depth() const noexcept { return stack_.size(); }
+
+  void begin_object() {
+    comma_for_value();
+    buffer_.push_back('{');
+    stack_.push_back(kFreshContainer);
+  }
+  void end_object() {
+    stack_.pop_back();
+    buffer_.push_back('}');
+  }
+  void begin_array() {
+    comma_for_value();
+    buffer_.push_back('[');
+    stack_.push_back(kFreshContainer);
+  }
+  void end_array() {
+    stack_.pop_back();
+    buffer_.push_back(']');
+  }
+
+  /// Object member key; must be followed by exactly one value.
+  void key(std::string_view name) {
+    comma_for_key();
+    append_quoted(name);
+    buffer_.push_back(':');
+  }
+
+  void null() {
+    comma_for_value();
+    buffer_ += "null";
+  }
+  void boolean(bool value) {
+    comma_for_value();
+    buffer_ += value ? "true" : "false";
+  }
+  void number(double value) {
+    comma_for_value();
+    append_number(value);
+  }
+  /// Integral overloads funnel through double so the spelling matches what
+  /// Json(double) would have produced for the same value.
+  void number(int value) { number(static_cast<double>(value)); }
+  void number(unsigned value) { number(static_cast<double>(value)); }
+  void number(long value) { number(static_cast<double>(value)); }
+  void number(unsigned long value) { number(static_cast<double>(value)); }
+  void number(long long value) { number(static_cast<double>(value)); }
+  void number(unsigned long long value) { number(static_cast<double>(value)); }
+  void string(std::string_view value) {
+    comma_for_value();
+    append_quoted(value);
+  }
+  /// null when empty, number otherwise -- the serve convention for optionals.
+  void number_or_null(const std::optional<double>& value) {
+    if (value) {
+      number(*value);
+    } else {
+      null();
+    }
+  }
+  /// Whole array of numbers in one call: "[v0,v1,...]".
+  void numbers(std::span<const double> values) {
+    begin_array();
+    for (const double v : values) number(v);
+    end_array();
+  }
+
+  // key+value conveniences for flat object members.
+  void kv(std::string_view k, double v) { key(k), number(v); }
+  void kv(std::string_view k, int v) { key(k), number(v); }
+  void kv(std::string_view k, unsigned v) { key(k), number(v); }
+  void kv(std::string_view k, long v) { key(k), number(v); }
+  void kv(std::string_view k, unsigned long v) { key(k), number(v); }
+  void kv(std::string_view k, long long v) { key(k), number(v); }
+  void kv(std::string_view k, unsigned long long v) { key(k), number(v); }
+  void kv(std::string_view k, bool v) { key(k), boolean(v); }
+  void kv(std::string_view k, std::string_view v) { key(k), string(v); }
+  void kv(std::string_view k, const char* v) { key(k), string(v); }
+  void kv(std::string_view k, const std::optional<double>& v) {
+    key(k), number_or_null(v);
+  }
+  void kv_null(std::string_view k) { key(k), null(); }
+
+ private:
+  static constexpr std::size_t kInitialArenaBytes = 4096;
+  static constexpr std::uint8_t kFreshContainer = 0;
+  static constexpr std::uint8_t kHasElements = 1;
+
+  // Defined in json.cpp (append_json_number/append_json_string) so writer and
+  // tree serializer can never drift apart.
+  void append_number(double value);
+  void append_quoted(std::string_view text);
+
+  /// Comma bookkeeping before a value: a value directly after key() never
+  /// takes a comma; an array element (or a second root) takes one unless it
+  /// is the container's first.
+  void comma_for_value() {
+    if (after_key_) {
+      after_key_ = false;
+      return;
+    }
+    mark_element();
+  }
+  void comma_for_key() {
+    mark_element();
+    after_key_ = true;
+  }
+  void mark_element() {
+    if (stack_.empty()) return;
+    if (stack_.back() == kHasElements) {
+      buffer_.push_back(',');
+    } else {
+      stack_.back() = kHasElements;
+    }
+  }
+
+  std::string buffer_;
+  std::vector<std::uint8_t> stack_;  ///< One flag per open container.
+  bool after_key_ = false;
+};
+
+/// The calling thread's reusable writer, clear()ed on every call. Handlers
+/// build each response in this arena so steady-state serving allocates
+/// nothing for serialization.
+JsonWriter& thread_json_writer();
+
+}  // namespace prm::serve

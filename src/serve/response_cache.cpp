@@ -1,0 +1,122 @@
+#include "serve/response_cache.hpp"
+
+#include "par/task_pool.hpp"
+
+namespace prm::serve {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a(std::uint64_t h, std::string_view data) noexcept {
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Composite key bytes, built in a reusable per-thread buffer so the hot
+/// lookup path allocates nothing once the buffer has grown.
+std::string_view composite_key(std::string_view route, std::string_view body) {
+  thread_local std::string scratch;
+  scratch.clear();
+  scratch.reserve(route.size() + 1 + body.size());
+  scratch.append(route);
+  scratch.push_back('\n');
+  scratch.append(body);
+  return scratch;
+}
+
+}  // namespace
+
+std::uint64_t ResponseCache::hash_key(std::string_view route,
+                                      std::string_view body) noexcept {
+  std::uint64_t h = fnv1a(kFnvOffset, route);
+  h = fnv1a(h, "\n");
+  return fnv1a(h, body);
+}
+
+ResponseCache::Shard& ResponseCache::shard_for(std::uint64_t hash) noexcept {
+  if (shards_.size() <= 1) return shards_[0];
+  return shards_[static_cast<std::size_t>(mix64(hash) % shards_.size())];
+}
+
+ResponseCache::ResponseCache(std::size_t capacity, std::size_t shards)
+    : capacity_(capacity) {
+  if (shards == 0) shards = par::TaskPool::default_threads();
+  if (shards < 1) shards = 1;
+  if (capacity > 0 && shards > capacity) shards = capacity;
+  shards_ = std::vector<Shard>(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_[i].capacity = capacity / shards + (i < capacity % shards ? 1 : 0);
+  }
+}
+
+std::shared_ptr<const std::string> ResponseCache::lookup(std::string_view route,
+                                                         std::string_view body) {
+  const std::string_view key = composite_key(route, body);
+  Shard& shard = shard_for(hash_key(route, body));
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  ++shard.hits;
+  shard.order.splice(shard.order.begin(), shard.order, it->second);  // promote to MRU
+  return it->second->response;
+}
+
+void ResponseCache::insert(std::string_view route, std::string_view body,
+                           std::shared_ptr<const std::string> response) {
+  if (capacity_ == 0) return;
+  const std::string_view key = composite_key(route, body);
+  Shard& shard = shard_for(hash_key(route, body));
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->response = std::move(response);
+    shard.order.splice(shard.order.begin(), shard.order, it->second);
+    return;
+  }
+  shard.order.push_front(Entry{std::string(key), std::move(response)});
+  // The index views the list node's own key string: stable across splice and
+  // erased together with the node.
+  shard.index.emplace(std::string_view(shard.order.front().key), shard.order.begin());
+  if (shard.index.size() > shard.capacity) {
+    shard.index.erase(std::string_view(shard.order.back().key));
+    shard.order.pop_back();
+    ++shard.evictions;
+  }
+}
+
+ResponseCacheStats ResponseCache::stats() const {
+  ResponseCacheStats total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total.hits += shard.hits;
+    total.misses += shard.misses;
+    total.evictions += shard.evictions;
+    total.size += shard.index.size();
+  }
+  return total;
+}
+
+void ResponseCache::clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.index.clear();
+    shard.order.clear();
+  }
+}
+
+}  // namespace prm::serve

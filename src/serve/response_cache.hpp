@@ -1,0 +1,88 @@
+// Striped LRU cache of fully rendered HTTP response bodies, keyed by
+// (route, raw request body bytes).
+//
+// The three fit-shaped POST routes (/v1/fit, /v1/forecast, /v1/metrics) are
+// pure functions of their request body: fits are deterministic at any thread
+// count, every tunable (level, steps, dt, alpha, alpha_weight) comes from
+// the body, and nothing in the response depends on wall-clock or server
+// state. Two byte-identical POSTs therefore get byte-identical responses --
+// so after the FitCache has already skipped the optimizer, this layer skips
+// everything else too: JSON parse, series validation, hashing, validation
+// report, and the ~150 double-to-string conversions of the response render.
+// A hit costs one key hash + one string compare + one body memcpy.
+//
+// Keys store the full request bytes and are compared for equality on lookup,
+// so a 64-bit digest collision can never serve the wrong response.
+//
+// Sharding mirrors FitCache: N independent LRU stripes selected by a mixed
+// key hash, each with its own mutex and hit/miss/eviction counters, so
+// concurrent lookups on distinct requests rarely share a lock.
+//
+// Values are shared_ptr<const std::string>: eviction never invalidates a
+// body a handler is still copying. All operations are thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace prm::serve {
+
+/// Aggregated counters across every shard (snapshotted shard-by-shard).
+struct ResponseCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t size = 0;
+};
+
+class ResponseCache {
+ public:
+  /// capacity == 0 disables caching (every lookup misses, inserts drop).
+  /// shards == 0 picks one shard per pool thread; always clamped so each
+  /// shard holds at least one entry.
+  explicit ResponseCache(std::size_t capacity, std::size_t shards = 1);
+
+  /// nullptr on miss. `route` and `body` together form the key.
+  std::shared_ptr<const std::string> lookup(std::string_view route,
+                                            std::string_view body);
+
+  /// Insert (or refresh) the rendered response for (route, body).
+  void insert(std::string_view route, std::string_view body,
+              std::shared_ptr<const std::string> response);
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t shards() const noexcept { return shards_.size(); }
+  ResponseCacheStats stats() const;
+  void clear();
+
+ private:
+  struct Entry {
+    std::string key;  ///< route + '\n' + body (routes never contain '\n').
+    std::shared_ptr<const std::string> response;
+  };
+  using Order = std::list<Entry>;  ///< Front = most recently used.
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::size_t capacity = 0;
+    Order order;
+    std::unordered_map<std::string_view, Order::iterator> index;  ///< Views into Entry::key.
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  static std::uint64_t hash_key(std::string_view route, std::string_view body) noexcept;
+  Shard& shard_for(std::uint64_t hash) noexcept;
+
+  std::size_t capacity_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace prm::serve

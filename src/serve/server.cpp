@@ -22,6 +22,11 @@ namespace {
 /// the connection's idle budget.
 constexpr int kRecvSliceMs = 200;
 
+/// How long an idle worker sleeps between steal scans. Short enough that a
+/// connection dealt to a busy neighbor is picked up promptly even if the
+/// targeted notify raced past the scan.
+constexpr auto kStealPollInterval = std::chrono::milliseconds(5);
+
 bool send_all(int fd, std::string_view data) {
   std::size_t sent = 0;
   while (sent < data.size()) {
@@ -52,6 +57,17 @@ Server::Server(ServerOptions options, Handler handler)
   options_.threads = std::max<std::size_t>(options_.threads, 1);
   options_.max_pending = std::max<std::size_t>(options_.max_pending, 1);
   for (auto& fd : worker_fds_) fd.store(-1, std::memory_order_relaxed);
+
+  // Split the total pending budget across the per-worker queues; every queue
+  // gets at least one slot so a worker can always be handed work.
+  queues_.reserve(options_.threads);
+  const std::size_t per = options_.max_pending / options_.threads;
+  const std::size_t extra = options_.max_pending % options_.threads;
+  for (std::size_t i = 0; i < options_.threads; ++i) {
+    auto queue = std::make_unique<WorkerQueue>();
+    queue->capacity = std::max<std::size_t>(per + (i < extra ? 1 : 0), 1);
+    queues_.push_back(std::move(queue));
+  }
 }
 
 Server::~Server() { stop(); }
@@ -105,7 +121,7 @@ void Server::stop() {
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);  // unblock accept()
   if (acceptor_.joinable()) acceptor_.join();
 
-  queue_cv_.notify_all();
+  for (auto& queue : queues_) queue->cv.notify_all();
   for (auto& slot : worker_fds_) {
     const int fd = slot.load(std::memory_order_acquire);
     if (fd >= 0) ::shutdown(fd, SHUT_RDWR);  // unblock a worker mid-recv
@@ -115,10 +131,10 @@ void Server::stop() {
   }
   workers_.clear();
 
-  {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
-    for (const int fd : queue_) ::close(fd);
-    queue_.clear();
+  for (auto& queue : queues_) {
+    std::lock_guard<std::mutex> lock(queue->mutex);
+    for (const int fd : queue->pending) ::close(fd);
+    queue->pending.clear();
   }
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
@@ -128,28 +144,61 @@ void Server::stop() {
 }
 
 bool Server::push_connection(int fd) {
-  {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
-    if (queue_.size() >= options_.max_pending) return false;
-    queue_.push_back(fd);
+  // Deal round-robin; when the preferred queue is full, offer the connection
+  // to every other queue once before declaring overload. Only the acceptor
+  // thread touches next_queue_, so it needs no synchronization.
+  const std::size_t n = queues_.size();
+  const std::size_t start = next_queue_;
+  next_queue_ = (next_queue_ + 1) % n;
+  for (std::size_t offset = 0; offset < n; ++offset) {
+    WorkerQueue& queue = *queues_[(start + offset) % n];
+    {
+      std::lock_guard<std::mutex> lock(queue.mutex);
+      if (queue.pending.size() >= queue.capacity) continue;
+      queue.pending.push_back(fd);
+    }
+    queue.cv.notify_one();
+    return true;
   }
-  queue_cv_.notify_one();
+  return false;  // every shard full -> 503 at the door
+}
+
+bool Server::try_pop(std::size_t queue_index, int& fd) {
+  WorkerQueue& queue = *queues_[queue_index];
+  std::lock_guard<std::mutex> lock(queue.mutex);
+  if (queue.pending.empty()) return false;
+  fd = queue.pending.front();
+  queue.pending.pop_front();
   return true;
 }
 
-int Server::pop_connection() {
-  std::unique_lock<std::mutex> lock(queue_mutex_);
-  queue_cv_.wait(lock, [this] { return stopping_.load() || !queue_.empty(); });
-  if (stopping_.load()) return -1;
-  const int fd = queue_.front();
-  queue_.pop_front();
-  return fd;
+int Server::pop_connection(std::size_t worker_index) {
+  const std::size_t n = queues_.size();
+  WorkerQueue& own = *queues_[worker_index];
+  while (true) {
+    // Own queue first, then a steal scan over the neighbors so work dealt to
+    // a busy worker cannot sit while this one idles.
+    int fd = -1;
+    for (std::size_t offset = 0; offset < n; ++offset) {
+      if (try_pop((worker_index + offset) % n, fd)) return fd;
+    }
+    if (stopping_.load()) return -1;
+    std::unique_lock<std::mutex> lock(own.mutex);
+    if (!own.pending.empty()) continue;  // raced with a push
+    // Timed wait: a notify targets the queue's owner, but stolen work and
+    // shutdown may arrive without one, so re-scan at a short cadence.
+    own.cv.wait_for(lock, kStealPollInterval,
+                    [this, &own] { return stopping_.load() || !own.pending.empty(); });
+  }
 }
 
 void Server::accept_loop() {
-  static const std::string overload_response = http::serialize(
-      http::Response::json(503, R"({"error":"server overloaded, retry later"})"),
-      /*keep_alive=*/false);
+  static const std::string overload_response = [] {
+    http::Response response = http::Response::json(
+        503, R"({"error":"server overloaded, retry later"})");
+    response.headers.emplace("Retry-After", "1");
+    return http::serialize(response, /*keep_alive=*/false);
+  }();
   while (!stopping_.load()) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
@@ -159,7 +208,7 @@ void Server::accept_loop() {
     }
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
     if (!push_connection(fd)) {
-      // Bounded queue full: shed at the door so latency stays flat.
+      // Every per-worker queue full: shed at the door so latency stays flat.
       connections_rejected_.fetch_add(1, std::memory_order_relaxed);
       send_all(fd, overload_response);
       ::close(fd);
@@ -169,7 +218,7 @@ void Server::accept_loop() {
 
 void Server::worker_loop(std::size_t worker_index) {
   while (true) {
-    const int fd = pop_connection();
+    const int fd = pop_connection(worker_index);
     if (fd < 0) return;
     worker_fds_[worker_index].store(fd, std::memory_order_release);
     serve_connection(fd, worker_index);
@@ -286,9 +335,11 @@ ServerStats Server::stats() const {
   s.responses_5xx = responses_5xx_.load(std::memory_order_relaxed);
   s.parse_errors = parse_errors_.load(std::memory_order_relaxed);
   s.threads = options_.threads;
-  {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
-    s.queue_depth = queue_.size();
+  s.queue_depths.reserve(queues_.size());
+  for (const auto& queue : queues_) {
+    std::lock_guard<std::mutex> lock(queue->mutex);
+    s.queue_depths.push_back(queue->pending.size());
+    s.queue_depth += queue->pending.size();
   }
   for (std::size_t i = 0; i < s.latency_buckets.size(); ++i) {
     s.latency_buckets[i] = latency_buckets_[i].load(std::memory_order_relaxed);

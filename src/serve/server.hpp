@@ -1,16 +1,26 @@
-// Threaded HTTP server over POSIX sockets: one acceptor thread feeding a
-// bounded connection queue drained by a fixed pool of worker threads.
+// Threaded HTTP server over POSIX sockets: one acceptor thread feeding
+// per-worker bounded connection queues drained by a fixed pool of worker
+// threads.
 //
-// Backpressure: when the queue is full the acceptor answers the new
-// connection with a canned 503 and closes it immediately -- overload sheds
-// load at the door instead of stacking latency. Keep-alive connections are
-// served until the peer closes, an I/O error occurs, the idle timeout
-// expires, or stop() is called.
+// Queueing: each worker owns its own mutex + condition variable + deque; the
+// acceptor deals new connections round-robin across workers, so enqueue and
+// dequeue on different workers never touch the same lock and the old single
+// accept-queue mutex stops being a convoy point. A worker whose own queue is
+// empty steals from its neighbors (scan from worker_index+1) before sleeping,
+// so an imbalanced deal cannot strand a connection behind an idle pool.
+//
+// Backpressure: the total budget `max_pending` is split evenly across the
+// per-worker queues (each gets at least one slot). When the round-robin
+// target is full the acceptor tries every other queue once; only when *all*
+// queues are full does it answer the new connection with a canned 503 +
+// Retry-After and close it immediately -- overload sheds load at the door
+// instead of stacking latency, exactly as the single-queue server did.
 //
 // Observability: request counts by status class, total/in-flight connection
 // gauges, a fixed-bucket latency histogram (handler + write time), current
-// queue depth, and the overload-rejection counter -- exported by the
-// /metrics route in serve::App but owned here so any handler can serve them.
+// queue depths (per worker and total), and the overload-rejection counter --
+// exported by the /metrics route in serve::App but owned here so any handler
+// can serve them.
 #pragma once
 
 #include <array>
@@ -19,6 +29,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -32,7 +43,7 @@ struct ServerOptions {
   std::string bind_address = "127.0.0.1";
   std::uint16_t port = 0;        ///< 0 = pick an ephemeral port (see Server::port()).
   std::size_t threads = 4;       ///< Worker pool size (>= 1 enforced).
-  std::size_t max_pending = 64;  ///< Bounded accept queue; beyond it -> 503.
+  std::size_t max_pending = 64;  ///< Total bounded queue budget; beyond it -> 503.
   std::size_t max_body_bytes = 8 * 1024 * 1024;
   int idle_timeout_ms = 10000;   ///< Keep-alive connection idle cutoff.
 };
@@ -50,7 +61,8 @@ struct ServerStats {
   std::uint64_t responses_4xx = 0;
   std::uint64_t responses_5xx = 0;
   std::uint64_t parse_errors = 0;
-  std::size_t queue_depth = 0;          ///< Connections waiting for a worker.
+  std::size_t queue_depth = 0;          ///< Connections waiting, summed over workers.
+  std::vector<std::size_t> queue_depths;  ///< Per-worker waiting connections.
   std::size_t threads = 0;
   std::array<std::uint64_t, kLatencyBucketEdgesUs.size() + 1> latency_buckets{};
 };
@@ -83,11 +95,21 @@ class Server {
   ServerStats stats() const;
 
  private:
+  /// One worker's private connection queue. Heap-allocated via unique_ptr so
+  /// the vector of queues is constructible despite the mutex member.
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<int> pending;
+    std::size_t capacity = 1;
+  };
+
   void accept_loop();
   void worker_loop(std::size_t worker_index);
   void serve_connection(int fd, std::size_t worker_index);
   bool push_connection(int fd);
-  int pop_connection();
+  int pop_connection(std::size_t worker_index);
+  bool try_pop(std::size_t queue_index, int& fd);
   void record_latency(std::uint64_t micros);
   void record_status(int status);
 
@@ -103,9 +125,8 @@ class Server {
   std::vector<std::thread> workers_;
   std::vector<std::atomic<int>> worker_fds_;  ///< Active fd per worker, -1 idle.
 
-  mutable std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<int> queue_;
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;  ///< One per worker.
+  std::size_t next_queue_ = 0;  ///< Round-robin cursor; acceptor thread only.
 
   // Counters are independent atomics: relaxed updates, snapshot on stats().
   std::atomic<std::uint64_t> connections_accepted_{0};

@@ -7,10 +7,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "live/monitor.hpp"
@@ -456,6 +460,123 @@ TEST(Monitor, LoadNamesTheUnknownSnapshotVersion) {
     const std::string what = e.what();
     EXPECT_NE(what.find("999"), std::string::npos) << what;
     EXPECT_NE(what.find("prm-live 1"), std::string::npos) << what;
+  }
+}
+
+TEST(Monitor, ShardedRegistryKeepsStreamsIndependentSortedAndCounted) {
+  // 3 shards over 12 streams ingested from 4 threads: the striped registry
+  // must neither lose a stream nor disturb the name-sorted snapshot()/
+  // stream_names() contract the single-map registry provided.
+  live::MonitorOptions options = test_options();
+  options.shards = 3;
+  live::Monitor monitor(options);
+  EXPECT_EQ(monitor.registry_shards(), 3u);
+
+  constexpr int kThreads = 4;
+  constexpr int kStreamsPerThread = 3;
+  constexpr int kSamples = 40;
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&monitor, w] {
+      for (int s = 0; s < kStreamsPerThread; ++s) {
+        // Built via append (not operator+ chains): GCC 12 raises a spurious
+        // -Wrestrict on the chained concatenation at -O2.
+        std::string stream = "t";
+        stream += std::to_string(w);
+        stream += 's';
+        stream += std::to_string(s);
+        for (int i = 0; i < kSamples; ++i) {
+          monitor.ingest(stream, static_cast<double>(i), 1.0);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  monitor.drain();
+
+  EXPECT_EQ(monitor.stream_count(),
+            static_cast<std::size_t>(kThreads) * kStreamsPerThread);
+  const std::vector<std::string> names = monitor.stream_names();
+  ASSERT_EQ(names.size(), monitor.stream_count());
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  const auto snaps = monitor.snapshot();
+  ASSERT_EQ(snaps.size(), names.size());
+  for (std::size_t i = 0; i < snaps.size(); ++i) {
+    EXPECT_EQ(snaps[i].name, names[i]);
+    EXPECT_EQ(snaps[i].samples_seen, static_cast<std::uint64_t>(kSamples));
+  }
+}
+
+/// Bitwise equality of two optional doubles (NaN-safe, sign-of-zero-exact).
+bool bits_equal(const std::optional<double>& a, const std::optional<double>& b) {
+  if (a.has_value() != b.has_value()) return false;
+  if (!a) return true;
+  return std::bit_cast<std::uint64_t>(*a) == std::bit_cast<std::uint64_t>(*b);
+}
+
+TEST(Monitor, BatchedRefitsBitIdenticalToThreadedAtAnyShardAndThreadCount) {
+  // Three streams with staggered disruptions, drained after every sample so
+  // both modes execute the same refit sequence on the same data. The batched
+  // path fans each claim over one prm::par parallel pass; its results must be
+  // bit-identical to the per-stream threaded scheduler at every shard count
+  // and batch thread count (acceptance criterion of the sharding PR).
+  const std::size_t total =
+      kPrefix + static_cast<std::size_t>(kDipLen + kRecoveryLen) + 8;
+  const auto value_of = [](const std::string& stream, double t) {
+    if (stream == "steady") return 1.0;
+    return stream == "shifted" ? v_curve(t - 3.0) : v_curve(t);
+  };
+  const std::vector<std::string> streams = {"base", "shifted", "steady"};
+
+  const auto run = [&](bool batched, std::size_t shards, std::size_t threads,
+                       int batch_threads) {
+    live::MonitorOptions options = test_options();
+    options.batched_refits = batched;
+    options.shards = shards;
+    options.threads = threads;
+    live::Monitor monitor(options);
+    for (std::size_t i = 0; i < total; ++i) {
+      const double t = static_cast<double>(i);
+      for (const std::string& stream : streams) {
+        monitor.ingest(stream, t, value_of(stream, t));
+      }
+      if (batched) monitor.refit_batch(batch_threads);
+      monitor.drain();
+    }
+    return monitor.snapshot();
+  };
+
+  const auto reference = run(/*batched=*/false, 1, 1, 0);
+  ASSERT_EQ(reference.size(), streams.size());
+  ASSERT_TRUE(reference[0].has_fit);
+  EXPECT_GE(reference[0].refits, 2u);
+
+  const std::pair<std::size_t, std::size_t> grids[] = {{1, 1}, {4, 3}, {8, 2}};
+  for (const auto& [shards, threads] : grids) {
+    const auto batched = run(/*batched=*/true, shards, threads,
+                             static_cast<int>(threads));
+    ASSERT_EQ(batched.size(), reference.size());
+    for (std::size_t s = 0; s < reference.size(); ++s) {
+      SCOPED_TRACE("stream " + reference[s].name + " shards " +
+                   std::to_string(shards) + " threads " + std::to_string(threads));
+      EXPECT_EQ(batched[s].name, reference[s].name);
+      EXPECT_EQ(batched[s].refits, reference[s].refits);
+      EXPECT_EQ(batched[s].phase, reference[s].phase);
+      ASSERT_EQ(batched[s].has_fit, reference[s].has_fit);
+      if (!reference[s].has_fit) continue;
+      ASSERT_EQ(batched[s].parameters.size(), reference[s].parameters.size());
+      for (std::size_t p = 0; p < reference[s].parameters.size(); ++p) {
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(batched[s].parameters[p]),
+                  std::bit_cast<std::uint64_t>(reference[s].parameters[p]))
+            << "parameter " << p << " differs";
+      }
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(batched[s].fit_sse),
+                std::bit_cast<std::uint64_t>(reference[s].fit_sse));
+      EXPECT_TRUE(bits_equal(batched[s].predicted_recovery_time,
+                             reference[s].predicted_recovery_time));
+      EXPECT_TRUE(bits_equal(batched[s].predicted_trough_time,
+                             reference[s].predicted_trough_time));
+    }
   }
 }
 

@@ -6,8 +6,10 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 #include <set>
+#include <stdexcept>
 #include <thread>
 
 #include "live/refit_scheduler.hpp"
@@ -206,6 +208,72 @@ TEST(RefitScheduler, JobsMayScheduleMoreWorkAndDrainWaitsForIt) {
   });
   scheduler.drain();
   EXPECT_EQ(runs.load(), 3);
+}
+
+TEST(RefitScheduler, DeferredModeAccumulatesUntilClaimed) {
+  RefitScheduler scheduler(4, /*deferred=*/true);
+  EXPECT_TRUE(scheduler.deferred());
+  EXPECT_EQ(scheduler.num_threads(), 0u);  // no workers spawned
+
+  std::atomic<int> runs{0};
+  scheduler.schedule("a", [&runs] { ++runs; });
+  scheduler.schedule("b", [&runs] { ++runs; });
+  scheduler.schedule("a", [&runs] { runs += 100; });  // replaces queued "a"
+  EXPECT_EQ(runs.load(), 0) << "deferred jobs must not run before claim_ready";
+  EXPECT_EQ(scheduler.ready_count(), 2u);
+  EXPECT_EQ(scheduler.coalesced(), 1u);
+
+  auto batch = scheduler.claim_ready();
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(scheduler.ready_count(), 0u);
+  for (const auto& claimed : batch) claimed.job();
+  scheduler.finish_claimed(batch);
+  EXPECT_EQ(runs.load(), 101);  // coalesced replacement ran, original did not
+  EXPECT_EQ(scheduler.executed(), 2u);
+  EXPECT_EQ(scheduler.claim_ready().size(), 0u);
+}
+
+TEST(RefitScheduler, RescheduleDuringClaimedBatchParksAndReenqueues) {
+  RefitScheduler scheduler(1, /*deferred=*/true);
+  std::atomic<int> runs{0};
+  scheduler.schedule("k", [&runs] { ++runs; });
+  auto batch = scheduler.claim_ready();
+  ASSERT_EQ(batch.size(), 1u);
+
+  // The key counts as running while claimed: a reschedule must park, not
+  // double-run or re-enter the ready queue.
+  scheduler.schedule("k", [&runs] { runs += 10; });
+  EXPECT_EQ(scheduler.ready_count(), 0u);
+
+  batch[0].job();
+  scheduler.finish_claimed(batch);
+  EXPECT_EQ(scheduler.ready_count(), 1u) << "parked job must re-enqueue on finish";
+
+  auto second = scheduler.claim_ready();
+  ASSERT_EQ(second.size(), 1u);
+  second[0].job();
+  scheduler.finish_claimed(second, /*failures=*/0);
+  EXPECT_EQ(runs.load(), 11);
+  EXPECT_EQ(scheduler.executed(), 2u);
+  EXPECT_EQ(scheduler.failed(), 0u);
+}
+
+TEST(RefitScheduler, FinishClaimedCountsReportedFailures) {
+  RefitScheduler scheduler(1, /*deferred=*/true);
+  scheduler.schedule("x", [] { throw std::runtime_error("boom"); });
+  auto batch = scheduler.claim_ready();
+  ASSERT_EQ(batch.size(), 1u);
+  std::uint64_t failures = 0;
+  for (const auto& claimed : batch) {
+    try {
+      claimed.job();
+    } catch (...) {
+      ++failures;
+    }
+  }
+  scheduler.finish_claimed(batch, failures);
+  EXPECT_EQ(scheduler.failed(), 1u);
+  EXPECT_EQ(scheduler.executed(), 1u);
 }
 
 TEST(RefitScheduler, DestructorDrainsOutstandingWork) {

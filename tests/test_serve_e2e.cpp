@@ -119,15 +119,23 @@ TEST_F(ServeE2E, ConcurrentClientsShareTheFitCache) {
   for (std::thread& thread : threads) thread.join();
   EXPECT_EQ(failures.load(), 0);
 
-  // The /metrics counters prove the cache did the work: exactly 7 optimizer
-  // runs ever, and every one of the 56 concurrent requests was a hit.
+  // The /metrics counters prove the caches did the work: exactly 7 optimizer
+  // runs ever, and every one of the 56 concurrent requests was served from
+  // the rendered-response cache (identical bodies short-circuit before even
+  // reaching the fit cache).
   auto c = client();
   const Json metrics = Json::parse(c.get("/metrics").body);
   const Json* cache = metrics.find("fit_cache");
   ASSERT_NE(cache, nullptr);
-  EXPECT_EQ(cache->find("hits")->as_number(), kClients * static_cast<double>(name_count));
+  EXPECT_EQ(cache->find("hits")->as_number(), 0.0);
   EXPECT_EQ(cache->find("misses")->as_number(), static_cast<double>(name_count));
   EXPECT_EQ(cache->find("size")->as_number(), static_cast<double>(name_count));
+  const Json* responses = metrics.find("response_cache");
+  ASSERT_NE(responses, nullptr);
+  EXPECT_EQ(responses->find("hits")->as_number(),
+            kClients * static_cast<double>(name_count));
+  EXPECT_EQ(responses->find("misses")->as_number(), static_cast<double>(name_count));
+  EXPECT_EQ(responses->find("size")->as_number(), static_cast<double>(name_count));
   EXPECT_EQ(metrics.find("fits_computed")->as_number(), static_cast<double>(name_count));
 
   const Json* server_stats = metrics.find("server");

@@ -182,6 +182,103 @@ TEST(Server, OverloadShedsWith503AtTheDoor) {
             static_cast<std::uint64_t>(ok_count.load()));
 }
 
+TEST(Server, FullPerWorkerQueuesKeep503RetryAfterContractAndRecover) {
+  // Two workers, max_pending = 2 -> one slot per worker queue. Four clients
+  // parked on /slow occupy both workers and fill both queues (the acceptor
+  // offers a connection to every queue before shedding, so the fill is
+  // deterministic regardless of deal order). The fifth connection must get
+  // the canned 503 + Retry-After, and once the gate opens and the backlog
+  // drains, acceptance must resume.
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+
+  ServerOptions options;
+  options.threads = 2;
+  options.max_pending = 2;
+  Server server(options, [&](const http::Request& request) {
+    if (request.target == "/slow") {
+      std::unique_lock<std::mutex> lock(gate_mutex);
+      gate_cv.wait(lock, [&] { return gate_open; });
+    }
+    return http::Response{};
+  });
+  server.start();
+
+  // Saturate in two waves (a single burst of four could race the workers:
+  // the acceptor deals faster than an idle worker wakes, so a connection
+  // meant to park in a handler could be shed at the door instead).
+  constexpr int kParked = 4;  // 2 in workers + 2 queued
+  std::atomic<int> parked_ok{0};
+  std::vector<std::thread> parked;
+  const auto launch_parked = [&] {
+    parked.emplace_back([&server, &parked_ok] {
+      http::Client client("127.0.0.1", server.port());
+      if (client.get("/slow").status == 200) ++parked_ok;
+    });
+  };
+  const auto spin_until = [&server](auto&& ready) {
+    for (int spin = 0; spin < 500; ++spin) {
+      if (ready(server.stats())) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return false;
+  };
+
+  // On a failed spin the parked clients must still be released and joined
+  // before the test returns, so failures funnel through this helper.
+  const auto release_and_join = [&] {
+    {
+      std::lock_guard<std::mutex> lock(gate_mutex);
+      gate_open = true;
+    }
+    gate_cv.notify_all();
+    for (std::thread& thread : parked) thread.join();
+  };
+
+  // Wave 1: occupy both workers. requests_total counts up right before the
+  // handler runs, so 2 requests + empty queues = both workers parked.
+  launch_parked();
+  launch_parked();
+  if (!spin_until([](const ServerStats& stats) {
+        return stats.requests_total >= 2 && stats.queue_depth == 0;
+      })) {
+    release_and_join();
+    FAIL() << "workers never picked up the first wave";
+  }
+
+  // Wave 2: with both workers parked, these must stay queued -> both
+  // one-slot queues full.
+  launch_parked();
+  launch_parked();
+  if (!spin_until([](const ServerStats& stats) {
+        return stats.connections_accepted >= kParked && stats.queue_depth >= 2;
+      })) {
+    release_and_join();
+    FAIL() << "second wave never filled the per-worker queues";
+  }
+  const ServerStats saturated = server.stats();
+  ASSERT_EQ(saturated.queue_depths.size(), 2u);
+  EXPECT_EQ(saturated.queue_depth, 2u);
+  for (const std::size_t depth : saturated.queue_depths) EXPECT_EQ(depth, 1u);
+
+  // Every queue full: the shed response must carry the Retry-After contract.
+  const std::string reply =
+      raw_exchange(server.port(), "GET /over HTTP/1.1\r\n\r\n");
+  EXPECT_NE(reply.find(" 503 "), std::string::npos) << reply;
+  EXPECT_NE(reply.find("Retry-After: 1"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("overloaded"), std::string::npos) << reply;
+
+  release_and_join();
+  EXPECT_EQ(parked_ok.load(), kParked);  // queued connections were served, not shed
+
+  // Drained queues accept again.
+  http::Client client("127.0.0.1", server.port());
+  EXPECT_EQ(client.get("/after").status, 200);
+  server.stop();
+  EXPECT_GE(server.stats().connections_rejected, 1u);
+}
+
 TEST(Server, StopUnblocksIdleKeepAliveConnections) {
   Server server(ServerOptions{}, echo_handler);
   server.start();
