@@ -4,7 +4,7 @@
 // Unlike serve_throughput (a fixed batch, wall-clock only), serve_load runs
 // each (mix, connections) cell for a fixed duration against a fresh server,
 // timestamps every round trip, and reports p50/p95/p99 per cell -- the
-// numbers a capacity plan actually needs. Three request mixes:
+// numbers a capacity plan actually needs. Four request mixes:
 //
 //  * cached  -- POST /v1/fit round-robining over K pre-primed series: every
 //               request is a fit-cache hit, so this measures the HTTP + JSON
@@ -14,10 +14,18 @@
 //  * ingest  -- alternating POST /v1/streams/{s}/ingest and GET
 //               /v1/streams/{s} on a per-connection stream: the live-monitor
 //               path (sharded registry + refit scheduling).
+//  * ingest_wal -- the same ingest traffic with a write-ahead log on a temp
+//               directory (group commit, interval fsync): what durability
+//               costs on the live path. Compare against ingest for the
+//               WAL's acknowledged-write overhead.
 //
 // --json emits the same schema compare_bench.py consumes (one entry per
 // cell, mean latency as cpu_time/real_time in us), so the CI regression gate
 // can diff runs; rps/p50/p95/p99 ride along as extra fields.
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -26,6 +34,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -36,6 +45,7 @@
 #include "serve/http.hpp"
 #include "serve/json.hpp"
 #include "serve/server.hpp"
+#include "wal/log.hpp"
 
 namespace {
 
@@ -73,6 +83,38 @@ std::string jittered_body(long variant) {
   return body.dump();
 }
 
+/// Scratch WAL directory for the ingest_wal mix; removed (recursively) when
+/// the cell ends. Declared before the App so it outlives the monitor's final
+/// checkpoint.
+class WalDir {
+ public:
+  WalDir() {
+    const char* base = std::getenv("TMPDIR");
+    path_ = std::string(base != nullptr ? base : "/tmp") + "/prm_load_wal_XXXXXX";
+    if (::mkdtemp(path_.data()) == nullptr) {
+      std::fprintf(stderr, "serve_load: mkdtemp failed\n");
+      std::exit(1);
+    }
+  }
+  ~WalDir() { remove_tree(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  static void remove_tree(const std::string& dir) {
+    if (DIR* handle = ::opendir(dir.c_str())) {
+      while (const dirent* entry = ::readdir(handle)) {
+        const std::string name = entry->d_name;
+        if (name == "." || name == "..") continue;
+        ::unlink((dir + "/" + name).c_str());  // WAL dirs hold only flat files
+      }
+      ::closedir(handle);
+    }
+    ::rmdir(dir.c_str());
+  }
+
+  std::string path_;
+};
+
 /// One monotone V-shaped sample for the ingest mix: dip, trough, recovery,
 /// then a long nominal tail so each stream walks the full phase machine once.
 double ingest_value(long i) {
@@ -109,7 +151,13 @@ double percentile(const std::vector<double>& sorted, double q) {
 /// Run one (mix, connections) cell against a fresh App + Server.
 CellResult run_cell(const std::string& mix, std::size_t connections,
                     const Options& options) {
+  std::unique_ptr<WalDir> wal_dir;
   serve::AppOptions app_options;
+  if (mix == "ingest_wal") {
+    wal_dir = std::make_unique<WalDir>();
+    app_options.monitor.wal.dir = wal_dir->path();
+    app_options.monitor.wal.fsync = wal::FsyncPolicy::kInterval;
+  }
   serve::App app(app_options);
   serve::ServerOptions server_options;
   server_options.port = 0;
@@ -295,7 +343,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: serve_load [--seconds S] [--connections 1,4,16,64]\n"
-                   "                  [--mix cached,cold,ingest] [--cached-series K]\n"
+                   "                  [--mix cached,cold,ingest,ingest_wal]\n"
+                   "                  [--cached-series K]\n"
                    "                  [--server-threads N] [--json PATH]\n");
       return 2;
     }
@@ -306,7 +355,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   for (const std::string& mix : options.mixes) {
-    if (mix != "cached" && mix != "cold" && mix != "ingest") {
+    if (mix != "cached" && mix != "cold" && mix != "ingest" &&
+        mix != "ingest_wal") {
       std::fprintf(stderr, "serve_load: unknown mix '%s'\n", mix.c_str());
       return 2;
     }

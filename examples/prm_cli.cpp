@@ -58,9 +58,11 @@ const std::map<std::string, std::vector<std::string>>& command_options() {
       {"predict", {"fit", "level"}},
       {"uncertainty", {"fit", "level", "replicates", "threads"}},
       {"detect", {"csv"}},
-      {"monitor", {"csv", "model", "threads", "refit-every", "save", "load"}},
+      {"monitor",
+       {"csv", "model", "threads", "refit-every", "save", "load", "wal-dir", "fsync"}},
       {"serve",
-       {"port", "threads", "fit-threads", "model", "cache", "queue", "shards"}},
+       {"port", "threads", "fit-threads", "model", "cache", "queue", "shards",
+        "wal-dir", "fsync"}},
       {"models", {}},
       {"demo", {"model", "holdout", "loss", "level", "save", "threads"}},
   };
@@ -77,9 +79,12 @@ void usage(std::ostream& out) {
       << "  prm_cli detect  --csv FILE\n"
       << "  prm_cli monitor --csv FILE[,FILE...] [--model NAME] [--threads N]\n"
       << "                  [--refit-every N] [--save FILE] [--load FILE]\n"
+      << "                  [--wal-dir DIR] [--fsync always|interval|never]\n"
       << "  prm_cli serve   [--port N] [--threads N] [--fit-threads N] [--model NAME]\n"
       << "                  [--cache N] [--queue N] [--shards N]  # --port 0 = ephemeral\n"
       << "                  # --shards: cache/registry stripes, 0 = one per core\n"
+      << "                  [--wal-dir DIR] [--fsync always|interval|never]\n"
+      << "                  # --wal-dir: durable write-ahead log; restart resumes state\n"
       << "  prm_cli models\n"
       << "  prm_cli demo\n"
       << "  prm_cli help | --help | -h\n";
@@ -281,6 +286,10 @@ std::string stream_name_for(const std::string& path) {
   return name.empty() ? path : name;
 }
 
+std::atomic<bool> g_serve_stop{false};
+
+void serve_signal_handler(int) { g_serve_stop.store(true); }
+
 int run_monitor(const CliArgs& args) {
   using report::Table;
   live::MonitorOptions options;
@@ -296,8 +305,30 @@ int run_monitor(const CliArgs& args) {
         static_cast<std::size_t>(std::stoul(args.options.at("refit-every")));
   }
 
+  if (args.options.count("wal-dir")) {
+    options.wal.dir = args.options.at("wal-dir");
+  }
+  if (args.options.count("fsync")) {
+    options.wal.fsync = wal::fsync_policy_from_string(args.options.at("fsync"));
+  }
+
   std::unique_ptr<live::Monitor> monitor;
-  if (args.options.count("load")) {
+  if (!options.wal.dir.empty()) {
+    // recover() handles empty, snapshot-only, and snapshot+log directories
+    // uniformly; --load is a plain-snapshot path and would fight it.
+    if (args.options.count("load")) {
+      std::cerr << "prm_cli monitor: --load and --wal-dir are mutually exclusive "
+                   "(the WAL directory has its own snapshot)\n";
+      return 1;
+    }
+    monitor = live::Monitor::recover(options);
+    const wal::RecoveryStats& rec = monitor->recovery_stats();
+    std::cout << "recovered monitor from " << options.wal.dir << ": "
+              << monitor->stream_count() << " stream(s), " << rec.applied
+              << " of " << rec.records << " log record(s) replayed"
+              << (rec.snapshot_loaded ? " on top of the snapshot" : "")
+              << (rec.torn_tails ? " (torn tail tolerated)" : "") << '\n';
+  } else if (args.options.count("load")) {
     monitor = live::Monitor::load_file(args.options.at("load"), options);
     std::cout << "resumed monitor with " << monitor->stream_count() << " stream(s) from "
               << args.options.at("load") << '\n';
@@ -313,13 +344,15 @@ int run_monitor(const CliArgs& args) {
   degrading.kind = live::AlertKind::kPhaseTransition;
   degrading.phase = live::StreamPhase::kDegrading;
   degrading.once_per_event = false;
-  monitor->alerts().add_rule(degrading);
   live::AlertRule restored;
   restored.name = "restored";
   restored.kind = live::AlertKind::kPhaseTransition;
   restored.phase = live::StreamPhase::kRestored;
   restored.once_per_event = false;
-  monitor->alerts().add_rule(restored);
+  // A recovered monitor may already have these rules from its own log.
+  for (const live::AlertRule& rule : {degrading, restored}) {
+    if (!monitor->alerts().has_rule(rule.name)) monitor->add_alert_rule(rule);
+  }
 
   // Merge every file's samples into one global time-ordered replay, so the
   // monitor sees the streams interleaved as a live deployment would.
@@ -340,7 +373,20 @@ int run_monitor(const CliArgs& args) {
   }
   std::stable_sort(replay.begin(), replay.end(),
                    [](const Sample& a, const Sample& b) { return a.t < b.t; });
-  for (const Sample& s : replay) monitor->ingest(s.stream, s.t, s.value);
+  // Ctrl-C mid-replay stops ingesting but still drains, checkpoints, and
+  // saves below -- nothing acknowledged is lost.
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+  std::size_t ingested = 0;
+  for (const Sample& s : replay) {
+    if (g_serve_stop.load()) {
+      std::cout << "prm_cli monitor: interrupted after " << ingested
+                << " sample(s), shutting down cleanly\n";
+      break;
+    }
+    monitor->ingest(s.stream, s.t, s.value);
+    ++ingested;
+  }
   monitor->drain();
 
   std::cout << "\nreplayed " << replay.size() << " sample(s) into "
@@ -362,12 +408,12 @@ int run_monitor(const CliArgs& args) {
     monitor->save_file(args.options.at("save"));
     std::cout << "\nmonitor state saved to " << args.options.at("save") << '\n';
   }
+  if (monitor->wal_enabled()) {
+    monitor->shutdown();  // drain, final snapshot, seal + fsync the log
+    std::cout << "wal checkpointed in " << options.wal.dir << '\n';
+  }
   return 0;
 }
-
-std::atomic<bool> g_serve_stop{false};
-
-void serve_signal_handler(int) { g_serve_stop.store(true); }
 
 int run_serve(const CliArgs& args) {
   serve::AppOptions app_options;
@@ -391,6 +437,13 @@ int run_serve(const CliArgs& args) {
   } else if (!threads_ok) {
     return 1;
   }
+  if (args.options.count("wal-dir")) {
+    app_options.monitor.wal.dir = args.options.at("wal-dir");
+  }
+  if (args.options.count("fsync")) {
+    app_options.monitor.wal.fsync =
+        wal::fsync_policy_from_string(args.options.at("fsync"));
+  }
   serve::ServerOptions server_options;
   server_options.port = args.options.count("port")
                             ? static_cast<std::uint16_t>(
@@ -407,6 +460,14 @@ int run_serve(const CliArgs& args) {
   }
 
   serve::App app(app_options);
+  if (app.monitor().wal_enabled()) {
+    const wal::RecoveryStats& rec = app.monitor().recovery_stats();
+    std::cout << "prm_cli serve: wal at " << app_options.monitor.wal.dir << " (fsync "
+              << wal::to_string(app_options.monitor.wal.fsync) << "); recovered "
+              << app.monitor().stream_count() << " stream(s), " << rec.applied
+              << " of " << rec.records << " log record(s) replayed"
+              << (rec.torn_tails ? ", torn tail tolerated" : "") << std::endl;
+  }
   serve::Server server(server_options,
                        [&app](const serve::http::Request& r) { return app.handle(r); });
   server.start();
@@ -428,7 +489,11 @@ int run_serve(const CliArgs& args) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
   std::cout << "prm_cli serve: shutting down\n";
-  server.stop();
+  server.stop();  // stop accepting and drain the worker queue first
+  if (app.monitor().wal_enabled()) {
+    app.monitor().shutdown();  // drain refits, final snapshot, seal + fsync
+    std::cout << "prm_cli serve: wal checkpointed\n";
+  }
   const serve::ServerStats stats = server.stats();
   std::cout << "served " << stats.requests_total << " request(s), rejected "
             << stats.connections_rejected << " on overload\n";
@@ -546,7 +611,8 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (args->command == "monitor") {
-      if (!args->options.count("csv") && !args->options.count("load")) {
+      if (!args->options.count("csv") && !args->options.count("load") &&
+          !args->options.count("wal-dir")) {
         usage();
         return 1;
       }

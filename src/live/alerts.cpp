@@ -16,6 +16,15 @@ std::string_view to_string(AlertKind kind) {
   return "unknown";
 }
 
+AlertKind alert_kind_from_string(std::string_view s) {
+  if (s == "value-below") return AlertKind::kValueBelow;
+  if (s == "value-above") return AlertKind::kValueAbove;
+  if (s == "phase-transition") return AlertKind::kPhaseTransition;
+  if (s == "recovery-beyond") return AlertKind::kRecoveryBeyond;
+  throw std::invalid_argument("alert_kind_from_string: unknown kind '" +
+                              std::string(s) + "'");
+}
+
 void AlertEngine::add_rule(AlertRule rule) {
   if (rule.name.empty()) {
     throw std::invalid_argument("AlertEngine::add_rule: rule name must be non-empty");
@@ -50,6 +59,19 @@ void AlertEngine::unsubscribe(int id) {
 std::size_t AlertEngine::rule_count() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return rules_.size();
+}
+
+std::vector<AlertRule> AlertEngine::rules() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rules_;
+}
+
+bool AlertEngine::has_rule(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const AlertRule& rule : rules_) {
+    if (rule.name == name) return true;
+  }
+  return false;
 }
 
 bool AlertEngine::armed(std::size_t rule_index, const AlertRule& rule,

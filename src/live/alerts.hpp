@@ -29,6 +29,7 @@ enum class AlertKind {
 };
 
 std::string_view to_string(AlertKind kind);
+AlertKind alert_kind_from_string(std::string_view s);  ///< Throws on unknown names.
 
 struct AlertRule {
   std::string name;
@@ -72,6 +73,12 @@ class AlertEngine {
   void reset_stream(const std::string& stream);
 
   std::size_t rule_count() const;
+
+  /// Copy of the registered rules, in registration order (the order the
+  /// monitor snapshot serializes and replays them in).
+  std::vector<AlertRule> rules() const;
+
+  bool has_rule(const std::string& name) const;
 
  private:
   std::vector<Alert> fire(std::vector<Alert> alerts);

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <fstream>
 #include <iomanip>
+#include <limits>
+#include <map>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
@@ -12,12 +16,13 @@
 #include "core/serialize.hpp"
 #include "par/parallel.hpp"
 #include "par/task_pool.hpp"
+#include "wal/compact.hpp"
 
 namespace prm::live {
 
 namespace {
 
-constexpr int kFormatVersion = 1;
+constexpr int kFormatVersion = 2;
 
 /// splitmix64 finalizer over std::hash so shard selection stays uniform even
 /// for the short sequential stream names real deployments use.
@@ -33,6 +38,10 @@ std::size_t shard_of(const std::string& name, std::size_t shard_count) {
 
 [[noreturn]] void fail(const std::string& what) {
   throw std::runtime_error("Monitor::load: " + what);
+}
+
+[[noreturn]] void replay_fail(const std::string& what) {
+  throw std::runtime_error("Monitor::recover: " + what);
 }
 
 void expect_key(std::istream& in, const std::string& key) {
@@ -63,9 +72,113 @@ std::optional<double> read_optional(std::istream& in, const std::string& key) {
   return has ? std::optional<double>(v) : std::nullopt;
 }
 
+/// Alert-rule line: "<kind> <threshold> <has_phase> <phase> <once> <name>".
+/// The name goes LAST and is read to end of line, so rule names may contain
+/// spaces. Shared by the snapshot format and the kAlertRule WAL payload.
+void write_rule(std::ostream& out, const AlertRule& rule) {
+  out << to_string(rule.kind) << ' ' << rule.threshold << ' '
+      << (rule.phase ? 1 : 0) << ' '
+      << to_string(rule.phase ? *rule.phase : StreamPhase::kNominal) << ' '
+      << (rule.once_per_event ? 1 : 0) << ' ' << rule.name;
+}
+
+AlertRule read_rule(std::istream& in) {
+  AlertRule rule;
+  std::string kind;
+  std::string phase;
+  if (!(in >> kind)) fail("truncated alert rule");
+  rule.kind = alert_kind_from_string(kind);
+  rule.threshold = read_double(in, "rule");
+  const bool has_phase = read_u64(in, "rule") != 0;
+  if (!(in >> phase)) fail("truncated alert rule");
+  if (has_phase) rule.phase = phase_from_string(phase);
+  rule.once_per_event = read_u64(in, "rule") != 0;
+  in >> std::ws;
+  std::getline(in, rule.name);
+  if (rule.name.empty()) fail("alert rule with empty name");
+  return rule;
+}
+
+/// One WAL record, parsed into replay form. Mutations of a stream sort by
+/// (name, incarnation, rank): the create of an incarnation first (rank 0),
+/// its ingest/refit ops by their per-stream sequence number, its remove last.
+/// That keying -- not the segment file a record sat in -- defines replay
+/// order, which keeps recovery correct even across a shard-count change.
+struct ReplayOp {
+  enum Kind { kCreate = 0, kMutation = 1, kRemove = 2 };
+  Kind kind = kMutation;
+  wal::RecordType type = wal::RecordType::kIngest;
+  std::string name;
+  std::uint64_t incarnation = 0;
+  std::uint64_t rank = 0;
+  std::uint64_t seq = 0;
+  double t = 0.0;
+  double value = 0.0;
+  std::uint64_t ordinal = 0;
+  bool warm = false;
+  std::optional<double> predicted_recovery;
+  double predicted_trough_time = 0.0;
+  double predicted_trough_value = 0.0;
+  std::optional<core::FitResult> fit;
+};
+
+ReplayOp parse_op(const wal::Record& record) {
+  ReplayOp op;
+  op.type = record.type;
+  std::istringstream in(record.payload);
+  switch (record.type) {
+    case wal::RecordType::kStreamCreate:
+      op.kind = ReplayOp::kCreate;
+      op.incarnation = read_u64(in, "create");
+      if (!(in >> op.name)) fail("create record without a stream name");
+      op.rank = 0;
+      break;
+    case wal::RecordType::kStreamRemove:
+      op.kind = ReplayOp::kRemove;
+      op.incarnation = read_u64(in, "remove");
+      if (!(in >> op.name)) fail("remove record without a stream name");
+      op.rank = std::numeric_limits<std::uint64_t>::max();
+      break;
+    case wal::RecordType::kIngest:
+      op.incarnation = read_u64(in, "ingest");
+      op.seq = read_u64(in, "ingest");
+      if (!(in >> op.name)) fail("ingest record without a stream name");
+      op.t = read_double(in, "ingest");
+      op.value = read_double(in, "ingest");
+      op.rank = op.seq;
+      break;
+    case wal::RecordType::kRefitFail:
+      op.incarnation = read_u64(in, "refit-fail");
+      op.seq = read_u64(in, "refit-fail");
+      if (!(in >> op.name)) fail("refit-fail record without a stream name");
+      op.rank = op.seq;
+      break;
+    case wal::RecordType::kRefit:
+      op.incarnation = read_u64(in, "refit");
+      op.seq = read_u64(in, "refit");
+      op.ordinal = read_u64(in, "refit");
+      op.warm = read_u64(in, "refit") != 0;
+      if (!(in >> op.name)) fail("refit record without a stream name");
+      expect_key(in, "predicted");
+      op.predicted_recovery = read_optional(in, "predicted");
+      op.predicted_trough_time = read_double(in, "predicted");
+      op.predicted_trough_value = read_double(in, "predicted");
+      op.fit = core::load_fit(in);
+      op.rank = op.seq;
+      break;
+    case wal::RecordType::kAlertRule:
+      fail("alert-rule record routed into the stream replayer");
+  }
+  return op;
+}
+
 }  // namespace
 
-Monitor::Monitor(MonitorOptions options)
+Monitor::Monitor(MonitorOptions options) : Monitor(std::move(options), DeferWalTag{}) {
+  if (!options_.wal.dir.empty()) attach_wal();
+}
+
+Monitor::Monitor(MonitorOptions options, DeferWalTag)
     : options_(std::move(options)),
       scheduler_(options_.threads, /*deferred=*/options_.batched_refits) {
   if (options_.refit_every == 0) {
@@ -89,7 +202,56 @@ Monitor::Monitor(MonitorOptions options)
   }
 }
 
-Monitor::~Monitor() = default;
+Monitor::~Monitor() { stop_maintenance(); }
+
+void Monitor::attach_wal() {
+  // Refuse a directory that already holds state: blindly appending a second
+  // history next to an old snapshot would fork the log. recover() is the one
+  // entry point for existing state.
+  const std::string& dir = options_.wal.dir;
+  if (wal::file_exists(wal::snapshot_path(dir)) ||
+      (wal::file_exists(dir) && !wal::list_segments(dir).empty())) {
+    throw std::runtime_error("Monitor: WAL directory '" + dir +
+                             "' already contains state; boot with Monitor::recover");
+  }
+  wal_ = std::make_unique<wal::Wal>(options_.wal, registry_.size());
+  start_maintenance();
+}
+
+void Monitor::start_maintenance() {
+  if (!wal_ || options_.wal.compact_check_ms <= 0) return;
+  maintenance_ = std::thread([this] { maintenance_main(); });
+}
+
+void Monitor::stop_maintenance() {
+  {
+    std::lock_guard<std::mutex> lock(maintenance_m_);
+    stop_maintenance_ = true;
+  }
+  maintenance_cv_.notify_all();
+  if (maintenance_.joinable()) maintenance_.join();
+}
+
+void Monitor::maintenance_main() {
+  const auto interval = std::chrono::milliseconds(options_.wal.compact_check_ms);
+  std::unique_lock<std::mutex> lock(maintenance_m_);
+  while (!stop_maintenance_) {
+    if (maintenance_cv_.wait_for(lock, interval,
+                                 [this] { return stop_maintenance_; })) {
+      break;
+    }
+    lock.unlock();
+    if (wal_->disk_bytes() >= options_.wal.compact_bytes) {
+      try {
+        checkpoint();
+      } catch (...) {
+        // Snapshot I/O failed; the log keeps growing and the next cycle
+        // retries. Durability of acknowledged writes is unaffected.
+      }
+    }
+    lock.lock();
+  }
+}
 
 Monitor::RegistryShard& Monitor::shard_for(const std::string& name) {
   return *registry_[shard_of(name, registry_.size())];
@@ -97,6 +259,10 @@ Monitor::RegistryShard& Monitor::shard_for(const std::string& name) {
 
 const Monitor::RegistryShard& Monitor::shard_for(const std::string& name) const {
   return *registry_[shard_of(name, registry_.size())];
+}
+
+std::size_t Monitor::shard_index_of(const std::string& name) const {
+  return shard_of(name, registry_.size());
 }
 
 Monitor::Entry& Monitor::entry_for(const std::string& name) {
@@ -110,63 +276,144 @@ Monitor::Entry& Monitor::entry_for(const std::string& name) {
   auto it = shard.streams.find(name);  // double-checked: another thread may have won
   if (it == shard.streams.end()) {
     // Construct before inserting: a throwing StreamState ctor (bad stream
-    // name) must not leave a null entry in the registry.
+    // name) must not leave a null entry in the registry. The incarnation
+    // counter advances WAL on or off so snapshots stay byte-identical, and
+    // the create record is appended BEFORE the entry becomes visible.
     auto entry = std::make_unique<Entry>(name, options_.stream);
+    entry->incarnation = incarnation_counter_.fetch_add(1) + 1;
+    if (wal_) {
+      std::ostringstream payload;
+      payload << entry->incarnation << ' ' << name;
+      wal_->append(shard_index_of(name),
+                   wal::Record{wal::RecordType::kStreamCreate, payload.str()});
+    }
     it = shard.streams.emplace(name, std::move(entry)).first;
   }
   return *it->second;
 }
 
+Monitor::IngestEffects Monitor::apply_ingest_locked(Entry& entry, double t,
+                                                    double value) {
+  IngestEffects fx;
+  fx.transitions = entry.state.push(t, value);
+  fx.phase_after = entry.state.phase();
+  fx.ordinal = entry.state.event_ordinal();
+
+  for (const TransitionEvent& tr : fx.transitions) {
+    if (tr.to == StreamPhase::kDegrading && tr.from != StreamPhase::kRecovering) {
+      fx.new_event = true;  // fresh disruption, not a W-shape back-edge
+    }
+  }
+  if (fx.new_event) {
+    entry.predicted_recovery.reset();
+    entry.predicted_trough_time.reset();
+    entry.predicted_trough_value.reset();
+    entry.samples_at_last_refit = 0;
+    entry.state.set_predicted_recovery(std::nullopt);
+  }
+
+  if (entry.state.event_active() && entry.state.event_size() >= min_fit_samples_ &&
+      entry.state.event_size() >= entry.samples_at_last_refit + options_.refit_every) {
+    fx.want_refit = true;
+    entry.samples_at_last_refit = entry.state.event_size();
+  }
+  return fx;
+}
+
 std::vector<TransitionEvent> Monitor::ingest(const std::string& stream, double t,
                                              double value) {
-  Entry& entry = entry_for(stream);
-
-  std::vector<TransitionEvent> transitions;
-  StreamPhase phase_after = StreamPhase::kNominal;
-  bool new_event = false;
-  bool want_refit = false;
-  std::uint64_t ordinal = 0;
-  {
+  IngestEffects fx;
+  Entry* entry_ptr = nullptr;
+  for (;;) {
+    Entry& entry = entry_for(stream);
     std::lock_guard<std::mutex> lock(entry.m);
-    transitions = entry.state.push(t, value);
-    phase_after = entry.state.phase();
-    ordinal = entry.state.event_ordinal();
+    if (entry.removed) continue;  // raced remove_stream; retry creates afresh
 
-    for (const TransitionEvent& tr : transitions) {
-      if (tr.to == StreamPhase::kDegrading && tr.from != StreamPhase::kRecovering) {
-        new_event = true;  // fresh disruption, not a W-shape back-edge
-      }
+    // Validate first so a sample push() would reject is never logged; then
+    // append BEFORE applying, in the same critical section, so the log order
+    // of a stream's records is exactly the order they mutated its state.
+    entry.state.validate_push(t, value);
+    if (wal_) {
+      std::ostringstream payload;
+      payload << std::setprecision(17) << entry.incarnation << ' '
+              << (entry.wal_seq + 1) << ' ' << stream << ' ' << t << ' ' << value;
+      wal_->append(shard_index_of(stream),
+                   wal::Record{wal::RecordType::kIngest, payload.str()});
     }
-    if (new_event) {
-      entry.predicted_recovery.reset();
-      entry.predicted_trough_time.reset();
-      entry.predicted_trough_value.reset();
-      entry.samples_at_last_refit = 0;
-      entry.state.set_predicted_recovery(std::nullopt);
-    }
-
-    if (entry.state.event_active() && entry.state.event_size() >= min_fit_samples_ &&
-        entry.state.event_size() >= entry.samples_at_last_refit + options_.refit_every) {
-      want_refit = true;
-      entry.samples_at_last_refit = entry.state.event_size();
-    }
+    entry.wal_seq += 1;
+    fx = apply_ingest_locked(entry, t, value);
+    entry_ptr = &entry;
+    break;
   }
 
   // Alerts and refit scheduling happen outside the entry lock: callbacks may
   // be slow, and a refit job locking entry.m must not deadlock with us.
-  if (new_event) alerts_.reset_stream(stream);
-  for (const TransitionEvent& tr : transitions) alerts_.on_transition(stream, tr);
-  alerts_.on_sample(stream, t, value, phase_after);
+  if (fx.new_event) alerts_.reset_stream(stream);
+  for (const TransitionEvent& tr : fx.transitions) alerts_.on_transition(stream, tr);
+  alerts_.on_sample(stream, t, value, fx.phase_after);
 
-  if (want_refit) {
+  if (fx.want_refit) {
     // The job snapshots the event at EXECUTION time, not here: the scheduler
     // coalesces bursts, and the surviving job should fit the freshest data
     // (and warm-start from whatever fit landed in the meantime).
-    scheduler_.schedule(stream, [this, &entry, stream, ordinal] {
-      refit_job(entry, stream, ordinal);
+    const std::uint64_t ordinal = fx.ordinal;
+    scheduler_.schedule(stream, [this, entry_ptr, stream, ordinal] {
+      refit_job(*entry_ptr, stream, ordinal);
     });
   }
-  return transitions;
+  return fx.transitions;
+}
+
+bool Monitor::remove_stream(const std::string& stream) {
+  RegistryShard& shard = shard_for(stream);
+  std::unique_ptr<Entry> victim;
+  {
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    auto it = shard.streams.find(stream);
+    if (it == shard.streams.end()) return false;
+    Entry& entry = *it->second;
+    {
+      std::lock_guard<std::mutex> entry_lock(entry.m);
+      if (wal_) {
+        std::ostringstream payload;
+        payload << entry.incarnation << ' ' << stream;
+        wal_->append(shard_index_of(stream),
+                     wal::Record{wal::RecordType::kStreamRemove, payload.str()});
+      }
+      entry.removed = true;
+    }
+    victim = std::move(it->second);
+    shard.streams.erase(it);
+  }
+  {
+    // Park, don't destroy: an in-flight refit job may still hold a raw
+    // pointer to the entry; it will lock entry.m, see `removed`, and bail.
+    std::lock_guard<std::mutex> lock(graveyard_m_);
+    graveyard_.push_back(std::move(victim));
+  }
+  alerts_.reset_stream(stream);
+  return true;
+}
+
+void Monitor::add_alert_rule(const AlertRule& rule) {
+  std::lock_guard<std::mutex> lock(meta_m_);
+  // Pre-validate so an add that AlertEngine would reject is never logged;
+  // the thrown messages match AlertEngine::add_rule exactly.
+  if (rule.name.empty()) {
+    throw std::invalid_argument("AlertEngine::add_rule: rule name must be non-empty");
+  }
+  if (alerts_.has_rule(rule.name)) {
+    throw std::invalid_argument("AlertEngine::add_rule: duplicate rule name '" +
+                                rule.name + "'");
+  }
+  if (wal_) {
+    std::ostringstream payload;
+    payload << std::setprecision(17) << (meta_seq_ + 1) << ' ';
+    write_rule(payload, rule);
+    wal_->append(0, wal::Record{wal::RecordType::kAlertRule, payload.str()});
+  }
+  meta_seq_ += 1;
+  alerts_.add_rule(rule);
 }
 
 void Monitor::refit_job(Entry& entry, const std::string& name, std::uint64_t ordinal) {
@@ -175,6 +422,7 @@ void Monitor::refit_job(Entry& entry, const std::string& name, std::uint64_t ord
     std::optional<num::Vector> warm_start;
     {
       std::lock_guard<std::mutex> lock(entry.m);
+      if (entry.removed) return;
       if (entry.state.event_ordinal() != ordinal) return;  // stale: event ended
       series = entry.state.event_series();
       if (entry.fit && entry.fit_event_ordinal == ordinal) {
@@ -196,7 +444,24 @@ void Monitor::refit_job(Entry& entry, const std::string& name, std::uint64_t ord
     StreamPhase phase = StreamPhase::kNominal;
     {
       std::lock_guard<std::mutex> lock(entry.m);
+      if (entry.removed) return;
       if (entry.state.event_ordinal() != ordinal) return;  // stale: event ended
+      // Log the RESULT, not the work: replay installs the serialized fit
+      // verbatim instead of re-running the optimizer, so a recovered monitor
+      // is byte-identical to the one that crashed.
+      if (wal_) {
+        std::ostringstream payload;
+        payload << std::setprecision(17) << entry.incarnation << ' '
+                << (entry.wal_seq + 1) << ' ' << ordinal << ' '
+                << (warm_start ? 1 : 0) << ' ' << name << '\n';
+        payload << "predicted";
+        write_optional(payload, t_r);
+        payload << ' ' << trough_t << ' ' << trough_v << '\n';
+        core::save_fit(payload, fit);
+        wal_->append(shard_index_of(name),
+                     wal::Record{wal::RecordType::kRefit, payload.str()});
+      }
+      entry.wal_seq += 1;
       entry.fit = std::move(fit);
       entry.fit_event_ordinal = ordinal;
       entry.predicted_recovery = t_r;
@@ -211,6 +476,19 @@ void Monitor::refit_job(Entry& entry, const std::string& name, std::uint64_t ord
     if (t_r) alerts_.on_forecast(name, forecast_at, *t_r, phase);
   } catch (...) {
     std::lock_guard<std::mutex> lock(entry.m);
+    if (entry.removed) return;
+    if (wal_) {
+      try {
+        std::ostringstream payload;
+        payload << entry.incarnation << ' ' << (entry.wal_seq + 1) << ' ' << name;
+        wal_->append(shard_index_of(name),
+                     wal::Record{wal::RecordType::kRefitFail, payload.str()});
+      } catch (...) {
+        // Logging the failure failed too; still count it so live counters
+        // stay truthful. Recovery may then under-count failed refits.
+      }
+    }
+    entry.wal_seq += 1;
     ++entry.failed_refits;
   }
 }
@@ -357,6 +635,18 @@ void Monitor::save(std::ostream& out) {
   out << "prm-live " << kFormatVersion << '\n';
   out << std::setprecision(17);
   out << "model " << options_.model << '\n';
+  {
+    std::lock_guard<std::mutex> meta_lock(meta_m_);
+    out << "meta " << meta_seq_ << ' '
+        << incarnation_counter_.load(std::memory_order_relaxed) << '\n';
+    const auto rules = alerts_.rules();
+    out << "alert_rules " << rules.size() << '\n';
+    for (const AlertRule& rule : rules) {
+      out << "rule ";
+      write_rule(out, rule);
+      out << '\n';
+    }
+  }
   out << "streams " << entries.size() << '\n';
   for (const auto& [name, entry] : entries) {
     std::lock_guard<std::mutex> entry_lock(entry->m);
@@ -368,6 +658,7 @@ void Monitor::save(std::ostream& out) {
     out << "fit_event_ordinal " << entry->fit_event_ordinal << '\n';
     out << "counters " << entry->refits << ' ' << entry->warm_refits << ' '
         << entry->failed_refits << ' ' << entry->samples_at_last_refit << '\n';
+    out << "wal " << entry->wal_seq << ' ' << entry->incarnation << '\n';
     out << "predicted";
     write_optional(out, entry->predicted_recovery);
     write_optional(out, entry->predicted_trough_time);
@@ -378,13 +669,23 @@ void Monitor::save(std::ostream& out) {
 }
 
 void Monitor::save_file(const std::string& path) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("Monitor::save_file: cannot open " + path);
+  // Temp file + fsync + atomic rename: a crash mid-save leaves the previous
+  // snapshot intact, never a half-written one.
+  std::ostringstream out;
   save(out);
-  if (!out) throw std::runtime_error("Monitor::save_file: write failed for " + path);
+  try {
+    wal::atomic_write_file(path, out.str());
+  } catch (const std::exception& e) {
+    throw std::runtime_error("Monitor::save_file: " + std::string(e.what()));
+  }
 }
 
 std::unique_ptr<Monitor> Monitor::load(std::istream& in, MonitorOptions options) {
+  return load_impl(in, std::move(options), /*attach_wal=*/true);
+}
+
+std::unique_ptr<Monitor> Monitor::load_impl(std::istream& in, MonitorOptions options,
+                                            bool attach_wal) {
   expect_key(in, "prm-live");
   int version = 0;
   if (!(in >> version)) fail("missing format version");
@@ -398,7 +699,18 @@ std::unique_ptr<Monitor> Monitor::load(std::istream& in, MonitorOptions options)
   if (!(in >> model_name)) fail("missing model name");
   options.model = model_name;  // keep the warm-start path consistent on resume
 
-  auto monitor = std::unique_ptr<Monitor>(new Monitor(std::move(options)));
+  auto monitor = std::unique_ptr<Monitor>(new Monitor(std::move(options), DeferWalTag{}));
+
+  expect_key(in, "meta");
+  monitor->meta_seq_ = read_u64(in, "meta");
+  monitor->incarnation_counter_.store(read_u64(in, "meta"),
+                                      std::memory_order_relaxed);
+  expect_key(in, "alert_rules");
+  const std::uint64_t rule_count = read_u64(in, "alert_rules");
+  for (std::uint64_t i = 0; i < rule_count; ++i) {
+    expect_key(in, "rule");
+    monitor->alerts_.add_rule(read_rule(in));
+  }
 
   expect_key(in, "streams");
   const std::uint64_t count = read_u64(in, "streams");
@@ -419,6 +731,9 @@ std::unique_ptr<Monitor> Monitor::load(std::istream& in, MonitorOptions options)
     entry->failed_refits = read_u64(in, "counters");
     entry->samples_at_last_refit =
         static_cast<std::size_t>(read_u64(in, "counters"));
+    expect_key(in, "wal");
+    entry->wal_seq = read_u64(in, "wal");
+    entry->incarnation = read_u64(in, "wal");
     expect_key(in, "predicted");
     entry->predicted_recovery = read_optional(in, "predicted");
     entry->predicted_trough_time = read_optional(in, "predicted");
@@ -430,6 +745,7 @@ std::unique_ptr<Monitor> Monitor::load(std::istream& in, MonitorOptions options)
     }
     monitor->shard_for(name).streams.emplace(name, std::move(entry));
   }
+  if (attach_wal && !monitor->options_.wal.dir.empty()) monitor->attach_wal();
   return monitor;
 }
 
@@ -438,6 +754,223 @@ std::unique_ptr<Monitor> Monitor::load_file(const std::string& path,
   std::ifstream in(path);
   if (!in) throw std::runtime_error("Monitor::load_file: cannot open " + path);
   return load(in, std::move(options));
+}
+
+std::unique_ptr<Monitor> Monitor::recover(MonitorOptions options) {
+  if (options.wal.dir.empty()) {
+    throw std::invalid_argument("Monitor::recover: options.wal.dir must be set");
+  }
+  wal::ensure_dir(options.wal.dir);
+  const std::string snapshot = wal::snapshot_path(options.wal.dir);
+  wal::RecoveryStats stats;
+  std::unique_ptr<Monitor> monitor;
+  if (wal::file_exists(snapshot)) {
+    std::ifstream in(snapshot);
+    if (!in) throw std::runtime_error("Monitor::recover: cannot open " + snapshot);
+    monitor = load_impl(in, std::move(options), /*attach_wal=*/false);
+    stats.snapshot_loaded = true;
+  } else {
+    monitor = std::unique_ptr<Monitor>(new Monitor(std::move(options), DeferWalTag{}));
+  }
+  auto records = wal::read_all_records(monitor->options_.wal.dir, stats);
+  monitor->replay(std::move(records), stats);
+  monitor->recovery_stats_ = stats;
+  // Only now open the log for writing: replay never appends, and the fresh
+  // segments the Wal creates start after everything just replayed.
+  monitor->wal_ = std::make_unique<wal::Wal>(monitor->options_.wal,
+                                             monitor->registry_.size());
+  // Re-queue the refit jobs that died with the crashed process -- after the
+  // WAL is open, so their results are logged like any live refit.
+  monitor->reschedule_pending_refits();
+  monitor->start_maintenance();
+  return monitor;
+}
+
+void Monitor::replay(std::vector<wal::ReplayRecord> records,
+                     wal::RecoveryStats& stats) {
+  // Nothing else runs during recovery: no scheduler jobs, no WAL, no other
+  // threads -- so the registry is mutated without locks here.
+  std::vector<ReplayOp> ops;
+  ops.reserve(records.size());
+  std::vector<std::pair<std::uint64_t, AlertRule>> rules;
+  for (const wal::ReplayRecord& rr : records) {
+    if (rr.record.type == wal::RecordType::kAlertRule) {
+      std::istringstream in(rr.record.payload);
+      const std::uint64_t seq = read_u64(in, "alert-rule");
+      rules.emplace_back(seq, read_rule(in));
+    } else {
+      ops.push_back(parse_op(rr.record));
+    }
+  }
+
+  // Replay order is defined by the keys INSIDE the records -- per stream by
+  // (incarnation, seq), rules by meta_seq -- not by which segment file held
+  // them. The per-entry gating below then skips anything the snapshot
+  // already covers and trips loudly on a genuine gap.
+  std::stable_sort(ops.begin(), ops.end(),
+                   [](const ReplayOp& a, const ReplayOp& b) {
+                     if (a.name != b.name) return a.name < b.name;
+                     if (a.incarnation != b.incarnation) {
+                       return a.incarnation < b.incarnation;
+                     }
+                     return a.rank < b.rank;
+                   });
+  std::stable_sort(rules.begin(), rules.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  for (auto& [seq, rule] : rules) {
+    if (seq <= meta_seq_) {
+      ++stats.skipped;
+      continue;
+    }
+    if (seq != meta_seq_ + 1) {
+      replay_fail("alert-rule sequence gap (wanted " +
+                  std::to_string(meta_seq_ + 1) + ", found " + std::to_string(seq) +
+                  ")");
+    }
+    alerts_.add_rule(std::move(rule));
+    meta_seq_ = seq;
+    ++stats.applied;
+  }
+
+  // A want-refit edge during replay means the crashed process scheduled a
+  // job there; a later kRefit/kRefitFail record means that job (or a
+  // coalesced successor) ran and was acknowledged. Edges with no logged
+  // result are the refit queue that died with the process -- remember them
+  // (last edge per stream, like scheduler coalescing) so recover() can
+  // re-queue them once the WAL is reattached.
+  std::map<std::string, std::uint64_t> pending;
+
+  for (ReplayOp& op : ops) {
+    RegistryShard& shard = shard_for(op.name);
+    auto it = shard.streams.find(op.name);
+    Entry* entry = (it == shard.streams.end()) ? nullptr : it->second.get();
+
+    if (op.kind == ReplayOp::kCreate) {
+      if (entry != nullptr) {
+        if (entry->incarnation >= op.incarnation) {
+          ++stats.skipped;
+        } else {
+          replay_fail("create for stream '" + op.name +
+                      "' without a remove of its previous incarnation");
+        }
+        continue;
+      }
+      auto fresh = std::make_unique<Entry>(op.name, options_.stream);
+      fresh->incarnation = op.incarnation;
+      shard.streams.emplace(op.name, std::move(fresh));
+      if (op.incarnation > incarnation_counter_.load(std::memory_order_relaxed)) {
+        incarnation_counter_.store(op.incarnation, std::memory_order_relaxed);
+      }
+      ++stats.applied;
+      continue;
+    }
+
+    if (op.kind == ReplayOp::kRemove) {
+      if (entry == nullptr || entry->incarnation > op.incarnation) {
+        ++stats.skipped;  // snapshot already reflects the remove (and beyond)
+      } else {
+        shard.streams.erase(it);
+        pending.erase(op.name);
+        ++stats.applied;
+      }
+      continue;
+    }
+
+    // Ingest / refit / refit-fail: gate on (incarnation, seq).
+    if (entry == nullptr || entry->incarnation > op.incarnation) {
+      ++stats.skipped;  // its remove was compacted into the snapshot
+      continue;
+    }
+    if (entry->incarnation < op.incarnation) {
+      replay_fail("record for stream '" + op.name + "' incarnation " +
+                  std::to_string(op.incarnation) + " without its create");
+    }
+    if (op.seq <= entry->wal_seq) {
+      ++stats.skipped;  // already folded into the snapshot
+      continue;
+    }
+    if (op.seq != entry->wal_seq + 1) {
+      replay_fail("sequence gap on stream '" + op.name + "' (wanted " +
+                  std::to_string(entry->wal_seq + 1) + ", found " +
+                  std::to_string(op.seq) + ")");
+    }
+    switch (op.type) {
+      case wal::RecordType::kIngest: {
+        const IngestEffects fx = apply_ingest_locked(*entry, op.t, op.value);
+        if (fx.want_refit) pending[op.name] = fx.ordinal;
+        break;
+      }
+      case wal::RecordType::kRefit:
+        pending.erase(op.name);
+        entry->fit = std::move(*op.fit);
+        entry->fit_event_ordinal = op.ordinal;
+        entry->predicted_recovery = op.predicted_recovery;
+        entry->predicted_trough_time = op.predicted_trough_time;
+        entry->predicted_trough_value = op.predicted_trough_value;
+        entry->state.set_predicted_recovery(op.predicted_recovery);
+        ++entry->refits;
+        if (op.warm) ++entry->warm_refits;
+        break;
+      case wal::RecordType::kRefitFail:
+        pending.erase(op.name);
+        ++entry->failed_refits;
+        break;
+      default:
+        replay_fail("unexpected record type in stream replay");
+    }
+    entry->wal_seq = op.seq;
+    ++stats.applied;
+  }
+
+  pending_refits_.assign(pending.begin(), pending.end());
+}
+
+void Monitor::reschedule_pending_refits() {
+  for (const auto& item : pending_refits_) {
+    const std::string& stream = item.first;
+    const std::uint64_t ordinal = item.second;
+    RegistryShard& shard = shard_for(stream);
+    Entry* entry_ptr = nullptr;
+    {
+      std::shared_lock<std::shared_mutex> lock(shard.mutex);
+      auto it = shard.streams.find(stream);
+      if (it == shard.streams.end()) continue;
+      entry_ptr = it->second.get();
+    }
+    // Same job shape as live ingest: snapshots the event at execution time,
+    // bails if the event ordinal moved on (exactly what the crashed queue's
+    // job would have done).
+    scheduler_.schedule(stream, [this, entry_ptr, stream, ordinal] {
+      refit_job(*entry_ptr, stream, ordinal);
+    });
+  }
+  pending_refits_.clear();
+}
+
+void Monitor::checkpoint() {
+  if (!wal_) return;
+  std::lock_guard<std::mutex> lock(checkpoint_m_);
+  // Seal first, snapshot second: every record in a sealed segment was
+  // appended -- and therefore applied, the two are one critical section --
+  // before rotate_all returned, so the snapshot written next covers all of
+  // them. Records landing in the fresh segments meanwhile merely overlap the
+  // snapshot, which replay's sequence gating already handles.
+  const std::vector<std::uint64_t> watermarks = wal_->rotate_all();
+  std::ostringstream snapshot;
+  save(snapshot);
+  wal::atomic_write_file(wal::snapshot_path(options_.wal.dir), snapshot.str());
+  wal_->remove_segments_below(watermarks);
+}
+
+void Monitor::shutdown() {
+  if (shutdown_done_.exchange(true)) return;
+  stop_maintenance();
+  drain();
+  if (wal_) {
+    checkpoint();
+    wal_->sync_all();
+  }
 }
 
 }  // namespace prm::live

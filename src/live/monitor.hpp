@@ -31,13 +31,17 @@
 #pragma once
 
 #include <array>
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/fitting.hpp"
@@ -45,6 +49,8 @@
 #include "live/alerts.hpp"
 #include "live/refit_scheduler.hpp"
 #include "live/stream_state.hpp"
+#include "wal/log.hpp"
+#include "wal/recovery.hpp"
 
 namespace prm::live {
 
@@ -79,6 +85,13 @@ struct MonitorOptions {
   /// Search horizon for the recovery-time prediction, as a multiple of the
   /// observed event span (see core::predict_recovery_time).
   double horizon_factor = 4.0;
+
+  /// Write-ahead-log knobs. wal.dir empty (the default) disables the WAL
+  /// entirely; set it to make every acknowledged mutation durable. A fresh
+  /// directory can be opened by the constructor; a directory with existing
+  /// state must go through Monitor::recover (the constructor refuses it, so
+  /// a mis-wired boot cannot silently fork history).
+  wal::WalOptions wal;
 
   /// Fit options for the cold (first) fit of an event; warm refits reuse
   /// these plus FitOptions::warm_start.
@@ -134,6 +147,18 @@ class Monitor {
   /// std::invalid_argument otherwise, as does a whitespace stream name).
   std::vector<TransitionEvent> ingest(const std::string& stream, double t, double value);
 
+  /// Forget a stream entirely (state, fit, counters). Returns false when the
+  /// stream does not exist. Durable when the WAL is on: a remove survives
+  /// restart even if the snapshot still contains the stream. The stream can
+  /// be re-created by a later ingest (it restarts from scratch).
+  bool remove_stream(const std::string& stream);
+
+  /// WAL-aware alert-rule registration: validates, logs, then applies via
+  /// alerts().add_rule. Always use this instead of alerts().add_rule when
+  /// rules must survive restart; throws std::invalid_argument exactly as
+  /// AlertEngine::add_rule does.
+  void add_alert_rule(const AlertRule& rule);
+
   /// Block until every scheduled refit has completed. In batched mode this
   /// runs refit_batch() passes until no work remains.
   void drain();
@@ -179,7 +204,35 @@ class Monitor {
   static std::unique_ptr<Monitor> load_file(const std::string& path,
                                             MonitorOptions options = {});
 
+  /// Rebuild a monitor from a WAL directory: load the compacted snapshot if
+  /// one exists, then replay the log tail on top (tolerating a torn final
+  /// record in each segment, the signature a crash leaves). The result is
+  /// exactly the acknowledged pre-crash state. options.wal.dir must be set;
+  /// an empty directory recovers to an empty monitor, so recover() is the
+  /// universal boot path for WAL-enabled deployments.
+  static std::unique_ptr<Monitor> recover(MonitorOptions options);
+
+  /// Fold the log into the snapshot: drain refits, seal every shard's
+  /// active segment, write the snapshot atomically to the WAL directory,
+  /// then delete the sealed segments it covers. No-op when the WAL is off.
+  /// Also run periodically by the maintenance thread once the log passes
+  /// wal.compact_bytes.
+  void checkpoint();
+
+  /// Clean shutdown: stop the maintenance thread, drain refits, checkpoint,
+  /// and fsync the WAL. Idempotent; called by the CLI signal handlers.
+  void shutdown();
+
+  bool wal_enabled() const noexcept { return wal_ != nullptr; }
+  wal::WalStats wal_stats() const { return wal_ ? wal_->stats() : wal::WalStats{}; }
+  std::uint64_t wal_disk_bytes() const { return wal_ ? wal_->disk_bytes() : 0; }
+
+  /// What the last recover() found (zeroes for a constructor-made monitor).
+  const wal::RecoveryStats& recovery_stats() const noexcept { return recovery_stats_; }
+
  private:
+  struct DeferWalTag {};  ///< Internal: construct without opening the WAL.
+  Monitor(MonitorOptions options, DeferWalTag);
   struct Entry {
     Entry(std::string stream_name, const StreamConfig& config)
         : state(std::move(stream_name), config) {}
@@ -196,6 +249,20 @@ class Monitor {
     std::uint64_t warm_refits = 0;
     std::uint64_t failed_refits = 0;
     std::size_t samples_at_last_refit = 0;
+
+    /// Per-stream mutation sequence: incremented (under m, WAL on or off)
+    /// for every logged mutation, so replay can skip records the snapshot
+    /// already covers and detect gaps. Serialized in the snapshot.
+    std::uint64_t wal_seq = 0;
+
+    /// Which lifetime of this stream name the entry belongs to. Remove +
+    /// re-create yields a higher incarnation, which is how replay tells
+    /// records of the old stream from records of the new one.
+    std::uint64_t incarnation = 0;
+
+    /// Set (under m) when remove_stream evicts the entry; in-flight refit
+    /// jobs still holding a pointer check it and bail out.
+    bool removed = false;
   };
 
   /// One registry stripe: streams whose name hashes here share this lock and
@@ -206,9 +273,38 @@ class Monitor {
     std::map<std::string, std::unique_ptr<Entry>> streams;
   };
 
+  /// What one applied sample did, for the caller to act on outside entry.m.
+  struct IngestEffects {
+    std::vector<TransitionEvent> transitions;
+    StreamPhase phase_after = StreamPhase::kNominal;
+    std::uint64_t ordinal = 0;
+    bool new_event = false;
+    bool want_refit = false;
+  };
+
   RegistryShard& shard_for(const std::string& name);
   const RegistryShard& shard_for(const std::string& name) const;
   Entry& entry_for(const std::string& name);
+  std::size_t shard_index_of(const std::string& name) const;
+  /// The full per-sample state mutation (push + event bookkeeping + refit
+  /// due-tracking), shared verbatim by live ingest and WAL replay so the two
+  /// paths cannot drift. Caller holds entry.m and has already validated.
+  IngestEffects apply_ingest_locked(Entry& entry, double t, double value);
+  static std::unique_ptr<Monitor> load_impl(std::istream& in, MonitorOptions options,
+                                            bool attach_wal);
+  /// Open the WAL on a fresh-or-empty directory (throws when the directory
+  /// already holds state) and start the maintenance thread.
+  void attach_wal();
+  void start_maintenance();
+  void stop_maintenance();
+  void maintenance_main();
+  /// Replay WAL records on top of the current (snapshot-loaded) state.
+  void replay(std::vector<wal::ReplayRecord> records, wal::RecoveryStats& stats);
+  /// Re-queue the refits the log proves were scheduled but never produced a
+  /// kRefit/kRefitFail record -- the crashed process's refit queue. Called by
+  /// recover() only after the WAL is reattached so the jobs' results are
+  /// logged like any live refit.
+  void reschedule_pending_refits();
   void refit_job(Entry& entry, const std::string& name, std::uint64_t ordinal);
   StreamSnapshot fill_snapshot(Entry& entry) const;  ///< Caller holds entry.m.
   /// All (name, entry) pairs across shards, sorted by name. Entry pointers
@@ -222,6 +318,33 @@ class Monitor {
   std::vector<std::unique_ptr<RegistryShard>> registry_;
 
   AlertEngine alerts_;
+
+  /// Removed entries are parked here (not destroyed) so that a refit job
+  /// still holding a raw Entry* finds a live object with `removed` set
+  /// instead of a dangling pointer. Bounded by the number of removes.
+  std::mutex graveyard_m_;
+  std::vector<std::unique_ptr<Entry>> graveyard_;
+
+  /// Monotonic counters mirrored into the snapshot's "meta" line. They
+  /// advance WAL on or off, so a WAL-enabled run and a WAL-free run fed the
+  /// same inputs produce byte-identical snapshots.
+  std::atomic<std::uint64_t> incarnation_counter_{0};
+  std::mutex meta_m_;  ///< Serializes alert-rule log+apply.
+  std::uint64_t meta_seq_ = 0;
+
+  std::unique_ptr<wal::Wal> wal_;  ///< Before scheduler_: outlives refit jobs.
+  wal::RecoveryStats recovery_stats_;
+  /// Streams whose last replayed want-refit edge had no logged result, with
+  /// the event ordinal of that edge; filled by replay(), drained (into the
+  /// scheduler) by reschedule_pending_refits().
+  std::vector<std::pair<std::string, std::uint64_t>> pending_refits_;
+
+  std::mutex checkpoint_m_;  ///< Serializes concurrent checkpoints.
+  std::mutex maintenance_m_;
+  std::condition_variable maintenance_cv_;
+  bool stop_maintenance_ = false;
+  std::thread maintenance_;
+  std::atomic<bool> shutdown_done_{false};
 
   // Declared last: destroyed first, so in-flight refit jobs finish while the
   // entries they reference are still alive.

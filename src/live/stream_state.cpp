@@ -248,7 +248,7 @@ void StreamState::begin_event(double t, std::uint64_t index) {
   phase_ = StreamPhase::kDegrading;
 }
 
-std::vector<TransitionEvent> StreamState::push(double t, double value) {
+void StreamState::validate_push(double t, double value) const {
   if (!std::isfinite(t) || !std::isfinite(value)) {
     throw std::invalid_argument("StreamState::push: non-finite sample");
   }
@@ -257,6 +257,10 @@ std::vector<TransitionEvent> StreamState::push(double t, double value) {
                                 std::to_string(t) + " after " + std::to_string(last_time_) +
                                 " on stream '" + name_ + "')");
   }
+}
+
+std::vector<TransitionEvent> StreamState::push(double t, double value) {
+  validate_push(t, value);
   const std::uint64_t index = samples_seen_;
   ++samples_seen_;
   last_time_ = t;

@@ -84,6 +84,11 @@ class StreamState {
   /// DEGRADING when a fresh disruption hits right after re-baselining).
   std::vector<TransitionEvent> push(double t, double value);
 
+  /// Throws exactly as push(t, value) would, without mutating anything. The
+  /// monitor's write-ahead-log path validates first so that a sample that
+  /// push() would reject is never logged (replay must never see it).
+  void validate_push(double t, double value) const;
+
   const std::string& name() const noexcept { return name_; }
   const StreamConfig& config() const noexcept { return config_; }
   StreamPhase phase() const noexcept { return phase_; }

@@ -60,7 +60,14 @@ App::App(AppOptions options)
     throw std::out_of_range("App: unknown default model '" + options_.default_model +
                             "'");
   }
-  monitor_ = std::make_unique<live::Monitor>(options_.monitor);
+  // With a WAL directory configured, boot through recover(): it handles the
+  // empty-directory, snapshot-only, and snapshot+log-tail cases uniformly,
+  // so a restarted server resumes exactly where the last one stopped.
+  if (!options_.monitor.wal.dir.empty()) {
+    monitor_ = live::Monitor::recover(options_.monitor);
+  } else {
+    monitor_ = std::make_unique<live::Monitor>(options_.monitor);
+  }
 }
 
 void App::set_stats_provider(std::function<ServerStats()> provider) {
@@ -207,8 +214,9 @@ http::Response App::handle(const http::Request& request) {
         return is_post ? handle_stream_ingest(name, request)
                        : error_response(405, "use POST /v1/streams/{name}/ingest");
       }
+      if (request.method == "DELETE") return handle_stream_remove(rest);
       return is_get ? handle_stream_get(rest)
-                    : error_response(405, "use GET /v1/streams/{name}");
+                    : error_response(405, "use GET or DELETE /v1/streams/{name}");
     }
     return error_response(404, "no route for '" + target + "'");
   } catch (const std::exception& e) {
@@ -301,6 +309,34 @@ http::Response App::handle_metrics() const {
       w.kv_null("server");
     }
   }
+
+  if (monitor_->wal_enabled()) {
+    const wal::WalStats wal_stats = monitor_->wal_stats();
+    const wal::RecoveryStats& recovery = monitor_->recovery_stats();
+    w.key("wal");
+    w.begin_object();
+    w.kv("bytes", wal_stats.bytes);
+    w.kv("compactions", wal_stats.compactions);
+    w.kv("disk_bytes", monitor_->wal_disk_bytes());
+    w.kv("fsync", wal::to_string(monitor_->options().wal.fsync));
+    w.kv("fsyncs", wal_stats.fsyncs);
+    w.kv("records", wal_stats.records);
+    w.key("recovery");
+    w.begin_object();
+    w.kv("applied", recovery.applied);
+    w.kv("records", recovery.records);
+    w.kv("segments", recovery.segments);
+    w.kv("skipped", recovery.skipped);
+    w.kv("snapshot_loaded", recovery.snapshot_loaded);
+    w.kv("torn_tails", recovery.torn_tails);
+    w.end_object();
+    w.kv("rotations", wal_stats.rotations);
+    w.kv("segments", wal_stats.segments);
+    w.end_object();
+  } else {
+    w.kv_null("wal");
+  }
+
   w.end_object();
   return http::Response::json(200, w.str());
 }
@@ -549,6 +585,18 @@ http::Response App::handle_stream_get(const std::string& name) const {
   w.kv("value", snap.trough_value);
   w.end_object();
 
+  w.end_object();
+  return http::Response::json(200, w.str());
+}
+
+http::Response App::handle_stream_remove(const std::string& name) {
+  if (!monitor_->remove_stream(name)) {
+    return error_response(404, "unknown stream '" + name + "'");
+  }
+  JsonWriter& w = thread_json_writer();
+  w.begin_object();
+  w.kv("removed", true);
+  w.kv("stream", name);
   w.end_object();
   return http::Response::json(200, w.str());
 }

@@ -13,6 +13,7 @@
 //   POST /v1/metrics                   the eight interval resilience metrics
 //   GET  /v1/streams                   monitored stream names
 //   GET  /v1/streams/{name}            one stream's live snapshot
+//   DELETE /v1/streams/{name}          forget a stream (durable with WAL on)
 //   POST /v1/streams/{name}/ingest     feed samples into the shared Monitor
 //
 // Fit-shaped requests ({"series": {...}, "model": ..., "holdout": ...,
@@ -106,6 +107,7 @@ class App {
   http::Response handle_interval_metrics(const http::Request& request);
   http::Response handle_stream_list() const;
   http::Response handle_stream_get(const std::string& name) const;
+  http::Response handle_stream_remove(const std::string& name);
   http::Response handle_stream_ingest(const std::string& name,
                                       const http::Request& request);
 

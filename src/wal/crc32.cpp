@@ -1,0 +1,42 @@
+#include "wal/crc32.hpp"
+
+#include <array>
+
+namespace prm::wal {
+
+namespace {
+
+constexpr std::uint32_t kPolynomial = 0xedb88320u;  // reflected 0x04c11db7
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ kPolynomial : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+std::uint32_t update(std::uint32_t crc, std::string_view data) {
+  for (const char c : data) {
+    crc = kTable[(crc ^ static_cast<unsigned char>(c)) & 0xffu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) {
+  return update(0xffffffffu, data) ^ 0xffffffffu;
+}
+
+std::uint32_t crc32_extend(std::uint32_t seed, std::string_view data) {
+  return update(seed ^ 0xffffffffu, data) ^ 0xffffffffu;
+}
+
+}  // namespace prm::wal

@@ -1,0 +1,25 @@
+// CRC-32 (IEEE 802.3 polynomial, the zlib/PNG one) over byte ranges, used to
+// frame write-ahead-log records so a torn or bit-rotted tail is detected on
+// recovery instead of being replayed as garbage.
+//
+// Table-driven, one byte per step; incremental via the running-crc overload
+// so a framing layer can checksum a header and payload without concatenating
+// them first. No hardware CRC instructions: WAL appends are dominated by the
+// write()/fsync() syscalls, not the checksum.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace prm::wal {
+
+/// CRC-32 of `data`, with the conventional ~0 pre/post conditioning.
+std::uint32_t crc32(std::string_view data);
+
+/// Incremental form: feed the previous return value back in as `seed` to
+/// extend the checksum over another range (crc32(a + b) == crc32_extend(
+/// crc32(a), b)).
+std::uint32_t crc32_extend(std::uint32_t seed, std::string_view data);
+
+}  // namespace prm::wal

@@ -1,0 +1,265 @@
+#include "wal/log.hpp"
+
+#include <dirent.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "wal/compact.hpp"
+
+namespace prm::wal {
+
+const char* to_string(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kAlways: return "always";
+    case FsyncPolicy::kInterval: return "interval";
+    case FsyncPolicy::kNever: return "never";
+  }
+  return "?";
+}
+
+FsyncPolicy fsync_policy_from_string(const std::string& text) {
+  if (text == "always") return FsyncPolicy::kAlways;
+  if (text == "interval") return FsyncPolicy::kInterval;
+  if (text == "never") return FsyncPolicy::kNever;
+  throw std::invalid_argument("unknown fsync policy '" + text +
+                              "' (expected always, interval, or never)");
+}
+
+std::string segment_file_name(std::size_t shard, std::uint64_t seq) {
+  char name[64];
+  std::snprintf(name, sizeof name, "wal-%04zu-%08llu.log", shard,
+                static_cast<unsigned long long>(seq));
+  return name;
+}
+
+std::vector<SegmentInfo> list_segments(const std::string& dir) {
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) {
+    throw std::runtime_error("wal: cannot list directory '" + dir + "': " +
+                             std::strerror(errno));
+  }
+  std::vector<SegmentInfo> segments;
+  while (const dirent* entry = ::readdir(handle)) {
+    unsigned long shard = 0;
+    unsigned long long seq = 0;
+    int consumed = 0;
+    if (std::sscanf(entry->d_name, "wal-%4lu-%8llu.log%n", &shard, &seq,
+                    &consumed) == 2 &&
+        entry->d_name[consumed] == '\0') {
+      segments.push_back(SegmentInfo{static_cast<std::size_t>(shard), seq,
+                                     dir + "/" + entry->d_name});
+    }
+  }
+  ::closedir(handle);
+  std::sort(segments.begin(), segments.end(),
+            [](const SegmentInfo& a, const SegmentInfo& b) {
+              if (a.shard != b.shard) return a.shard < b.shard;
+              return a.seq < b.seq;
+            });
+  return segments;
+}
+
+Wal::Wal(WalOptions options, std::size_t shards)
+    : options_(std::move(options)) {
+  if (options_.dir.empty()) throw std::invalid_argument("wal: empty directory");
+  if (shards == 0) throw std::invalid_argument("wal: zero shards");
+  ensure_dir(options_.dir);
+
+  // A restarted writer never appends to an old segment: each shard opens a
+  // fresh segment one past the highest seq on disk, so torn frames from a
+  // previous crash stay confined to the tails of sealed files.
+  std::vector<std::uint64_t> next_seq(shards, 1);
+  std::uint64_t existing = 0;
+  std::uint64_t existing_bytes = 0;
+  for (const SegmentInfo& info : list_segments(options_.dir)) {
+    ++existing;
+    existing_bytes += file_size(info.path);
+    if (info.shard < shards && info.seq >= next_seq[info.shard]) {
+      next_seq[info.shard] = info.seq + 1;
+    }
+  }
+
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->seq = next_seq[i];
+    shard->writer =
+        std::make_unique<SegmentWriter>(segment_path(i, shard->seq));
+    shards_.push_back(std::move(shard));
+  }
+  fsync_dir(options_.dir);
+
+  segments_.store(existing + shards, std::memory_order_relaxed);
+  disk_bytes_.store(existing_bytes, std::memory_order_relaxed);
+
+  if (options_.fsync == FsyncPolicy::kInterval) {
+    flusher_ = std::thread([this] { flusher_main(); });
+  }
+}
+
+Wal::~Wal() {
+  if (flusher_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(flusher_m_);
+      stop_flusher_ = true;
+    }
+    flusher_cv_.notify_all();
+    flusher_.join();
+  }
+  try {
+    sync_all();
+  } catch (...) {
+    // Destructor: the process is going down anyway; recovery tolerates an
+    // unsynced tail.
+  }
+}
+
+std::string Wal::segment_path(std::size_t shard, std::uint64_t seq) const {
+  return options_.dir + "/" + segment_file_name(shard, seq);
+}
+
+void Wal::append(std::size_t shard_index, const Record& record) {
+  Shard& shard = *shards_[shard_index];
+  const std::string frame = encode_frame(record);
+
+  std::unique_lock<std::mutex> lock(shard.m);
+  shard.writer->append(frame);
+  shard.written_total += frame.size();
+  const std::uint64_t my_target = shard.written_total;
+  records_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(frame.size(), std::memory_order_relaxed);
+  disk_bytes_.fetch_add(frame.size(), std::memory_order_relaxed);
+
+  // Rotation seals with an fsync, so it must not race a leader fsync of the
+  // same writer; if one is in flight, the next append past the limit rotates.
+  if (shard.writer->size() >= options_.segment_bytes && !shard.syncing) {
+    rotate_locked(shard_index, shard);
+  }
+
+  if (options_.fsync == FsyncPolicy::kAlways) {
+    sync_to(shard, lock, my_target);
+  }
+}
+
+void Wal::sync_to(Shard& shard, std::unique_lock<std::mutex>& lock,
+                  std::uint64_t target) {
+  while (shard.synced_total < target) {
+    if (shard.syncing) {
+      // A leader's fsync is in flight; it may or may not cover our bytes.
+      shard.cv.wait(lock);
+      continue;
+    }
+    shard.syncing = true;
+    const std::uint64_t sync_target = shard.written_total;
+    SegmentWriter* writer = shard.writer.get();
+    lock.unlock();
+    try {
+      writer->sync();
+    } catch (...) {
+      lock.lock();
+      shard.syncing = false;
+      shard.cv.notify_all();
+      throw;
+    }
+    lock.lock();
+    fsyncs_.fetch_add(1, std::memory_order_relaxed);
+    if (sync_target > shard.synced_total) shard.synced_total = sync_target;
+    shard.syncing = false;
+    shard.cv.notify_all();
+  }
+}
+
+void Wal::rotate_locked(std::size_t index, Shard& shard) {
+  shard.writer->sync();  // Seal: everything in the old segment is durable.
+  fsyncs_.fetch_add(1, std::memory_order_relaxed);
+  shard.synced_total = shard.written_total;
+  shard.seq += 1;
+  shard.writer = std::make_unique<SegmentWriter>(segment_path(index, shard.seq));
+  fsync_dir(options_.dir);
+  rotations_.fetch_add(1, std::memory_order_relaxed);
+  segments_.fetch_add(1, std::memory_order_relaxed);
+  shard.cv.notify_all();  // synced_total advanced; wake any followers.
+}
+
+void Wal::sync_all() {
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::unique_lock<std::mutex> lock(shard.m);
+    sync_to(shard, lock, shard.written_total);
+  }
+}
+
+std::vector<std::uint64_t> Wal::rotate_all() {
+  std::vector<std::uint64_t> watermarks(shards_.size(), 0);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    std::unique_lock<std::mutex> lock(shard.m);
+    shard.cv.wait(lock, [&shard] { return !shard.syncing; });
+    if (shard.writer->size() > 0) {
+      rotate_locked(i, shard);
+    }
+    watermarks[i] = shard.seq;
+  }
+  return watermarks;
+}
+
+std::uint64_t Wal::remove_segments_below(
+    const std::vector<std::uint64_t>& watermarks) {
+  std::uint64_t removed = 0;
+  std::uint64_t removed_bytes = 0;
+  for (const SegmentInfo& info : list_segments(options_.dir)) {
+    // A shard index beyond the current layout means the segment predates a
+    // shard-count change; this process never appends to it, and the caller
+    // snapshots before removing, so it is covered like any sealed segment.
+    if (info.shard < watermarks.size() && info.seq >= watermarks[info.shard]) {
+      continue;
+    }
+    removed_bytes += file_size(info.path);
+    if (remove_file(info.path)) ++removed;
+  }
+  if (removed > 0) {
+    fsync_dir(options_.dir);
+    segments_.fetch_sub(removed, std::memory_order_relaxed);
+    disk_bytes_.fetch_sub(removed_bytes, std::memory_order_relaxed);
+  }
+  compactions_.fetch_add(1, std::memory_order_relaxed);
+  return removed;
+}
+
+WalStats Wal::stats() const {
+  WalStats stats;
+  stats.records = records_.load(std::memory_order_relaxed);
+  stats.bytes = bytes_.load(std::memory_order_relaxed);
+  stats.fsyncs = fsyncs_.load(std::memory_order_relaxed);
+  stats.rotations = rotations_.load(std::memory_order_relaxed);
+  stats.segments = segments_.load(std::memory_order_relaxed);
+  stats.compactions = compactions_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void Wal::flusher_main() {
+  const auto interval = std::chrono::milliseconds(
+      options_.fsync_interval_ms > 0 ? options_.fsync_interval_ms : 1);
+  std::unique_lock<std::mutex> lock(flusher_m_);
+  while (!stop_flusher_) {
+    if (flusher_cv_.wait_for(lock, interval,
+                             [this] { return stop_flusher_; })) {
+      break;
+    }
+    lock.unlock();
+    try {
+      sync_all();
+    } catch (...) {
+      // An fsync failure here will resurface on the next explicit sync or
+      // append; the flusher itself must not take the process down.
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace prm::wal

@@ -1,0 +1,184 @@
+// The write-ahead log manager: one append-only segment sequence per monitor
+// shard, group commit, fsync policy, rotation, and segment GC.
+//
+// Threading model mirrors the monitor registry: appends for one shard are
+// serialized by that shard's mutex, appends for different shards never
+// contend. Durability is tracked with two monotonic byte watermarks per
+// shard -- written_total and synced_total -- rather than per-segment state,
+// so rotation never strands a committer waiting on an fsync of a file that
+// no longer exists.
+//
+// Group commit (fsync=always): every append waits until synced_total covers
+// its own write. The first waiter to find no fsync in flight becomes the
+// leader: it snapshots written_total, drops the shard lock, fsyncs once, and
+// wakes everyone whose bytes that fsync covered. Appends that landed while
+// the leader was in fsync(2) simply elect the next leader. Under concurrent
+// ingest this folds N appends into ~1 fsync without any of them observing
+// more than one fsync of latency.
+//
+// fsync=interval trades the tail of durability for throughput: a background
+// flusher thread syncs each dirty shard every fsync_interval_ms, so a crash
+// loses at most that window of ACKed writes. fsync=never leaves flushing to
+// the OS entirely (still crash-CONSISTENT thanks to framing -- just not
+// crash-durable).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "wal/record.hpp"
+#include "wal/segment.hpp"
+
+namespace prm::wal {
+
+enum class FsyncPolicy {
+  kAlways,    ///< Group-committed fsync before append() returns.
+  kInterval,  ///< Background fsync every fsync_interval_ms.
+  kNever,     ///< No explicit fsync; the OS flushes when it pleases.
+};
+
+const char* to_string(FsyncPolicy policy);
+
+/// Parses "always" / "interval" / "never"; throws std::invalid_argument on
+/// anything else (the CLI surfaces the message verbatim).
+FsyncPolicy fsync_policy_from_string(const std::string& text);
+
+struct WalOptions {
+  /// Directory holding the segments and the compacted snapshot. Empty means
+  /// the WAL is disabled (live::Monitor checks before constructing a Wal).
+  std::string dir;
+
+  FsyncPolicy fsync = FsyncPolicy::kInterval;
+
+  /// Flush cadence for FsyncPolicy::kInterval, in milliseconds.
+  int fsync_interval_ms = 25;
+
+  /// Rotate a shard's active segment once it grows past this many bytes.
+  std::size_t segment_bytes = 4u << 20;
+
+  /// Compact (fold the log into the snapshot) once the segments' combined
+  /// on-disk size passes this. Checked by the monitor's maintenance thread.
+  std::size_t compact_bytes = 64u << 20;
+
+  /// Cadence of that compaction check, in milliseconds.
+  int compact_check_ms = 250;
+};
+
+/// Lifetime counters, all monotonic except `segments` (current file count).
+struct WalStats {
+  std::uint64_t records = 0;      ///< Frames appended.
+  std::uint64_t bytes = 0;        ///< Frame bytes appended.
+  std::uint64_t fsyncs = 0;       ///< fsync(2) calls on segment files.
+  std::uint64_t rotations = 0;    ///< Segments sealed by size or rotate_all.
+  std::uint64_t segments = 0;     ///< Segment files currently on disk.
+  std::uint64_t compactions = 0;  ///< remove_segments_below sweeps.
+};
+
+/// One segment file found in a WAL directory.
+struct SegmentInfo {
+  std::size_t shard = 0;
+  std::uint64_t seq = 0;
+  std::string path;
+};
+
+/// Segment file name for (shard, seq): "wal-SSSS-NNNNNNNN.log".
+std::string segment_file_name(std::size_t shard, std::uint64_t seq);
+
+/// Every segment file in `dir`, sorted by (shard, seq). Ignores other files
+/// (the snapshot, temp files). Throws on I/O failure.
+std::vector<SegmentInfo> list_segments(const std::string& dir);
+
+class Wal {
+ public:
+  /// Opens the directory (creating it if needed) and starts one FRESH active
+  /// segment per shard at max-existing-seq+1. Existing segments are never
+  /// reopened for append -- that is what confines torn frames to segment
+  /// tails. Starts the flusher thread when the policy is kInterval.
+  Wal(WalOptions options, std::size_t shards);
+
+  /// Stops the flusher and fsyncs every shard that has unsynced bytes, so a
+  /// clean shutdown is durable even under fsync=interval/never.
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Append one record to `shard`'s active segment. Under fsync=always this
+  /// returns only after an fsync covers the record (group-committed).
+  /// Throws std::runtime_error on I/O failure.
+  void append(std::size_t shard, const Record& record);
+
+  /// fsync every shard with unsynced bytes. Used by clean shutdown and the
+  /// interval flusher.
+  void sync_all();
+
+  /// Seal every shard's active segment (fsync + open a fresh one) and return
+  /// the per-shard first-LIVE segment seq: every segment with a smaller seq
+  /// is sealed and fully covered by a snapshot taken after this returns.
+  /// Shards whose active segment is still empty are left alone (their
+  /// current seq is the watermark).
+  std::vector<std::uint64_t> rotate_all();
+
+  /// Delete every segment with seq < watermarks[shard]; the compaction step
+  /// after the snapshot rename lands. Returns how many files were removed.
+  std::uint64_t remove_segments_below(const std::vector<std::uint64_t>& watermarks);
+
+  /// Combined on-disk size of all segments (compaction trigger input).
+  std::uint64_t disk_bytes() const noexcept {
+    return disk_bytes_.load(std::memory_order_relaxed);
+  }
+
+  WalStats stats() const;
+
+  const WalOptions& options() const noexcept { return options_; }
+  std::size_t shards() const noexcept { return shards_.size(); }
+
+ private:
+  struct Shard {
+    std::mutex m;
+    std::condition_variable cv;
+    std::unique_ptr<SegmentWriter> writer;
+    std::uint64_t seq = 0;            ///< Active segment sequence number.
+    std::uint64_t written_total = 0;  ///< Bytes appended (monotonic).
+    std::uint64_t synced_total = 0;   ///< Bytes covered by a finished fsync.
+    bool syncing = false;             ///< A leader fsync is in flight.
+  };
+
+  /// Drive synced_total up to at least `target` (leader/follower protocol).
+  /// Called with `lock` held on shard.m; may release and reacquire it.
+  void sync_to(Shard& shard, std::unique_lock<std::mutex>& lock,
+               std::uint64_t target);
+
+  /// Seal the active segment and open the next one. Caller holds shard.m
+  /// and has ensured no fsync is in flight.
+  void rotate_locked(std::size_t index, Shard& shard);
+
+  std::string segment_path(std::size_t shard, std::uint64_t seq) const;
+
+  void flusher_main();
+
+  WalOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<std::uint64_t> records_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> fsyncs_{0};
+  std::atomic<std::uint64_t> rotations_{0};
+  std::atomic<std::uint64_t> segments_{0};
+  std::atomic<std::uint64_t> compactions_{0};
+  std::atomic<std::uint64_t> disk_bytes_{0};
+
+  std::mutex flusher_m_;
+  std::condition_variable flusher_cv_;
+  bool stop_flusher_ = false;
+  std::thread flusher_;
+};
+
+}  // namespace prm::wal

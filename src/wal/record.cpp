@@ -1,0 +1,53 @@
+#include "wal/record.hpp"
+
+#include "wal/crc32.hpp"
+
+namespace prm::wal {
+
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xffu));
+  out.push_back(static_cast<char>((v >> 8) & 0xffu));
+  out.push_back(static_cast<char>((v >> 16) & 0xffu));
+  out.push_back(static_cast<char>((v >> 24) & 0xffu));
+}
+
+std::uint32_t get_u32(std::string_view data, std::size_t offset) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(data[offset])) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(data[offset + 1])) << 8) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(data[offset + 2])) << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(data[offset + 3])) << 24);
+}
+
+}  // namespace
+
+std::string encode_frame(const Record& record) {
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + record.payload.size());
+  put_u32(frame, static_cast<std::uint32_t>(record.payload.size()));
+  const char type_byte = static_cast<char>(record.type);
+  std::uint32_t crc = crc32(std::string_view(&type_byte, 1));
+  crc = crc32_extend(crc, record.payload);
+  put_u32(frame, crc);
+  frame.push_back(type_byte);
+  frame.append(record.payload);
+  return frame;
+}
+
+DecodeStatus decode_frame(std::string_view data, std::size_t& offset, Record& out) {
+  if (offset >= data.size()) return DecodeStatus::kEnd;
+  if (data.size() - offset < kFrameHeaderBytes) return DecodeStatus::kTorn;
+  const std::uint32_t payload_len = get_u32(data, offset);
+  const std::uint32_t stored_crc = get_u32(data, offset + 4);
+  if (data.size() - offset - kFrameHeaderBytes < payload_len) return DecodeStatus::kTorn;
+  const std::string_view typed =
+      data.substr(offset + 8, 1 + static_cast<std::size_t>(payload_len));
+  if (crc32(typed) != stored_crc) return DecodeStatus::kTorn;
+  out.type = static_cast<RecordType>(static_cast<unsigned char>(typed[0]));
+  out.payload.assign(typed.substr(1));
+  offset += kFrameHeaderBytes + payload_len;
+  return DecodeStatus::kOk;
+}
+
+}  // namespace prm::wal

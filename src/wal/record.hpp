@@ -1,0 +1,60 @@
+// WAL record framing: every monitor mutation is one length-prefixed,
+// CRC-guarded frame appended to a segment file.
+//
+// Wire layout (all integers little-endian, fixed width):
+//
+//   [u32 payload_len][u32 crc32][u8 type][payload bytes]
+//
+// with crc32 computed over the type byte followed by the payload, so neither
+// can be corrupted undetected. A frame is decoded only when all of its bytes
+// are present AND the checksum matches; anything else -- a short header, a
+// payload cut off by a crash, a flipped bit -- reads as kTorn and the reader
+// stops at the last good frame. Because a writer only ever appends, a torn
+// frame can only sit at the tail of a segment; valid data never follows it.
+//
+// The payload itself is an opaque string here. live::Monitor composes the
+// payloads in its own line-oriented text format (same dialect as the
+// snapshot files); this layer only guarantees that what was appended is what
+// gets replayed, byte for byte, or is cleanly rejected.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace prm::wal {
+
+/// Mutation kinds logged by live::Monitor. Stored as one byte on the wire;
+/// values are part of the on-disk format and must never be reused.
+enum class RecordType : std::uint8_t {
+  kStreamCreate = 1,  ///< payload: "<incarnation> <name>"
+  kIngest = 2,        ///< payload: "<incarnation> <seq> <name> <t> <value>"
+  kRefit = 3,         ///< payload: header line + core::save_fit text
+  kRefitFail = 4,     ///< payload: "<incarnation> <seq> <name>"
+  kStreamRemove = 5,  ///< payload: "<incarnation> <name>"
+  kAlertRule = 6,     ///< payload: "<meta_seq> <serialized rule>"
+};
+
+struct Record {
+  RecordType type = RecordType::kIngest;
+  std::string payload;
+};
+
+/// Frame header size on the wire: payload_len + crc + type byte.
+inline constexpr std::size_t kFrameHeaderBytes = 4 + 4 + 1;
+
+/// Serialize one record to its wire frame.
+std::string encode_frame(const Record& record);
+
+enum class DecodeStatus {
+  kOk,    ///< A full, checksum-clean frame was decoded; offset advanced.
+  kEnd,   ///< offset is exactly at the end of data: clean end of segment.
+  kTorn,  ///< Incomplete or checksum-failing bytes at offset: stop here.
+};
+
+/// Decode the frame starting at data[offset]. On kOk fills `out` and
+/// advances offset past the frame; on kEnd/kTorn leaves both untouched.
+DecodeStatus decode_frame(std::string_view data, std::size_t& offset, Record& out);
+
+}  // namespace prm::wal

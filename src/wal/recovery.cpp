@@ -1,0 +1,22 @@
+#include "wal/recovery.hpp"
+
+#include "wal/segment.hpp"
+
+namespace prm::wal {
+
+std::vector<ReplayRecord> read_all_records(const std::string& dir,
+                                           RecoveryStats& stats) {
+  std::vector<ReplayRecord> records;
+  for (const SegmentInfo& info : list_segments(dir)) {
+    ++stats.segments;
+    const SegmentScan scan =
+        read_segment(info.path, [&](const Record& record) {
+          records.push_back(ReplayRecord{info.shard, info.seq, record});
+        });
+    stats.records += scan.records;
+    if (scan.torn) ++stats.torn_tails;
+  }
+  return records;
+}
+
+}  // namespace prm::wal

@@ -1,0 +1,51 @@
+// Recovery-side reading of a WAL directory: collect every clean record from
+// every segment so live::Monitor::recover can replay them on top of the
+// compacted snapshot.
+//
+// Ordering contract: records are returned in (shard, segment seq, offset)
+// order -- i.e. exactly the order they were appended within each shard.
+// Because the monitor appends a stream's records under that stream's entry
+// mutex and a stream maps to one shard, this is also per-stream append
+// order. The monitor's replay additionally sorts per stream by the
+// (incarnation, seq) carried INSIDE each payload, which makes recovery
+// correct even if the shard count changed between runs.
+//
+// Torn frames are tolerated only where a crash can put them: at the tail of
+// a segment. read_segment stops at the first torn frame, and every torn
+// tail found is counted in RecoveryStats.torn_tails.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wal/log.hpp"
+#include "wal/record.hpp"
+
+namespace prm::wal {
+
+/// What recovery found and did; surfaced on /metrics after a recover() boot.
+struct RecoveryStats {
+  std::uint64_t segments = 0;    ///< Segment files scanned.
+  std::uint64_t records = 0;     ///< Clean records decoded.
+  std::uint64_t applied = 0;     ///< Records that mutated the monitor.
+  std::uint64_t skipped = 0;     ///< Records already covered by the snapshot.
+  std::uint64_t torn_tails = 0;  ///< Segments ending in a torn frame.
+  bool snapshot_loaded = false;  ///< A compacted snapshot existed.
+};
+
+/// One record read back from a segment, tagged with where it came from.
+struct ReplayRecord {
+  std::size_t shard = 0;
+  std::uint64_t segment_seq = 0;
+  Record record;
+};
+
+/// Read every clean record in `dir`'s segments, in (shard, seq, offset)
+/// order. Fills stats.segments / records / torn_tails; the caller fills the
+/// applied/skipped counts as it replays. Throws std::runtime_error on I/O
+/// failure (a torn tail is not an I/O failure).
+std::vector<ReplayRecord> read_all_records(const std::string& dir,
+                                           RecoveryStats& stats);
+
+}  // namespace prm::wal

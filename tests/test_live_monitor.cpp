@@ -459,7 +459,58 @@ TEST(Monitor, LoadNamesTheUnknownSnapshotVersion) {
   } catch (const std::runtime_error& e) {
     const std::string what = e.what();
     EXPECT_NE(what.find("999"), std::string::npos) << what;
-    EXPECT_NE(what.find("prm-live 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("prm-live 2"), std::string::npos) << what;
+  }
+}
+
+TEST(Monitor, LoadRejectsATruncatedSnapshot) {
+  // Cut a valid snapshot off mid-stream: load must throw, not return a
+  // monitor that silently dropped the tail.
+  live::Monitor monitor(test_options());
+  for (int t = 0; t < 12; ++t) {
+    monitor.ingest("svc-a", t, 1.0);
+    monitor.ingest("svc-b", t, 1.0);
+  }
+  std::ostringstream full;
+  monitor.save(full);
+  const std::string text = full.str();
+
+  // Truncate at several depths: inside the header, inside the first stream,
+  // and just before the final line. The cut can land mid-token, so any
+  // std::exception is acceptable -- returning a monitor is not.
+  for (const std::size_t keep :
+       {text.size() / 8, text.size() / 2, text.size() - 10}) {
+    std::stringstream cut(text.substr(0, keep));
+    try {
+      live::Monitor::load(cut, test_options());
+      FAIL() << "load accepted a snapshot truncated to " << keep << " of "
+             << text.size() << " bytes";
+    } catch (const std::exception&) {
+      // expected: truncated input must be refused
+    }
+  }
+}
+
+TEST(Monitor, LoadNamesAnUnknownModel) {
+  // A snapshot written by a build with extra registered models must fail
+  // with the model's name in the message, not a bare lookup error.
+  live::Monitor monitor(test_options());
+  monitor.ingest("svc", 0.0, 1.0);
+  std::ostringstream out;
+  monitor.save(out);
+  std::string text = out.str();
+  const std::string from = "model competing-risks";
+  const std::size_t at = text.find(from);
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, from.size(), "model from-the-future");
+
+  std::stringstream in(text);
+  try {
+    live::Monitor::load(in, test_options());
+    FAIL() << "expected a throw for an unknown model name";
+  } catch (const std::exception& e) {
+    EXPECT_NE(std::string(e.what()).find("from-the-future"), std::string::npos)
+        << e.what();
   }
 }
 

@@ -1,0 +1,449 @@
+// prm::wal unit tests: frame codec round trips and corruption detection,
+// segment append/scan with torn tails, the log manager's rotation and
+// group-commit bookkeeping, fresh-segment-per-boot resumption, and the
+// rotate/remove compaction primitives.
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "wal/compact.hpp"
+#include "wal/crc32.hpp"
+#include "wal/log.hpp"
+#include "wal/record.hpp"
+#include "wal/recovery.hpp"
+#include "wal/segment.hpp"
+
+namespace {
+
+using namespace prm;
+
+/// RAII temp directory under TMPDIR; removed (recursively) on destruction.
+class TempDir {
+ public:
+  TempDir() {
+    const char* base = std::getenv("TMPDIR");
+    path_ = std::string(base != nullptr ? base : "/tmp") + "/prm_wal_XXXXXX";
+    if (::mkdtemp(path_.data()) == nullptr) {
+      throw std::runtime_error("mkdtemp failed");
+    }
+  }
+  ~TempDir() { remove_tree(path_); }
+  const std::string& path() const { return path_; }
+
+  static void remove_tree(const std::string& dir) {
+    if (DIR* handle = ::opendir(dir.c_str())) {
+      while (const dirent* entry = ::readdir(handle)) {
+        const std::string name = entry->d_name;
+        if (name == "." || name == "..") continue;
+        const std::string child = dir + "/" + name;
+        struct stat st{};
+        if (::lstat(child.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+          remove_tree(child);
+        } else {
+          ::unlink(child.c_str());
+        }
+      }
+      ::closedir(handle);
+    }
+    ::rmdir(dir.c_str());
+  }
+
+ private:
+  std::string path_;
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// ---------------------------------------------------------------------------
+// CRC32
+
+TEST(Crc32, MatchesKnownVectors) {
+  // IEEE 802.3 polynomial check values ("123456789" -> 0xcbf43926).
+  EXPECT_EQ(wal::crc32("123456789"), 0xcbf43926u);
+  EXPECT_EQ(wal::crc32(""), 0x00000000u);
+  EXPECT_EQ(wal::crc32("a"), 0xe8b7be43u);
+}
+
+TEST(Crc32, DetectsSingleBitFlips) {
+  std::string data = "the quick brown fox jumps over the lazy dog";
+  const std::uint32_t clean = wal::crc32(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] ^= 0x04;
+    EXPECT_NE(wal::crc32(data), clean) << "flip at byte " << i;
+    data[i] ^= 0x04;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Frame codec
+
+TEST(Record, FrameRoundTripsEveryType) {
+  for (const auto type :
+       {wal::RecordType::kStreamCreate, wal::RecordType::kIngest,
+        wal::RecordType::kRefit, wal::RecordType::kRefitFail,
+        wal::RecordType::kStreamRemove, wal::RecordType::kAlertRule}) {
+    wal::Record original{type, "payload with spaces\nand a newline"};
+    const std::string frame = wal::encode_frame(original);
+    EXPECT_EQ(frame.size(), wal::kFrameHeaderBytes + original.payload.size());
+
+    wal::Record decoded;
+    std::size_t offset = 0;
+    EXPECT_EQ(wal::decode_frame(frame, offset, decoded), wal::DecodeStatus::kOk);
+    EXPECT_EQ(offset, frame.size());
+    EXPECT_EQ(decoded.type, original.type);
+    EXPECT_EQ(decoded.payload, original.payload);
+  }
+}
+
+TEST(Record, EmptyPayloadAndBinaryPayloadRoundTrip) {
+  for (const std::string& payload :
+       {std::string(), std::string("\0\x01\xff\x7f", 4)}) {
+    const std::string frame =
+        wal::encode_frame({wal::RecordType::kIngest, payload});
+    wal::Record decoded;
+    std::size_t offset = 0;
+    ASSERT_EQ(wal::decode_frame(frame, offset, decoded), wal::DecodeStatus::kOk);
+    EXPECT_EQ(decoded.payload, payload);
+  }
+}
+
+TEST(Record, CleanEndAndTornTailsAreDistinguished) {
+  const std::string frame =
+      wal::encode_frame({wal::RecordType::kIngest, "1 1 svc 0 1.0"});
+
+  wal::Record out;
+  std::size_t offset = frame.size();
+  // Exactly at the end: clean.
+  EXPECT_EQ(wal::decode_frame(frame, offset, out), wal::DecodeStatus::kEnd);
+
+  // Every strict prefix of a frame is torn, never kOk and never kEnd.
+  for (std::size_t cut = 1; cut < frame.size(); ++cut) {
+    offset = 0;
+    EXPECT_EQ(wal::decode_frame(std::string_view(frame).substr(0, cut), offset, out),
+              wal::DecodeStatus::kTorn)
+        << "cut at " << cut;
+    EXPECT_EQ(offset, 0u);
+  }
+}
+
+TEST(Record, CorruptedBytesReadAsTorn) {
+  const std::string clean =
+      wal::encode_frame({wal::RecordType::kRefit, "some fit payload"});
+  wal::Record out;
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    std::string bad = clean;
+    bad[i] = static_cast<char>(bad[i] ^ 0x40);
+    std::size_t offset = 0;
+    const auto status = wal::decode_frame(bad, offset, out);
+    // Flipping a length byte may also make the frame "incomplete"; either
+    // way it must not decode as a clean record.
+    EXPECT_EQ(status, wal::DecodeStatus::kTorn) << "corrupt byte " << i;
+  }
+}
+
+TEST(Record, TornFrameNeverHidesEarlierCleanFrames) {
+  const std::string a = wal::encode_frame({wal::RecordType::kIngest, "first"});
+  const std::string b = wal::encode_frame({wal::RecordType::kIngest, "second"});
+  const std::string data = a + b.substr(0, b.size() - 3);
+
+  std::size_t offset = 0;
+  wal::Record out;
+  ASSERT_EQ(wal::decode_frame(data, offset, out), wal::DecodeStatus::kOk);
+  EXPECT_EQ(out.payload, "first");
+  EXPECT_EQ(wal::decode_frame(data, offset, out), wal::DecodeStatus::kTorn);
+  EXPECT_EQ(offset, a.size());
+}
+
+// ---------------------------------------------------------------------------
+// Segment files
+
+TEST(Segment, WriteScanRoundTrip) {
+  TempDir dir;
+  const std::string path = dir.path() + "/wal-0000-00000001.log";
+  {
+    wal::SegmentWriter writer(path);
+    for (int i = 0; i < 10; ++i) {
+      writer.append(wal::encode_frame(
+          {wal::RecordType::kIngest, "rec " + std::to_string(i)}));
+    }
+    writer.sync();
+  }
+  std::vector<std::string> payloads;
+  const wal::SegmentScan scan = wal::read_segment(
+      path, [&](const wal::Record& r) { payloads.push_back(r.payload); });
+  EXPECT_EQ(scan.records, 10u);
+  EXPECT_FALSE(scan.torn);
+  EXPECT_EQ(scan.clean_bytes, scan.total_bytes);
+  ASSERT_EQ(payloads.size(), 10u);
+  EXPECT_EQ(payloads.front(), "rec 0");
+  EXPECT_EQ(payloads.back(), "rec 9");
+}
+
+TEST(Segment, ReopeningResumesAtTheOnDiskSize) {
+  TempDir dir;
+  const std::string path = dir.path() + "/wal-0000-00000001.log";
+  const std::string frame = wal::encode_frame({wal::RecordType::kIngest, "x"});
+  {
+    wal::SegmentWriter writer(path);
+    writer.append(frame);
+    EXPECT_EQ(writer.size(), frame.size());
+  }
+  {
+    wal::SegmentWriter writer(path);
+    EXPECT_EQ(writer.size(), frame.size());  // resumed, not truncated
+    writer.append(frame);
+  }
+  wal::SegmentScan scan = wal::read_segment(path, [](const wal::Record&) {});
+  EXPECT_EQ(scan.records, 2u);
+}
+
+TEST(Segment, TruncatedTailIsReportedTornAndPrefixSurvives) {
+  TempDir dir;
+  const std::string path = dir.path() + "/wal-0000-00000001.log";
+  {
+    wal::SegmentWriter writer(path);
+    writer.append(wal::encode_frame({wal::RecordType::kIngest, "keep me"}));
+    writer.append(wal::encode_frame({wal::RecordType::kIngest, "torn off"}));
+    writer.sync();
+  }
+  const std::string bytes = slurp(path);
+  spit(path, bytes.substr(0, bytes.size() - 5));  // crash mid final frame
+
+  std::vector<std::string> payloads;
+  const wal::SegmentScan scan = wal::read_segment(
+      path, [&](const wal::Record& r) { payloads.push_back(r.payload); });
+  EXPECT_TRUE(scan.torn);
+  EXPECT_EQ(scan.records, 1u);
+  ASSERT_EQ(payloads.size(), 1u);
+  EXPECT_EQ(payloads[0], "keep me");
+  EXPECT_LT(scan.clean_bytes, scan.total_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Log manager
+
+wal::WalOptions test_wal_options(const std::string& dir) {
+  wal::WalOptions options;
+  options.dir = dir;
+  options.fsync = wal::FsyncPolicy::kNever;  // unit tests drive sync_all()
+  return options;
+}
+
+TEST(Wal, SegmentNamesRoundTripAndSortStably) {
+  EXPECT_EQ(wal::segment_file_name(0, 1), "wal-0000-00000001.log");
+  EXPECT_EQ(wal::segment_file_name(12, 345), "wal-0012-00000345.log");
+
+  TempDir dir;
+  for (const char* name : {"wal-0001-00000002.log", "wal-0000-00000010.log",
+                           "wal-0000-00000002.log", "not-a-segment.txt",
+                           "wal-0000-00000002.log.tmp"}) {
+    spit(dir.path() + "/" + name, "");
+  }
+  const auto segments = wal::list_segments(dir.path());
+  ASSERT_EQ(segments.size(), 3u);  // the decoys are ignored
+  EXPECT_EQ(segments[0].shard, 0u);
+  EXPECT_EQ(segments[0].seq, 2u);
+  EXPECT_EQ(segments[1].seq, 10u);  // numeric, not lexicographic order
+  EXPECT_EQ(segments[2].shard, 1u);
+}
+
+TEST(Wal, AppendsLandInTheRightShardAndCount) {
+  TempDir dir;
+  wal::Wal log(test_wal_options(dir.path()), 2);
+  log.append(0, {wal::RecordType::kIngest, "shard zero"});
+  log.append(1, {wal::RecordType::kIngest, "shard one"});
+  log.append(1, {wal::RecordType::kIngest, "shard one again"});
+  log.sync_all();
+
+  const wal::WalStats stats = log.stats();
+  EXPECT_EQ(stats.records, 3u);
+  EXPECT_GT(stats.bytes, 0u);
+  EXPECT_GE(stats.fsyncs, 1u);
+
+  wal::RecoveryStats rec;
+  const auto records = wal::read_all_records(dir.path(), rec);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].shard, 0u);
+  EXPECT_EQ(records[0].record.payload, "shard zero");
+  EXPECT_EQ(records[1].shard, 1u);
+  EXPECT_EQ(records[2].record.payload, "shard one again");
+  EXPECT_EQ(rec.torn_tails, 0u);
+}
+
+TEST(Wal, RotatesAtTheSegmentLimit) {
+  TempDir dir;
+  wal::WalOptions options = test_wal_options(dir.path());
+  options.segment_bytes = 256;  // tiny, to force rotation quickly
+  wal::Wal log(options, 1);
+  for (int i = 0; i < 50; ++i) {
+    log.append(0, {wal::RecordType::kIngest,
+                   "padding padding padding " + std::to_string(i)});
+  }
+  log.sync_all();
+  const wal::WalStats stats = log.stats();
+  EXPECT_GT(stats.rotations, 0u);
+  EXPECT_GT(stats.segments, 1u);
+  EXPECT_EQ(stats.segments, wal::list_segments(dir.path()).size());
+
+  // Rotation must not lose or reorder records.
+  wal::RecoveryStats rec;
+  const auto records = wal::read_all_records(dir.path(), rec);
+  ASSERT_EQ(records.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(records[static_cast<std::size_t>(i)].record.payload,
+              "padding padding padding " + std::to_string(i));
+  }
+}
+
+TEST(Wal, RestartOpensAFreshSegmentPastTheHighestOnDisk) {
+  TempDir dir;
+  {
+    wal::Wal log(test_wal_options(dir.path()), 1);
+    log.append(0, {wal::RecordType::kIngest, "before restart"});
+    log.sync_all();
+  }
+  {
+    // The restarted writer must never append to the old segment: a torn tail
+    // from the "crash" would otherwise sit in the middle of live data.
+    wal::Wal log(test_wal_options(dir.path()), 1);
+    log.append(0, {wal::RecordType::kIngest, "after restart"});
+    log.sync_all();
+  }
+  const auto segments = wal::list_segments(dir.path());
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_EQ(segments[0].seq + 1, segments[1].seq);
+
+  wal::RecoveryStats rec;
+  const auto records = wal::read_all_records(dir.path(), rec);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].record.payload, "before restart");
+  EXPECT_EQ(records[1].record.payload, "after restart");
+}
+
+TEST(Wal, RotateAllThenRemoveBelowCompactsSealedSegments) {
+  TempDir dir;
+  wal::Wal log(test_wal_options(dir.path()), 2);
+  log.append(0, {wal::RecordType::kIngest, "old a"});
+  log.append(1, {wal::RecordType::kIngest, "old b"});
+
+  const std::vector<std::uint64_t> watermarks = log.rotate_all();
+  ASSERT_EQ(watermarks.size(), 2u);
+  log.append(0, {wal::RecordType::kIngest, "new a"});
+
+  const std::uint64_t removed = log.remove_segments_below(watermarks);
+  EXPECT_EQ(removed, 2u);  // both sealed pre-rotation segments
+
+  wal::RecoveryStats rec;
+  const auto records = wal::read_all_records(dir.path(), rec);
+  ASSERT_EQ(records.size(), 1u);  // only the post-watermark record remains
+  EXPECT_EQ(records[0].record.payload, "new a");
+  EXPECT_EQ(log.stats().compactions, 1u);
+}
+
+TEST(Wal, EmptyActiveSegmentsAreNotRotated) {
+  TempDir dir;
+  wal::Wal log(test_wal_options(dir.path()), 1);
+  const auto w1 = log.rotate_all();  // nothing written: no-op
+  const auto w2 = log.rotate_all();
+  EXPECT_EQ(w1, w2);
+  EXPECT_EQ(log.stats().rotations, 0u);
+}
+
+TEST(Wal, AlwaysPolicyFsyncsEveryAppendAndGroupCommitsUnderContention) {
+  TempDir dir;
+  wal::WalOptions options = test_wal_options(dir.path());
+  options.fsync = wal::FsyncPolicy::kAlways;
+  wal::Wal log(options, 1);
+
+  log.append(0, {wal::RecordType::kIngest, "solo"});
+  EXPECT_GE(log.stats().fsyncs, 1u);
+
+  // Hammer one shard from several threads: every append must return with
+  // its bytes durable, and group commit means fsyncs <= records.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 64;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log.append(0, {wal::RecordType::kIngest,
+                       std::to_string(t) + ":" + std::to_string(i)});
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const wal::WalStats stats = log.stats();
+  EXPECT_EQ(stats.records, 1u + kThreads * kPerThread);
+  EXPECT_LE(stats.fsyncs, stats.records);
+
+  wal::RecoveryStats rec;
+  EXPECT_EQ(wal::read_all_records(dir.path(), rec).size(),
+            1u + kThreads * kPerThread);
+}
+
+TEST(Wal, IntervalPolicyFlushesInTheBackground) {
+  TempDir dir;
+  wal::WalOptions options = test_wal_options(dir.path());
+  options.fsync = wal::FsyncPolicy::kInterval;
+  options.fsync_interval_ms = 5;
+  wal::Wal log(options, 1);
+  log.append(0, {wal::RecordType::kIngest, "flushed eventually"});
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (log.stats().fsyncs == 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(log.stats().fsyncs, 1u);
+}
+
+TEST(Wal, FsyncPolicyParsesAndRejects) {
+  EXPECT_EQ(wal::fsync_policy_from_string("always"), wal::FsyncPolicy::kAlways);
+  EXPECT_EQ(wal::fsync_policy_from_string("interval"),
+            wal::FsyncPolicy::kInterval);
+  EXPECT_EQ(wal::fsync_policy_from_string("never"), wal::FsyncPolicy::kNever);
+  EXPECT_STREQ(wal::to_string(wal::FsyncPolicy::kInterval), "interval");
+  EXPECT_THROW(wal::fsync_policy_from_string("sometimes"),
+               std::invalid_argument);
+}
+
+TEST(Wal, AtomicWriteFileReplacesContentCompletely) {
+  TempDir dir;
+  const std::string path = dir.path() + "/snapshot.prm";
+  wal::atomic_write_file(path, "first version\n");
+  EXPECT_EQ(slurp(path), "first version\n");
+  wal::atomic_write_file(path, "v2\n");  // shorter: no stale tail may survive
+  EXPECT_EQ(slurp(path), "v2\n");
+  // No temp files left behind.
+  std::uint64_t entries = 0;
+  if (DIR* handle = ::opendir(dir.path().c_str())) {
+    while (const dirent* entry = ::readdir(handle)) {
+      const std::string name = entry->d_name;
+      if (name != "." && name != "..") ++entries;
+    }
+    ::closedir(handle);
+  }
+  EXPECT_EQ(entries, 1u);
+}
+
+}  // namespace

@@ -1,0 +1,431 @@
+// Monitor-level WAL recovery tests: the durability contract is byte-exact --
+// a monitor recovered from its WAL directory (snapshot + log tail) must
+// serialize to EXACTLY the bytes of a reference monitor that saw the same
+// acknowledged mutations and never crashed, refits included. Also covered:
+// torn-tail tolerance, checkpoint/compaction, idempotent recovery, durable
+// stream removal with re-creation, alert-rule replay, the constructor guard
+// against forking history, and all three fsync policies.
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "live/monitor.hpp"
+#include "wal/compact.hpp"
+#include "wal/log.hpp"
+
+namespace {
+
+using namespace prm;
+using live::StreamPhase;
+
+/// RAII temp directory under TMPDIR; removed (recursively) on destruction.
+class TempDir {
+ public:
+  TempDir() {
+    const char* base = std::getenv("TMPDIR");
+    path_ = std::string(base != nullptr ? base : "/tmp") + "/prm_rec_XXXXXX";
+    if (::mkdtemp(path_.data()) == nullptr) {
+      throw std::runtime_error("mkdtemp failed");
+    }
+  }
+  ~TempDir() { remove_tree(path_); }
+  const std::string& path() const { return path_; }
+
+  static void remove_tree(const std::string& dir) {
+    if (DIR* handle = ::opendir(dir.c_str())) {
+      while (const dirent* entry = ::readdir(handle)) {
+        const std::string name = entry->d_name;
+        if (name == "." || name == "..") continue;
+        const std::string child = dir + "/" + name;
+        struct stat st{};
+        if (::lstat(child.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+          remove_tree(child);
+        } else {
+          ::unlink(child.c_str());
+        }
+      }
+      ::closedir(handle);
+    }
+    ::rmdir(dir.c_str());
+  }
+
+ private:
+  std::string path_;
+};
+
+double smoothstep(double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  return x * x * (3.0 - 2.0 * x);
+}
+
+constexpr std::size_t kPrefix = 16;
+constexpr double kDipLen = 10.0;
+constexpr double kRecoveryLen = 30.0;
+
+/// Noiseless V-shaped disruption: flat 1.0, dip to 0.90, recover to 1.02.
+double v_curve(double t) {
+  const double u = t - static_cast<double>(kPrefix);
+  if (u <= 0.0) return 1.0;
+  if (u <= kDipLen) return 1.0 - 0.10 * smoothstep(u / kDipLen);
+  return 0.90 + 0.12 * smoothstep((u - kDipLen) / kRecoveryLen);
+}
+
+/// Deterministic options: batched refits drained by refit_batch(1) make the
+/// fit pipeline bit-identical run to run, so snapshots can be compared as
+/// raw bytes. shards = 1 keeps the WAL to one segment sequence (several
+/// tests truncate "the last segment").
+live::MonitorOptions wal_options(const std::string& dir) {
+  live::MonitorOptions options;
+  options.stream.window_capacity = 64;
+  options.stream.cusum.baseline = 12;
+  options.stream.confirm_samples = 3;
+  options.stream.recovery_fraction = 0.98;
+  options.model = "competing-risks";
+  options.refit_every = 2;
+  options.min_fit_samples = 8;
+  options.threads = 1;
+  options.shards = 1;
+  options.batched_refits = true;
+  options.wal.dir = dir;
+  options.wal.fsync = wal::FsyncPolicy::kNever;  // tests control durability
+  return options;
+}
+
+live::MonitorOptions no_wal_options() {
+  live::MonitorOptions options = wal_options("unused");
+  options.wal.dir.clear();
+  return options;
+}
+
+std::string snapshot_bytes(live::Monitor& monitor) {
+  std::ostringstream out;
+  monitor.save(out);
+  return out.str();
+}
+
+/// Drive the disruption through `monitor` (deterministically: one
+/// refit_batch pass after every sample).
+void ingest_v_curve(live::Monitor& monitor, const std::string& stream,
+                    std::size_t from, std::size_t to) {
+  for (std::size_t i = from; i < to; ++i) {
+    const double t = static_cast<double>(i);
+    monitor.ingest(stream, t, v_curve(t));
+    monitor.refit_batch(1);
+  }
+}
+
+constexpr std::size_t kMidRecovery =
+    kPrefix + static_cast<std::size_t>(kDipLen) + 15;
+
+// ---------------------------------------------------------------------------
+
+TEST(WalRecovery, WalOnAndWalOffSnapshotsAreByteIdentical) {
+  // The WAL must be invisible to the engine's state evolution: the same
+  // ingest sequence with and without a log attached serializes identically
+  // (wal_seq / incarnation counters advance either way, by design).
+  TempDir dir;
+  live::Monitor with_wal(wal_options(dir.path()));
+  live::Monitor without_wal(no_wal_options());
+  ingest_v_curve(with_wal, "svc", 0, kMidRecovery);
+  ingest_v_curve(without_wal, "svc", 0, kMidRecovery);
+  EXPECT_GT(with_wal.snapshot("svc").refits, 0u) << "scenario must refit";
+  EXPECT_EQ(snapshot_bytes(with_wal), snapshot_bytes(without_wal));
+}
+
+TEST(WalRecovery, RecoverFromLogAloneReproducesTheReferenceExactly) {
+  // Crash before any checkpoint: recovery replays the log from scratch and
+  // must land on the never-crashed reference, byte for byte -- fits are
+  // replayed from logged results, not refit (which could differ).
+  TempDir dir;
+  std::string reference;
+  {
+    live::Monitor monitor(wal_options(dir.path()));
+    ingest_v_curve(monitor, "svc", 0, kMidRecovery);
+    ASSERT_GT(monitor.snapshot("svc").refits, 0u);
+    reference = snapshot_bytes(monitor);
+    // Destroyed WITHOUT shutdown(): no snapshot is written, like a crash
+    // whose buffered log bytes still reached the file.
+  }
+  ASSERT_FALSE(wal::file_exists(wal::snapshot_path(dir.path())));
+
+  auto recovered = live::Monitor::recover(wal_options(dir.path()));
+  EXPECT_EQ(snapshot_bytes(*recovered), reference);
+
+  const wal::RecoveryStats& stats = recovered->recovery_stats();
+  EXPECT_FALSE(stats.snapshot_loaded);
+  EXPECT_GT(stats.records, 0u);
+  EXPECT_EQ(stats.applied, stats.records);
+  EXPECT_EQ(stats.skipped, 0u);
+  EXPECT_EQ(stats.torn_tails, 0u);
+
+  // The recovered monitor is fully live: it keeps ingesting and refitting.
+  const std::size_t total =
+      kPrefix + static_cast<std::size_t>(kDipLen + kRecoveryLen) + 8;
+  ingest_v_curve(*recovered, "svc", kMidRecovery, total);
+  recovered->drain();
+  const auto snap = recovered->snapshot("svc");
+  EXPECT_TRUE(snap.phase == StreamPhase::kRestored ||
+              snap.phase == StreamPhase::kNominal);
+}
+
+TEST(WalRecovery, CheckpointFoldsTheLogIntoTheSnapshotAndCompacts) {
+  TempDir dir;
+  live::MonitorOptions options = wal_options(dir.path());
+  options.wal.segment_bytes = 1024;  // force rotations
+
+  std::string reference;
+  {
+    live::Monitor monitor(options);
+    ingest_v_curve(monitor, "svc", 0, kPrefix + 5);
+    monitor.checkpoint();
+    ASSERT_TRUE(wal::file_exists(wal::snapshot_path(dir.path())));
+    EXPECT_GE(monitor.wal_stats().compactions, 1u);
+
+    // Mutations after the checkpoint live only in the log tail.
+    ingest_v_curve(monitor, "svc", kPrefix + 5, kMidRecovery);
+    ASSERT_GT(monitor.snapshot("svc").refits, 0u);
+    reference = snapshot_bytes(monitor);
+  }
+
+  auto recovered = live::Monitor::recover(options);
+  EXPECT_EQ(snapshot_bytes(*recovered), reference);
+  const wal::RecoveryStats& stats = recovered->recovery_stats();
+  EXPECT_TRUE(stats.snapshot_loaded);
+  EXPECT_GT(stats.applied, 0u);
+}
+
+TEST(WalRecovery, ShutdownCheckpointLeavesNothingToReplay) {
+  // A clean shutdown folds everything into the snapshot; the next boot must
+  // load it and apply zero log records (covered records would be skipped by
+  // the (incarnation, seq) gate anyway -- here there are none at all).
+  TempDir dir;
+  std::string reference;
+  {
+    live::Monitor monitor(wal_options(dir.path()));
+    ingest_v_curve(monitor, "svc", 0, kMidRecovery);
+    reference = snapshot_bytes(monitor);
+    monitor.shutdown();
+  }
+  auto recovered = live::Monitor::recover(wal_options(dir.path()));
+  EXPECT_EQ(snapshot_bytes(*recovered), reference);
+  const wal::RecoveryStats& stats = recovered->recovery_stats();
+  EXPECT_TRUE(stats.snapshot_loaded);
+  EXPECT_EQ(stats.applied, 0u);
+}
+
+TEST(WalRecovery, RecoveryIsIdempotentAcrossRepeatedRestarts) {
+  TempDir dir;
+  std::string reference;
+  {
+    live::Monitor monitor(wal_options(dir.path()));
+    ingest_v_curve(monitor, "svc", 0, kMidRecovery);
+    reference = snapshot_bytes(monitor);
+  }
+  for (int boot = 0; boot < 3; ++boot) {
+    auto recovered = live::Monitor::recover(wal_options(dir.path()));
+    EXPECT_EQ(snapshot_bytes(*recovered), reference) << "boot " << boot;
+  }
+}
+
+TEST(WalRecovery, TornFinalRecordIsDroppedAndTheRestSurvives) {
+  // Flat data far below min_fit_samples: the log is exactly one create plus
+  // N ingest records, so truncating the tail loses exactly the last sample.
+  TempDir dir;
+  live::MonitorOptions options = wal_options(dir.path());
+  options.min_fit_samples = 1000;
+  constexpr std::size_t kSamples = 12;
+  {
+    live::Monitor monitor(options);
+    for (std::size_t i = 0; i < kSamples; ++i) {
+      monitor.ingest("svc", static_cast<double>(i), 1.0);
+    }
+  }
+
+  const auto segments = wal::list_segments(dir.path());
+  ASSERT_FALSE(segments.empty());
+  const std::string& last = segments.back().path;
+  const std::uint64_t size = wal::file_size(last);
+  ASSERT_GT(size, 4u);
+  ASSERT_EQ(::truncate(last.c_str(), static_cast<off_t>(size - 4)), 0);
+
+  auto recovered = live::Monitor::recover(options);
+  const wal::RecoveryStats& stats = recovered->recovery_stats();
+  EXPECT_EQ(stats.torn_tails, 1u);
+  EXPECT_EQ(recovered->snapshot("svc").samples_seen, kSamples - 1);
+
+  // The lost (never-acknowledged-durable) sample can simply be re-ingested.
+  recovered->ingest("svc", static_cast<double>(kSamples - 1), 1.0);
+  EXPECT_EQ(recovered->snapshot("svc").samples_seen, kSamples);
+}
+
+TEST(WalRecovery, RemoveStreamAndRecreationAreDurable) {
+  TempDir dir;
+  std::string reference;
+  {
+    live::Monitor monitor(wal_options(dir.path()));
+    live::Monitor shadow(no_wal_options());
+    for (live::Monitor* m : {&monitor, &shadow}) {
+      m->ingest("keep", 0.0, 1.0);
+      m->ingest("doomed", 0.0, 1.0);
+      m->ingest("doomed", 1.0, 0.9);
+      EXPECT_TRUE(m->remove_stream("doomed"));
+      EXPECT_FALSE(m->remove_stream("doomed"));
+      // Re-created under the same name: a fresh incarnation whose records
+      // must not be confused with the removed stream's during replay.
+      m->ingest("doomed", 10.0, 0.5);
+    }
+    reference = snapshot_bytes(shadow);
+    EXPECT_EQ(snapshot_bytes(monitor), reference);
+  }
+  auto recovered = live::Monitor::recover(wal_options(dir.path()));
+  EXPECT_EQ(snapshot_bytes(*recovered), reference);
+  EXPECT_EQ(recovered->stream_count(), 2u);
+  const auto snap = recovered->snapshot("doomed");
+  EXPECT_EQ(snap.samples_seen, 1u);
+  EXPECT_EQ(snap.last_time, 10.0);
+}
+
+TEST(WalRecovery, AlertRulesReplayWithAllFields) {
+  TempDir dir;
+  {
+    live::Monitor monitor(wal_options(dir.path()));
+    live::AlertRule below;
+    below.name = "low watermark";  // spaces: name is parsed to end-of-line
+    below.kind = live::AlertKind::kValueBelow;
+    below.threshold = 0.75;
+    below.once_per_event = true;
+    monitor.add_alert_rule(below);
+
+    live::AlertRule transition;
+    transition.name = "degrading";
+    transition.kind = live::AlertKind::kPhaseTransition;
+    transition.phase = StreamPhase::kDegrading;
+    transition.once_per_event = false;
+    monitor.add_alert_rule(transition);
+  }
+  auto recovered = live::Monitor::recover(wal_options(dir.path()));
+  const std::vector<live::AlertRule> rules = recovered->alerts().rules();
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_EQ(rules[0].name, "low watermark");
+  EXPECT_EQ(rules[0].kind, live::AlertKind::kValueBelow);
+  EXPECT_EQ(rules[0].threshold, 0.75);
+  EXPECT_FALSE(rules[0].phase.has_value());
+  EXPECT_TRUE(rules[0].once_per_event);
+  EXPECT_EQ(rules[1].name, "degrading");
+  EXPECT_EQ(rules[1].kind, live::AlertKind::kPhaseTransition);
+  ASSERT_TRUE(rules[1].phase.has_value());
+  EXPECT_EQ(*rules[1].phase, StreamPhase::kDegrading);
+  EXPECT_FALSE(rules[1].once_per_event);
+  EXPECT_TRUE(recovered->alerts().has_rule("low watermark"));
+}
+
+TEST(WalRecovery, ConstructorRefusesADirectoryWithExistingState) {
+  // Booting plain Monitor() on a populated WAL directory would fork history
+  // (new log, old state ignored); it must throw and point at recover().
+  TempDir dir;
+  { live::Monitor monitor(wal_options(dir.path())); }  // leaves segment files
+  try {
+    live::Monitor monitor(wal_options(dir.path()));
+    FAIL() << "expected std::runtime_error for a dirty WAL directory";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("recover"), std::string::npos);
+  }
+  // recover() is the sanctioned path and works on the same directory.
+  auto recovered = live::Monitor::recover(wal_options(dir.path()));
+  EXPECT_EQ(recovered->stream_count(), 0u);
+}
+
+TEST(WalRecovery, RecoverOnAFreshDirectoryIsAnEmptyBoot) {
+  TempDir dir;
+  const std::string sub = dir.path() + "/fresh";  // does not exist yet
+  auto monitor = live::Monitor::recover(wal_options(sub));
+  EXPECT_EQ(monitor->stream_count(), 0u);
+  EXPECT_FALSE(monitor->recovery_stats().snapshot_loaded);
+  monitor->ingest("svc", 0.0, 1.0);
+  EXPECT_TRUE(monitor->wal_enabled());
+  EXPECT_GT(monitor->wal_stats().records, 0u);
+}
+
+TEST(WalRecovery, AllFsyncPoliciesRoundTrip) {
+  for (const auto policy :
+       {wal::FsyncPolicy::kAlways, wal::FsyncPolicy::kInterval,
+        wal::FsyncPolicy::kNever}) {
+    TempDir dir;
+    live::MonitorOptions options = wal_options(dir.path());
+    options.wal.fsync = policy;
+    options.wal.fsync_interval_ms = 5;
+    std::string reference;
+    {
+      live::Monitor monitor(options);
+      ingest_v_curve(monitor, "svc", 0, kPrefix + 4);
+      reference = snapshot_bytes(monitor);
+      if (policy == wal::FsyncPolicy::kAlways) {
+        EXPECT_GE(monitor.wal_stats().fsyncs, 1u);
+      }
+    }
+    auto recovered = live::Monitor::recover(options);
+    EXPECT_EQ(snapshot_bytes(*recovered), reference)
+        << "policy " << wal::to_string(policy);
+  }
+}
+
+TEST(WalRecovery, ShardCountChangeBetweenRunsStillRecovers) {
+  // Replay ordering comes from keys inside the records, not file layout, so
+  // rebooting with a different shard count must reproduce the same state.
+  TempDir dir;
+  live::MonitorOptions options = wal_options(dir.path());
+  options.shards = 4;
+  std::string reference;
+  {
+    live::Monitor monitor(options);
+    live::Monitor shadow(no_wal_options());
+    for (live::Monitor* m : {&monitor, &shadow}) {
+      for (int s = 0; s < 6; ++s) {
+        const std::string name = "svc-" + std::to_string(s);
+        for (int i = 0; i < 5; ++i) {
+          m->ingest(name, static_cast<double>(i), 1.0 - 0.01 * i);
+        }
+      }
+    }
+    reference = snapshot_bytes(shadow);
+    ASSERT_EQ(snapshot_bytes(monitor), reference);
+  }
+  options.shards = 2;
+  auto recovered = live::Monitor::recover(options);
+  EXPECT_EQ(snapshot_bytes(*recovered), reference);
+  EXPECT_EQ(recovered->stream_count(), 6u);
+}
+
+TEST(WalRecovery, SaveFileWritesAtomicallyViaRename) {
+  // Satellite: save_file must leave either the old or the new complete
+  // snapshot, never a partial write -- implemented as temp + fsync + rename.
+  TempDir dir;
+  const std::string path = dir.path() + "/snap.prm";
+  live::Monitor monitor(no_wal_options());
+  monitor.ingest("svc", 0.0, 1.0);
+  monitor.save_file(path);
+  const std::string first = snapshot_bytes(monitor);
+  {
+    std::ifstream in(path);
+    const std::string bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    EXPECT_EQ(bytes, first);
+  }
+  monitor.ingest("svc", 1.0, 0.9);
+  monitor.save_file(path);  // overwrite in place
+  auto reloaded = live::Monitor::load_file(path, no_wal_options());
+  EXPECT_EQ(reloaded->snapshot("svc").samples_seen, 2u);
+}
+
+}  // namespace
