@@ -1,0 +1,183 @@
+// Extension experiment: the nn family vs the paper's parametric models.
+//
+// The paper's models encode the bathtub prior (quadratic, competing risks)
+// or distribution mixtures; prm::nn drops the prior entirely and learns the
+// recovery curve as a small MLP on x = log1p(t), trained by Adam restarts
+// and polished by the same multistart LM pipeline every other model uses.
+// This bench answers the obvious question -- what does the prior buy? -- on
+// the seven U.S. recessions plus generated W/L/K shapes that violate the
+// single-dip assumption, and times the fits so the CI gate can watch the
+// nn path for cost regressions (--json emits the compare_bench.py schema).
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "data/generator.hpp"
+
+namespace {
+
+using namespace prm;
+using report::Table;
+
+const std::vector<std::string> kModels{"quadratic", "competing-risks",
+                                       "mix-wei-wei-log", "nn-6-tanh",
+                                       "nn-4x4-tanh"};
+
+bool is_neural(const std::string& name) { return core::model_family(name) == "neural"; }
+
+struct BestOf {
+  double neural = std::numeric_limits<double>::infinity();
+  double parametric = std::numeric_limits<double>::infinity();
+};
+
+/// One dataset row-block: every model's holdout PMSE / SSE / r2_adj, with
+/// models whose parameter count exceeds the fit window reported as skipped.
+BestOf run_block(Table& table, const data::RecessionDataset& ds) {
+  BestOf best;
+  bool first = true;
+  for (const std::string& name : kModels) {
+    try {
+      const core::ModelDatasetResult r = core::analyze(name, ds);
+      double& slot = is_neural(name) ? best.neural : best.parametric;
+      slot = std::min(slot, r.validation.pmse);
+      table.add_row({first ? std::string(ds.series.name()) : "", r.model_label,
+                     Table::scientific(r.validation.pmse, 3),
+                     Table::scientific(r.validation.sse, 3),
+                     Table::fixed(r.validation.r2_adj, 4)});
+    } catch (const std::exception&) {
+      // nn-4x4-tanh needs 33 + 2 samples; the 2020-21 window has 21.
+      table.add_row({first ? std::string(ds.series.name()) : "",
+                     core::display_label(name), "-", "-", "(window too small)"});
+    }
+    first = false;
+  }
+  table.add_separator();
+  return best;
+}
+
+struct TimedFit {
+  std::string name;  ///< "fit/<model>/<dataset>" for the JSON gate.
+  double us = 0.0;   ///< min-of-reps wall time, microseconds
+};
+
+void write_json(const std::string& path, const std::vector<TimedFit>& results) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "extension_nn: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  out << "{\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "    {\"name\": \"%s\", \"cpu_time\": %.3f, \"real_time\": %.3f, "
+                  "\"time_unit\": \"us\"}%s\n",
+                  results[i].name.c_str(), results[i].us, results[i].us,
+                  i + 1 < results.size() ? "," : "");
+    out << line;
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  int reps = 3;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--reps" && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: extension_nn [--json PATH] [--reps N]\n");
+      return 2;
+    }
+  }
+
+  std::cout << "=== Extension: neural forecaster vs the paper's models ===\n\n";
+
+  // -- Part 1: the paper's seven U.S. recessions. ---------------------------
+  Table recessions({"U.S. Recession", "Model", "PMSE", "SSE", "r2_adj"});
+  int nn_wins = 0, parametric_wins = 0;
+  double worst_ratio = 0.0;
+  for (const auto& ds : data::recession_catalog()) {
+    const BestOf best = run_block(recessions, ds);
+    (best.neural < best.parametric ? nn_wins : parametric_wins) += 1;
+    worst_ratio = std::max(worst_ratio, best.neural / best.parametric);
+  }
+  recessions.print(std::cout);
+
+  // -- Part 2: generated shapes the parametric prior can't express. ---------
+  std::cout << "\n--- Generated W/L/K shapes (48 samples, holdout 5, seed 42) ---\n\n";
+  Table shapes({"Shape", "Model", "PMSE", "SSE", "r2_adj"});
+  int nn_shape_wins = 0;
+  for (const data::RecessionShape shape :
+       {data::RecessionShape::kW, data::RecessionShape::kL, data::RecessionShape::kK}) {
+    const data::RecessionDataset ds{data::generate_shape(shape), shape, 5};
+    const BestOf best = run_block(shapes, ds);
+    if (best.neural < best.parametric) ++nn_shape_wins;
+  }
+  shapes.print(std::cout);
+
+  std::cout << "\nHeadline: the best nn model beats the best parametric model on "
+            << nn_wins << " of 7\nrecessions and " << nn_shape_wins
+            << " of 3 generated shapes. On single-dip recessions the\nmargin "
+               "is modest and can flip (worst best-vs-best PMSE ratio "
+            << Table::fixed(worst_ratio, 1)
+            << "x, on\n1990-93): there the bathtub prior is a good regularizer "
+               "and free weights\nmostly buy in-sample flexibility. Off the "
+               "prior -- the W/L/K shapes and\nthe 2020-21 window, exactly "
+               "where the paper concedes its models fail --\nthe MLP is one "
+               "to two orders of magnitude ahead on holdout PMSE,\ntracking "
+               "second dips and divergent branches no single bathtub can\n"
+               "express. The price is fit cost (~100x a quadratic fit; table "
+               "below) and\ncapacity limits: nn-4x4-tanh's 33 weights cannot "
+               "be fit at all on the\n21-sample 2020-21 window. The nn rows "
+               "reach this table through the same\nmultistart/validate "
+               "pipeline as every parametric row -- only\ninitial_guesses "
+               "changed.\n";
+
+  // -- Part 3: fit cost, for the CI regression gate. ------------------------
+  std::cout << "\n--- Fit wall time (min of " << reps << ") ---\n\n";
+  Table times({"Dataset", "Model", "fit ms"});
+  std::vector<TimedFit> timed;
+  for (const char* ds_name : {"1990-93", "2007-09", "2020-21"}) {
+    const auto& ds = data::recession(ds_name);
+    bool first = true;
+    for (const std::string& model : kModels) {
+      double best_us = std::numeric_limits<double>::infinity();
+      bool ok = true;
+      for (int r = 0; r < reps && ok; ++r) {
+        const auto start = std::chrono::steady_clock::now();
+        try {
+          (void)core::fit_model(model, ds.series, ds.holdout);
+        } catch (const std::exception&) {
+          ok = false;  // window too small for this model
+        }
+        const auto stop = std::chrono::steady_clock::now();
+        best_us = std::min(
+            best_us,
+            std::chrono::duration<double, std::micro>(stop - start).count());
+      }
+      times.add_row({first ? std::string(ds_name) : "", core::display_label(model),
+                     ok ? Table::fixed(best_us / 1000.0, 2) : "-"});
+      first = false;
+      if (ok) {
+        timed.push_back({"fit/" + model + "/" + ds_name, best_us});
+      }
+    }
+    times.add_separator();
+  }
+  times.print(std::cout);
+
+  if (!json_path.empty()) write_json(json_path, timed);
+  return 0;
+}

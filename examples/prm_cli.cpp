@@ -3,20 +3,27 @@
 //
 //   prm_cli fit       --csv data.csv [--model NAME] [--holdout N]
 //                     [--loss squared|huber|cauchy] [--level L] [--save FILE]
+//                     [--threads N]
 //   prm_cli predict   --fit FILE [--level L]    # reuse a saved fit
-//   prm_cli uncertainty --fit FILE [--level L] [--replicates N]
+//   prm_cli uncertainty --fit FILE [--level L] [--replicates N] [--threads N]
 //   prm_cli detect    --csv data.csv            # hazard-onset detection
-//   prm_cli monitor   --csv F1,F2,... replay CSVs as interleaved live streams
-//   prm_cli serve     --port N --threads K      # embedded HTTP/JSON service
+//   prm_cli monitor   --csv F1,F2,... [--model NAME] [--threads N]
+//                     [--refit-every N] [--save FILE] [--load FILE]
+//                     [--wal-dir DIR] [--fsync always|interval|never]
+//   prm_cli serve     [--port N] [--threads N] [--fit-threads N] [--model NAME]
+//                     [--cache N] [--queue N] [--shards N]
+//                     [--wal-dir DIR] [--fsync always|interval|never]
 //   prm_cli models                              # list registered models
 //   prm_cli demo                                # run on a bundled dataset
 //   prm_cli help | --help | -h                  # usage on stdout, exit 0
 //
 // CSV format: "t,value" with a header line; t strictly increasing.
 // With --model omitted, every registered model is fit and the best holdout
-// PMSE wins. Unknown subcommands and unknown --options are rejected (usage
-// on stderr, exit 1). Exit code 0 on success, 1 on CLI errors, 2 on data
-// errors.
+// PMSE wins (models whose requirements the series cannot meet — e.g. the
+// nn family needs more samples than weights — are skipped with a note).
+// An unknown --model is rejected with the full registry roster. Unknown
+// subcommands and unknown --options are rejected (usage on stderr, exit 1).
+// Exit code 0 on success, 1 on CLI errors, 2 on data errors.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -73,20 +80,28 @@ void usage(std::ostream& out) {
   out << "usage:\n"
       << "  prm_cli fit     --csv FILE [--model NAME] [--holdout N]\n"
       << "                  [--loss squared|huber|cauchy] [--level L] [--save FILE]\n"
-      << "                  [--threads N]   # solver threads (1 = serial)\n"
+      << "                  [--threads N]   # solver threads (1 = serial, 0 = auto)\n"
+      << "                  # --model: a `prm_cli models` name (e.g. quadratic,\n"
+      << "                  #   mix-wei-wei-log, nn-6-tanh); omitted = try them all\n"
       << "  prm_cli predict --fit FILE [--level L]\n"
       << "  prm_cli uncertainty --fit FILE [--level L] [--replicates N] [--threads N]\n"
       << "  prm_cli detect  --csv FILE\n"
       << "  prm_cli monitor --csv FILE[,FILE...] [--model NAME] [--threads N]\n"
-      << "                  [--refit-every N] [--save FILE] [--load FILE]\n"
+      << "                  [--refit-every N]  # refit cadence in samples/stream\n"
+      << "                  [--save FILE] [--load FILE]  # snapshot out / resume from\n"
       << "                  [--wal-dir DIR] [--fsync always|interval|never]\n"
+      << "                  # --wal-dir: write-ahead log; restart replays to the\n"
+      << "                  #   exact acknowledged state (excludes --load)\n"
       << "  prm_cli serve   [--port N] [--threads N] [--fit-threads N] [--model NAME]\n"
       << "                  [--cache N] [--queue N] [--shards N]  # --port 0 = ephemeral\n"
+      << "                  # --threads: HTTP workers; --fit-threads: solver threads\n"
+      << "                  #   per fit; --cache: fit-cache entries; --queue: pending\n"
+      << "                  #   connections before 503\n"
       << "                  # --shards: cache/registry stripes, 0 = one per core\n"
       << "                  [--wal-dir DIR] [--fsync always|interval|never]\n"
       << "                  # --wal-dir: durable write-ahead log; restart resumes state\n"
-      << "  prm_cli models\n"
-      << "  prm_cli demo\n"
+      << "  prm_cli models  # registered model names, one per line, with family\n"
+      << "  prm_cli demo    # fit the bundled 1990-93 recession (same flags as fit)\n"
       << "  prm_cli help | --help | -h\n";
 }
 
@@ -154,6 +169,17 @@ std::optional<int> threads_option(const CliArgs& args, const std::string& key, b
   return parsed;
 }
 
+/// Validate a --model value against the registry; on an unknown name,
+/// print the full roster (the error users actually need) and return false.
+bool validate_model_option(const std::string& name) {
+  if (core::ModelRegistry::instance().contains(name)) return true;
+  std::cerr << "prm_cli: unknown model '" << name << "'; registered models:\n";
+  for (const std::string& n : core::ModelRegistry::instance().names()) {
+    std::cerr << "  " << n << '\n';
+  }
+  return false;
+}
+
 void print_predictions(const core::FitResult& fit, double level) {
   using report::Table;
   std::cout << "\nPredictions:\n";
@@ -202,6 +228,7 @@ int run_fit(const data::PerformanceSeries& series, const CliArgs& args) {
   // Candidate models: the requested one, or all registered.
   std::vector<std::string> names;
   if (args.options.count("model")) {
+    if (!validate_model_option(args.options.at("model"))) return 1;
     names.push_back(args.options.at("model"));
   } else {
     names = core::ModelRegistry::instance().names();
@@ -211,19 +238,30 @@ int run_fit(const data::PerformanceSeries& series, const CliArgs& args) {
   std::optional<core::FitResult> best;
   std::optional<core::ValidationReport> best_val;
   double best_pmse = std::numeric_limits<double>::infinity();
+  std::vector<std::string> skipped;
   for (const std::string& name : names) {
-    core::FitResult fit = core::fit_model(name, series, holdout, fit_opts);
-    const core::ValidationReport v = core::validate(fit);
+    // A model can be unfittable on this series (the nn family needs more
+    // samples than weights); skip it instead of failing the whole ranking.
+    std::optional<core::FitResult> fit;
+    try {
+      fit = core::fit_model(name, series, holdout, fit_opts);
+    } catch (const std::exception& e) {
+      ranking.add_row({core::display_label(name), "-", "-", "-", "-", "-"});
+      skipped.push_back(name + ": " + e.what());
+      continue;
+    }
+    const core::ValidationReport v = core::validate(*fit);
     ranking.add_row({core::display_label(name), Table::scientific(v.sse, 3),
                      Table::scientific(v.pmse, 3), Table::fixed(v.r2_adj, 4),
                      Table::percent(v.ec), Table::fixed(v.theil_u, 3)});
-    if (fit.success() && v.pmse < best_pmse) {
+    if (fit->success() && v.pmse < best_pmse) {
       best_pmse = v.pmse;
-      best = std::move(fit);
+      best = std::move(*fit);
       best_val = v;
     }
   }
   ranking.print(std::cout);
+  for (const std::string& note : skipped) std::cout << "skipped " << note << '\n';
   if (!best) {
     std::cerr << "no model produced a usable fit\n";
     return 2;
@@ -293,7 +331,10 @@ void serve_signal_handler(int) { g_serve_stop.store(true); }
 int run_monitor(const CliArgs& args) {
   using report::Table;
   live::MonitorOptions options;
-  if (args.options.count("model")) options.model = args.options.at("model");
+  if (args.options.count("model")) {
+    if (!validate_model_option(args.options.at("model"))) return 1;
+    options.model = args.options.at("model");
+  }
   bool threads_ok = false;
   if (const auto threads = threads_option(args, "threads", threads_ok)) {
     options.threads = static_cast<std::size_t>(*threads);
@@ -418,6 +459,7 @@ int run_monitor(const CliArgs& args) {
 int run_serve(const CliArgs& args) {
   serve::AppOptions app_options;
   if (args.options.count("model")) {
+    if (!validate_model_option(args.options.at("model"))) return 1;
     app_options.default_model = args.options.at("model");
     app_options.monitor.model = app_options.default_model;
   }
@@ -537,8 +579,8 @@ int main(int argc, char** argv) {
     if (args->command == "models") {
       for (const std::string& name : core::ModelRegistry::instance().names()) {
         const core::ModelPtr m = core::ModelRegistry::instance().create(name);
-        std::cout << name << "  (" << m->num_parameters() << " params)  "
-                  << m->description() << '\n';
+        std::cout << name << "  (" << core::model_family(name) << ", "
+                  << m->num_parameters() << " params)  " << m->description() << '\n';
       }
       return 0;
     }

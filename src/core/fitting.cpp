@@ -158,15 +158,20 @@ FitResult fit_model(const ResilienceModel& model, const data::PerformanceSeries&
     return p;
   };
 
-  // Starting points: model guesses mapped to internal space.
+  // Starting points: model guesses mapped to internal space. On the warm
+  // path the multistart driver ignores the regular start set entirely, so
+  // skip generating it — initial_guesses() can be expensive (the nn family
+  // trains networks in there), and live refits take this branch constantly.
   std::vector<num::Vector> starts;
-  for (const num::Vector& g : model.initial_guesses(fit_window)) {
-    starts.push_back(transform.to_internal(clip_into_bounds(g)));
+  if (!options.warm_start) {
+    for (const num::Vector& g : model.initial_guesses(fit_window)) {
+      starts.push_back(transform.to_internal(clip_into_bounds(g)));
+    }
   }
 
-  // Warm start (previous solution) mapped the same way; the multistart
-  // driver then skips the regular start set entirely.
+  // Warm start (previous solution) mapped the same way.
   opt::MultistartOptions ms_options = options.multistart;
+  model.tune_multistart(ms_options);
   if (options.warm_start) {
     if (options.warm_start->size() != model.num_parameters()) {
       throw std::invalid_argument("fit_model: warm start size does not match the model");

@@ -7,6 +7,7 @@
 #include "core/bathtub.hpp"
 #include "core/mixture.hpp"
 #include "core/segmented.hpp"
+#include "nn/neural_model.hpp"
 
 namespace prm::core {
 
@@ -58,6 +59,8 @@ std::optional<double> ResilienceModel::trough_closed_form(const num::Vector&) co
   return std::nullopt;
 }
 
+void ResilienceModel::tune_multistart(opt::MultistartOptions&) const {}
+
 ModelRegistry& ModelRegistry::instance() {
   static ModelRegistry registry = [] {
     ModelRegistry r;
@@ -76,6 +79,16 @@ ModelRegistry& ModelRegistry::instance() {
     add_mix(Family::kWeibull, Family::kExponential);
     add_mix(Family::kExponential, Family::kWeibull);
     add_mix(Family::kWeibull, Family::kWeibull);
+    // The neural family (the paper's sequel direction): the architecture is
+    // fully encoded in the name, so any "nn-<widths>-<act>" spec can also be
+    // registered by users at runtime.
+    const auto add_nn = [&r](const char* name) {
+      const auto spec = nn::MlpSpec::from_name(name);
+      r.register_model(name, [spec] { return ModelPtr(new nn::NeuralModel(*spec)); });
+    };
+    add_nn("nn-6-tanh");
+    add_nn("nn-6-softplus");
+    add_nn("nn-4x4-tanh");
     return r;
   }();
   return registry;
@@ -109,6 +122,14 @@ std::vector<std::string> ModelRegistry::names() const {
   out.reserve(factories_.size());
   for (const auto& [n, f] : factories_) out.push_back(n);
   return out;
+}
+
+std::string model_family(const std::string& name) {
+  if (name.rfind("mix-", 0) == 0) return "mixture";
+  if (name.rfind("nn-", 0) == 0) return "neural";
+  if (name.rfind("segmented", 0) == 0) return "segmented";
+  if (name == "quadratic" || name == "competing-risks") return "bathtub";
+  return "custom";
 }
 
 }  // namespace prm::core

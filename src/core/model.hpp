@@ -16,6 +16,10 @@
 #include "numerics/matrix.hpp"
 #include "optimize/transforms.hpp"
 
+namespace prm::opt {
+struct MultistartOptions;
+}
+
 namespace prm::core {
 
 class ResilienceModel {
@@ -78,6 +82,13 @@ class ResilienceModel {
   /// Closed-form trough location argmin_t P(t), when available.
   virtual std::optional<double> trough_closed_form(const num::Vector& params) const;
 
+  /// Hook for models whose initial_guesses() embed their own exploration
+  /// (e.g. the nn family's Adam multistart): fit_model() passes its solver
+  /// options through this before running, so such a model can cap the
+  /// generic sampled/jittered start budget. Default: leave them unchanged.
+  /// Models must not touch the warm-start or threading fields.
+  virtual void tune_multistart(opt::MultistartOptions& options) const;
+
   virtual std::unique_ptr<ResilienceModel> clone() const = 0;
 };
 
@@ -105,5 +116,9 @@ class ModelRegistry {
  private:
   std::vector<std::pair<std::string, Factory>> factories_;
 };
+
+/// Coarse family tag for a model name: "bathtub", "mixture", "segmented",
+/// "neural", or "custom" for anything the built-in taxonomy does not cover.
+std::string model_family(const std::string& name);
 
 }  // namespace prm::core

@@ -1,5 +1,6 @@
 #include "core/serialize.hpp"
 
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -22,13 +23,23 @@ std::string expect_key(std::istream& in, const std::string& key) {
   return k;
 }
 
+double read_double(std::istream& in, const char* what) {
+  // Token + strtod instead of operator>>: the extractor rejects "inf"/"nan"
+  // even though the %.17g writer can produce them (e.g. an sse stamped on a
+  // never-fitted result). The codec must read back anything it wrote.
+  std::string tok;
+  if (!(in >> tok)) fail(std::string("missing ") + what);
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (end != tok.c_str() + tok.size()) fail(std::string("bad value for ") + what);
+  return v;
+}
+
 std::vector<double> read_doubles(std::istream& in) {
   std::size_t n = 0;
   if (!(in >> n)) fail("missing count");
   std::vector<double> v(n);
-  for (double& x : v) {
-    if (!(in >> x)) fail("truncated numeric list");
-  }
+  for (double& x : v) x = read_double(in, "numeric list entry");
   return v;
 }
 
@@ -109,8 +120,7 @@ FitResult load_fit(std::istream& in) {
   if (times.size() != values.size()) fail("times/values size mismatch");
 
   expect_key(in, "sse");
-  double sse = 0.0;
-  if (!(in >> sse)) fail("missing sse");
+  const double sse = read_double(in, "sse");
   expect_key(in, "stop");
   std::string stop;
   if (!(in >> stop)) fail("missing stop reason");

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <limits>
@@ -51,8 +52,14 @@ void expect_key(std::istream& in, const std::string& key) {
 }
 
 double read_double(std::istream& in, const std::string& key) {
-  double v = 0.0;
-  if (!(in >> v)) fail("bad value for '" + key + "'");
+  // Token + strtod instead of operator>>: fitted predictions can be
+  // legitimately non-finite (a diverging trough forecast), and the stream
+  // extractor rejects the "inf"/"nan" the writer printed for them.
+  std::string tok;
+  if (!(in >> tok)) fail("bad value for '" + key + "'");
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (end != tok.c_str() + tok.size()) fail("bad value for '" + key + "'");
   return v;
 }
 

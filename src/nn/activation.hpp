@@ -1,0 +1,71 @@
+// Hidden-layer activations for the prm::nn MLP engine.
+//
+// Each activation is written once against the f64x4 pack interface
+// (numerics/simd.hpp) in terms of the vector math layer's exp/expm1/log1p,
+// so every backend — AVX2, SSE2, NEON and the generic reference — executes
+// the identical IEEE operation sequence and the forward pass inherits the
+// repo-wide bit-parity contract. All pack operations are lanewise, so a
+// value broadcast to four lanes produces the same bits as the same value
+// packed next to three unrelated samples; that is what makes the scalar
+// evaluate() path (generic pack, lane 0) bit-identical to eval_batch().
+//
+// Derivatives are expressed through the activation OUTPUT a = act(z), not
+// the pre-activation z, so backpropagation only needs the stored
+// activations:
+//   tanh'     = 1 - a^2
+//   relu'     = [a > 0]           (a > 0 iff z > 0)
+//   softplus' = sigmoid(z) = 1 - e^{-a}   (since e^a = 1 + e^z)
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "numerics/simd.hpp"
+#include "numerics/simd_math.hpp"
+
+namespace prm::nn {
+
+enum class Activation { kTanh, kRelu, kSoftplus };
+
+std::string_view to_string(Activation act);
+std::optional<Activation> activation_from_string(std::string_view name);
+
+/// act(x) over a 4-lane pack.
+template <class P>
+inline P activation_apply(Activation act, P x) {
+  switch (act) {
+    case Activation::kRelu:
+      return max(x, P::broadcast(0.0));
+    case Activation::kSoftplus: {
+      // Overflow-safe form: softplus(x) = max(x, 0) + log1p(exp(-|x|)).
+      const P ax = max(x, -x);
+      return max(x, P::broadcast(0.0)) + num::simd_log1p(num::simd_exp(-ax));
+    }
+    case Activation::kTanh:
+    default: {
+      // tanh(x) = -t / (t + 2) with t = expm1(-2|x|), sign restored: one
+      // expm1 call, no cancellation near 0, exact 0 at 0.
+      const P ax = max(x, -x);
+      const P t = num::simd_expm1(P::broadcast(-2.0) * ax);
+      const P mag = -t / (t + P::broadcast(2.0));
+      return select(cmp_lt(x, P::broadcast(0.0)), -mag, mag);
+    }
+  }
+}
+
+/// d act/dx expressed through the activation output a = act(x).
+template <class P>
+inline P activation_derivative(Activation act, P a) {
+  switch (act) {
+    case Activation::kRelu:
+      return select(cmp_gt(a, P::broadcast(0.0)), P::broadcast(1.0), P::broadcast(0.0));
+    case Activation::kSoftplus:
+      return -num::simd_expm1(-a);
+    case Activation::kTanh:
+    default:
+      return P::broadcast(1.0) - a * a;
+  }
+}
+
+}  // namespace prm::nn

@@ -1,0 +1,116 @@
+#include "nn/adam.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+namespace prm::nn {
+
+namespace {
+
+using G = num::f64x4_generic;
+
+void check_sizes(const MlpSpec& spec, std::span<const double> x, std::span<const double> y,
+                 const num::Vector& weights) {
+  spec.validate();
+  if (x.size() != y.size() || x.empty()) {
+    throw std::invalid_argument("nn: x and y must be non-empty and the same length");
+  }
+  if (weights.size() != spec.num_weights()) {
+    throw std::invalid_argument("nn: weight buffer does not match the spec");
+  }
+}
+
+/// MSE gradient over the batch order[first, first+count): grad[i] =
+/// (2/count) * sum (pred - y) * d pred / d w_i, accumulated chunk by chunk
+/// and lane by lane in fixed order.
+void batch_gradient(const MlpSpec& spec, std::span<const double> x, std::span<const double> y,
+                    const num::Vector& w, std::span<const std::size_t> order,
+                    std::size_t first, std::size_t count, num::Vector& grad) {
+  std::fill(grad.begin(), grad.end(), 0.0);
+  const double scale = 2.0 / static_cast<double>(count);
+  for (std::size_t c = 0; c < count; c += 4) {
+    double xs[4];
+    double ys[4];
+    double mask[4];
+    for (std::size_t lane = 0; lane < 4; ++lane) {
+      const std::size_t pos = c + lane;
+      const std::size_t idx = order[first + std::min(pos, count - 1)];
+      xs[lane] = x[idx];
+      ys[lane] = y[idx];
+      mask[lane] = pos < count ? 1.0 : 0.0;
+    }
+    G acts[kMaxActivations];
+    const G pred = forward_store(spec, w.data(), G::load(xs), acts);
+    const G delta = (pred - G::load(ys)) * G::load(mask) * G::broadcast(scale);
+    G gw[kMaxWeights];
+    backward(spec, w.data(), acts, delta, gw);
+    for (std::size_t i = 0; i < grad.size(); ++i) {
+      grad[i] += gw[i].lane(0) + gw[i].lane(1) + gw[i].lane(2) + gw[i].lane(3);
+    }
+  }
+}
+
+}  // namespace
+
+double mse_loss(const MlpSpec& spec, std::span<const double> x, std::span<const double> y,
+                const num::Vector& weights) {
+  check_sizes(spec, x, y, weights);
+  double sum = 0.0;
+  for (std::size_t c = 0; c < x.size(); c += 4) {
+    double xs[4];
+    for (std::size_t lane = 0; lane < 4; ++lane) {
+      xs[lane] = x[std::min(c + lane, x.size() - 1)];
+    }
+    const G pred = forward(spec, weights.data(), G::load(xs));
+    for (std::size_t lane = 0; lane < 4 && c + lane < x.size(); ++lane) {
+      const double e = pred.lane(lane) - y[c + lane];
+      sum += e * e;
+    }
+  }
+  return sum / static_cast<double>(x.size());
+}
+
+double adam_train(const MlpSpec& spec, std::span<const double> x, std::span<const double> y,
+                  num::Vector& weights, const AdamOptions& options) {
+  check_sizes(spec, x, y, weights);
+  const std::size_t n = x.size();
+  const std::size_t batch =
+      options.batch_size == 0 ? n : std::min(options.batch_size, n);
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  const std::size_t nw = weights.size();
+  num::Vector grad(nw, 0.0);
+  num::Vector m(nw, 0.0);
+  num::Vector v(nw, 0.0);
+  double beta1_t = 1.0;
+  double beta2_t = 1.0;
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    if (batch < n) {
+      // Fresh per-epoch stream: the order depends only on (seed, epoch).
+      std::mt19937_64 rng(options.shuffle_seed ^ static_cast<std::uint64_t>(epoch));
+      std::shuffle(order.begin(), order.end(), rng);
+    }
+    for (std::size_t first = 0; first < n; first += batch) {
+      const std::size_t count = std::min(batch, n - first);
+      batch_gradient(spec, x, y, weights, order, first, count, grad);
+      beta1_t *= options.beta1;
+      beta2_t *= options.beta2;
+      for (std::size_t i = 0; i < nw; ++i) {
+        m[i] = options.beta1 * m[i] + (1.0 - options.beta1) * grad[i];
+        v[i] = options.beta2 * v[i] + (1.0 - options.beta2) * grad[i] * grad[i];
+        const double m_hat = m[i] / (1.0 - beta1_t);
+        const double v_hat = v[i] / (1.0 - beta2_t);
+        weights[i] -= options.learning_rate * m_hat / (std::sqrt(v_hat) + options.epsilon);
+      }
+    }
+  }
+  return mse_loss(spec, x, y, weights);
+}
+
+}  // namespace prm::nn

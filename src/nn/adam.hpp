@@ -1,0 +1,43 @@
+// Adam optimizer for the prm::nn MLP, full-batch or deterministic
+// mini-batch.
+//
+// Training always runs through the generic reference pack
+// (num::f64x4_generic), four samples per step with a masked tail, and
+// reduces the per-lane weight gradients in fixed lane order — so a training
+// run's result depends only on (spec, data, weights, options): never on the
+// SIMD toggle, the thread count, or scheduling. One Adam run is strictly
+// serial; parallelism lives a level up, across multistart restarts
+// (nn/train.hpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "nn/mlp.hpp"
+
+namespace prm::nn {
+
+struct AdamOptions {
+  double learning_rate = 0.05;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  int epochs = 400;
+  /// Samples per gradient step; 0 = full batch (one step per epoch). When
+  /// mini-batching, the sample order is reshuffled every epoch from
+  /// std::mt19937_64(shuffle_seed ^ epoch) — deterministic by construction.
+  std::size_t batch_size = 0;
+  std::uint64_t shuffle_seed = 0;
+};
+
+/// Minimize mean squared error of the net over (x, y), updating `weights`
+/// in place. Returns the final full-data MSE. Throws std::invalid_argument
+/// on size mismatches or an invalid spec.
+double adam_train(const MlpSpec& spec, std::span<const double> x, std::span<const double> y,
+                  num::Vector& weights, const AdamOptions& options = {});
+
+/// Mean squared error of the net over (x, y) — the loss adam_train reports.
+double mse_loss(const MlpSpec& spec, std::span<const double> x, std::span<const double> y,
+                const num::Vector& weights);
+
+}  // namespace prm::nn

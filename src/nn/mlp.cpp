@@ -1,0 +1,151 @@
+#include "nn/mlp.hpp"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace prm::nn {
+
+std::string_view to_string(Activation act) {
+  switch (act) {
+    case Activation::kRelu:
+      return "relu";
+    case Activation::kSoftplus:
+      return "softplus";
+    case Activation::kTanh:
+    default:
+      return "tanh";
+  }
+}
+
+std::optional<Activation> activation_from_string(std::string_view name) {
+  if (name == "tanh") return Activation::kTanh;
+  if (name == "relu") return Activation::kRelu;
+  if (name == "softplus") return Activation::kSoftplus;
+  return std::nullopt;
+}
+
+std::string MlpSpec::to_name() const {
+  std::string out = "nn-";
+  for (std::size_t l = 0; l < hidden.size(); ++l) {
+    if (l > 0) out += 'x';
+    out += std::to_string(hidden[l]);
+  }
+  out += '-';
+  out += to_string(activation);
+  return out;
+}
+
+std::optional<MlpSpec> MlpSpec::from_name(std::string_view name) {
+  if (!name.starts_with("nn-")) return std::nullopt;
+  name.remove_prefix(3);
+  const std::size_t dash = name.rfind('-');
+  if (dash == std::string_view::npos) return std::nullopt;
+  const auto act = activation_from_string(name.substr(dash + 1));
+  if (!act) return std::nullopt;
+
+  MlpSpec spec;
+  spec.activation = *act;
+  spec.hidden.clear();
+  std::string_view widths = name.substr(0, dash);
+  while (!widths.empty()) {
+    const std::size_t x = widths.find('x');
+    const std::string_view tok = widths.substr(0, x);
+    if (tok.empty() || tok.size() > 2) return std::nullopt;
+    std::size_t width = 0;
+    for (const char c : tok) {
+      if (c < '0' || c > '9') return std::nullopt;
+      width = width * 10 + static_cast<std::size_t>(c - '0');
+    }
+    spec.hidden.push_back(width);
+    if (x == std::string_view::npos) break;
+    widths.remove_prefix(x + 1);
+    if (widths.empty()) return std::nullopt;  // trailing 'x', as in "nn-6x-tanh"
+  }
+  try {
+    spec.validate();
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  }
+  return spec;
+}
+
+std::size_t MlpSpec::num_weights() const {
+  std::size_t n = 0;
+  std::size_t in_dim = 1;
+  for (const std::size_t width : hidden) {
+    n += width * in_dim + width;
+    in_dim = width;
+  }
+  return n + in_dim + 1;
+}
+
+void MlpSpec::validate() const {
+  if (hidden.empty()) throw std::invalid_argument("MlpSpec: at least one hidden layer");
+  if (hidden.size() > kMaxHiddenLayers) {
+    throw std::invalid_argument("MlpSpec: too many hidden layers");
+  }
+  for (const std::size_t width : hidden) {
+    if (width == 0 || width > kMaxWidth) {
+      throw std::invalid_argument("MlpSpec: hidden width must be in [1, 16]");
+    }
+  }
+  if (num_weights() > kMaxWeights) {
+    throw std::invalid_argument("MlpSpec: weight count exceeds kMaxWeights");
+  }
+}
+
+std::vector<std::string> weight_names(const MlpSpec& spec) {
+  std::vector<std::string> names;
+  names.reserve(spec.num_weights());
+  std::size_t in_dim = 1;
+  for (std::size_t l = 0; l < spec.hidden.size(); ++l) {
+    const std::size_t width = spec.hidden[l];
+    const std::string layer = std::to_string(l + 1);
+    for (std::size_t j = 0; j < width; ++j) {
+      for (std::size_t k = 0; k < in_dim; ++k) {
+        std::string n = "w" + layer;
+        n += '-';
+        n += std::to_string(j);
+        n += '-';
+        n += std::to_string(k);
+        names.push_back(std::move(n));
+      }
+    }
+    for (std::size_t j = 0; j < width; ++j) {
+      std::string n = "b" + layer;
+      n += '-';
+      n += std::to_string(j);
+      names.push_back(std::move(n));
+    }
+    in_dim = width;
+  }
+  for (std::size_t k = 0; k < in_dim; ++k) {
+    std::string n = "w-out-";
+    n += std::to_string(k);
+    names.push_back(std::move(n));
+  }
+  names.emplace_back("b-out");
+  return names;
+}
+
+num::Vector init_weights(const MlpSpec& spec, std::uint64_t seed) {
+  spec.validate();
+  num::Vector w;
+  w.reserve(spec.num_weights());
+  std::mt19937_64 rng(seed);
+  std::size_t in_dim = 1;
+  const auto draw_layer = [&](std::size_t fan_in, std::size_t fan_out, std::size_t count) {
+    const double r = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+    std::uniform_real_distribution<double> uniform(-r, r);
+    for (std::size_t i = 0; i < count; ++i) w.push_back(uniform(rng));
+  };
+  for (const std::size_t width : spec.hidden) {
+    draw_layer(in_dim, width, width * in_dim + width);
+    in_dim = width;
+  }
+  draw_layer(in_dim, 1, in_dim + 1);
+  return w;
+}
+
+}  // namespace prm::nn

@@ -1,0 +1,175 @@
+// Feed-forward MLP substrate for prm::nn.
+//
+// The network is a scalar-input, scalar-output fully connected net with up
+// to kMaxHiddenLayers hidden layers of up to kMaxWidth units each, a shared
+// hidden activation, and a linear output unit. All weights live in ONE
+// contiguous buffer so a network doubles as a `ResilienceModel` parameter
+// vector (and therefore serializes, warm-starts, and bootstraps through the
+// existing fit machinery unchanged).
+//
+// Weight layout, layer by layer (layer l maps in_dim -> width):
+//   [ W_l row-major: W[j][k] at j*in_dim + k ] [ b_l: width entries ]
+// followed by the linear output layer [ W_out: in_dim ] [ b_out: 1 ].
+//
+// The forward/backward kernels are templated over the f64x4 pack interface
+// and evaluate four samples per instruction stream; instantiated with
+// `num::f64x4_generic` they are the bit-exact scalar reference the SIMD
+// dispatch falls back to (see numerics/simd.hpp for the parity contract).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nn/activation.hpp"
+#include "numerics/matrix.hpp"
+
+namespace prm::nn {
+
+inline constexpr std::size_t kMaxWidth = 16;
+inline constexpr std::size_t kMaxHiddenLayers = 3;
+inline constexpr std::size_t kMaxWeights = 128;
+/// Stored activations: the scalar input plus every hidden layer.
+inline constexpr std::size_t kMaxActivations = 1 + kMaxHiddenLayers * kMaxWidth;
+
+/// Architecture description; the registry name encodes it completely.
+struct MlpSpec {
+  std::vector<std::size_t> hidden{6};
+  Activation activation = Activation::kTanh;
+
+  /// Registry-style name: "nn-<w1>[x<w2>...]-<activation>", e.g. "nn-6-tanh",
+  /// "nn-4x4-relu".
+  std::string to_name() const;
+
+  /// Parse a to_name()-style string; nullopt when it is not an nn name or
+  /// violates the layout caps.
+  static std::optional<MlpSpec> from_name(std::string_view name);
+
+  /// Flattened weight-buffer length (all W and b blocks).
+  std::size_t num_weights() const;
+
+  /// Throws std::invalid_argument when the caps are violated (no hidden
+  /// layer, width 0 or > kMaxWidth, > kMaxHiddenLayers layers, or a weight
+  /// count over kMaxWeights).
+  void validate() const;
+};
+
+/// Weight names in buffer order: "w1-0-0", ..., "b1-0", ..., "w-out-0",
+/// "b-out" (layer index 1-based to match the math).
+std::vector<std::string> weight_names(const MlpSpec& spec);
+
+/// Deterministic scaled-uniform (Glorot) initialization: every draw comes
+/// from std::mt19937_64(seed) in buffer order, so the result depends only on
+/// (spec, seed) — the same per-index contract the rest of the repo uses.
+num::Vector init_weights(const MlpSpec& spec, std::uint64_t seed);
+
+/// Forward pass storing every layer's activations into `acts` (size >=
+/// kMaxActivations; acts[0] = x, hidden layer l contiguous after). Returns
+/// the linear output.
+template <class P>
+inline P forward_store(const MlpSpec& spec, const double* w, P x, P* acts) {
+  acts[0] = x;
+  std::size_t in_off = 0;
+  std::size_t in_dim = 1;
+  std::size_t out_off = 1;
+  const double* wp = w;
+  for (const std::size_t width : spec.hidden) {
+    for (std::size_t j = 0; j < width; ++j) {
+      P z = P::broadcast(wp[width * in_dim + j]);  // bias
+      for (std::size_t k = 0; k < in_dim; ++k) {
+        z = z + P::broadcast(wp[j * in_dim + k]) * acts[in_off + k];
+      }
+      acts[out_off + j] = activation_apply(spec.activation, z);
+    }
+    wp += width * in_dim + width;
+    in_off = out_off;
+    out_off += width;
+    in_dim = width;
+  }
+  P y = P::broadcast(wp[in_dim]);  // output bias
+  for (std::size_t k = 0; k < in_dim; ++k) {
+    y = y + P::broadcast(wp[k]) * acts[in_off + k];
+  }
+  return y;
+}
+
+/// Forward pass without retaining activations.
+template <class P>
+inline P forward(const MlpSpec& spec, const double* w, P x) {
+  P acts[kMaxActivations];
+  return forward_store(spec, w, x, acts);
+}
+
+/// Backpropagation: writes grad[i] = delta_out * d y / d w_i for every
+/// weight, from the activations stored by forward_store. `grad` must hold
+/// spec.num_weights() packs. Lanes are independent samples throughout.
+template <class P>
+inline void backward(const MlpSpec& spec, const double* w, const P* acts, P delta_out,
+                     P* grad) {
+  const std::size_t L = spec.hidden.size();
+  // Per-layer geometry (weight-block offset, input-activation offset, input
+  // dim); index L is the linear output layer.
+  std::size_t w_off[kMaxHiddenLayers + 1];
+  std::size_t a_off[kMaxHiddenLayers + 1];
+  std::size_t in_dim[kMaxHiddenLayers + 1];
+  {
+    std::size_t wo = 0;
+    std::size_t ao = 0;
+    std::size_t d = 1;
+    for (std::size_t l = 0; l < L; ++l) {
+      w_off[l] = wo;
+      a_off[l] = ao;
+      in_dim[l] = d;
+      wo += spec.hidden[l] * d + spec.hidden[l];
+      ao += d;
+      d = spec.hidden[l];
+    }
+    w_off[L] = wo;
+    a_off[L] = ao;
+    in_dim[L] = d;
+  }
+
+  // Output layer: y = sum_k w[k] * a[k] + b, then seed the last hidden
+  // layer's pre-activation deltas.
+  P delta[kMaxWidth];
+  {
+    const double* wp = w + w_off[L];
+    const std::size_t d = in_dim[L];
+    for (std::size_t k = 0; k < d; ++k) {
+      grad[w_off[L] + k] = delta_out * acts[a_off[L] + k];
+    }
+    grad[w_off[L] + d] = delta_out;
+    for (std::size_t k = 0; k < d; ++k) {
+      delta[k] = delta_out * P::broadcast(wp[k]) *
+                 activation_derivative(spec.activation, acts[a_off[L] + k]);
+    }
+  }
+
+  // Hidden layers, last to first. delta[j] = dL/dz_j of layer l's units.
+  for (std::size_t l = L; l-- > 0;) {
+    const double* wp = w + w_off[l];
+    const std::size_t width = spec.hidden[l];
+    const std::size_t d = in_dim[l];
+    for (std::size_t j = 0; j < width; ++j) {
+      for (std::size_t k = 0; k < d; ++k) {
+        grad[w_off[l] + j * d + k] = delta[j] * acts[a_off[l] + k];
+      }
+      grad[w_off[l] + width * d + j] = delta[j];
+    }
+    if (l == 0) break;
+    P next_delta[kMaxWidth];
+    for (std::size_t k = 0; k < d; ++k) {
+      P s = delta[0] * P::broadcast(wp[k]);
+      for (std::size_t j = 1; j < width; ++j) {
+        s = s + delta[j] * P::broadcast(wp[j * d + k]);
+      }
+      next_delta[k] = s * activation_derivative(spec.activation, acts[a_off[l] + k]);
+    }
+    for (std::size_t k = 0; k < d; ++k) delta[k] = next_delta[k];
+  }
+}
+
+}  // namespace prm::nn

@@ -1,0 +1,61 @@
+#include "nn/train.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "par/parallel.hpp"
+
+namespace prm::nn {
+
+namespace {
+struct Restart {
+  num::Vector weights;
+  double loss = 0.0;
+};
+}  // namespace
+
+TrainResult train_multistart(const MlpSpec& spec, std::span<const double> x,
+                             std::span<const double> y, const TrainOptions& options) {
+  spec.validate();
+  if (options.restarts < 1) throw std::invalid_argument("train_multistart: restarts < 1");
+  const std::size_t n = static_cast<std::size_t>(options.restarts);
+
+  // Each body depends only on its index (init stream seed ^ r, shuffle
+  // stream derived from the same pair), so scheduling cannot change any
+  // restart's outcome.
+  std::vector<Restart> runs = par::parallel_map<Restart>(
+      n,
+      [&](std::size_t r) {
+        const std::uint64_t restart_seed = options.seed ^ static_cast<std::uint64_t>(r);
+        Restart out;
+        out.weights = init_weights(spec, restart_seed);
+        AdamOptions adam = options.adam;
+        adam.shuffle_seed = restart_seed * 0x9e3779b97f4a7c15ULL + 1;
+        out.loss = adam_train(spec, x, y, out.weights, adam);
+        return out;
+      },
+      options.threads);
+
+  // Fixed-order strict-< reduction: the winner is index-deterministic.
+  TrainResult result;
+  result.restarts = options.restarts;
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    if (!std::isfinite(runs[r].loss)) continue;
+    if (result.best_restart < 0 || runs[r].loss < result.loss) {
+      result.loss = runs[r].loss;
+      result.best_restart = static_cast<int>(r);
+    }
+  }
+  if (result.best_restart >= 0) {
+    result.weights = std::move(runs[static_cast<std::size_t>(result.best_restart)].weights);
+  } else {
+    // Every restart diverged; surface restart 0 so callers still get a
+    // well-formed (if poor) parameter vector.
+    result.weights = std::move(runs[0].weights);
+    result.loss = runs[0].loss;
+  }
+  return result;
+}
+
+}  // namespace prm::nn

@@ -1,0 +1,40 @@
+// Multistart Adam training under prm::par.
+//
+// Narrow losses and symmetric weight spaces make single-init MLP training
+// flaky, so training runs `restarts` independent Adam descents and keeps
+// the best. Each restart r draws its initialization from
+// std::mt19937_64(seed ^ r) — the repo's per-index seeding contract — and
+// the restarts fan out through par::parallel_map with a fixed-index-order
+// strict-< reduction, so the winning weights are bit-identical at every
+// thread count (the same discipline tests/test_parallel_determinism.cpp
+// enforces for the fit engine).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "nn/adam.hpp"
+
+namespace prm::nn {
+
+struct TrainOptions {
+  int restarts = 4;
+  std::uint64_t seed = 0x5eedfeedULL;
+  AdamOptions adam;
+  /// prm::par convention: 1 = serial (default), 0 = auto, N = up to N.
+  int threads = 1;
+};
+
+struct TrainResult {
+  num::Vector weights;
+  double loss = 0.0;      ///< Full-data MSE of the winning restart.
+  int best_restart = -1;  ///< Index of the winner (-1 if every restart failed).
+  int restarts = 0;
+};
+
+/// Train `restarts` nets on (x, y) and return the lowest-loss finisher.
+/// Non-finite losses are skipped; ties break toward the lower index.
+TrainResult train_multistart(const MlpSpec& spec, std::span<const double> x,
+                             std::span<const double> y, const TrainOptions& options = {});
+
+}  // namespace prm::nn

@@ -351,6 +351,7 @@ http::Response App::handle_models() const {
     w.begin_object();
     w.kv("description", model->description());
     w.kv("display", core::display_label(name));
+    w.kv("family", core::model_family(name));
     w.kv("name", name);
     w.key("parameter_names");
     w.begin_array();

@@ -1,0 +1,236 @@
+// NeuralModel determinism acceptance: training and full fit_model pipelines
+// must be bit-identical at every thread count (exact EXPECT_EQ, in the
+// style of test_parallel_determinism.cpp), and a WAL-backed monitor fitting
+// an nn model must recover to a byte-identical snapshot. These are the
+// contracts that make the nn family safe under prm::par and prm::wal.
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/fitting.hpp"
+#include "core/model.hpp"
+#include "data/recessions.hpp"
+#include "live/monitor.hpp"
+#include "nn/mlp.hpp"
+#include "nn/neural_model.hpp"
+#include "nn/train.hpp"
+
+namespace {
+
+using namespace prm;
+
+const std::vector<int> kThreadSettings = {1, 2, 8};
+
+// ---------------------------------------------------------------------------
+// train_multistart: restarts under prm::par.
+
+TEST(NnDeterminism, TrainMultistartBitIdenticalAcrossThreadCounts) {
+  const nn::MlpSpec spec = *nn::MlpSpec::from_name("nn-6-tanh");
+  const auto& ds = data::recession("1990-93");
+  std::vector<double> x, y;
+  for (std::size_t i = 0; i < ds.series.size(); ++i) {
+    x.push_back(nn::input_feature(ds.series.time(i)));
+    y.push_back(ds.series.value(i));
+  }
+
+  nn::TrainOptions options;
+  options.restarts = 8;
+  options.adam.epochs = 120;
+  options.threads = 1;
+  const nn::TrainResult baseline = nn::train_multistart(spec, x, y, options);
+  ASSERT_EQ(baseline.weights.size(), spec.num_weights());
+
+  for (const int threads : kThreadSettings) {
+    nn::TrainOptions run = options;
+    run.threads = threads;
+    const nn::TrainResult got = nn::train_multistart(spec, x, y, run);
+    EXPECT_EQ(got.loss, baseline.loss) << "threads=" << threads;
+    EXPECT_EQ(got.best_restart, baseline.best_restart) << "threads=" << threads;
+    ASSERT_EQ(got.weights.size(), baseline.weights.size());
+    for (std::size_t i = 0; i < got.weights.size(); ++i) {
+      EXPECT_EQ(got.weights[i], baseline.weights[i])
+          << "threads=" << threads << " weight " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// fit_model: the full pipeline (train -> multistart LM polish).
+
+TEST(NnDeterminism, FitModelBitIdenticalAcrossThreadCounts) {
+  const auto& ds = data::recession("2007-09");
+
+  core::FitOptions options;
+  options.multistart.threads = 1;
+  const core::FitResult baseline =
+      core::fit_model("nn-6-tanh", ds.series, ds.holdout, options);
+
+  for (const int threads : kThreadSettings) {
+    core::FitOptions run = options;
+    run.multistart.threads = threads;
+    const core::FitResult fit =
+        core::fit_model("nn-6-tanh", ds.series, ds.holdout, run);
+    EXPECT_EQ(fit.sse, baseline.sse) << "threads=" << threads;
+    ASSERT_EQ(fit.parameters().size(), baseline.parameters().size());
+    for (std::size_t i = 0; i < fit.parameters().size(); ++i) {
+      EXPECT_EQ(fit.parameters()[i], baseline.parameters()[i])
+          << "threads=" << threads << " param " << i;
+    }
+  }
+}
+
+TEST(NnDeterminism, TrainingThreadsInsideTheModelAreAlsoBitIdentical) {
+  // Thread the Adam restarts themselves (TrainOptions::threads) while the
+  // surrounding multistart stays serial: still bit-identical.
+  const auto& ds = data::recession("1990-93");
+  const nn::MlpSpec spec = *nn::MlpSpec::from_name("nn-6-tanh");
+
+  auto fit_with_training_threads = [&](int threads) {
+    nn::TrainOptions train;
+    train.threads = threads;
+    const auto model = std::make_shared<nn::NeuralModel>(spec, train);
+    return core::fit_model(*model, ds.series, ds.holdout);
+  };
+
+  const core::FitResult baseline = fit_with_training_threads(1);
+  for (const int threads : kThreadSettings) {
+    const core::FitResult fit = fit_with_training_threads(threads);
+    EXPECT_EQ(fit.sse, baseline.sse) << "threads=" << threads;
+    for (std::size_t i = 0; i < fit.parameters().size(); ++i) {
+      EXPECT_EQ(fit.parameters()[i], baseline.parameters()[i])
+          << "threads=" << threads << " param " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WAL crash-recovery round trip with an nn model.
+
+double smoothstep(double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  return x * x * (3.0 - 2.0 * x);
+}
+
+/// Noiseless V-shaped disruption: flat run-in, dip to 0.90, recovery to 1.02.
+double v_curve(double t) {
+  const double u = t - 16.0;
+  if (u <= 0.0) return 1.0;
+  if (u <= 10.0) return 1.0 - 0.10 * smoothstep(u / 10.0);
+  return 0.90 + 0.12 * smoothstep((u - 10.0) / 30.0);
+}
+
+/// RAII temp directory; removed recursively on destruction.
+class TempDir {
+ public:
+  TempDir() {
+    const char* base = std::getenv("TMPDIR");
+    path_ = std::string(base != nullptr ? base : "/tmp") + "/prm_nn_wal_XXXXXX";
+    if (::mkdtemp(path_.data()) == nullptr) throw std::runtime_error("mkdtemp");
+  }
+  ~TempDir() { remove_tree(path_); }
+  const std::string& path() const { return path_; }
+
+  static void remove_tree(const std::string& dir) {
+    if (DIR* handle = ::opendir(dir.c_str())) {
+      while (const dirent* entry = ::readdir(handle)) {
+        const std::string name = entry->d_name;
+        if (name == "." || name == "..") continue;
+        const std::string child = dir + "/" + name;
+        struct stat st{};
+        if (::lstat(child.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+          remove_tree(child);
+        } else {
+          ::unlink(child.c_str());
+        }
+      }
+      ::closedir(handle);
+    }
+    ::rmdir(dir.c_str());
+  }
+
+ private:
+  std::string path_;
+};
+
+live::MonitorOptions nn_monitor_options(const std::string& wal_dir) {
+  live::MonitorOptions options;
+  options.model = "nn-6-tanh";
+  options.refit_every = 8;
+  options.min_fit_samples = 21;  // raised to num_weights + 2 internally anyway
+  options.threads = 1;
+  options.stream.window_capacity = 64;
+  options.stream.cusum.baseline = 12;
+  options.stream.confirm_samples = 3;
+  options.stream.recovery_fraction = 0.98;
+  options.wal.dir = wal_dir;
+  options.wal.fsync = wal::FsyncPolicy::kNever;  // durability exercised elsewhere
+  return options;
+}
+
+TEST(NnDeterminism, WalRecoveryReproducesNnFitsByteIdentically) {
+  TempDir dir;
+  std::string first_snapshot;
+  {
+    live::Monitor monitor(nn_monitor_options(dir.path()));
+    for (std::size_t i = 0; i < 60; ++i) {
+      const double t = static_cast<double>(i);
+      monitor.ingest("svc", t, v_curve(t));
+      monitor.drain();
+    }
+    const live::StreamSnapshot snap = monitor.snapshot("svc");
+    ASSERT_TRUE(snap.has_fit) << "the nn model never fit; widen the window";
+    EXPECT_EQ(snap.model, "nn-6-tanh");
+    std::ostringstream out;
+    monitor.save(out);
+    first_snapshot = out.str();
+  }  // destructor closes the WAL; nothing was compacted or flushed manually
+
+  const auto recovered = live::Monitor::recover(nn_monitor_options(dir.path()));
+  ASSERT_NE(recovered, nullptr);
+  std::ostringstream out;
+  recovered->save(out);
+  EXPECT_EQ(out.str(), first_snapshot)
+      << "WAL replay must rebuild nn fits byte-for-byte";
+
+  // The recovered monitor keeps serving: one more sample round-trips.
+  recovered->ingest("svc", 60.0, v_curve(60.0));
+  recovered->drain();
+  const live::StreamSnapshot snap = recovered->snapshot("svc");
+  EXPECT_EQ(snap.samples_seen, 61u);
+}
+
+// ---------------------------------------------------------------------------
+// Monitor save/load with an nn model (no WAL): byte-stable snapshots.
+
+TEST(NnDeterminism, MonitorSaveLoadSaveIsByteStableForNn) {
+  live::MonitorOptions options = nn_monitor_options("");
+  options.wal.dir.clear();
+  live::Monitor original(options);
+  for (std::size_t i = 0; i < 60; ++i) {
+    const double t = static_cast<double>(i);
+    original.ingest("svc", t, v_curve(t));
+    original.drain();
+  }
+  std::ostringstream first;
+  original.save(first);
+
+  std::istringstream in(first.str());
+  const auto loaded = live::Monitor::load(in, options);
+  ASSERT_NE(loaded, nullptr);
+  std::ostringstream second;
+  loaded->save(second);
+  EXPECT_EQ(second.str(), first.str());
+}
+
+}  // namespace

@@ -7,8 +7,10 @@
 #include <sstream>
 
 #include "core/bathtub.hpp"
+#include "core/model.hpp"
 #include "core/validation.hpp"
 #include "data/recessions.hpp"
+#include "live/monitor.hpp"
 
 namespace prm::core {
 namespace {
@@ -144,6 +146,127 @@ TEST(Serialize, UnregisteredModelCannotBeSaved) {
   FitResult fit(std::make_shared<Anonymous>(), {1.0, -0.01, 0.001}, s, 1);
   std::stringstream ss;
   EXPECT_THROW(save_fit(ss, fit), std::invalid_argument);
+}
+
+/// A synthetic but bound-respecting parameter vector for any model: each
+/// component is placed strictly inside its bound with an index-dependent
+/// offset so no two components collide and full %.17g precision is needed.
+num::Vector synthetic_params(const ResilienceModel& model) {
+  const auto bounds = model.parameter_bounds();
+  num::Vector p(bounds.size());
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    const double wiggle = 0.01 * static_cast<double>(i) + 1.0 / 3.0;
+    switch (bounds[i].kind) {
+      case opt::BoundKind::kFree:
+        p[i] = wiggle - 0.5;
+        break;
+      case opt::BoundKind::kPositive:
+        p[i] = wiggle;
+        break;
+      case opt::BoundKind::kNegative:
+        p[i] = -wiggle;
+        break;
+      case opt::BoundKind::kInterval:
+        p[i] = bounds[i].lo + (bounds[i].hi - bounds[i].lo) * (0.25 + 0.01 * i);
+        break;
+    }
+  }
+  return p;
+}
+
+TEST(Serialize, EveryRegisteredModelRoundTripsBitExact) {
+  // Satellite of the nn PR: every family in the registry -- bathtub,
+  // segmented, mixture, neural -- must survive save_fit/load_fit with
+  // bit-identical parameters and evaluations.
+  const data::PerformanceSeries series(
+      "synthetic", {0.0, 1.0, 2.0, 3.0, 4.0, 5.0},
+      {1.0, 0.97, 0.95, 0.96, 0.99, 1.01});
+  for (const std::string& name : ModelRegistry::instance().names()) {
+    SCOPED_TRACE(name);
+    std::shared_ptr<const ResilienceModel> model =
+        ModelRegistry::instance().create(name);
+    const num::Vector params = synthetic_params(*model);
+    FitResult original(model, params, series, 1);
+    // The direct constructor leaves sse at +inf (never fitted); the text
+    // format round-trips finite doubles, so stamp the real residual.
+    original.sse = 0.0;
+    for (std::size_t i = 0; i + 1 < series.size(); ++i) {
+      const double r = original.evaluate(series.time(i)) - series.value(i);
+      original.sse += r * r;
+    }
+    original.stop_reason = opt::StopReason::kConverged;
+
+    std::stringstream ss;
+    save_fit(ss, original);
+    const FitResult loaded = load_fit(ss);
+
+    EXPECT_EQ(loaded.model().name(), name);
+    ASSERT_EQ(loaded.parameters().size(), params.size());
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      EXPECT_EQ(loaded.parameters()[i], params[i]) << "param " << i;
+    }
+    for (double t : {0.0, 2.5, 5.0}) {
+      EXPECT_EQ(loaded.evaluate(t), original.evaluate(t)) << "t=" << t;
+    }
+  }
+}
+
+TEST(Serialize, MonitorSnapshotsAreByteStableForEveryModelFamily) {
+  // Monitor::save -> load -> save must be byte-identical for one
+  // representative model of every registered family, including the neural
+  // ones whose parameters are raw trained weights.
+  auto v_curve = [](double t) {
+    auto smoothstep = [](double x) {
+      if (x <= 0.0) return 0.0;
+      if (x >= 1.0) return 1.0;
+      return x * x * (3.0 - 2.0 * x);
+    };
+    const double u = t - 16.0;
+    if (u <= 0.0) return 1.0;
+    if (u <= 10.0) return 1.0 - 0.10 * smoothstep(u / 10.0);
+    return 0.90 + 0.12 * smoothstep((u - 10.0) / 30.0);
+  };
+
+  // First registered representative of each family.
+  std::vector<std::string> representatives;
+  std::vector<std::string> seen_families;
+  for (const std::string& name : ModelRegistry::instance().names()) {
+    const std::string family = model_family(name);
+    bool seen = false;
+    for (const std::string& f : seen_families) seen = seen || f == family;
+    if (seen) continue;
+    seen_families.push_back(family);
+    representatives.push_back(name);
+  }
+  ASSERT_GE(representatives.size(), 4u);  // bathtub, segmented, mixture, neural
+
+  for (const std::string& name : representatives) {
+    SCOPED_TRACE(name);
+    live::MonitorOptions options;
+    options.model = name;
+    options.refit_every = 8;
+    options.threads = 1;
+    options.stream.window_capacity = 64;
+    options.stream.cusum.baseline = 12;
+    options.stream.confirm_samples = 3;
+
+    live::Monitor original(options);
+    for (std::size_t i = 0; i < 60; ++i) {
+      const double t = static_cast<double>(i);
+      original.ingest("svc", t, v_curve(t));
+      original.drain();
+    }
+    EXPECT_TRUE(original.snapshot("svc").has_fit) << name;
+
+    std::stringstream first;
+    original.save(first);
+    std::istringstream in(first.str());
+    const auto loaded = live::Monitor::load(in, options);
+    ASSERT_NE(loaded, nullptr);
+    std::ostringstream second;
+    loaded->save(second);
+    EXPECT_EQ(second.str(), first.str());
+  }
 }
 
 TEST(Serialize, LoadedFitSupportsDownstreamAnalysis) {

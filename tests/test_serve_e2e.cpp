@@ -75,10 +75,16 @@ TEST_F(ServeE2E, HealthzAndModels) {
   const auto& list = models.find("models")->as_array();
   EXPECT_GE(list.size(), 5u);
   bool found = false;
+  bool found_neural = false;
   for (const Json& entry : list) {
-    if (entry.find("name")->as_string() == "competing-risks") found = true;
+    if (entry.find("name")->as_string() == "competing-risks") {
+      found = true;
+      EXPECT_EQ(entry.find("family")->as_string(), "bathtub");
+    }
+    if (entry.find("family")->as_string() == "neural") found_neural = true;
   }
   EXPECT_TRUE(found) << "the paper's competing-risks model must be registered";
+  EXPECT_TRUE(found_neural) << "the nn family must be listed with its family tag";
 }
 
 TEST_F(ServeE2E, ConcurrentClientsShareTheFitCache) {
