@@ -54,10 +54,11 @@ using Clock = std::chrono::steady_clock;
 
 struct Options {
   double seconds = 3.0;
-  std::vector<std::size_t> connections = {1, 4, 16, 64};
+  std::vector<std::size_t> connections = {1, 4, 16, 64, 256, 1024};
   std::vector<std::string> mixes = {"cached", "cold", "ingest"};
   std::size_t cached_series = 64;  ///< Distinct pre-primed series in the cached mix.
   std::size_t server_threads = 0;  ///< 0 = one worker per connection (capped at 16).
+  std::size_t event_threads = 0;   ///< 0 = server default.
   std::string json_path;
 };
 
@@ -165,8 +166,8 @@ CellResult run_cell(const std::string& mix, std::size_t connections,
                                ? options.server_threads
                                : std::min<std::size_t>(connections, 16);
   server_options.max_pending = std::max<std::size_t>(connections * 2, 64);
-  serve::Server server(server_options,
-                       [&app](const serve::http::Request& r) { return app.handle(r); });
+  if (options.event_threads > 0) server_options.event_threads = options.event_threads;
+  serve::Server server(server_options, app.async_handler());
   server.start();
 
   // Cached mix: prime every distinct series once so the timed run is hits only.
@@ -338,14 +339,18 @@ int main(int argc, char** argv) {
     } else if (arg == "--server-threads") {
       options.server_threads =
           static_cast<std::size_t>(std::atol(next("--server-threads").c_str()));
+    } else if (arg == "--event-threads") {
+      options.event_threads =
+          static_cast<std::size_t>(std::atol(next("--event-threads").c_str()));
     } else if (arg == "--json") {
       options.json_path = next("--json");
     } else {
       std::fprintf(stderr,
-                   "usage: serve_load [--seconds S] [--connections 1,4,16,64]\n"
+                   "usage: serve_load [--seconds S] [--connections 1,4,...,1024]\n"
                    "                  [--mix cached,cold,ingest,ingest_wal]\n"
                    "                  [--cached-series K]\n"
-                   "                  [--server-threads N] [--json PATH]\n");
+                   "                  [--server-threads N] [--event-threads N]\n"
+                   "                  [--json PATH]\n");
       return 2;
     }
   }

@@ -10,7 +10,8 @@
 //   prm_cli monitor   --csv F1,F2,... [--model NAME] [--threads N]
 //                     [--refit-every N] [--save FILE] [--load FILE]
 //                     [--wal-dir DIR] [--fsync always|interval|never]
-//   prm_cli serve     [--port N] [--threads N] [--fit-threads N] [--model NAME]
+//   prm_cli serve     [--port N] [--threads N] [--event-threads N]
+//                     [--fit-threads N] [--model NAME]
 //                     [--cache N] [--queue N] [--shards N]
 //                     [--wal-dir DIR] [--fsync always|interval|never]
 //   prm_cli models                              # list registered models
@@ -68,8 +69,8 @@ const std::map<std::string, std::vector<std::string>>& command_options() {
       {"monitor",
        {"csv", "model", "threads", "refit-every", "save", "load", "wal-dir", "fsync"}},
       {"serve",
-       {"port", "threads", "fit-threads", "model", "cache", "queue", "shards",
-        "wal-dir", "fsync"}},
+       {"port", "threads", "event-threads", "fit-threads", "model", "cache", "queue",
+        "shards", "wal-dir", "fsync"}},
       {"models", {}},
       {"demo", {"model", "holdout", "loss", "level", "save", "threads"}},
   };
@@ -92,11 +93,13 @@ void usage(std::ostream& out) {
       << "                  [--wal-dir DIR] [--fsync always|interval|never]\n"
       << "                  # --wal-dir: write-ahead log; restart replays to the\n"
       << "                  #   exact acknowledged state (excludes --load)\n"
-      << "  prm_cli serve   [--port N] [--threads N] [--fit-threads N] [--model NAME]\n"
+      << "  prm_cli serve   [--port N] [--threads N] [--event-threads N]\n"
+      << "                  [--fit-threads N] [--model NAME]\n"
       << "                  [--cache N] [--queue N] [--shards N]  # --port 0 = ephemeral\n"
-      << "                  # --threads: HTTP workers; --fit-threads: solver threads\n"
-      << "                  #   per fit; --cache: fit-cache entries; --queue: pending\n"
-      << "                  #   connections before 503\n"
+      << "                  # --threads: HTTP workers; --event-threads: epoll/poll\n"
+      << "                  #   readiness loops; --fit-threads: solver threads per\n"
+      << "                  #   fit; --cache: fit-cache entries; --queue: pending\n"
+      << "                  #   requests before 503\n"
       << "                  # --shards: cache/registry stripes, 0 = one per core\n"
       << "                  [--wal-dir DIR] [--fsync always|interval|never]\n"
       << "                  # --wal-dir: durable write-ahead log; restart resumes state\n"
@@ -500,6 +503,10 @@ int run_serve(const CliArgs& args) {
     server_options.max_pending =
         static_cast<std::size_t>(std::stoul(args.options.at("queue")));
   }
+  if (args.options.count("event-threads")) {
+    server_options.event_threads =
+        static_cast<std::size_t>(std::stoul(args.options.at("event-threads")));
+  }
 
   serve::App app(app_options);
   if (app.monitor().wal_enabled()) {
@@ -510,16 +517,16 @@ int run_serve(const CliArgs& args) {
               << " of " << rec.records << " log record(s) replayed"
               << (rec.torn_tails ? ", torn tail tolerated" : "") << std::endl;
   }
-  serve::Server server(server_options,
-                       [&app](const serve::http::Request& r) { return app.handle(r); });
+  serve::Server server(server_options, app.async_handler());
   server.start();
   app.set_stats_provider([&server] { return server.stats(); });
 
   // The "listening on" line is the startup contract: CI and scripts poll for
   // it (and parse the ephemeral port from it), so flush immediately.
   std::cout << "prm_cli serve: listening on " << server_options.bind_address << ':'
-            << server.port() << " (" << server_options.threads << " worker thread(s), "
-            << "fit cache " << app.fit_cache().capacity() << " in "
+            << server.port() << " (" << server_options.event_threads << ' '
+            << server.backend_name() << " loop(s), " << server_options.threads
+            << " worker thread(s), fit cache " << app.fit_cache().capacity() << " in "
             << app.fit_cache().shards() << " shard(s), model '"
             << app.options().default_model << "')" << std::endl;
   std::cout << "routes: /healthz /metrics /v1/models /v1/fit /v1/forecast "

@@ -280,6 +280,7 @@ http::Response App::handle_metrics() const {
       w.begin_object();
       w.kv("connections_accepted", s.connections_accepted);
       w.kv("connections_rejected", s.connections_rejected);
+      w.kv("event_threads", s.event_threads);
       w.key("latency_histogram");
       w.begin_array();
       for (std::size_t i = 0; i < s.latency_buckets.size(); ++i) {
@@ -293,6 +294,10 @@ http::Response App::handle_metrics() const {
         w.end_object();
       }
       w.end_array();
+      w.key("loop_connections");
+      w.begin_array();
+      for (const std::size_t open : s.loop_connections) w.number(open);
+      w.end_array();
       w.kv("parse_errors", s.parse_errors);
       w.kv("queue_depth", s.queue_depth);
       w.key("queue_depths");
@@ -304,6 +309,7 @@ http::Response App::handle_metrics() const {
       w.kv("responses_4xx", s.responses_4xx);
       w.kv("responses_5xx", s.responses_5xx);
       w.kv("threads", s.threads);
+      w.kv("timeouts", s.timeouts);
       w.end_object();
     } else {
       w.kv_null("server");

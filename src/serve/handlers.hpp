@@ -73,6 +73,15 @@ class App {
   /// error responses; Server still maps any escaped exception to a 500).
   http::Response handle(const http::Request& request);
 
+  /// handle() adapted to the Server's completion-callback form: completes
+  /// inline on the worker thread. Preferred hookup for the event-driven
+  /// server; a future streaming/deferred route can complete later instead.
+  Server::AsyncHandler async_handler() {
+    return [this](const http::Request& request, Server::Completion done) {
+      done(handle(request));
+    };
+  }
+
   FitCache& fit_cache() noexcept { return cache_; }
   ResponseCache& response_cache() noexcept { return response_cache_; }
   live::Monitor& monitor() noexcept { return *monitor_; }

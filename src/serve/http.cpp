@@ -388,7 +388,16 @@ Response Client::request(const Request& request) {
     bool peer_closed_early = false;
     while (!parser.done() && !parser.failed()) {
       const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
-      if (n < 0) throw std::runtime_error("http::Client: recv failed");
+      if (n < 0) {
+        // A reset before any response byte is the stale-keep-alive shape too
+        // (the peer closed and our request hit the dead socket); fold it into
+        // the early-close handling below so it retries once.
+        if (!parser.started()) {
+          peer_closed_early = true;
+          break;
+        }
+        throw std::runtime_error("http::Client: recv failed");
+      }
       if (n == 0) {
         peer_closed_early = true;
         break;
@@ -397,8 +406,20 @@ Response Client::request(const Request& request) {
     }
     if (peer_closed_early && !parser.done()) {
       close();
+      // Distinguish the two early-close shapes: a stale keep-alive connection
+      // yields EOF before *any* response byte and is safe to retry on a fresh
+      // connection; EOF after partial response bytes means the server (or the
+      // path) truncated this exchange -- retrying could duplicate a
+      // non-idempotent request, so surface it instead.
+      if (parser.header_complete()) {
+        throw std::runtime_error("http::Client: response truncated mid-body");
+      }
+      if (parser.started()) {
+        throw std::runtime_error("http::Client: response truncated mid-headers");
+      }
       if (attempt == 0) continue;  // stale keep-alive connection
-      throw std::runtime_error("http::Client: connection closed mid-response");
+      throw std::runtime_error(
+          "http::Client: connection closed before any response bytes");
     }
     if (parser.failed()) throw std::runtime_error("http::Client: " + parser.error());
 

@@ -73,6 +73,11 @@ class RequestParser {
   /// Valid while done(): the parsed message.
   const Request& request() const noexcept { return request_; }
 
+  /// Valid once done(): move the parsed message out (the parser stays done();
+  /// next() re-arms it as usual). Lets the server hand the request to a
+  /// worker without copying its body.
+  Request release_request() noexcept { return std::move(request_); }
+
   /// Valid while failed(): what went wrong and the status to answer with.
   const std::string& error() const noexcept { return error_; }
   int error_status() const noexcept { return error_status_; }
@@ -80,6 +85,10 @@ class RequestParser {
   /// True when no bytes of a next message have arrived yet -- i.e. the
   /// connection is between messages (clean EOF point).
   bool idle() const noexcept { return state_ == State::kHeaders && buffer_.empty(); }
+
+  /// Bytes received but not yet consumed into a parsed message. The server
+  /// uses this to bound read-ahead of pipelined requests.
+  std::size_t buffered_bytes() const noexcept { return buffer_.size(); }
 
   /// After done(): reset for the next message on the same connection,
   /// retaining pipelined bytes.
@@ -113,6 +122,16 @@ class ResponseParser {
   const Response& response() const noexcept { return response_; }
   const std::string& error() const noexcept { return error_; }
   void next();
+
+  /// True once any bytes of the current message have been consumed. An EOF
+  /// before started() means the peer closed a stale keep-alive connection
+  /// (retryable); after it, the response was truncated (not retryable).
+  bool started() const noexcept { return state_ != State::kHeaders || !buffer_.empty(); }
+
+  /// True once the status line and header block are fully parsed.
+  bool header_complete() const noexcept {
+    return state_ == State::kBody || state_ == State::kDone;
+  }
 
  private:
   enum class State { kHeaders, kBody, kDone, kError };

@@ -1,6 +1,7 @@
 #include "serve/server.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -13,50 +14,119 @@
 #include <stdexcept>
 
 #include "serve/json.hpp"
+#include "serve/timer_wheel.hpp"
 
 namespace prm::serve {
 
 namespace {
 
-/// Granularity at which blocked reads wake up to re-check the stop flag and
-/// the connection's idle budget.
-constexpr int kRecvSliceMs = 200;
-
 /// How long an idle worker sleeps between steal scans. Short enough that a
-/// connection dealt to a busy neighbor is picked up promptly even if the
-/// targeted notify raced past the scan.
+/// job dealt to a busy neighbor is picked up promptly even if the targeted
+/// notify raced past the scan.
 constexpr auto kStealPollInterval = std::chrono::milliseconds(5);
 
-bool send_all(int fd, std::string_view data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
+/// Read-ahead cap while a request is executing: pipelined bytes beyond this
+/// stay in the kernel until the response is written (read interest is
+/// dropped), bounding per-connection memory against a flooding client.
+constexpr std::size_t kPipelineReadAheadBytes = 64 * 1024;
+
+/// handler_ema_us_ sentinel: no completed request yet, never inline.
+constexpr std::uint64_t kEmaUnset = ~std::uint64_t{0};
+
+/// Inline fast-path gate: only handlers whose recent EMA is at or below this
+/// run on the event loop itself. Above it the loop->worker hand-off is noise
+/// relative to the handler, and blocking a loop would stall its peers.
+constexpr std::uint64_t kInlineMaxHandlerUs = 500;
+
+/// Monotonic milliseconds for deadline arithmetic (never 0 in practice:
+/// deadlines are always now + timeout with timeout >= 1).
+std::uint64_t now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
-void set_recv_timeout(int fd, int ms) {
-  timeval tv{};
-  tv.tv_sec = ms / 1000;
-  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+const std::string& overload_response() {
+  static const std::string response = [] {
+    http::Response r =
+        http::Response::json(503, R"({"error":"server overloaded, retry later"})");
+    r.headers.emplace("Retry-After", "1");
+    return http::serialize(r, /*keep_alive=*/false);
+  }();
+  return response;
+}
+
+const std::string& timeout_response() {
+  static const std::string response = http::serialize(
+      http::Response::json(408, R"({"error":"request timeout"})"), false);
+  return response;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// Timer-wheel tick: coarse enough to stay cheap, fine enough that a
+/// deadline fires within ~12% of the configured timeout.
+std::uint64_t wheel_tick_ms(int idle_timeout_ms) {
+  const std::uint64_t tick = static_cast<std::uint64_t>(idle_timeout_ms) / 8;
+  return std::clamp<std::uint64_t>(tick, 5, 500);
 }
 
 }  // namespace
 
-Server::Server(ServerOptions options, Handler handler)
-    : options_(std::move(options)),
-      handler_(std::move(handler)),
-      worker_fds_(std::max<std::size_t>(options_.threads, 1)) {
+/// Per-connection state, owned by exactly one event loop and touched only on
+/// that loop's thread. Lives in the loop's fd-indexed slab; `generation`
+/// distinguishes a recycled slab slot from the connection a worker was
+/// serving, so a completion for a closed connection is dropped.
+struct Server::Connection {
+  int fd = -1;
+  std::uint64_t generation = 0;
+  bool open = false;
+  bool executing = false;        ///< A request is out on the worker pool.
+  bool close_after_write = false;
+  bool peer_half_closed = false; ///< FIN seen with work still in flight.
+  bool want_read = false;
+  bool want_write = false;
+  bool in_message = false;  ///< Bytes of the current request have arrived
+                            ///< (deadline is fixed, not refreshed -- slowloris).
+  std::size_t out_sent = 0;
+  std::string out;  ///< Pending response bytes (partial-write buffer).
+  http::RequestParser parser;
+};
+
+struct Server::EventLoop {
+  explicit EventLoop(std::uint64_t tick_ms) : wheel(tick_ms) {}
+
+  std::size_t index = 0;
+  std::unique_ptr<Poller> poller;
+  int wake_read = -1;
+  int wake_write = -1;
+  bool listen_deregistered = false;  ///< Loop 0: listen fd pulled on stop.
+  std::deque<Connection> slab;       ///< fd-indexed; deque keeps refs stable.
+  TimerWheel wheel;
+  std::vector<int> expired_scratch;
+
+  // Cross-thread inbox: new fds dealt by loop 0, finished responses from
+  // workers. Guarded by inbox_mutex; wake_signaled collapses pipe writes.
+  std::mutex inbox_mutex;
+  std::vector<int> incoming;
+  std::vector<CompletionMsg> completions;
+  bool wake_signaled = false;
+
+  std::atomic<std::size_t> open_count{0};
+  std::thread thread;
+};
+
+Server::Server(ServerOptions options, AsyncHandler handler)
+    : options_(std::move(options)), handler_(std::move(handler)) {
   if (!handler_) throw std::invalid_argument("Server: null handler");
   options_.threads = std::max<std::size_t>(options_.threads, 1);
+  options_.event_threads = std::max<std::size_t>(options_.event_threads, 1);
   options_.max_pending = std::max<std::size_t>(options_.max_pending, 1);
-  for (auto& fd : worker_fds_) fd.store(-1, std::memory_order_relaxed);
+  options_.idle_timeout_ms = std::max(options_.idle_timeout_ms, 1);
 
   // Split the total pending budget across the per-worker queues; every queue
   // gets at least one slot so a worker can always be handed work.
@@ -70,11 +140,28 @@ Server::Server(ServerOptions options, Handler handler)
   }
 }
 
+Server::Server(ServerOptions options, Handler handler)
+    : Server(std::move(options),
+             handler ? AsyncHandler([h = std::move(handler)](
+                           const http::Request& request, Completion done) {
+               done(h(request));
+             })
+                     : AsyncHandler{}) {}
+
 Server::~Server() { stop(); }
+
+std::string_view Server::backend_name() const noexcept {
+#ifdef __linux__
+  return options_.backend == PollerBackend::kPoll ? "poll" : "epoll";
+#else
+  return "poll";
+#endif
+}
 
 void Server::start() {
   if (running_.exchange(true)) return;
   stopping_.store(false);
+  loops_exit_.store(false);
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
@@ -93,8 +180,10 @@ void Server::start() {
     running_.store(false);
     throw std::runtime_error("Server: bad bind address '" + options_.bind_address + "'");
   }
+  const int backlog =
+      static_cast<int>(std::max<std::size_t>(options_.max_pending, 128));
   if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
-      ::listen(listen_fd_, static_cast<int>(options_.max_pending)) != 0) {
+      ::listen(listen_fd_, backlog) != 0) {
     const std::string what = std::strerror(errno);
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -102,12 +191,48 @@ void Server::start() {
     throw std::runtime_error("Server: cannot listen on " + options_.bind_address + ':' +
                              std::to_string(options_.port) + ": " + what);
   }
+  set_nonblocking(listen_fd_);
   sockaddr_in bound{};
   socklen_t len = sizeof bound;
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
   port_.store(ntohs(bound.sin_port));
 
-  acceptor_ = std::thread([this] { accept_loop(); });
+  try {
+    loops_.clear();
+    next_loop_ = 0;
+    const std::uint64_t tick = wheel_tick_ms(options_.idle_timeout_ms);
+    for (std::size_t i = 0; i < options_.event_threads; ++i) {
+      auto loop = std::make_unique<EventLoop>(tick);
+      loop->index = i;
+      loop->poller = make_poller(options_.backend);
+      int pipe_fds[2] = {-1, -1};
+      if (::pipe(pipe_fds) != 0) {
+        throw std::runtime_error("Server: pipe() failed");
+      }
+      set_nonblocking(pipe_fds[0]);
+      set_nonblocking(pipe_fds[1]);
+      loop->wake_read = pipe_fds[0];
+      loop->wake_write = pipe_fds[1];
+      loop->poller->add(loop->wake_read, /*want_read=*/true, /*want_write=*/false);
+      loops_.push_back(std::move(loop));
+    }
+    loops_[0]->poller->add(listen_fd_, /*want_read=*/true, /*want_write=*/false);
+  } catch (...) {
+    for (auto& loop : loops_) {
+      if (loop->wake_read >= 0) ::close(loop->wake_read);
+      if (loop->wake_write >= 0) ::close(loop->wake_write);
+    }
+    loops_.clear();
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    running_.store(false);
+    throw;
+  }
+
+  for (auto& loop : loops_) {
+    EventLoop* raw = loop.get();
+    loop->thread = std::thread([this, raw] { event_loop_run(*raw); });
+  }
   workers_.reserve(options_.threads);
   for (std::size_t i = 0; i < options_.threads; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
@@ -118,24 +243,33 @@ void Server::stop() {
   if (!running_.load()) return;
   stopping_.store(true);
 
-  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);  // unblock accept()
-  if (acceptor_.joinable()) acceptor_.join();
+  // Stop the intake: the listen socket is shut down (pending SYNs get RST on
+  // close) and the loops deregister it the next time they wake.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  for (auto& loop : loops_) wake(*loop);
 
+  // Drain the workers: queued jobs still execute and post their responses to
+  // the (still running) event loops, preserving the old drain-then-exit
+  // shutdown contract.
   for (auto& queue : queues_) queue->cv.notify_all();
-  for (auto& slot : worker_fds_) {
-    const int fd = slot.load(std::memory_order_acquire);
-    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);  // unblock a worker mid-recv
-  }
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
 
+  // Now the loops: one final inbox drain (best-effort flush of completed
+  // responses), then every connection is closed and the threads exit.
+  loops_exit_.store(true);
+  for (auto& loop : loops_) wake(*loop);
+  for (auto& loop : loops_) {
+    if (loop->thread.joinable()) loop->thread.join();
+  }
+
   for (auto& queue : queues_) {
     std::lock_guard<std::mutex> lock(queue->mutex);
-    for (const int fd : queue->pending) ::close(fd);
     queue->pending.clear();
   }
+  jobs_queued_.store(0, std::memory_order_relaxed);
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -143,46 +277,549 @@ void Server::stop() {
   running_.store(false);
 }
 
-bool Server::push_connection(int fd) {
-  // Deal round-robin; when the preferred queue is full, offer the connection
-  // to every other queue once before declaring overload. Only the acceptor
-  // thread touches next_queue_, so it needs no synchronization.
+// ---------------------------------------------------------------------------
+// Event loop
+
+void Server::event_loop_run(EventLoop& loop) {
+  std::vector<PollerEvent> events;
+  while (true) {
+    drain_inbox(loop);
+    if (loops_exit_.load(std::memory_order_acquire)) break;
+    if (loop.index == 0 && !loop.listen_deregistered &&
+        stopping_.load(std::memory_order_relaxed)) {
+      loop.poller->remove(listen_fd_);
+      loop.listen_deregistered = true;
+    }
+    const int timeout =
+        loop.wheel.empty() ? -1 : static_cast<int>(loop.wheel.tick_ms());
+    loop.poller->wait(events, timeout);
+    for (const PollerEvent& event : events) {
+      if (event.fd == loop.wake_read) {
+        char buf[256];
+        while (::read(loop.wake_read, buf, sizeof buf) > 0) {
+        }
+        continue;
+      }
+      if (event.fd == listen_fd_ && loop.index == 0 && !loop.listen_deregistered) {
+        if (!stopping_.load(std::memory_order_relaxed)) accept_ready(loop);
+        continue;
+      }
+      handle_io(loop, event);
+    }
+    expire_deadlines(loop);
+  }
+
+  // Exit: the inbox was just drained (responses got one nonblocking flush);
+  // close whatever is still open.
+  for (Connection& connection : loop.slab) {
+    if (connection.open) close_connection(loop, connection);
+  }
+  if (loop.index == 0 && !loop.listen_deregistered && listen_fd_ >= 0) {
+    loop.poller->remove(listen_fd_);
+    loop.listen_deregistered = true;
+  }
+  loop.poller->remove(loop.wake_read);
+  ::close(loop.wake_read);
+  {
+    // Closing the write end under the lock so a racing wake() either sees the
+    // open pipe or skips the write (signaled flag stays set once exiting).
+    std::lock_guard<std::mutex> lock(loop.inbox_mutex);
+    ::close(loop.wake_write);
+    loop.wake_write = -1;
+    loop.wake_signaled = true;
+  }
+}
+
+void Server::drain_inbox(EventLoop& loop) {
+  std::vector<int> incoming;
+  std::vector<CompletionMsg> completions;
+  {
+    std::lock_guard<std::mutex> lock(loop.inbox_mutex);
+    incoming.swap(loop.incoming);
+    completions.swap(loop.completions);
+    loop.wake_signaled = false;
+  }
+  for (const int fd : incoming) adopt_connection(loop, fd);
+  for (CompletionMsg& completion : completions) apply_completion(loop, completion);
+}
+
+void Server::wake(EventLoop& loop) {
+  bool need_write = false;
+  int wake_fd = -1;
+  {
+    std::lock_guard<std::mutex> lock(loop.inbox_mutex);
+    if (!loop.wake_signaled && loop.wake_write >= 0) {
+      loop.wake_signaled = true;
+      need_write = true;
+      wake_fd = loop.wake_write;
+    }
+  }
+  if (need_write) {
+    const char byte = 'w';
+    (void)::write(wake_fd, &byte, 1);
+  }
+}
+
+void Server::accept_ready(EventLoop& loop) {
+  for (;;) {
+#ifdef __linux__
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+#else
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+#endif
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN (drained), or the listen socket is gone
+    }
+#ifndef __linux__
+    set_nonblocking(fd);
+#endif
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t target = next_loop_;
+    next_loop_ = (next_loop_ + 1) % loops_.size();
+    if (target == loop.index) {
+      adopt_connection(loop, fd);
+    } else {
+      EventLoop& other = *loops_[target];
+      {
+        std::lock_guard<std::mutex> lock(other.inbox_mutex);
+        other.incoming.push_back(fd);
+      }
+      wake(other);
+    }
+  }
+}
+
+void Server::adopt_connection(EventLoop& loop, int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  while (loop.slab.size() <= static_cast<std::size_t>(fd)) loop.slab.emplace_back();
+  Connection& connection = loop.slab[static_cast<std::size_t>(fd)];
+  connection.fd = fd;
+  connection.generation = generation_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  connection.open = true;
+  connection.executing = false;
+  connection.close_after_write = false;
+  connection.peer_half_closed = false;
+  connection.want_read = false;
+  connection.want_write = false;
+  connection.in_message = false;
+  connection.out.clear();
+  connection.out_sent = 0;
+  http::ParserLimits limits;
+  limits.max_body_bytes = options_.max_body_bytes;
+  connection.parser = http::RequestParser(limits);
+  loop.poller->add(fd, /*want_read=*/true, /*want_write=*/false);
+  connection.want_read = true;
+  loop.open_count.fetch_add(1, std::memory_order_relaxed);
+  loop.wheel.schedule(fd, now_ms() + static_cast<std::uint64_t>(options_.idle_timeout_ms));
+}
+
+void Server::handle_io(EventLoop& loop, const PollerEvent& event) {
+  if (event.fd < 0 || static_cast<std::size_t>(event.fd) >= loop.slab.size()) return;
+  Connection& connection = loop.slab[static_cast<std::size_t>(event.fd)];
+  if (!connection.open) return;  // stale event for a recycled fd
+  if (event.error && !connection.want_read && !connection.want_write) {
+    // Peer vanished while its request executes: no interest is armed, so a
+    // level-triggered HUP would re-report forever. Close now; the worker's
+    // completion will miss on the generation check and be dropped.
+    close_connection(loop, connection);
+    return;
+  }
+  if (event.writable && connection.want_write) {
+    flush(loop, connection);
+    if (!connection.open) return;
+  }
+  if (event.readable && connection.want_read) read_some(loop, connection);
+}
+
+void Server::read_some(EventLoop& loop, Connection& connection) {
+  // Read interest stays armed while a request executes (saves two epoll_ctl
+  // calls per request on the keep-alive fast path); bound what a pipelining
+  // flood can buffer meanwhile.
+  if (connection.executing &&
+      connection.parser.buffered_bytes() >= kPipelineReadAheadBytes) {
+    set_read_interest(loop, connection, false);  // re-armed after the response
+    return;
+  }
+  char buf[16384];
+  for (;;) {
+    const ssize_t n = ::recv(connection.fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      connection.parser.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+      if (connection.parser.done() || connection.parser.failed()) break;
+      if (static_cast<std::size_t>(n) < sizeof buf) break;  // likely drained
+      continue;
+    }
+    if (n == 0) {
+      if (connection.executing || connection.parser.done() ||
+          connection.out_sent < connection.out.size()) {
+        // Half-close: the peer sent its request(s) then shut down its write
+        // side; finish the in-flight response(s) before closing.
+        connection.peer_half_closed = true;
+        set_read_interest(loop, connection, false);
+        break;
+      }
+      close_connection(loop, connection);  // EOF between or mid-request
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    close_connection(loop, connection);
+    return;
+  }
+  process(loop, connection);
+}
+
+void Server::process(EventLoop& loop, Connection& connection) {
+  if (!connection.open || connection.executing) return;
+  if (connection.out_sent < connection.out.size()) return;  // finish writing first
+
+  if (connection.parser.failed()) {
+    parse_errors_.fetch_add(1, std::memory_order_relaxed);
+    const int status = connection.parser.error_status();
+    record_status(status);
+    http::Response response = http::Response::json(
+        status, Json(JsonObject{{"error", Json(connection.parser.error())}}).dump());
+    respond_and_close(loop, connection, http::serialize(response, false));
+    return;
+  }
+
+  if (connection.parser.done() && stopping_.load(std::memory_order_relaxed)) {
+    close_connection(loop, connection);
+    return;
+  }
+
+  // Inline fast path: when the worker queues are empty and recent handlers
+  // were cheap, run the handler on the loop thread, skipping two context
+  // switches and the wake-pipe round trip per request. A pipelined burst
+  // drains iteratively here (no recursion). Slow or parked handlers are
+  // discovered on the worker pool (EMA starts at "unset") and keep going
+  // there, so a loop is never blocked by them.
+  while (connection.open && !connection.executing && connection.parser.done() &&
+         connection.out_sent >= connection.out.size() && inline_eligible()) {
+    run_inline(loop, connection);
+  }
+  if (!connection.open || connection.executing ||
+      connection.out_sent < connection.out.size()) {
+    return;  // closed, deferred to a worker/async completion, or write pending
+  }
+
+  if (connection.parser.done()) {
+    Job job;
+    job.loop_index = loop.index;
+    job.fd = connection.fd;
+    job.generation = connection.generation;
+    job.keep_alive = connection.parser.request().keep_alive();
+    job.request = connection.parser.release_request();
+    if (!push_job(std::move(job))) {
+      // Every per-worker queue full: shed at the hand-off so latency stays
+      // flat, same 503 + Retry-After contract as the old at-the-door shed.
+      connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+      respond_and_close(loop, connection, overload_response());
+      return;
+    }
+    connection.executing = true;
+    loop.wheel.cancel(connection.fd);
+    return;
+  }
+
+  // Mid-parse or idle: keep reading.
+  if (connection.peer_half_closed) {
+    // No more bytes will ever arrive; anything unparsed is an incomplete
+    // request and every completed one has been answered.
+    close_connection(loop, connection);
+    return;
+  }
+  set_read_interest(loop, connection, true);
+  if (connection.parser.idle()) {
+    connection.in_message = false;
+    loop.wheel.schedule(connection.fd,
+                        now_ms() + static_cast<std::uint64_t>(options_.idle_timeout_ms));
+  } else if (!connection.in_message) {
+    // First byte of a request fixes the whole-message deadline; deliberately
+    // NOT refreshed on later bytes, so a slowloris trickle cannot pin a slot.
+    connection.in_message = true;
+    loop.wheel.schedule(connection.fd,
+                        now_ms() + static_cast<std::uint64_t>(options_.idle_timeout_ms));
+  }
+}
+
+bool Server::inline_eligible() const {
+  return jobs_queued_.load(std::memory_order_relaxed) == 0 &&
+         handler_ema_us_.load(std::memory_order_relaxed) <= kInlineMaxHandlerUs;
+}
+
+void Server::update_handler_ema(std::uint64_t micros) {
+  // Racy read-modify-write is fine: the EMA only gates an optimization.
+  const std::uint64_t prev = handler_ema_us_.load(std::memory_order_relaxed);
+  const std::uint64_t next = prev == kEmaUnset ? micros : (prev * 7 + micros) / 8;
+  handler_ema_us_.store(next, std::memory_order_relaxed);
+}
+
+void Server::run_inline(EventLoop& loop, Connection& connection) {
+  // Shared with the completion callback: if the handler invokes it
+  // synchronously (the common case) the response is applied right here; if it
+  // defers, the window is closed by then and the completion routes through
+  // post_completion like a worker's would.
+  struct InlineSlot {
+    std::atomic<bool> delivered{false};
+    std::mutex mutex;
+    bool window_open = true;
+    bool ready = false;
+    CompletionMsg msg;
+  };
+
+  const bool keep = connection.parser.request().keep_alive();
+  http::Request request = connection.parser.release_request();
+  loop.wheel.cancel(connection.fd);
+  requests_total_.fetch_add(1, std::memory_order_relaxed);
+  const auto started = std::chrono::steady_clock::now();
+  auto slot = std::make_shared<InlineSlot>();
+  const std::size_t loop_index = loop.index;
+  const int fd = connection.fd;
+  const std::uint64_t generation = connection.generation;
+  auto complete = [this, slot, loop_index, fd, generation, keep,
+                   started](http::Response response) {
+    if (slot->delivered.exchange(true)) return;
+    record_status(response.status);
+    CompletionMsg msg;
+    msg.fd = fd;
+    msg.generation = generation;
+    msg.keep_alive = keep;
+    msg.bytes = http::serialize(response, keep);
+    const std::uint64_t micros = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - started)
+            .count());
+    record_latency(micros);
+    update_handler_ema(micros);
+    {
+      std::lock_guard<std::mutex> lock(slot->mutex);
+      if (slot->window_open) {
+        slot->msg = std::move(msg);
+        slot->ready = true;
+        return;
+      }
+    }
+    post_completion(loop_index, std::move(msg));
+  };
+  try {
+    handler_(request, complete);
+  } catch (const std::exception& e) {
+    complete(http::Response::json(
+        500, Json(JsonObject{{"error", Json(std::string("internal error: ") + e.what())}})
+                 .dump()));
+  } catch (...) {
+    complete(http::Response::json(500, R"({"error":"internal error"})"));
+  }
+
+  CompletionMsg msg;
+  bool ready = false;
+  {
+    std::lock_guard<std::mutex> lock(slot->mutex);
+    slot->window_open = false;
+    if (slot->ready) {
+      msg = std::move(slot->msg);
+      ready = true;
+    }
+  }
+  if (!ready) {
+    // Asynchronous handler: the completion arrives on the inbox later, with
+    // the usual generation check. Read interest stays armed, as on dispatch.
+    connection.executing = true;
+    return;
+  }
+
+  // Apply like apply_completion, minus the generation re-check: nothing can
+  // have closed this connection meanwhile on its own loop thread.
+  connection.out = std::move(msg.bytes);
+  connection.out_sent = 0;
+  if (msg.keep_alive) {
+    connection.parser.next();
+    connection.in_message = false;
+  } else {
+    connection.close_after_write = true;
+  }
+  flush(loop, connection, /*reenter_process=*/false);
+  if (connection.open && connection.out_sent < connection.out.size()) {
+    loop.wheel.schedule(fd, now_ms() + static_cast<std::uint64_t>(options_.idle_timeout_ms));
+  }
+}
+
+void Server::flush(EventLoop& loop, Connection& connection, bool reenter_process) {
+  while (connection.out_sent < connection.out.size()) {
+    const ssize_t n =
+        ::send(connection.fd, connection.out.data() + connection.out_sent,
+               connection.out.size() - connection.out_sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      connection.out_sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!connection.want_write) {
+        connection.want_write = true;
+        loop.poller->modify(connection.fd, connection.want_read, true);
+      }
+      return;  // EPOLLOUT re-arms the rest of the write
+    }
+    close_connection(loop, connection);
+    return;
+  }
+  connection.out.clear();
+  connection.out_sent = 0;
+  if (connection.want_write) {
+    connection.want_write = false;
+    loop.poller->modify(connection.fd, connection.want_read, false);
+  }
+  if (connection.close_after_write) {
+    close_connection(loop, connection);
+    return;
+  }
+  // A pipelined request may already be complete. The inline fast path passes
+  // reenter_process=false and iterates in process() instead, so a pipelined
+  // burst cannot recurse.
+  if (reenter_process) process(loop, connection);
+}
+
+void Server::respond_and_close(EventLoop& loop, Connection& connection,
+                               std::string bytes) {
+  connection.out = std::move(bytes);
+  connection.out_sent = 0;
+  connection.close_after_write = true;
+  set_read_interest(loop, connection, false);
+  // Bound the drain: a peer that never reads its error/overload response is
+  // reaped at the next deadline instead of pinning the slot.
+  loop.wheel.schedule(connection.fd,
+                      now_ms() + static_cast<std::uint64_t>(options_.idle_timeout_ms));
+  flush(loop, connection);
+}
+
+void Server::apply_completion(EventLoop& loop, CompletionMsg& completion) {
+  if (completion.fd < 0 ||
+      static_cast<std::size_t>(completion.fd) >= loop.slab.size()) {
+    return;
+  }
+  Connection& connection = loop.slab[static_cast<std::size_t>(completion.fd)];
+  if (!connection.open || connection.generation != completion.generation) return;
+  connection.executing = false;
+  connection.out = std::move(completion.bytes);
+  connection.out_sent = 0;
+  if (completion.keep_alive) {
+    // Re-arm; retains pipelined bytes. On a half-closed peer the re-armed
+    // parser drains any buffered pipelined requests, then process() closes.
+    connection.parser.next();
+    connection.in_message = false;
+  } else {
+    connection.close_after_write = true;
+  }
+  flush(loop, connection);
+  if (connection.open && connection.out_sent < connection.out.size()) {
+    // Partial write: bound the response drain so a dead peer cannot pin the
+    // slot forever.
+    loop.wheel.schedule(connection.fd,
+                        now_ms() + static_cast<std::uint64_t>(options_.idle_timeout_ms));
+  }
+}
+
+void Server::expire_deadlines(EventLoop& loop) {
+  loop.expired_scratch.clear();
+  loop.wheel.collect_expired(now_ms(), loop.expired_scratch);
+  for (const int fd : loop.expired_scratch) {
+    Connection& connection = loop.slab[static_cast<std::size_t>(fd)];
+    if (!connection.open || connection.executing) continue;
+    const bool idle_reap = connection.parser.idle() && connection.out.empty() &&
+                           !connection.close_after_write;
+    if (!idle_reap) timeouts_.fetch_add(1, std::memory_order_relaxed);
+    if (connection.out.empty() && !connection.close_after_write &&
+        !connection.parser.failed() && !connection.parser.idle()) {
+      // Mid-request deadline (slowloris / stalled body): answer 408, close.
+      record_status(408);
+      respond_and_close(loop, connection, timeout_response());
+    } else {
+      // Idle keep-alive reap, or a peer that never drained its response.
+      close_connection(loop, connection);
+    }
+  }
+}
+
+void Server::close_connection(EventLoop& loop, Connection& connection) {
+  if (!connection.open) return;
+  loop.poller->remove(connection.fd);
+  ::close(connection.fd);
+  loop.wheel.cancel(connection.fd);
+  connection.open = false;
+  connection.executing = false;
+  connection.want_read = false;
+  connection.want_write = false;
+  connection.close_after_write = false;
+  connection.out.clear();
+  connection.out_sent = 0;
+  loop.open_count.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Server::set_read_interest(EventLoop& loop, Connection& connection, bool want) {
+  if (connection.want_read == want) return;
+  connection.want_read = want;
+  loop.poller->modify(connection.fd, want, connection.want_write);
+}
+
+void Server::post_completion(std::size_t loop_index, CompletionMsg completion) {
+  if (loop_index >= loops_.size()) return;
+  EventLoop& loop = *loops_[loop_index];
+  {
+    std::lock_guard<std::mutex> lock(loop.inbox_mutex);
+    loop.completions.push_back(std::move(completion));
+  }
+  wake(loop);
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool
+
+bool Server::push_job(Job&& job) {
+  // Deal round-robin; when the preferred queue is full, offer the job to
+  // every other queue once before declaring overload. Multiple loop threads
+  // push concurrently, so the cursor is a shared atomic.
   const std::size_t n = queues_.size();
-  const std::size_t start = next_queue_;
-  next_queue_ = (next_queue_ + 1) % n;
+  const std::size_t start = next_queue_.fetch_add(1, std::memory_order_relaxed) % n;
   for (std::size_t offset = 0; offset < n; ++offset) {
     WorkerQueue& queue = *queues_[(start + offset) % n];
     {
       std::lock_guard<std::mutex> lock(queue.mutex);
       if (queue.pending.size() >= queue.capacity) continue;
-      queue.pending.push_back(fd);
+      queue.pending.push_back(std::move(job));
     }
+    jobs_queued_.fetch_add(1, std::memory_order_relaxed);
     queue.cv.notify_one();
     return true;
   }
-  return false;  // every shard full -> 503 at the door
+  return false;  // every queue full -> 503 at the hand-off
 }
 
-bool Server::try_pop(std::size_t queue_index, int& fd) {
+bool Server::try_pop(std::size_t queue_index, Job& job) {
   WorkerQueue& queue = *queues_[queue_index];
-  std::lock_guard<std::mutex> lock(queue.mutex);
-  if (queue.pending.empty()) return false;
-  fd = queue.pending.front();
-  queue.pending.pop_front();
+  {
+    std::lock_guard<std::mutex> lock(queue.mutex);
+    if (queue.pending.empty()) return false;
+    job = std::move(queue.pending.front());
+    queue.pending.pop_front();
+  }
+  jobs_queued_.fetch_sub(1, std::memory_order_relaxed);
   return true;
 }
 
-int Server::pop_connection(std::size_t worker_index) {
+bool Server::pop_job(std::size_t worker_index, Job& job) {
   const std::size_t n = queues_.size();
   WorkerQueue& own = *queues_[worker_index];
   while (true) {
     // Own queue first, then a steal scan over the neighbors so work dealt to
     // a busy worker cannot sit while this one idles.
-    int fd = -1;
     for (std::size_t offset = 0; offset < n; ++offset) {
-      if (try_pop((worker_index + offset) % n, fd)) return fd;
+      if (try_pop((worker_index + offset) % n, job)) return true;
     }
-    if (stopping_.load()) return -1;
+    if (stopping_.load()) return false;
     std::unique_lock<std::mutex> lock(own.mutex);
     if (!own.pending.empty()) continue;  // raced with a push
     // Timed wait: a notify targets the queue's owner, but stolen work and
@@ -192,115 +829,49 @@ int Server::pop_connection(std::size_t worker_index) {
   }
 }
 
-void Server::accept_loop() {
-  static const std::string overload_response = [] {
-    http::Response response = http::Response::json(
-        503, R"({"error":"server overloaded, retry later"})");
-    response.headers.emplace("Retry-After", "1");
-    return http::serialize(response, /*keep_alive=*/false);
-  }();
-  while (!stopping_.load()) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (stopping_.load()) break;
-      if (errno == EINTR) continue;
-      break;  // listen socket is gone; nothing sensible left to do
-    }
-    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
-    if (!push_connection(fd)) {
-      // Every per-worker queue full: shed at the door so latency stays flat.
-      connections_rejected_.fetch_add(1, std::memory_order_relaxed);
-      send_all(fd, overload_response);
-      ::close(fd);
-    }
-  }
-}
-
 void Server::worker_loop(std::size_t worker_index) {
-  while (true) {
-    const int fd = pop_connection(worker_index);
-    if (fd < 0) return;
-    worker_fds_[worker_index].store(fd, std::memory_order_release);
-    serve_connection(fd, worker_index);
-    worker_fds_[worker_index].store(-1, std::memory_order_release);
-    ::close(fd);
+  Job job;
+  while (pop_job(worker_index, job)) {
+    execute_job(job);
+    job = Job{};  // release the request buffers before blocking again
   }
 }
 
-void Server::serve_connection(int fd, std::size_t worker_index) {
-  (void)worker_index;
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-  set_recv_timeout(fd, kRecvSliceMs);
-
-  http::ParserLimits limits;
-  limits.max_body_bytes = options_.max_body_bytes;
-  http::RequestParser parser(limits);
-  char buf[8192];
-  int idle_ms = 0;
-
-  while (!stopping_.load()) {
-    // Read until one full request (or an error) is in hand.
-    while (!parser.done() && !parser.failed()) {
-      const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
-      if (n > 0) {
-        idle_ms = 0;
-        parser.feed(std::string_view(buf, static_cast<std::size_t>(n)));
-        continue;
-      }
-      if (n == 0) return;  // peer closed
-      if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        idle_ms += kRecvSliceMs;
-        if (stopping_.load()) return;
-        if (idle_ms >= options_.idle_timeout_ms) {
-          if (!parser.idle()) {
-            parse_errors_.fetch_add(1, std::memory_order_relaxed);
-            record_status(408);
-            send_all(fd, http::serialize(
-                             http::Response::json(408, R"({"error":"request timeout"})"),
-                             false));
-          }
-          return;
-        }
-        continue;
-      }
-      return;  // hard I/O error
-    }
-
-    if (parser.failed()) {
-      parse_errors_.fetch_add(1, std::memory_order_relaxed);
-      const int status = parser.error_status();
-      record_status(status);
-      http::Response response = http::Response::json(
-          status, Json(JsonObject{{"error", Json(parser.error())}}).dump());
-      send_all(fd, http::serialize(response, false));
-      return;
-    }
-
-    requests_total_.fetch_add(1, std::memory_order_relaxed);
-    const auto started = std::chrono::steady_clock::now();
-    http::Response response;
-    try {
-      response = handler_(parser.request());
-    } catch (const std::exception& e) {
-      response = http::Response::json(
-          500, Json(JsonObject{{"error", Json(std::string("internal error: ") +
-                                              e.what())}})
-                   .dump());
-    } catch (...) {
-      response = http::Response::json(500, R"({"error":"internal error"})");
-    }
-    const bool keep = parser.request().keep_alive() && !stopping_.load();
-    const bool sent = send_all(fd, http::serialize(response, keep));
+void Server::execute_job(Job& job) {
+  requests_total_.fetch_add(1, std::memory_order_relaxed);
+  const bool keep = job.keep_alive && !stopping_.load(std::memory_order_relaxed);
+  const auto started = std::chrono::steady_clock::now();
+  // `delivered` makes the completion single-shot: the handler calling done()
+  // twice, or an exception after done(), cannot produce a second response.
+  auto delivered = std::make_shared<std::atomic<bool>>(false);
+  const std::size_t loop_index = job.loop_index;
+  const int fd = job.fd;
+  const std::uint64_t generation = job.generation;
+  auto complete = [this, loop_index, fd, generation, keep, started,
+                   delivered](http::Response response) {
+    if (delivered->exchange(true)) return;
     record_status(response.status);
-    record_latency(static_cast<std::uint64_t>(
+    CompletionMsg msg;
+    msg.fd = fd;
+    msg.generation = generation;
+    msg.keep_alive = keep;
+    msg.bytes = http::serialize(response, keep);
+    const std::uint64_t micros = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - started)
-            .count()));
-    if (!sent || !keep) return;
-    parser.next();
-    idle_ms = 0;
+            .count());
+    record_latency(micros);
+    update_handler_ema(micros);
+    post_completion(loop_index, std::move(msg));
+  };
+  try {
+    handler_(job.request, complete);
+  } catch (const std::exception& e) {
+    complete(http::Response::json(
+        500, Json(JsonObject{{"error", Json(std::string("internal error: ") + e.what())}})
+                 .dump()));
+  } catch (...) {
+    complete(http::Response::json(500, R"({"error":"internal error"})"));
   }
 }
 
@@ -334,12 +905,18 @@ ServerStats Server::stats() const {
   s.responses_4xx = responses_4xx_.load(std::memory_order_relaxed);
   s.responses_5xx = responses_5xx_.load(std::memory_order_relaxed);
   s.parse_errors = parse_errors_.load(std::memory_order_relaxed);
+  s.timeouts = timeouts_.load(std::memory_order_relaxed);
   s.threads = options_.threads;
+  s.event_threads = options_.event_threads;
   s.queue_depths.reserve(queues_.size());
   for (const auto& queue : queues_) {
     std::lock_guard<std::mutex> lock(queue->mutex);
     s.queue_depths.push_back(queue->pending.size());
     s.queue_depth += queue->pending.size();
+  }
+  s.loop_connections.reserve(loops_.size());
+  for (const auto& loop : loops_) {
+    s.loop_connections.push_back(loop->open_count.load(std::memory_order_relaxed));
   }
   for (std::size_t i = 0; i < s.latency_buckets.size(); ++i) {
     s.latency_buckets[i] = latency_buckets_[i].load(std::memory_order_relaxed);

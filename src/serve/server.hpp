@@ -1,26 +1,48 @@
-// Threaded HTTP server over POSIX sockets: one acceptor thread feeding
-// per-worker bounded connection queues drained by a fixed pool of worker
-// threads.
+// Event-driven HTTP server over POSIX sockets: a small number of event-loop
+// threads run nonblocking accept + readiness polling (epoll on Linux, poll
+// as the portable fallback) and do all socket I/O, while a fixed pool of
+// worker threads runs the CPU-bound handlers.
 //
-// Queueing: each worker owns its own mutex + condition variable + deque; the
-// acceptor deals new connections round-robin across workers, so enqueue and
-// dequeue on different workers never touch the same lock and the old single
-// accept-queue mutex stops being a convoy point. A worker whose own queue is
-// empty steals from its neighbors (scan from worker_index+1) before sleeping,
-// so an imbalanced deal cannot strand a connection behind an idle pool.
+// Reactor split: each event loop owns a Poller, a wakeup pipe, a timer wheel
+// for idle/header deadlines, and a slab of Connection objects keyed by fd
+// (read buffer, resumable RequestParser, pending write buffer, generation
+// tag). Loop 0 additionally owns the listen socket and deals accepted fds
+// round-robin across loops. When a connection's parser completes a request,
+// the loop hands {request, fd, generation} to the per-worker bounded deques;
+// the worker runs the handler, serializes the response, and posts the bytes
+// back to the owning loop, which writes them nonblocking with partial-write
+// buffering and EPOLLOUT re-arming. Keep-alive and pipelining fall out of
+// the resumable parser: after a response is flushed the loop re-arms the
+// parser, and a pipelined request already in the buffer dispatches
+// immediately. One request per connection is in flight at a time, so
+// pipelined responses always come back in order.
+//
+// Inline fast path: when every worker queue is empty and the EMA of recent
+// handler+serialize times is small, the loop runs the handler itself and
+// skips the two context switches of the hand-off -- the win that keeps
+// low-concurrency throughput at thread-per-connection levels. The EMA starts
+// "unset" so slow or parked handlers are only ever discovered on the worker
+// pool, never by blocking an event loop.
 //
 // Backpressure: the total budget `max_pending` is split evenly across the
-// per-worker queues (each gets at least one slot). When the round-robin
-// target is full the acceptor tries every other queue once; only when *all*
-// queues are full does it answer the new connection with a canned 503 +
-// Retry-After and close it immediately -- overload sheds load at the door
-// instead of stacking latency, exactly as the single-queue server did.
+// per-worker job queues (each gets at least one slot). A completed request
+// is offered to every queue before being declared overload; only when all
+// queues are full does the loop answer with a canned 503 + Retry-After and
+// close -- the same shed-at-the-door contract the thread-per-connection
+// server had, now applied at the parsed-request hand-off.
+//
+// Timeouts: a connection idle between requests is closed silently at
+// idle_timeout_ms. Once the first byte of a request arrives the deadline is
+// *fixed* at first-byte + idle_timeout_ms until the request completes, so a
+// slowloris client trickling header bytes cannot hold a slot by resetting
+// an activity timer; expiry mid-request answers 408 and counts in
+// `timeouts`. Deadlines live in a per-loop hashed timer wheel.
 //
 // Observability: request counts by status class, total/in-flight connection
-// gauges, a fixed-bucket latency histogram (handler + write time), current
-// queue depths (per worker and total), and the overload-rejection counter --
-// exported by the /metrics route in serve::App but owned here so any handler
-// can serve them.
+// gauges, open connections per loop, a fixed-bucket latency histogram
+// (handler + serialize time), per-worker queue depths, parser-error /
+// timeout / overload-rejection counters -- exported by the /metrics route in
+// serve::App but owned here so any handler can serve them.
 #pragma once
 
 #include <array>
@@ -36,6 +58,7 @@
 #include <vector>
 
 #include "serve/http.hpp"
+#include "serve/poller.hpp"
 
 namespace prm::serve {
 
@@ -43,9 +66,11 @@ struct ServerOptions {
   std::string bind_address = "127.0.0.1";
   std::uint16_t port = 0;        ///< 0 = pick an ephemeral port (see Server::port()).
   std::size_t threads = 4;       ///< Worker pool size (>= 1 enforced).
+  std::size_t event_threads = 2; ///< Readiness-loop count (>= 1 enforced).
   std::size_t max_pending = 64;  ///< Total bounded queue budget; beyond it -> 503.
   std::size_t max_body_bytes = 8 * 1024 * 1024;
-  int idle_timeout_ms = 10000;   ///< Keep-alive connection idle cutoff.
+  int idle_timeout_ms = 10000;   ///< Idle cutoff AND per-request header/body deadline.
+  PollerBackend backend = PollerBackend::kAuto;  ///< epoll/poll selection.
 };
 
 /// Upper edges (inclusive) of the latency histogram buckets, microseconds;
@@ -55,32 +80,47 @@ inline constexpr std::array<std::uint64_t, 7> kLatencyBucketEdgesUs = {
 
 struct ServerStats {
   std::uint64_t connections_accepted = 0;
-  std::uint64_t connections_rejected = 0;  ///< 503-at-the-door overload sheds.
+  std::uint64_t connections_rejected = 0;  ///< 503 overload sheds.
   std::uint64_t requests_total = 0;
   std::uint64_t responses_2xx = 0;
   std::uint64_t responses_4xx = 0;
   std::uint64_t responses_5xx = 0;
   std::uint64_t parse_errors = 0;
-  std::size_t queue_depth = 0;          ///< Connections waiting, summed over workers.
-  std::vector<std::size_t> queue_depths;  ///< Per-worker waiting connections.
+  std::uint64_t timeouts = 0;           ///< Mid-request deadline expiries (408).
+  std::size_t queue_depth = 0;          ///< Requests waiting, summed over workers.
+  std::vector<std::size_t> queue_depths;  ///< Per-worker waiting requests.
+  std::vector<std::size_t> loop_connections;  ///< Open connections per event loop.
   std::size_t threads = 0;
+  std::size_t event_threads = 0;
   std::array<std::uint64_t, kLatencyBucketEdgesUs.size() + 1> latency_buckets{};
 };
 
 class Server {
  public:
+  /// Synchronous handler form: runs on a worker thread, must be thread-safe;
+  /// exceptions become 500 responses.
   using Handler = std::function<http::Response(const http::Request&)>;
 
-  /// The handler runs on worker threads and must be thread-safe. Exceptions
-  /// it throws become 500 responses.
+  /// Completion callback handed to an AsyncHandler; invoke exactly once with
+  /// the response. Thread-safe: may be called from any thread, immediately
+  /// or later (the response is routed back to the connection's event loop).
+  using Completion = std::function<void(http::Response)>;
+
+  /// Asynchronous handler form: invoked on a worker thread with the parsed
+  /// request and a completion callback. The request reference is only valid
+  /// for the duration of the call -- copy what outlives it. An exception
+  /// escaping before `done` is invoked becomes a 500.
+  using AsyncHandler = std::function<void(const http::Request&, Completion)>;
+
   Server(ServerOptions options, Handler handler);
+  Server(ServerOptions options, AsyncHandler handler);
   ~Server();
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Bind + listen + spawn threads. Throws std::runtime_error when the
-  /// address cannot be bound. Idempotent once running.
+  /// Bind + listen + spawn event loops and workers. Throws std::runtime_error
+  /// when the address cannot be bound. Idempotent once running.
   void start();
 
   /// Stop accepting, drain workers, close every connection. Safe to call
@@ -92,41 +132,90 @@ class Server {
   /// Actual bound port (resolves port 0 after start()).
   std::uint16_t port() const noexcept { return port_.load(); }
 
+  /// Backend actually in use ("epoll" or "poll").
+  std::string_view backend_name() const noexcept;
+
   ServerStats stats() const;
 
  private:
-  /// One worker's private connection queue. Heap-allocated via unique_ptr so
-  /// the vector of queues is constructible despite the mutex member.
+  struct Connection;
+  struct EventLoop;
+
+  /// A parsed request in flight from an event loop to a worker.
+  struct Job {
+    std::size_t loop_index = 0;
+    int fd = -1;
+    std::uint64_t generation = 0;
+    http::Request request;
+    bool keep_alive = false;
+  };
+
+  /// A rendered response on its way back from a worker to an event loop.
+  struct CompletionMsg {
+    int fd = -1;
+    std::uint64_t generation = 0;
+    std::string bytes;
+    bool keep_alive = false;
+  };
+
+  /// One worker's private job queue. Heap-allocated via unique_ptr so the
+  /// vector of queues is constructible despite the mutex member.
   struct WorkerQueue {
     std::mutex mutex;
     std::condition_variable cv;
-    std::deque<int> pending;
+    std::deque<Job> pending;
     std::size_t capacity = 1;
   };
 
-  void accept_loop();
+  void event_loop_run(EventLoop& loop);
+  void drain_inbox(EventLoop& loop);
+  void accept_ready(EventLoop& loop);
+  void adopt_connection(EventLoop& loop, int fd);
+  void handle_io(EventLoop& loop, const PollerEvent& event);
+  void read_some(EventLoop& loop, Connection& connection);
+  void process(EventLoop& loop, Connection& connection);
+  void run_inline(EventLoop& loop, Connection& connection);
+  bool inline_eligible() const;
+  void update_handler_ema(std::uint64_t micros);
+  void flush(EventLoop& loop, Connection& connection, bool reenter_process = true);
+  void respond_and_close(EventLoop& loop, Connection& connection, std::string bytes);
+  void apply_completion(EventLoop& loop, CompletionMsg& completion);
+  void expire_deadlines(EventLoop& loop);
+  void close_connection(EventLoop& loop, Connection& connection);
+  void set_read_interest(EventLoop& loop, Connection& connection, bool want);
+  void post_completion(std::size_t loop_index, CompletionMsg completion);
+  void wake(EventLoop& loop);
+
   void worker_loop(std::size_t worker_index);
-  void serve_connection(int fd, std::size_t worker_index);
-  bool push_connection(int fd);
-  int pop_connection(std::size_t worker_index);
-  bool try_pop(std::size_t queue_index, int& fd);
+  void execute_job(Job& job);
+  bool push_job(Job&& job);
+  bool try_pop(std::size_t queue_index, Job& job);
+  bool pop_job(std::size_t worker_index, Job& job);
   void record_latency(std::uint64_t micros);
   void record_status(int status);
 
   ServerOptions options_;
-  Handler handler_;
+  AsyncHandler handler_;
 
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> loops_exit_{false};
   std::atomic<std::uint16_t> port_{0};
   int listen_fd_ = -1;
 
-  std::thread acceptor_;
-  std::vector<std::thread> workers_;
-  std::vector<std::atomic<int>> worker_fds_;  ///< Active fd per worker, -1 idle.
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  std::size_t next_loop_ = 0;  ///< Round-robin deal cursor; loop 0 only.
+  std::atomic<std::uint64_t> generation_counter_{0};
 
+  std::vector<std::thread> workers_;
   std::vector<std::unique_ptr<WorkerQueue>> queues_;  ///< One per worker.
-  std::size_t next_queue_ = 0;  ///< Round-robin cursor; acceptor thread only.
+  std::atomic<std::size_t> next_queue_{0};  ///< Round-robin cursor (any loop thread).
+  std::atomic<std::size_t> jobs_queued_{0};  ///< Jobs waiting, summed over queues.
+
+  /// EMA of handler+serialize micros, gating the inline fast path. Starts at
+  /// "unset" (= never inline) so parked/slow handlers are discovered on the
+  /// worker pool, not by blocking an event loop.
+  std::atomic<std::uint64_t> handler_ema_us_{~std::uint64_t{0}};
 
   // Counters are independent atomics: relaxed updates, snapshot on stats().
   std::atomic<std::uint64_t> connections_accepted_{0};
@@ -136,6 +225,7 @@ class Server {
   std::atomic<std::uint64_t> responses_4xx_{0};
   std::atomic<std::uint64_t> responses_5xx_{0};
   std::atomic<std::uint64_t> parse_errors_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
   std::array<std::atomic<std::uint64_t>, kLatencyBucketEdgesUs.size() + 1>
       latency_buckets_{};
 };

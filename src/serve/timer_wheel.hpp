@@ -1,0 +1,107 @@
+// Hashed timer wheel for per-connection deadlines in the event loop.
+//
+// The loop needs O(1) arm/re-arm (every byte of activity moves a deadline)
+// and amortized O(expired) expiry scans at a coarse tick. A hashed wheel
+// with lazy cascading gives both: each fd holds at most one wheel entry; a
+// reschedule just updates the recorded deadline and leaves the entry where
+// it is, and when the entry's bucket comes up the wheel either expires it or
+// re-files it under the new deadline. This is sound because the server only
+// ever moves deadlines *forward* (activity extends them) or cancels them, so
+// an entry can never need to fire earlier than the bucket it sits in.
+//
+// Not thread-safe; owned by one event loop. Time is caller-supplied
+// milliseconds on any monotonic clock.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace prm::serve {
+
+class TimerWheel {
+ public:
+  explicit TimerWheel(std::uint64_t tick_ms, std::size_t buckets = 64)
+      : tick_ms_(tick_ms > 0 ? tick_ms : 1), buckets_(buckets > 0 ? buckets : 1) {}
+
+  /// Arm (or move forward) fd's deadline. fd must be >= 0.
+  void schedule(int fd, std::uint64_t deadline_ms) {
+    Entry& entry = slot(fd);
+    entry.deadline_ms = deadline_ms;
+    if (!entry.in_wheel) {
+      buckets_[bucket_of(deadline_ms)].push_back(fd);
+      entry.in_wheel = true;
+      ++armed_;
+    }
+  }
+
+  /// Disarm fd's deadline; the stale wheel entry is dropped lazily.
+  void cancel(int fd) {
+    if (static_cast<std::size_t>(fd) < entries_.size()) {
+      entries_[static_cast<std::size_t>(fd)].deadline_ms = 0;
+    }
+  }
+
+  /// Advance to now_ms and append every fd whose deadline has passed to
+  /// `expired` (disarming it). Re-files entries whose deadline moved forward.
+  void collect_expired(std::uint64_t now_ms, std::vector<int>& expired) {
+    const std::uint64_t now_tick = now_ms / tick_ms_;
+    if (!started_) {
+      cursor_tick_ = now_tick;
+      started_ = true;
+    }
+    // A long gap covers every bucket at most once.
+    std::uint64_t from = cursor_tick_;
+    if (now_tick - from >= buckets_.size()) {
+      from = now_tick - (buckets_.size() - 1);
+    }
+    for (std::uint64_t tick = from; tick <= now_tick; ++tick) {
+      auto& bucket = buckets_[tick % buckets_.size()];
+      scratch_.clear();
+      scratch_.swap(bucket);
+      for (const int fd : scratch_) {
+        Entry& entry = entries_[static_cast<std::size_t>(fd)];
+        if (entry.deadline_ms == 0) {  // canceled; drop lazily
+          entry.in_wheel = false;
+          --armed_;
+        } else if (entry.deadline_ms <= now_ms) {
+          entry.in_wheel = false;
+          entry.deadline_ms = 0;
+          --armed_;
+          expired.push_back(fd);
+        } else {  // rescheduled later: re-file under the current deadline
+          buckets_[bucket_of(entry.deadline_ms)].push_back(fd);
+        }
+      }
+    }
+    cursor_tick_ = now_tick;
+  }
+
+  bool empty() const noexcept { return armed_ == 0; }
+  std::uint64_t tick_ms() const noexcept { return tick_ms_; }
+
+ private:
+  struct Entry {
+    std::uint64_t deadline_ms = 0;  ///< 0 = disarmed.
+    bool in_wheel = false;
+  };
+
+  std::size_t bucket_of(std::uint64_t deadline_ms) const {
+    return static_cast<std::size_t>((deadline_ms / tick_ms_) % buckets_.size());
+  }
+
+  Entry& slot(int fd) {
+    const auto index = static_cast<std::size_t>(fd);
+    if (index >= entries_.size()) entries_.resize(index + 1);
+    return entries_[index];
+  }
+
+  std::uint64_t tick_ms_;
+  std::vector<std::vector<int>> buckets_;
+  std::vector<int> scratch_;
+  std::vector<Entry> entries_;  ///< fd-indexed.
+  std::uint64_t cursor_tick_ = 0;
+  bool started_ = false;
+  std::size_t armed_ = 0;
+};
+
+}  // namespace prm::serve

@@ -193,6 +193,44 @@ TEST(RequestSerialize, ClientSideWireFormat) {
   EXPECT_EQ(parser.request().body, "{}");
 }
 
+TEST(RequestParser, ReleaseRequestMovesMessageOut) {
+  RequestParser parser;
+  parser.feed("POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhelloGET /next HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(parser.done());
+  Request request = parser.release_request();
+  EXPECT_EQ(request.target, "/x");
+  EXPECT_EQ(request.body, "hello");
+  // The parser is still done() and next() re-arms it with the pipelined bytes.
+  EXPECT_TRUE(parser.done());
+  parser.next();
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().target, "/next");
+}
+
+TEST(ResponseParser, StartedAndHeaderCompleteTrackTruncationPoint) {
+  // The client uses these to tell a stale keep-alive close (no bytes at all:
+  // retryable) from a truncated response (bytes arrived: not retryable).
+  ResponseParser parser;
+  EXPECT_FALSE(parser.started());
+  EXPECT_FALSE(parser.header_complete());
+
+  parser.feed("HTTP/1.1 200 OK\r\nContent-Le");  // mid-headers
+  EXPECT_TRUE(parser.started());
+  EXPECT_FALSE(parser.header_complete());
+
+  parser.feed("ngth: 10\r\n\r\nabc");  // headers done, body short
+  EXPECT_TRUE(parser.started());
+  EXPECT_TRUE(parser.header_complete());
+  EXPECT_FALSE(parser.done());
+
+  parser.feed("defghij");
+  EXPECT_TRUE(parser.done());
+  EXPECT_EQ(parser.response().body, "abcdefghij");
+  parser.next();
+  EXPECT_FALSE(parser.started());  // fresh exchange, nothing consumed yet
+  EXPECT_FALSE(parser.header_complete());
+}
+
 TEST(HeaderBlock, ParsesAndRejects) {
   std::map<std::string, std::string> headers;
   EXPECT_TRUE(parse_header_block("A: 1\r\nB-Long: two words\r\n", headers));

@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
@@ -269,6 +270,36 @@ TEST(Server, FullPerWorkerQueuesKeep503RetryAfterContractAndRecover) {
   EXPECT_NE(reply.find("Retry-After: 1"), std::string::npos) << reply;
   EXPECT_NE(reply.find("overloaded"), std::string::npos) << reply;
 
+  // Wave 3: 252 concurrent connections against the same saturated server --
+  // with the parked wave this totals 256 in flight. Every one must be shed
+  // with a 503 (or a reset), none may hang, and the parked wave must still
+  // complete afterwards: shedding stays flat at depth, it doesn't collapse.
+  constexpr int kFlood = 252;
+  std::atomic<int> flood_shed{0};
+  std::atomic<int> flood_served{0};
+  {
+    std::vector<std::thread> flood;
+    flood.reserve(kFlood);
+    for (int i = 0; i < kFlood; ++i) {
+      flood.emplace_back([&server, &flood_shed, &flood_served] {
+        try {
+          http::Client client("127.0.0.1", server.port());
+          const int status = client.get("/over").status;
+          if (status == 503) {
+            ++flood_shed;
+          } else if (status == 200) {
+            ++flood_served;
+          }
+        } catch (const std::exception&) {
+          ++flood_shed;  // reset after the canned 503 also counts as shed
+        }
+      });
+    }
+    for (std::thread& thread : flood) thread.join();
+  }
+  EXPECT_EQ(flood_shed.load(), kFlood) << "saturated server must shed the flood";
+  EXPECT_EQ(flood_served.load(), 0);
+
   release_and_join();
   EXPECT_EQ(parked_ok.load(), kParked);  // queued connections were served, not shed
 
@@ -276,7 +307,8 @@ TEST(Server, FullPerWorkerQueuesKeep503RetryAfterContractAndRecover) {
   http::Client client("127.0.0.1", server.port());
   EXPECT_EQ(client.get("/after").status, 200);
   server.stop();
-  EXPECT_GE(server.stats().connections_rejected, 1u);
+  EXPECT_GE(server.stats().connections_rejected,
+            static_cast<std::uint64_t>(kFlood) + 1u);
 }
 
 TEST(Server, StopUnblocksIdleKeepAliveConnections) {
@@ -294,10 +326,245 @@ TEST(Server, StopUnblocksIdleKeepAliveConnections) {
 TEST(Server, StartupStatsReportThreadCount) {
   ServerOptions options;
   options.threads = 3;
+  options.event_threads = 2;
   Server server(options, echo_handler);
   server.start();
   EXPECT_EQ(server.stats().threads, 3u);
+  EXPECT_EQ(server.stats().event_threads, 2u);
+  EXPECT_EQ(server.stats().loop_connections.size(), 2u);
   server.stop();
+}
+
+TEST(Server, SlowlorisTrickleIsClosedAtHeaderDeadline) {
+  // A client trickling one header byte per 50 ms keeps the socket "active"
+  // forever; the request deadline is fixed at first-byte + idle_timeout_ms,
+  // so the server must answer 408 and close well before the trickle ends.
+  ServerOptions options;
+  options.idle_timeout_ms = 200;
+  Server server(options, echo_handler);
+  server.start();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+
+  const std::string head = "GET /drip HTTP/1.1\r\nX-Drip: ";
+  ASSERT_EQ(::send(fd, head.data(), head.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(head.size()));
+
+  const auto started = std::chrono::steady_clock::now();
+  std::string reply;
+  bool closed = false;
+  // Trickle for up to 4 s; the server should cut us off at ~200 ms. Drain
+  // right before each send so the 408 + FIN is read before we could provoke
+  // a reset by writing into a closed socket.
+  for (int i = 0; i < 80 && !closed; ++i) {
+    char buf[1024];
+    for (;;) {
+      const ssize_t n = ::recv(fd, buf, sizeof buf, MSG_DONTWAIT);
+      if (n > 0) {
+        reply.append(buf, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK)) {
+        closed = true;  // orderly close after the 408 (or a reset)
+      }
+      break;
+    }
+    if (closed) break;
+    (void)::send(fd, "a", 1, MSG_NOSIGNAL);  // may fail once the server closed
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  ::close(fd);
+  const auto elapsed = std::chrono::steady_clock::now() - started;
+
+  EXPECT_TRUE(closed) << "server never closed the slowloris connection";
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(),
+            2000);
+  EXPECT_NE(reply.find(" 408 "), std::string::npos) << reply;
+  server.stop();
+  EXPECT_GE(server.stats().timeouts, 1u);
+  EXPECT_GE(server.stats().responses_4xx, 1u);
+}
+
+TEST(Server, PipelinedRequestsAnswerInOrder) {
+  // Four requests written back-to-back before reading anything. The server
+  // runs one request per connection at a time, so the four responses must
+  // come back complete and in request order on the one connection.
+  Server server(ServerOptions{}, echo_handler);
+  server.start();
+
+  const std::string wire =
+      "GET /p1 HTTP/1.1\r\n\r\n"
+      "POST /p2 HTTP/1.1\r\nContent-Length: 3\r\n\r\nxyz"
+      "GET /p3 HTTP/1.1\r\n\r\n"
+      "GET /p4 HTTP/1.1\r\nConnection: close\r\n\r\n";
+  const std::string reply = raw_exchange(server.port(), wire);
+
+  std::size_t statuses = 0;
+  for (std::size_t pos = reply.find("HTTP/1.1 200 OK"); pos != std::string::npos;
+       pos = reply.find("HTTP/1.1 200 OK", pos + 1)) {
+    ++statuses;
+  }
+  EXPECT_EQ(statuses, 4u) << reply;
+  const std::size_t p1 = reply.find("GET /p1 ");
+  const std::size_t p2 = reply.find("POST /p2 xyz");
+  const std::size_t p3 = reply.find("GET /p3 ");
+  const std::size_t p4 = reply.find("GET /p4 ");
+  ASSERT_NE(p1, std::string::npos) << reply;
+  ASSERT_NE(p2, std::string::npos) << reply;
+  ASSERT_NE(p3, std::string::npos) << reply;
+  ASSERT_NE(p4, std::string::npos) << reply;
+  EXPECT_LT(p1, p2);
+  EXPECT_LT(p2, p3);
+  EXPECT_LT(p3, p4);
+
+  server.stop();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.connections_accepted, 1u);
+  EXPECT_EQ(stats.requests_total, 4u);
+  EXPECT_EQ(stats.responses_2xx, 4u);
+}
+
+/// Scripted one-connection-at-a-time fake server: for each accepted
+/// connection, reads one request head and plays back the next canned
+/// response verbatim (possibly truncated), then closes. Counts requests so
+/// tests can assert the client did NOT silently retry a truncated exchange.
+class ScriptedServer {
+ public:
+  explicit ScriptedServer(std::vector<std::string> scripts)
+      : scripts_(std::move(scripts)) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    const int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+    EXPECT_EQ(::listen(fd_, 8), 0);
+    socklen_t len = sizeof addr;
+    ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    thread_ = std::thread([this] { run(); });
+  }
+
+  ~ScriptedServer() {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    thread_.join();
+  }
+
+  std::uint16_t port() const { return port_; }
+  int requests_seen() const { return requests_seen_.load(); }
+
+ private:
+  void run() {
+    for (const std::string& script : scripts_) {
+      const int conn = ::accept(fd_, nullptr, nullptr);
+      if (conn < 0) return;  // listener shut down
+      char buf[4096];
+      std::string head;
+      while (head.find("\r\n\r\n") == std::string::npos) {
+        const ssize_t n = ::recv(conn, buf, sizeof buf, 0);
+        if (n <= 0) break;
+        head.append(buf, static_cast<std::size_t>(n));
+      }
+      requests_seen_.fetch_add(1);
+      if (!script.empty()) {
+        (void)::send(conn, script.data(), script.size(), MSG_NOSIGNAL);
+      }
+      ::close(conn);
+    }
+  }
+
+  std::vector<std::string> scripts_;
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<int> requests_seen_{0};
+  std::thread thread_;
+};
+
+TEST(HttpClient, StaleKeepAliveReconnectsButTruncationDoesNot) {
+  const std::string full =
+      "HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: keep-alive\r\n\r\nok";
+
+  {
+    // Stale keep-alive: the first exchange completes, then the server closes
+    // the idle connection. The next request sees EOF before any response
+    // byte and must transparently retry on a fresh connection.
+    ScriptedServer server({full, full});
+    http::Client client("127.0.0.1", server.port());
+    EXPECT_EQ(client.get("/a").body, "ok");
+    EXPECT_EQ(client.get("/b").body, "ok");  // reconnect under the hood
+    EXPECT_EQ(server.requests_seen(), 2);
+  }
+  {
+    // Truncated mid-body: headers promise 10 bytes, the wire carries 3. The
+    // client must throw a truncation error and must NOT resend the request
+    // (a retry could duplicate a non-idempotent operation).
+    ScriptedServer server(
+        {"HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nabc", full});
+    http::Client client("127.0.0.1", server.port());
+    try {
+      client.get("/c");
+      FAIL() << "expected a truncation error";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("truncated mid-body"),
+                std::string::npos)
+          << e.what();
+    }
+    EXPECT_EQ(server.requests_seen(), 1);
+  }
+  {
+    // Truncated mid-headers: same contract, distinct diagnostic.
+    ScriptedServer server({"HTTP/1.1 200 OK\r\nContent-Le", full});
+    http::Client client("127.0.0.1", server.port());
+    try {
+      client.get("/d");
+      FAIL() << "expected a truncation error";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("truncated mid-headers"),
+                std::string::npos)
+          << e.what();
+    }
+    EXPECT_EQ(server.requests_seen(), 1);
+  }
+}
+
+TEST(Server, PollBackendServesKeepAliveAndPipelining) {
+  // Same reactor, portable poll(2) backend: keep-alive accounting and
+  // pipelined dispatch must behave identically to epoll.
+  ServerOptions options;
+  options.backend = PollerBackend::kPoll;
+  options.event_threads = 2;
+  Server server(options, echo_handler);
+  server.start();
+  EXPECT_EQ(server.backend_name(), "poll");
+
+  {
+    http::Client client("127.0.0.1", server.port());
+    EXPECT_EQ(client.get("/one").body, "GET /one ");
+    EXPECT_EQ(client.post_json("/two", "body").body, "POST /two body");
+  }
+  const std::string reply = raw_exchange(
+      server.port(),
+      "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\nConnection: close\r\n\r\n");
+  const std::size_t a = reply.find("GET /a ");
+  const std::size_t b = reply.find("GET /b ");
+  ASSERT_NE(a, std::string::npos) << reply;
+  ASSERT_NE(b, std::string::npos) << reply;
+  EXPECT_LT(a, b);
+
+  server.stop();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.connections_accepted, 2u);
+  EXPECT_EQ(stats.requests_total, 4u);
+  EXPECT_EQ(stats.responses_2xx, 4u);
 }
 
 }  // namespace
