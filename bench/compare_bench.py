@@ -4,6 +4,7 @@
 Usage:
     compare_bench.py BASELINE.json CURRENT.json [--threshold 0.15]
                      [--metric cpu_time] [--normalize] [--require-all]
+                     [--table-out FILE]
 
 Exits non-zero when any benchmark present in both files got slower than
 baseline by more than --threshold (fractional, default 0.15 = +15%).
@@ -59,6 +60,10 @@ def main() -> int:
                              "(cancels uniform machine-speed differences)")
     parser.add_argument("--require-all", action="store_true",
                         help="fail if a baseline benchmark is missing from current")
+    parser.add_argument("--table-out", metavar="FILE",
+                        help="also write the per-benchmark delta table to FILE "
+                             "(written on success and failure, so CI can keep "
+                             "it as an artifact)")
     args = parser.parse_args()
 
     base = load_results(args.baseline)
@@ -83,12 +88,15 @@ def main() -> int:
     ratios = {name: curr[name][args.metric] / base[name][args.metric]
               for name in common}
     scale = median(ratios.values()) if args.normalize else 1.0
+
+    table = []
     if args.normalize:
-        print(f"suite median ratio {scale:.3f} (normalized out)")
+        table.append(f"suite median ratio {scale:.3f} (normalized out)")
 
     regressions = []
     width = max(len(n) for n in common)
-    print(f"{'benchmark':<{width}}  {'baseline':>10}  {'current':>10}  {'ratio':>7}")
+    table.append(
+        f"{'benchmark':<{width}}  {'baseline':>10}  {'current':>10}  {'ratio':>7}")
     for name in sorted(common):
         ratio = ratios[name] / scale
         unit = base[name].get("time_unit", "ns")
@@ -98,8 +106,13 @@ def main() -> int:
             flag = "  <-- REGRESSION"
         elif ratio < 1.0 - args.threshold:
             flag = "  (improved)"
-        print(f"{name:<{width}}  {base[name][args.metric]:>10.3f}  "
-              f"{curr[name][args.metric]:>10.3f}  {ratio:>6.2f}x{flag}  [{unit}]")
+        table.append(f"{name:<{width}}  {base[name][args.metric]:>10.3f}  "
+                     f"{curr[name][args.metric]:>10.3f}  {ratio:>6.2f}x{flag}  "
+                     f"[{unit}]")
+    print("\n".join(table))
+    if args.table_out:
+        with open(args.table_out, "w") as fh:
+            fh.write("\n".join(table) + "\n")
 
     if regressions:
         print(f"\ncompare_bench: {len(regressions)} benchmark(s) regressed "

@@ -18,15 +18,27 @@
 //               directory (group commit, interval fsync): what durability
 //               costs on the live path. Compare against ingest for the
 //               WAL's acknowledged-write overhead.
+//  * bulk_ingest -- alternating POST /v1/streams/{s}/ingest-batch (16
+//               samples per request, one stream lock + one WAL record per
+//               batch) and GET /v1/streams/{s}: the batched-append path.
+//               Compare samples/sec against ingest for the batching win.
 //
 // --json emits the same schema compare_bench.py consumes (one entry per
 // cell, mean latency as cpu_time/real_time in us), so the CI regression gate
-// can diff runs; rps/p50/p95/p99 ride along as extra fields.
+// can diff runs; rps/p50/p95/p99/samples_per_sec ride along as extra
+// fields, and the context block carries the summed buffer-pool / vectored-
+// write counters the server reported across all cells.
+#include <arpa/inet.h>
 #include <dirent.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -44,6 +56,7 @@
 #include "serve/handlers.hpp"
 #include "serve/http.hpp"
 #include "serve/json.hpp"
+#include "serve/poller.hpp"
 #include "serve/server.hpp"
 #include "wal/log.hpp"
 
@@ -116,6 +129,11 @@ class WalDir {
   std::string path_;
 };
 
+/// Samples per POST in the bulk_ingest mix. 16 amortizes the route + lock +
+/// WAL-append cost without distorting per-request latency past what a real
+/// telemetry shipper would batch.
+constexpr long kBatchSamples = 16;
+
 /// One monotone V-shaped sample for the ingest mix: dip, trough, recovery,
 /// then a long nominal tail so each stream walks the full phase machine once.
 double ingest_value(long i) {
@@ -130,13 +148,18 @@ struct CellResult {
   std::string mix;
   std::size_t connections = 0;
   std::size_t requests = 0;
+  std::uint64_t samples = 0;  ///< Samples ingested (ingest-flavored mixes only).
   double seconds = 0.0;
   double mean_us = 0.0;
   double p50_us = 0.0;
   double p95_us = 0.0;
   double p99_us = 0.0;
+  serve::ServerStats server;  ///< Snapshot taken just before the cell's stop().
   double rps() const {
     return seconds > 0.0 ? static_cast<double>(requests) / seconds : 0.0;
+  }
+  double samples_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(samples) / seconds : 0.0;
   }
 };
 
@@ -190,49 +213,241 @@ CellResult run_cell(const std::string& mix, std::size_t connections,
   std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> errors{0};
   std::vector<std::vector<double>> latencies(connections);
-  const auto started = Clock::now();
+  std::vector<std::uint64_t> samples_ok(connections, 0);
+  for (auto& per_client : latencies) per_client.reserve(1 << 16);
 
+  // The client side is event-driven too. Thread-per-connection load
+  // generation pays a scheduler context switch per round trip, which on a
+  // small machine bills the harness's own wakeup overhead to the server
+  // under test. A few poller-driven threads multiplex every connection
+  // instead -- still closed-loop (each connection has exactly one request in
+  // flight; the next is sent only after the response completes), so the
+  // latency semantics are unchanged while the client CPU goes to send/recv.
+  const std::string host_hdr = "127.0.0.1:" + std::to_string(server.port());
+  std::vector<std::string> cached_wires;  // full prebuilt wire bytes per series
+  if (mix == "cached") {
+    cached_wires.reserve(cached_bodies.size());
+    for (const std::string& body : cached_bodies) {
+      serve::http::Request r;
+      r.method = "POST";
+      r.target = "/v1/fit";
+      r.headers["Content-Type"] = "application/json";
+      r.body = body;
+      cached_wires.push_back(serve::http::serialize(r, host_hdr));
+    }
+  }
+  const std::size_t client_threads =
+      std::clamp<std::size_t>(connections / 128, 1, 4);
+
+  const auto started = Clock::now();
   std::vector<std::thread> clients;
-  clients.reserve(connections);
-  for (std::size_t c = 0; c < connections; ++c) {
-    latencies[c].reserve(1 << 16);
-    clients.emplace_back([&, c] {
-      serve::http::Client client("127.0.0.1", server.port());
-      const std::string stream_target = "/v1/streams/s" + std::to_string(c);
-      const std::string ingest_target = stream_target + "/ingest";
-      long i = 0;
-      while (!stop.load(std::memory_order_relaxed)) {
-        serve::http::Response response;
-        const auto t0 = Clock::now();
-        try {
-          if (mix == "cached") {
-            const std::string& body =
-                cached_bodies[static_cast<std::size_t>(i) % cached_bodies.size()];
-            response = client.post_json("/v1/fit", body);
-          } else if (mix == "cold") {
-            response = client.post_json(
-                "/v1/fit", jittered_body(cold_counter.fetch_add(1)));
-          } else if (i % 2 == 0) {
-            const std::string body = "{\"t\":" + std::to_string(i / 2) +
-                                     ",\"value\":" + std::to_string(ingest_value(i / 2)) +
-                                     "}";
-            response = client.post_json(ingest_target, body);
-          } else {
-            response = client.get(stream_target);
+  clients.reserve(client_threads);
+  for (std::size_t ct = 0; ct < client_threads; ++ct) {
+    clients.emplace_back([&, ct] {
+      struct Conn {
+        int fd = -1;
+        std::size_t index = 0;  ///< Global connection index (stream id).
+        long i = 0;
+        long next_t = 0;  ///< Per-stream sample clock (strictly increasing).
+        std::uint64_t pending_samples = 0;
+        std::string scratch;   ///< Owned wire bytes for per-request bodies.
+        std::string get_wire;  ///< Prebuilt GET for this connection's stream.
+        std::string_view out;  ///< Unsent remainder of the current request.
+        bool sending = true;
+        bool write_armed = false;
+        serve::http::ResponseParser parser;
+        Clock::time_point t0;
+      };
+
+      auto build_request = [&](Conn& conn) {
+        conn.t0 = Clock::now();
+        conn.pending_samples = 0;
+        if (mix == "cached") {
+          conn.out =
+              cached_wires[static_cast<std::size_t>(conn.i) % cached_wires.size()];
+          return;
+        }
+        if (mix == "cold") {
+          serve::http::Request r;
+          r.method = "POST";
+          r.target = "/v1/fit";
+          r.headers["Content-Type"] = "application/json";
+          r.body = jittered_body(cold_counter.fetch_add(1));
+          conn.scratch = serve::http::serialize(r, host_hdr);
+          conn.out = conn.scratch;
+          return;
+        }
+        // Ingest-flavored mixes alternate a stream POST with a stream GET.
+        if (conn.i % 2 != 0) {
+          conn.out = conn.get_wire;
+          return;
+        }
+        serve::http::Request r;
+        r.method = "POST";
+        r.headers["Content-Type"] = "application/json";
+        const std::string stream = "/v1/streams/s" + std::to_string(conn.index);
+        if (mix == "bulk_ingest") {
+          r.target = stream + "/ingest-batch";
+          std::string body = "{\"samples\":[";
+          for (long k = 0; k < kBatchSamples; ++k) {
+            if (k > 0) body += ',';
+            body += '[' + std::to_string(conn.next_t + k) + ',' +
+                    std::to_string(ingest_value(conn.next_t + k)) + ']';
           }
-        } catch (const std::exception&) {
-          ++errors;
-          break;  // connection torn down (e.g. overload shed); stop this client
-        }
-        const double us = std::chrono::duration<double, std::micro>(
-                              Clock::now() - t0)
-                              .count();
-        if (response.status != 200) {
-          ++errors;
+          body += "]}";
+          conn.next_t += kBatchSamples;
+          conn.pending_samples = static_cast<std::uint64_t>(kBatchSamples);
+          r.body = std::move(body);
         } else {
-          latencies[c].push_back(us);
+          r.target = stream + "/ingest";
+          r.body = "{\"t\":" + std::to_string(conn.next_t) + ",\"value\":" +
+                   std::to_string(ingest_value(conn.next_t)) + "}";
+          ++conn.next_t;
+          conn.pending_samples = 1;
         }
-        ++i;
+        conn.scratch = serve::http::serialize(r, host_hdr);
+        conn.out = conn.scratch;
+      };
+
+      std::unique_ptr<serve::Poller> poller = serve::make_poller();
+      std::vector<Conn> conns;
+      std::vector<std::size_t> by_fd;  // fd -> index into conns
+      std::size_t live = 0;
+
+      auto fail_conn = [&](Conn& conn) {
+        ++errors;
+        poller->remove(conn.fd);
+        ::close(conn.fd);
+        conn.fd = -1;
+        --live;
+      };
+
+      /// Push out as many request bytes as the socket accepts; arms write
+      /// interest only on short writes. Returns false when the conn died.
+      auto try_send = [&](Conn& conn) -> bool {
+        while (!conn.out.empty()) {
+          const ssize_t n = ::send(conn.fd, conn.out.data(), conn.out.size(),
+                                   MSG_NOSIGNAL | MSG_DONTWAIT);
+          if (n > 0) {
+            conn.out.remove_prefix(static_cast<std::size_t>(n));
+            continue;
+          }
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            if (!conn.write_armed) {
+              poller->modify(conn.fd, true, true);
+              conn.write_armed = true;
+            }
+            return true;
+          }
+          fail_conn(conn);
+          return false;
+        }
+        conn.sending = false;
+        if (conn.write_armed) {
+          poller->modify(conn.fd, true, false);
+          conn.write_armed = false;
+        }
+        return true;
+      };
+
+      char buf[16384];
+      auto on_readable = [&](Conn& conn) {
+        while (conn.fd >= 0) {
+          const ssize_t n = ::recv(conn.fd, buf, sizeof buf, MSG_DONTWAIT);
+          if (n < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+            fail_conn(conn);
+            return;
+          }
+          if (n == 0) {  // server closed (e.g. overload shed)
+            fail_conn(conn);
+            return;
+          }
+          conn.parser.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+          if (conn.parser.failed()) {
+            fail_conn(conn);
+            return;
+          }
+          if (!conn.parser.done()) continue;
+          const double us = std::chrono::duration<double, std::micro>(
+                                Clock::now() - conn.t0)
+                                .count();
+          if (conn.parser.response().status != 200) {
+            ++errors;
+          } else {
+            latencies[conn.index].push_back(us);
+            samples_ok[conn.index] += conn.pending_samples;
+          }
+          conn.parser.next();
+          ++conn.i;
+          build_request(conn);
+          conn.sending = true;
+          if (!try_send(conn)) return;
+        }
+      };
+
+      for (std::size_t c = ct; c < connections; c += client_threads) {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(server.port());
+        ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+        if (fd < 0 ||
+            ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+          ++errors;
+          if (fd >= 0) ::close(fd);
+          continue;
+        }
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+        Conn conn;
+        conn.fd = fd;
+        conn.index = c;
+        {
+          serve::http::Request g;
+          g.method = "GET";
+          g.target = "/v1/streams/s" + std::to_string(c);
+          conn.get_wire = serve::http::serialize(g, host_hdr);
+        }
+        conns.push_back(std::move(conn));
+      }
+      live = conns.size();
+      for (std::size_t k = 0; k < conns.size(); ++k) {
+        Conn& conn = conns[k];
+        if (by_fd.size() <= static_cast<std::size_t>(conn.fd)) {
+          by_fd.resize(static_cast<std::size_t>(conn.fd) + 1, SIZE_MAX);
+        }
+        by_fd[static_cast<std::size_t>(conn.fd)] = k;
+        poller->add(conn.fd, true, false);
+        build_request(conn);
+        try_send(conn);
+      }
+
+      std::vector<serve::PollerEvent> events;
+      while (!stop.load(std::memory_order_relaxed) && live > 0) {
+        poller->wait(events, 50);
+        for (const serve::PollerEvent& event : events) {
+          if (static_cast<std::size_t>(event.fd) >= by_fd.size()) continue;
+          const std::size_t k = by_fd[static_cast<std::size_t>(event.fd)];
+          if (k == SIZE_MAX) continue;
+          Conn& conn = conns[k];
+          if (conn.fd < 0) continue;
+          if (event.error) {
+            fail_conn(conn);
+            continue;
+          }
+          if (event.writable && conn.sending && !try_send(conn)) continue;
+          if (event.readable) on_readable(conn);
+        }
+      }
+
+      for (Conn& conn : conns) {
+        if (conn.fd >= 0) {
+          poller->remove(conn.fd);
+          ::close(conn.fd);
+          conn.fd = -1;
+        }
       }
     });
   }
@@ -242,6 +457,7 @@ CellResult run_cell(const std::string& mix, std::size_t connections,
   for (std::thread& client : clients) client.join();
   const double elapsed =
       std::chrono::duration<double>(Clock::now() - started).count();
+  const serve::ServerStats server_stats = server.stats();
   server.stop();
 
   std::vector<double> all;
@@ -261,7 +477,9 @@ CellResult run_cell(const std::string& mix, std::size_t connections,
   result.mix = mix;
   result.connections = connections;
   result.requests = all.size();
+  for (const std::uint64_t n : samples_ok) result.samples += n;
   result.seconds = elapsed;
+  result.server = server_stats;
   double sum = 0.0;
   for (const double v : all) sum += v;
   result.mean_us = all.empty() ? 0.0 : sum / static_cast<double>(all.size());
@@ -290,20 +508,46 @@ void write_json(const Options& options, const std::vector<CellResult>& results) 
     std::fprintf(stderr, "serve_load: cannot open %s\n", options.json_path.c_str());
     std::exit(1);
   }
+  // Sum the per-cell server counters into the context block: the regression
+  // gate diffs the benchmark entries, while the context records whether the
+  // buffer pool / vectored-write path actually engaged during the run.
+  std::uint64_t pool_acquired = 0;
+  std::uint64_t pool_recycled = 0;
+  std::uint64_t pool_misses = 0;
+  std::size_t pool_high_water = 0;
+  std::uint64_t writev_calls = 0;
+  std::uint64_t writev_batches = 0;
+  bool reuseport = false;
+  for (const CellResult& r : results) {
+    pool_acquired += r.server.buffer_pool.acquired;
+    pool_recycled += r.server.buffer_pool.recycled;
+    pool_misses += r.server.buffer_pool.misses;
+    pool_high_water = std::max(pool_high_water, r.server.buffer_pool.high_water);
+    writev_calls += r.server.writev_calls;
+    writev_batches += r.server.writev_batches;
+    reuseport = reuseport || r.server.reuseport;
+  }
   out << "{\n  \"context\": {\"benchmark\": \"serve_load\", \"seconds_per_cell\": "
-      << options.seconds << "},\n  \"benchmarks\": [\n";
+      << options.seconds << ", \"buffer_pool\": {\"acquired\": " << pool_acquired
+      << ", \"recycled\": " << pool_recycled << ", \"misses\": " << pool_misses
+      << ", \"high_water\": " << pool_high_water << "}, \"writev\": {\"calls\": "
+      << writev_calls << ", \"batches\": " << writev_batches
+      << "}, \"reuseport\": " << (reuseport ? "true" : "false")
+      << "},\n  \"benchmarks\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const CellResult& r = results[i];
     const std::string name = "ServeLoad/" + r.mix + "/conns:" +
                              std::to_string(r.connections);
-    char buf[512];
+    char buf[640];
     std::snprintf(buf, sizeof buf,
                   "    {\"name\": \"%s\", \"run_name\": \"%s\", "
                   "\"cpu_time\": %.3f, \"real_time\": %.3f, \"time_unit\": \"us\", "
                   "\"rps\": %.1f, \"p50_us\": %.1f, \"p95_us\": %.1f, "
-                  "\"p99_us\": %.1f, \"requests\": %zu}%s\n",
+                  "\"p99_us\": %.1f, \"requests\": %zu, \"samples\": %llu, "
+                  "\"samples_per_sec\": %.1f}%s\n",
                   name.c_str(), name.c_str(), r.mean_us, r.mean_us, r.rps(),
                   r.p50_us, r.p95_us, r.p99_us, r.requests,
+                  static_cast<unsigned long long>(r.samples), r.samples_per_sec(),
                   i + 1 < results.size() ? "," : "");
     out << buf;
   }
@@ -347,7 +591,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: serve_load [--seconds S] [--connections 1,4,...,1024]\n"
-                   "                  [--mix cached,cold,ingest,ingest_wal]\n"
+                   "                  [--mix cached,cold,ingest,ingest_wal,bulk_ingest]\n"
                    "                  [--cached-series K]\n"
                    "                  [--server-threads N] [--event-threads N]\n"
                    "                  [--json PATH]\n");
@@ -361,7 +605,7 @@ int main(int argc, char** argv) {
   }
   for (const std::string& mix : options.mixes) {
     if (mix != "cached" && mix != "cold" && mix != "ingest" &&
-        mix != "ingest_wal") {
+        mix != "ingest_wal" && mix != "bulk_ingest") {
       std::fprintf(stderr, "serve_load: unknown mix '%s'\n", mix.c_str());
       return 2;
     }
@@ -377,11 +621,13 @@ int main(int argc, char** argv) {
     }
   }
 
-  report::Table table({"Mix", "Conns", "Requests", "Req/sec", "mean (us)",
-                       "p50 (us)", "p95 (us)", "p99 (us)"});
+  report::Table table({"Mix", "Conns", "Requests", "Req/sec", "Smp/sec",
+                       "mean (us)", "p50 (us)", "p95 (us)", "p99 (us)"});
   for (const CellResult& r : results) {
     table.add_row({r.mix, std::to_string(r.connections), std::to_string(r.requests),
-                   report::Table::fixed(r.rps(), 1), report::Table::fixed(r.mean_us, 1),
+                   report::Table::fixed(r.rps(), 1),
+                   r.samples > 0 ? report::Table::fixed(r.samples_per_sec(), 1) : "-",
+                   report::Table::fixed(r.mean_us, 1),
                    report::Table::fixed(r.p50_us, 1), report::Table::fixed(r.p95_us, 1),
                    report::Table::fixed(r.p99_us, 1)});
   }

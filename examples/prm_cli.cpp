@@ -70,7 +70,7 @@ const std::map<std::string, std::vector<std::string>>& command_options() {
        {"csv", "model", "threads", "refit-every", "save", "load", "wal-dir", "fsync"}},
       {"serve",
        {"port", "threads", "event-threads", "fit-threads", "model", "cache", "queue",
-        "shards", "wal-dir", "fsync"}},
+        "shards", "wal-dir", "fsync", "reuseport", "max-batch"}},
       {"models", {}},
       {"demo", {"model", "holdout", "loss", "level", "save", "threads"}},
   };
@@ -100,7 +100,12 @@ void usage(std::ostream& out) {
       << "                  #   readiness loops; --fit-threads: solver threads per\n"
       << "                  #   fit; --cache: fit-cache entries; --queue: pending\n"
       << "                  #   requests before 503\n"
-      << "                  # --shards: cache/registry stripes, 0 = one per core\n"
+      << "                  # --shards: cache/registry stripes (omit for one per core)\n"
+      << "                  [--reuseport on|off]  # SO_REUSEPORT accept sharding:\n"
+      << "                  #   one listen socket per event loop (default on;\n"
+      << "                  #   falls back to single-socket at runtime)\n"
+      << "                  [--max-batch N]  # samples accepted per\n"
+      << "                  #   /v1/streams/{name}/ingest-batch request\n"
       << "                  [--wal-dir DIR] [--fsync always|interval|never]\n"
       << "                  # --wal-dir: durable write-ahead log; restart resumes state\n"
       << "  prm_cli models  # registered model names, one per line, with family\n"
@@ -470,13 +475,18 @@ int run_serve(const CliArgs& args) {
     app_options.cache_capacity =
         static_cast<std::size_t>(std::stoul(args.options.at("cache")));
   }
-  if (args.options.count("shards")) {
-    const std::size_t shards =
-        static_cast<std::size_t>(std::stoul(args.options.at("shards")));
-    app_options.cache_shards = shards;
-    app_options.monitor.shards = shards;
-  }
   bool threads_ok = false;
+  if (const auto shards = threads_option(args, "shards", threads_ok)) {
+    app_options.cache_shards = static_cast<std::size_t>(*shards);
+    app_options.monitor.shards = static_cast<std::size_t>(*shards);
+  } else if (!threads_ok) {
+    return 1;
+  }
+  if (const auto max_batch = threads_option(args, "max-batch", threads_ok)) {
+    app_options.max_batch_samples = static_cast<std::size_t>(*max_batch);
+  } else if (!threads_ok) {
+    return 1;
+  }
   if (const auto fit_threads = threads_option(args, "fit-threads", threads_ok)) {
     app_options.fit_threads = *fit_threads;
   } else if (!threads_ok) {
@@ -503,9 +513,22 @@ int run_serve(const CliArgs& args) {
     server_options.max_pending =
         static_cast<std::size_t>(std::stoul(args.options.at("queue")));
   }
-  if (args.options.count("event-threads")) {
-    server_options.event_threads =
-        static_cast<std::size_t>(std::stoul(args.options.at("event-threads")));
+  if (const auto event_threads = threads_option(args, "event-threads", threads_ok)) {
+    server_options.event_threads = static_cast<std::size_t>(*event_threads);
+  } else if (!threads_ok) {
+    return 1;
+  }
+  if (args.options.count("reuseport")) {
+    const std::string& value = args.options.at("reuseport");
+    if (value == "on") {
+      server_options.reuseport = true;
+    } else if (value == "off") {
+      server_options.reuseport = false;
+    } else {
+      std::cerr << "prm_cli: '--reuseport' must be 'on' or 'off', got '" << value
+                << "'\n";
+      return 1;
+    }
   }
 
   serve::App app(app_options);

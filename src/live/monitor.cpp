@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
@@ -121,6 +122,7 @@ struct ReplayOp {
   std::uint64_t seq = 0;
   double t = 0.0;
   double value = 0.0;
+  std::vector<std::pair<double, double>> samples;  ///< kIngestBatch only.
   std::uint64_t ordinal = 0;
   bool warm = false;
   std::optional<double> predicted_recovery;
@@ -154,6 +156,21 @@ ReplayOp parse_op(const wal::Record& record) {
       op.value = read_double(in, "ingest");
       op.rank = op.seq;
       break;
+    case wal::RecordType::kIngestBatch: {
+      op.incarnation = read_u64(in, "ingest-batch");
+      op.seq = read_u64(in, "ingest-batch");
+      if (!(in >> op.name)) fail("ingest-batch record without a stream name");
+      const std::uint64_t n = read_u64(in, "ingest-batch");
+      if (n == 0) fail("empty ingest-batch record");
+      op.samples.reserve(static_cast<std::size_t>(n));
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const double t = read_double(in, "ingest-batch");
+        const double value = read_double(in, "ingest-batch");
+        op.samples.emplace_back(t, value);
+      }
+      op.rank = op.seq;
+      break;
+    }
     case wal::RecordType::kRefitFail:
       op.incarnation = read_u64(in, "refit-fail");
       op.seq = read_u64(in, "refit-fail");
@@ -369,6 +386,87 @@ std::vector<TransitionEvent> Monitor::ingest(const std::string& stream, double t
     });
   }
   return fx.transitions;
+}
+
+std::vector<TransitionEvent> Monitor::ingest_batch(
+    const std::string& stream,
+    const std::vector<std::pair<double, double>>& samples) {
+  if (samples.empty()) return {};
+  if (samples.size() == 1) return ingest(stream, samples[0].first, samples[0].second);
+
+  std::vector<IngestEffects> effects;
+  effects.reserve(samples.size());
+  Entry* entry_ptr = nullptr;
+  for (;;) {
+    Entry& entry = entry_for(stream);
+    std::lock_guard<std::mutex> lock(entry.m);
+    if (entry.removed) continue;  // raced remove_stream; retry creates afresh
+
+    // Validate the WHOLE batch before logging or applying anything: the
+    // batch is one CRC-framed record on disk (fully applied or fully torn),
+    // so it must be all-or-nothing in memory too. The first sample checks
+    // against the stream's last time exactly like ingest(); the rest check
+    // finiteness and within-batch monotonicity with the same error text
+    // StreamState::push would produce.
+    entry.state.validate_push(samples[0].first, samples[0].second);
+    double last_t = samples[0].first;
+    for (std::size_t i = 1; i < samples.size(); ++i) {
+      const double t = samples[i].first;
+      const double value = samples[i].second;
+      if (!std::isfinite(t) || !std::isfinite(value)) {
+        throw std::invalid_argument("StreamState::push: non-finite sample");
+      }
+      if (t <= last_t) {
+        throw std::invalid_argument(
+            "StreamState::push: times must be strictly increasing (t = " +
+            std::to_string(t) + " after " + std::to_string(last_t) +
+            " on stream '" + stream + "')");
+      }
+      last_t = t;
+    }
+
+    if (wal_) {
+      std::ostringstream payload;
+      payload << std::setprecision(17) << entry.incarnation << ' '
+              << (entry.wal_seq + 1) << ' ' << stream << ' ' << samples.size();
+      for (const auto& [t, value] : samples) payload << ' ' << t << ' ' << value;
+      wal_->append(shard_index_of(stream),
+                   wal::Record{wal::RecordType::kIngestBatch, payload.str()});
+    }
+    entry.wal_seq += 1;  // the whole batch is ONE sequencing step
+    for (const auto& [t, value] : samples) {
+      effects.push_back(apply_ingest_locked(entry, t, value));
+    }
+    entry_ptr = &entry;
+    break;
+  }
+
+  // Alerts and refit scheduling outside the entry lock, per sample in the
+  // order they were applied -- identical observable effects to a loop of
+  // single ingests, minus the per-sample lock/log round trips.
+  std::vector<TransitionEvent> all;
+  bool want_refit = false;
+  std::uint64_t ordinal = 0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const IngestEffects& fx = effects[i];
+    if (fx.new_event) alerts_.reset_stream(stream);
+    for (const TransitionEvent& tr : fx.transitions) {
+      alerts_.on_transition(stream, tr);
+      all.push_back(tr);
+    }
+    alerts_.on_sample(stream, samples[i].first, samples[i].second, fx.phase_after);
+    if (fx.want_refit) {
+      // Coalesce like the scheduler would: one job, freshest ordinal.
+      want_refit = true;
+      ordinal = fx.ordinal;
+    }
+  }
+  if (want_refit) {
+    scheduler_.schedule(stream, [this, entry_ptr, stream, ordinal] {
+      refit_job(*entry_ptr, stream, ordinal);
+    });
+  }
+  return all;
 }
 
 bool Monitor::remove_stream(const std::string& stream) {
@@ -908,6 +1006,14 @@ void Monitor::replay(std::vector<wal::ReplayRecord> records,
         if (fx.want_refit) pending[op.name] = fx.ordinal;
         break;
       }
+      case wal::RecordType::kIngestBatch:
+        // One sequencing step covering every sample; the CRC frame makes the
+        // batch atomic on disk, so it is either fully here or fully torn.
+        for (const auto& [t, value] : op.samples) {
+          const IngestEffects fx = apply_ingest_locked(*entry, t, value);
+          if (fx.want_refit) pending[op.name] = fx.ordinal;
+        }
+        break;
       case wal::RecordType::kRefit:
         pending.erase(op.name);
         entry->fit = std::move(*op.fit);

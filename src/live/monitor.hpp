@@ -42,6 +42,7 @@
 #include <shared_mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/fitting.hpp"
@@ -146,6 +147,19 @@ class Monitor {
   /// Thread-safe; samples of one stream must arrive in time order (throws
   /// std::invalid_argument otherwise, as does a whitespace stream name).
   std::vector<TransitionEvent> ingest(const std::string& stream, double t, double value);
+
+  /// Feed many samples of one stream in one step: the shard lock is taken
+  /// once and, with the WAL on, the whole batch is logged as ONE group-committed
+  /// record (one fsync gate instead of one per sample). The batch is atomic:
+  /// it is validated up front and either fully applied + fully durable or --
+  /// on a crash mid-write -- fully torn at recovery. Returns the concatenated
+  /// transitions in sample order; alert callbacks fire per sample exactly as
+  /// a loop of ingest() calls would. Throws std::invalid_argument (same
+  /// messages as ingest) with the monitor unchanged when any sample is
+  /// non-finite or out of order, within the batch or against the stream.
+  std::vector<TransitionEvent> ingest_batch(
+      const std::string& stream,
+      const std::vector<std::pair<double, double>>& samples);
 
   /// Forget a stream entirely (state, fit, counters). Returns false when the
   /// stream does not exist. Durable when the WAL is on: a remove survives

@@ -1,0 +1,159 @@
+// BufferPool -- a size-classed free list of std::string buffers for the
+// serve hot path.
+//
+// The reactor's steady state recycles two kinds of buffers per request:
+// the response-head buffer a handler's status line + headers are rendered
+// into, and (for owned bodies) the body bytes moved out of the Response.
+// Without a pool each of those is a malloc/free pair per request; with one,
+// the event loop hands the same capacity back and forth and the allocator
+// drops out of the profile.
+//
+// Ownership model: each EventLoop owns one pool, touched only on that
+// loop's thread -- the free lists need no lock. Buffers may be *allocated*
+// elsewhere (a worker thread serializes a response head into a fresh
+// string) and still be released here: release() files any string by its
+// capacity, so worker-born buffers migrate into the loop's pool and are
+// recycled by the inline fast path from then on. The counters are relaxed
+// atomics purely so Server::stats() can snapshot them from another thread.
+//
+// Size classes bound memory: a buffer whose capacity exceeds the largest
+// class, or that arrives when its class's list is full, is freed (counted
+// in `dropped`) instead of pooled. `misses` counts acquires that found the
+// class list empty and had to allocate.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace prm::serve {
+
+/// Snapshot of one pool's counters (see BufferPool member docs).
+struct BufferPoolStats {
+  std::uint64_t acquired = 0;
+  std::uint64_t recycled = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t released = 0;
+  std::uint64_t dropped = 0;
+  std::size_t pooled = 0;
+  std::size_t in_use = 0;
+  std::size_t high_water = 0;
+
+  BufferPoolStats& operator+=(const BufferPoolStats& other) {
+    acquired += other.acquired;
+    recycled += other.recycled;
+    misses += other.misses;
+    released += other.released;
+    dropped += other.dropped;
+    pooled += other.pooled;
+    in_use += other.in_use;
+    high_water += other.high_water;
+    return *this;
+  }
+};
+
+class BufferPool {
+ public:
+  /// Capacity ceilings of the size classes; release() files a buffer under
+  /// the smallest class that holds it, acquire() takes from the smallest
+  /// class satisfying the request.
+  static constexpr std::array<std::size_t, 3> kClassBytes = {4096, 65536, 524288};
+
+  /// Per-class cap on pooled buffers. 3 classes * 64 * class size bounds the
+  /// worst-case idle footprint of one loop's pool at ~36 MiB, reached only
+  /// after a burst actually used that many concurrent buffers.
+  static constexpr std::size_t kMaxPerClass = 64;
+
+  BufferPool() {
+    for (auto& free_list : free_) free_list.reserve(kMaxPerClass);
+  }
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// An empty string with capacity >= min_bytes (recycled when the class has
+  /// a buffer, freshly reserved otherwise). Loop thread only.
+  std::string acquire(std::size_t min_bytes = 0) {
+    acquired_.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t in_use = in_use_.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::size_t high = high_water_.load(std::memory_order_relaxed);
+    while (in_use > high &&
+           !high_water_.compare_exchange_weak(high, in_use, std::memory_order_relaxed)) {
+    }
+    for (std::size_t c = class_for(min_bytes); c < free_.size(); ++c) {
+      if (!free_[c].empty()) {
+        std::string buffer = std::move(free_[c].back());
+        free_[c].pop_back();
+        pooled_.fetch_sub(1, std::memory_order_relaxed);
+        recycled_.fetch_add(1, std::memory_order_relaxed);
+        buffer.clear();
+        return buffer;
+      }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    std::string buffer;
+    buffer.reserve(kClassBytes[class_for(min_bytes)]);
+    return buffer;
+  }
+
+  /// File `buffer` for reuse (or free it when oversized / class full). The
+  /// buffer need not have come from acquire() -- worker-allocated strings
+  /// migrate into the pool here. Loop thread only.
+  void release(std::string&& buffer) {
+    released_.fetch_add(1, std::memory_order_relaxed);
+    if (in_use_.load(std::memory_order_relaxed) > 0) {
+      in_use_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    const std::size_t capacity = buffer.capacity();
+    if (capacity == 0 || capacity > kClassBytes.back()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;  // buffer frees on scope exit
+    }
+    const std::size_t c = class_for(capacity);
+    if (free_[c].size() >= kMaxPerClass) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    buffer.clear();
+    free_[c].push_back(std::move(buffer));
+    pooled_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Thread-safe counter snapshot (free-list sizes ride on `pooled`).
+  BufferPoolStats stats() const {
+    BufferPoolStats s;
+    s.acquired = acquired_.load(std::memory_order_relaxed);
+    s.recycled = recycled_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.released = released_.load(std::memory_order_relaxed);
+    s.dropped = dropped_.load(std::memory_order_relaxed);
+    s.pooled = pooled_.load(std::memory_order_relaxed);
+    s.in_use = in_use_.load(std::memory_order_relaxed);
+    s.high_water = high_water_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  /// Smallest class whose ceiling is >= bytes (largest class for oversized
+  /// requests; acquire() then reserves exactly that ceiling).
+  static std::size_t class_for(std::size_t bytes) {
+    for (std::size_t c = 0; c < kClassBytes.size(); ++c) {
+      if (bytes <= kClassBytes[c]) return c;
+    }
+    return kClassBytes.size() - 1;
+  }
+
+  std::array<std::vector<std::string>, kClassBytes.size()> free_;
+  std::atomic<std::uint64_t> acquired_{0};
+  std::atomic<std::uint64_t> recycled_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> released_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::size_t> pooled_{0};
+  std::atomic<std::size_t> in_use_{0};
+  std::atomic<std::size_t> high_water_{0};
+};
+
+}  // namespace prm::serve

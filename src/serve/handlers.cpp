@@ -149,8 +149,10 @@ std::pair<std::shared_ptr<const core::FitResult>, bool> App::fit_or_cache(
 
 http::Response App::cached_post(std::string_view route, const http::Request& request,
                                 http::Response (App::*handler)(const http::Request&)) {
-  if (const auto body = response_cache_.lookup(route, request.body)) {
-    return http::Response::json(200, *body);
+  if (auto body = response_cache_.lookup(route, request.body)) {
+    // Zero-copy hit: the cached bytes ride to the socket as a body_ref
+    // (refcount bump shared with the cache), never copied per connection.
+    return http::Response::json_ref(200, std::move(body));
   }
   http::Response response = (this->*handler)(request);
   if (response.status == 200) {
@@ -206,6 +208,15 @@ http::Response App::handle(const http::Request& request) {
     if (target.size() > kStreamPrefix.size() &&
         std::string_view(target).substr(0, kStreamPrefix.size()) == kStreamPrefix) {
       std::string rest = target.substr(kStreamPrefix.size());
+      constexpr std::string_view kBatchSuffix = "/ingest-batch";
+      if (rest.size() > kBatchSuffix.size() &&
+          std::string_view(rest).substr(rest.size() - kBatchSuffix.size()) ==
+              kBatchSuffix) {
+        const std::string name = rest.substr(0, rest.size() - kBatchSuffix.size());
+        return is_post
+                   ? handle_stream_ingest_batch(name, request)
+                   : error_response(405, "use POST /v1/streams/{name}/ingest-batch");
+      }
       constexpr std::string_view kIngestSuffix = "/ingest";
       if (rest.size() > kIngestSuffix.size() &&
           std::string_view(rest).substr(rest.size() - kIngestSuffix.size()) ==
@@ -278,6 +289,21 @@ http::Response App::handle_metrics() const {
       const ServerStats s = stats_provider_();
       w.key("server");
       w.begin_object();
+      w.key("accept_loops");
+      w.begin_array();
+      for (const std::uint64_t accepted : s.loop_accepts) w.number(accepted);
+      w.end_array();
+      w.key("buffer_pool");
+      w.begin_object();
+      w.kv("acquired", s.buffer_pool.acquired);
+      w.kv("dropped", s.buffer_pool.dropped);
+      w.kv("high_water", s.buffer_pool.high_water);
+      w.kv("in_use", s.buffer_pool.in_use);
+      w.kv("misses", s.buffer_pool.misses);
+      w.kv("pooled", s.buffer_pool.pooled);
+      w.kv("recycled", s.buffer_pool.recycled);
+      w.kv("released", s.buffer_pool.released);
+      w.end_object();
       w.kv("connections_accepted", s.connections_accepted);
       w.kv("connections_rejected", s.connections_rejected);
       w.kv("event_threads", s.event_threads);
@@ -308,8 +334,11 @@ http::Response App::handle_metrics() const {
       w.kv("responses_2xx", s.responses_2xx);
       w.kv("responses_4xx", s.responses_4xx);
       w.kv("responses_5xx", s.responses_5xx);
+      w.kv("reuseport", s.reuseport);
       w.kv("threads", s.threads);
       w.kv("timeouts", s.timeouts);
+      w.kv("writev_batches", s.writev_batches);
+      w.kv("writev_calls", s.writev_calls);
       w.end_object();
     } else {
       w.kv_null("server");
@@ -608,12 +637,15 @@ http::Response App::handle_stream_remove(const std::string& name) {
   return http::Response::json(200, w.str());
 }
 
-http::Response App::handle_stream_ingest(const std::string& name,
-                                         const http::Request& request) {
-  const Json body = Json::parse(request.body);
+std::vector<std::pair<double, double>> App::parse_ingest_samples(
+    const Json& body, std::size_t max_samples) const {
   std::vector<std::pair<double, double>> samples;
   if (const Json* list = body.find("samples")) {
     if (!list->is_array()) throw std::runtime_error("'samples' must be an array");
+    if (max_samples != 0 && list->as_array().size() > max_samples) {
+      throw std::runtime_error("batch exceeds " + std::to_string(max_samples) +
+                               " samples");
+    }
     samples.reserve(list->as_array().size());
     for (const Json& element : list->as_array()) {
       if (!element.is_array() || element.as_array().size() != 2 ||
@@ -627,6 +659,14 @@ http::Response App::handle_stream_ingest(const std::string& name,
     samples.emplace_back(json_number(body, "t"), json_number(body, "value"));
   }
   if (samples.empty()) throw std::runtime_error("no samples provided");
+  return samples;
+}
+
+http::Response App::handle_stream_ingest(const std::string& name,
+                                         const http::Request& request) {
+  const Json body = Json::parse(request.body);
+  const std::vector<std::pair<double, double>> samples =
+      parse_ingest_samples(body, /*max_samples=*/0);
 
   // Ingest first (out-of-order times / bad stream names throw -> 400), then
   // serialize: the writer arena must not be live across monitor_ calls that
@@ -642,6 +682,41 @@ http::Response App::handle_stream_ingest(const std::string& name,
   JsonWriter& w = thread_json_writer();
   w.begin_object();
   w.kv("accepted", samples.size());
+  w.kv("event_active", snap.event_active);
+  w.kv("event_ordinal", snap.event_ordinal);
+  w.kv("phase", live::to_string(snap.phase));
+  w.kv("stream", name);
+  w.key("transitions");
+  w.begin_array();
+  for (const live::TransitionEvent& tr : transitions) {
+    w.begin_object();
+    w.kv("from", live::to_string(tr.from));
+    w.kv("t", tr.t);
+    w.kv("to", live::to_string(tr.to));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return http::Response::json(200, w.str());
+}
+
+http::Response App::handle_stream_ingest_batch(const std::string& name,
+                                               const http::Request& request) {
+  const Json body = Json::parse(request.body);
+  const std::vector<std::pair<double, double>> samples =
+      parse_ingest_samples(body, options_.max_batch_samples);
+
+  // One Monitor call for the whole batch: the stream lock is taken once, the
+  // WAL sees ONE group-committed record, and the batch applies atomically
+  // (any invalid sample -> 400 with nothing applied).
+  const std::vector<live::TransitionEvent> transitions =
+      monitor_->ingest_batch(name, samples);
+  const live::StreamSnapshot snap = monitor_->snapshot(name);
+
+  JsonWriter& w = thread_json_writer();
+  w.begin_object();
+  w.kv("accepted", samples.size());
+  w.kv("batched", true);
   w.kv("event_active", snap.event_active);
   w.kv("event_ordinal", snap.event_ordinal);
   w.kv("phase", live::to_string(snap.phase));

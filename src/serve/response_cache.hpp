@@ -9,7 +9,9 @@
 // so after the FitCache has already skipped the optimizer, this layer skips
 // everything else too: JSON parse, series validation, hashing, validation
 // report, and the ~150 double-to-string conversions of the response render.
-// A hit costs one key hash + one string compare + one body memcpy.
+// A hit costs one word-at-a-time pass over the request bytes (the digest,
+// computed once and reused for shard and bucket selection), one string
+// compare, and one body memcpy; the key bytes are never copied on lookup.
 //
 // Keys store the full request bytes and are compared for equality on lookup,
 // so a 64-bit digest collision can never serve the wrong response.
@@ -63,22 +65,45 @@ class ResponseCache {
 
  private:
   struct Entry {
-    std::string key;  ///< route + '\n' + body (routes never contain '\n').
+    std::string key;      ///< route + '\n' + body (routes never contain '\n').
+    std::uint64_t hash;   ///< Precomputed digest of (route, body).
+    std::size_t route_len;  ///< Length of the route prefix inside `key`.
     std::shared_ptr<const std::string> response;
   };
   using Order = std::list<Entry>;  ///< Front = most recently used.
+
+  /// Index key carrying its digest so the hashtable never re-hashes the
+  /// request bytes: bucket selection reads the stored hash, equality falls
+  /// back to the full byte compare (a digest collision can never serve the
+  /// wrong response).
+  struct HashedKey {
+    std::uint64_t hash;
+    std::string_view route;
+    std::string_view body;
+  };
+  struct KeyHash {
+    std::size_t operator()(const HashedKey& k) const noexcept {
+      return static_cast<std::size_t>(k.hash);
+    }
+  };
+  struct KeyEq {
+    bool operator()(const HashedKey& a, const HashedKey& b) const noexcept {
+      return a.route == b.route && a.body == b.body;
+    }
+  };
 
   struct Shard {
     mutable std::mutex mutex;
     std::size_t capacity = 0;
     Order order;
-    std::unordered_map<std::string_view, Order::iterator> index;  ///< Views into Entry::key.
+    std::unordered_map<HashedKey, Order::iterator, KeyHash, KeyEq> index;  ///< Views into Entry::key.
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
   };
 
   static std::uint64_t hash_key(std::string_view route, std::string_view body) noexcept;
+  static HashedKey entry_key(const Entry& entry) noexcept;
   Shard& shard_for(std::uint64_t hash) noexcept;
 
   std::size_t capacity_;

@@ -30,6 +30,16 @@ constexpr auto kStealPollInterval = std::chrono::milliseconds(5);
 /// dropped), bounding per-connection memory against a flooding client.
 constexpr std::size_t kPipelineReadAheadBytes = 64 * 1024;
 
+/// Inline-burst coalescing cap: a pipelined burst keeps queueing responses
+/// (without flushing) until this many bytes are pending, then they all leave
+/// in one sendmsg. Bounds per-connection buffering against a client that
+/// pipelines thousands of requests.
+constexpr std::size_t kCoalesceMaxBytes = 256 * 1024;
+
+/// iovec spans per sendmsg. 64 covers 32 head+body responses per syscall;
+/// a longer queue just takes another sendmsg from the cursor.
+constexpr std::size_t kMaxIov = 64;
+
 /// handler_ema_us_ sentinel: no completed request yet, never inline.
 constexpr std::uint64_t kEmaUnset = ~std::uint64_t{0};
 
@@ -47,19 +57,22 @@ std::uint64_t now_ms() {
           .count());
 }
 
-const std::string& overload_response() {
-  static const std::string response = [] {
+/// Canned responses are shared immutable strings: every shed/timeout queues
+/// them as a body_ref (refcount bump), never a copy.
+const std::shared_ptr<const std::string>& overload_response() {
+  static const std::shared_ptr<const std::string> response = [] {
     http::Response r =
         http::Response::json(503, R"({"error":"server overloaded, retry later"})");
     r.headers.emplace("Retry-After", "1");
-    return http::serialize(r, /*keep_alive=*/false);
+    return std::make_shared<const std::string>(http::serialize(r, /*keep_alive=*/false));
   }();
   return response;
 }
 
-const std::string& timeout_response() {
-  static const std::string response = http::serialize(
-      http::Response::json(408, R"({"error":"request timeout"})"), false);
+const std::shared_ptr<const std::string>& timeout_response() {
+  static const std::shared_ptr<const std::string> response =
+      std::make_shared<const std::string>(http::serialize(
+          http::Response::json(408, R"({"error":"request timeout"})"), false));
   return response;
 }
 
@@ -73,6 +86,13 @@ void set_nonblocking(int fd) {
 std::uint64_t wheel_tick_ms(int idle_timeout_ms) {
   const std::uint64_t tick = static_cast<std::uint64_t>(idle_timeout_ms) / 8;
   return std::clamp<std::uint64_t>(tick, 5, 500);
+}
+
+/// Return a chunk's buffers to the loop's pool. Shared bodies (body_ref) are
+/// just a refcount drop; owned heads/bodies go back for the next response.
+void reclaim_chunk(BufferPool& pool, OutChunk&& chunk) {
+  if (chunk.head.capacity() > 0) pool.release(std::move(chunk.head));
+  if (!chunk.body_ref && chunk.body.capacity() > 0) pool.release(std::move(chunk.body));
 }
 
 }  // namespace
@@ -92,8 +112,7 @@ struct Server::Connection {
   bool want_write = false;
   bool in_message = false;  ///< Bytes of the current request have arrived
                             ///< (deadline is fixed, not refreshed -- slowloris).
-  std::size_t out_sent = 0;
-  std::string out;  ///< Pending response bytes (partial-write buffer).
+  WriteQueue outq;  ///< Pending responses; iovec cursor resumes partial writes.
   http::RequestParser parser;
 };
 
@@ -104,10 +123,13 @@ struct Server::EventLoop {
   std::unique_ptr<Poller> poller;
   int wake_read = -1;
   int wake_write = -1;
-  bool listen_deregistered = false;  ///< Loop 0: listen fd pulled on stop.
+  int listen_fd = -1;  ///< This loop's listening socket (loop 0 only when the
+                       ///< REUSEPORT shard fallback engaged).
+  bool listen_deregistered = false;  ///< Listen fd pulled from the poller on stop.
   std::deque<Connection> slab;       ///< fd-indexed; deque keeps refs stable.
   TimerWheel wheel;
   std::vector<int> expired_scratch;
+  BufferPool pool;  ///< Loop-thread-only buffer recycling (heads, owned bodies).
 
   // Cross-thread inbox: new fds dealt by loop 0, finished responses from
   // workers. Guarded by inbox_mutex; wake_signaled collapses pipe writes.
@@ -117,6 +139,7 @@ struct Server::EventLoop {
   bool wake_signaled = false;
 
   std::atomic<std::size_t> open_count{0};
+  std::atomic<std::uint64_t> accepted{0};  ///< Connections landed on this loop.
   std::thread thread;
 };
 
@@ -158,44 +181,94 @@ std::string_view Server::backend_name() const noexcept {
 #endif
 }
 
+int Server::make_listen_socket(std::uint16_t port, bool with_reuseport,
+                               std::string& error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error = "socket() failed";
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (with_reuseport) {
+    // Must be set before bind for the kernel to shard accepts across the
+    // per-loop sockets.
+#ifdef SO_REUSEPORT
+    if (::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof one) != 0) {
+      ::close(fd);
+      error = "SO_REUSEPORT unsupported";
+      return -1;
+    }
+#else
+    ::close(fd);
+    error = "SO_REUSEPORT unsupported";
+    return -1;
+#endif
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    error = "bad bind address '" + options_.bind_address + "'";
+    return -1;
+  }
+  const int backlog =
+      static_cast<int>(std::max<std::size_t>(options_.max_pending, 128));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, backlog) != 0) {
+    error = std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  set_nonblocking(fd);
+  return fd;
+}
+
 void Server::start() {
   if (running_.exchange(true)) return;
   stopping_.store(false);
   loops_exit_.store(false);
+  reuseport_active_ = false;
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    running_.store(false);
-    throw std::runtime_error("Server: socket() failed");
+  // First socket: try the sharded scheme (REUSEPORT before bind) when asked
+  // for and useful; fall back to the classic single socket on any failure.
+  const bool want_shard = options_.reuseport && options_.event_threads > 1;
+  std::string error;
+  int first_fd = want_shard ? make_listen_socket(options_.port, true, error) : -1;
+  if (first_fd >= 0) {
+    reuseport_active_ = true;
+  } else {
+    first_fd = make_listen_socket(options_.port, false, error);
   }
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  if (first_fd < 0) {
     running_.store(false);
-    throw std::runtime_error("Server: bad bind address '" + options_.bind_address + "'");
+    throw std::runtime_error("Server: cannot listen on " + options_.bind_address +
+                             ':' + std::to_string(options_.port) + ": " + error);
   }
-  const int backlog =
-      static_cast<int>(std::max<std::size_t>(options_.max_pending, 128));
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
-      ::listen(listen_fd_, backlog) != 0) {
-    const std::string what = std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    running_.store(false);
-    throw std::runtime_error("Server: cannot listen on " + options_.bind_address + ':' +
-                             std::to_string(options_.port) + ": " + what);
-  }
-  set_nonblocking(listen_fd_);
   sockaddr_in bound{};
   socklen_t len = sizeof bound;
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
-  port_.store(ntohs(bound.sin_port));
+  ::getsockname(first_fd, reinterpret_cast<sockaddr*>(&bound), &len);
+  const std::uint16_t resolved = ntohs(bound.sin_port);
+  port_.store(resolved);
+
+  // Remaining shards bind the now-resolved port (matters for port 0). A
+  // partial failure falls back to dealing from loop 0 rather than running a
+  // lopsided shard set.
+  std::vector<int> listen_fds;
+  listen_fds.push_back(first_fd);
+  if (reuseport_active_) {
+    for (std::size_t i = 1; i < options_.event_threads; ++i) {
+      const int fd = make_listen_socket(resolved, true, error);
+      if (fd < 0) break;
+      listen_fds.push_back(fd);
+    }
+    if (listen_fds.size() < options_.event_threads) {
+      for (std::size_t i = 1; i < listen_fds.size(); ++i) ::close(listen_fds[i]);
+      listen_fds.resize(1);
+      reuseport_active_ = false;
+    }
+  }
 
   try {
     loops_.clear();
@@ -214,17 +287,23 @@ void Server::start() {
       loop->wake_read = pipe_fds[0];
       loop->wake_write = pipe_fds[1];
       loop->poller->add(loop->wake_read, /*want_read=*/true, /*want_write=*/false);
+      if (i < listen_fds.size()) {
+        loop->listen_fd = listen_fds[i];
+        listen_fds[i] = -1;  // ownership moved into the loop
+        loop->poller->add(loop->listen_fd, /*want_read=*/true, /*want_write=*/false);
+      }
       loops_.push_back(std::move(loop));
     }
-    loops_[0]->poller->add(listen_fd_, /*want_read=*/true, /*want_write=*/false);
   } catch (...) {
     for (auto& loop : loops_) {
       if (loop->wake_read >= 0) ::close(loop->wake_read);
       if (loop->wake_write >= 0) ::close(loop->wake_write);
+      if (loop->listen_fd >= 0) ::close(loop->listen_fd);
     }
     loops_.clear();
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+    for (const int fd : listen_fds) {
+      if (fd >= 0) ::close(fd);
+    }
     running_.store(false);
     throw;
   }
@@ -243,9 +322,11 @@ void Server::stop() {
   if (!running_.load()) return;
   stopping_.store(true);
 
-  // Stop the intake: the listen socket is shut down (pending SYNs get RST on
-  // close) and the loops deregister it the next time they wake.
-  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  // Stop the intake: every listen socket is shut down (pending SYNs get RST
+  // on close) and its loop deregisters it the next time it wakes.
+  for (auto& loop : loops_) {
+    if (loop->listen_fd >= 0) ::shutdown(loop->listen_fd, SHUT_RDWR);
+  }
   for (auto& loop : loops_) wake(*loop);
 
   // Drain the workers: queued jobs still execute and post their responses to
@@ -270,9 +351,11 @@ void Server::stop() {
     queue->pending.clear();
   }
   jobs_queued_.store(0, std::memory_order_relaxed);
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  for (auto& loop : loops_) {
+    if (loop->listen_fd >= 0) {
+      ::close(loop->listen_fd);
+      loop->listen_fd = -1;
+    }
   }
   running_.store(false);
 }
@@ -285,9 +368,9 @@ void Server::event_loop_run(EventLoop& loop) {
   while (true) {
     drain_inbox(loop);
     if (loops_exit_.load(std::memory_order_acquire)) break;
-    if (loop.index == 0 && !loop.listen_deregistered &&
+    if (loop.listen_fd >= 0 && !loop.listen_deregistered &&
         stopping_.load(std::memory_order_relaxed)) {
-      loop.poller->remove(listen_fd_);
+      loop.poller->remove(loop.listen_fd);
       loop.listen_deregistered = true;
     }
     const int timeout =
@@ -300,7 +383,7 @@ void Server::event_loop_run(EventLoop& loop) {
         }
         continue;
       }
-      if (event.fd == listen_fd_ && loop.index == 0 && !loop.listen_deregistered) {
+      if (event.fd == loop.listen_fd && !loop.listen_deregistered) {
         if (!stopping_.load(std::memory_order_relaxed)) accept_ready(loop);
         continue;
       }
@@ -314,8 +397,8 @@ void Server::event_loop_run(EventLoop& loop) {
   for (Connection& connection : loop.slab) {
     if (connection.open) close_connection(loop, connection);
   }
-  if (loop.index == 0 && !loop.listen_deregistered && listen_fd_ >= 0) {
-    loop.poller->remove(listen_fd_);
+  if (loop.listen_fd >= 0 && !loop.listen_deregistered) {
+    loop.poller->remove(loop.listen_fd);
     loop.listen_deregistered = true;
   }
   loop.poller->remove(loop.wake_read);
@@ -363,9 +446,10 @@ void Server::wake(EventLoop& loop) {
 void Server::accept_ready(EventLoop& loop) {
   for (;;) {
 #ifdef __linux__
-    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    const int fd =
+        ::accept4(loop.listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
 #else
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = ::accept(loop.listen_fd, nullptr, nullptr);
 #endif
     if (fd < 0) {
       if (errno == EINTR) continue;
@@ -375,8 +459,16 @@ void Server::accept_ready(EventLoop& loop) {
     set_nonblocking(fd);
 #endif
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    if (reuseport_active_) {
+      // Sharded accept: the kernel picked this loop's socket, so the
+      // connection stays here -- no cross-loop hand-off, no inbox hop.
+      loop.accepted.fetch_add(1, std::memory_order_relaxed);
+      adopt_connection(loop, fd);
+      continue;
+    }
     const std::size_t target = next_loop_;
     next_loop_ = (next_loop_ + 1) % loops_.size();
+    loops_[target]->accepted.fetch_add(1, std::memory_order_relaxed);
     if (target == loop.index) {
       adopt_connection(loop, fd);
     } else {
@@ -404,8 +496,9 @@ void Server::adopt_connection(EventLoop& loop, int fd) {
   connection.want_read = false;
   connection.want_write = false;
   connection.in_message = false;
-  connection.out.clear();
-  connection.out_sent = 0;
+  connection.outq.clear([&loop](OutChunk&& chunk) {
+    reclaim_chunk(loop.pool, std::move(chunk));
+  });
   http::ParserLimits limits;
   limits.max_body_bytes = options_.max_body_bytes;
   connection.parser = http::RequestParser(limits);
@@ -453,7 +546,7 @@ void Server::read_some(EventLoop& loop, Connection& connection) {
     }
     if (n == 0) {
       if (connection.executing || connection.parser.done() ||
-          connection.out_sent < connection.out.size()) {
+          !connection.outq.empty()) {
         // Half-close: the peer sent its request(s) then shut down its write
         // side; finish the in-flight response(s) before closing.
         connection.peer_half_closed = true;
@@ -473,7 +566,7 @@ void Server::read_some(EventLoop& loop, Connection& connection) {
 
 void Server::process(EventLoop& loop, Connection& connection) {
   if (!connection.open || connection.executing) return;
-  if (connection.out_sent < connection.out.size()) return;  // finish writing first
+  if (!connection.outq.empty()) return;  // finish writing first
 
   if (connection.parser.failed()) {
     parse_errors_.fetch_add(1, std::memory_order_relaxed);
@@ -481,7 +574,11 @@ void Server::process(EventLoop& loop, Connection& connection) {
     record_status(status);
     http::Response response = http::Response::json(
         status, Json(JsonObject{{"error", Json(connection.parser.error())}}).dump());
-    respond_and_close(loop, connection, http::serialize(response, false));
+    OutChunk chunk;
+    chunk.head = loop.pool.acquire();
+    http::serialize_head(response, /*keep_alive=*/false, chunk.head);
+    chunk.body = std::move(response.body);
+    respond_and_close(loop, connection, std::move(chunk));
     return;
   }
 
@@ -493,15 +590,37 @@ void Server::process(EventLoop& loop, Connection& connection) {
   // Inline fast path: when the worker queues are empty and recent handlers
   // were cheap, run the handler on the loop thread, skipping two context
   // switches and the wake-pipe round trip per request. A pipelined burst
-  // drains iteratively here (no recursion). Slow or parked handlers are
-  // discovered on the worker pool (EMA starts at "unset") and keep going
-  // there, so a loop is never blocked by them.
-  while (connection.open && !connection.executing && connection.parser.done() &&
-         connection.out_sent >= connection.out.size() && inline_eligible()) {
-    run_inline(loop, connection);
+  // drains iteratively here (no recursion), queueing each response WITHOUT
+  // flushing -- the whole burst then leaves in one sendmsg (or resumes via
+  // EPOLLOUT). Slow or parked handlers are discovered on the worker pool
+  // (EMA starts at "unset") and keep going there, so a loop is never
+  // blocked by them.
+  for (;;) {
+    bool inlined = false;
+    while (connection.open && !connection.executing &&
+           !connection.close_after_write && connection.parser.done() &&
+           inline_eligible() &&
+           connection.outq.bytes_pending() < kCoalesceMaxBytes) {
+      run_inline(loop, connection);
+      inlined = true;
+    }
+    if (!inlined) break;
+    if (connection.open && !connection.outq.empty()) {
+      flush(loop, connection, /*reenter_process=*/false);
+    }
+    if (!connection.open || connection.executing || !connection.outq.empty() ||
+        !connection.parser.done()) {
+      break;
+    }
+    // Flush drained and another pipelined request is already parsed (the
+    // burst stopped at the coalesce cap): go around again.
   }
-  if (!connection.open || connection.executing ||
-      connection.out_sent < connection.out.size()) {
+  if (connection.open && !connection.outq.empty()) {
+    // Partial write: bound the drain so a dead peer cannot pin the slot.
+    loop.wheel.schedule(connection.fd,
+                        now_ms() + static_cast<std::uint64_t>(options_.idle_timeout_ms));
+  }
+  if (!connection.open || connection.executing || !connection.outq.empty()) {
     return;  // closed, deferred to a worker/async completion, or write pending
   }
 
@@ -516,7 +635,9 @@ void Server::process(EventLoop& loop, Connection& connection) {
       // Every per-worker queue full: shed at the hand-off so latency stays
       // flat, same 503 + Retry-After contract as the old at-the-door shed.
       connections_rejected_.fetch_add(1, std::memory_order_relaxed);
-      respond_and_close(loop, connection, overload_response());
+      OutChunk chunk;
+      chunk.body_ref = overload_response();
+      respond_and_close(loop, connection, std::move(chunk));
       return;
     }
     connection.executing = true;
@@ -559,15 +680,17 @@ void Server::update_handler_ema(std::uint64_t micros) {
 
 void Server::run_inline(EventLoop& loop, Connection& connection) {
   // Shared with the completion callback: if the handler invokes it
-  // synchronously (the common case) the response is applied right here; if it
-  // defers, the window is closed by then and the completion routes through
-  // post_completion like a worker's would.
+  // synchronously (the common case) the response is applied right here --
+  // serialized into a pooled head buffer and queued for the burst flush; if
+  // it defers, the window is closed by then and the completion routes
+  // through post_completion like a worker's would (serialized off-loop, so
+  // it must not touch the pool).
   struct InlineSlot {
     std::atomic<bool> delivered{false};
     std::mutex mutex;
     bool window_open = true;
     bool ready = false;
-    CompletionMsg msg;
+    http::Response response;
   };
 
   const bool keep = connection.parser.request().keep_alive();
@@ -582,26 +705,30 @@ void Server::run_inline(EventLoop& loop, Connection& connection) {
   auto complete = [this, slot, loop_index, fd, generation, keep,
                    started](http::Response response) {
     if (slot->delivered.exchange(true)) return;
+    {
+      std::lock_guard<std::mutex> lock(slot->mutex);
+      if (slot->window_open) {
+        // Synchronous delivery: the loop thread serializes below, where it
+        // can use its pool.
+        slot->response = std::move(response);
+        slot->ready = true;
+        return;
+      }
+    }
     record_status(response.status);
     CompletionMsg msg;
     msg.fd = fd;
     msg.generation = generation;
     msg.keep_alive = keep;
-    msg.bytes = http::serialize(response, keep);
+    http::serialize_head(response, keep, msg.head);
+    msg.body_ref = std::move(response.body_ref);
+    if (!msg.body_ref) msg.body = std::move(response.body);
     const std::uint64_t micros = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - started)
             .count());
     record_latency(micros);
     update_handler_ema(micros);
-    {
-      std::lock_guard<std::mutex> lock(slot->mutex);
-      if (slot->window_open) {
-        slot->msg = std::move(msg);
-        slot->ready = true;
-        return;
-      }
-    }
     post_completion(loop_index, std::move(msg));
   };
   try {
@@ -614,13 +741,13 @@ void Server::run_inline(EventLoop& loop, Connection& connection) {
     complete(http::Response::json(500, R"({"error":"internal error"})"));
   }
 
-  CompletionMsg msg;
+  http::Response response;
   bool ready = false;
   {
     std::lock_guard<std::mutex> lock(slot->mutex);
     slot->window_open = false;
     if (slot->ready) {
-      msg = std::move(slot->msg);
+      response = std::move(slot->response);
       ready = true;
     }
   }
@@ -631,29 +758,53 @@ void Server::run_inline(EventLoop& loop, Connection& connection) {
     return;
   }
 
-  // Apply like apply_completion, minus the generation re-check: nothing can
-  // have closed this connection meanwhile on its own loop thread.
-  connection.out = std::move(msg.bytes);
-  connection.out_sent = 0;
-  if (msg.keep_alive) {
+  // Serialize into a pooled head buffer and queue without flushing --
+  // process() flushes once per inline burst so pipelined responses coalesce
+  // into a single sendmsg. A shared cache body rides as body_ref, uncopied.
+  record_status(response.status);
+  OutChunk chunk;
+  chunk.head = loop.pool.acquire();
+  http::serialize_head(response, keep, chunk.head);
+  chunk.body_ref = std::move(response.body_ref);
+  if (!chunk.body_ref) chunk.body = std::move(response.body);
+  const std::uint64_t micros = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - started)
+          .count());
+  record_latency(micros);
+  update_handler_ema(micros);
+  connection.outq.push(std::move(chunk));
+  if (keep) {
     connection.parser.next();
     connection.in_message = false;
   } else {
     connection.close_after_write = true;
   }
-  flush(loop, connection, /*reenter_process=*/false);
-  if (connection.open && connection.out_sent < connection.out.size()) {
-    loop.wheel.schedule(fd, now_ms() + static_cast<std::uint64_t>(options_.idle_timeout_ms));
-  }
 }
 
 void Server::flush(EventLoop& loop, Connection& connection, bool reenter_process) {
-  while (connection.out_sent < connection.out.size()) {
-    const ssize_t n =
-        ::send(connection.fd, connection.out.data() + connection.out_sent,
-               connection.out.size() - connection.out_sent, MSG_NOSIGNAL);
+  auto reclaim = [&loop](OutChunk&& chunk) {
+    reclaim_chunk(loop.pool, std::move(chunk));
+  };
+  while (!connection.outq.empty()) {
+    struct iovec iov[kMaxIov];
+    const std::size_t iov_count = connection.outq.build_iov(iov, kMaxIov);
+    if (iov_count == 0) {  // only zero-length chunks queued (shouldn't happen)
+      connection.outq.clear(reclaim);
+      break;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = iov_count;
+    // sendmsg rather than writev so MSG_NOSIGNAL applies (no SIGPIPE on a
+    // vanished peer); one syscall covers every queued response.
+    const ssize_t n = ::sendmsg(connection.fd, &msg, MSG_NOSIGNAL);
     if (n > 0) {
-      connection.out_sent += static_cast<std::size_t>(n);
+      writev_calls_.fetch_add(1, std::memory_order_relaxed);
+      if (connection.outq.chunk_count() > 1) {
+        writev_batches_.fetch_add(1, std::memory_order_relaxed);
+      }
+      connection.outq.advance(static_cast<std::size_t>(n), reclaim);
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
@@ -662,13 +813,11 @@ void Server::flush(EventLoop& loop, Connection& connection, bool reenter_process
         connection.want_write = true;
         loop.poller->modify(connection.fd, connection.want_read, true);
       }
-      return;  // EPOLLOUT re-arms the rest of the write
+      return;  // EPOLLOUT re-arms; the cursor resumes mid-head or mid-body
     }
     close_connection(loop, connection);
     return;
   }
-  connection.out.clear();
-  connection.out_sent = 0;
   if (connection.want_write) {
     connection.want_write = false;
     loop.poller->modify(connection.fd, connection.want_read, false);
@@ -684,9 +833,8 @@ void Server::flush(EventLoop& loop, Connection& connection, bool reenter_process
 }
 
 void Server::respond_and_close(EventLoop& loop, Connection& connection,
-                               std::string bytes) {
-  connection.out = std::move(bytes);
-  connection.out_sent = 0;
+                               OutChunk chunk) {
+  connection.outq.push(std::move(chunk));
   connection.close_after_write = true;
   set_read_interest(loop, connection, false);
   // Bound the drain: a peer that never reads its error/overload response is
@@ -704,8 +852,11 @@ void Server::apply_completion(EventLoop& loop, CompletionMsg& completion) {
   Connection& connection = loop.slab[static_cast<std::size_t>(completion.fd)];
   if (!connection.open || connection.generation != completion.generation) return;
   connection.executing = false;
-  connection.out = std::move(completion.bytes);
-  connection.out_sent = 0;
+  OutChunk chunk;
+  chunk.head = std::move(completion.head);
+  chunk.body = std::move(completion.body);
+  chunk.body_ref = std::move(completion.body_ref);
+  connection.outq.push(std::move(chunk));
   if (completion.keep_alive) {
     // Re-arm; retains pipelined bytes. On a half-closed peer the re-armed
     // parser drains any buffered pipelined requests, then process() closes.
@@ -715,7 +866,7 @@ void Server::apply_completion(EventLoop& loop, CompletionMsg& completion) {
     connection.close_after_write = true;
   }
   flush(loop, connection);
-  if (connection.open && connection.out_sent < connection.out.size()) {
+  if (connection.open && !connection.outq.empty()) {
     // Partial write: bound the response drain so a dead peer cannot pin the
     // slot forever.
     loop.wheel.schedule(connection.fd,
@@ -729,14 +880,16 @@ void Server::expire_deadlines(EventLoop& loop) {
   for (const int fd : loop.expired_scratch) {
     Connection& connection = loop.slab[static_cast<std::size_t>(fd)];
     if (!connection.open || connection.executing) continue;
-    const bool idle_reap = connection.parser.idle() && connection.out.empty() &&
+    const bool idle_reap = connection.parser.idle() && connection.outq.empty() &&
                            !connection.close_after_write;
     if (!idle_reap) timeouts_.fetch_add(1, std::memory_order_relaxed);
-    if (connection.out.empty() && !connection.close_after_write &&
+    if (connection.outq.empty() && !connection.close_after_write &&
         !connection.parser.failed() && !connection.parser.idle()) {
       // Mid-request deadline (slowloris / stalled body): answer 408, close.
       record_status(408);
-      respond_and_close(loop, connection, timeout_response());
+      OutChunk chunk;
+      chunk.body_ref = timeout_response();
+      respond_and_close(loop, connection, std::move(chunk));
     } else {
       // Idle keep-alive reap, or a peer that never drained its response.
       close_connection(loop, connection);
@@ -754,8 +907,9 @@ void Server::close_connection(EventLoop& loop, Connection& connection) {
   connection.want_read = false;
   connection.want_write = false;
   connection.close_after_write = false;
-  connection.out.clear();
-  connection.out_sent = 0;
+  connection.outq.clear([&loop](OutChunk&& chunk) {
+    reclaim_chunk(loop.pool, std::move(chunk));
+  });
   loop.open_count.fetch_sub(1, std::memory_order_relaxed);
 }
 
@@ -855,7 +1009,11 @@ void Server::execute_job(Job& job) {
     msg.fd = fd;
     msg.generation = generation;
     msg.keep_alive = keep;
-    msg.bytes = http::serialize(response, keep);
+    // Head first (Content-Length reads the body), then move the body out:
+    // the loop writes head+body as two iovecs without re-concatenating.
+    http::serialize_head(response, keep, msg.head);
+    msg.body_ref = std::move(response.body_ref);
+    if (!msg.body_ref) msg.body = std::move(response.body);
     const std::uint64_t micros = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - started)
@@ -908,6 +1066,9 @@ ServerStats Server::stats() const {
   s.timeouts = timeouts_.load(std::memory_order_relaxed);
   s.threads = options_.threads;
   s.event_threads = options_.event_threads;
+  s.reuseport = reuseport_active_;
+  s.writev_calls = writev_calls_.load(std::memory_order_relaxed);
+  s.writev_batches = writev_batches_.load(std::memory_order_relaxed);
   s.queue_depths.reserve(queues_.size());
   for (const auto& queue : queues_) {
     std::lock_guard<std::mutex> lock(queue->mutex);
@@ -915,8 +1076,11 @@ ServerStats Server::stats() const {
     s.queue_depth += queue->pending.size();
   }
   s.loop_connections.reserve(loops_.size());
+  s.loop_accepts.reserve(loops_.size());
   for (const auto& loop : loops_) {
     s.loop_connections.push_back(loop->open_count.load(std::memory_order_relaxed));
+    s.loop_accepts.push_back(loop->accepted.load(std::memory_order_relaxed));
+    s.buffer_pool += loop->pool.stats();
   }
   for (std::size_t i = 0; i < s.latency_buckets.size(); ++i) {
     s.latency_buckets[i] = latency_buckets_[i].load(std::memory_order_relaxed);

@@ -4,18 +4,24 @@
 // worker threads runs the CPU-bound handlers.
 //
 // Reactor split: each event loop owns a Poller, a wakeup pipe, a timer wheel
-// for idle/header deadlines, and a slab of Connection objects keyed by fd
-// (read buffer, resumable RequestParser, pending write buffer, generation
-// tag). Loop 0 additionally owns the listen socket and deals accepted fds
-// round-robin across loops. When a connection's parser completes a request,
-// the loop hands {request, fd, generation} to the per-worker bounded deques;
-// the worker runs the handler, serializes the response, and posts the bytes
-// back to the owning loop, which writes them nonblocking with partial-write
-// buffering and EPOLLOUT re-arming. Keep-alive and pipelining fall out of
-// the resumable parser: after a response is flushed the loop re-arms the
-// parser, and a pipelined request already in the buffer dispatches
-// immediately. One request per connection is in flight at a time, so
-// pipelined responses always come back in order.
+// for idle/header deadlines, a BufferPool, and a slab of Connection objects
+// keyed by fd (resumable RequestParser, WriteQueue, generation tag). With
+// SO_REUSEPORT (the default on Linux) every loop also owns its own listening
+// socket and accepts its own connections -- the kernel shards new flows
+// across the sockets by hash, so there is no accept bottleneck and no
+// cross-loop fd hand-off; when the platform lacks REUSEPORT the server
+// falls back to loop 0 dealing accepted fds round-robin. When a
+// connection's parser completes a request, the loop hands {request, fd,
+// generation} to the per-worker bounded deques; the worker runs the
+// handler, serializes the response head, and posts {head, body} back to the
+// owning loop, which queues them as iovecs and writes with one sendmsg
+// (vectored, partial-write cursor resume, EPOLLOUT re-arming). Keep-alive
+// and pipelining fall out of the resumable parser: after a response is
+// flushed the loop re-arms the parser, and a pipelined request already in
+// the buffer dispatches immediately. One request per connection is in
+// flight at a time, so pipelined responses always come back in order; a
+// pipelined burst handled on the inline fast path coalesces its responses
+// into a single sendmsg.
 //
 // Inline fast path: when every worker queue is empty and the EMA of recent
 // handler+serialize times is small, the loop runs the handler itself and
@@ -57,8 +63,10 @@
 #include <thread>
 #include <vector>
 
+#include "serve/buffer_pool.hpp"
 #include "serve/http.hpp"
 #include "serve/poller.hpp"
+#include "serve/write_queue.hpp"
 
 namespace prm::serve {
 
@@ -71,6 +79,13 @@ struct ServerOptions {
   std::size_t max_body_bytes = 8 * 1024 * 1024;
   int idle_timeout_ms = 10000;   ///< Idle cutoff AND per-request header/body deadline.
   PollerBackend backend = PollerBackend::kAuto;  ///< epoll/poll selection.
+
+  /// SO_REUSEPORT accept sharding: every event loop binds its own listening
+  /// socket and accepts its own connections (the kernel spreads them by
+  /// flow hash), eliminating the deal-from-loop-0 hop. Falls back to the
+  /// single-socket scheme at runtime when the platform lacks SO_REUSEPORT
+  /// or a bind fails; ServerStats::reuseport reports what actually engaged.
+  bool reuseport = true;
 };
 
 /// Upper edges (inclusive) of the latency histogram buckets, microseconds;
@@ -93,6 +108,12 @@ struct ServerStats {
   std::size_t threads = 0;
   std::size_t event_threads = 0;
   std::array<std::uint64_t, kLatencyBucketEdgesUs.size() + 1> latency_buckets{};
+
+  bool reuseport = false;            ///< Accept sharding actually engaged.
+  std::uint64_t writev_calls = 0;    ///< sendmsg(2) flushes issued.
+  std::uint64_t writev_batches = 0;  ///< Flushes that coalesced >1 response.
+  std::vector<std::uint64_t> loop_accepts;  ///< Connections landed per loop.
+  BufferPoolStats buffer_pool;       ///< Summed over the per-loop pools.
 };
 
 class Server {
@@ -151,10 +172,15 @@ class Server {
   };
 
   /// A rendered response on its way back from a worker to an event loop.
+  /// head/body/body_ref mirror OutChunk: the loop queues them for a
+  /// vectored write without re-concatenating (a shared cache body crosses
+  /// as a refcount bump, never a copy).
   struct CompletionMsg {
     int fd = -1;
     std::uint64_t generation = 0;
-    std::string bytes;
+    std::string head;
+    std::string body;
+    std::shared_ptr<const std::string> body_ref;
     bool keep_alive = false;
   };
 
@@ -178,7 +204,7 @@ class Server {
   bool inline_eligible() const;
   void update_handler_ema(std::uint64_t micros);
   void flush(EventLoop& loop, Connection& connection, bool reenter_process = true);
-  void respond_and_close(EventLoop& loop, Connection& connection, std::string bytes);
+  void respond_and_close(EventLoop& loop, Connection& connection, OutChunk chunk);
   void apply_completion(EventLoop& loop, CompletionMsg& completion);
   void expire_deadlines(EventLoop& loop);
   void close_connection(EventLoop& loop, Connection& connection);
@@ -197,14 +223,19 @@ class Server {
   ServerOptions options_;
   AsyncHandler handler_;
 
+  /// Create + bind + listen one nonblocking socket on options_.bind_address.
+  /// Returns the fd, or -1 with `error` set. `with_reuseport` must be set
+  /// before bind for accept sharding to engage.
+  int make_listen_socket(std::uint16_t port, bool with_reuseport, std::string& error);
+
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
   std::atomic<bool> loops_exit_{false};
   std::atomic<std::uint16_t> port_{0};
-  int listen_fd_ = -1;
+  bool reuseport_active_ = false;  ///< Sharded accept actually engaged.
 
   std::vector<std::unique_ptr<EventLoop>> loops_;
-  std::size_t next_loop_ = 0;  ///< Round-robin deal cursor; loop 0 only.
+  std::size_t next_loop_ = 0;  ///< Round-robin deal cursor; fallback mode, loop 0 only.
   std::atomic<std::uint64_t> generation_counter_{0};
 
   std::vector<std::thread> workers_;
@@ -226,6 +257,8 @@ class Server {
   std::atomic<std::uint64_t> responses_5xx_{0};
   std::atomic<std::uint64_t> parse_errors_{0};
   std::atomic<std::uint64_t> timeouts_{0};
+  std::atomic<std::uint64_t> writev_calls_{0};
+  std::atomic<std::uint64_t> writev_batches_{0};
   std::array<std::atomic<std::uint64_t>, kLatencyBucketEdgesUs.size() + 1>
       latency_buckets_{};
 };

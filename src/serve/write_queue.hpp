@@ -1,0 +1,143 @@
+// WriteQueue -- the per-connection outbound byte queue behind the reactor's
+// vectored write path.
+//
+// A response is queued as one OutChunk: a head buffer (status line +
+// headers, rendered into a pooled string) plus the body, either owned
+// (moved out of the Response) or shared (a response-cache hit's
+// shared_ptr<const string>, written with zero copies). flush() gathers the
+// queued chunks into an iovec array and sends them with one sendmsg(2), so
+// a pipelined burst of small responses leaves in a single syscall instead
+// of one write per response.
+//
+// Partial writes resume from an explicit cursor: (front part, offset)
+// where part 0 is the front chunk's head and part 1 its body. advance(n)
+// walks the cursor n bytes forward and hands every fully written chunk to
+// a reclaim callback so its head (and owned body) buffers return to the
+// loop's BufferPool. The cursor only ever moves forward; bytes_pending()
+// is maintained incrementally so backpressure checks are O(1).
+#pragma once
+
+#include <sys/uio.h>
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace prm::serve {
+
+/// One queued response: head bytes + owned-or-shared body bytes.
+struct OutChunk {
+  std::string head;
+  std::string body;
+  std::shared_ptr<const std::string> body_ref;  ///< When set, wins over `body`.
+
+  const std::string& body_bytes() const noexcept {
+    return body_ref ? *body_ref : body;
+  }
+  std::size_t size() const noexcept { return head.size() + body_bytes().size(); }
+};
+
+class WriteQueue {
+ public:
+  bool empty() const noexcept { return chunks_.empty(); }
+  std::size_t bytes_pending() const noexcept { return bytes_; }
+  std::size_t chunk_count() const noexcept { return chunks_.size(); }
+
+  void push(OutChunk chunk) {
+    bytes_ += chunk.size();
+    chunks_.push_back(std::move(chunk));
+  }
+
+  /// Fill `iov` with up to `max` spans starting at the cursor. Returns the
+  /// number of spans written (0 only when empty). Zero-length parts are
+  /// skipped so sendmsg never sees an empty iovec entry.
+  std::size_t build_iov(struct iovec* iov, std::size_t max) const {
+    std::size_t count = 0;
+    std::size_t part = front_part_;
+    std::size_t offset = front_offset_;
+    for (const OutChunk& chunk : chunks_) {
+      for (; part < 2 && count < max; ++part) {
+        const std::string& bytes = part == 0 ? chunk.head : chunk.body_bytes();
+        if (offset < bytes.size()) {
+          iov[count].iov_base = const_cast<char*>(bytes.data() + offset);
+          iov[count].iov_len = bytes.size() - offset;
+          ++count;
+        }
+        offset = 0;
+      }
+      if (count >= max) break;
+      part = 0;
+    }
+    return count;
+  }
+
+  /// Move the cursor `n` bytes forward (n must not exceed bytes_pending()).
+  /// Every chunk that becomes fully written is passed to `reclaim` before
+  /// being dropped, so its buffers can be pooled.
+  template <typename Reclaim>
+  void advance(std::size_t n, Reclaim&& reclaim) {
+    bytes_ -= n;
+    while (n > 0) {
+      OutChunk& chunk = chunks_.front();
+      const std::string& bytes =
+          front_part_ == 0 ? chunk.head : chunk.body_bytes();
+      const std::size_t remaining = bytes.size() - front_offset_;
+      if (n < remaining) {
+        front_offset_ += n;
+        return;
+      }
+      n -= remaining;
+      front_offset_ = 0;
+      if (front_part_ == 0) {
+        front_part_ = 1;
+        continue;
+      }
+      reclaim(std::move(chunk));
+      chunks_.pop_front();
+      front_part_ = 0;
+    }
+    // Skip zero-length trailing parts so empty() goes true as soon as the
+    // last byte is out (a headless chunk or an empty body must not linger).
+    while (!chunks_.empty() && chunks_.front().size() == 0) {
+      reclaim(std::move(chunks_.front()));
+      chunks_.pop_front();
+      front_part_ = 0;
+      front_offset_ = 0;
+    }
+    if (!chunks_.empty()) {
+      // The cursor may sit at the end of a zero-remainder part boundary;
+      // normalize so build_iov starts at real bytes.
+      const OutChunk& chunk = chunks_.front();
+      if (front_part_ == 0 && front_offset_ >= chunk.head.size() &&
+          !chunk.body_bytes().empty()) {
+        front_part_ = 1;
+        front_offset_ = 0;
+      } else if (front_part_ == 1 && front_offset_ >= chunk.body_bytes().size()) {
+        reclaim(std::move(chunks_.front()));
+        chunks_.pop_front();
+        front_part_ = 0;
+        front_offset_ = 0;
+      }
+    }
+  }
+
+  /// Drop everything (connection teardown), reclaiming each chunk's buffers.
+  template <typename Reclaim>
+  void clear(Reclaim&& reclaim) {
+    for (OutChunk& chunk : chunks_) reclaim(std::move(chunk));
+    chunks_.clear();
+    front_part_ = 0;
+    front_offset_ = 0;
+    bytes_ = 0;
+  }
+
+ private:
+  std::deque<OutChunk> chunks_;
+  std::size_t front_part_ = 0;    ///< 0 = head, 1 = body of the front chunk.
+  std::size_t front_offset_ = 0;  ///< Bytes of that part already written.
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace prm::serve

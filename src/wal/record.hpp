@@ -34,6 +34,7 @@ enum class RecordType : std::uint8_t {
   kRefitFail = 4,     ///< payload: "<incarnation> <seq> <name>"
   kStreamRemove = 5,  ///< payload: "<incarnation> <name>"
   kAlertRule = 6,     ///< payload: "<meta_seq> <serialized rule>"
+  kIngestBatch = 7,   ///< payload: "<incarnation> <seq> <name> <n> <t1> <v1> ... <tn> <vn>"
 };
 
 struct Record {

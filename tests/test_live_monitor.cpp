@@ -322,6 +322,80 @@ TEST(Monitor, MultipleStreamsAreIndependent) {
   EXPECT_FALSE(snaps[1].has_fit);
 }
 
+TEST(Monitor, BatchedIngestMatchesPerSampleIngestExactly) {
+  // The same disruption fed per-sample and in 7-sample batches must produce
+  // the identical transition sequence (same phases, times, sample indices),
+  // identical stream state, and per-sample alerts inside each batch.
+  // Refits are disabled so the walk is the pure state machine -- batching
+  // coalesces refit *scheduling*, which is covered by the WAL tests.
+  live::MonitorOptions options = test_options();
+  options.min_fit_samples = 100000;
+  live::Monitor per_sample(options);
+  live::Monitor batched(options);
+
+  live::AlertRule low;
+  low.name = "low-value";
+  low.kind = live::AlertKind::kValueBelow;
+  low.threshold = 0.95;
+  batched.alerts().add_rule(low);
+  std::mutex alerts_m;
+  std::vector<live::Alert> alerts_seen;
+  batched.alerts().subscribe([&](const live::Alert& alert) {
+    std::lock_guard<std::mutex> lock(alerts_m);
+    alerts_seen.push_back(alert);
+  });
+
+  EXPECT_TRUE(batched.ingest_batch("svc", {}).empty());  // empty batch: no-op
+
+  std::vector<live::TransitionEvent> single_events, batch_events;
+  const std::size_t total =
+      kPrefix + static_cast<std::size_t>(kDipLen + kRecoveryLen) + 8;
+  std::vector<std::pair<double, double>> batch;
+  for (std::size_t i = 0; i < total; ++i) {
+    const double t = static_cast<double>(i);
+    for (const auto& tr : per_sample.ingest("svc", t, v_curve(t))) {
+      single_events.push_back(tr);
+    }
+    batch.emplace_back(t, v_curve(t));
+    if (batch.size() == 7 || i + 1 == total) {
+      for (const auto& tr : batched.ingest_batch("svc", batch)) {
+        batch_events.push_back(tr);
+      }
+      batch.clear();
+    }
+  }
+  per_sample.drain();
+  batched.drain();
+
+  ASSERT_EQ(batch_events.size(), single_events.size());
+  for (std::size_t i = 0; i < single_events.size(); ++i) {
+    EXPECT_EQ(batch_events[i].from, single_events[i].from) << "event " << i;
+    EXPECT_EQ(batch_events[i].to, single_events[i].to) << "event " << i;
+    EXPECT_EQ(batch_events[i].t, single_events[i].t) << "event " << i;
+    EXPECT_EQ(batch_events[i].sample_index, single_events[i].sample_index);
+  }
+
+  const auto a = per_sample.snapshot("svc");
+  const auto b = batched.snapshot("svc");
+  EXPECT_EQ(b.phase, a.phase);
+  EXPECT_EQ(b.samples_seen, a.samples_seen);
+  EXPECT_EQ(b.last_time, a.last_time);
+  EXPECT_EQ(b.last_value, a.last_value);
+  EXPECT_EQ(b.event_ordinal, a.event_ordinal);
+  EXPECT_EQ(b.event_active, a.event_active);
+  EXPECT_EQ(b.onset_time, a.onset_time);
+  EXPECT_EQ(b.trough_time, a.trough_time);
+  EXPECT_EQ(b.trough_value, a.trough_value);
+
+  // The threshold crossing happened mid-batch and must still have alerted.
+  std::lock_guard<std::mutex> lock(alerts_m);
+  int low_count = 0;
+  for (const auto& alert : alerts_seen) {
+    if (alert.rule == "low-value") ++low_count;
+  }
+  EXPECT_EQ(low_count, 1);
+}
+
 TEST(Monitor, AlertsFireOnValueThresholdTransitionsAndForecasts) {
   live::Monitor monitor(test_options());
 

@@ -260,6 +260,66 @@ TEST_F(ServeE2E, StreamBridgeIngestsIntoSharedMonitor) {
   EXPECT_EQ(app_->monitor().snapshot("e2e").samples_seen, 6u);
 }
 
+TEST_F(ServeE2E, BulkIngestRouteAppliesWholeBatchesAtomically) {
+  auto c = client();
+
+  Json samples = Json::array();
+  for (int i = 0; i < 8; ++i) {
+    Json pair = Json::array();
+    pair.push_back(Json(static_cast<double>(i)));
+    pair.push_back(Json(1.0));
+    samples.push_back(std::move(pair));
+  }
+  Json body = Json::object();
+  body["samples"] = std::move(samples);
+  const serve::http::Response response =
+      c.post_json("/v1/streams/bulk/ingest-batch", body.dump());
+  ASSERT_EQ(response.status, 200) << response.body;
+  const Json parsed = Json::parse(response.body);
+  EXPECT_EQ(parsed.find("accepted")->as_number(), 8.0);
+  EXPECT_TRUE(parsed.find("batched")->as_bool());
+  EXPECT_EQ(app_->monitor().snapshot("bulk").samples_seen, 8u);
+
+  // A batch with a stale time anywhere must apply none of its samples.
+  const serve::http::Response stale = c.post_json(
+      "/v1/streams/bulk/ingest-batch", R"({"samples":[[8,1.0],[3,0.5]]})");
+  EXPECT_EQ(stale.status, 400);
+  EXPECT_NE(Json::parse(stale.body).find("error"), nullptr);
+  EXPECT_EQ(app_->monitor().snapshot("bulk").samples_seen, 8u);
+
+  // Batches above the configured cap are rejected before any work happens.
+  const std::size_t cap = app_->options().max_batch_samples;
+  std::string big = R"({"samples":[)";
+  for (std::size_t i = 0; i <= cap; ++i) {
+    if (i > 0) big += ',';
+    big += '[' + std::to_string(100 + i) + ",1.0]";
+  }
+  big += "]}";
+  const serve::http::Response over =
+      c.post_json("/v1/streams/bulk/ingest-batch", big);
+  EXPECT_EQ(over.status, 400);
+  EXPECT_NE(Json::parse(over.body).find("error")->as_string().find("batch"),
+            std::string::npos);
+  EXPECT_EQ(app_->monitor().snapshot("bulk").samples_seen, 8u);
+}
+
+TEST_F(ServeE2E, MetricsExportBufferPoolAndWritevCounters) {
+  auto c = client();
+  ASSERT_EQ(c.get("/healthz").status, 200);
+  const Json metrics = Json::parse(c.get("/metrics").body);
+  const Json* server = metrics.find("server");
+  ASSERT_NE(server, nullptr);
+  ASSERT_NE(server->find("buffer_pool"), nullptr);
+  EXPECT_NE(server->find("buffer_pool")->find("acquired"), nullptr);
+  EXPECT_NE(server->find("buffer_pool")->find("recycled"), nullptr);
+  EXPECT_NE(server->find("buffer_pool")->find("high_water"), nullptr);
+  EXPECT_NE(server->find("writev_calls"), nullptr);
+  EXPECT_NE(server->find("writev_batches"), nullptr);
+  EXPECT_NE(server->find("reuseport"), nullptr);
+  ASSERT_NE(server->find("accept_loops"), nullptr);
+  EXPECT_GE(server->find("writev_calls")->as_number(), 1.0);
+}
+
 TEST_F(ServeE2E, ErrorContract) {
   auto c = client();
 

@@ -11,6 +11,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -267,6 +268,99 @@ TEST(WalRecovery, TornFinalRecordIsDroppedAndTheRestSurvives) {
   // The lost (never-acknowledged-durable) sample can simply be re-ingested.
   recovered->ingest("svc", static_cast<double>(kSamples - 1), 1.0);
   EXPECT_EQ(recovered->snapshot("svc").samples_seen, kSamples);
+}
+
+TEST(WalRecovery, BatchedIngestRecoversByteIdenticalToTheReference) {
+  // The same crash-and-replay contract as per-sample ingest, but with the
+  // whole disruption fed through ingest_batch (one WAL record per batch):
+  // recovery must land on the never-crashed reference byte for byte.
+  TempDir dir;
+  std::string reference;
+  std::size_t records_before = 0;
+  {
+    live::Monitor monitor(wal_options(dir.path()));
+    std::vector<std::pair<double, double>> batch;
+    for (std::size_t i = 0; i < kMidRecovery; ++i) {
+      const double t = static_cast<double>(i);
+      batch.emplace_back(t, v_curve(t));
+      if (batch.size() == 5 || i + 1 == kMidRecovery) {
+        monitor.ingest_batch("svc", batch);
+        batch.clear();
+        monitor.refit_batch(1);
+      }
+    }
+    ASSERT_GT(monitor.snapshot("svc").refits, 0u);
+    reference = snapshot_bytes(monitor);
+    records_before = monitor.wal_stats().records;
+  }
+  // ~kMidRecovery/5 batch records instead of one record per sample.
+  EXPECT_LT(records_before, kMidRecovery);
+
+  auto recovered = live::Monitor::recover(wal_options(dir.path()));
+  EXPECT_EQ(snapshot_bytes(*recovered), reference);
+  const wal::RecoveryStats& stats = recovered->recovery_stats();
+  EXPECT_EQ(stats.applied, stats.records);
+  EXPECT_EQ(stats.torn_tails, 0u);
+}
+
+TEST(WalRecovery, TornBatchRecordIsFullyTornNeverPartiallyApplied) {
+  // A batch is ONE log record behind ONE CRC: tearing its tail must drop the
+  // whole batch on replay -- recovery may never surface a prefix of it.
+  TempDir dir;
+  live::MonitorOptions options = wal_options(dir.path());
+  options.min_fit_samples = 1000;
+  {
+    live::Monitor monitor(options);
+    monitor.ingest("svc", 0.0, 1.0);
+    monitor.ingest_batch("svc", {{1.0, 1.0}, {2.0, 1.0}, {3.0, 1.0}, {4.0, 1.0}});
+    EXPECT_EQ(monitor.snapshot("svc").samples_seen, 5u);
+  }
+
+  const auto segments = wal::list_segments(dir.path());
+  ASSERT_FALSE(segments.empty());
+  const std::string& last = segments.back().path;
+  const std::uint64_t size = wal::file_size(last);
+  ASSERT_GT(size, 4u);
+  ASSERT_EQ(::truncate(last.c_str(), static_cast<off_t>(size - 4)), 0);
+
+  auto recovered = live::Monitor::recover(options);
+  EXPECT_EQ(recovered->recovery_stats().torn_tails, 1u);
+  const auto snap = recovered->snapshot("svc");
+  EXPECT_EQ(snap.samples_seen, 1u) << "a torn batch must be fully torn";
+  EXPECT_EQ(snap.last_time, 0.0);
+
+  // The unacknowledged batch can simply be resubmitted.
+  recovered->ingest_batch("svc",
+                          {{1.0, 1.0}, {2.0, 1.0}, {3.0, 1.0}, {4.0, 1.0}});
+  EXPECT_EQ(recovered->snapshot("svc").samples_seen, 5u);
+}
+
+TEST(WalRecovery, RejectedBatchLeavesNoTraceInStateOrLog) {
+  // Validation runs before the WAL append and before any sample applies: a
+  // batch with a bad sample in the middle must change nothing, durably.
+  TempDir dir;
+  live::MonitorOptions options = wal_options(dir.path());
+  options.min_fit_samples = 1000;
+  std::string reference;
+  {
+    live::Monitor monitor(options);
+    monitor.ingest("svc", 0.0, 1.0);
+    EXPECT_THROW(
+        monitor.ingest_batch(
+            "svc", {{1.0, 1.0}, {2.0, std::nan("")}, {3.0, 1.0}}),
+        std::invalid_argument);
+    EXPECT_THROW(
+        monitor.ingest_batch("svc", {{1.0, 1.0}, {1.0, 1.0}, {3.0, 1.0}}),
+        std::invalid_argument);
+    // Batch times must also advance past the stream's last sample.
+    EXPECT_THROW(monitor.ingest_batch("svc", {{0.0, 1.0}, {1.0, 1.0}}),
+                 std::invalid_argument);
+    EXPECT_EQ(monitor.snapshot("svc").samples_seen, 1u);
+    reference = snapshot_bytes(monitor);
+  }
+  auto recovered = live::Monitor::recover(options);
+  EXPECT_EQ(snapshot_bytes(*recovered), reference);
+  EXPECT_EQ(recovered->snapshot("svc").samples_seen, 1u);
 }
 
 TEST(WalRecovery, RemoveStreamAndRecreationAreDurable) {
