@@ -1,0 +1,424 @@
+// cluster_load: closed-loop ingest load against an in-process prm::cluster
+// (N ring nodes + optional router on loopback sockets), reporting throughput
+// and latency percentiles per topology.
+//
+// Cells (all ingest-flavored; fits are stateless and scale trivially):
+//
+//  * ingest/nodes:1       -- per-sample POST /v1/streams/{s}/ingest against a
+//                            single node: the in-run equivalent of the
+//                            SERVE_LOAD ingest baseline cell, and the
+//                            denominator for --min-speedup.
+//  * bulk_ingest/nodes:1  -- /ingest-batch (16 samples/request) on one node.
+//  * bulk_ingest/nodes:3  -- the same batched traffic spread over a 3-node
+//                            ring by REDIRECT-FOLLOWING clients: each client
+//                            starts at an arbitrary node, follows the 307 to
+//                            the owner once, and caches the owner per stream
+//                            -- exactly the smart-client mode the
+//                            consistent-hash contract enables.
+//  * routed_ingest/nodes:3 -- the same traffic through one thin router
+//                            (proxy path: UpstreamPool, pipelined keep-alive
+//                            upstreams), clients stay topology-blind.
+//
+// --json emits the compare_bench.py schema (same shape as serve_load), so CI
+// can gate regressions against CLUSTER_LOAD_baseline.json; --min-speedup R
+// makes the run itself fail unless bulk_ingest/nodes:3 sustains at least
+// R x the ingest/nodes:1 samples/sec -- the scale-out acceptance ratio,
+// self-contained in one process.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "report/table.hpp"
+#include "serve/handlers.hpp"
+#include "serve/http.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace prm;
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  double seconds = 3.0;
+  std::size_t conns = 4;         ///< Client threads per cell.
+  std::size_t streams = 8;       ///< Streams per client thread.
+  std::size_t batch = 16;        ///< Samples per bulk request.
+  double min_speedup = 0.0;      ///< 0 = no in-run acceptance check.
+  std::string json_path;
+};
+
+struct Node {
+  std::unique_ptr<serve::App> app;
+  std::unique_ptr<serve::Server> server;
+  std::string address;
+};
+
+/// One serve process stand-in: App + Server on an ephemeral loopback port.
+Node make_node() {
+  Node node;
+  node.app = std::make_unique<serve::App>();
+  serve::ServerOptions options;
+  options.port = 0;
+  options.threads = 2;        // the whole fleet shares one benchmark host
+  options.event_threads = 1;
+  node.server = std::make_unique<serve::Server>(options, node.app->async_handler());
+  node.server->start();
+  node.address = "127.0.0.1:" + std::to_string(node.server->port());
+  return node;
+}
+
+/// Redirect-following client: one keep-alive connection per node, lazily
+/// opened; a 307 re-targets the stream's cached owner (one extra round trip
+/// the first time, zero after).
+class RoutedClient {
+ public:
+  explicit RoutedClient(std::string first) : default_address_(std::move(first)) {}
+
+  serve::http::Response post(const std::string& stream, const std::string& target,
+                             const std::string& body) {
+    std::string address = owner(stream);
+    serve::http::Response response;
+    for (int hop = 0; hop < 4; ++hop) {
+      response = conn(address).post_json(target, body);
+      if (response.status != 307) {
+        owner_of_[stream] = address;
+        return response;
+      }
+      const auto it = response.headers.find("location");
+      if (it == response.headers.end()) return response;
+      address = host_port_of(it->second);
+    }
+    return response;
+  }
+
+ private:
+  const std::string& owner(const std::string& stream) const {
+    const auto it = owner_of_.find(stream);
+    return it == owner_of_.end() ? default_address_ : it->second;
+  }
+
+  serve::http::Client& conn(const std::string& address) {
+    auto it = conns_.find(address);
+    if (it == conns_.end()) {
+      const std::size_t colon = address.rfind(':');
+      it = conns_
+               .emplace(address, std::make_unique<serve::http::Client>(
+                                     address.substr(0, colon),
+                                     static_cast<std::uint16_t>(std::stoul(
+                                         address.substr(colon + 1)))))
+               .first;
+    }
+    return *it->second;
+  }
+
+  /// "http://HOST:PORT/path" -> "HOST:PORT".
+  static std::string host_port_of(const std::string& location) {
+    constexpr std::string_view kScheme = "http://";
+    std::size_t start = 0;
+    if (location.rfind(kScheme, 0) == 0) start = kScheme.size();
+    const std::size_t slash = location.find('/', start);
+    return location.substr(start, slash == std::string::npos ? std::string::npos
+                                                             : slash - start);
+  }
+
+  std::string default_address_;
+  std::map<std::string, std::string> owner_of_;
+  std::map<std::string, std::unique_ptr<serve::http::Client>> conns_;
+};
+
+struct CellResult {
+  std::string name;
+  std::size_t requests = 0;
+  std::uint64_t samples = 0;
+  double seconds = 0.0;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double rps() const {
+    return seconds > 0.0 ? static_cast<double>(requests) / seconds : 0.0;
+  }
+  double samples_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(samples) / seconds : 0.0;
+  }
+};
+
+double percentile(std::vector<float>& sorted_us, double q) {
+  if (sorted_us.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted_us.size() - 1);
+  return sorted_us[static_cast<std::size_t>(rank + 0.5)];
+}
+
+/// Drive `conns` client threads of ingest traffic for `seconds`; every
+/// thread owns `streams` distinct stream names so ownership spreads over the
+/// ring. `batch` == 1 uses /ingest (per-sample), else /ingest-batch.
+CellResult run_cell(const Options& options, const std::string& name,
+                    const std::string& prefix,
+                    const std::vector<std::string>& entrypoints,
+                    std::size_t batch) {
+  std::atomic<bool> stop{false};
+  std::atomic<int> grumbles{0};
+  std::vector<std::thread> threads;
+  std::vector<std::size_t> requests(options.conns, 0);
+  std::vector<std::uint64_t> samples(options.conns, 0);
+  std::vector<std::vector<float>> latencies(options.conns);
+
+  const auto cell_start = Clock::now();
+  for (std::size_t c = 0; c < options.conns; ++c) {
+    threads.emplace_back([&, c] {
+      // Spread first contact over the entrypoints: with N nodes that makes
+      // redirect-following genuine (2 of 3 streams start mis-targeted).
+      RoutedClient client(entrypoints[c % entrypoints.size()]);
+      // Stream names carry the cell prefix: cells sharing a topology must not
+      // reuse streams, or the strictly-increasing-time contract rejects them.
+      std::vector<std::string> streams;
+      for (std::size_t s = 0; s < options.streams; ++s) {
+        std::string name = prefix;
+        name.append("-c");
+        name.append(std::to_string(c));
+        name.append("-s");
+        name.append(std::to_string(s));
+        streams.push_back(std::move(name));
+      }
+      std::vector<double> next_t(options.streams, 0.0);
+      std::string body;
+      std::size_t turn = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::size_t s = turn++ % options.streams;
+        body.clear();
+        if (batch <= 1) {
+          body.append("{\"t\":");
+          body.append(std::to_string(next_t[s]));
+          body.append(",\"value\":0.9}");
+          next_t[s] += 1.0;
+        } else {
+          body.append("{\"samples\":[");
+          for (std::size_t i = 0; i < batch; ++i) {
+            if (i != 0) body.push_back(',');
+            body.push_back('[');
+            body.append(std::to_string(next_t[s]));
+            body.append(",0.9]");
+            next_t[s] += 1.0;
+          }
+          body.append("]}");
+        }
+        const auto start = Clock::now();
+        serve::http::Response response;
+        try {
+          response = client.post(
+              streams[s],
+              "/v1/streams/" + streams[s] + (batch <= 1 ? "/ingest" : "/ingest-batch"),
+              body);
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "cluster_load: client error: %s\n", e.what());
+          return;
+        }
+        if (response.status == 200) {
+          requests[c] += 1;
+          samples[c] += batch;
+          latencies[c].push_back(static_cast<float>(
+              std::chrono::duration<double, std::micro>(Clock::now() - start)
+                  .count()));
+        } else {
+          if (grumbles.fetch_add(1) < 3) {
+            std::fprintf(stderr, "cluster_load: %s -> HTTP %d: %s\n",
+                         name.c_str(), response.status, response.body.c_str());
+          }
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(options.seconds));
+  stop.store(true);
+  for (std::thread& t : threads) t.join();
+
+  CellResult result;
+  result.name = name;
+  result.seconds = std::chrono::duration<double>(Clock::now() - cell_start).count();
+  std::vector<float> all;
+  for (std::size_t c = 0; c < options.conns; ++c) {
+    result.requests += requests[c];
+    result.samples += samples[c];
+    all.insert(all.end(), latencies[c].begin(), latencies[c].end());
+  }
+  std::sort(all.begin(), all.end());
+  double sum = 0.0;
+  for (const float v : all) sum += v;
+  result.mean_us = all.empty() ? 0.0 : sum / static_cast<double>(all.size());
+  result.p50_us = percentile(all, 0.50);
+  result.p95_us = percentile(all, 0.95);
+  result.p99_us = percentile(all, 0.99);
+  return result;
+}
+
+/// Build an N-node ring (plus a router when `with_router`), returning the
+/// client entrypoints: node addresses for direct cells, the router's for
+/// routed cells.
+struct Topology {
+  std::vector<Node> nodes;
+  Node router;
+  bool has_router = false;
+
+  ~Topology() {
+    if (has_router) router.server->stop();
+    for (Node& node : nodes) node.server->stop();
+  }
+};
+
+std::unique_ptr<Topology> make_topology(std::size_t n, bool with_router) {
+  auto topology = std::make_unique<Topology>();
+  std::vector<std::string> peers;
+  for (std::size_t i = 0; i < n; ++i) {
+    topology->nodes.push_back(make_node());
+    peers.push_back(topology->nodes.back().address);
+  }
+  for (Node& node : topology->nodes) {
+    cluster::ClusterOptions options;
+    options.peers = peers;
+    options.self = node.address;
+    node.app->enable_cluster(options);
+  }
+  if (with_router) {
+    topology->router = make_node();
+    cluster::ClusterOptions options;
+    options.peers = peers;
+    options.router = true;
+    topology->router.app->enable_cluster(options);
+    topology->has_router = true;
+  }
+  return topology;
+}
+
+void write_json(const Options& options, const std::vector<CellResult>& results) {
+  std::ofstream out(options.json_path);
+  if (!out) {
+    std::fprintf(stderr, "cluster_load: cannot open %s\n", options.json_path.c_str());
+    std::exit(1);
+  }
+  out << "{\n  \"context\": {\"benchmark\": \"cluster_load\", \"seconds_per_cell\": "
+      << options.seconds << ", \"conns\": " << options.conns
+      << ", \"streams_per_conn\": " << options.streams
+      << ", \"batch\": " << options.batch << "},\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CellResult& r = results[i];
+    char buf[640];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"name\": \"%s\", \"run_name\": \"%s\", "
+                  "\"cpu_time\": %.3f, \"real_time\": %.3f, \"time_unit\": \"us\", "
+                  "\"rps\": %.1f, \"p50_us\": %.1f, \"p95_us\": %.1f, "
+                  "\"p99_us\": %.1f, \"requests\": %zu, \"samples\": %llu, "
+                  "\"samples_per_sec\": %.1f}%s\n",
+                  r.name.c_str(), r.name.c_str(), r.mean_us, r.mean_us, r.rps(),
+                  r.p50_us, r.p95_us, r.p99_us, r.requests,
+                  static_cast<unsigned long long>(r.samples), r.samples_per_sec(),
+                  i + 1 < results.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (arg == "--seconds" && value != nullptr) {
+      options.seconds = std::atof(value);
+      ++i;
+    } else if (arg == "--conns" && value != nullptr) {
+      options.conns = static_cast<std::size_t>(std::atol(value));
+      ++i;
+    } else if (arg == "--streams" && value != nullptr) {
+      options.streams = static_cast<std::size_t>(std::atol(value));
+      ++i;
+    } else if (arg == "--batch" && value != nullptr) {
+      options.batch = static_cast<std::size_t>(std::atol(value));
+      ++i;
+    } else if (arg == "--min-speedup" && value != nullptr) {
+      options.min_speedup = std::atof(value);
+      ++i;
+    } else if (arg == "--json" && value != nullptr) {
+      options.json_path = value;
+      ++i;
+    } else {
+      std::fprintf(stderr,
+                   "usage: cluster_load [--seconds S] [--conns N] [--streams N]\n"
+                   "                    [--batch N] [--min-speedup R] [--json PATH]\n");
+      return 1;
+    }
+  }
+  if (options.conns == 0 || options.streams == 0 || options.batch == 0) {
+    std::fprintf(stderr, "cluster_load: --conns/--streams/--batch must be >= 1\n");
+    return 1;
+  }
+
+  std::vector<CellResult> results;
+
+  {
+    const auto single = make_topology(1, /*with_router=*/false);
+    const std::vector<std::string> entry = {single->nodes[0].address};
+    results.push_back(
+        run_cell(options, "ClusterLoad/ingest/nodes:1", "in1", entry, 1));
+    results.push_back(run_cell(options, "ClusterLoad/bulk_ingest/nodes:1", "bk1",
+                               entry, options.batch));
+  }
+  {
+    const auto trio = make_topology(3, /*with_router=*/true);
+    std::vector<std::string> entry;
+    for (const Node& node : trio->nodes) entry.push_back(node.address);
+    results.push_back(run_cell(options, "ClusterLoad/bulk_ingest/nodes:3", "bk3",
+                               entry, options.batch));
+    const std::vector<std::string> via_router = {trio->router.address};
+    results.push_back(run_cell(options, "ClusterLoad/routed_ingest/nodes:3",
+                               "rt3", via_router, options.batch));
+  }
+
+  report::Table table({"Cell", "Req/s", "Samples/s", "p50 us", "p95 us", "p99 us",
+                       "Requests"});
+  for (const CellResult& r : results) {
+    table.add_row({r.name, report::Table::fixed(r.rps(), 1),
+                   report::Table::fixed(r.samples_per_sec(), 1),
+                   report::Table::fixed(r.p50_us, 1),
+                   report::Table::fixed(r.p95_us, 1),
+                   report::Table::fixed(r.p99_us, 1), std::to_string(r.requests)});
+  }
+  table.print(std::cout);
+
+  if (!options.json_path.empty()) write_json(options, results);
+
+  if (options.min_speedup > 0.0) {
+    const auto find = [&](std::string_view name) -> const CellResult* {
+      for (const CellResult& r : results) {
+        if (r.name == name) return &r;
+      }
+      return nullptr;
+    };
+    const CellResult* base = find("ClusterLoad/ingest/nodes:1");
+    const CellResult* wide = find("ClusterLoad/bulk_ingest/nodes:3");
+    const double ratio = (base != nullptr && wide != nullptr &&
+                          base->samples_per_sec() > 0.0)
+                             ? wide->samples_per_sec() / base->samples_per_sec()
+                             : 0.0;
+    std::cout << "\nscale-out ratio (bulk_ingest/nodes:3 vs ingest/nodes:1): "
+              << report::Table::fixed(ratio, 2) << "x (require >= "
+              << report::Table::fixed(options.min_speedup, 2) << "x)\n";
+    if (ratio < options.min_speedup) {
+      std::cerr << "cluster_load: FAILED the scale-out acceptance ratio\n";
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -13,7 +13,10 @@
 //   prm_cli serve     [--port N] [--threads N] [--event-threads N]
 //                     [--fit-threads N] [--model NAME]
 //                     [--cache N] [--queue N] [--shards N]
+//                     [--reuseport on|off] [--max-batch N]
 //                     [--wal-dir DIR] [--fsync always|interval|never]
+//                     [--cluster HOST:PORT --peers A,B,...]   # ring node
+//                     [--router on --peers A,B,...]           # thin proxy
 //   prm_cli models                              # list registered models
 //   prm_cli demo                                # run on a bundled dataset
 //   prm_cli help | --help | -h                  # usage on stdout, exit 0
@@ -70,7 +73,8 @@ const std::map<std::string, std::vector<std::string>>& command_options() {
        {"csv", "model", "threads", "refit-every", "save", "load", "wal-dir", "fsync"}},
       {"serve",
        {"port", "threads", "event-threads", "fit-threads", "model", "cache", "queue",
-        "shards", "wal-dir", "fsync", "reuseport", "max-batch"}},
+        "shards", "wal-dir", "fsync", "reuseport", "max-batch", "cluster", "peers",
+        "router"}},
       {"models", {}},
       {"demo", {"model", "holdout", "loss", "level", "save", "threads"}},
   };
@@ -108,6 +112,12 @@ void usage(std::ostream& out) {
       << "                  #   /v1/streams/{name}/ingest-batch request\n"
       << "                  [--wal-dir DIR] [--fsync always|interval|never]\n"
       << "                  # --wal-dir: durable write-ahead log; restart resumes state\n"
+      << "                  [--cluster HOST:PORT --peers A,B,...]  # join a ring as a\n"
+      << "                  #   node: own the streams the consistent-hash ring maps\n"
+      << "                  #   here, 307-redirect the rest (--port defaults to the\n"
+      << "                  #   --cluster port)\n"
+      << "                  [--router on --peers A,B,...]  # stateless front door:\n"
+      << "                  #   proxy every stream route to its owning node\n"
       << "  prm_cli models  # registered model names, one per line, with family\n"
       << "  prm_cli demo    # fit the bundled 1990-93 recession (same flags as fit)\n"
       << "  prm_cli help | --help | -h\n";
@@ -499,11 +509,63 @@ int run_serve(const CliArgs& args) {
     app_options.monitor.wal.fsync =
         wal::fsync_policy_from_string(args.options.at("fsync"));
   }
+  // Cluster topology: a node (--cluster ADDR) or a router (--router on),
+  // never both; either one needs the full membership in --peers.
+  cluster::ClusterOptions cluster_options;
+  bool cluster_on = false;
+  if (args.options.count("router")) {
+    const std::string& value = args.options.at("router");
+    if (value == "on") {
+      cluster_options.router = true;
+      cluster_on = true;
+    } else if (value != "off") {
+      std::cerr << "prm_cli: '--router' must be 'on' or 'off', got '" << value
+                << "'\n";
+      return 1;
+    }
+  }
+  if (args.options.count("cluster")) {
+    if (cluster_options.router) {
+      std::cerr << "prm_cli: '--cluster' and '--router on' are mutually exclusive\n";
+      return 1;
+    }
+    cluster_options.self = args.options.at("cluster");
+    cluster_on = true;
+  }
+  if (args.options.count("peers")) {
+    const std::string& list = args.options.at("peers");
+    for (std::size_t start = 0; start <= list.size();) {
+      const std::size_t comma = std::min(list.find(',', start), list.size());
+      if (comma > start) {
+        cluster_options.peers.push_back(list.substr(start, comma - start));
+      }
+      start = comma + 1;
+    }
+  }
+  if (cluster_on && cluster_options.peers.empty()) {
+    std::cerr << "prm_cli: cluster mode needs '--peers HOST:PORT,HOST:PORT,...'\n";
+    return 1;
+  }
+  if (!cluster_on && !cluster_options.peers.empty()) {
+    std::cerr << "prm_cli: '--peers' needs '--cluster ADDR' or '--router on'\n";
+    return 1;
+  }
+
   serve::ServerOptions server_options;
   server_options.port = args.options.count("port")
                             ? static_cast<std::uint16_t>(
                                   std::stoul(args.options.at("port")))
                             : 8080;
+  if (!args.options.count("port") && !cluster_options.self.empty()) {
+    // A node's advertised address IS its endpoint; default the listen port
+    // to it so one flag configures both.
+    try {
+      server_options.port = cluster::parse_peer(cluster_options.self).port;
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "prm_cli: bad '--cluster' address: " << e.what() << '\n';
+      return 1;
+    }
+  }
   if (const auto threads = threads_option(args, "threads", threads_ok)) {
     server_options.threads = static_cast<std::size_t>(*threads);
   } else if (!threads_ok) {
@@ -540,6 +602,20 @@ int run_serve(const CliArgs& args) {
               << " of " << rec.records << " log record(s) replayed"
               << (rec.torn_tails ? ", torn tail tolerated" : "") << std::endl;
   }
+  if (cluster_on) {
+    try {
+      app.enable_cluster(cluster_options);
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "prm_cli: bad cluster topology: " << e.what() << '\n';
+      return 1;
+    }
+    const cluster::Cluster& cluster = *app.cluster();
+    std::cout << "prm_cli serve: cluster "
+              << (cluster.router() ? std::string("router")
+                                   : "node " + cluster.self())
+              << " over " << cluster.ring().size() << " peer(s), "
+              << cluster.ring().vnodes_per_node() << " vnodes each" << std::endl;
+  }
   serve::Server server(server_options, app.async_handler());
   server.start();
   app.set_stats_provider([&server] { return server.stats(); });
@@ -553,7 +629,7 @@ int run_serve(const CliArgs& args) {
             << app.fit_cache().shards() << " shard(s), model '"
             << app.options().default_model << "')" << std::endl;
   std::cout << "routes: /healthz /metrics /v1/models /v1/fit /v1/forecast "
-               "/v1/metrics /v1/streams; Ctrl-C stops" << std::endl;
+               "/v1/metrics /v1/streams /v1/cluster; Ctrl-C stops" << std::endl;
 
   std::signal(SIGINT, serve_signal_handler);
   std::signal(SIGTERM, serve_signal_handler);

@@ -1,0 +1,152 @@
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <stdexcept>
+
+#include "serve/json.hpp"
+#include "wal/compact.hpp"
+#include "wal/log.hpp"
+
+namespace prm::cluster {
+
+Cluster::Cluster(ClusterOptions options) : options_(std::move(options)) {
+  if (options_.peers.empty()) {
+    throw std::invalid_argument("cluster: --peers must list at least one node");
+  }
+  for (const std::string& peer : options_.peers) {
+    (void)parse_peer(peer);  // validate; throws with the offending address
+  }
+  if (options_.router && !options_.self.empty()) {
+    throw std::invalid_argument("cluster: router mode excludes --cluster (self)");
+  }
+  if (!options_.router) {
+    if (options_.self.empty()) {
+      throw std::invalid_argument("cluster: node mode needs a self address");
+    }
+    (void)parse_peer(options_.self);
+    if (std::find(options_.peers.begin(), options_.peers.end(), options_.self) ==
+        options_.peers.end()) {
+      throw std::invalid_argument("cluster: self '" + options_.self +
+                                  "' must be listed in --peers");
+    }
+  }
+  ring_ = HashRing(options_.peers, options_.vnodes);
+  if (options_.router) {
+    upstreams_ = std::make_unique<UpstreamPool>(options_.upstream);
+    upstreams_->start();
+  }
+}
+
+Cluster::~Cluster() {
+  if (upstreams_) upstreams_->stop();
+}
+
+// ---------------------------------------------------------------------------
+// Segment shipping
+
+SegmentManifest read_manifest(const std::string& wal_dir) {
+  SegmentManifest manifest;
+  for (const wal::SegmentInfo& info : wal::list_segments(wal_dir)) {
+    SegmentManifest::File file;
+    file.name = wal::segment_file_name(info.shard, info.seq);
+    file.shard = info.shard;
+    file.seq = info.seq;
+    file.size = wal::file_size(info.path);
+    manifest.segments.push_back(std::move(file));
+  }
+  const std::string snapshot = wal::snapshot_path(wal_dir);
+  if (wal::file_exists(snapshot)) {
+    manifest.has_snapshot = true;
+    manifest.snapshot_size = wal::file_size(snapshot);
+  }
+  return manifest;
+}
+
+bool transferable_file_name(std::string_view name) {
+  if (name == "snapshot.prm") return true;
+  // "wal-SSSS-NNNNNNNN.log", nothing more, nothing less: the strictness IS
+  // the path-safety gate for the HTTP file route.
+  constexpr std::string_view kPrefix = "wal-";
+  constexpr std::string_view kSuffix = ".log";
+  if (name.size() != kPrefix.size() + 4 + 1 + 8 + kSuffix.size()) return false;
+  if (name.substr(0, kPrefix.size()) != kPrefix) return false;
+  if (name.substr(name.size() - kSuffix.size()) != kSuffix) return false;
+  for (std::size_t i = 4; i < 8; ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(name[i]))) return false;
+  }
+  if (name[8] != '-') return false;
+  for (std::size_t i = 9; i < 17; ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(name[i]))) return false;
+  }
+  return true;
+}
+
+namespace {
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cluster: cannot write " + path);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) throw std::runtime_error("cluster: short write to " + path);
+}
+
+std::string fetch_file(serve::http::Client& client, const std::string& name) {
+  serve::http::Response response = client.get("/v1/cluster/segments/" + name);
+  if (response.status != 200) {
+    throw std::runtime_error("cluster: fetching '" + name + "' failed with HTTP " +
+                             std::to_string(response.status));
+  }
+  return std::move(response.body);
+}
+
+}  // namespace
+
+CatchupStats fetch_catchup(const std::string& peer, const std::string& dest_dir,
+                           int connect_timeout_ms) {
+  const PeerAddress address = parse_peer(peer);
+  serve::http::Client client(address.host, address.port, connect_timeout_ms);
+
+  serve::http::Response manifest_response = client.get("/v1/cluster/segments");
+  if (manifest_response.status != 200) {
+    throw std::runtime_error("cluster: manifest fetch from " + peer +
+                             " failed with HTTP " +
+                             std::to_string(manifest_response.status));
+  }
+  const serve::Json manifest = serve::Json::parse(manifest_response.body);
+
+  wal::ensure_dir(dest_dir);
+  CatchupStats stats;
+
+  // Snapshot first: recover() prefers it and the segments replay on top, so
+  // a retried partial download can only ever be "snapshot + fewer segments"
+  // -- still a valid recovery input, just further behind.
+  if (const serve::Json* snapshot = manifest.find("snapshot");
+      snapshot != nullptr && snapshot->is_object()) {
+    const std::string bytes = fetch_file(client, "snapshot.prm");
+    write_file(dest_dir + "/snapshot.prm", bytes);
+    stats.snapshot_fetched = true;
+    stats.bytes_fetched += bytes.size();
+  }
+
+  if (const serve::Json* segments = manifest.find("segments");
+      segments != nullptr && segments->is_array()) {
+    for (const serve::Json& entry : segments->as_array()) {
+      if (!entry.is_object()) continue;
+      const serve::Json* name = entry.find("file");
+      if (name == nullptr || !name->is_string() ||
+          !transferable_file_name(name->as_string())) {
+        throw std::runtime_error("cluster: manifest lists an untransferable file");
+      }
+      const std::string bytes = fetch_file(client, name->as_string());
+      write_file(dest_dir + "/" + name->as_string(), bytes);
+      stats.segments_fetched += 1;
+      stats.bytes_fetched += bytes.size();
+    }
+  }
+  return stats;
+}
+
+}  // namespace prm::cluster

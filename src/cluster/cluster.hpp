@@ -1,0 +1,145 @@
+// prm::cluster -- consistent-hash scale-out for the serving layer.
+//
+// A cluster is N `prm_cli serve` processes plus (optionally) thin routers.
+// Every member derives stream ownership independently from the same
+// HashRing over the peer list, so there is no coordinator:
+//
+//  * node mode (ClusterOptions::self set): the process owns the streams the
+//    ring maps to `self`. Stream routes for any other stream answer
+//    307 Temporary Redirect with a Location on the owning node; the
+//    Monitor's registry gets an ownership filter so a mis-routed write
+//    cannot create a stray stream.
+//  * router mode (ClusterOptions::router): the process owns nothing and
+//    PROXIES every stream route to the owning node over the UpstreamPool's
+//    pooled keep-alive connections; clients keep one stable endpoint.
+//
+// Replica catch-up: a joining or lagging replica calls fetch_catchup() to
+// download the owner's compacted snapshot + WAL segments over
+// /v1/cluster/segments into a fresh directory, then boots through
+// live::Monitor::recover on it -- byte-identical to a local recovery,
+// because the shipped files ARE the owner's recovery inputs (see
+// DESIGN.md §16).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/ring.hpp"
+#include "cluster/upstream.hpp"
+
+namespace prm::cluster {
+
+struct ClusterOptions {
+  /// This node's advertised "host:port" (what peers and redirects use).
+  /// Empty + router=false means clustering is off.
+  std::string self;
+
+  /// Full membership, "host:port" each. Node mode requires self to be
+  /// listed (a node absent from its own ring would own nothing and
+  /// redirect every request -- a config error, not a topology).
+  std::vector<std::string> peers;
+
+  /// Router mode: own no streams, proxy stream routes to their owners.
+  /// Mutually exclusive with `self`.
+  bool router = false;
+
+  std::size_t vnodes = HashRing::kDefaultVnodes;
+
+  /// Router upstream transport knobs (timeouts, pool sizing, DOWN cooldown).
+  UpstreamOptions upstream;
+};
+
+/// Shared cluster state for one serve process. Immutable after construction
+/// apart from the counters; safe to read from any handler thread.
+class Cluster {
+ public:
+  /// Validates the topology (throws std::invalid_argument on empty peers,
+  /// unparseable addresses, self missing from peers, or router+self).
+  /// Router mode starts the upstream pool's reactor thread.
+  explicit Cluster(ClusterOptions options);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  const ClusterOptions& options() const noexcept { return options_; }
+  const HashRing& ring() const noexcept { return ring_; }
+  bool router() const noexcept { return options_.router; }
+  const std::string& self() const noexcept { return options_.self; }
+
+  const std::string& owner(std::string_view stream) const { return ring_.owner(stream); }
+  bool owns(std::string_view stream) const {
+    return !options_.router && ring_.owner(stream) == options_.self;
+  }
+
+  /// Router mode only (null in node mode -- nodes redirect, they never proxy).
+  UpstreamPool* upstreams() noexcept { return upstreams_.get(); }
+  const UpstreamPool* upstreams() const noexcept { return upstreams_.get(); }
+
+  // Observability counters (exported under /metrics "cluster").
+  void count_redirect() noexcept { redirects_.fetch_add(1, std::memory_order_relaxed); }
+  void count_proxied() noexcept { proxied_.fetch_add(1, std::memory_order_relaxed); }
+  void count_proxy_error() noexcept {
+    proxy_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t redirects() const noexcept { return redirects_.load(); }
+  std::uint64_t proxied() const noexcept { return proxied_.load(); }
+  std::uint64_t proxy_errors() const noexcept { return proxy_errors_.load(); }
+
+ private:
+  ClusterOptions options_;
+  HashRing ring_;
+  std::unique_ptr<UpstreamPool> upstreams_;
+  std::atomic<std::uint64_t> redirects_{0};
+  std::atomic<std::uint64_t> proxied_{0};
+  std::atomic<std::uint64_t> proxy_errors_{0};
+};
+
+// ---------------------------------------------------------------------------
+// WAL segment shipping (the /v1/cluster/segments route and its client).
+
+/// What an owner exposes for replica catch-up: its WAL directory's current
+/// segment files plus the compacted snapshot, sizes included so a replica
+/// can plan/verify the transfer.
+struct SegmentManifest {
+  struct File {
+    std::string name;  ///< "wal-SSSS-NNNNNNNN.log", relative to the WAL dir.
+    std::size_t shard = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t size = 0;
+  };
+  std::vector<File> segments;  ///< Sorted by (shard, seq).
+  bool has_snapshot = false;
+  std::uint64_t snapshot_size = 0;
+};
+
+/// Scan a WAL directory into a manifest. Throws std::runtime_error on I/O
+/// failure.
+SegmentManifest read_manifest(const std::string& wal_dir);
+
+/// True for exactly the file names /v1/cluster/segments/{file} may serve:
+/// "snapshot.prm" or a well-formed segment name. Anything else (path
+/// separators, traversal, unrelated files) is rejected -- this is the
+/// route's path-safety gate.
+bool transferable_file_name(std::string_view name);
+
+struct CatchupStats {
+  std::size_t segments_fetched = 0;
+  bool snapshot_fetched = false;
+  std::uint64_t bytes_fetched = 0;
+};
+
+/// Replica catch-up client: download `peer`'s ("host:port") snapshot + WAL
+/// segments into `dest_dir` (created if missing). The caller then boots via
+/// live::Monitor::recover with wal.dir = dest_dir, which replays the shipped
+/// files exactly as it would local ones. Throws std::runtime_error on
+/// transport/HTTP errors (the destination may hold a partial download; it is
+/// safe to retry into the same directory -- files are whole-file overwrites).
+CatchupStats fetch_catchup(const std::string& peer, const std::string& dest_dir,
+                           int connect_timeout_ms = 5000);
+
+}  // namespace prm::cluster

@@ -1,0 +1,95 @@
+#include "cluster/ring.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace prm::cluster {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t stable_hash(std::string_view bytes) noexcept {
+  std::uint64_t h = kFnvOffset;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return splitmix64(h);
+}
+
+HashRing::HashRing(std::vector<std::string> nodes, std::size_t vnodes)
+    : vnodes_(vnodes) {
+  if (vnodes_ == 0) throw std::invalid_argument("HashRing: vnodes must be >= 1");
+  for (const std::string& node : nodes) {
+    if (node.empty()) throw std::invalid_argument("HashRing: empty node id");
+  }
+  nodes_ = std::move(nodes);
+  std::sort(nodes_.begin(), nodes_.end());
+  nodes_.erase(std::unique(nodes_.begin(), nodes_.end()), nodes_.end());
+  rebuild();
+}
+
+void HashRing::add_node(const std::string& node) {
+  if (node.empty()) throw std::invalid_argument("HashRing: empty node id");
+  const auto it = std::lower_bound(nodes_.begin(), nodes_.end(), node);
+  if (it != nodes_.end() && *it == node) return;
+  nodes_.insert(it, node);
+  rebuild();
+}
+
+bool HashRing::remove_node(const std::string& node) {
+  const auto it = std::lower_bound(nodes_.begin(), nodes_.end(), node);
+  if (it == nodes_.end() || *it != node) return false;
+  nodes_.erase(it);
+  rebuild();
+  return true;
+}
+
+bool HashRing::contains(std::string_view node) const {
+  return std::binary_search(nodes_.begin(), nodes_.end(), node);
+}
+
+void HashRing::rebuild() {
+  // Rebuilding from scratch keeps the node indices dense after a removal;
+  // at cluster scale (a handful of nodes x a few hundred vnodes) this is
+  // microseconds and only ever runs on membership change.
+  points_.clear();
+  points_.reserve(nodes_.size() * vnodes_);
+  std::string label;
+  for (std::uint32_t n = 0; n < nodes_.size(); ++n) {
+    for (std::size_t v = 0; v < vnodes_; ++v) {
+      label.assign(nodes_[n]);
+      label.push_back('#');
+      label.append(std::to_string(v));
+      points_.push_back({stable_hash(label), n});
+    }
+  }
+  // Hash collisions between distinct vnodes are astronomically unlikely but
+  // the tie-break on node id keeps the ring deterministic even then.
+  std::sort(points_.begin(), points_.end(), [this](const Point& a, const Point& b) {
+    if (a.hash != b.hash) return a.hash < b.hash;
+    return nodes_[a.node] < nodes_[b.node];
+  });
+}
+
+const std::string& HashRing::owner(std::string_view key) const {
+  if (points_.empty()) throw std::logic_error("HashRing: owner() on an empty ring");
+  const std::uint64_t h = stable_hash(key);
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const Point& p, std::uint64_t value) { return p.hash < value; });
+  return nodes_[(it == points_.end() ? points_.front() : *it).node];
+}
+
+}  // namespace prm::cluster

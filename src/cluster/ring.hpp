@@ -1,0 +1,78 @@
+// Consistent-hash ring for prm::cluster: maps stream names to owning nodes
+// so N serve processes can own disjoint stream sets.
+//
+// Classic Karger ring with virtual nodes: every node contributes `vnodes`
+// points at stable_hash(node + "#" + i), a key is owned by the first point
+// clockwise from stable_hash(key). Because a node's points depend only on
+// its own id, membership changes move exactly the keys whose owning arc the
+// joining/leaving node's points cover -- in expectation K/N of K keys for a
+// ring of N nodes -- and every moved key moves to/from that node. That
+// bounded-remap property is what makes rebalancing after a join a catch-up
+// problem (ship the owner's WAL segments) instead of a full reshuffle.
+//
+// The hash is a self-contained FNV-1a/splitmix64 composition (NOT std::hash)
+// so every process in a cluster computes the same ring regardless of
+// standard-library implementation. Determinism is part of the contract:
+// router, nodes, and clients all derive ownership independently and must
+// agree byte-for-byte.
+//
+// Not thread-safe: build (or rebuild) the ring during startup/membership
+// change and share it read-only afterwards.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace prm::cluster {
+
+/// Implementation-independent 64-bit hash (FNV-1a folded through the
+/// splitmix64 finalizer for avalanche). Stable across processes, platforms,
+/// and standard libraries -- the ring's wire contract depends on it.
+std::uint64_t stable_hash(std::string_view bytes) noexcept;
+
+class HashRing {
+ public:
+  static constexpr std::size_t kDefaultVnodes = 64;
+
+  HashRing() = default;
+
+  /// Build a ring over `nodes` (duplicates collapse; order is irrelevant).
+  /// Throws std::invalid_argument when vnodes == 0 or a node id is empty.
+  explicit HashRing(std::vector<std::string> nodes,
+                    std::size_t vnodes = kDefaultVnodes);
+
+  /// Add a node (no-op when already present). Only keys on the new node's
+  /// arcs change owner.
+  void add_node(const std::string& node);
+
+  /// Remove a node; returns false when absent. Only keys the node owned
+  /// change owner.
+  bool remove_node(const std::string& node);
+
+  bool empty() const noexcept { return nodes_.empty(); }
+  std::size_t size() const noexcept { return nodes_.size(); }
+  std::size_t vnodes_per_node() const noexcept { return vnodes_; }
+  bool contains(std::string_view node) const;
+
+  /// Membership, sorted (deterministic across processes given the same set).
+  const std::vector<std::string>& nodes() const noexcept { return nodes_; }
+
+  /// The node owning `key`. Throws std::logic_error on an empty ring.
+  const std::string& owner(std::string_view key) const;
+
+ private:
+  struct Point {
+    std::uint64_t hash = 0;
+    std::uint32_t node = 0;  ///< Index into nodes_.
+  };
+
+  void rebuild();
+
+  std::vector<std::string> nodes_;  ///< Sorted, unique.
+  std::size_t vnodes_ = kDefaultVnodes;
+  std::vector<Point> points_;  ///< Sorted by (hash, node id) -- the ring.
+};
+
+}  // namespace prm::cluster

@@ -299,6 +299,10 @@ Monitor::Entry& Monitor::entry_for(const std::string& name) {
   std::unique_lock<std::shared_mutex> lock(shard.mutex);
   auto it = shard.streams.find(name);  // double-checked: another thread may have won
   if (it == shard.streams.end()) {
+    if (owned_ && !owned_(name)) {
+      throw std::domain_error("Monitor: stream '" + name +
+                              "' is not owned by this node");
+    }
     // Construct before inserting: a throwing StreamState ctor (bad stream
     // name) must not leave a null entry in the registry. The incarnation
     // counter advances WAL on or off so snapshots stay byte-identical, and

@@ -34,6 +34,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <memory>
@@ -237,6 +238,17 @@ class Monitor {
   /// and fsync the WAL. Idempotent; called by the CLI signal handlers.
   void shutdown();
 
+  /// Cluster-mode registry guard: when set, an ingest that would CREATE a
+  /// stream the predicate rejects throws std::domain_error instead, so a
+  /// mis-routed write cannot plant a stray stream on a non-owning node.
+  /// Streams that already exist (e.g. recovered ones whose ownership moved
+  /// after a membership change) stay readable and removable. Install during
+  /// startup -- after recover(), before traffic; not synchronized against
+  /// concurrent ingest.
+  void set_ownership_filter(std::function<bool(const std::string&)> owned) {
+    owned_ = std::move(owned);
+  }
+
   bool wal_enabled() const noexcept { return wal_ != nullptr; }
   wal::WalStats wal_stats() const { return wal_ ? wal_->stats() : wal::WalStats{}; }
   std::uint64_t wal_disk_bytes() const { return wal_ ? wal_->disk_bytes() : 0; }
@@ -328,6 +340,7 @@ class Monitor {
   MonitorOptions options_;
   std::size_t model_parameters_ = 0;
   std::size_t min_fit_samples_ = 0;  ///< Effective (options + param floor).
+  std::function<bool(const std::string&)> owned_;  ///< Null = own everything.
 
   std::vector<std::unique_ptr<RegistryShard>> registry_;
 

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
+#include <iterator>
+#include <mutex>
+#include <set>
 #include <span>
 #include <stdexcept>
 #include <utility>
@@ -204,10 +208,47 @@ http::Response App::handle(const http::Request& request) {
       return is_get ? handle_stream_list()
                     : error_response(405, "use GET /v1/streams");
     }
+    constexpr std::string_view kClusterPrefix = "/v1/cluster/";
+    if (target.size() > kClusterPrefix.size() &&
+        std::string_view(target).substr(0, kClusterPrefix.size()) == kClusterPrefix) {
+      const std::string_view rest =
+          std::string_view(target).substr(kClusterPrefix.size());
+      // Segment shipping is gated on the WAL, not on cluster mode: any
+      // WAL-backed node can seed a replica, clustered or not.
+      if (rest == "segments") {
+        return is_get ? handle_cluster_manifest()
+                      : error_response(405, "use GET /v1/cluster/segments");
+      }
+      constexpr std::string_view kFilePrefix = "segments/";
+      if (rest.size() > kFilePrefix.size() &&
+          rest.substr(0, kFilePrefix.size()) == kFilePrefix) {
+        const std::string name(rest.substr(kFilePrefix.size()));
+        return is_get ? handle_cluster_file(name)
+                      : error_response(405, "use GET /v1/cluster/segments/{file}");
+      }
+      if (!cluster_) return error_response(404, "cluster mode is off");
+      if (rest == "ring") {
+        return is_get ? handle_cluster_ring()
+                      : error_response(405, "use GET /v1/cluster/ring");
+      }
+      constexpr std::string_view kOwnerPrefix = "owner/";
+      if (rest.size() > kOwnerPrefix.size() &&
+          rest.substr(0, kOwnerPrefix.size()) == kOwnerPrefix) {
+        const std::string name(rest.substr(kOwnerPrefix.size()));
+        return is_get ? handle_cluster_owner(name)
+                      : error_response(405, "use GET /v1/cluster/owner/{stream}");
+      }
+      return error_response(404, "no route for '" + target + "'");
+    }
     constexpr std::string_view kStreamPrefix = "/v1/streams/";
     if (target.size() > kStreamPrefix.size() &&
         std::string_view(target).substr(0, kStreamPrefix.size()) == kStreamPrefix) {
       std::string rest = target.substr(kStreamPrefix.size());
+      if (cluster_) {
+        if (const auto name = stream_route_name(target)) {
+          if (auto redirect = cluster_redirect(*name, request)) return *redirect;
+        }
+      }
       constexpr std::string_view kBatchSuffix = "/ingest-batch";
       if (rest.size() > kBatchSuffix.size() &&
           std::string_view(rest).substr(rest.size() - kBatchSuffix.size()) ==
@@ -250,6 +291,44 @@ http::Response App::handle_metrics() const {
   const FitCacheStats cache_stats = cache_.stats();
   JsonWriter& w = thread_json_writer();
   w.begin_object();
+
+  if (cluster_) {
+    w.key("cluster");
+    w.begin_object();
+    w.kv("mode", cluster_->router() ? "router" : "node");
+    w.key("nodes");
+    w.begin_array();
+    for (const std::string& node : cluster_->ring().nodes()) w.string(node);
+    w.end_array();
+    w.kv("proxied", cluster_->proxied());
+    w.kv("proxy_errors", cluster_->proxy_errors());
+    w.kv("redirects", cluster_->redirects());
+    if (cluster_->router()) {
+      w.kv_null("self");
+    } else {
+      w.kv("self", cluster_->self());
+    }
+    w.key("upstreams");
+    if (const cluster::UpstreamPool* pool = cluster_->upstreams()) {
+      const cluster::UpstreamStats us = pool->stats();
+      w.begin_object();
+      w.kv("connect_failures", us.connect_failures);
+      w.kv("connections_open", us.connections_open);
+      w.kv("connects", us.connects);
+      w.key("down");
+      w.begin_array();
+      for (const std::string& peer : pool->down_peers()) w.string(peer);
+      w.end_array();
+      w.kv("failed", us.failed);
+      w.kv("forwarded", us.forwarded);
+      w.kv("pipelined", us.pipelined);
+      w.end_object();
+    } else {
+      w.null();  // node mode: nodes redirect, they never proxy
+    }
+    w.kv("vnodes", cluster_->ring().vnodes_per_node());
+    w.end_object();
+  }
 
   w.key("fit_cache");
   w.begin_object();
@@ -733,6 +812,243 @@ http::Response App::handle_stream_ingest_batch(const std::string& name,
   w.end_array();
   w.end_object();
   return http::Response::json(200, w.str());
+}
+
+// ---------------------------------------------------------------------------
+// Cluster mode.
+
+Server::AsyncHandler App::async_handler() {
+  return [this](const http::Request& request, Server::Completion done) {
+    if (cluster_ && cluster_->router()) {
+      // Router data path: stream routes complete later, from the upstream
+      // pool's reactor, once the owning node answers. Everything else
+      // (fit routes, metrics, cluster introspection) stays local + inline.
+      if (request.target == "/v1/streams" || request.target == "/v1/streams/") {
+        if (request.method == "GET" || request.method == "HEAD") {
+          router_stream_list(std::move(done));
+          return;
+        }
+      } else if (const auto name = stream_route_name(request.target)) {
+        forward_to_owner(cluster_->owner(*name), request, std::move(done));
+        return;
+      }
+    }
+    done(handle(request));
+  };
+}
+
+void App::enable_cluster(cluster::ClusterOptions options) {
+  cluster_ = std::make_unique<cluster::Cluster>(std::move(options));
+  if (!cluster_->router()) {
+    // A mis-routed write must not create a stray stream on a non-owner: the
+    // filter turns creation into a 400 while existing streams stay readable
+    // (covers the drain window right after a membership change).
+    cluster::Cluster* owner_view = cluster_.get();
+    monitor_->set_ownership_filter(
+        [owner_view](const std::string& name) { return owner_view->owns(name); });
+  }
+}
+
+std::optional<std::string> App::stream_route_name(const std::string& target) {
+  constexpr std::string_view kStreamPrefix = "/v1/streams/";
+  if (target.size() <= kStreamPrefix.size() ||
+      std::string_view(target).substr(0, kStreamPrefix.size()) != kStreamPrefix) {
+    return std::nullopt;
+  }
+  std::string name = target.substr(kStreamPrefix.size());
+  static constexpr std::string_view kSuffixes[] = {"/ingest-batch", "/ingest"};
+  for (const std::string_view suffix : kSuffixes) {
+    if (name.size() > suffix.size() &&
+        std::string_view(name).substr(name.size() - suffix.size()) == suffix) {
+      name.resize(name.size() - suffix.size());
+      break;
+    }
+  }
+  if (name.empty()) return std::nullopt;
+  return name;
+}
+
+std::optional<http::Response> App::cluster_redirect(const std::string& name,
+                                                    const http::Request& request) {
+  if (cluster_->owns(name)) return std::nullopt;
+  const std::string& owner = cluster_->owner(name);
+  cluster_->count_redirect();
+  std::string location = "http://" + owner + request.target;
+  if (!request.query.empty()) {
+    location += '?';
+    location += request.query;
+  }
+  JsonWriter& w = thread_json_writer();
+  w.begin_object();
+  w.kv("error", "stream '" + name + "' is owned by " + owner);
+  w.kv("owner", owner);
+  w.end_object();
+  http::Response response = http::Response::json(307, w.str());
+  response.headers["Location"] = std::move(location);
+  return response;
+}
+
+void App::forward_to_owner(const std::string& owner, const http::Request& request,
+                           Server::Completion done) {
+  cluster_->count_proxied();
+  http::Request upstream = request;  // `request` only lives for this call.
+  // The upstream serializer adds its own Host/Content-Length, and the
+  // upstream connection's lifetime is the pool's business -- forwarding the
+  // client's copies would emit duplicates / close pooled connections.
+  upstream.headers.erase("host");
+  upstream.headers.erase("content-length");
+  upstream.headers.erase("connection");
+  cluster_->upstreams()->forward(
+      owner, std::move(upstream),
+      [this, owner, done](bool ok, http::Response response) {
+        if (!ok) {
+          cluster_->count_proxy_error();
+          done(error_response(502, "owner '" + owner + "' is unavailable"));
+          return;
+        }
+        // Framing headers are recomputed when the response is re-serialized
+        // toward the client; the upstream's would duplicate them.
+        response.headers.erase("content-length");
+        response.headers.erase("connection");
+        done(std::move(response));
+      });
+}
+
+void App::router_stream_list(Server::Completion done) {
+  // Fan out GET /v1/streams to every node; the LAST completion (they all
+  // fire on the pool's reactor thread) renders the merged, sorted view.
+  struct FanOut {
+    std::mutex m;
+    std::set<std::string> names;
+    std::vector<std::string> unavailable;
+    std::size_t remaining = 0;
+    Server::Completion done;
+  };
+  auto fan = std::make_shared<FanOut>();
+  const std::vector<std::string>& nodes = cluster_->ring().nodes();
+  fan->remaining = nodes.size();
+  fan->done = std::move(done);
+  for (const std::string& node : nodes) {
+    http::Request probe;
+    probe.method = "GET";
+    probe.target = "/v1/streams";
+    probe.version = "HTTP/1.1";
+    cluster_->upstreams()->forward(
+        node, std::move(probe), [fan, node](bool ok, http::Response response) {
+          std::lock_guard<std::mutex> lock(fan->m);
+          bool merged = false;
+          if (ok && response.status == 200) {
+            try {
+              const Json body = Json::parse(response.body);
+              if (const Json* streams = body.find("streams");
+                  streams != nullptr && streams->is_array()) {
+                for (const Json& entry : streams->as_array()) {
+                  if (entry.is_string()) fan->names.insert(entry.as_string());
+                }
+                merged = true;
+              }
+            } catch (const std::exception&) {
+              // Malformed peer response counts as unavailable below.
+            }
+          }
+          if (!merged) fan->unavailable.push_back(node);
+          if (--fan->remaining != 0) return;
+          std::sort(fan->unavailable.begin(), fan->unavailable.end());
+          JsonWriter& w = thread_json_writer();
+          w.begin_object();
+          w.key("streams");
+          w.begin_array();
+          for (const std::string& name : fan->names) w.string(name);
+          w.end_array();
+          w.key("unavailable");
+          w.begin_array();
+          for (const std::string& peer : fan->unavailable) w.string(peer);
+          w.end_array();
+          w.end_object();
+          fan->done(http::Response::json(200, w.str()));
+        });
+  }
+}
+
+http::Response App::handle_cluster_ring() const {
+  JsonWriter& w = thread_json_writer();
+  w.begin_object();
+  w.kv("mode", cluster_->router() ? "router" : "node");
+  w.key("nodes");
+  w.begin_array();
+  for (const std::string& node : cluster_->ring().nodes()) w.string(node);
+  w.end_array();
+  if (cluster_->router()) {
+    w.kv_null("self");
+  } else {
+    w.kv("self", cluster_->self());
+  }
+  w.kv("vnodes", cluster_->ring().vnodes_per_node());
+  w.end_object();
+  return http::Response::json(200, w.str());
+}
+
+http::Response App::handle_cluster_owner(const std::string& name) const {
+  JsonWriter& w = thread_json_writer();
+  w.begin_object();
+  w.kv("owner", cluster_->owner(name));
+  w.kv("self", cluster_->owns(name));
+  w.kv("stream", name);
+  w.end_object();
+  return http::Response::json(200, w.str());
+}
+
+http::Response App::handle_cluster_manifest() const {
+  if (!monitor_->wal_enabled()) {
+    return error_response(404, "wal is off; no segments to ship");
+  }
+  const cluster::SegmentManifest manifest =
+      cluster::read_manifest(options_.monitor.wal.dir);
+  JsonWriter& w = thread_json_writer();
+  w.begin_object();
+  w.key("segments");
+  w.begin_array();
+  for (const cluster::SegmentManifest::File& file : manifest.segments) {
+    w.begin_object();
+    w.kv("file", file.name);
+    w.kv("seq", file.seq);
+    w.kv("shard", file.shard);
+    w.kv("size", file.size);
+    w.end_object();
+  }
+  w.end_array();
+  if (manifest.has_snapshot) {
+    w.key("snapshot");
+    w.begin_object();
+    w.kv("file", "snapshot.prm");
+    w.kv("size", manifest.snapshot_size);
+    w.end_object();
+  } else {
+    w.kv_null("snapshot");
+  }
+  w.end_object();
+  return http::Response::json(200, w.str());
+}
+
+http::Response App::handle_cluster_file(const std::string& name) const {
+  if (!monitor_->wal_enabled()) {
+    return error_response(404, "wal is off; no segments to ship");
+  }
+  // transferable_file_name is the path-safety gate: only the WAL dir's own
+  // flat file names pass, never separators or traversal.
+  if (!cluster::transferable_file_name(name)) {
+    return error_response(404, "no such segment '" + name + "'");
+  }
+  const std::string path = options_.monitor.wal.dir + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return error_response(404, "no such segment '" + name + "'");
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  http::Response response;
+  response.status = 200;
+  response.headers["Content-Type"] = "application/octet-stream";
+  response.body = std::move(bytes);
+  return response;
 }
 
 }  // namespace prm::serve

@@ -19,6 +19,16 @@
 //                                      applied under one stream lock and
 //                                      logged as ONE WAL record (atomic:
 //                                      fully applied or fully torn)
+//   GET  /v1/cluster/ring              ring membership + mode (cluster mode)
+//   GET  /v1/cluster/owner/{name}      which node owns a stream (cluster mode)
+//   GET  /v1/cluster/segments          WAL snapshot + segment manifest (WAL on)
+//   GET  /v1/cluster/segments/{file}   raw segment/snapshot bytes for
+//                                      replica catch-up (WAL on)
+//
+// Cluster mode (enable_cluster): a NODE answers stream routes it owns and
+// 307-redirects the rest to the owner; a ROUTER proxies every stream route
+// to the owning node over the UpstreamPool and merges /v1/streams across
+// peers. Fit routes are stateless and always served locally.
 //
 // Fit-shaped requests ({"series": {...}, "model": ..., "holdout": ...,
 // "loss": ...}) share one LRU FitCache: /v1/fit, /v1/forecast and
@@ -33,10 +43,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "cluster/cluster.hpp"
 #include "live/monitor.hpp"
 #include "serve/fit_cache.hpp"
 #include "serve/http.hpp"
@@ -83,14 +95,20 @@ class App {
   /// error responses; Server still maps any escaped exception to a 500).
   http::Response handle(const http::Request& request);
 
-  /// handle() adapted to the Server's completion-callback form: completes
-  /// inline on the worker thread. Preferred hookup for the event-driven
-  /// server; a future streaming/deferred route can complete later instead.
-  Server::AsyncHandler async_handler() {
-    return [this](const http::Request& request, Server::Completion done) {
-      done(handle(request));
-    };
-  }
+  /// handle() adapted to the Server's completion-callback form. Most routes
+  /// complete inline on the worker thread; in router mode, stream routes
+  /// complete LATER from the upstream pool's reactor once the owning node
+  /// answers (the deferred path the Completion contract exists for).
+  Server::AsyncHandler async_handler();
+
+  /// Switch on cluster mode (node or router; see cluster::ClusterOptions).
+  /// Call after construction/recovery but before the server takes traffic.
+  /// Node mode installs the Monitor ownership filter; router mode starts
+  /// the upstream pool. Throws std::invalid_argument on a bad topology.
+  void enable_cluster(cluster::ClusterOptions options);
+
+  /// Null when cluster mode is off.
+  cluster::Cluster* cluster() noexcept { return cluster_.get(); }
 
   FitCache& fit_cache() noexcept { return cache_; }
   ResponseCache& response_cache() noexcept { return response_cache_; }
@@ -138,10 +156,35 @@ class App {
   std::vector<std::pair<double, double>> parse_ingest_samples(
       const Json& body, std::size_t max_samples) const;
 
+  /// The {name} component when `target` is a per-stream route
+  /// (/v1/streams/{name}[/ingest[-batch]]), nullopt otherwise.
+  static std::optional<std::string> stream_route_name(const std::string& target);
+
+  /// Cluster mode: 307 to the owning node when this process must not serve
+  /// the stream (non-owner node, or router on the sync path); nullopt when
+  /// the request is ours to handle.
+  std::optional<http::Response> cluster_redirect(const std::string& name,
+                                                 const http::Request& request);
+
+  /// Router data path: proxy `request` to `owner` via the upstream pool;
+  /// `done` fires from the pool's reactor (502 on transport failure).
+  void forward_to_owner(const std::string& owner, const http::Request& request,
+                        Server::Completion done);
+
+  /// Router view of GET /v1/streams: fan out to every node, merge the
+  /// name lists, report unreachable peers under "unavailable".
+  void router_stream_list(Server::Completion done);
+
+  http::Response handle_cluster_ring() const;
+  http::Response handle_cluster_owner(const std::string& name) const;
+  http::Response handle_cluster_manifest() const;
+  http::Response handle_cluster_file(const std::string& name) const;
+
   AppOptions options_;
   FitCache cache_;
   ResponseCache response_cache_;
   std::unique_ptr<live::Monitor> monitor_;
+  std::unique_ptr<cluster::Cluster> cluster_;  ///< Null = clustering off.
   std::atomic<std::uint64_t> fits_computed_{0};
 
   mutable std::mutex stats_provider_mutex_;

@@ -1,8 +1,10 @@
 #include "serve/http.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/uio.h>
 #include <unistd.h>
@@ -92,6 +94,7 @@ std::string_view reason_phrase(int status) {
     case 200: return "OK";
     case 201: return "Created";
     case 204: return "No Content";
+    case 307: return "Temporary Redirect";
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
@@ -100,6 +103,7 @@ std::string_view reason_phrase(int status) {
     case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
     case 501: return "Not Implemented";
+    case 502: return "Bad Gateway";
     case 503: return "Service Unavailable";
     default: return "Unknown";
   }
@@ -374,8 +378,11 @@ bool ResponseParser::parse_head(std::string_view head) {
 // ---------------------------------------------------------------------------
 // Client
 
-Client::Client(const std::string& host, std::uint16_t port)
-    : host_(host), port_(port), host_hdr_(host + ':' + std::to_string(port)) {
+Client::Client(const std::string& host, std::uint16_t port, int connect_timeout_ms)
+    : host_(host),
+      port_(port),
+      connect_timeout_ms_(connect_timeout_ms),
+      host_hdr_(host + ':' + std::to_string(port)) {
   connect();
 }
 
@@ -399,11 +406,34 @@ void Client::connect() {
     close();
     throw std::runtime_error("http::Client: bad address '" + host_ + "'");
   }
+  // Deadline-bounded connect: go nonblocking for the handshake so a dead or
+  // black-holed peer costs connect_timeout_ms, not the kernel's minutes-long
+  // SYN retry budget, then revert to blocking I/O for the exchange.
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  const bool bounded = connect_timeout_ms_ > 0 && flags >= 0;
+  if (bounded) ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
   if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
-    close();
-    throw std::runtime_error("http::Client: cannot connect to " + host_ + ':' +
-                             std::to_string(port_));
+    bool ok = false;
+    if (bounded && errno == EINPROGRESS) {
+      pollfd pfd{};
+      pfd.fd = fd_;
+      pfd.events = POLLOUT;
+      if (::poll(&pfd, 1, connect_timeout_ms_) == 1) {
+        int soerr = 0;
+        socklen_t len = sizeof soerr;
+        ok = ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &soerr, &len) == 0 && soerr == 0;
+      }
+    }
+    if (!ok) {
+      close();
+      throw std::runtime_error("http::Client: cannot connect to " + host_ + ':' +
+                               std::to_string(port_) +
+                               (bounded ? " within " + std::to_string(connect_timeout_ms_) +
+                                              " ms"
+                                        : ""));
+    }
   }
+  if (bounded) ::fcntl(fd_, F_SETFL, flags);
   const int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 }

@@ -185,7 +185,11 @@ bool parse_header_block(std::string_view block, std::map<std::string, std::strin
 /// Throws std::runtime_error on connect/IO/parse failures.
 class Client {
  public:
-  Client(const std::string& host, std::uint16_t port);
+  /// Connects eagerly. The connect (initial and any keep-alive reconnect)
+  /// is bounded by `connect_timeout_ms`: the socket connects nonblocking,
+  /// waits for writability up to the deadline, then reverts to blocking
+  /// I/O. <= 0 restores the old unbounded behavior.
+  Client(const std::string& host, std::uint16_t port, int connect_timeout_ms = 5000);
   ~Client();
 
   Client(const Client&) = delete;
@@ -211,6 +215,7 @@ class Client {
 
   std::string host_;
   std::uint16_t port_;
+  int connect_timeout_ms_ = 5000;
   std::string host_hdr_;   ///< "host:port", built once.
   std::string wire_;       ///< Reused head serialization buffer.
   ResponseParser parser_;  ///< Reused across round-trips (keeps its buffer).

@@ -1,0 +1,211 @@
+// WAL segment shipping end-to-end: a replica that downloads an owner's
+// snapshot + sealed segments over /v1/cluster/segments and boots through
+// live::Monitor::recover must serialize to EXACTLY the bytes the owner's own
+// save() produces -- catch-up IS recovery, just with remotely fetched files.
+//
+// Also covered: the manifest route's shape, the file route's path-safety
+// gate (only the WAL dir's own flat names are servable), 404 on absent
+// files, and fetch_catchup's failure contract against a dead peer.
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "cluster/cluster.hpp"
+#include "live/monitor.hpp"
+#include "serve/handlers.hpp"
+#include "serve/http.hpp"
+#include "serve/json.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace prm;
+using serve::Json;
+
+/// RAII temp directory under TMPDIR; removed (recursively) on destruction.
+class TempDir {
+ public:
+  TempDir() {
+    const char* base = std::getenv("TMPDIR");
+    path_ = std::string(base != nullptr ? base : "/tmp") + "/prm_catchup_XXXXXX";
+    if (::mkdtemp(path_.data()) == nullptr) {
+      throw std::runtime_error("mkdtemp failed");
+    }
+  }
+  ~TempDir() { remove_tree(path_); }
+  const std::string& path() const { return path_; }
+
+  static void remove_tree(const std::string& dir) {
+    if (DIR* handle = ::opendir(dir.c_str())) {
+      while (const dirent* entry = ::readdir(handle)) {
+        const std::string name = entry->d_name;
+        if (name == "." || name == "..") continue;
+        const std::string child = dir + "/" + name;
+        struct stat st{};
+        if (::lstat(child.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+          remove_tree(child);
+        } else {
+          ::unlink(child.c_str());
+        }
+      }
+      ::closedir(handle);
+    }
+    ::rmdir(dir.c_str());
+  }
+
+ private:
+  std::string path_;
+};
+
+class ClusterCatchup : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    serve::AppOptions options;
+    options.monitor.wal.dir = owner_dir_.path();
+    app_ = std::make_unique<serve::App>(options);
+    serve::ServerOptions server_options;
+    server_options.port = 0;
+    server_options.threads = 2;
+    server_ = std::make_unique<serve::Server>(server_options, app_->async_handler());
+    server_->start();
+    peer_ = "127.0.0.1:" + std::to_string(server_->port());
+  }
+
+  void TearDown() override { server_->stop(); }
+
+  void ingest_wave(int streams, int samples, double t0) {
+    for (int s = 0; s < streams; ++s) {
+      const std::string name = "svc-" + std::to_string(s);
+      for (int i = 0; i < samples; ++i) {
+        const double t = t0 + i;
+        // A dip-and-recover shape so refits have something to chew on.
+        const double value = 1.0 - 0.4 / (1.0 + 0.1 * (t - t0));
+        app_->monitor().ingest(name, t, value);
+      }
+    }
+  }
+
+  TempDir owner_dir_;
+  TempDir replica_dir_;
+  std::unique_ptr<serve::App> app_;
+  std::unique_ptr<serve::Server> server_;
+  std::string peer_;
+};
+
+TEST_F(ClusterCatchup, ReplicaRecoversByteIdenticalToOwnerSave) {
+  ingest_wave(/*streams=*/3, /*samples=*/30, /*t0=*/0.0);
+  app_->monitor().checkpoint();  // seal + snapshot: the shipped baseline
+  ingest_wave(/*streams=*/5, /*samples=*/10, /*t0=*/100.0);  // live tail
+
+  const cluster::CatchupStats stats =
+      cluster::fetch_catchup(peer_, replica_dir_.path());
+  EXPECT_TRUE(stats.snapshot_fetched);
+  EXPECT_GE(stats.segments_fetched, 1u);
+  EXPECT_GT(stats.bytes_fetched, 0u);
+
+  live::MonitorOptions replica_options = app_->options().monitor;
+  replica_options.wal.dir = replica_dir_.path();
+  const std::unique_ptr<live::Monitor> replica =
+      live::Monitor::recover(replica_options);
+  EXPECT_EQ(replica->stream_count(), app_->monitor().stream_count());
+
+  std::ostringstream owner_bytes;
+  app_->monitor().save(owner_bytes);
+  std::ostringstream replica_bytes;
+  replica->save(replica_bytes);
+  ASSERT_FALSE(owner_bytes.str().empty());
+  EXPECT_EQ(owner_bytes.str(), replica_bytes.str())
+      << "replica state diverged from the owner's acknowledged state";
+}
+
+TEST_F(ClusterCatchup, CatchupIsRetrySafeIntoTheSameDirectory) {
+  ingest_wave(2, 20, 0.0);
+  app_->monitor().checkpoint();
+  (void)cluster::fetch_catchup(peer_, replica_dir_.path());
+  ingest_wave(3, 10, 50.0);  // owner moved on; retry refreshes everything
+  (void)cluster::fetch_catchup(peer_, replica_dir_.path());
+
+  live::MonitorOptions replica_options = app_->options().monitor;
+  replica_options.wal.dir = replica_dir_.path();
+  const std::unique_ptr<live::Monitor> replica =
+      live::Monitor::recover(replica_options);
+
+  std::ostringstream owner_bytes;
+  app_->monitor().save(owner_bytes);
+  std::ostringstream replica_bytes;
+  replica->save(replica_bytes);
+  EXPECT_EQ(owner_bytes.str(), replica_bytes.str());
+}
+
+TEST_F(ClusterCatchup, ManifestListsSegmentsAndSnapshot) {
+  ingest_wave(2, 15, 0.0);
+  app_->monitor().checkpoint();
+  ingest_wave(2, 5, 40.0);
+
+  serve::http::Client client("127.0.0.1", server_->port());
+  const serve::http::Response response = client.get("/v1/cluster/segments");
+  ASSERT_EQ(response.status, 200);
+  const Json manifest = Json::parse(response.body);
+
+  const Json* snapshot = manifest.find("snapshot");
+  ASSERT_NE(snapshot, nullptr);
+  ASSERT_TRUE(snapshot->is_object());
+  EXPECT_EQ(snapshot->find("file")->as_string(), "snapshot.prm");
+  EXPECT_GT(snapshot->find("size")->as_number(), 0.0);
+
+  const Json* segments = manifest.find("segments");
+  ASSERT_NE(segments, nullptr);
+  ASSERT_TRUE(segments->is_array());
+  ASSERT_GE(segments->as_array().size(), 1u);
+  for (const Json& entry : segments->as_array()) {
+    EXPECT_TRUE(
+        cluster::transferable_file_name(entry.find("file")->as_string()));
+  }
+}
+
+TEST_F(ClusterCatchup, FileRouteRejectsNonWalNames) {
+  ingest_wave(1, 10, 0.0);
+  serve::http::Client client("127.0.0.1", server_->port());
+  // Flat-name gate: traversal, encoded traversal, and unrelated names all
+  // answer 404 without touching the filesystem outside the WAL dir.
+  EXPECT_EQ(client.get("/v1/cluster/segments/..%2fsnapshot.prm").status, 404);
+  EXPECT_EQ(client.get("/v1/cluster/segments/passwd").status, 404);
+  EXPECT_EQ(client.get("/v1/cluster/segments/wal-9999-99999999.log").status, 404);
+  // And the real files stream back verbatim.
+  app_->monitor().checkpoint();
+  const serve::http::Response snapshot =
+      client.get("/v1/cluster/segments/snapshot.prm");
+  ASSERT_EQ(snapshot.status, 200);
+  EXPECT_EQ(snapshot.headers.at("content-type"), "application/octet-stream");
+  EXPECT_GT(snapshot.body.size(), 0u);
+}
+
+TEST(ClusterCatchupErrors, DeadPeerThrows) {
+  TempDir dest;
+  EXPECT_THROW(
+      cluster::fetch_catchup("127.0.0.1:1", dest.path(), /*connect_timeout_ms=*/500),
+      std::runtime_error);
+}
+
+TEST(ClusterCatchupErrors, WalLessOwnerAnswers404) {
+  serve::App app;  // no WAL dir
+  serve::ServerOptions options;
+  options.port = 0;
+  options.threads = 1;
+  serve::Server server(options, app.async_handler());
+  server.start();
+  serve::http::Client client("127.0.0.1", server.port());
+  EXPECT_EQ(client.get("/v1/cluster/segments").status, 404);
+  EXPECT_EQ(client.get("/v1/cluster/segments/snapshot.prm").status, 404);
+  server.stop();
+}
+
+}  // namespace

@@ -1,0 +1,172 @@
+// prm::cluster ring unit tests: the consistent-hash contract the whole
+// cluster mode rests on.
+//
+//  * Determinism: same membership -> byte-identical ownership, regardless of
+//    construction order (the wire contract -- router, nodes, and clients all
+//    derive ownership independently).
+//  * Uniformity: 1000 streams over 4 nodes land within generous bounds of
+//    the 250/node ideal.
+//  * Bounded remap: removing a node moves ONLY the keys it owned (and all of
+//    them to survivors); adding a node moves keys only TO the new node, and
+//    roughly K/N of them -- the property that makes a join a catch-up
+//    problem instead of a reshuffle.
+//  * parse_peer / transferable_file_name input validation.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/ring.hpp"
+#include "cluster/upstream.hpp"
+
+namespace {
+
+using prm::cluster::HashRing;
+using prm::cluster::PeerAddress;
+using prm::cluster::parse_peer;
+using prm::cluster::stable_hash;
+using prm::cluster::transferable_file_name;
+
+std::vector<std::string> stream_names(std::size_t n) {
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) names.push_back("stream-" + std::to_string(i));
+  return names;
+}
+
+TEST(StableHash, IsStableAndSpreads) {
+  // Pinned values: changing the hash silently would split a live cluster's
+  // brain (old and new processes would disagree on ownership).
+  EXPECT_EQ(stable_hash(""), stable_hash(""));
+  EXPECT_NE(stable_hash("a"), stable_hash("b"));
+  EXPECT_NE(stable_hash("stream-1"), stable_hash("stream-2"));
+  const auto h1 = stable_hash("node#1");
+  EXPECT_EQ(h1, stable_hash(std::string("node#1")));
+}
+
+TEST(HashRing, DeterministicAcrossConstructionOrder) {
+  const HashRing a({"10.0.0.1:80", "10.0.0.2:80", "10.0.0.3:80"});
+  const HashRing b({"10.0.0.3:80", "10.0.0.1:80", "10.0.0.2:80"});
+  HashRing c({"10.0.0.2:80"});
+  c.add_node("10.0.0.1:80");
+  c.add_node("10.0.0.3:80");
+  for (const std::string& key : stream_names(500)) {
+    EXPECT_EQ(a.owner(key), b.owner(key));
+    EXPECT_EQ(a.owner(key), c.owner(key));
+  }
+}
+
+TEST(HashRing, DistributionIsRoughlyUniform) {
+  const std::vector<std::string> nodes = {"n1:1", "n2:1", "n3:1", "n4:1"};
+  const HashRing ring(nodes);
+  std::map<std::string, int> counts;
+  for (const std::string& key : stream_names(1000)) counts[ring.owner(key)]++;
+  ASSERT_EQ(counts.size(), 4u) << "some node owns nothing";
+  for (const auto& [node, count] : counts) {
+    // Ideal is 250; with 64 vnodes the spread stays well inside [100, 400].
+    EXPECT_GE(count, 100) << node << " is starved";
+    EXPECT_LE(count, 400) << node << " is overloaded";
+  }
+}
+
+TEST(HashRing, RemoveMovesOnlyTheRemovedNodesKeys) {
+  const std::vector<std::string> nodes = {"n1:1", "n2:1", "n3:1", "n4:1"};
+  HashRing ring(nodes);
+  const std::vector<std::string> keys = stream_names(1000);
+  std::map<std::string, std::string> before;
+  for (const std::string& key : keys) before[key] = ring.owner(key);
+
+  ASSERT_TRUE(ring.remove_node("n3:1"));
+  int moved = 0;
+  for (const std::string& key : keys) {
+    const std::string& now = ring.owner(key);
+    EXPECT_NE(now, "n3:1");
+    if (before[key] == "n3:1") {
+      ++moved;  // must move somewhere
+    } else {
+      // Keys the departed node never owned must not move at all.
+      EXPECT_EQ(now, before[key]) << key << " moved without cause";
+    }
+  }
+  EXPECT_GT(moved, 0);
+}
+
+TEST(HashRing, AddMovesKeysOnlyToTheNewNodeAndBoundedlyMany) {
+  HashRing ring({"n1:1", "n2:1", "n3:1"});
+  const std::vector<std::string> keys = stream_names(1000);
+  std::map<std::string, std::string> before;
+  for (const std::string& key : keys) before[key] = ring.owner(key);
+
+  ring.add_node("n4:1");
+  int moved = 0;
+  for (const std::string& key : keys) {
+    const std::string& now = ring.owner(key);
+    if (now != before[key]) {
+      EXPECT_EQ(now, "n4:1") << "a key moved between surviving nodes";
+      ++moved;
+    }
+  }
+  // Expectation is K/N = 250 of 1000; assert a generous bound well under a
+  // reshuffle (which would move ~750) and above zero.
+  EXPECT_GT(moved, 50);
+  EXPECT_LT(moved, 500);
+}
+
+TEST(HashRing, AddRemoveRoundTripRestoresOwnership) {
+  HashRing ring({"n1:1", "n2:1", "n3:1"});
+  const std::vector<std::string> keys = stream_names(300);
+  std::map<std::string, std::string> before;
+  for (const std::string& key : keys) before[key] = ring.owner(key);
+  ring.add_node("n4:1");
+  ASSERT_TRUE(ring.remove_node("n4:1"));
+  for (const std::string& key : keys) EXPECT_EQ(ring.owner(key), before[key]);
+}
+
+TEST(HashRing, Validation) {
+  EXPECT_THROW(HashRing({}, 64).owner("k"), std::logic_error);
+  EXPECT_THROW(HashRing({"n1:1"}, 0), std::invalid_argument);
+  EXPECT_THROW(HashRing({""}), std::invalid_argument);
+  EXPECT_THROW(HashRing().owner("k"), std::logic_error);
+
+  HashRing ring({"n1:1", "n1:1", "n2:1"});  // duplicates collapse
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_TRUE(ring.contains("n1:1"));
+  EXPECT_FALSE(ring.contains("n9:1"));
+  EXPECT_FALSE(ring.remove_node("n9:1"));
+}
+
+TEST(ParsePeer, AcceptsHostPortAndRejectsGarbage) {
+  const PeerAddress a = parse_peer("127.0.0.1:8080");
+  EXPECT_EQ(a.host, "127.0.0.1");
+  EXPECT_EQ(a.port, 8080);
+
+  EXPECT_THROW(parse_peer("127.0.0.1"), std::invalid_argument);
+  EXPECT_THROW(parse_peer(":8080"), std::invalid_argument);
+  EXPECT_THROW(parse_peer("host:"), std::invalid_argument);
+  EXPECT_THROW(parse_peer("host:0"), std::invalid_argument);
+  EXPECT_THROW(parse_peer("host:65536"), std::invalid_argument);
+  EXPECT_THROW(parse_peer("host:80x"), std::invalid_argument);
+  EXPECT_THROW(parse_peer(""), std::invalid_argument);
+}
+
+TEST(TransferableFileName, GatesExactlyTheWalDirFiles) {
+  EXPECT_TRUE(transferable_file_name("snapshot.prm"));
+  EXPECT_TRUE(transferable_file_name("wal-0000-00000001.log"));
+  EXPECT_TRUE(transferable_file_name("wal-0007-12345678.log"));
+
+  EXPECT_FALSE(transferable_file_name(""));
+  EXPECT_FALSE(transferable_file_name("wal-0000-00000001.log.tmp"));
+  EXPECT_FALSE(transferable_file_name("wal-000-00000001.log"));
+  EXPECT_FALSE(transferable_file_name("../snapshot.prm"));
+  EXPECT_FALSE(transferable_file_name("a/snapshot.prm"));
+  EXPECT_FALSE(transferable_file_name("..\\snapshot.prm"));
+  EXPECT_FALSE(transferable_file_name("/etc/passwd"));
+  EXPECT_FALSE(transferable_file_name("wal-00000000000001.log"));
+  EXPECT_FALSE(transferable_file_name("snapshot.prm "));
+}
+
+}  // namespace
